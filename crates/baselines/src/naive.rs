@@ -1,0 +1,184 @@
+//! Naive exact baseline: direct Pearson per pair per window.
+//!
+//! O(N² · γ · l) — the cost the whole literature is trying to avoid; kept
+//! as the ground truth for accuracy metrics and as the sanity baseline in
+//! the scaling benches.
+
+use crate::{matrices_from_edges, SlidingEngine};
+use sketch::output::EdgeRule;
+use sketch::{SlidingQuery, ThresholdedMatrix};
+use tsdata::{stats, TimeSeriesMatrix, TsError};
+
+/// The naive engine (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+/// Naive scan with an explicit [`EdgeRule`] — the ground truth for
+/// absolute-threshold (anticorrelation) queries.
+pub fn execute_with_rule(
+    x: &TimeSeriesMatrix,
+    query: SlidingQuery,
+    rule: EdgeRule,
+) -> Result<Vec<ThresholdedMatrix>, TsError> {
+    query.validate(x.len())?;
+    let n = x.n_series();
+    let mut out = Vec::with_capacity(query.n_windows());
+    for w in 0..query.n_windows() {
+        let (ws, we) = query.window_range(w);
+        let mut m = ThresholdedMatrix::with_rule(n, query.threshold, rule);
+        for i in 0..n {
+            let xi = &x.row(i)[ws..we];
+            for j in (i + 1)..n {
+                if let Ok(r) = stats::pearson(xi, &x.row(j)[ws..we]) {
+                    m.push(i, j, r);
+                }
+            }
+        }
+        m.finalize();
+        out.push(m);
+    }
+    Ok(out)
+}
+
+impl SlidingEngine for Naive {
+    fn name(&self) -> String {
+        "naive".into()
+    }
+
+    fn execute(
+        &self,
+        x: &TimeSeriesMatrix,
+        query: SlidingQuery,
+    ) -> Result<Vec<ThresholdedMatrix>, TsError> {
+        query.validate(x.len())?;
+        let n = x.n_series();
+        let mut window_edges = Vec::with_capacity(query.n_windows());
+        for w in 0..query.n_windows() {
+            let (ws, we) = query.window_range(w);
+            let mut edges = Vec::new();
+            for i in 0..n {
+                let xi = &x.row(i)[ws..we];
+                for j in (i + 1)..n {
+                    let xj = &x.row(j)[ws..we];
+                    // Zero-variance windows have undefined correlation:
+                    // treated as "no edge", consistent with every engine in
+                    // this workspace.
+                    if let Ok(r) = stats::pearson(xi, xj) {
+                        if r >= query.threshold {
+                            edges.push((i, j, r));
+                        }
+                    }
+                }
+            }
+            window_edges.push(edges);
+        }
+        Ok(matrices_from_edges(n, query.threshold, window_edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::generators;
+
+    #[test]
+    fn finds_known_correlations() {
+        // Two identical series plus one independent.
+        let base = generators::white_noise(100, 3);
+        let other = generators::white_noise(100, 99);
+        let x = TimeSeriesMatrix::from_rows(vec![base.clone(), base, other]).unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 100,
+            window: 50,
+            step: 25,
+            threshold: 0.95,
+        };
+        let ms = Naive.execute(&x, q).unwrap();
+        assert_eq!(ms.len(), 3);
+        for m in &ms {
+            assert!(m.contains(0, 1), "identical series must connect");
+            assert!(!m.contains(0, 2));
+            assert!((m.get(0, 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn respects_query_range_offset() {
+        let mut a = generators::white_noise(200, 5);
+        let mut b = generators::white_noise(200, 6);
+        // Make the two series identical only in [100, 200).
+        for t in 100..200 {
+            b[t] = a[t];
+        }
+        // And uncorrelated (independent noise) in [0, 100).
+        for t in 0..100 {
+            a[t] = (t as f64 * 0.7).sin();
+        }
+        let x = TimeSeriesMatrix::from_rows(vec![a, b]).unwrap();
+        let q = SlidingQuery {
+            start: 100,
+            end: 200,
+            window: 50,
+            step: 50,
+            threshold: 0.99,
+        };
+        let ms = Naive.execute(&x, q).unwrap();
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.contains(0, 1)));
+    }
+
+    #[test]
+    fn zero_variance_yields_no_edge() {
+        let x = TimeSeriesMatrix::from_rows(vec![
+            vec![1.0; 60],
+            (0..60).map(|t| t as f64).collect(),
+        ])
+        .unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 60,
+            window: 30,
+            step: 30,
+            threshold: 0.0,
+        };
+        let ms = Naive.execute(&x, q).unwrap();
+        assert!(ms.iter().all(|m| m.n_edges() == 0));
+    }
+
+    #[test]
+    fn absolute_rule_finds_anticorrelations() {
+        let base = generators::white_noise(120, 9);
+        let anti: Vec<f64> = base.iter().map(|v| -v).collect();
+        let x = TimeSeriesMatrix::from_rows(vec![base, anti]).unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 120,
+            window: 40,
+            step: 40,
+            threshold: 0.95,
+        };
+        // Positive rule sees nothing …
+        let pos = Naive.execute(&x, q).unwrap();
+        assert!(pos.iter().all(|m| m.n_edges() == 0));
+        // … the absolute rule sees the perfect anticorrelation.
+        let abs = execute_with_rule(&x, q, EdgeRule::Absolute).unwrap();
+        for m in &abs {
+            assert_eq!(m.n_edges(), 1);
+            assert!((m.get(0, 1) + 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validates_query() {
+        let x = generators::independent_ar1_matrix(2, 50, 0.5, 1).unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 100, // beyond data
+            window: 20,
+            step: 10,
+            threshold: 0.5,
+        };
+        assert!(Naive.execute(&x, q).is_err());
+    }
+}

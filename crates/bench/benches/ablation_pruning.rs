@@ -1,0 +1,54 @@
+//! Criterion version of E7: pruning-mechanism ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dangoron::config::{HorizontalConfig, PivotStrategy};
+use dangoron::{BoundMode, Dangoron, DangoronConfig};
+use eval::workloads;
+
+fn bench_ablation(c: &mut Criterion) {
+    let w = workloads::climate(16, 24 * 60, 0.9, 2020).expect("workload");
+    let mut group = c.benchmark_group("e7_ablation");
+    group.sample_size(10);
+
+    let variants: Vec<(&str, DangoronConfig)> = vec![
+        (
+            "exhaustive",
+            DangoronConfig {
+                basic_window: w.basic_window,
+                bound: BoundMode::Exhaustive,
+                ..Default::default()
+            },
+        ),
+        (
+            "jump",
+            DangoronConfig {
+                basic_window: w.basic_window,
+                bound: BoundMode::PaperJump { slack: 0.0 },
+                ..Default::default()
+            },
+        ),
+        (
+            "jump_triangle",
+            DangoronConfig {
+                basic_window: w.basic_window,
+                bound: BoundMode::PaperJump { slack: 0.0 },
+                horizontal: Some(HorizontalConfig {
+                    n_pivots: 2,
+                    strategy: PivotStrategy::Evenly,
+                }),
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        let engine = Dangoron::new(config).expect("valid config");
+        let prep = engine.prepare(&w.data, w.query).expect("prepare");
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(engine.run(&prep)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

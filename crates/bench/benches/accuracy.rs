@@ -1,0 +1,50 @@
+//! Criterion version of E2's engine costs: full execute of the
+//! accuracy-comparison engines on one climate workload.
+
+use baselines::parcorr::ParCorr;
+use baselines::statstream::StatStream;
+use baselines::SlidingEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dangoron::BoundMode;
+use eval::engines::DangoronEngine;
+use eval::workloads;
+
+fn bench_accuracy_engines(c: &mut Criterion) {
+    let w = workloads::climate(12, 24 * 60, 0.85, 2020).expect("workload");
+    let mut group = c.benchmark_group("e2_engines");
+    group.sample_size(10);
+
+    let dang = DangoronEngine {
+        config: dangoron::DangoronConfig {
+            basic_window: w.basic_window,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            ..Default::default()
+        },
+    };
+    group.bench_function("dangoron_execute", |b| {
+        b.iter(|| std::hint::black_box(dang.execute(&w.data, w.query).unwrap()))
+    });
+
+    let pc = ParCorr {
+        dim: 128,
+        seed: 7,
+        margin: 0.05,
+        verify: true,
+    };
+    group.bench_function("parcorr_execute", |b| {
+        b.iter(|| std::hint::black_box(pc.execute(&w.data, w.query).unwrap()))
+    });
+
+    let ss = StatStream {
+        coeffs: 16,
+        margin: 0.05,
+        verify: true,
+    };
+    group.bench_function("statstream_execute", |b| {
+        b.iter(|| std::hint::black_box(ss.execute(&w.data, w.query).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_engines);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion version of E9: basic-window width ablation, including the
+//! sketch-build (prepare) cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dangoron::{BoundMode, Dangoron, DangoronConfig};
+use eval::workloads;
+
+fn bench_basic_window(c: &mut Criterion) {
+    let w = workloads::climate(12, 24 * 60, 0.9, 2020).expect("workload");
+    let mut group = c.benchmark_group("e9_basic_window");
+    group.sample_size(10);
+    for b_width in [6usize, 12, 24] {
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: b_width,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            ..Default::default()
+        })
+        .expect("valid config");
+
+        group.bench_with_input(BenchmarkId::new("prepare", b_width), &b_width, |b, _| {
+            b.iter(|| std::hint::black_box(engine.prepare(&w.data, w.query).unwrap()))
+        });
+
+        let prep = engine.prepare(&w.data, w.query).expect("prepare");
+        group.bench_with_input(BenchmarkId::new("query", b_width), &b_width, |b, _| {
+            b.iter(|| std::hint::black_box(engine.run(&prep)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_basic_window);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion version of E1: pure query time, Dangoron vs TSUBASA.
+//!
+//! Preparation (sketch building) happens outside the measured closure,
+//! matching the paper's "pure query time" methodology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dangoron::BoundMode;
+use eval::workloads;
+
+fn bench_query_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_query_time");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let w = workloads::climate(n, 24 * 60, 0.9, 2020).expect("workload");
+
+        let engine = bench::common::dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let prep = engine.prepare(&w.data, w.query).expect("prepare");
+        group.bench_with_input(BenchmarkId::new("dangoron", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(engine.run(&prep)))
+        });
+
+        let tsubasa = bench::common::tsubasa_engine(&w);
+        let tprep = tsubasa.prepare(&w.data, w.query).expect("prepare");
+        group.bench_with_input(BenchmarkId::new("tsubasa", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(tsubasa.run(&tprep)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time);
+criterion_main!(benches);

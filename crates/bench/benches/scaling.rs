@@ -1,0 +1,23 @@
+//! Criterion version of E8: scaling with N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dangoron::BoundMode;
+use eval::workloads;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_scaling");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let w = workloads::climate(n, 24 * 60, 0.9, 2020).expect("workload");
+        let engine = bench::common::dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let prep = engine.prepare(&w.data, w.query).expect("prepare");
+        group.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+        group.bench_with_input(BenchmarkId::new("dangoron", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(engine.run(&prep)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion version of E4: Dangoron query time across thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dangoron::BoundMode;
+use eval::workloads;
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_threshold");
+    group.sample_size(10);
+    for beta in [0.5f64, 0.7, 0.9, 0.95] {
+        let w = workloads::climate(16, 24 * 60, beta, 2020).expect("workload");
+        let engine = bench::common::dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let prep = engine.prepare(&w.data, w.query).expect("prepare");
+        group.bench_with_input(
+            BenchmarkId::new("dangoron", format!("beta{beta}")),
+            &beta,
+            |b, _| b.iter(|| std::hint::black_box(engine.run(&prep))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold_sweep);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion version of E6's costs: Tomborg generation plus a Dangoron run
+//! over a generated case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dangoron::BoundMode;
+use eval::workloads;
+use tomborg::suite::smoke_suite;
+
+fn bench_tomborg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_tomborg");
+    group.sample_size(10);
+    let cases = smoke_suite(10, 512, 42);
+
+    group.bench_function("generate_block_concentrated", |b| {
+        b.iter(|| std::hint::black_box(cases[0].generate().unwrap()))
+    });
+
+    let w = workloads::from_tomborg(&cases[0], 0.8).expect("workload");
+    let engine = bench::common::dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+    let prep = engine.prepare(&w.data, w.query).expect("prepare");
+    group.bench_function("dangoron_on_tomborg", |b| {
+        b.iter(|| std::hint::black_box(engine.run(&prep)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tomborg);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment harness: regenerates every table/figure of the paper.
+//!
+//! ```text
+//! harness <exp-id>... [--full]     # e1 … e10, or `all`
+//! ```
+//!
+//! Quick scale (default) runs in seconds per experiment; `--full` uses the
+//! paper-sized configuration (N up to 512, a full year of hourly data) and
+//! takes minutes.
+
+use bench::experiments::{run_experiment, ALL};
+use bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let scale = Scale::from_flag(full);
+
+    let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    let mut failed = false;
+    for id in selected {
+        match run_experiment(id, scale) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (expected e1..e10 or all)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared helpers for the experiments: engine construction and pure-query
+//! timing with a single shared preparation.
+
+use baselines::tsubasa::Tsubasa;
+use dangoron::{BoundMode, Dangoron, DangoronConfig, PairStorage};
+use eval::timing::{measure, TimingSummary};
+use eval::workloads::Workload;
+use sketch::ThresholdedMatrix;
+use std::time::Instant;
+
+/// Default measurement repetitions for pure-query timing.
+pub const REPS: usize = 3;
+
+/// Dangoron with the workload's basic window and the given mode.
+pub fn dangoron_engine(w: &Workload, bound: BoundMode) -> Dangoron {
+    Dangoron::new(DangoronConfig {
+        basic_window: w.basic_window,
+        bound,
+        storage: PairStorage::Precomputed,
+        horizontal: None,
+        threads: 1,
+        ..Default::default()
+    })
+    .expect("static config is valid")
+}
+
+/// TSUBASA with the workload's basic window.
+pub fn tsubasa_engine(w: &Workload) -> Tsubasa {
+    Tsubasa {
+        basic_window: w.basic_window,
+        threads: 1,
+    }
+}
+
+/// Prepares once and measures the *pure query* time of a Dangoron config,
+/// returning the timing plus one result for inspection.
+pub fn time_dangoron(w: &Workload, engine: &Dangoron) -> (TimingSummary, dangoron::QueryResult) {
+    let prep = engine
+        .prepare(&w.data, w.query)
+        .expect("workload geometry is valid");
+    let result = engine.run(&prep);
+    let summary = measure(REPS, 1, || {
+        let t = Instant::now();
+        let _ = engine.run(&prep);
+        t.elapsed()
+    });
+    (summary, result)
+}
+
+/// Prepares once and measures TSUBASA's pure query time.
+pub fn time_tsubasa(w: &Workload, engine: &Tsubasa) -> (TimingSummary, Vec<ThresholdedMatrix>) {
+    let prep = engine
+        .prepare(&w.data, w.query)
+        .expect("workload geometry is valid");
+    let result = engine.run(&prep);
+    let summary = measure(REPS, 1, || {
+        let t = Instant::now();
+        let _ = engine.run(&prep);
+        t.elapsed()
+    });
+    (summary, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eval::workloads;
+
+    #[test]
+    fn timing_helpers_produce_consistent_outputs() {
+        let w = workloads::climate_quick(6, 0.85).unwrap();
+        let engine = dangoron_engine(&w, BoundMode::Exhaustive);
+        let (t_d, r_d) = time_dangoron(&w, &engine);
+        assert!(t_d.median > std::time::Duration::ZERO);
+        assert_eq!(r_d.matrices.len(), w.query.n_windows());
+
+        let ts = tsubasa_engine(&w);
+        let (t_t, r_t) = time_tsubasa(&w, &ts);
+        assert!(t_t.median > std::time::Duration::ZERO);
+        // Both exact engines agree edge-for-edge.
+        let rep = eval::compare(&r_d.matrices, &r_t);
+        assert_eq!(rep.f1, 1.0);
+    }
+}

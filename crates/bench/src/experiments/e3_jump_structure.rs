@@ -1,0 +1,95 @@
+//! E3 — Figure 2: the jumping structure of Dangoron.
+//!
+//! The figure illustrates blue (evaluated, below β), red (bound above β)
+//! and green (skipped) blocks. This experiment quantifies that picture:
+//! skip fraction, jump count, and the jump-length histogram as the
+//! threshold rises.
+
+use crate::common::{dangoron_engine, time_dangoron};
+use crate::Scale;
+use dangoron::BoundMode;
+use eval::report::{f3, Table};
+use eval::workloads;
+
+/// Runs E3 and renders its tables.
+pub fn run(scale: Scale) -> String {
+    let (n, hours) = match scale {
+        Scale::Quick => (16, 24 * 90),
+        Scale::Full => (64, 24 * 365),
+    };
+    let betas = [0.5, 0.7, 0.8, 0.9, 0.95];
+    let mut table = Table::new(
+        "E3: jump statistics across thresholds (Figure 2 quantified)",
+        &[
+            "β",
+            "skip-frac",
+            "jumps",
+            "mean-jump",
+            "evaluated",
+            "skipped",
+        ],
+    );
+    let mut hist_table = Table::new(
+        "E3b: jump-length histogram (log2 buckets, β sweep)",
+        &["β", "1", "2-3", "4-7", "8-15", "16-31", "≥32"],
+    );
+    for beta in betas {
+        let w = workloads::climate(n, hours, beta, 2020).expect("workload");
+        let engine = dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let (_t, r) = time_dangoron(&w, &engine);
+        let s = &r.stats;
+        table.row(vec![
+            f3(beta),
+            f3(s.skip_fraction()),
+            s.jumps.to_string(),
+            f3(s.mean_jump_length()),
+            s.evaluated.to_string(),
+            s.skipped_by_jump.to_string(),
+        ]);
+        let h = &s.jump_length_hist;
+        let tail: u64 = h[5..].iter().sum();
+        hist_table.row(vec![
+            f3(beta),
+            h[0].to_string(),
+            h[1].to_string(),
+            h[2].to_string(),
+            h[3].to_string(),
+            h[4].to_string(),
+            tail.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    out.push_str(&hist_table.render());
+    out.push_str("\nExpected shape: skip fraction grows monotonically with β.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_fraction_grows_with_threshold() {
+        let report = run(Scale::Quick);
+        // Extract the skip-frac column of the first table.
+        let fracs: Vec<f64> = report
+            .lines()
+            .skip(3) // title, header, separator
+            .take(5)
+            .map(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .expect("skip-frac cell")
+                    .parse()
+                    .expect("parseable fraction")
+            })
+            .collect();
+        assert_eq!(fracs.len(), 5);
+        assert!(
+            fracs.windows(2).all(|w| w[1] >= w[0] - 0.02),
+            "skip fractions not monotone: {fracs:?}"
+        );
+        assert!(fracs[4] > fracs[0], "β=0.95 must skip more than β=0.5");
+    }
+}

@@ -1,0 +1,57 @@
+//! E4 — threshold sensitivity: query time of both engines as β varies.
+//!
+//! TSUBASA's work is threshold-independent (it evaluates every cell);
+//! Dangoron's work shrinks as β rises because more of the pair-window
+//! plane is skippable. The crossover behaviour is the experiment's shape.
+
+use crate::common::{dangoron_engine, time_dangoron, time_tsubasa, tsubasa_engine};
+use crate::Scale;
+use dangoron::BoundMode;
+use eval::report::{dur, f3, Table};
+use eval::timing::speedup;
+use eval::workloads;
+
+/// Runs E4 and renders its table.
+pub fn run(scale: Scale) -> String {
+    let (n, hours) = match scale {
+        Scale::Quick => (16, 24 * 90),
+        Scale::Full => (64, 24 * 365),
+    };
+    let betas = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+    let mut table = Table::new(
+        "E4: query time vs threshold β",
+        &["β", "tsubasa", "dangoron", "speedup", "edges"],
+    );
+    for beta in betas {
+        let w = workloads::climate(n, hours, beta, 2020).expect("workload");
+        let (t_tsu, _) = time_tsubasa(&w, &tsubasa_engine(&w));
+        let engine = dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let (t_dan, r) = time_dangoron(&w, &engine);
+        table.row(vec![
+            f3(beta),
+            dur(t_tsu.median),
+            dur(t_dan.median),
+            format!("{}x", f3(speedup(&t_tsu, &t_dan))),
+            r.stats.edges.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nExpected shape: TSUBASA flat in β; Dangoron faster as β rises\n\
+         (fewer edges ⇒ more jumps).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_thresholds() {
+        let report = run(Scale::Quick);
+        for beta in ["0.500", "0.700", "0.950"] {
+            assert!(report.contains(beta), "missing β row {beta}");
+        }
+    }
+}

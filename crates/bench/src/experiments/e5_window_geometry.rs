@@ -1,0 +1,81 @@
+//! E5 — window geometry: query window size `l` and sliding step `η`.
+//!
+//! Larger windows smooth correlation (fewer edges crossing β per slide);
+//! smaller steps create more windows with more overlap — the regime where
+//! the jumping machinery pays most.
+
+use crate::common::{dangoron_engine, time_dangoron, time_tsubasa, tsubasa_engine};
+use crate::Scale;
+use dangoron::BoundMode;
+use eval::report::{dur, f3, Table};
+use eval::timing::speedup;
+use eval::workloads::Workload;
+use sketch::SlidingQuery;
+use tsdata::climate::generate_sized;
+
+/// Runs E5 and renders its table.
+pub fn run(scale: Scale) -> String {
+    let (n, hours) = match scale {
+        Scale::Quick => (16, 24 * 90),
+        Scale::Full => (64, 24 * 365),
+    };
+    let beta = 0.9;
+    let ds = generate_sized(n, hours, 2020).expect("climate data");
+    let geometries: &[(usize, usize)] = &[
+        (72, 24),
+        (168, 24),
+        (336, 24),
+        (168, 48),
+        (168, 96),
+    ];
+    let mut table = Table::new(
+        "E5: window size l and step η sweep (β=0.9)",
+        &["l", "η", "windows", "tsubasa", "dangoron", "speedup", "skip-frac"],
+    );
+    for &(l, step) in geometries {
+        let query = SlidingQuery {
+            start: 0,
+            end: hours,
+            window: l,
+            step,
+            threshold: beta,
+        };
+        let w = Workload {
+            name: format!("climate l={l} η={step}"),
+            data: ds.data.clone(),
+            query,
+            basic_window: 24,
+        };
+        let (t_tsu, _) = time_tsubasa(&w, &tsubasa_engine(&w));
+        let engine = dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let (t_dan, r) = time_dangoron(&w, &engine);
+        table.row(vec![
+            l.to_string(),
+            step.to_string(),
+            query.n_windows().to_string(),
+            dur(t_tsu.median),
+            dur(t_dan.median),
+            format!("{}x", f3(speedup(&t_tsu, &t_dan))),
+            f3(r.stats.skip_fraction()),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nExpected shape: speedup rises with l (TSUBASA pays O(n_s) per cell)\n\
+         and with smaller η (more overlapping windows to jump over).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_all_geometries() {
+        let report = run(Scale::Quick);
+        assert!(report.contains("336"));
+        assert!(report.contains("96"));
+        assert!(report.lines().count() >= 8);
+    }
+}

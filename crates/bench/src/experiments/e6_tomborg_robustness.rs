@@ -1,0 +1,104 @@
+//! E6 — the Tomborg robustness benchmark (§3 and the "large-scale
+//! experiments upon completing Tomborg" the paper announces).
+//!
+//! Every engine runs over the distribution × spectrum grid; the shape to
+//! reproduce: sketch-exact methods (Dangoron) stay flat across spectra,
+//! frequency-transform methods (StatStream family) collapse when energy
+//! leaves the low coefficients (white/band spectra), and ParCorr sits in
+//! between (JL error is spectrum-independent but value-noisy).
+
+use crate::Scale;
+use baselines::parcorr::ParCorr;
+use baselines::statstream::StatStream;
+use baselines::SlidingEngine;
+use dangoron::BoundMode;
+use eval::engines::DangoronEngine;
+use eval::report::{f3, Table};
+use eval::workloads;
+use tomborg::suite::{smoke_suite, standard_suite};
+
+/// Runs E6 and renders its table.
+pub fn run(scale: Scale) -> String {
+    let beta = 0.8;
+    let cases = match scale {
+        Scale::Quick => smoke_suite(10, 512, 42),
+        Scale::Full => standard_suite(24, 2_048, 42),
+    };
+    let mut table = Table::new(
+        "E6: Tomborg robustness grid — F1 vs exact, per engine (β=0.8)",
+        &["case", "dangoron", "parcorr", "statstream(m=32)"],
+    );
+    for case in &cases {
+        let w = workloads::from_tomborg(case, beta).expect("tomborg workload");
+        let truth = workloads::ground_truth(&w).expect("ground truth");
+        let dang = DangoronEngine {
+            config: dangoron::DangoronConfig {
+                basic_window: w.basic_window,
+                bound: BoundMode::PaperJump { slack: 0.0 },
+                ..Default::default()
+            },
+        };
+        let parc = ParCorr {
+            dim: 64,
+            seed: 5,
+            margin: 0.0,
+            verify: true,
+        };
+        let stat = StatStream {
+            coeffs: 32,
+            margin: 0.0,
+            verify: true,
+        };
+        let f1_of = |e: &dyn SlidingEngine| {
+            let got = e.execute(&w.data, w.query).expect("engine run");
+            eval::compare(&got, &truth).f1
+        };
+        table.row(vec![
+            case.name.clone(),
+            f3(f1_of(&dang)),
+            f3(f1_of(&parc)),
+            f3(f1_of(&stat)),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nExpected shape: Dangoron flat and high everywhere; StatStream high on\n\
+         */concentrated and */pink, degraded on */white and */band; ParCorr in\n\
+         between, spectrum-independent.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_shows_the_robustness_ordering() {
+        let report = run(Scale::Quick);
+        // Parse the two data rows: concentrated (easy) and band (hard).
+        let get_row = |name: &str| -> Vec<f64> {
+            report
+                .lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("row {name} missing"))
+                .split_whitespace()
+                .skip(1)
+                .map(|c| c.parse().expect("numeric cell"))
+                .collect()
+        };
+        let easy = get_row("block/concentrated");
+        let hard = get_row("block/band");
+        // Dangoron column stays high on both (Eq. 2 is assumption-based, so
+        // strongly autocorrelated spectra cost it a few points — the paper's
+        // "above 90 percent" is measured on climate data, E2).
+        assert!(easy[0] > 0.85 && hard[0] > 0.85, "dangoron: {easy:?} {hard:?}");
+        // StatStream must degrade from concentrated to band.
+        assert!(
+            easy[2] > hard[2] + 0.1,
+            "statstream should degrade: {} vs {}",
+            easy[2],
+            hard[2]
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! E8 — scaling: the motivation section talks about 100K–10M voxel series;
+//! this experiment measures how query time grows with N (quadratic pair
+//! count) and with L (more windows), and how threads help.
+
+use crate::common::{dangoron_engine, time_dangoron};
+use crate::Scale;
+use dangoron::{BoundMode, Dangoron, DangoronConfig};
+use eval::report::{dur, f3, Table};
+use eval::workloads;
+
+/// Runs E8 and renders its tables.
+pub fn run(scale: Scale) -> String {
+    let beta = 0.9;
+    let (ns, hours): (&[usize], usize) = match scale {
+        Scale::Quick => (&[8, 16, 32], 24 * 60),
+        Scale::Full => (&[64, 128, 256, 512], 24 * 365),
+    };
+    let mut n_table = Table::new(
+        "E8a: scaling with N (pairs grow quadratically)",
+        &["N", "pairs", "query", "per-pair"],
+    );
+    for &n in ns {
+        let w = workloads::climate(n, hours, beta, 2020).expect("workload");
+        let engine = dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let (t, _r) = time_dangoron(&w, &engine);
+        let pairs = n * (n - 1) / 2;
+        n_table.row(vec![
+            n.to_string(),
+            pairs.to_string(),
+            dur(t.median),
+            format!("{:.2}µs", t.median.as_secs_f64() * 1e6 / pairs as f64),
+        ]);
+    }
+
+    let lens: &[usize] = match scale {
+        Scale::Quick => &[24 * 45, 24 * 90, 24 * 180],
+        Scale::Full => &[24 * 90, 24 * 180, 24 * 365],
+    };
+    let mut l_table = Table::new(
+        "E8b: scaling with series length L (windows grow linearly)",
+        &["L(hours)", "windows", "query"],
+    );
+    for &len in lens {
+        let w = workloads::climate(16, len, beta, 2020).expect("workload");
+        let engine = dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+        let (t, _r) = time_dangoron(&w, &engine);
+        l_table.row(vec![
+            len.to_string(),
+            w.query.n_windows().to_string(),
+            dur(t.median),
+        ]);
+    }
+
+    let threads_list: &[usize] = &[1, 2, 4];
+    let mut t_table = Table::new(
+        "E8c: thread scaling (pair-partitioned query)",
+        &["threads", "query", "speedup-vs-1"],
+    );
+    // Thread scaling needs enough work per thread to amortise spawn cost.
+    let n_threads_workload = match scale {
+        Scale::Quick => 192,
+        Scale::Full => 256,
+    };
+    let w = workloads::climate(n_threads_workload, hours, beta, 2020).expect("workload");
+    let mut base_ms = None;
+    for &threads in threads_list {
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: w.basic_window,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            threads,
+            ..Default::default()
+        })
+        .expect("valid config");
+        let (t, _r) = time_dangoron(&w, &engine);
+        let ms = t.median.as_secs_f64() * 1e3;
+        let speedup = base_ms.map(|b: f64| b / ms).unwrap_or(1.0);
+        if base_ms.is_none() {
+            base_ms = Some(ms);
+        }
+        t_table.row(vec![
+            threads.to_string(),
+            dur(t.median),
+            format!("{}x", f3(speedup)),
+        ]);
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut out = n_table.render();
+    out.push('\n');
+    out.push_str(&l_table.render());
+    out.push('\n');
+    out.push_str(&t_table.render());
+    out.push_str(&format!(
+        "\nExpected shape: query time ~quadratic in N, ~linear in L; thread\n\
+         speedup tracks physical cores (this host reports {cores} — with one\n\
+         core, E8c can only show the spawn overhead).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_tables_render() {
+        let report = run(Scale::Quick);
+        assert!(report.contains("E8a"));
+        assert!(report.contains("E8b"));
+        assert!(report.contains("E8c"));
+        assert!(report.contains("per-pair"));
+    }
+}

@@ -1,0 +1,696 @@
+//! The Dangoron engine: preparation (sketch building) and the pruned
+//! sliding query.
+//!
+//! Following the paper's evaluation methodology, the two phases are split:
+//! [`Dangoron::prepare`] builds the basic-window sketch store (and, in
+//! [`PairStorage::Precomputed`] mode, all pair sketches — the TSUBASA
+//! storage model), while [`Dangoron::run`] measures *pure query time*: the
+//! walk over `(pair, window)` cells with vertical jumping and horizontal
+//! pruning.
+
+use crate::bounds::PairCosts;
+use crate::config::{BoundMode, DangoronConfig, PairStorage};
+use crate::pivot::{select_pivots, PivotSet};
+use crate::stats::PruningStats;
+use crate::walker::{pair_costs, walk_pair, WalkGeometry};
+use parking_lot::Mutex;
+use sketch::output::{Edge, EdgeRule};
+use sketch::{BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix};
+use tsdata::{TimeSeriesMatrix, TsError};
+
+/// The Dangoron framework, configured once and reusable across datasets.
+#[derive(Debug, Clone)]
+pub struct Dangoron {
+    config: DangoronConfig,
+}
+
+/// Everything precomputed before the timed query: sketch store, optional
+/// pair sketches, optional pivot correlations.
+pub struct Prepared<'a> {
+    x: &'a TimeSeriesMatrix,
+    /// The validated query.
+    pub query: SlidingQuery,
+    /// Basic-window layout covering the query range.
+    pub layout: BasicWindowLayout,
+    /// Per-series basic-window statistics.
+    pub store: SketchStore,
+    pairs: Option<Vec<PairSketch>>,
+    /// Per-pair Eq. 2 departure-cost prefixes, precomputed alongside the
+    /// pair sketches (the paper: "we can precompute and store basic window
+    /// statistics" — the pairwise `c_j` are part of that sketch state).
+    deps: Option<Vec<PairCosts>>,
+    pivots: Option<PivotSet>,
+    geo: WalkGeometry,
+}
+
+/// The result of a sliding query: one thresholded matrix per window plus
+/// pruning counters.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// `C_0 … C_γ`, finalized (sorted, lookup-ready).
+    pub matrices: Vec<ThresholdedMatrix>,
+    /// Work/skip accounting.
+    pub stats: PruningStats,
+}
+
+impl QueryResult {
+    /// Total edges across all windows.
+    pub fn total_edges(&self) -> usize {
+        self.matrices.iter().map(|m| m.n_edges()).sum()
+    }
+}
+
+#[inline]
+fn pair_index(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+impl Dangoron {
+    /// Creates an engine after validating the configuration.
+    pub fn new(config: DangoronConfig) -> Result<Self, TsError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DangoronConfig {
+        &self.config
+    }
+
+    /// Builds all query-independent state (offline phase).
+    pub fn prepare<'a>(
+        &self,
+        x: &'a TimeSeriesMatrix,
+        query: SlidingQuery,
+    ) -> Result<Prepared<'a>, TsError> {
+        query.validate(x.len())?;
+        if self.config.edge_rule == EdgeRule::Absolute && query.threshold < 0.0 {
+            return Err(TsError::InvalidParameter(
+                "absolute edge rule requires a non-negative threshold".into(),
+            ));
+        }
+        let layout = BasicWindowLayout::for_query(&query, self.config.basic_window)?;
+        let store = SketchStore::build(x, layout)?;
+        let n = x.n_series();
+
+        let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
+        let (pairs, deps) = match self.config.storage {
+            PairStorage::Precomputed => {
+                let mut v = Vec::with_capacity(n * (n - 1) / 2);
+                let mut d = need_dep.then(|| Vec::with_capacity(n * (n - 1) / 2));
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let pair = PairSketch::build(&layout, x.row(i), x.row(j))?;
+                        if let Some(d) = d.as_mut() {
+                            d.push(pair_costs(&store, &pair, i, j, self.config.edge_rule));
+                        }
+                        v.push(pair);
+                    }
+                }
+                (Some(v), d)
+            }
+            PairStorage::OnDemand => (None, None),
+        };
+
+        let pivots = match &self.config.horizontal {
+            Some(h) => {
+                let chosen = select_pivots(&h.strategy, h.n_pivots, n)?;
+                Some(PivotSet::build(x, &store, &layout, &query, chosen)?)
+            }
+            None => None,
+        };
+
+        let geo = WalkGeometry {
+            n_windows: query.n_windows(),
+            ns: layout.windows_per_query(query.window),
+            step_bw: query.step / layout.width,
+        };
+
+        Ok(Prepared {
+            x,
+            query,
+            layout,
+            store,
+            pairs,
+            deps,
+            pivots,
+            geo,
+        })
+    }
+
+    /// Runs the pruned sliding query — the paper's "pure query time".
+    pub fn run(&self, prep: &Prepared<'_>) -> QueryResult {
+        let n = prep.x.n_series();
+        let all_pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+
+        let threads = self.config.threads.min(all_pairs.len().max(1));
+        let (window_edges, stats) = if threads <= 1 {
+            self.process_pairs(prep, &all_pairs)
+        } else {
+            let results: Mutex<Vec<(Vec<Vec<Edge>>, PruningStats)>> =
+                Mutex::new(Vec::with_capacity(threads));
+            let chunk = all_pairs.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for piece in all_pairs.chunks(chunk) {
+                    let results = &results;
+                    scope.spawn(move |_| {
+                        let out = self.process_pairs(prep, piece);
+                        results.lock().push(out);
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+            let mut merged_edges: Vec<Vec<Edge>> = vec![Vec::new(); prep.geo.n_windows];
+            let mut merged_stats = PruningStats::default();
+            for (edges, stats) in results.into_inner() {
+                for (w, mut es) in edges.into_iter().enumerate() {
+                    merged_edges[w].append(&mut es);
+                }
+                merged_stats.merge(&stats);
+            }
+            (merged_edges, merged_stats)
+        };
+
+        let matrices = window_edges
+            .into_iter()
+            .map(|edges| {
+                let mut m = ThresholdedMatrix::with_rule(
+                    n,
+                    prep.query.threshold,
+                    self.config.edge_rule,
+                );
+                for e in edges {
+                    m.push(e.i as usize, e.j as usize, e.value);
+                }
+                m.finalize();
+                m
+            })
+            .collect();
+        QueryResult { matrices, stats }
+    }
+
+    /// Convenience: `prepare` + `run`.
+    pub fn execute(
+        &self,
+        x: &TimeSeriesMatrix,
+        query: SlidingQuery,
+    ) -> Result<QueryResult, TsError> {
+        let prep = self.prepare(x, query)?;
+        Ok(self.run(&prep))
+    }
+
+    fn process_pairs(
+        &self,
+        prep: &Prepared<'_>,
+        pairs: &[(u32, u32)],
+    ) -> (Vec<Vec<Edge>>, PruningStats) {
+        let n = prep.x.n_series();
+        let beta = prep.query.threshold;
+        let n_windows = prep.geo.n_windows;
+        let mut window_edges: Vec<Vec<Edge>> = vec![Vec::new(); n_windows];
+        let mut stats = PruningStats::default();
+        let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
+
+        for &(i, j) in pairs {
+            let (i, j) = (i as usize, j as usize);
+
+            // Pair-level horizontal prefilter: only worthwhile when the
+            // pair sketch would have to be built from raw data.
+            if prep.pairs.is_none() {
+                if let Some(pv) = &prep.pivots {
+                    if pv.pair_never_edges(i, j, beta, self.config.edge_rule) {
+                        stats.n_pairs += 1;
+                        stats.total_cells += n_windows as u64;
+                        stats.pairs_skipped_entirely += 1;
+                        continue;
+                    }
+                }
+            }
+
+            let owned;
+            let pair: &PairSketch = match &prep.pairs {
+                Some(all) => &all[pair_index(i, j, n)],
+                None => {
+                    owned = PairSketch::build(&prep.layout, prep.x.row(i), prep.x.row(j))
+                        .expect("pair geometry validated in prepare");
+                    &owned
+                }
+            };
+
+            // Precomputed deps (sketch state) when available; transient
+            // otherwise (OnDemand storage pays it inside the query).
+            let dep_owned;
+            let dep = match (&prep.deps, need_dep) {
+                (Some(all), true) => Some(&all[pair_index(i, j, n)]),
+                (None, true) => {
+                    dep_owned = pair_costs(&prep.store, pair, i, j, self.config.edge_rule);
+                    Some(&dep_owned)
+                }
+                (_, false) => None,
+            };
+            walk_pair(
+                &prep.store,
+                pair,
+                i,
+                j,
+                prep.geo,
+                beta,
+                self.config.edge_rule,
+                self.config.bound,
+                dep,
+                prep.pivots.as_ref(),
+                &mut stats,
+                |w, v| {
+                    window_edges[w].push(Edge {
+                        i: i as u32,
+                        j: j as u32,
+                        value: v,
+                    })
+                },
+            );
+        }
+        (window_edges, stats)
+    }
+}
+
+impl Prepared<'_> {
+    /// Approximate bytes held by the prepared state (sketch store + pair
+    /// sketches) — the memory axis of the storage-mode trade-off.
+    pub fn memory_bytes(&self) -> usize {
+        let pair_bytes = self
+            .pairs
+            .as_ref()
+            .map(|v| v.len() * (self.layout.count + 1) * std::mem::size_of::<f64>())
+            .unwrap_or(0);
+        self.store.memory_bytes() + pair_bytes
+    }
+
+    /// The walk geometry (exposed for the experiment harness).
+    pub fn geometry(&self) -> WalkGeometry {
+        self.geo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HorizontalConfig, PivotStrategy};
+    use tsdata::{generators, stats as tstats};
+
+    fn workload(n: usize, len: usize) -> TimeSeriesMatrix {
+        generators::clustered_matrix(n, len, 3, 0.8, 42).unwrap()
+    }
+
+    fn query(len: usize, beta: f64) -> SlidingQuery {
+        SlidingQuery {
+            start: 0,
+            end: len,
+            window: 60,
+            step: 20,
+            threshold: beta,
+        }
+    }
+
+    fn naive_matrices(x: &TimeSeriesMatrix, q: &SlidingQuery) -> Vec<ThresholdedMatrix> {
+        (0..q.n_windows())
+            .map(|w| {
+                let (ws, we) = q.window_range(w);
+                let mut m = ThresholdedMatrix::new(x.n_series(), q.threshold);
+                for i in 0..x.n_series() {
+                    for j in (i + 1)..x.n_series() {
+                        if let Ok(r) = tstats::pearson(&x.row(i)[ws..we], &x.row(j)[ws..we]) {
+                            m.push(i, j, r);
+                        }
+                    }
+                }
+                m.finalize();
+                m
+            })
+            .collect()
+    }
+
+    fn assert_same(a: &[ThresholdedMatrix], b: &[ThresholdedMatrix]) {
+        assert_eq!(a.len(), b.len());
+        for (w, (ma, mb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(ma.n_edges(), mb.n_edges(), "window {w}");
+            for (ea, eb) in ma.edges().iter().zip(mb.edges()) {
+                assert_eq!((ea.i, ea.j), (eb.i, eb.j), "window {w}");
+                assert!((ea.value - eb.value).abs() < 1e-9, "window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_matches_naive() {
+        let x = workload(10, 300);
+        let q = query(300, 0.7);
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::Exhaustive,
+            ..Default::default()
+        })
+        .unwrap();
+        let got = engine.execute(&x, q).unwrap();
+        assert_same(&got.matrices, &naive_matrices(&x, &q));
+        // Exhaustive = every cell evaluated.
+        let cells = (10 * 9 / 2) as u64 * q.n_windows() as u64;
+        assert_eq!(got.stats.evaluated, cells);
+        assert_eq!(got.stats.skip_fraction(), 0.0);
+    }
+
+    #[test]
+    fn triangle_pruning_preserves_exactness() {
+        let x = workload(12, 300);
+        let q = query(300, 0.8);
+        let plain = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::Exhaustive,
+            ..Default::default()
+        })
+        .unwrap();
+        let pruned = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::Exhaustive,
+            horizontal: Some(HorizontalConfig {
+                n_pivots: 3,
+                strategy: PivotStrategy::Evenly,
+            }),
+            ..Default::default()
+        })
+        .unwrap();
+        let a = plain.execute(&x, q).unwrap();
+        let b = pruned.execute(&x, q).unwrap();
+        assert_same(&a.matrices, &b.matrices);
+        assert!(
+            b.stats.pruned_by_triangle > 0,
+            "triangle pruning never fired: {:?}",
+            b.stats
+        );
+    }
+
+    #[test]
+    fn paper_jump_has_perfect_precision_and_high_recall() {
+        // Noise 0.45 puts in-cluster correlation ≈ 0.83, straddling β.
+        let x = generators::clustered_matrix(12, 600, 3, 0.45, 42).unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 600,
+            window: 120,
+            step: 20,
+            threshold: 0.75,
+        };
+        let exact = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::Exhaustive,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap();
+        let jumped = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap();
+
+        let truth: std::collections::HashSet<(usize, usize, usize)> = exact
+            .matrices
+            .iter()
+            .enumerate()
+            .flat_map(|(w, m)| m.edge_pairs().map(move |(i, j)| (w, i, j)))
+            .collect();
+        let found: std::collections::HashSet<(usize, usize, usize)> = jumped
+            .matrices
+            .iter()
+            .enumerate()
+            .flat_map(|(w, m)| m.edge_pairs().map(move |(i, j)| (w, i, j)))
+            .collect();
+        // Precision 1.0: emissions only happen after exact evaluation.
+        assert!(found.is_subset(&truth), "jump mode emitted a false edge");
+        assert!(!truth.is_empty(), "workload produced no true edges");
+        // Recall must be high on clustered (slow-drift) data.
+        let recall = found.len() as f64 / truth.len() as f64;
+        assert!(recall >= 0.9, "recall = {recall}");
+        // And it must actually have skipped something.
+        assert!(jumped.stats.skipped_by_jump > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let x = workload(14, 300);
+        let q = query(300, 0.6);
+        let mk = |threads| {
+            Dangoron::new(DangoronConfig {
+                basic_window: 20,
+                threads,
+                ..Default::default()
+            })
+            .unwrap()
+            .execute(&x, q)
+            .unwrap()
+        };
+        let seq = mk(1);
+        let par = mk(4);
+        assert_same(&seq.matrices, &par.matrices);
+        assert_eq!(seq.stats.evaluated, par.stats.evaluated);
+        assert_eq!(seq.stats.skipped_by_jump, par.stats.skipped_by_jump);
+        assert_eq!(seq.stats.edges, par.stats.edges);
+    }
+
+    #[test]
+    fn ondemand_matches_precomputed() {
+        let x = workload(10, 300);
+        let q = query(300, 0.7);
+        let pre = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            storage: PairStorage::Precomputed,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap();
+        let od = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            storage: PairStorage::OnDemand,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap();
+        assert_same(&pre.matrices, &od.matrices);
+    }
+
+    #[test]
+    fn ondemand_prefilter_skips_pairs_without_losing_edges() {
+        let x = workload(12, 300);
+        let q = query(300, 0.9);
+        let filtered = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::Exhaustive,
+            storage: PairStorage::OnDemand,
+            horizontal: Some(HorizontalConfig {
+                n_pivots: 3,
+                strategy: PivotStrategy::Evenly,
+            }),
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap();
+        let exact = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::Exhaustive,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap();
+        assert_same(&exact.matrices, &filtered.matrices);
+        assert!(
+            filtered.stats.pairs_skipped_entirely > 0,
+            "prefilter never fired: {:?}",
+            filtered.stats
+        );
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent() {
+        let x = workload(10, 300);
+        let q = query(300, 0.8);
+        let r = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap();
+        let s = &r.stats;
+        assert_eq!(s.n_pairs, 45);
+        assert_eq!(s.total_cells, 45 * q.n_windows() as u64);
+        assert_eq!(
+            s.evaluated + s.skipped_by_jump + s.pruned_by_triangle,
+            s.total_cells
+        );
+        assert_eq!(
+            s.edges,
+            r.matrices.iter().map(|m| m.n_edges() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn prepare_rejects_misaligned_query() {
+        let x = workload(4, 300);
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 7, // does not divide window 60 / step 20
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(engine.prepare(&x, query(300, 0.5)).is_err());
+        // And an out-of-range query.
+        let mut q = query(300, 0.5);
+        q.end = 400;
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(engine.prepare(&x, q).is_err());
+    }
+
+    #[test]
+    fn memory_accounting_reflects_storage_mode() {
+        let x = workload(8, 300);
+        let q = query(300, 0.5);
+        let pre = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            storage: PairStorage::Precomputed,
+            ..Default::default()
+        })
+        .unwrap();
+        let od = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            storage: PairStorage::OnDemand,
+            ..Default::default()
+        })
+        .unwrap();
+        let p1 = pre.prepare(&x, q).unwrap();
+        let p2 = od.prepare(&x, q).unwrap();
+        assert!(p1.memory_bytes() > p2.memory_bytes());
+    }
+
+    #[test]
+    fn absolute_rule_finds_anticorrelation_edges() {
+        // Two anti-correlated clusters: driver and its negation plus noise.
+        let driver = generators::white_noise(300, 4);
+        let mut rows = Vec::new();
+        let mut rng_idx = 0u64;
+        for sign in [1.0, 1.0, -1.0, -1.0] {
+            rng_idx += 1;
+            let noise = generators::white_noise(300, 100 + rng_idx);
+            rows.push(
+                driver
+                    .iter()
+                    .zip(&noise)
+                    .map(|(&d, &n)| sign * d + 0.2 * n)
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        let x = TimeSeriesMatrix::from_rows(rows).unwrap();
+        let q = query(300, 0.9);
+
+        for storage in [PairStorage::Precomputed, PairStorage::OnDemand] {
+            for bound in [BoundMode::Exhaustive, BoundMode::PaperJump { slack: 0.0 }] {
+                let engine = Dangoron::new(DangoronConfig {
+                    basic_window: 20,
+                    bound,
+                    storage,
+                    edge_rule: EdgeRule::Absolute,
+                    ..Default::default()
+                })
+                .unwrap();
+                let got = engine.execute(&x, q).unwrap();
+                let truth = baselines_like_naive_abs(&x, &q);
+                // Exhaustive must match exactly; jump must be a subset.
+                if bound == BoundMode::Exhaustive {
+                    assert_same(&got.matrices, &truth);
+                } else {
+                    for (g, t) in got.matrices.iter().zip(&truth) {
+                        for e in g.edges() {
+                            assert!(
+                                t.contains(e.i as usize, e.j as usize),
+                                "spurious absolute edge"
+                            );
+                        }
+                    }
+                }
+                // Anticorrelated cross-cluster pairs must be present.
+                assert!(
+                    got.matrices.iter().any(|m| m.contains(0, 2)),
+                    "missing anticorrelation edge ({storage:?}, {bound:?})"
+                );
+                let sample = got
+                    .matrices
+                    .iter()
+                    .find(|m| m.contains(0, 2))
+                    .unwrap()
+                    .get(0, 2);
+                assert!(sample < -0.9, "edge value should be negative: {sample}");
+            }
+        }
+    }
+
+    fn baselines_like_naive_abs(
+        x: &TimeSeriesMatrix,
+        q: &SlidingQuery,
+    ) -> Vec<ThresholdedMatrix> {
+        (0..q.n_windows())
+            .map(|w| {
+                let (ws, we) = q.window_range(w);
+                let mut m =
+                    ThresholdedMatrix::with_rule(x.n_series(), q.threshold, EdgeRule::Absolute);
+                for i in 0..x.n_series() {
+                    for j in (i + 1)..x.n_series() {
+                        if let Ok(r) = tstats::pearson(&x.row(i)[ws..we], &x.row(j)[ws..we]) {
+                            m.push(i, j, r);
+                        }
+                    }
+                }
+                m.finalize();
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn absolute_rule_rejects_negative_threshold() {
+        let x = workload(4, 300);
+        let mut q = query(300, 0.5);
+        q.threshold = -0.5;
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            edge_rule: EdgeRule::Absolute,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(engine.prepare(&x, q).is_err());
+    }
+
+    #[test]
+    fn pair_index_is_dense_and_ordered() {
+        let n = 7;
+        let mut seen = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                seen.push(pair_index(i, j, n));
+            }
+        }
+        let expected: Vec<usize> = (0..n * (n - 1) / 2).collect();
+        assert_eq!(seen, expected);
+    }
+}

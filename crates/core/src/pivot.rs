@@ -1,0 +1,281 @@
+//! Horizontal (triangle-inequality) pruning support.
+//!
+//! A pivot series `z` is correlated against *every* series once per window
+//! (O(N·γ) sketch combines — linear, not quadratic). For any pair `(x, y)`
+//! the PSD-ness of correlation matrices then confines `c_xy` to
+//! `c_xz·c_yz ± √((1−c_xz²)(1−c_yz²))`; pairs whose upper bound stays below
+//! `β` never need an exact evaluation. Unlike the Eq. 2 jump this bound is
+//! unconditional, so horizontal pruning never costs accuracy.
+
+use crate::bounds::triangle_bounds;
+use crate::config::PivotStrategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sketch::{combine, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery};
+use tsdata::{TimeSeriesMatrix, TsError};
+
+/// Pivot indices plus their per-window correlations to every series.
+#[derive(Debug, Clone)]
+pub struct PivotSet {
+    /// The pivot series indices.
+    pub pivots: Vec<usize>,
+    n_series: usize,
+    n_windows: usize,
+    /// `corr[p][s·γ + w]` = corr(pivot p, series s) in window w;
+    /// `NaN` marks undefined (zero-variance) windows, which never prune.
+    corr: Vec<Vec<f64>>,
+}
+
+/// Picks pivot indices for a strategy.
+pub fn select_pivots(
+    strategy: &PivotStrategy,
+    n_pivots: usize,
+    n_series: usize,
+) -> Result<Vec<usize>, TsError> {
+    if n_series == 0 {
+        return Err(TsError::Empty);
+    }
+    let k = n_pivots.min(n_series);
+    let mut pivots = match strategy {
+        PivotStrategy::Evenly => (0..k).map(|p| p * n_series / k).collect::<Vec<_>>(),
+        PivotStrategy::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let mut chosen = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let c = rng.gen_range(0..n_series);
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            chosen
+        }
+        PivotStrategy::Explicit(list) => {
+            for &p in list {
+                if p >= n_series {
+                    return Err(TsError::OutOfRange {
+                        requested: p,
+                        available: n_series,
+                    });
+                }
+            }
+            list.clone()
+        }
+    };
+    pivots.sort_unstable();
+    pivots.dedup();
+    if pivots.is_empty() {
+        return Err(TsError::InvalidParameter("no pivots selected".into()));
+    }
+    Ok(pivots)
+}
+
+impl PivotSet {
+    /// Builds pivot-to-all correlations for every window.
+    ///
+    /// Cost: `O(n_pivots · N · (L + γ))` — the linear-in-N part of the
+    /// horizontal pruning trade.
+    pub fn build(
+        x: &TimeSeriesMatrix,
+        store: &SketchStore,
+        layout: &BasicWindowLayout,
+        query: &SlidingQuery,
+        pivots: Vec<usize>,
+    ) -> Result<Self, TsError> {
+        let n = x.n_series();
+        let n_windows = query.n_windows();
+        let mut corr = Vec::with_capacity(pivots.len());
+        for &z in &pivots {
+            let mut row = vec![f64::NAN; n * n_windows];
+            for s in 0..n {
+                if s == z {
+                    // corr(z, z) = 1 in every window.
+                    for w in 0..n_windows {
+                        row[s * n_windows + w] = 1.0;
+                    }
+                    continue;
+                }
+                let sketch = PairSketch::build(layout, x.row(z), x.row(s))?;
+                for w in 0..n_windows {
+                    let (ws, we) = query.window_range(w);
+                    let (b0, b1) = layout.window_to_basic(ws, we)?;
+                    row[s * n_windows + w] =
+                        combine::window_correlation(store, &sketch, z, s, b0, b1)
+                            .unwrap_or(f64::NAN);
+                }
+            }
+            corr.push(row);
+        }
+        Ok(Self {
+            pivots,
+            n_series: n,
+            n_windows,
+            corr,
+        })
+    }
+
+    /// Number of windows covered.
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    /// Tightest triangle interval `[lo, hi]` on `c_ij` at window `w`
+    /// across all pivots; `(−1, 1)` (no information) when every pivot is
+    /// undefined there or the pair involves a pivot-degenerate window.
+    pub fn interval(&self, i: usize, j: usize, w: usize) -> (f64, f64) {
+        debug_assert!(i < self.n_series && j < self.n_series && w < self.n_windows);
+        let mut best_lo = -1.0f64;
+        let mut best_hi = 1.0f64;
+        for (p, row) in self.corr.iter().enumerate() {
+            // Using the pivot as one endpoint would be circular; the value
+            // is exact in that case, and the walker evaluates it exactly
+            // anyway, so skip.
+            if self.pivots[p] == i || self.pivots[p] == j {
+                continue;
+            }
+            let c_iz = row[i * self.n_windows + w];
+            let c_jz = row[j * self.n_windows + w];
+            if c_iz.is_nan() || c_jz.is_nan() {
+                continue;
+            }
+            let (lo, hi) = triangle_bounds(c_iz, c_jz);
+            best_lo = best_lo.max(lo);
+            best_hi = best_hi.min(hi);
+        }
+        (best_lo, best_hi)
+    }
+
+    /// Tightest triangle upper bound (see [`PivotSet::interval`]).
+    pub fn upper_bound(&self, i: usize, j: usize, w: usize) -> f64 {
+        self.interval(i, j, w).1
+    }
+
+    /// Pair-level prefilter: true when the triangle upper bound is below
+    /// `beta` in **every** window — the pair can be skipped wholesale.
+    pub fn pair_always_below(&self, i: usize, j: usize, beta: f64) -> bool {
+        (0..self.n_windows).all(|w| self.upper_bound(i, j, w) < beta)
+    }
+
+    /// Rule-aware pair-level prefilter: true when no window of the pair
+    /// can produce an edge under `rule` at `beta`.
+    pub fn pair_never_edges(
+        &self,
+        i: usize,
+        j: usize,
+        beta: f64,
+        rule: sketch::output::EdgeRule,
+    ) -> bool {
+        use sketch::output::EdgeRule;
+        (0..self.n_windows).all(|w| {
+            let (lo, hi) = self.interval(i, j, w);
+            match rule {
+                EdgeRule::Positive => hi < beta,
+                EdgeRule::Absolute => hi < beta && lo > -beta,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::generators;
+
+    fn setup(n: usize) -> (TimeSeriesMatrix, SketchStore, BasicWindowLayout, SlidingQuery) {
+        let x = generators::clustered_matrix(n, 240, 2, 0.5, 3).unwrap();
+        let query = SlidingQuery {
+            start: 0,
+            end: 240,
+            window: 60,
+            step: 20,
+            threshold: 0.8,
+        };
+        let layout = BasicWindowLayout::for_query(&query, 20).unwrap();
+        let store = SketchStore::build(&x, layout).unwrap();
+        (x, store, layout, query)
+    }
+
+    #[test]
+    fn select_evenly_and_random() {
+        let p = select_pivots(&PivotStrategy::Evenly, 3, 12).unwrap();
+        assert_eq!(p, vec![0, 4, 8]);
+        let p = select_pivots(&PivotStrategy::Random { seed: 5 }, 3, 12).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|&i| i < 12));
+        // Deterministic per seed.
+        assert_eq!(
+            p,
+            select_pivots(&PivotStrategy::Random { seed: 5 }, 3, 12).unwrap()
+        );
+        // More pivots than series degrades gracefully.
+        let p = select_pivots(&PivotStrategy::Evenly, 10, 4).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_explicit_validates() {
+        let p = select_pivots(&PivotStrategy::Explicit(vec![3, 1, 3]), 2, 5).unwrap();
+        assert_eq!(p, vec![1, 3]); // sorted, deduped
+        assert!(select_pivots(&PivotStrategy::Explicit(vec![9]), 1, 5).is_err());
+    }
+
+    #[test]
+    fn pivot_correlations_are_exact() {
+        let (x, store, layout, query) = setup(6);
+        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0]).unwrap();
+        // Check against direct computation for a few (series, window) cells.
+        for s in 1..6 {
+            for w in 0..query.n_windows() {
+                let (ws, we) = query.window_range(w);
+                let direct =
+                    tsdata::stats::pearson(&x.row(0)[ws..we], &x.row(s)[ws..we]).unwrap();
+                let stored = pv.corr[0][s * pv.n_windows + w];
+                assert!((direct - stored).abs() < 1e-9, "s={s} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_sound_everywhere() {
+        let (x, store, layout, query) = setup(8);
+        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0, 4]).unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                for w in 0..query.n_windows() {
+                    let (ws, we) = query.window_range(w);
+                    let truth =
+                        tsdata::stats::pearson(&x.row(i)[ws..we], &x.row(j)[ws..we]).unwrap();
+                    let ub = pv.upper_bound(i, j, w);
+                    assert!(
+                        truth <= ub + 1e-9,
+                        "pair ({i},{j}) window {w}: {truth} > {ub}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_prefilter_agrees_with_bounds() {
+        let (x, store, layout, query) = setup(8);
+        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0, 4]).unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let all_below = pv.pair_always_below(i, j, 0.8);
+                let manual = (0..query.n_windows()).all(|w| pv.upper_bound(i, j, w) < 0.8);
+                assert_eq!(all_below, manual);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_fires_on_clustered_data() {
+        // Cross-cluster pairs should be prunable with in-cluster pivots.
+        let (x, store, layout, query) = setup(10);
+        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0, 1]).unwrap();
+        let pruned = (0..10)
+            .flat_map(|i| ((i + 1)..10).map(move |j| (i, j)))
+            .filter(|&(i, j)| pv.pair_always_below(i, j, 0.95))
+            .count();
+        assert!(pruned > 0, "expected at least one wholesale-prunable pair");
+    }
+}

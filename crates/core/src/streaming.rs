@@ -1,0 +1,488 @@
+//! Real-time operation: a session that ingests new columns and emits the
+//! newly completed windows' networks.
+//!
+//! The problem statement's first challenge is "efficiency of network
+//! construction **and updates**". [`StreamingDangoron`] owns the growing
+//! history, maintains the basic-window sketch store incrementally
+//! (`SketchStore::append` / `PairSketch::append` touch only the new
+//! columns — history is never rescanned), and answers each
+//! [`StreamingDangoron::append`] with the thresholded matrices of every
+//! window that became complete.
+
+use crate::config::{BoundMode, DangoronConfig};
+use crate::stats::PruningStats;
+use crate::walker::{pair_costs, WalkGeometry};
+use sketch::output::Edge;
+use sketch::{BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix};
+use tsdata::{TimeSeriesMatrix, TsError};
+
+/// A long-lived streaming session.
+///
+/// Restrictions relative to the batch engine: pair sketches are always
+/// materialised (the streaming state *is* the precomputed sketch set), and
+/// horizontal pruning is not applied (pivot tables are per-query; a
+/// streaming variant would rebuild them each step for little gain).
+pub struct StreamingDangoron {
+    config: DangoronConfig,
+    window: usize,
+    step: usize,
+    threshold: f64,
+    data: TimeSeriesMatrix,
+    store: SketchStore,
+    pairs: Vec<PairSketch>,
+    /// Departure costs are extended lazily: rebuilt per emission batch
+    /// from the (cheap) per-basic-window correlations of the whole layout.
+    emitted_windows: usize,
+}
+
+/// One newly completed window: its global index and its network.
+#[derive(Debug, Clone)]
+pub struct CompletedWindow {
+    /// Global window index (consistent with the equivalent batch query).
+    pub index: usize,
+    /// The thresholded correlation matrix.
+    pub matrix: ThresholdedMatrix,
+}
+
+impl StreamingDangoron {
+    /// Opens a session over the initial history.
+    ///
+    /// `window`, `step` and `config.basic_window` must satisfy the usual
+    /// alignment rules; the initial history may be shorter than one window
+    /// (windows start flowing once enough data arrives).
+    pub fn new(
+        initial: TimeSeriesMatrix,
+        window: usize,
+        step: usize,
+        threshold: f64,
+        config: DangoronConfig,
+    ) -> Result<Self, TsError> {
+        config.validate()?;
+        if config.horizontal.is_some() {
+            return Err(TsError::InvalidParameter(
+                "horizontal pruning is not supported in streaming sessions".into(),
+            ));
+        }
+        let b = config.basic_window;
+        if window < 2 || window % b != 0 {
+            return Err(TsError::InvalidParameter(format!(
+                "window {window} must be a positive multiple of basic window {b}"
+            )));
+        }
+        if step == 0 || step % b != 0 {
+            return Err(TsError::InvalidParameter(format!(
+                "step {step} must be a positive multiple of basic window {b}"
+            )));
+        }
+        if !(-1.0..=1.0).contains(&threshold) {
+            return Err(TsError::InvalidParameter(format!(
+                "threshold must be in [-1, 1], got {threshold}"
+            )));
+        }
+        // Cover whatever full basic windows already exist; the layout must
+        // exist even before a full window of data has arrived, so cover at
+        // least one basic window lazily by padding the wait: if not even
+        // one basic window fits, defer the build with an empty cover over
+        // the first width columns once they arrive.
+        if initial.len() < b {
+            return Err(TsError::TooShort {
+                need: b,
+                got: initial.len(),
+            });
+        }
+        let layout = BasicWindowLayout::cover(0, initial.len(), b)?;
+        let store = SketchStore::build(&initial, layout)?;
+        let n = initial.n_series();
+        let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push(PairSketch::build(&layout, initial.row(i), initial.row(j))?);
+            }
+        }
+        Ok(Self {
+            config,
+            window,
+            step,
+            threshold,
+            data: initial,
+            store,
+            pairs,
+            emitted_windows: 0,
+        })
+    }
+
+    /// Number of windows fully contained in the current history.
+    pub fn available_windows(&self) -> usize {
+        let covered = self.store.layout().end();
+        if covered < self.window {
+            0
+        } else {
+            (covered - self.window) / self.step + 1
+        }
+    }
+
+    /// Current history length in columns.
+    pub fn history_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Windows already emitted.
+    pub fn emitted_windows(&self) -> usize {
+        self.emitted_windows
+    }
+
+    /// Ingests new columns and returns every window that became complete,
+    /// in order. Sketches are extended incrementally (only the new columns
+    /// are read); the walk runs only over the new windows.
+    pub fn append(
+        &mut self,
+        new_cols: &TimeSeriesMatrix,
+    ) -> Result<Vec<CompletedWindow>, TsError> {
+        self.data.append_columns(new_cols)?;
+        self.store.append(&self.data)?;
+        let layout = *self.store.layout();
+        let n = self.data.n_series();
+        let mut idx = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                self.pairs[idx].append(&layout, self.data.row(i), self.data.row(j))?;
+                idx += 1;
+            }
+        }
+        self.drain_completed()
+    }
+
+    /// Emits any already-complete windows that have not been emitted yet
+    /// (useful right after opening a session over a long history).
+    pub fn drain_completed(&mut self) -> Result<Vec<CompletedWindow>, TsError> {
+        let total = self.available_windows();
+        if total <= self.emitted_windows {
+            return Ok(Vec::new());
+        }
+        let first_new = self.emitted_windows;
+        let n = self.data.n_series();
+        let b = self.config.basic_window;
+        let ns = self.window / b;
+        let step_bw = self.step / b;
+        let n_new = total - first_new;
+
+        // Walk only the new suffix: a geometry whose window 0 is global
+        // window `first_new`.
+        let geo = WalkGeometry {
+            n_windows: n_new,
+            ns,
+            step_bw,
+        };
+        let offset_bw = first_new * step_bw;
+        let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
+
+        let mut window_edges: Vec<Vec<Edge>> = vec![Vec::new(); n_new];
+        let mut stats = PruningStats::default();
+        let mut idx = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pair = &self.pairs[idx];
+                idx += 1;
+                let dep =
+                    need_dep.then(|| pair_costs(&self.store, pair, i, j, self.config.edge_rule));
+                // Shift the walk into the global basic-window frame by
+                // walking a sub-geometry against a shifted first window.
+                walk_shifted(
+                    &self.store,
+                    pair,
+                    i,
+                    j,
+                    geo,
+                    offset_bw,
+                    self.threshold,
+                    &self.config,
+                    dep.as_ref(),
+                    &mut stats,
+                    &mut window_edges,
+                );
+            }
+        }
+
+        let mut out = Vec::with_capacity(n_new);
+        for (k, edges) in window_edges.into_iter().enumerate() {
+            let mut m =
+                ThresholdedMatrix::with_rule(n, self.threshold, self.config.edge_rule);
+            for e in edges {
+                m.push(e.i as usize, e.j as usize, e.value);
+            }
+            m.finalize();
+            out.push(CompletedWindow {
+                index: first_new + k,
+                matrix: m,
+            });
+        }
+        self.emitted_windows = total;
+        Ok(out)
+    }
+
+    /// The equivalent batch query over the whole current history — for
+    /// verification and for re-running with different parameters.
+    pub fn batch_query(&self) -> SlidingQuery {
+        SlidingQuery {
+            start: 0,
+            end: self.store.layout().end(),
+            window: self.window,
+            step: self.step,
+            threshold: self.threshold,
+        }
+    }
+}
+
+/// Walks a suffix of windows whose basic-window frame starts at
+/// `offset_bw`, reusing the standard walker on a shifted pair view.
+#[allow(clippy::too_many_arguments)]
+fn walk_shifted(
+    store: &SketchStore,
+    pair: &PairSketch,
+    i: usize,
+    j: usize,
+    geo: WalkGeometry,
+    offset_bw: usize,
+    beta: f64,
+    config: &DangoronConfig,
+    dep: Option<&crate::bounds::PairCosts>,
+    stats: &mut PruningStats,
+    window_edges: &mut [Vec<Edge>],
+) {
+    // The standard walker indexes basic windows as w·step_bw; emulate the
+    // shift by walking with an offset geometry: window w here is global
+    // window w + offset_bw/step_bw, so its first basic window is
+    // offset_bw + w·step_bw. The walker's `first_bw` has no offset, so we
+    // use a local closure-based re-implementation kept in lockstep with
+    // `walker::walk_pair` semantics via the shared bound/evaluation calls.
+    let shifted_geo = ShiftedGeometry { geo, offset_bw };
+    let mut w = 0usize;
+    stats.n_pairs += 1;
+    stats.total_cells += geo.n_windows as u64;
+    while w < geo.n_windows {
+        let (b0, b1) = shifted_geo.bw_range(w);
+        stats.evaluated += 1;
+        let corr = match sketch::combine::window_correlation(store, pair, i, j, b0, b1) {
+            Ok(c) => c,
+            Err(_) => {
+                w += 1;
+                continue;
+            }
+        };
+        if config.edge_rule.keeps(corr, beta) {
+            stats.edges += 1;
+            window_edges[w].push(Edge {
+                i: i as u32,
+                j: j as u32,
+                value: corr,
+            });
+            w += 1;
+            continue;
+        }
+        match config.bound {
+            BoundMode::Exhaustive => w += 1,
+            BoundMode::PaperJump { slack } => {
+                let dep = dep.expect("PaperJump requires departure costs");
+                let k_max = geo.n_windows - 1 - w;
+                let k = match config.edge_rule {
+                    sketch::output::EdgeRule::Positive => crate::bounds::max_jump(
+                        corr,
+                        beta,
+                        slack,
+                        geo.ns,
+                        geo.step_bw,
+                        shifted_geo.first_bw(w),
+                        k_max,
+                        &dep.upper,
+                    ),
+                    sketch::output::EdgeRule::Absolute => crate::bounds::max_jump_absolute(
+                        corr,
+                        corr,
+                        beta,
+                        slack,
+                        geo.ns,
+                        geo.step_bw,
+                        shifted_geo.first_bw(w),
+                        k_max,
+                        &dep.upper,
+                        dep.lower.as_ref().expect("absolute rule needs lower costs"),
+                    ),
+                };
+                if k == 0 {
+                    w += 1;
+                } else {
+                    stats.record_jump(k);
+                    w += k + 1;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ShiftedGeometry {
+    geo: WalkGeometry,
+    offset_bw: usize,
+}
+
+impl ShiftedGeometry {
+    #[inline]
+    fn first_bw(&self, w: usize) -> usize {
+        self.offset_bw + w * self.geo.step_bw
+    }
+
+    #[inline]
+    fn bw_range(&self, w: usize) -> (usize, usize) {
+        let b0 = self.first_bw(w);
+        (b0, b0 + self.geo.ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Dangoron;
+    use tsdata::generators;
+
+    fn config(bound: BoundMode) -> DangoronConfig {
+        DangoronConfig {
+            basic_window: 10,
+            bound,
+            ..Default::default()
+        }
+    }
+
+    fn assert_same_windows(streamed: &[CompletedWindow], batch: &[ThresholdedMatrix]) {
+        for cw in streamed {
+            let b = &batch[cw.index];
+            assert_eq!(cw.matrix.n_edges(), b.n_edges(), "window {}", cw.index);
+            for (ea, eb) in cw.matrix.edges().iter().zip(b.edges()) {
+                assert_eq!((ea.i, ea.j), (eb.i, eb.j));
+                assert!((ea.value - eb.value).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_exhaustive() {
+        let full = generators::clustered_matrix(8, 400, 2, 0.5, 3).unwrap();
+        let initial = full.slice_columns(0, 150).unwrap();
+        let mut session =
+            StreamingDangoron::new(initial, 80, 20, 0.7, config(BoundMode::Exhaustive)).unwrap();
+
+        let mut collected = session.drain_completed().unwrap();
+        // Stream the rest in uneven chunks.
+        for (a, b) in [(150usize, 175usize), (175, 280), (280, 297), (297, 400)] {
+            let chunk = full.slice_columns(a, b).unwrap();
+            collected.extend(session.append(&chunk).unwrap());
+        }
+        // Indices must be contiguous from 0.
+        let idxs: Vec<usize> = collected.iter().map(|c| c.index).collect();
+        let expected: Vec<usize> = (0..idxs.len()).collect();
+        assert_eq!(idxs, expected);
+
+        // And equal to the batch engine over the full history.
+        let engine = Dangoron::new(config(BoundMode::Exhaustive)).unwrap();
+        let batch = engine.execute(&full, session.batch_query()).unwrap();
+        assert_eq!(collected.len(), batch.matrices.len());
+        assert_same_windows(&collected, &batch.matrices);
+    }
+
+    #[test]
+    fn streaming_jump_mode_emits_subset_of_truth() {
+        let full = generators::clustered_matrix(6, 400, 2, 0.5, 9).unwrap();
+        let initial = full.slice_columns(0, 100).unwrap();
+        let mut session = StreamingDangoron::new(
+            initial,
+            80,
+            20,
+            0.85,
+            config(BoundMode::PaperJump { slack: 0.0 }),
+        )
+        .unwrap();
+        let mut collected = session.drain_completed().unwrap();
+        let chunk = full.slice_columns(100, 400).unwrap();
+        collected.extend(session.append(&chunk).unwrap());
+
+        let engine = Dangoron::new(config(BoundMode::Exhaustive)).unwrap();
+        let truth = engine.execute(&full, session.batch_query()).unwrap();
+        for cw in &collected {
+            for e in cw.matrix.edges() {
+                assert!(
+                    truth.matrices[cw.index].contains(e.i as usize, e.j as usize),
+                    "spurious streamed edge at window {}",
+                    cw.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_emission_before_first_full_window() {
+        let full = generators::clustered_matrix(4, 200, 2, 0.5, 5).unwrap();
+        let initial = full.slice_columns(0, 30).unwrap();
+        let mut session =
+            StreamingDangoron::new(initial, 80, 20, 0.7, config(BoundMode::Exhaustive)).unwrap();
+        assert_eq!(session.available_windows(), 0);
+        assert!(session.drain_completed().unwrap().is_empty());
+        // 30 + 40 = 70 < 80: still nothing.
+        let out = session
+            .append(&full.slice_columns(30, 70).unwrap())
+            .unwrap();
+        assert!(out.is_empty());
+        // Crossing 80 emits window 0.
+        let out = session
+            .append(&full.slice_columns(70, 100).unwrap())
+            .unwrap();
+        assert_eq!(out[0].index, 0);
+        assert_eq!(session.emitted_windows(), out.len());
+    }
+
+    #[test]
+    fn partial_basic_windows_wait() {
+        // Appending 7 columns (less than a basic window) completes nothing
+        // new but must not corrupt state.
+        let full = generators::clustered_matrix(4, 300, 2, 0.5, 7).unwrap();
+        let initial = full.slice_columns(0, 100).unwrap();
+        let mut session =
+            StreamingDangoron::new(initial, 80, 20, 0.7, config(BoundMode::Exhaustive)).unwrap();
+        let before = session.drain_completed().unwrap().len();
+        let out = session
+            .append(&full.slice_columns(100, 107).unwrap())
+            .unwrap();
+        assert!(out.is_empty());
+        // Completing the basic window continues cleanly.
+        let out = session
+            .append(&full.slice_columns(107, 140).unwrap())
+            .unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(out[0].index, before);
+    }
+
+    #[test]
+    fn construction_validation() {
+        let x = generators::clustered_matrix(4, 100, 2, 0.5, 1).unwrap();
+        // Misaligned window.
+        assert!(
+            StreamingDangoron::new(x.clone(), 75, 20, 0.5, config(BoundMode::Exhaustive))
+                .is_err()
+        );
+        // Misaligned step.
+        assert!(
+            StreamingDangoron::new(x.clone(), 80, 15, 0.5, config(BoundMode::Exhaustive))
+                .is_err()
+        );
+        // Horizontal pruning unsupported.
+        let mut c = config(BoundMode::Exhaustive);
+        c.horizontal = Some(crate::config::HorizontalConfig {
+            n_pivots: 1,
+            strategy: crate::config::PivotStrategy::Evenly,
+        });
+        assert!(StreamingDangoron::new(x.clone(), 80, 20, 0.5, c).is_err());
+        // Too little initial data.
+        let tiny = x.slice_columns(0, 5).unwrap();
+        assert!(
+            StreamingDangoron::new(tiny, 80, 20, 0.5, config(BoundMode::Exhaustive)).is_err()
+        );
+    }
+}

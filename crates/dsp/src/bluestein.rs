@@ -1,0 +1,139 @@
+//! Bluestein's chirp-z algorithm: FFT of arbitrary length via a
+//! power-of-two convolution.
+//!
+//! `X_k = Σ_t x_t ω^{tk}` with `ω = e^{∓2πi/n}` is rewritten using
+//! `tk = (t² + k² − (k−t)²)/2`, turning the transform into a linear
+//! convolution of the chirped signal `a_t = x_t·ω^{t²/2}` with the chirp
+//! `b_t = ω^{−t²/2}`, which is evaluated with the radix-2 FFT at the next
+//! power of two ≥ `2n − 1`.
+
+use crate::complex::Complex64;
+use crate::fft::{fft_in_place, next_power_of_two, Direction};
+
+/// FFT of arbitrary length `n` in O(n log n).
+///
+/// Matches [`crate::dft::dft_naive`] for both directions, including the
+/// inverse `1/n` normalisation.
+pub fn bluestein(signal: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = signal.len();
+    if n <= 1 {
+        return signal.to_vec();
+    }
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    // Chirp phases ω^{t²/2} = e^{sign·πi·t²/n}. Reduce t² mod 2n before the
+    // trig call to keep the argument small for long signals.
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|t| {
+            let t2 = ((t as u128 * t as u128) % (2 * n as u128)) as f64;
+            Complex64::cis(sign * std::f64::consts::PI * t2 / n as f64)
+        })
+        .collect();
+
+    let m = next_power_of_two(2 * n - 1);
+    let mut a = vec![Complex64::zero(); m];
+    let mut b = vec![Complex64::zero(); m];
+    for t in 0..n {
+        a[t] = signal[t] * chirp[t];
+    }
+    // b is the conjugate chirp, symmetric around 0 (wrapped at m).
+    b[0] = chirp[0].conj();
+    for t in 1..n {
+        let c = chirp[t].conj();
+        b[t] = c;
+        b[m - t] = c;
+    }
+
+    fft_in_place(&mut a, Direction::Forward);
+    fft_in_place(&mut b, Direction::Forward);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    fft_in_place(&mut a, Direction::Inverse);
+
+    let mut out: Vec<Complex64> = (0..n).map(|k| a[k] * chirp[k]).collect();
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for v in out.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], eps: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < eps && (x.im - y.im).abs() < eps,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_primes_and_composites() {
+        for &n in &[2usize, 3, 5, 6, 7, 11, 13, 21, 50, 97] {
+            let signal: Vec<Complex64> = (0..n)
+                .map(|t| Complex64::new((t as f64 * 0.31).sin(), (t as f64 * 1.7).cos()))
+                .collect();
+            let fast = bluestein(&signal, Direction::Forward);
+            let slow = dft_naive(&signal, Direction::Forward);
+            assert_close(&fast, &slow, 1e-8);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_odd_length() {
+        let signal: Vec<Complex64> = (0..101)
+            .map(|t| Complex64::new(t as f64, (t as f64).sqrt()))
+            .collect();
+        let spec = bluestein(&signal, Direction::Forward);
+        let back = bluestein(&spec, Direction::Inverse);
+        assert_close(&back, &signal, 1e-7);
+    }
+
+    #[test]
+    fn handles_power_of_two_consistently() {
+        // Bluestein must agree with radix-2 even when n happens to be 2^k.
+        let signal: Vec<Complex64> = (0..16)
+            .map(|t| Complex64::new((t as f64).cos(), 0.0))
+            .collect();
+        let via_bluestein = bluestein(&signal, Direction::Forward);
+        let mut via_radix2 = signal.clone();
+        fft_in_place(&mut via_radix2, Direction::Forward);
+        assert_close(&via_bluestein, &via_radix2, 1e-9);
+    }
+
+    #[test]
+    fn long_length_is_numerically_stable() {
+        // 8760 = hours per year, the paper's natural series length.
+        let n = 8_760;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::new((t as f64 * 0.001).sin(), 0.0))
+            .collect();
+        let spec = bluestein(&signal, Direction::Forward);
+        let back = bluestein(&spec, Direction::Inverse);
+        let max_err = back
+            .iter()
+            .zip(&signal)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-6, "max roundtrip error {max_err}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(bluestein(&[], Direction::Forward).is_empty());
+        let one = [Complex64::new(1.0, 2.0)];
+        assert_eq!(bluestein(&one, Direction::Forward), one.to_vec());
+    }
+}

@@ -1,0 +1,24 @@
+//! # dsp — signal-processing substrate (from scratch)
+//!
+//! Everything spectral that Tomborg and the frequency-transform baselines
+//! need, with no external numeric dependencies:
+//!
+//! * [`complex`] — a minimal `Complex64`;
+//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT;
+//! * [`bluestein`] — chirp-z FFT for arbitrary lengths;
+//! * [`dft`] — naive reference DFT and the `fft_any` dispatcher;
+//! * [`real_fourier`] — the paper's *real-valued inverse DFT*: an
+//!   orthonormal map between ℝⁿ time series and ℝⁿ real Fourier
+//!   coefficients, so distances are preserved exactly (Parseval) — the
+//!   property step (2) of Tomborg relies on;
+//! * [`projection`] — time-indexed ±1 random projections (the ParCorr
+//!   sketch primitive, incrementally updatable across sliding windows).
+
+pub mod bluestein;
+pub mod complex;
+pub mod dft;
+pub mod fft;
+pub mod projection;
+pub mod real_fourier;
+
+pub use complex::Complex64;

@@ -1,0 +1,241 @@
+//! The paper's *real-valued inverse DFT*: an orthonormal real Fourier basis.
+//!
+//! Tomborg step (2) generates series in frequency space and relies on the
+//! fact that "DFT preserves the distance between coefficients and the
+//! original time series"; step (3) needs an inverse transform that maps a
+//! *real* coefficient vector to a *real* series (the classical inverse DFT
+//! maps complex to complex). The paper's "real-value variant" is realised
+//! here as the orthonormal real Fourier basis of ℝⁿ:
+//!
+//! * `u_0(t) = 1/√n`,
+//! * `u_{2k−1}(t) = √(2/n)·cos(2πkt/n)`, `u_{2k}(t) = √(2/n)·sin(2πkt/n)`
+//!   for `k = 1 … ⌈n/2⌉−1`,
+//! * for even `n`, `u_{n−1}(t) = (−1)^t/√n` (the Nyquist row).
+//!
+//! The basis is orthonormal, so both directions preserve inner products and
+//! distances *exactly* (Parseval) — property-tested below. Forward and
+//! inverse are computed in O(n log n) through the complex FFT.
+
+use crate::complex::Complex64;
+use crate::dft::fft_any;
+use crate::fft::Direction;
+
+/// Forward transform: real series → real Fourier coefficients
+/// (orthonormal, same length).
+pub fn forward(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![signal[0]];
+    }
+    let buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+    let spec = fft_any(&buf, Direction::Forward);
+
+    let mut out = vec![0.0; n];
+    let sqrt_n = (n as f64).sqrt();
+    let sqrt_half = (n as f64 / 2.0).sqrt();
+    out[0] = spec[0].re / sqrt_n;
+    let k_max = (n - 1) / 2;
+    for k in 1..=k_max {
+        // Σ x cos = Re X_k, Σ x sin = −Im X_k.
+        out[2 * k - 1] = spec[k].re / sqrt_half;
+        out[2 * k] = -spec[k].im / sqrt_half;
+    }
+    if n % 2 == 0 {
+        out[n - 1] = spec[n / 2].re / sqrt_n;
+    }
+    out
+}
+
+/// Inverse transform: real Fourier coefficients → real series.
+///
+/// This is the paper's real-valued inverse DFT — it never leaves ℝⁿ.
+pub fn inverse(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![coeffs[0]];
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let sqrt_half = (n as f64 / 2.0).sqrt();
+    let mut spec = vec![Complex64::zero(); n];
+    spec[0] = Complex64::new(coeffs[0] * sqrt_n, 0.0);
+    let k_max = (n - 1) / 2;
+    for k in 1..=k_max {
+        let re = coeffs[2 * k - 1] * sqrt_half;
+        let im = -coeffs[2 * k] * sqrt_half;
+        spec[k] = Complex64::new(re, im);
+        spec[n - k] = Complex64::new(re, -im);
+    }
+    if n % 2 == 0 {
+        spec[n / 2] = Complex64::new(coeffs[n - 1] * sqrt_n, 0.0);
+    }
+    let time = fft_any(&spec, Direction::Inverse);
+    time.into_iter().map(|c| c.re).collect()
+}
+
+/// Naive O(n²) forward transform — the correctness oracle for [`forward`].
+pub fn forward_naive(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let mut out = vec![0.0; n];
+    if n == 0 {
+        return out;
+    }
+    let nf = n as f64;
+    for (c, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (t, &x) in signal.iter().enumerate() {
+            acc += x * basis_value(n, c, t);
+        }
+        *o = acc;
+        let _ = nf;
+    }
+    out
+}
+
+/// Naive O(n²) inverse transform — the correctness oracle for [`inverse`].
+pub fn inverse_naive(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    let mut out = vec![0.0; n];
+    for (t, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (c, &a) in coeffs.iter().enumerate() {
+            acc += a * basis_value(n, c, t);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Value of orthonormal basis row `c` at time `t` for length `n`.
+pub fn basis_value(n: usize, c: usize, t: usize) -> f64 {
+    debug_assert!(c < n && t < n);
+    let nf = n as f64;
+    if c == 0 {
+        return 1.0 / nf.sqrt();
+    }
+    if n % 2 == 0 && c == n - 1 {
+        return if t % 2 == 0 { 1.0 } else { -1.0 } / nf.sqrt();
+    }
+    let k = (c + 1) / 2; // c = 2k−1 → cos, c = 2k → sin
+    let ang = std::f64::consts::TAU * (k * t) as f64 / nf;
+    let scale = (2.0 / nf).sqrt();
+    if c % 2 == 1 {
+        scale * ang.cos()
+    } else {
+        scale * ang.sin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], eps: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < eps, "index {i}: {x} vs {y}");
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| (t as f64 * 0.37).sin() + 0.5 * (t as f64 * 1.7).cos() + 0.1 * t as f64)
+            .collect()
+    }
+
+    #[test]
+    fn fast_matches_naive_both_directions() {
+        for &n in &[1usize, 2, 3, 4, 5, 8, 9, 16, 17, 30, 31] {
+            let x = test_signal(n);
+            assert_close(&forward(&x), &forward_naive(&x), 1e-9);
+            let a = forward(&x);
+            assert_close(&inverse(&a), &inverse_naive(&a), 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        for &n in &[2usize, 3, 7, 12, 64, 100] {
+            let x = test_signal(n);
+            let back = inverse(&forward(&x));
+            assert_close(&back, &x, 1e-9);
+            // And the other composition order.
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let fwd = forward(&inverse(&a));
+            assert_close(&fwd, &a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        for &n in &[4usize, 5, 8, 9] {
+            for c1 in 0..n {
+                for c2 in 0..n {
+                    let dot: f64 = (0..n)
+                        .map(|t| basis_value(n, c1, t) * basis_value(n, c2, t))
+                        .sum();
+                    let expected = if c1 == c2 { 1.0 } else { 0.0 };
+                    assert!(
+                        (dot - expected).abs() < 1e-10,
+                        "n={n} ⟨u{c1}, u{c2}⟩ = {dot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_distances_preserved() {
+        // The property Tomborg step (2) depends on.
+        for &n in &[6usize, 13, 32] {
+            let x = test_signal(n);
+            let y: Vec<f64> = (0..n).map(|t| (t as f64 * 0.91).cos() - 0.2).collect();
+            let fx = forward(&x);
+            let fy = forward(&y);
+            let d_time: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+            let d_freq: f64 = fx.iter().zip(&fy).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert!((d_time - d_freq).abs() < 1e-9, "n={n}: {d_time} vs {d_freq}");
+            // Inner products too.
+            let ip_time: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let ip_freq: f64 = fx.iter().zip(&fy).map(|(a, b)| a * b).sum();
+            assert!((ip_time - ip_freq).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn output_is_always_real_from_real_coefficients() {
+        // Feed arbitrary real coefficient vectors — the inverse must be a
+        // real series whose forward transform returns the coefficients.
+        let coeffs = vec![0.5, -1.2, 3.3, 0.0, 2.2, -0.7, 1.05];
+        let x = inverse(&coeffs);
+        assert_eq!(x.len(), coeffs.len());
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert_close(&forward(&x), &coeffs, 1e-9);
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        let x = vec![2.0; 16];
+        let a = forward(&x);
+        assert!((a[0] - 2.0 * 4.0).abs() < 1e-12); // 2·√16
+        for &c in &a[1..] {
+            assert!(c.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn nyquist_row_even_length_only() {
+        let x: Vec<f64> = (0..8).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let a = forward(&x);
+        // Alternating signal is exactly the Nyquist basis row times √8.
+        assert!((a[7] - 8.0f64.sqrt()).abs() < 1e-10);
+        for &c in &a[..7] {
+            assert!(c.abs() < 1e-10);
+        }
+    }
+}

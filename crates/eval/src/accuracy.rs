@@ -1,0 +1,153 @@
+//! Edge-level accuracy of an engine's output against the exact truth.
+
+use serde::{Deserialize, Serialize};
+use sketch::ThresholdedMatrix;
+use std::collections::HashMap;
+
+/// Precision/recall/F1 plus value fidelity over a window sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// True positives: edges present in both.
+    pub tp: usize,
+    /// False positives: edges the engine reported but the truth lacks.
+    pub fp: usize,
+    /// False negatives: true edges the engine missed.
+    pub fn_: usize,
+    /// Precision `tp / (tp + fp)` (1 when nothing was reported).
+    pub precision: f64,
+    /// Recall `tp / (tp + fn)` (1 when the truth is empty).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Maximum |value error| over true positives.
+    pub max_value_err: f64,
+    /// Mean |value error| over true positives.
+    pub mean_value_err: f64,
+}
+
+impl AccuracyReport {
+    /// The paper's headline "accuracy": F1 against the exact output.
+    pub fn accuracy(&self) -> f64 {
+        self.f1
+    }
+}
+
+/// Compares an engine's matrices with the ground-truth matrices
+/// (window-aligned; both sequences must have equal length).
+///
+/// # Panics
+/// Panics when the sequences have different lengths.
+pub fn compare(got: &[ThresholdedMatrix], truth: &[ThresholdedMatrix]) -> AccuracyReport {
+    assert_eq!(
+        got.len(),
+        truth.len(),
+        "window sequences must align for comparison"
+    );
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    let mut max_err: f64 = 0.0;
+    let mut sum_err = 0.0;
+    for (g, t) in got.iter().zip(truth) {
+        let tmap: HashMap<(usize, usize), f64> =
+            t.edges().iter().map(|e| ((e.i as usize, e.j as usize), e.value)).collect();
+        let gmap: HashMap<(usize, usize), f64> =
+            g.edges().iter().map(|e| ((e.i as usize, e.j as usize), e.value)).collect();
+        for (pair, gv) in &gmap {
+            match tmap.get(pair) {
+                Some(tv) => {
+                    tp += 1;
+                    let err = (gv - tv).abs();
+                    max_err = max_err.max(err);
+                    sum_err += err;
+                }
+                None => fp += 1,
+            }
+        }
+        for pair in tmap.keys() {
+            if !gmap.contains_key(pair) {
+                fn_ += 1;
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    AccuracyReport {
+        tp,
+        fp,
+        fn_,
+        precision,
+        recall,
+        f1,
+        max_value_err: max_err,
+        mean_value_err: if tp == 0 { 0.0 } else { sum_err / tp as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(edges: &[(usize, usize, f64)]) -> ThresholdedMatrix {
+        let mut m = ThresholdedMatrix::new(8, 0.0);
+        for &(i, j, v) in edges {
+            m.push(i, j, v);
+        }
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn identical_sequences_are_perfect() {
+        let ms = vec![matrix(&[(0, 1, 0.9), (2, 3, 0.8)]), matrix(&[(0, 1, 0.7)])];
+        let r = compare(&ms, &ms);
+        assert_eq!((r.tp, r.fp, r.fn_), (3, 0, 0));
+        assert_eq!((r.precision, r.recall, r.f1), (1.0, 1.0, 1.0));
+        assert_eq!(r.max_value_err, 0.0);
+        assert_eq!(r.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn misses_and_spurious_edges_are_counted() {
+        let truth = vec![matrix(&[(0, 1, 0.9), (2, 3, 0.8), (4, 5, 0.85)])];
+        let got = vec![matrix(&[(0, 1, 0.9), (6, 7, 0.8)])];
+        let r = compare(&got, &truth);
+        assert_eq!((r.tp, r.fp, r.fn_), (1, 1, 2));
+        assert!((r.precision - 0.5).abs() < 1e-12);
+        assert!((r.recall - 1.0 / 3.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0);
+        assert!((r.f1 - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_errors_tracked_on_true_positives() {
+        let truth = vec![matrix(&[(0, 1, 0.90), (2, 3, 0.80)])];
+        let got = vec![matrix(&[(0, 1, 0.85), (2, 3, 0.80)])];
+        let r = compare(&got, &truth);
+        assert!((r.max_value_err - 0.05).abs() < 1e-12);
+        assert!((r.mean_value_err - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty = vec![matrix(&[])];
+        let r = compare(&empty, &empty);
+        assert_eq!((r.precision, r.recall, r.f1), (1.0, 1.0, 1.0));
+        let truth = vec![matrix(&[(0, 1, 0.9)])];
+        let r = compare(&empty, &truth);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.precision, 1.0); // nothing reported, nothing wrong
+        assert_eq!(r.f1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        compare(&[matrix(&[])], &[]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Adapters giving every engine in the workspace one interface.
+
+use baselines::{SlidingEngine, TimedRun};
+use dangoron::{BoundMode, Dangoron, DangoronConfig};
+use sketch::{SlidingQuery, ThresholdedMatrix};
+use std::time::Instant;
+use tsdata::{TimeSeriesMatrix, TsError};
+
+/// Dangoron wrapped as a [`SlidingEngine`], with the prepare/run timing
+/// split mapped onto the trait's prepare/query phases.
+#[derive(Debug, Clone)]
+pub struct DangoronEngine {
+    /// The wrapped configuration.
+    pub config: DangoronConfig,
+}
+
+impl DangoronEngine {
+    /// Engine with the given basic window and defaults elsewhere.
+    pub fn with_basic_window(basic_window: usize) -> Self {
+        Self {
+            config: DangoronConfig {
+                basic_window,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Same configuration but without jumping (the exact ablation).
+    pub fn exhaustive(mut self) -> Self {
+        self.config.bound = BoundMode::Exhaustive;
+        self
+    }
+}
+
+impl SlidingEngine for DangoronEngine {
+    fn name(&self) -> String {
+        let mode = match self.config.bound {
+            BoundMode::PaperJump { slack } if slack == 0.0 => "jump".to_string(),
+            BoundMode::PaperJump { slack } => format!("jump+{slack}"),
+            BoundMode::Exhaustive => "exhaustive".to_string(),
+        };
+        let h = if self.config.horizontal.is_some() {
+            "+triangle"
+        } else {
+            ""
+        };
+        format!("dangoron({mode}{h},b={})", self.config.basic_window)
+    }
+
+    fn execute(
+        &self,
+        x: &TimeSeriesMatrix,
+        query: SlidingQuery,
+    ) -> Result<Vec<ThresholdedMatrix>, TsError> {
+        let engine = Dangoron::new(self.config.clone())?;
+        Ok(engine.execute(x, query)?.matrices)
+    }
+
+    fn execute_timed(
+        &self,
+        x: &TimeSeriesMatrix,
+        query: SlidingQuery,
+    ) -> Result<TimedRun, TsError> {
+        let engine = Dangoron::new(self.config.clone())?;
+        let t0 = Instant::now();
+        let prep = engine.prepare(x, query)?;
+        let prepare = t0.elapsed();
+        let t1 = Instant::now();
+        let result = engine.run(&prep);
+        Ok(TimedRun {
+            matrices: result.matrices,
+            prepare,
+            query: t1.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::naive::Naive;
+    use tsdata::generators;
+
+    #[test]
+    fn adapter_matches_direct_engine_and_naive_when_exhaustive() {
+        let x = generators::clustered_matrix(8, 240, 2, 0.5, 13).unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 240,
+            window: 60,
+            step: 30,
+            threshold: 0.7,
+        };
+        let eng = DangoronEngine::with_basic_window(30).exhaustive();
+        let got = eng.execute(&x, q).unwrap();
+        let truth = Naive.execute(&x, q).unwrap();
+        let r = crate::accuracy::compare(&got, &truth);
+        assert_eq!(r.f1, 1.0);
+        // Sketch combination reorders floating-point sums; agreement is
+        // exact up to rounding.
+        assert!(r.max_value_err < 1e-9);
+    }
+
+    #[test]
+    fn timed_split_reports_both_phases() {
+        let x = generators::clustered_matrix(6, 240, 2, 0.5, 13).unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 240,
+            window: 60,
+            step: 30,
+            threshold: 0.7,
+        };
+        let run = DangoronEngine::with_basic_window(30)
+            .execute_timed(&x, q)
+            .unwrap();
+        assert!(run.prepare > std::time::Duration::ZERO);
+        assert_eq!(run.matrices.len(), q.n_windows());
+    }
+
+    #[test]
+    fn names_describe_configuration() {
+        assert!(DangoronEngine::with_basic_window(24).name().contains("jump"));
+        assert!(DangoronEngine::with_basic_window(24)
+            .exhaustive()
+            .name()
+            .contains("exhaustive"));
+    }
+}

@@ -1,0 +1,17 @@
+//! # eval — the evaluation harness behind every experiment
+//!
+//! * [`accuracy`] — precision/recall/F1 of one engine's output against the
+//!   exact ground truth (the paper's "accuracy above 90 percent" metric);
+//! * [`timing`] — repeated wall-clock measurement with median reporting;
+//! * [`report`] — plain-text tables for the harness binary;
+//! * [`workloads`] — the standard datasets/queries each experiment uses;
+//! * [`engines`] — adapters giving Dangoron the same [`baselines::SlidingEngine`]
+//!   interface as the baselines.
+
+pub mod accuracy;
+pub mod engines;
+pub mod report;
+pub mod timing;
+pub mod workloads;
+
+pub use accuracy::{compare, AccuracyReport};

@@ -1,0 +1,103 @@
+//! Repeated wall-clock measurement with robust summaries.
+
+use std::time::Duration;
+
+/// Summary of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSummary {
+    /// Number of repetitions.
+    pub reps: usize,
+    /// Median duration.
+    pub median: Duration,
+    /// Minimum duration.
+    pub min: Duration,
+    /// Maximum duration.
+    pub max: Duration,
+}
+
+impl TimingSummary {
+    /// Median in fractional milliseconds (report convenience).
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+}
+
+/// Runs `f` `reps` times (after `warmup` unmeasured runs) and summarises
+/// the measured [`Duration`]s it returns.
+///
+/// # Panics
+/// Panics when `reps == 0`.
+pub fn measure(reps: usize, warmup: usize, mut f: impl FnMut() -> Duration) -> TimingSummary {
+    assert!(reps > 0, "need at least one measured repetition");
+    for _ in 0..warmup {
+        let _ = f();
+    }
+    let mut samples: Vec<Duration> = (0..reps).map(|_| f()).collect();
+    samples.sort_unstable();
+    TimingSummary {
+        reps,
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: *samples.last().unwrap(),
+    }
+}
+
+/// Speedup of `baseline` over `candidate` (how many times faster the
+/// candidate is), by median.
+pub fn speedup(baseline: &TimingSummary, candidate: &TimingSummary) -> f64 {
+    let b = baseline.median.as_secs_f64();
+    let c = candidate.median.as_secs_f64();
+    if c <= 0.0 {
+        f64::INFINITY
+    } else {
+        b / c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_summarises_correctly() {
+        let mut durations = vec![
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        ]
+        .into_iter();
+        let s = measure(3, 0, || durations.next().unwrap());
+        assert_eq!(s.reps, 3);
+        assert_eq!(s.median, Duration::from_millis(20));
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert!((s.median_ms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_runs_are_not_measured() {
+        let mut calls = 0;
+        let s = measure(2, 3, || {
+            calls += 1;
+            Duration::from_millis(calls)
+        });
+        assert_eq!(calls, 5);
+        // Only the last two calls (4 ms, 5 ms) are measured.
+        assert_eq!(s.min, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn speedup_ratios() {
+        let base = measure(1, 0, || Duration::from_millis(100));
+        let fast = measure(1, 0, || Duration::from_millis(10));
+        assert!((speedup(&base, &fast) - 10.0).abs() < 1e-9);
+        let zero = measure(1, 0, || Duration::ZERO);
+        assert!(speedup(&base, &zero).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_reps_panics() {
+        measure(0, 0, || Duration::ZERO);
+    }
+}

@@ -1,0 +1,231 @@
+//! Cyclic Jacobi eigendecomposition of symmetric matrices.
+//!
+//! Used by [`crate::nearest_corr`] to project a broken target correlation
+//! matrix onto the PSD cone (clip negative eigenvalues, reassemble).
+
+use crate::matrix::{LinalgError, Matrix};
+
+/// An eigendecomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as *columns*, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi sweeps until the off-diagonal Frobenius norm falls below
+/// `tol · ‖A‖`, or the sweep budget runs out.
+pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<EigenDecomposition, LinalgError> {
+    let n = a.require_square()?;
+    if !a.is_symmetric(1e-8) {
+        return Err(LinalgError::NotSymmetric);
+    }
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Matrix::identity(n);
+
+    let norm = m.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+    let threshold = tol * norm;
+
+    for _sweep in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off <= threshold {
+            return Ok(finish(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= threshold / (n as f64 * n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation angle from the standard Jacobi formulas.
+                let theta = 0.5 * (2.0 * apq).atan2(aqq - app);
+                let (s, c) = theta.sin_cos();
+                apply_rotation(&mut m, p, q, c, s);
+                accumulate_rotation(&mut v, p, q, c, s);
+            }
+        }
+    }
+    if off_diagonal_norm(&m) <= threshold * 10.0 {
+        // Close enough: accept with the relaxed bound rather than failing.
+        return Ok(finish(m, v));
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: max_sweeps,
+    })
+}
+
+/// Eigendecomposition with defaults (`tol = 1e-12`, 64 sweeps).
+pub fn jacobi_eigen_default(a: &Matrix) -> Result<EigenDecomposition, LinalgError> {
+    jacobi_eigen(a, 1e-12, 64)
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += 2.0 * m.get(i, j) * m.get(i, j);
+        }
+    }
+    s.sqrt()
+}
+
+/// A ← Jᵀ A J for the (p, q) Givens rotation with cos/sin (c, s).
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    for k in 0..n {
+        let mkp = m.get(k, p);
+        let mkq = m.get(k, q);
+        m.set(k, p, c * mkp - s * mkq);
+        m.set(k, q, s * mkp + c * mkq);
+    }
+    for k in 0..n {
+        let mpk = m.get(p, k);
+        let mqk = m.get(q, k);
+        m.set(p, k, c * mpk - s * mqk);
+        m.set(q, k, s * mpk + c * mqk);
+    }
+}
+
+/// V ← V J.
+fn accumulate_rotation(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+fn finish(m: Matrix, v: Matrix) -> EigenDecomposition {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let raw: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&a, &b| raw[b].partial_cmp(&raw[a]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| raw[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+impl EigenDecomposition {
+    /// Reassemble `V·diag(f(λ))·Vᵀ` with transformed eigenvalues — the
+    /// primitive behind eigenvalue clipping.
+    pub fn reassemble_with(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let n = self.values.len();
+        let mut out = Matrix::zeros(n, n);
+        for (k, &lam) in self.values.iter().enumerate() {
+            let w = f(lam);
+            if w == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let vi = self.vectors.get(i, k);
+                if vi == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + w * vi * self.vectors.get(j, k));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let e = jacobi_eigen_default(&a).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen_default(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality_random() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [2usize, 3, 5, 8, 12] {
+            // Random symmetric matrix.
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = rng.gen::<f64>() * 2.0 - 1.0;
+                    a.set(i, j, v);
+                    a.set(j, i, v);
+                }
+            }
+            let e = jacobi_eigen_default(&a).unwrap();
+            // V diag(λ) Vᵀ == A.
+            let back = e.reassemble_with(|l| l);
+            assert!(a.max_abs_diff(&back) < 1e-8, "n={n}");
+            // Columns orthonormal: VᵀV == I.
+            let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+            assert!(vtv.max_abs_diff(&Matrix::identity(n)) < 1e-8, "n={n}");
+            // Values sorted descending.
+            assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(vec![
+            vec![1.0, 0.4, -0.2],
+            vec![0.4, 2.0, 0.1],
+            vec![-0.2, 0.1, 3.0],
+        ]);
+        let e = jacobi_eigen_default(&a).unwrap();
+        let trace = 6.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reassemble_clipping_produces_psd() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 1.0]]); // λ = 3, −1
+        let e = jacobi_eigen_default(&a).unwrap();
+        let clipped = e.reassemble_with(|l| l.max(0.0));
+        let e2 = jacobi_eigen_default(&clipped).unwrap();
+        assert!(e2.values.iter().all(|&l| l >= -1e-10));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(jacobi_eigen_default(&Matrix::zeros(2, 3)).is_err());
+        let asym = Matrix::from_rows(vec![vec![1.0, 1.0], vec![0.0, 1.0]]);
+        assert!(matches!(
+            jacobi_eigen_default(&asym),
+            Err(LinalgError::NotSymmetric)
+        ));
+    }
+}

@@ -1,0 +1,18 @@
+//! # linalg — dense linear-algebra substrate (from scratch)
+//!
+//! Exactly the pieces Tomborg's correlation-matrix synthesis needs:
+//!
+//! * [`matrix`] — a small dense row-major `Matrix`;
+//! * [`cholesky`] — the `A = L·Lᵀ` factorisation used to mix independent
+//!   series into a target correlation structure;
+//! * [`jacobi`] — cyclic Jacobi eigendecomposition of symmetric matrices;
+//! * [`nearest_corr`] — Higham-style alternating projections onto the set
+//!   of valid correlation matrices (PSD ∩ unit diagonal), used to repair
+//!   user-specified target matrices that are not PSD.
+
+pub mod cholesky;
+pub mod jacobi;
+pub mod matrix;
+pub mod nearest_corr;
+
+pub use matrix::{LinalgError, Matrix};

@@ -1,0 +1,123 @@
+//! Exports of correlation networks for downstream tooling.
+//!
+//! Two plain-text formats cover most graph consumers: Graphviz DOT (for
+//! rendering) and a weighted edge list (for igraph/networkx/Gephi-style
+//! ingestion).
+
+use crate::graph::CsrGraph;
+use sketch::ThresholdedMatrix;
+
+/// Graphviz DOT for one window's network. Node labels are optional (series
+/// indices are used otherwise); edge weight is carried in the `weight` and
+/// `label` attributes.
+pub fn to_dot(m: &ThresholdedMatrix, labels: Option<&[String]>) -> String {
+    let mut out = String::from("graph correlation_network {\n");
+    out.push_str("  layout=neato;\n  node [shape=circle];\n");
+    for v in 0..m.n_series() {
+        match labels.and_then(|l| l.get(v)) {
+            Some(name) => out.push_str(&format!("  n{v} [label=\"{name}\"];\n")),
+            None => out.push_str(&format!("  n{v};\n")),
+        }
+    }
+    for e in m.edges() {
+        out.push_str(&format!(
+            "  n{} -- n{} [weight={:.4}, label=\"{:.2}\"];\n",
+            e.i, e.j, e.value.abs(), e.value
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Tab-separated weighted edge list: `i\tj\tweight`, one edge per line.
+pub fn to_edge_list(m: &ThresholdedMatrix) -> String {
+    let mut out = String::new();
+    for e in m.edges() {
+        out.push_str(&format!("{}\t{}\t{:.6}\n", e.i, e.j, e.value));
+    }
+    out
+}
+
+/// Edge list of a whole window sequence with a leading window column:
+/// `window\ti\tj\tweight` — the temporal-network interchange format.
+pub fn to_temporal_edge_list(matrices: &[ThresholdedMatrix]) -> String {
+    let mut out = String::new();
+    for (w, m) in matrices.iter().enumerate() {
+        for e in m.edges() {
+            out.push_str(&format!("{w}\t{}\t{}\t{:.6}\n", e.i, e.j, e.value));
+        }
+    }
+    out
+}
+
+/// Adjacency snapshot of a CSR graph as `node: neighbor(weight), …` lines —
+/// human-oriented debugging output.
+pub fn to_adjacency_text(g: &CsrGraph) -> String {
+    let mut out = String::new();
+    for v in 0..g.n_nodes() {
+        out.push_str(&format!("{v}:"));
+        for (&nb, &w) in g.neighbors(v).iter().zip(g.weights(v)) {
+            out.push_str(&format!(" {nb}({w:.2})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ThresholdedMatrix {
+        let mut m = ThresholdedMatrix::new(3, 0.5);
+        m.push(0, 1, 0.9);
+        m.push(1, 2, 0.75);
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&sample(), None);
+        assert!(dot.starts_with("graph"));
+        assert!(dot.contains("n0;"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("weight=0.9000"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_uses_labels_when_given() {
+        let labels = vec!["WX01".to_string(), "WX02".to_string(), "WX03".to_string()];
+        let dot = to_dot(&sample(), Some(&labels));
+        assert!(dot.contains("label=\"WX02\""));
+    }
+
+    #[test]
+    fn edge_list_format() {
+        let el = to_edge_list(&sample());
+        let lines: Vec<&str> = el.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "0\t1\t0.900000");
+    }
+
+    #[test]
+    fn temporal_edge_list_prefixes_window() {
+        let ms = vec![sample(), ThresholdedMatrix::new(3, 0.5), sample()];
+        let el = to_temporal_edge_list(&ms);
+        assert!(el.lines().all(|l| l.split('\t').count() == 4));
+        assert!(el.starts_with("0\t0\t1"));
+        assert!(el.contains("\n2\t0\t1"));
+    }
+
+    #[test]
+    fn adjacency_text_is_symmetric() {
+        let g = CsrGraph::from_matrix(&sample());
+        let txt = to_adjacency_text(&g);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("1(0.90)"));
+        assert!(lines[1].contains("0(0.90)"));
+        assert!(lines[1].contains("2(0.75)"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Temporal dynamics across the sliding-window network sequence.
+//!
+//! The climate-network literature the paper motivates with (Gozolchiani et
+//! al. [3]) studies how edges appear and disappear across windows —
+//! "blinking links" track El Niño events. This module computes per-edge
+//! lifetimes, stability, blink counts, and per-window summary series over
+//! a `Vec<ThresholdedMatrix>` (the engine's output).
+
+use crate::clustering::average_clustering;
+use crate::components::connected_components;
+use crate::graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+use sketch::ThresholdedMatrix;
+use std::collections::HashMap;
+
+/// Per-edge dynamics over the window sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeDynamics {
+    /// The pair (i < j).
+    pub i: u32,
+    /// Second endpoint.
+    pub j: u32,
+    /// Number of windows where the edge is present.
+    pub presence: usize,
+    /// Number of OFF→ON transitions (first appearance counts as one).
+    pub activations: usize,
+    /// Number of ON→OFF transitions ("blinks" of Gozolchiani et al.).
+    pub deactivations: usize,
+    /// Longest consecutive ON run.
+    pub longest_run: usize,
+    /// Mean correlation value while ON.
+    pub mean_value: f64,
+}
+
+impl EdgeDynamics {
+    /// Presence fraction in `[0, 1]` given the total number of windows.
+    pub fn stability(&self, n_windows: usize) -> f64 {
+        if n_windows == 0 {
+            0.0
+        } else {
+            self.presence as f64 / n_windows as f64
+        }
+    }
+
+    /// True when the edge toggles more than `min_blinks` times while being
+    /// present less than `max_stability` of the time — the "blinking link"
+    /// signature.
+    pub fn is_blinking(&self, n_windows: usize, min_blinks: usize, max_stability: f64) -> bool {
+        self.deactivations >= min_blinks && self.stability(n_windows) <= max_stability
+    }
+}
+
+/// Computes dynamics for every edge that appears in at least one window.
+pub fn edge_dynamics(matrices: &[ThresholdedMatrix]) -> Vec<EdgeDynamics> {
+    #[derive(Default)]
+    struct Acc {
+        presence: usize,
+        activations: usize,
+        deactivations: usize,
+        longest_run: usize,
+        current_run: usize,
+        last_seen: Option<usize>,
+        value_sum: f64,
+    }
+    let mut acc: HashMap<(u32, u32), Acc> = HashMap::new();
+    for (w, m) in matrices.iter().enumerate() {
+        for e in m.edges() {
+            let a = acc.entry((e.i, e.j)).or_default();
+            a.presence += 1;
+            a.value_sum += e.value;
+            match a.last_seen {
+                Some(prev) if prev + 1 == w => a.current_run += 1,
+                Some(_) => {
+                    // Gap: an OFF run ended with this reactivation.
+                    a.activations += 1;
+                    a.deactivations += 1;
+                    a.current_run = 1;
+                }
+                None => {
+                    a.activations += 1;
+                    a.current_run = 1;
+                }
+            }
+            a.longest_run = a.longest_run.max(a.current_run);
+            a.last_seen = Some(w);
+        }
+    }
+    let n_windows = matrices.len();
+    let mut out: Vec<EdgeDynamics> = acc
+        .into_iter()
+        .map(|((i, j), a)| {
+            let mut deactivations = a.deactivations;
+            // An edge that is OFF at the end has a final ON→OFF transition.
+            if a.last_seen.is_some_and(|w| w + 1 < n_windows) {
+                deactivations += 1;
+            }
+            EdgeDynamics {
+                i,
+                j,
+                presence: a.presence,
+                activations: a.activations,
+                deactivations,
+                longest_run: a.longest_run,
+                mean_value: a.value_sum / a.presence as f64,
+            }
+        })
+        .collect();
+    out.sort_by_key(|e| (e.i, e.j));
+    out
+}
+
+/// Per-window summary of the network sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Window index.
+    pub window: usize,
+    /// Edge count.
+    pub n_edges: usize,
+    /// Edge density.
+    pub density: f64,
+    /// Number of connected components.
+    pub n_components: usize,
+    /// Size of the largest component.
+    pub giant_size: usize,
+    /// Average clustering coefficient.
+    pub clustering: f64,
+}
+
+/// Summarises every window's network.
+pub fn window_summaries(matrices: &[ThresholdedMatrix]) -> Vec<WindowSummary> {
+    matrices
+        .iter()
+        .enumerate()
+        .map(|(w, m)| {
+            let g = CsrGraph::from_matrix(m);
+            let comps = connected_components(&g);
+            WindowSummary {
+                window: w,
+                n_edges: m.n_edges(),
+                density: m.density(),
+                n_components: comps.count(),
+                giant_size: comps.giant_size(),
+                clustering: average_clustering(&g),
+            }
+        })
+        .collect()
+}
+
+/// Jaccard similarity of the edge sets of consecutive windows — the
+/// "network churn" series (1 = identical, 0 = disjoint).
+pub fn consecutive_jaccard(matrices: &[ThresholdedMatrix]) -> Vec<f64> {
+    matrices
+        .windows(2)
+        .map(|pair| {
+            let a: std::collections::HashSet<(usize, usize)> = pair[0].edge_pairs().collect();
+            let b: std::collections::HashSet<(usize, usize)> = pair[1].edge_pairs().collect();
+            let inter = a.intersection(&b).count();
+            let union = a.union(&b).count();
+            if union == 0 {
+                1.0
+            } else {
+                inter as f64 / union as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, edges: &[(usize, usize, f64)]) -> ThresholdedMatrix {
+        let mut m = ThresholdedMatrix::new(n, 0.0);
+        for &(i, j, v) in edges {
+            m.push(i, j, v);
+        }
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn stable_edge_dynamics() {
+        let ms = vec![
+            matrix(3, &[(0, 1, 0.9)]),
+            matrix(3, &[(0, 1, 0.8)]),
+            matrix(3, &[(0, 1, 0.7)]),
+        ];
+        let d = edge_dynamics(&ms);
+        assert_eq!(d.len(), 1);
+        let e = &d[0];
+        assert_eq!((e.i, e.j), (0, 1));
+        assert_eq!(e.presence, 3);
+        assert_eq!(e.activations, 1);
+        assert_eq!(e.deactivations, 0);
+        assert_eq!(e.longest_run, 3);
+        assert!((e.mean_value - 0.8).abs() < 1e-12);
+        assert_eq!(e.stability(3), 1.0);
+        assert!(!e.is_blinking(3, 1, 0.5));
+    }
+
+    #[test]
+    fn blinking_edge_dynamics() {
+        // ON, OFF, ON, OFF pattern.
+        let ms = vec![
+            matrix(3, &[(0, 1, 0.9)]),
+            matrix(3, &[]),
+            matrix(3, &[(0, 1, 0.9)]),
+            matrix(3, &[]),
+        ];
+        let d = edge_dynamics(&ms);
+        let e = &d[0];
+        assert_eq!(e.presence, 2);
+        assert_eq!(e.activations, 2);
+        assert_eq!(e.deactivations, 2);
+        assert_eq!(e.longest_run, 1);
+        assert!(e.is_blinking(4, 2, 0.5));
+    }
+
+    #[test]
+    fn edge_off_at_end_counts_final_deactivation() {
+        let ms = vec![matrix(3, &[(1, 2, 0.9)]), matrix(3, &[])];
+        let d = edge_dynamics(&ms);
+        assert_eq!(d[0].deactivations, 1);
+        // Edge still ON at the end has none.
+        let ms = vec![matrix(3, &[]), matrix(3, &[(1, 2, 0.9)])];
+        let d = edge_dynamics(&ms);
+        assert_eq!(d[0].deactivations, 0);
+    }
+
+    #[test]
+    fn window_summaries_track_structure() {
+        let ms = vec![
+            matrix(4, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)]),
+            matrix(4, &[(0, 1, 0.9)]),
+        ];
+        let s = window_summaries(&ms);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].n_edges, 3);
+        assert_eq!(s[0].giant_size, 3);
+        assert_eq!(s[0].n_components, 2); // triangle + isolated node
+        assert_eq!(s[0].clustering, 3.0 / 4.0);
+        assert_eq!(s[1].n_edges, 1);
+        assert_eq!(s[1].n_components, 3);
+    }
+
+    #[test]
+    fn jaccard_series() {
+        let ms = vec![
+            matrix(4, &[(0, 1, 0.9), (1, 2, 0.9)]),
+            matrix(4, &[(0, 1, 0.9), (2, 3, 0.9)]),
+            matrix(4, &[(0, 1, 0.9), (2, 3, 0.9)]),
+            matrix(4, &[]),
+        ];
+        let j = consecutive_jaccard(&ms);
+        assert_eq!(j.len(), 3);
+        assert!((j[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(j[1], 1.0);
+        assert_eq!(j[2], 0.0);
+        // Two empty windows are identical.
+        let j = consecutive_jaccard(&[matrix(2, &[]), matrix(2, &[])]);
+        assert_eq!(j[0], 1.0);
+    }
+
+    #[test]
+    fn dynamics_sorted_by_pair() {
+        let ms = vec![matrix(4, &[(2, 3, 0.9), (0, 1, 0.9), (1, 3, 0.9)])];
+        let d = edge_dynamics(&ms);
+        let pairs: Vec<(u32, u32)> = d.iter().map(|e| (e.i, e.j)).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 3), (2, 3)]);
+    }
+}

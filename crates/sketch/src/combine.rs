@@ -1,0 +1,225 @@
+//! Equation 1: exact Pearson correlation of a query window from
+//! basic-window sketches.
+//!
+//! Two implementations are provided:
+//!
+//! * [`window_correlation`] — the production path: pooled raw sums from
+//!   [`SketchStore`] prefix arrays + the pair cross prefix, O(1) per
+//!   window;
+//! * [`pearson_eq1_paper_form`] — the literal Equation 1 of the paper
+//!   (basic-window means `x̄_j`, deviations `δ_j`, standard deviations
+//!   `σ_j` and correlations `c_j`), O(n_s) per window, kept as executable
+//!   documentation and as the oracle for the property test that shows both
+//!   forms agree with the direct computation.
+
+use crate::pair::PairSketch;
+use crate::store::SketchStore;
+use tsdata::stats::pearson_from_sums;
+use tsdata::TsError;
+
+/// Exact Pearson correlation of series `i` and `j` over basic windows
+/// `[b0, b1)`, reconstructed from sketches in O(1).
+pub fn window_correlation(
+    store: &SketchStore,
+    pair: &PairSketch,
+    i: usize,
+    j: usize,
+    b0: usize,
+    b1: usize,
+) -> Result<f64, TsError> {
+    let sx = store.window_stats(i, b0, b1);
+    let sy = store.window_stats(j, b0, b1);
+    let sxy = pair.cross_sum(b0, b1);
+    pearson_from_sums(sx.n, sx.sum, sy.sum, sx.sum_sq, sy.sum_sq, sxy)
+}
+
+/// Per-basic-window inputs to the literal Eq. 1.
+#[derive(Debug, Clone, Copy)]
+pub struct BasicWindowTerms {
+    /// Basic-window size `B_j`.
+    pub size: f64,
+    /// Mean of `x` in the window (`x̄_j`).
+    pub mean_x: f64,
+    /// Mean of `y` in the window (`ȳ_j`).
+    pub mean_y: f64,
+    /// Std of `x` in the window (`σ_{x_j}`).
+    pub std_x: f64,
+    /// Std of `y` in the window (`σ_{y_j}`).
+    pub std_y: f64,
+    /// Correlation of the pair within the window (`c_j`).
+    pub corr: f64,
+}
+
+/// The paper's Equation 1, literally:
+///
+/// ```text
+///            Σ_j B_j (σ_xj σ_yj c_j + δ_xj δ_yj)
+/// Corr = ─────────────────────────────────────────────
+///        √(Σ_j B_j (σ_xj² + δ_xj²)) √(Σ_j B_j (σ_yj² + δ_yj²))
+/// ```
+///
+/// with `δ_xj = x̄_j − mean of window means`. The `δ` form matches the
+/// pooled computation exactly when all `B_j` are equal (the layout this
+/// workspace uses); the pooled-sums path [`window_correlation`] stays exact
+/// for unequal sizes as well.
+pub fn pearson_eq1_paper_form(terms: &[BasicWindowTerms]) -> Result<f64, TsError> {
+    if terms.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let ns = terms.len() as f64;
+    let grand_mean_x = terms.iter().map(|t| t.mean_x).sum::<f64>() / ns;
+    let grand_mean_y = terms.iter().map(|t| t.mean_y).sum::<f64>() / ns;
+    let mut num = 0.0;
+    let mut den_x = 0.0;
+    let mut den_y = 0.0;
+    for t in terms {
+        let dx = t.mean_x - grand_mean_x;
+        let dy = t.mean_y - grand_mean_y;
+        num += t.size * (t.std_x * t.std_y * t.corr + dx * dy);
+        den_x += t.size * (t.std_x * t.std_x + dx * dx);
+        den_y += t.size * (t.std_y * t.std_y + dy * dy);
+    }
+    if den_x <= 0.0 || den_y <= 0.0 {
+        return Err(TsError::ZeroVariance);
+    }
+    Ok((num / (den_x.sqrt() * den_y.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Convenience: collect the [`BasicWindowTerms`] of a pair over
+/// `[b0, b1)` from the sketches (the paper's precomputed statistics).
+pub fn collect_terms(
+    store: &SketchStore,
+    pair: &PairSketch,
+    i: usize,
+    j: usize,
+    b0: usize,
+    b1: usize,
+) -> Result<Vec<BasicWindowTerms>, TsError> {
+    let mut out = Vec::with_capacity(b1 - b0);
+    for b in b0..b1 {
+        let sx = store.basic_stats(i, b);
+        let sy = store.basic_stats(j, b);
+        let corr = pair.basic_correlation(store, i, j, b).unwrap_or(0.0);
+        out.push(BasicWindowTerms {
+            size: sx.n,
+            mean_x: sx.mean(),
+            mean_y: sy.mean(),
+            std_x: sx.std_dev(),
+            std_y: sy.std_dev(),
+            corr,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::BasicWindowLayout;
+    use proptest::prelude::*;
+    use tsdata::{stats, TimeSeriesMatrix};
+
+    fn setup(x: Vec<f64>, y: Vec<f64>, width: usize) -> (SketchStore, PairSketch, Vec<f64>, Vec<f64>) {
+        let layout = BasicWindowLayout::cover(0, x.len(), width).unwrap();
+        let m = TimeSeriesMatrix::from_rows(vec![x.clone(), y.clone()]).unwrap();
+        let store = SketchStore::build(&m, layout).unwrap();
+        let pair = PairSketch::build(&layout, &x, &y).unwrap();
+        (store, pair, x, y)
+    }
+
+    #[test]
+    fn pooled_form_matches_direct_pearson() {
+        let x: Vec<f64> = (0..40).map(|t| (t as f64 * 0.31).sin() + 0.02 * t as f64).collect();
+        let y: Vec<f64> = (0..40).map(|t| (t as f64 * 0.31).sin() * 0.7 + (t as f64 * 1.3).cos()).collect();
+        let (store, pair, x, y) = setup(x, y, 5);
+        for (b0, b1) in [(0usize, 8usize), (0, 2), (3, 8), (2, 5)] {
+            let direct = stats::pearson(&x[b0 * 5..b1 * 5], &y[b0 * 5..b1 * 5]).unwrap();
+            let sketched = window_correlation(&store, &pair, 0, 1, b0, b1).unwrap();
+            assert!(
+                (direct - sketched).abs() < 1e-10,
+                "[{b0},{b1}): {direct} vs {sketched}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_form_matches_pooled_form_equal_sizes() {
+        let x: Vec<f64> = (0..48).map(|t| (t as f64 * 0.77).sin() + 0.1 * (t as f64).sqrt()).collect();
+        let y: Vec<f64> = (0..48).map(|t| (t as f64 * 0.77).cos() - 0.05 * t as f64).collect();
+        let (store, pair, ..) = setup(x, y, 6);
+        for (b0, b1) in [(0usize, 8usize), (1, 5), (4, 8)] {
+            let pooled = window_correlation(&store, &pair, 0, 1, b0, b1).unwrap();
+            let terms = collect_terms(&store, &pair, 0, 1, b0, b1).unwrap();
+            let paper = pearson_eq1_paper_form(&terms).unwrap();
+            assert!(
+                (pooled - paper).abs() < 1e-10,
+                "[{b0},{b1}): pooled {pooled} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_variance_propagates() {
+        let x = vec![2.0; 20];
+        let y: Vec<f64> = (0..20).map(|t| t as f64).collect();
+        let (store, pair, ..) = setup(x, y, 5);
+        assert!(matches!(
+            window_correlation(&store, &pair, 0, 1, 0, 4),
+            Err(TsError::ZeroVariance)
+        ));
+        assert!(pearson_eq1_paper_form(&[]).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Eq. 1 (both forms) equals the direct Pearson computation for
+        /// arbitrary data and any aligned window.
+        #[test]
+        fn eq1_equals_direct_for_random_series(
+            seed in 0u64..1_000,
+            width in 2usize..6,
+            nb in 2usize..8,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let len = width * nb;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let x: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            let y: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            let (store, pair, x, y) = setup(x, y, width);
+
+            let b0 = rng.gen_range(0..nb - 1);
+            let b1 = rng.gen_range(b0 + 1..=nb);
+            let lo = b0 * width;
+            let hi = b1 * width;
+            // Direct computation may legitimately fail on zero variance;
+            // in that case the sketched path must fail too.
+            match stats::pearson(&x[lo..hi], &y[lo..hi]) {
+                Ok(direct) => {
+                    let pooled = window_correlation(&store, &pair, 0, 1, b0, b1).unwrap();
+                    prop_assert!((direct - pooled).abs() < 1e-9);
+                    let terms = collect_terms(&store, &pair, 0, 1, b0, b1).unwrap();
+                    let paper = pearson_eq1_paper_form(&terms).unwrap();
+                    prop_assert!((direct - paper).abs() < 1e-9);
+                }
+                Err(_) => {
+                    prop_assert!(window_correlation(&store, &pair, 0, 1, b0, b1).is_err());
+                }
+            }
+        }
+
+        /// Correlation reconstructed from sketches is always within [−1, 1].
+        #[test]
+        fn eq1_result_is_bounded(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let len = 24;
+            let x: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 1e6).collect();
+            let y: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 1e-6).collect();
+            let (store, pair, ..) = setup(x, y, 4);
+            if let Ok(r) = window_correlation(&store, &pair, 0, 1, 0, 6) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # sketch — basic-window sketches and the Eq. 1 combiner
+//!
+//! The substrate shared by Dangoron and the TSUBASA baseline. A series is
+//! divided into *basic windows*; per-window statistics (sums, squared sums,
+//! pairwise cross sums) are precomputed once, and the exact Pearson
+//! correlation of **any** aligned query window is reconstructed from them
+//! with the paper's Equation 1 — here implemented in pooled-sums form,
+//! which is algebraically identical and exact for unequal window sizes too
+//! (see `combine::pearson_eq1_paper_form` for the literal Eq. 1 and the
+//! property test showing they agree).
+//!
+//! Modules:
+//! * [`plan`] — query geometry: [`plan::SlidingQuery`] (the paper's
+//!   `r, l, η, β`) and [`plan::BasicWindowLayout`] alignment;
+//! * [`store`] — per-series prefix-summed basic-window statistics, with
+//!   compact binary (de)serialisation;
+//! * [`pair`] — per-pair cross-product sketches;
+//! * [`combine`] — O(1) window correlation from the sketches (Eq. 1);
+//! * [`output`] — [`output::ThresholdedMatrix`], the sparse `C_k` the
+//!   problem definition asks for.
+
+pub mod combine;
+pub mod output;
+pub mod pair;
+pub mod plan;
+pub mod store;
+
+pub use output::ThresholdedMatrix;
+pub use pair::PairSketch;
+pub use plan::{BasicWindowLayout, SlidingQuery};
+pub use store::SketchStore;

@@ -1,0 +1,207 @@
+//! Per-pair cross-product sketches.
+//!
+//! For a pair `(x, y)` the only quantity Eq. 1 needs beyond the per-series
+//! stats is the per-basic-window cross sum `Σ x·y` (equivalently the
+//! basic-window correlation `c_j` once combined with the per-series
+//! moments). Stored as a prefix over basic windows, any aligned window's
+//! cross sum is O(1).
+
+use crate::plan::BasicWindowLayout;
+use crate::store::SketchStore;
+use tsdata::TsError;
+
+/// Cross-product sketch for one ordered pair of series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairSketch {
+    /// Prefix sums of per-basic-window `Σ x·y` (length `count + 1`).
+    cross_prefix: Vec<f64>,
+}
+
+impl PairSketch {
+    /// Builds the sketch from the two raw rows in O(L).
+    pub fn build(layout: &BasicWindowLayout, x: &[f64], y: &[f64]) -> Result<Self, TsError> {
+        if x.len() != y.len() {
+            return Err(TsError::DimensionMismatch {
+                expected: x.len(),
+                found: y.len(),
+            });
+        }
+        if layout.end() > x.len() {
+            return Err(TsError::OutOfRange {
+                requested: layout.end(),
+                available: x.len(),
+            });
+        }
+        let mut cross_prefix = Vec::with_capacity(layout.count + 1);
+        cross_prefix.push(0.0);
+        let mut acc = 0.0;
+        for b in 0..layout.count {
+            let (t0, t1) = layout.time_range(b);
+            for t in t0..t1 {
+                acc += x[t] * y[t];
+            }
+            cross_prefix.push(acc);
+        }
+        Ok(Self { cross_prefix })
+    }
+
+    /// Number of basic windows covered.
+    pub fn count(&self) -> usize {
+        self.cross_prefix.len() - 1
+    }
+
+    /// Extends the sketch to cover `layout` (the *grown* layout after a
+    /// [`SketchStore::append`]) by reading only the new columns. Returns
+    /// the number of basic windows added.
+    pub fn append(
+        &mut self,
+        layout: &BasicWindowLayout,
+        x: &[f64],
+        y: &[f64],
+    ) -> Result<usize, TsError> {
+        if x.len() != y.len() {
+            return Err(TsError::DimensionMismatch {
+                expected: x.len(),
+                found: y.len(),
+            });
+        }
+        if layout.end() > x.len() {
+            return Err(TsError::OutOfRange {
+                requested: layout.end(),
+                available: x.len(),
+            });
+        }
+        let old_count = self.count();
+        if layout.count < old_count {
+            return Err(TsError::InvalidParameter(
+                "grown layout has fewer basic windows than the sketch".into(),
+            ));
+        }
+        let mut acc = *self.cross_prefix.last().unwrap();
+        for b in old_count..layout.count {
+            let (t0, t1) = layout.time_range(b);
+            for t in t0..t1 {
+                acc += x[t] * y[t];
+            }
+            self.cross_prefix.push(acc);
+        }
+        Ok(layout.count - old_count)
+    }
+
+    /// `Σ x·y` over basic windows `[b0, b1)` — O(1).
+    #[inline]
+    pub fn cross_sum(&self, b0: usize, b1: usize) -> f64 {
+        debug_assert!(b0 < b1 && b1 < self.cross_prefix.len());
+        self.cross_prefix[b1] - self.cross_prefix[b0]
+    }
+
+    /// The basic-window correlation `c_b` of the pair (the `c_j` of Eq. 1
+    /// and the `c_i` of the Eq. 2 bound), given the owning store and the
+    /// two series indices. `None` when either window is constant.
+    pub fn basic_correlation(
+        &self,
+        store: &SketchStore,
+        i: usize,
+        j: usize,
+        b: usize,
+    ) -> Option<f64> {
+        let sx = store.basic_stats(i, b);
+        let sy = store.basic_stats(j, b);
+        let n = sx.n;
+        let cov = self.cross_sum(b, b + 1) / n - sx.mean() * sy.mean();
+        let denom = sx.std_dev() * sy.std_dev();
+        if denom <= 0.0 {
+            return None;
+        }
+        Some((cov / denom).clamp(-1.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::{stats, TimeSeriesMatrix};
+
+    fn rows() -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..30).map(|t| (t as f64 * 0.9).sin() + 0.05 * t as f64).collect();
+        let y: Vec<f64> = (0..30).map(|t| (t as f64 * 0.9).cos() - 0.02 * t as f64).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn cross_sums_match_direct() {
+        let (x, y) = rows();
+        let layout = BasicWindowLayout::cover(0, 30, 5).unwrap();
+        let p = PairSketch::build(&layout, &x, &y).unwrap();
+        assert_eq!(p.count(), 6);
+        for b0 in 0..6 {
+            for b1 in (b0 + 1)..=6 {
+                let direct: f64 = (layout.origin + b0 * 5..layout.origin + b1 * 5)
+                    .map(|t| x[t] * y[t])
+                    .sum();
+                assert!((p.cross_sum(b0, b1) - direct).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn basic_correlation_matches_pearson() {
+        let (x, y) = rows();
+        let layout = BasicWindowLayout::cover(0, 30, 6).unwrap();
+        let m = TimeSeriesMatrix::from_rows(vec![x.clone(), y.clone()]).unwrap();
+        let store = SketchStore::build(&m, layout).unwrap();
+        let p = PairSketch::build(&layout, &x, &y).unwrap();
+        for b in 0..layout.count {
+            let (t0, t1) = layout.time_range(b);
+            let expected = stats::pearson(&x[t0..t1], &y[t0..t1]).unwrap();
+            let got = p.basic_correlation(&store, 0, 1, b).unwrap();
+            assert!((got - expected).abs() < 1e-9, "bw {b}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn constant_window_correlation_is_none() {
+        let x = vec![1.0; 12];
+        let y: Vec<f64> = (0..12).map(|t| t as f64).collect();
+        let layout = BasicWindowLayout::cover(0, 12, 4).unwrap();
+        let m = TimeSeriesMatrix::from_rows(vec![x.clone(), y.clone()]).unwrap();
+        let store = SketchStore::build(&m, layout).unwrap();
+        let p = PairSketch::build(&layout, &x, &y).unwrap();
+        assert!(p.basic_correlation(&store, 0, 1, 0).is_none());
+    }
+
+    #[test]
+    fn append_matches_fresh_build() {
+        let (x, y) = rows();
+        let small = BasicWindowLayout::cover(0, 15, 5).unwrap();
+        let mut p = PairSketch::build(&small, &x[..15], &y[..15]).unwrap();
+        let grown = BasicWindowLayout::cover(0, 30, 5).unwrap();
+        assert_eq!(p.append(&grown, &x, &y).unwrap(), 3);
+        let fresh = PairSketch::build(&grown, &x, &y).unwrap();
+        assert_eq!(p, fresh);
+        // Idempotent when nothing new is complete.
+        assert_eq!(p.append(&grown, &x, &y).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_validates() {
+        let (x, y) = rows();
+        let small = BasicWindowLayout::cover(0, 15, 5).unwrap();
+        let mut p = PairSketch::build(&small, &x[..15], &y[..15]).unwrap();
+        let grown = BasicWindowLayout::cover(0, 30, 5).unwrap();
+        assert!(p.append(&grown, &x[..20], &y).is_err()); // length mismatch
+        assert!(p.append(&grown, &x[..20], &y[..20]).is_err()); // too short
+        let shrunk = BasicWindowLayout::cover(0, 10, 5).unwrap();
+        assert!(p.append(&shrunk, &x, &y).is_err());
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        let layout = BasicWindowLayout::cover(0, 30, 5).unwrap();
+        let x = vec![0.0; 30];
+        let y = vec![0.0; 29];
+        assert!(PairSketch::build(&layout, &x, &y).is_err());
+        let short = vec![0.0; 20];
+        assert!(PairSketch::build(&layout, &short, &short).is_err());
+    }
+}

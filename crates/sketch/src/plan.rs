@@ -1,0 +1,297 @@
+//! Query geometry: sliding windows and basic-window alignment.
+
+use serde::{Deserialize, Serialize};
+use tsdata::TsError;
+
+/// The paper's query: range `r = (s, e)`, window size `l`, sliding step
+/// `η`, threshold `β`.
+///
+/// Window `k` covers columns `[start + k·step, start + k·step + window)`,
+/// for `k = 0 … γ` with `γ` the largest index keeping the window inside
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlidingQuery {
+    /// Query range start `s` (inclusive column index).
+    pub start: usize,
+    /// Query range end `e` (exclusive column index).
+    pub end: usize,
+    /// Window size `l`.
+    pub window: usize,
+    /// Sliding step `η`.
+    pub step: usize,
+    /// Correlation threshold `β`: entries below it are zeroed in `C_k`.
+    pub threshold: f64,
+}
+
+impl SlidingQuery {
+    /// Validates against a series length.
+    pub fn validate(&self, series_len: usize) -> Result<(), TsError> {
+        if self.window < 2 {
+            return Err(TsError::InvalidParameter(format!(
+                "window must be at least 2, got {}",
+                self.window
+            )));
+        }
+        if self.step == 0 {
+            return Err(TsError::InvalidParameter("step must be positive".into()));
+        }
+        if self.start >= self.end {
+            return Err(TsError::InvalidParameter(format!(
+                "empty query range {}..{}",
+                self.start, self.end
+            )));
+        }
+        if self.end > series_len {
+            return Err(TsError::OutOfRange {
+                requested: self.end,
+                available: series_len,
+            });
+        }
+        if self.start + self.window > self.end {
+            return Err(TsError::InvalidParameter(format!(
+                "window {} does not fit in range {}..{}",
+                self.window, self.start, self.end
+            )));
+        }
+        if !(-1.0..=1.0).contains(&self.threshold) {
+            return Err(TsError::InvalidParameter(format!(
+                "threshold must be in [-1, 1], got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of windows `γ + 1`.
+    pub fn n_windows(&self) -> usize {
+        if self.start + self.window > self.end {
+            return 0;
+        }
+        (self.end - self.start - self.window) / self.step + 1
+    }
+
+    /// Column range `[wstart, wend)` of window `k`.
+    pub fn window_range(&self, k: usize) -> (usize, usize) {
+        let ws = self.start + k * self.step;
+        (ws, ws + self.window)
+    }
+}
+
+/// A partition of the query range into equal basic windows of `width`
+/// columns, starting at `origin`.
+///
+/// Exactness of the sketch combination requires query windows to align to
+/// basic-window boundaries: `window % width == 0`, `step % width == 0`, and
+/// window starts offset from `origin` by multiples of `width`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicWindowLayout {
+    /// First column covered.
+    pub origin: usize,
+    /// Basic-window width `B` (the paper's `B_j`, equal-size layout).
+    pub width: usize,
+    /// Number of basic windows.
+    pub count: usize,
+}
+
+impl BasicWindowLayout {
+    /// Layout covering `[start, end)` with windows of `width`; the tail
+    /// that does not fill a complete basic window is dropped.
+    pub fn cover(start: usize, end: usize, width: usize) -> Result<Self, TsError> {
+        if width < 2 {
+            return Err(TsError::InvalidParameter(format!(
+                "basic window width must be at least 2, got {width}"
+            )));
+        }
+        if start >= end {
+            return Err(TsError::InvalidParameter(format!(
+                "empty range {start}..{end}"
+            )));
+        }
+        let count = (end - start) / width;
+        if count == 0 {
+            return Err(TsError::InvalidParameter(format!(
+                "range {start}..{end} shorter than one basic window ({width})"
+            )));
+        }
+        Ok(Self {
+            origin: start,
+            width,
+            count,
+        })
+    }
+
+    /// Layout for a query: covers its range and checks alignment.
+    pub fn for_query(query: &SlidingQuery, width: usize) -> Result<Self, TsError> {
+        let layout = Self::cover(query.start, query.end, width)?;
+        if query.window % width != 0 {
+            return Err(TsError::InvalidParameter(format!(
+                "window {} is not a multiple of basic window width {width}",
+                query.window
+            )));
+        }
+        if query.step % width != 0 {
+            return Err(TsError::InvalidParameter(format!(
+                "step {} is not a multiple of basic window width {width}",
+                query.step
+            )));
+        }
+        Ok(layout)
+    }
+
+    /// Exclusive end column.
+    pub fn end(&self) -> usize {
+        self.origin + self.count * self.width
+    }
+
+    /// Column range `[t0, t1)` of basic window `b`.
+    pub fn time_range(&self, b: usize) -> (usize, usize) {
+        let t0 = self.origin + b * self.width;
+        (t0, t0 + self.width)
+    }
+
+    /// Basic-window index range `[b0, b1)` for the column window
+    /// `[wstart, wend)`; errors when unaligned or out of coverage.
+    pub fn window_to_basic(&self, wstart: usize, wend: usize) -> Result<(usize, usize), TsError> {
+        if wstart < self.origin
+            || (wstart - self.origin) % self.width != 0
+            || (wend - self.origin) % self.width != 0
+        {
+            return Err(TsError::InvalidParameter(format!(
+                "window {wstart}..{wend} is not aligned to basic windows (origin {}, width {})",
+                self.origin, self.width
+            )));
+        }
+        let b0 = (wstart - self.origin) / self.width;
+        let b1 = (wend - self.origin) / self.width;
+        if b1 > self.count {
+            return Err(TsError::OutOfRange {
+                requested: b1,
+                available: self.count,
+            });
+        }
+        if b0 >= b1 {
+            return Err(TsError::InvalidParameter("empty window".into()));
+        }
+        Ok((b0, b1))
+    }
+
+    /// Number of basic windows per query window of `window` columns
+    /// (the paper's `n_s`).
+    pub fn windows_per_query(&self, window: usize) -> usize {
+        window / self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> SlidingQuery {
+        SlidingQuery {
+            start: 0,
+            end: 100,
+            window: 20,
+            step: 10,
+            threshold: 0.8,
+        }
+    }
+
+    #[test]
+    fn n_windows_and_ranges() {
+        let q = q();
+        assert_eq!(q.n_windows(), 9); // starts 0,10,...,80
+        assert_eq!(q.window_range(0), (0, 20));
+        assert_eq!(q.window_range(8), (80, 100));
+    }
+
+    #[test]
+    fn single_window_query() {
+        let q = SlidingQuery {
+            start: 5,
+            end: 25,
+            window: 20,
+            step: 7,
+            threshold: 0.0,
+        };
+        assert_eq!(q.n_windows(), 1);
+        assert_eq!(q.window_range(0), (5, 25));
+    }
+
+    #[test]
+    fn validate_catches_bad_queries() {
+        assert!(q().validate(100).is_ok());
+        assert!(q().validate(99).is_err()); // end beyond data
+        let mut b = q();
+        b.step = 0;
+        assert!(b.validate(100).is_err());
+        let mut b = q();
+        b.window = 1;
+        assert!(b.validate(100).is_err());
+        let mut b = q();
+        b.window = 200;
+        assert!(b.validate(300).is_err()); // window larger than range
+        let mut b = q();
+        b.threshold = 1.5;
+        assert!(b.validate(100).is_err());
+        let mut b = q();
+        b.start = 50;
+        b.end = 50;
+        assert!(b.validate(100).is_err());
+    }
+
+    #[test]
+    fn layout_cover_drops_tail() {
+        let l = BasicWindowLayout::cover(10, 47, 5).unwrap();
+        assert_eq!(l.origin, 10);
+        assert_eq!(l.count, 7); // 35 columns covered, 2 dropped
+        assert_eq!(l.end(), 45);
+        assert_eq!(l.time_range(0), (10, 15));
+        assert_eq!(l.time_range(6), (40, 45));
+    }
+
+    #[test]
+    fn layout_cover_rejects_degenerate() {
+        assert!(BasicWindowLayout::cover(0, 10, 1).is_err());
+        assert!(BasicWindowLayout::cover(10, 10, 5).is_err());
+        assert!(BasicWindowLayout::cover(0, 3, 5).is_err());
+    }
+
+    #[test]
+    fn for_query_checks_alignment() {
+        let l = BasicWindowLayout::for_query(&q(), 5).unwrap();
+        assert_eq!(l.count, 20);
+        assert_eq!(l.windows_per_query(20), 4);
+        // Window 20, step 10, width 7: misaligned.
+        assert!(BasicWindowLayout::for_query(&q(), 7).is_err());
+        // Width 4: window 20 OK but step 10 not a multiple.
+        assert!(BasicWindowLayout::for_query(&q(), 4).is_err());
+    }
+
+    #[test]
+    fn window_to_basic_maps_and_rejects() {
+        let l = BasicWindowLayout::cover(10, 60, 10).unwrap();
+        assert_eq!(l.window_to_basic(10, 30).unwrap(), (0, 2));
+        assert_eq!(l.window_to_basic(30, 60).unwrap(), (2, 5));
+        assert!(l.window_to_basic(15, 35).is_err()); // unaligned
+        assert!(l.window_to_basic(10, 70).is_err()); // beyond coverage
+        assert!(l.window_to_basic(0, 20).is_err()); // before origin
+        assert!(l.window_to_basic(20, 20).is_err()); // empty
+    }
+
+    #[test]
+    fn every_query_window_is_aligned_under_for_query() {
+        let q = SlidingQuery {
+            start: 12,
+            end: 252,
+            window: 48,
+            step: 24,
+            threshold: 0.5,
+        };
+        let l = BasicWindowLayout::for_query(&q, 12).unwrap();
+        for k in 0..q.n_windows() {
+            let (ws, we) = q.window_range(k);
+            let (b0, b1) = l.window_to_basic(ws, we).unwrap();
+            assert_eq!(b1 - b0, l.windows_per_query(q.window));
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! User-specified distributions over target correlation matrices
+//! (Tomborg step 1).
+
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tsdata::rand_util;
+use tsdata::TsError;
+
+/// A distribution from which off-diagonal target correlations are drawn.
+///
+/// The sampled matrix is symmetric with unit diagonal but generally **not**
+/// PSD; the generator repairs it with the nearest-correlation projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CorrDistribution {
+    /// Entries uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (≥ −1).
+        lo: f64,
+        /// Upper bound (≤ 1).
+        hi: f64,
+    },
+    /// Entries `lo + (hi−lo)·Beta(a, b)` — skewable mass, the "most pairs
+    /// weak, few strong" shape of real climate/finance panels.
+    Beta {
+        /// Beta shape `a`.
+        a: f64,
+        /// Beta shape `b`.
+        b: f64,
+        /// Lower bound of the affine map.
+        lo: f64,
+        /// Upper bound of the affine map.
+        hi: f64,
+    },
+    /// Block-community structure: `n_blocks` equal communities with
+    /// `within`-strength inside and `between` outside (plus jitter) — the
+    /// fMRI-parcellation shape of the paper's motivation.
+    Block {
+        /// Number of communities.
+        n_blocks: usize,
+        /// In-community correlation.
+        within: f64,
+        /// Cross-community correlation.
+        between: f64,
+        /// Uniform jitter half-width added to every entry.
+        jitter: f64,
+    },
+    /// All off-diagonals equal to `rho` (the equicorrelation matrix; PSD
+    /// for `rho ≥ −1/(n−1)`, so often no repair is needed).
+    Equi {
+        /// The shared correlation.
+        rho: f64,
+    },
+    /// A sparse set of strong correlations on a weak background: fraction
+    /// `frac_strong` of entries at `strong`, the rest at `weak` — the
+    /// high-threshold query's favourite shape.
+    Spike {
+        /// Fraction of strong entries in `(0, 1)`.
+        frac_strong: f64,
+        /// Strong correlation value.
+        strong: f64,
+        /// Background correlation value.
+        weak: f64,
+    },
+}
+
+impl CorrDistribution {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), TsError> {
+        let ok = |v: f64| (-1.0..=1.0).contains(&v);
+        match *self {
+            CorrDistribution::Uniform { lo, hi } => {
+                if !ok(lo) || !ok(hi) || lo > hi {
+                    return Err(TsError::InvalidParameter(format!(
+                        "uniform bounds [{lo}, {hi}] invalid"
+                    )));
+                }
+            }
+            CorrDistribution::Beta { a, b, lo, hi } => {
+                if a <= 0.0 || b <= 0.0 {
+                    return Err(TsError::InvalidParameter("beta shapes must be positive".into()));
+                }
+                if !ok(lo) || !ok(hi) || lo > hi {
+                    return Err(TsError::InvalidParameter(format!(
+                        "beta bounds [{lo}, {hi}] invalid"
+                    )));
+                }
+            }
+            CorrDistribution::Block {
+                n_blocks,
+                within,
+                between,
+                jitter,
+            } => {
+                if n_blocks == 0 {
+                    return Err(TsError::InvalidParameter("need at least one block".into()));
+                }
+                if !ok(within) || !ok(between) || jitter < 0.0 || jitter > 1.0 {
+                    return Err(TsError::InvalidParameter("block parameters out of range".into()));
+                }
+            }
+            CorrDistribution::Equi { rho } => {
+                if !ok(rho) {
+                    return Err(TsError::InvalidParameter(format!("rho {rho} out of range")));
+                }
+            }
+            CorrDistribution::Spike {
+                frac_strong,
+                strong,
+                weak,
+            } => {
+                if !(0.0..=1.0).contains(&frac_strong) || !ok(strong) || !ok(weak) {
+                    return Err(TsError::InvalidParameter("spike parameters out of range".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples an `n × n` symmetric unit-diagonal target matrix.
+    pub fn sample_matrix(&self, n: usize, seed: u64) -> Result<Matrix, TsError> {
+        self.validate()?;
+        if n == 0 {
+            return Err(TsError::Empty);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::identity(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = match *self {
+                    CorrDistribution::Uniform { lo, hi } => {
+                        if lo == hi {
+                            lo
+                        } else {
+                            rng.gen_range(lo..hi)
+                        }
+                    }
+                    CorrDistribution::Beta { a, b, lo, hi } => {
+                        lo + (hi - lo) * rand_util::beta(&mut rng, a, b)
+                    }
+                    CorrDistribution::Block {
+                        n_blocks,
+                        within,
+                        between,
+                        jitter,
+                    } => {
+                        let bi = i * n_blocks / n;
+                        let bj = j * n_blocks / n;
+                        let base = if bi == bj { within } else { between };
+                        let j_off = if jitter > 0.0 {
+                            rng.gen_range(-jitter..jitter)
+                        } else {
+                            0.0
+                        };
+                        (base + j_off).clamp(-1.0, 1.0)
+                    }
+                    CorrDistribution::Equi { rho } => rho,
+                    CorrDistribution::Spike {
+                        frac_strong,
+                        strong,
+                        weak,
+                    } => {
+                        if rng.gen::<f64>() < frac_strong {
+                            strong
+                        } else {
+                            weak
+                        }
+                    }
+                };
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_basic(m: &Matrix, n: usize) {
+        assert_eq!(m.rows(), n);
+        assert!(m.is_symmetric(1e-12));
+        for i in 0..n {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..n {
+                assert!((-1.0..=1.0).contains(&m.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sampling() {
+        let d = CorrDistribution::Uniform { lo: 0.2, hi: 0.6 };
+        let m = d.sample_matrix(8, 1).unwrap();
+        check_basic(&m, 8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert!((0.2..0.6).contains(&m.get(i, j)));
+            }
+        }
+        // Deterministic per seed.
+        assert_eq!(m, d.sample_matrix(8, 1).unwrap());
+        assert_ne!(m, d.sample_matrix(8, 2).unwrap());
+    }
+
+    #[test]
+    fn beta_respects_bounds_and_skews() {
+        let d = CorrDistribution::Beta {
+            a: 2.0,
+            b: 8.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
+        let m = d.sample_matrix(30, 3).unwrap();
+        check_basic(&m, 30);
+        let mut vals = Vec::new();
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                vals.push(m.get(i, j));
+            }
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.2).abs() < 0.05, "Beta(2,8) mean 0.2, got {mean}");
+    }
+
+    #[test]
+    fn block_structure() {
+        let d = CorrDistribution::Block {
+            n_blocks: 2,
+            within: 0.8,
+            between: 0.1,
+            jitter: 0.0,
+        };
+        let m = d.sample_matrix(6, 0).unwrap();
+        check_basic(&m, 6);
+        assert_eq!(m.get(0, 1), 0.8); // same block
+        assert_eq!(m.get(0, 5), 0.1); // cross block
+        assert_eq!(m.get(3, 5), 0.8);
+    }
+
+    #[test]
+    fn equi_and_spike() {
+        let m = CorrDistribution::Equi { rho: 0.4 }.sample_matrix(5, 0).unwrap();
+        check_basic(&m, 5);
+        assert!(m.get(0, 4) == 0.4 && m.get(1, 2) == 0.4);
+
+        let d = CorrDistribution::Spike {
+            frac_strong: 0.2,
+            strong: 0.95,
+            weak: 0.05,
+        };
+        let m = d.sample_matrix(20, 9).unwrap();
+        check_basic(&m, 20);
+        let strong = (0..20)
+            .flat_map(|i| ((i + 1)..20).map(move |j| (i, j)))
+            .filter(|&(i, j)| m.get(i, j) == 0.95)
+            .count();
+        let total = 20 * 19 / 2;
+        let frac = strong as f64 / total as f64;
+        assert!((frac - 0.2).abs() < 0.1, "strong fraction {frac}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(CorrDistribution::Uniform { lo: 0.5, hi: 0.2 }.validate().is_err());
+        assert!(CorrDistribution::Uniform { lo: -2.0, hi: 0.2 }.validate().is_err());
+        assert!(CorrDistribution::Beta {
+            a: 0.0,
+            b: 1.0,
+            lo: 0.0,
+            hi: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CorrDistribution::Block {
+            n_blocks: 0,
+            within: 0.5,
+            between: 0.1,
+            jitter: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(CorrDistribution::Equi { rho: 1.5 }.validate().is_err());
+        assert!(CorrDistribution::Spike {
+            frac_strong: 1.5,
+            strong: 0.9,
+            weak: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(CorrDistribution::Equi { rho: 0.5 }.sample_matrix(0, 0).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! The Tomborg generation pipeline (steps 1–3 of the paper's description).
+
+use crate::distributions::CorrDistribution;
+use crate::spectrum::SpectralEnvelope;
+use dsp::real_fourier;
+use linalg::cholesky::cholesky;
+use linalg::nearest_corr::{nearest_correlation, NearestCorrOptions};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tsdata::rand_util::standard_normal;
+use tsdata::{TimeSeriesMatrix, TsError};
+
+/// Full configuration of one Tomborg dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TomborgConfig {
+    /// Number of series `N`.
+    pub n_series: usize,
+    /// Series length `L`.
+    pub len: usize,
+    /// Target correlation distribution (step 1).
+    pub corr: CorrDistribution,
+    /// Spectral envelope of the latent series (step 2).
+    pub spectrum: SpectralEnvelope,
+    /// RNG seed; generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl TomborgConfig {
+    /// Validates all parts.
+    pub fn validate(&self) -> Result<(), TsError> {
+        if self.n_series < 2 {
+            return Err(TsError::InvalidParameter(
+                "need at least two series".into(),
+            ));
+        }
+        if self.len < 8 {
+            return Err(TsError::TooShort {
+                need: 8,
+                got: self.len,
+            });
+        }
+        self.corr.validate()?;
+        self.spectrum.validate()
+    }
+}
+
+/// A generated dataset with its ground-truth targets.
+#[derive(Debug, Clone)]
+pub struct TomborgDataset {
+    /// The generated `N × L` matrix.
+    pub data: TimeSeriesMatrix,
+    /// The matrix actually imposed on the data: the nearest valid
+    /// correlation matrix to [`TomborgDataset::raw_target`].
+    pub target: Matrix,
+    /// The matrix sampled from the user's distribution before PSD repair.
+    pub raw_target: Matrix,
+}
+
+/// Runs the full pipeline.
+///
+/// 1. `raw_target ~ corr`; `target = nearest_correlation(raw_target)`;
+///    `L = chol(target)`.
+/// 2. `N` independent latent series are generated *in frequency space*:
+///    coefficient `c` of latent `k` is `w_c · ε`, `ε ~ N(0,1)`.
+/// 3. Each latent coefficient vector is mapped to the time domain with the
+///    real-valued inverse DFT, and latents are mixed by `L`:
+///    `X = L · G` row-correlates as `target`.
+pub fn generate(config: &TomborgConfig) -> Result<TomborgDataset, TsError> {
+    config.validate()?;
+    let n = config.n_series;
+    let len = config.len;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Step 1: target correlation matrix.
+    let raw_target = config.corr.sample_matrix(n, config.seed ^ 0x70_6D_62_67)?;
+    let target = nearest_correlation(&raw_target, NearestCorrOptions::default())
+        .map_err(|e| TsError::InvalidParameter(format!("target repair failed: {e}")))?;
+    let l = cholesky(&target, 1e-12)
+        .map_err(|e| TsError::InvalidParameter(format!("cholesky failed: {e}")))?;
+
+    // Step 2: latent series in frequency space.
+    let weights = config.spectrum.weights(len)?;
+    let mut latents: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let coeffs: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                if w == 0.0 {
+                    0.0
+                } else {
+                    w * standard_normal(&mut rng)
+                }
+            })
+            .collect();
+        // Step 3a: real-valued inverse DFT — ℝⁿ coefficients to ℝⁿ series.
+        latents.push(real_fourier::inverse(&coeffs));
+    }
+
+    // Step 3b: mix latents with the Cholesky factor.
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = vec![0.0; len];
+        for k in 0..=i {
+            let lik = l.get(i, k);
+            if lik == 0.0 {
+                continue;
+            }
+            for (t, v) in row.iter_mut().enumerate() {
+                *v += lik * latents[k][t];
+            }
+        }
+        rows.push(row);
+    }
+
+    Ok(TomborgDataset {
+        data: TimeSeriesMatrix::from_rows(rows)?,
+        target,
+        raw_target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::stats;
+
+    fn config(corr: CorrDistribution, spectrum: SpectralEnvelope) -> TomborgConfig {
+        TomborgConfig {
+            n_series: 8,
+            len: 4_096,
+            corr,
+            spectrum,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn determinism_and_shape() {
+        let c = config(CorrDistribution::Equi { rho: 0.5 }, SpectralEnvelope::White);
+        let a = generate(&c).unwrap();
+        let b = generate(&c).unwrap();
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.data.n_series(), 8);
+        assert_eq!(a.data.len(), 4_096);
+    }
+
+    #[test]
+    fn white_spectrum_hits_target_correlations() {
+        let c = config(CorrDistribution::Equi { rho: 0.6 }, SpectralEnvelope::White);
+        let d = generate(&c).unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let r = stats::pearson(d.data.row(i), d.data.row(j)).unwrap();
+                let t = d.target.get(i, j);
+                assert!((r - t).abs() < 0.08, "pair ({i},{j}): {r} vs target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_targets_survive_repair_and_generation() {
+        let c = config(
+            CorrDistribution::Block {
+                n_blocks: 2,
+                within: 0.85,
+                between: 0.05,
+                jitter: 0.0,
+            },
+            SpectralEnvelope::White,
+        );
+        let d = generate(&c).unwrap();
+        // In-block pairs clearly stronger than cross-block pairs.
+        let r_in = stats::pearson(d.data.row(0), d.data.row(1)).unwrap();
+        let r_out = stats::pearson(d.data.row(0), d.data.row(7)).unwrap();
+        assert!(r_in > 0.6, "in-block r = {r_in}");
+        assert!(r_out < 0.4, "cross-block r = {r_out}");
+    }
+
+    #[test]
+    fn non_psd_raw_target_is_repaired() {
+        // Uniform high correlations on 8 series are almost surely not PSD
+        // as sampled; generation must still succeed and the imposed target
+        // must be a valid correlation matrix.
+        let c = config(
+            CorrDistribution::Uniform { lo: 0.5, hi: 0.95 },
+            SpectralEnvelope::White,
+        );
+        let d = generate(&c).unwrap();
+        assert!(
+            linalg::nearest_corr::is_positive_semidefinite(&d.target, 1e-6).unwrap()
+        );
+        for i in 0..8 {
+            assert!((d.target.get(i, i) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pink_spectrum_autocorrelates() {
+        let c = config(
+            CorrDistribution::Equi { rho: 0.0 },
+            SpectralEnvelope::Pink { alpha: 2.0 },
+        );
+        let d = generate(&c).unwrap();
+        let x = d.data.row(0);
+        let lag1 = stats::pearson(&x[..x.len() - 1], &x[1..]).unwrap();
+        assert!(lag1 > 0.8, "pink noise should be smooth, lag-1 = {lag1}");
+
+        let cw = config(CorrDistribution::Equi { rho: 0.0 }, SpectralEnvelope::White);
+        let dw = generate(&cw).unwrap();
+        let w = dw.data.row(0);
+        let lag1w = stats::pearson(&w[..w.len() - 1], &w[1..]).unwrap();
+        assert!(lag1w.abs() < 0.1, "white noise lag-1 = {lag1w}");
+    }
+
+    #[test]
+    fn band_spectrum_still_hits_targets() {
+        // Correlation structure must be independent of the spectral shape
+        // (the whole point of separating steps 1 and 2).
+        let c = config(
+            CorrDistribution::Equi { rho: 0.7 },
+            SpectralEnvelope::Band { lo: 0.5, hi: 0.9 },
+        );
+        let d = generate(&c).unwrap();
+        let r = stats::pearson(d.data.row(2), d.data.row(5)).unwrap();
+        assert!((r - d.target.get(2, 5)).abs() < 0.08, "r = {r}");
+    }
+
+    #[test]
+    fn generated_series_are_zero_mean_unit_variance() {
+        let c = config(CorrDistribution::Equi { rho: 0.3 }, SpectralEnvelope::White);
+        let d = generate(&c).unwrap();
+        for i in 0..d.data.n_series() {
+            let m = stats::mean(d.data.row(i)).unwrap();
+            let v = stats::variance(d.data.row(i)).unwrap();
+            assert!(m.abs() < 0.15, "series {i} mean {m}");
+            assert!((v - 1.0).abs() < 0.3, "series {i} variance {v}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = config(CorrDistribution::Equi { rho: 0.5 }, SpectralEnvelope::White);
+        c.n_series = 1;
+        assert!(generate(&c).is_err());
+        let mut c = config(CorrDistribution::Equi { rho: 0.5 }, SpectralEnvelope::White);
+        c.len = 4;
+        assert!(generate(&c).is_err());
+        let c = config(CorrDistribution::Equi { rho: 2.0 }, SpectralEnvelope::White);
+        assert!(generate(&c).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # tomborg — the benchmark generator for correlation-matrix computation
+//!
+//! The paper's second contribution: generate time-series datasets with a
+//! *known, user-specified* correlation structure so that the robustness of
+//! correlation engines can be tested systematically. The pipeline follows
+//! the paper's three steps:
+//!
+//! 1. **Sample a target correlation matrix** `C` from a user-specified
+//!    distribution ([`distributions`]), then repair it to the nearest valid
+//!    (PSD, unit-diagonal) correlation matrix (`linalg::nearest_corr`);
+//! 2. **Generate independent series in frequency space**: iid Gaussian
+//!    real-Fourier coefficients shaped by a spectral envelope
+//!    ([`spectrum`]) — legitimate because the orthonormal real DFT
+//!    preserves distances/inner products (Parseval), so correlation
+//!    structure imposed on coefficients carries to the series;
+//! 3. **Transform to the time domain with the real-valued inverse DFT**
+//!    (`dsp::real_fourier::inverse`, the paper's ℝⁿ→ℝⁿ variant) and mix
+//!    with the Cholesky factor of `C` so the rows correlate as specified.
+//!
+//! [`suite`] packages the distribution × spectrum grid used by the
+//! robustness experiment (E6), and [`verify`] measures how close the
+//! generated data's empirical correlation lands to the target.
+
+pub mod distributions;
+pub mod generator;
+pub mod spectrum;
+pub mod suite;
+pub mod verify;
+
+pub use distributions::CorrDistribution;
+pub use generator::{TomborgConfig, TomborgDataset};
+pub use spectrum::SpectralEnvelope;

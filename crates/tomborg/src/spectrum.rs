@@ -1,0 +1,187 @@
+//! Spectral envelopes for frequency-space generation (Tomborg step 2).
+//!
+//! An envelope assigns a standard deviation to every real-Fourier
+//! coefficient of a series. Because the real Fourier basis is orthonormal,
+//! the time-domain variance equals the coefficient-domain variance, so
+//! envelopes are normalised to `Σ w_c² = n` ⇒ unit time-domain variance on
+//! average. The envelope controls autocorrelation/smoothness — the axis
+//! along which frequency-transform baselines (StatStream family) succeed
+//! or fail, which is exactly what the robustness benchmark sweeps.
+
+use serde::{Deserialize, Serialize};
+use tsdata::TsError;
+
+/// A named spectral shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpectralEnvelope {
+    /// Flat spectrum — white noise; energy maximally spread (the
+    /// frequency-based baselines' worst case).
+    White,
+    /// `1/f^alpha` power decay — pink/red noise; smooth, slowly drifting
+    /// series like climate data (`alpha` ≈ 1–2).
+    Pink {
+        /// Power-law exponent (≥ 0).
+        alpha: f64,
+    },
+    /// All energy in the lowest `frac` of frequencies — the concentrated
+    /// case where truncated-DFT methods are exact.
+    Concentrated {
+        /// Fraction of the band kept, in `(0, 1]`.
+        frac: f64,
+    },
+    /// Energy confined to a frequency band `[lo, hi]` (fractions of the
+    /// Nyquist band) — energy present but *not* in the low coefficients,
+    /// an adversarial case for "keep the first m coefficients" methods.
+    Band {
+        /// Band start as a fraction of Nyquist, in `[0, 1)`.
+        lo: f64,
+        /// Band end as a fraction of Nyquist, in `(lo, 1]`.
+        hi: f64,
+    },
+}
+
+impl SpectralEnvelope {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), TsError> {
+        match *self {
+            SpectralEnvelope::White => Ok(()),
+            SpectralEnvelope::Pink { alpha } => {
+                if alpha < 0.0 || !alpha.is_finite() {
+                    Err(TsError::InvalidParameter(format!("alpha {alpha} invalid")))
+                } else {
+                    Ok(())
+                }
+            }
+            SpectralEnvelope::Concentrated { frac } => {
+                if frac <= 0.0 || frac > 1.0 {
+                    Err(TsError::InvalidParameter(format!("frac {frac} invalid")))
+                } else {
+                    Ok(())
+                }
+            }
+            SpectralEnvelope::Band { lo, hi } => {
+                if !(0.0..1.0).contains(&lo) || hi <= lo || hi > 1.0 {
+                    Err(TsError::InvalidParameter(format!("band [{lo}, {hi}] invalid")))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Per-coefficient standard deviations for series length `n`,
+    /// normalised so `Σ w_c² = n` (unit average time-domain variance).
+    ///
+    /// Coefficient `c = 0` is DC (set to 0 — generated series are
+    /// zero-mean), `c = 2k−1, 2k` correspond to frequency `k`.
+    pub fn weights(&self, n: usize) -> Result<Vec<f64>, TsError> {
+        self.validate()?;
+        if n < 4 {
+            return Err(TsError::TooShort { need: 4, got: n });
+        }
+        let nyquist = n / 2;
+        let mut w2 = vec![0.0f64; n]; // squared weights
+        for c in 1..n {
+            // Frequency index of coefficient c (Nyquist row for even n is
+            // c = n−1 with k = n/2).
+            let k = if n % 2 == 0 && c == n - 1 {
+                nyquist
+            } else {
+                (c + 1) / 2
+            };
+            let f = k as f64 / nyquist as f64; // fraction of Nyquist
+            w2[c] = match *self {
+                SpectralEnvelope::White => 1.0,
+                SpectralEnvelope::Pink { alpha } => (k as f64).powf(-alpha),
+                SpectralEnvelope::Concentrated { frac } => {
+                    if f <= frac {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                SpectralEnvelope::Band { lo, hi } => {
+                    if f >= lo && f <= hi {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+        let total: f64 = w2.iter().sum();
+        if total <= 0.0 {
+            return Err(TsError::InvalidParameter(
+                "spectral envelope selects no frequencies at this length".into(),
+            ));
+        }
+        let scale = n as f64 / total;
+        Ok(w2.into_iter().map(|v| (v * scale).sqrt()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_normalised() {
+        for env in [
+            SpectralEnvelope::White,
+            SpectralEnvelope::Pink { alpha: 1.0 },
+            SpectralEnvelope::Concentrated { frac: 0.2 },
+            SpectralEnvelope::Band { lo: 0.4, hi: 0.8 },
+        ] {
+            let w = env.weights(128).unwrap();
+            let energy: f64 = w.iter().map(|v| v * v).sum();
+            assert!((energy - 128.0).abs() < 1e-9, "{env:?}: {energy}");
+            assert_eq!(w[0], 0.0, "DC must be zero");
+        }
+    }
+
+    #[test]
+    fn white_is_flat() {
+        let w = SpectralEnvelope::White.weights(64).unwrap();
+        for c in 1..64 {
+            assert!((w[c] - w[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pink_decays() {
+        let w = SpectralEnvelope::Pink { alpha: 1.5 }.weights(128).unwrap();
+        // Coefficient 1 (k=1) must carry more weight than coefficient 63
+        // (k=32).
+        assert!(w[1] > w[63]);
+        // Monotone over frequency for cos rows.
+        assert!(w[1] > w[3] && w[3] > w[5]);
+    }
+
+    #[test]
+    fn concentrated_cuts_high_frequencies() {
+        let w = SpectralEnvelope::Concentrated { frac: 0.25 }.weights(64).unwrap();
+        // k ≤ 8 kept (f = k/32 ≤ 0.25), higher zero.
+        assert!(w[2 * 8 - 1] > 0.0);
+        assert_eq!(w[2 * 9 - 1], 0.0);
+        assert_eq!(w[63], 0.0); // Nyquist
+    }
+
+    #[test]
+    fn band_selects_middle() {
+        let w = SpectralEnvelope::Band { lo: 0.5, hi: 0.75 }.weights(64).unwrap();
+        // k = 16 → f = 0.5 in band; k = 4 → 0.125 out; k = 28 → 0.875 out.
+        assert!(w[2 * 16 - 1] > 0.0);
+        assert_eq!(w[2 * 4 - 1], 0.0);
+        assert_eq!(w[2 * 28 - 1], 0.0);
+    }
+
+    #[test]
+    fn validation_and_degenerate_lengths() {
+        assert!(SpectralEnvelope::Pink { alpha: -1.0 }.validate().is_err());
+        assert!(SpectralEnvelope::Concentrated { frac: 0.0 }.validate().is_err());
+        assert!(SpectralEnvelope::Band { lo: 0.8, hi: 0.5 }.validate().is_err());
+        assert!(SpectralEnvelope::White.weights(2).is_err());
+        // A band so narrow it selects nothing at short lengths errors out.
+        assert!(SpectralEnvelope::Band { lo: 0.01, hi: 0.02 }.weights(8).is_err());
+    }
+}

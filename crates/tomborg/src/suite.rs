@@ -1,0 +1,166 @@
+//! Named benchmark suites — the distribution × spectrum grid of the
+//! robustness experiment (E6).
+
+use crate::distributions::CorrDistribution;
+use crate::generator::{generate, TomborgConfig, TomborgDataset};
+use crate::spectrum::SpectralEnvelope;
+use serde::{Deserialize, Serialize};
+use tsdata::TsError;
+
+/// One named case of a robustness suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteCase {
+    /// Stable name used in reports (e.g. `"uniform/white"`).
+    pub name: String,
+    /// Full generation config.
+    pub config: TomborgConfig,
+}
+
+impl SuiteCase {
+    /// Generates the dataset for this case.
+    pub fn generate(&self) -> Result<TomborgDataset, TsError> {
+        generate(&self.config)
+    }
+}
+
+/// The standard robustness suite: every correlation shape crossed with
+/// every spectral shape. Frequency-transform baselines should hold up on
+/// `*/concentrated` and `*/pink` and degrade on `*/white` and `*/band`;
+/// sketch-exact methods (Dangoron, TSUBASA) should be flat across the grid
+/// — that ordering is the experiment's expected shape.
+pub fn standard_suite(n_series: usize, len: usize, seed: u64) -> Vec<SuiteCase> {
+    let corrs: Vec<(&str, CorrDistribution)> = vec![
+        (
+            "uniform",
+            CorrDistribution::Uniform { lo: 0.0, hi: 0.9 },
+        ),
+        (
+            "beta-skew",
+            CorrDistribution::Beta {
+                a: 2.0,
+                b: 6.0,
+                lo: 0.0,
+                hi: 1.0,
+            },
+        ),
+        (
+            "block",
+            CorrDistribution::Block {
+                n_blocks: 4,
+                within: 0.85,
+                between: 0.1,
+                jitter: 0.05,
+            },
+        ),
+        (
+            "spike",
+            CorrDistribution::Spike {
+                frac_strong: 0.1,
+                strong: 0.92,
+                weak: 0.05,
+            },
+        ),
+    ];
+    let spectra: Vec<(&str, SpectralEnvelope)> = vec![
+        ("white", SpectralEnvelope::White),
+        ("pink", SpectralEnvelope::Pink { alpha: 1.5 }),
+        ("concentrated", SpectralEnvelope::Concentrated { frac: 0.1 }),
+        ("band", SpectralEnvelope::Band { lo: 0.5, hi: 0.95 }),
+    ];
+    let mut cases = Vec::with_capacity(corrs.len() * spectra.len());
+    for (ci, (cname, corr)) in corrs.iter().enumerate() {
+        for (si, (sname, spectrum)) in spectra.iter().enumerate() {
+            cases.push(SuiteCase {
+                name: format!("{cname}/{sname}"),
+                config: TomborgConfig {
+                    n_series,
+                    len,
+                    corr: corr.clone(),
+                    spectrum: *spectrum,
+                    seed: seed
+                        .wrapping_mul(31)
+                        .wrapping_add((ci * spectra.len() + si) as u64),
+                },
+            });
+        }
+    }
+    cases
+}
+
+/// A small smoke suite for quick checks (one easy + one adversarial case).
+pub fn smoke_suite(n_series: usize, len: usize, seed: u64) -> Vec<SuiteCase> {
+    vec![
+        SuiteCase {
+            name: "block/concentrated".into(),
+            config: TomborgConfig {
+                n_series,
+                len,
+                corr: CorrDistribution::Block {
+                    n_blocks: 2,
+                    within: 0.85,
+                    between: 0.1,
+                    jitter: 0.0,
+                },
+                spectrum: SpectralEnvelope::Concentrated { frac: 0.1 },
+                seed,
+            },
+        },
+        SuiteCase {
+            name: "block/band".into(),
+            config: TomborgConfig {
+                n_series,
+                len,
+                corr: CorrDistribution::Block {
+                    n_blocks: 2,
+                    within: 0.85,
+                    between: 0.1,
+                    jitter: 0.0,
+                },
+                spectrum: SpectralEnvelope::Band { lo: 0.5, hi: 0.95 },
+                seed,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_has_full_grid() {
+        let cases = standard_suite(6, 512, 1);
+        assert_eq!(cases.len(), 16);
+        let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"uniform/white"));
+        assert!(names.contains(&"spike/band"));
+        // All names unique.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+        // Distinct seeds.
+        let mut seeds: Vec<u64> = cases.iter().map(|c| c.config.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16);
+    }
+
+    #[test]
+    fn every_standard_case_generates() {
+        for case in standard_suite(4, 256, 7) {
+            let d = case.generate().unwrap_or_else(|e| {
+                panic!("case {} failed: {e}", case.name);
+            });
+            assert_eq!(d.data.n_series(), 4);
+            assert_eq!(d.data.len(), 256);
+        }
+    }
+
+    #[test]
+    fn smoke_suite_generates() {
+        for case in smoke_suite(4, 256, 3) {
+            assert!(case.generate().is_ok(), "case {}", case.name);
+        }
+    }
+}

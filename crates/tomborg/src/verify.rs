@@ -1,0 +1,173 @@
+//! Target-vs-empirical verification for generated datasets.
+
+use linalg::Matrix;
+use tsdata::{stats, TimeSeriesMatrix, TsError};
+
+/// Full empirical Pearson correlation matrix of a dataset (unit diagonal;
+/// undefined pairs — zero variance — are reported as 0).
+pub fn empirical_correlation(x: &TimeSeriesMatrix) -> Matrix {
+    let n = x.n_series();
+    let mut m = Matrix::identity(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = stats::pearson(x.row(i), x.row(j)).unwrap_or(0.0);
+            m.set(i, j, r);
+            m.set(j, i, r);
+        }
+    }
+    m
+}
+
+/// Summary of how far the empirical correlations fall from a target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// Maximum absolute off-diagonal deviation.
+    pub max_abs_err: f64,
+    /// Mean absolute off-diagonal deviation.
+    pub mean_abs_err: f64,
+    /// Root-mean-square off-diagonal deviation.
+    pub rmse: f64,
+}
+
+/// Compares a dataset's empirical correlation matrix with a target.
+pub fn fidelity(x: &TimeSeriesMatrix, target: &Matrix) -> Result<FidelityReport, TsError> {
+    let n = x.n_series();
+    if target.rows() != n || target.cols() != n {
+        return Err(TsError::DimensionMismatch {
+            expected: n,
+            found: target.rows(),
+        });
+    }
+    let emp = empirical_correlation(x);
+    let mut max_abs: f64 = 0.0;
+    let mut sum_abs = 0.0;
+    let mut sum_sq = 0.0;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let e = (emp.get(i, j) - target.get(i, j)).abs();
+            max_abs = max_abs.max(e);
+            sum_abs += e;
+            sum_sq += e * e;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return Err(TsError::Empty);
+    }
+    Ok(FidelityReport {
+        max_abs_err: max_abs,
+        mean_abs_err: sum_abs / count as f64,
+        rmse: (sum_sq / count as f64).sqrt(),
+    })
+}
+
+/// Edge-level agreement at a threshold: of the pairs the *target* says are
+/// `≥ beta`, what fraction does the data reproduce, and vice versa.
+/// Returns `(precision, recall)` of the empirical edge set against the
+/// target edge set.
+pub fn edge_agreement(
+    x: &TimeSeriesMatrix,
+    target: &Matrix,
+    beta: f64,
+) -> Result<(f64, f64), TsError> {
+    let n = x.n_series();
+    if target.rows() != n {
+        return Err(TsError::DimensionMismatch {
+            expected: n,
+            found: target.rows(),
+        });
+    }
+    let emp = empirical_correlation(x);
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let in_target = target.get(i, j) >= beta;
+            let in_data = emp.get(i, j) >= beta;
+            match (in_data, in_target) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    Ok((precision, recall))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::CorrDistribution;
+    use crate::generator::{generate, TomborgConfig};
+    use crate::spectrum::SpectralEnvelope;
+
+    fn dataset(rho: f64) -> crate::generator::TomborgDataset {
+        generate(&TomborgConfig {
+            n_series: 6,
+            len: 4_096,
+            corr: CorrDistribution::Equi { rho },
+            spectrum: SpectralEnvelope::White,
+            seed: 5,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fidelity_is_tight_for_white_spectrum() {
+        let d = dataset(0.5);
+        let r = fidelity(&d.data, &d.target).unwrap();
+        assert!(r.max_abs_err < 0.1, "{r:?}");
+        assert!(r.mean_abs_err <= r.max_abs_err);
+        assert!(r.rmse <= r.max_abs_err + 1e-12);
+    }
+
+    #[test]
+    fn fidelity_detects_mismatch() {
+        let d = dataset(0.0);
+        let wrong = CorrDistribution::Equi { rho: 0.9 }
+            .sample_matrix(6, 0)
+            .unwrap();
+        let r = fidelity(&d.data, &wrong).unwrap();
+        assert!(r.mean_abs_err > 0.5, "{r:?}");
+    }
+
+    #[test]
+    fn edge_agreement_perfect_for_clear_separation() {
+        let d = generate(&TomborgConfig {
+            n_series: 8,
+            len: 4_096,
+            corr: CorrDistribution::Block {
+                n_blocks: 2,
+                within: 0.9,
+                between: 0.0,
+                jitter: 0.0,
+            },
+            spectrum: SpectralEnvelope::White,
+            seed: 11,
+        })
+        .unwrap();
+        let (p, r) = edge_agreement(&d.data, &d.target, 0.5).unwrap();
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let d = dataset(0.3);
+        let small = Matrix::identity(3);
+        assert!(fidelity(&d.data, &small).is_err());
+        assert!(edge_agreement(&d.data, &small, 0.5).is_err());
+    }
+
+    #[test]
+    fn empirical_matrix_is_symmetric_unit_diagonal() {
+        let d = dataset(0.4);
+        let emp = empirical_correlation(&d.data);
+        assert!(emp.is_symmetric(1e-12));
+        for i in 0..6 {
+            assert_eq!(emp.get(i, i), 1.0);
+        }
+    }
+}

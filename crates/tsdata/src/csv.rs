@@ -1,0 +1,229 @@
+//! Minimal CSV/TSV reader and writer for time-series matrices.
+//!
+//! Two common layouts are supported:
+//!
+//! * [`Orientation::SeriesPerColumn`] — each column is one series, each
+//!   row one timestamp (the layout of most exported panels);
+//! * [`Orientation::SeriesPerRow`] — each row is one series (the matrix'
+//!   own layout).
+//!
+//! Parsing is deliberately simple (no quoting/escaping — series names and
+//! numbers only), which covers the numeric exports this library consumes;
+//! anything fancier should be converted upstream.
+
+use crate::error::TsError;
+use crate::series::TimeSeriesMatrix;
+
+/// Which way series run in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Columns are series; rows are timestamps.
+    SeriesPerColumn,
+    /// Rows are series; columns are timestamps.
+    SeriesPerRow,
+}
+
+/// A parsed CSV dataset: the matrix plus optional series names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvData {
+    /// The series matrix (rows = series regardless of file orientation).
+    pub data: TimeSeriesMatrix,
+    /// Series names from the header, when one was present.
+    pub names: Option<Vec<String>>,
+}
+
+fn detect_delimiter(line: &str) -> char {
+    for d in [',', '\t', ';'] {
+        if line.contains(d) {
+            return d;
+        }
+    }
+    ','
+}
+
+/// Reads a delimited text file (delimiter auto-detected among `,`, tab,
+/// `;`).
+///
+/// With `has_header = true` the first row (or first column for
+/// [`Orientation::SeriesPerRow`]) provides series names.
+pub fn read(text: &str, orientation: Orientation, has_header: bool) -> Result<CsvData, TsError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .peekable();
+    let Some(&(_, first)) = lines.peek() else {
+        return Err(TsError::Empty);
+    };
+    let delim = detect_delimiter(first);
+
+    let mut rows: Vec<Vec<&str>> = Vec::new();
+    let mut width = None;
+    for (no, line) in lines {
+        let cells: Vec<&str> = line.split(delim).map(str::trim).collect();
+        if let Some(w) = width {
+            if cells.len() != w {
+                return Err(TsError::Parse {
+                    line: no + 1,
+                    msg: format!("expected {w} cells, found {}", cells.len()),
+                });
+            }
+        } else {
+            width = Some(cells.len());
+        }
+        rows.push(cells);
+    }
+
+    let parse = |cell: &str, line: usize| -> Result<f64, TsError> {
+        cell.parse::<f64>().map_err(|_| TsError::Parse {
+            line,
+            msg: format!("not a number: {cell:?}"),
+        })
+    };
+
+    match orientation {
+        Orientation::SeriesPerColumn => {
+            let names = if has_header {
+                let header = rows.remove(0);
+                Some(header.into_iter().map(str::to_string).collect::<Vec<_>>())
+            } else {
+                None
+            };
+            if rows.is_empty() {
+                return Err(TsError::Empty);
+            }
+            let n_series = rows[0].len();
+            let len = rows.len();
+            let mut series = vec![Vec::with_capacity(len); n_series];
+            for (r, row) in rows.iter().enumerate() {
+                for (c, cell) in row.iter().enumerate() {
+                    series[c].push(parse(cell, r + 1 + usize::from(has_header))?);
+                }
+            }
+            Ok(CsvData {
+                data: TimeSeriesMatrix::from_rows(series)?,
+                names,
+            })
+        }
+        Orientation::SeriesPerRow => {
+            let mut names = has_header.then(Vec::new);
+            let mut series = Vec::with_capacity(rows.len());
+            for (r, row) in rows.iter().enumerate() {
+                let mut cells = row.iter();
+                if let Some(names) = names.as_mut() {
+                    let name = cells.next().ok_or(TsError::Empty)?;
+                    names.push(name.to_string());
+                }
+                let vals: Result<Vec<f64>, _> =
+                    cells.map(|c| parse(c, r + 1)).collect();
+                series.push(vals?);
+            }
+            Ok(CsvData {
+                data: TimeSeriesMatrix::from_rows(series)?,
+                names,
+            })
+        }
+    }
+}
+
+/// Writes a matrix in [`Orientation::SeriesPerColumn`] layout with an
+/// optional header of series names.
+pub fn write(m: &TimeSeriesMatrix, names: Option<&[String]>) -> Result<String, TsError> {
+    if let Some(names) = names {
+        if names.len() != m.n_series() {
+            return Err(TsError::DimensionMismatch {
+                expected: m.n_series(),
+                found: names.len(),
+            });
+        }
+    }
+    let mut out = String::new();
+    if let Some(names) = names {
+        out.push_str(&names.join(","));
+        out.push('\n');
+    }
+    for t in 0..m.len() {
+        for i in 0..m.n_series() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}", m.get(i, t)));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_layout_with_header() {
+        let text = "a,b,c\n1,2,3\n4,5,6\n7,8,9\n";
+        let d = read(text, Orientation::SeriesPerColumn, true).unwrap();
+        assert_eq!(d.names.as_deref().unwrap(), ["a", "b", "c"]);
+        assert_eq!(d.data.n_series(), 3);
+        assert_eq!(d.data.len(), 3);
+        assert_eq!(d.data.row(0), &[1.0, 4.0, 7.0]);
+        assert_eq!(d.data.row(2), &[3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn row_layout_with_names() {
+        let text = "x\t1\t2\t3\ny\t4\t5\t6\n";
+        let d = read(text, Orientation::SeriesPerRow, true).unwrap();
+        assert_eq!(d.names.as_deref().unwrap(), ["x", "y"]);
+        assert_eq!(d.data.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn no_header_and_semicolons() {
+        let text = "1;2\n3;4\n";
+        let d = read(text, Orientation::SeriesPerColumn, false).unwrap();
+        assert!(d.names.is_none());
+        assert_eq!(d.data.row(0), &[1.0, 3.0]);
+        assert_eq!(d.data.row(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "\n1,2\n\n3,4\n\n";
+        let d = read(text, Orientation::SeriesPerColumn, false).unwrap();
+        assert_eq!(d.data.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "1,2\n3,4,5\n";
+        match read(text, Orientation::SeriesPerColumn, false) {
+            Err(TsError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected ragged-row error, got {other:?}"),
+        }
+        let text = "1,2\n3,oops\n";
+        match read(text, Orientation::SeriesPerColumn, false) {
+            Err(TsError::Parse { msg, .. }) => assert!(msg.contains("oops")),
+            other => panic!("expected number error, got {other:?}"),
+        }
+        assert!(matches!(
+            read("", Orientation::SeriesPerColumn, false),
+            Err(TsError::Empty)
+        ));
+    }
+
+    #[test]
+    fn roundtrip_via_write() {
+        let m = TimeSeriesMatrix::from_rows(vec![
+            vec![1.0, 2.5, -3.0],
+            vec![0.5, 0.0, 9.25],
+        ])
+        .unwrap();
+        let names = vec!["s1".to_string(), "s2".to_string()];
+        let text = write(&m, Some(&names)).unwrap();
+        let back = read(&text, Orientation::SeriesPerColumn, true).unwrap();
+        assert_eq!(back.data, m);
+        assert_eq!(back.names.unwrap(), names);
+        // Name-count mismatch rejected.
+        assert!(write(&m, Some(&names[..1].to_vec())).is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Synchronization of irregular series onto a shared periodic grid.
+//!
+//! The problem definition assumes every series has a value at every periodic
+//! time interval; the paper notes this "can be achieved through aggregation
+//! and interpolation on non-synchronized series". This module implements
+//! that pipeline: observations carry raw timestamps, are *aggregated* into
+//! fixed-width buckets, and empty buckets are filled by *interpolation*.
+
+use crate::error::TsError;
+use crate::series::TimeSeriesMatrix;
+
+/// One irregularly sampled series: `(timestamp, value)` observations.
+///
+/// Timestamps are seconds (or any monotone integer unit); they need not be
+/// sorted — [`IrregularSeries::new`] sorts them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrregularSeries {
+    timestamps: Vec<i64>,
+    values: Vec<f64>,
+}
+
+/// How observations falling into one grid bucket are reduced to one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Arithmetic mean of the bucket (the USCRN hourly convention).
+    Mean,
+    /// Sum of the bucket (e.g. precipitation totals).
+    Sum,
+    /// Minimum of the bucket.
+    Min,
+    /// Maximum of the bucket.
+    Max,
+    /// Last observation in the bucket (tick data convention).
+    Last,
+}
+
+/// The shared periodic grid: `len` buckets of width `step` starting at
+/// `start` (bucket `k` covers `[start + k·step, start + (k+1)·step)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    /// Timestamp of the left edge of bucket 0.
+    pub start: i64,
+    /// Bucket width in timestamp units; must be positive.
+    pub step: i64,
+    /// Number of buckets; must be positive.
+    pub len: usize,
+}
+
+impl Grid {
+    /// Validates the grid parameters.
+    pub fn new(start: i64, step: i64, len: usize) -> Result<Self, TsError> {
+        if step <= 0 {
+            return Err(TsError::InvalidParameter(format!(
+                "grid step must be positive, got {step}"
+            )));
+        }
+        if len == 0 {
+            return Err(TsError::InvalidParameter("grid length must be positive".into()));
+        }
+        Ok(Self { start, step, len })
+    }
+
+    /// Bucket index of a timestamp, if it falls on the grid.
+    pub fn bucket_of(&self, t: i64) -> Option<usize> {
+        if t < self.start {
+            return None;
+        }
+        let k = ((t - self.start) / self.step) as usize;
+        (k < self.len).then_some(k)
+    }
+}
+
+impl IrregularSeries {
+    /// Builds a series from paired timestamps/values (sorted by timestamp).
+    pub fn new(mut timestamps: Vec<i64>, mut values: Vec<f64>) -> Result<Self, TsError> {
+        if timestamps.len() != values.len() {
+            return Err(TsError::DimensionMismatch {
+                expected: timestamps.len(),
+                found: values.len(),
+            });
+        }
+        let mut idx: Vec<usize> = (0..timestamps.len()).collect();
+        idx.sort_by_key(|&i| timestamps[i]);
+        if !idx.windows(2).all(|w| w[0] < w[1]) {
+            let ts: Vec<i64> = idx.iter().map(|&i| timestamps[i]).collect();
+            let vs: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+            timestamps = ts;
+            values = vs;
+        }
+        Ok(Self { timestamps, values })
+    }
+
+    /// Empty series to be filled with [`IrregularSeries::push`].
+    pub fn empty() -> Self {
+        Self {
+            timestamps: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one observation (does not need to be in order).
+    pub fn push(&mut self, t: i64, v: f64) {
+        // Keep sorted order with a cheap append in the common in-order case.
+        if let Some(&last) = self.timestamps.last() {
+            if t < last {
+                let pos = self.timestamps.partition_point(|&x| x <= t);
+                self.timestamps.insert(pos, t);
+                self.values.insert(pos, v);
+                return;
+            }
+        }
+        self.timestamps.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of raw observations.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Raw timestamps (sorted).
+    pub fn timestamps(&self) -> &[i64] {
+        &self.timestamps
+    }
+
+    /// Raw values (aligned with [`IrregularSeries::timestamps`]).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Aggregate onto `grid` and fill empty buckets by linear interpolation
+    /// (constant extrapolation at the edges).
+    ///
+    /// Errors when no observation falls on the grid at all.
+    pub fn synchronize(&self, grid: &Grid, agg: Aggregation) -> Result<Vec<f64>, TsError> {
+        let mut acc: Vec<BucketAcc> = vec![BucketAcc::default(); grid.len];
+        for (&t, &v) in self.timestamps.iter().zip(&self.values) {
+            if let Some(k) = grid.bucket_of(t) {
+                acc[k].push(v, agg);
+            }
+        }
+        let mut out: Vec<Option<f64>> = acc.iter().map(|a| a.finish(agg)).collect();
+        interpolate_gaps(&mut out)?;
+        Ok(out.into_iter().map(|v| v.unwrap()).collect())
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BucketAcc {
+    count: u32,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl BucketAcc {
+    fn push(&mut self, v: f64, _agg: Aggregation) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.last = v;
+        self.count += 1;
+    }
+
+    fn finish(&self, agg: Aggregation) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(match agg {
+            Aggregation::Mean => self.sum / self.count as f64,
+            Aggregation::Sum => self.sum,
+            Aggregation::Min => self.min,
+            Aggregation::Max => self.max,
+            Aggregation::Last => self.last,
+        })
+    }
+}
+
+/// Fill `None` runs by linear interpolation between the nearest known
+/// neighbours; leading/trailing runs copy the nearest known value.
+fn interpolate_gaps(xs: &mut [Option<f64>]) -> Result<(), TsError> {
+    let first_known = xs.iter().position(|v| v.is_some()).ok_or(TsError::Empty)?;
+    let last_known = xs.iter().rposition(|v| v.is_some()).unwrap();
+    // Extrapolate edges with the nearest value.
+    let first_val = xs[first_known].unwrap();
+    for v in xs[..first_known].iter_mut() {
+        *v = Some(first_val);
+    }
+    let last_val = xs[last_known].unwrap();
+    for v in xs[last_known + 1..].iter_mut() {
+        *v = Some(last_val);
+    }
+    // Interior gaps: linear between the flanking known points.
+    let mut i = first_known;
+    while i <= last_known {
+        if xs[i].is_some() {
+            i += 1;
+            continue;
+        }
+        let lo = i - 1; // xs[lo] is Some by construction
+        let mut hi = i;
+        while xs[hi].is_none() {
+            hi += 1;
+        }
+        let a = xs[lo].unwrap();
+        let b = xs[hi].unwrap();
+        let span = (hi - lo) as f64;
+        for (off, v) in xs[lo + 1..hi].iter_mut().enumerate() {
+            let t = (off + 1) as f64 / span;
+            *v = Some(a + t * (b - a));
+        }
+        i = hi + 1;
+    }
+    Ok(())
+}
+
+/// Repairs non-finite entries (NaN/±inf — sensor dropouts in already
+/// gridded data) in place by linear interpolation along each row, with
+/// constant extrapolation at the edges. Errors when a series has no finite
+/// value at all.
+pub fn repair_non_finite(m: &mut TimeSeriesMatrix) -> Result<usize, TsError> {
+    let mut repaired = 0usize;
+    for i in 0..m.n_series() {
+        let row = m.row(i);
+        if row.iter().all(|v| v.is_finite()) {
+            continue;
+        }
+        let mut cells: Vec<Option<f64>> =
+            row.iter().map(|&v| v.is_finite().then_some(v)).collect();
+        repaired += cells.iter().filter(|c| c.is_none()).count();
+        interpolate_gaps(&mut cells)?;
+        let fixed: Vec<f64> = cells.into_iter().map(|v| v.unwrap()).collect();
+        m.row_mut(i).copy_from_slice(&fixed);
+    }
+    Ok(repaired)
+}
+
+/// Synchronize a collection of irregular series onto one grid, producing the
+/// paper's input matrix `X`.
+pub fn synchronize_all(
+    series: &[IrregularSeries],
+    grid: &Grid,
+    agg: Aggregation,
+) -> Result<TimeSeriesMatrix, TsError> {
+    if series.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let mut rows = Vec::with_capacity(series.len());
+    for s in series {
+        rows.push(s.synchronize(grid, agg)?);
+    }
+    TimeSeriesMatrix::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_validation_and_buckets() {
+        assert!(Grid::new(0, 0, 10).is_err());
+        assert!(Grid::new(0, 60, 0).is_err());
+        let g = Grid::new(100, 60, 3).unwrap();
+        assert_eq!(g.bucket_of(99), None);
+        assert_eq!(g.bucket_of(100), Some(0));
+        assert_eq!(g.bucket_of(159), Some(0));
+        assert_eq!(g.bucket_of(160), Some(1));
+        assert_eq!(g.bucket_of(279), Some(2));
+        assert_eq!(g.bucket_of(280), None);
+    }
+
+    #[test]
+    fn new_sorts_observations() {
+        let s = IrregularSeries::new(vec![30, 10, 20], vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.timestamps(), &[10, 20, 30]);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn push_keeps_sorted() {
+        let mut s = IrregularSeries::empty();
+        s.push(10, 1.0);
+        s.push(30, 3.0);
+        s.push(20, 2.0); // out of order
+        assert_eq!(s.timestamps(), &[10, 20, 30]);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn mean_aggregation_buckets() {
+        let g = Grid::new(0, 10, 3).unwrap();
+        let s = IrregularSeries::new(vec![1, 5, 12, 25, 27], vec![1.0, 3.0, 4.0, 10.0, 20.0])
+            .unwrap();
+        let v = s.synchronize(&g, Aggregation::Mean).unwrap();
+        assert_eq!(v, vec![2.0, 4.0, 15.0]);
+    }
+
+    #[test]
+    fn all_aggregations() {
+        let g = Grid::new(0, 10, 1).unwrap();
+        let s = IrregularSeries::new(vec![1, 2, 3], vec![5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.synchronize(&g, Aggregation::Mean).unwrap(), vec![3.0]);
+        assert_eq!(s.synchronize(&g, Aggregation::Sum).unwrap(), vec![9.0]);
+        assert_eq!(s.synchronize(&g, Aggregation::Min).unwrap(), vec![1.0]);
+        assert_eq!(s.synchronize(&g, Aggregation::Max).unwrap(), vec![5.0]);
+        assert_eq!(s.synchronize(&g, Aggregation::Last).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn interior_gap_is_linear() {
+        let g = Grid::new(0, 10, 5).unwrap();
+        // Buckets 0 and 4 observed; 1–3 interpolated linearly 0 → 8.
+        let s = IrregularSeries::new(vec![0, 40], vec![0.0, 8.0]).unwrap();
+        let v = s.synchronize(&g, Aggregation::Mean).unwrap();
+        assert_eq!(v, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn edges_extrapolate_constant() {
+        let g = Grid::new(0, 10, 5).unwrap();
+        let s = IrregularSeries::new(vec![20], vec![7.0]).unwrap();
+        let v = s.synchronize(&g, Aggregation::Mean).unwrap();
+        assert_eq!(v, vec![7.0; 5]);
+    }
+
+    #[test]
+    fn no_observations_on_grid_is_error() {
+        let g = Grid::new(0, 10, 5).unwrap();
+        let s = IrregularSeries::new(vec![1_000], vec![7.0]).unwrap();
+        assert!(matches!(s.synchronize(&g, Aggregation::Mean), Err(TsError::Empty)));
+    }
+
+    #[test]
+    fn synchronize_all_builds_matrix() {
+        let g = Grid::new(0, 10, 4).unwrap();
+        let a = IrregularSeries::new(vec![0, 10, 20, 30], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = IrregularSeries::new(vec![0, 30], vec![0.0, 9.0]).unwrap();
+        let m = synchronize_all(&[a, b], &g, Aggregation::Mean).unwrap();
+        assert_eq!(m.n_series(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[0.0, 3.0, 6.0, 9.0]);
+        assert!(synchronize_all(&[], &g, Aggregation::Mean).is_err());
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        assert!(IrregularSeries::new(vec![1, 2], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn repair_non_finite_interpolates() {
+        let mut m = TimeSeriesMatrix::from_rows(vec![
+            vec![0.0, f64::NAN, f64::NAN, 6.0, 8.0],
+            vec![f64::INFINITY, 1.0, 2.0, 3.0, f64::NAN],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        ])
+        .unwrap();
+        let repaired = repair_non_finite(&mut m).unwrap();
+        assert_eq!(repaired, 4);
+        assert_eq!(m.row(0), &[0.0, 2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(m.row(1), &[1.0, 1.0, 2.0, 3.0, 3.0]); // edges clamp
+        assert_eq!(m.row(2), &[1.0, 2.0, 3.0, 4.0, 5.0]); // untouched
+    }
+
+    #[test]
+    fn repair_fails_on_all_nan_series() {
+        let mut m = TimeSeriesMatrix::from_rows(vec![vec![f64::NAN, f64::NAN]]).unwrap();
+        assert!(matches!(repair_non_finite(&mut m), Err(TsError::Empty)));
+    }
+}

@@ -1,0 +1,331 @@
+//! Parser for the NCEI/NOAA USCRN `hourly02` product.
+//!
+//! The paper evaluates on the 2020 USCRN hourly dataset
+//! (`ncei.noaa.gov/pub/data/uscrn/products/hourly02/2020/`). Files are plain
+//! text, one observation per line, whitespace-separated fields in a fixed
+//! order. This module parses that format into [`IrregularSeries`] per
+//! station so the real files drop straight into the pipeline; the synthetic
+//! substitute lives in [`crate::climate`].
+//!
+//! Missing observations are encoded by sentinel values (`-9999`, `-9999.0`,
+//! `-99999`); they are skipped and later filled by the synchronization
+//! pipeline's interpolation, matching the paper's preprocessing note.
+
+use crate::error::TsError;
+use crate::sync::IrregularSeries;
+use std::collections::BTreeMap;
+
+/// The USCRN hourly variables this parser exposes (0-based field index in
+/// the `hourly02` line format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variable {
+    /// `T_CALC` — average calculated temperature, °C (field 8).
+    TCalc,
+    /// `T_HR_AVG` — average temperature over the hour, °C (field 9).
+    THrAvg,
+    /// `T_MAX` — maximum temperature in the hour, °C (field 10).
+    TMax,
+    /// `T_MIN` — minimum temperature in the hour, °C (field 11).
+    TMin,
+    /// `P_CALC` — total precipitation, mm (field 12).
+    PCalc,
+    /// `SOLARAD` — average global solar radiation, W/m² (field 13).
+    Solarad,
+    /// `SUR_TEMP` — infrared surface temperature, °C (field 20).
+    SurTemp,
+    /// `RH_HR_AVG` — relative-humidity hourly average, % (field 26).
+    RhHrAvg,
+}
+
+impl Variable {
+    /// 0-based field index within a `hourly02` record.
+    pub fn field_index(self) -> usize {
+        match self {
+            Variable::TCalc => 8,
+            Variable::THrAvg => 9,
+            Variable::TMax => 10,
+            Variable::TMin => 11,
+            Variable::PCalc => 12,
+            Variable::Solarad => 13,
+            Variable::SurTemp => 20,
+            Variable::RhHrAvg => 26,
+        }
+    }
+}
+
+/// One parsed observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// WBAN station number.
+    pub station: u32,
+    /// UTC timestamp, seconds since the Unix epoch.
+    pub utc: i64,
+    /// Station longitude in degrees.
+    pub longitude: f64,
+    /// Station latitude in degrees.
+    pub latitude: f64,
+    /// The requested variable's value, or `None` when the sentinel says the
+    /// observation is missing.
+    pub value: Option<f64>,
+}
+
+/// Returns true when `v` is one of the USCRN missing-data sentinels.
+pub fn is_missing(v: f64) -> bool {
+    // Sentinels used across USCRN products: -9999, -9999.0, -99999, -99.
+    let sentinels = [-9999.0, -99999.0, -99.0];
+    sentinels.iter().any(|s| (v - s).abs() < 1e-9)
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian date
+/// (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Converts `YYYYMMDD` + `HHMM` strings to Unix seconds (UTC).
+pub fn parse_utc(date: &str, time: &str) -> Result<i64, TsError> {
+    let bad = |msg: &str| TsError::Parse {
+        line: 0,
+        msg: msg.to_string(),
+    };
+    if date.len() != 8 {
+        return Err(bad(&format!("UTC_DATE must be YYYYMMDD, got {date:?}")));
+    }
+    if time.len() != 4 {
+        return Err(bad(&format!("UTC_TIME must be HHMM, got {time:?}")));
+    }
+    let y: i64 = date[0..4].parse().map_err(|_| bad("bad year"))?;
+    let m: u32 = date[4..6].parse().map_err(|_| bad("bad month"))?;
+    let d: u32 = date[6..8].parse().map_err(|_| bad("bad day"))?;
+    let hh: i64 = time[0..2].parse().map_err(|_| bad("bad hour"))?;
+    let mm: i64 = time[2..4].parse().map_err(|_| bad("bad minute"))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) || !(0..24).contains(&hh) || !(0..60).contains(&mm) {
+        return Err(bad("date/time component out of range"));
+    }
+    Ok(days_from_civil(y, m, d) * 86_400 + hh * 3_600 + mm * 60)
+}
+
+/// Parses one `hourly02` line for the given variable.
+///
+/// `line_no` (1-based) is used in error messages only.
+pub fn parse_line(line: &str, var: Variable, line_no: usize) -> Result<Observation, TsError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let need = var.field_index() + 1;
+    if fields.len() < need {
+        return Err(TsError::Parse {
+            line: line_no,
+            msg: format!("expected at least {need} fields, got {}", fields.len()),
+        });
+    }
+    let err = |msg: String| TsError::Parse { line: line_no, msg };
+    let station: u32 = fields[0]
+        .parse()
+        .map_err(|_| err(format!("bad WBANNO {:?}", fields[0])))?;
+    let utc = parse_utc(fields[1], fields[2]).map_err(|e| match e {
+        TsError::Parse { msg, .. } => err(msg),
+        other => other,
+    })?;
+    let longitude: f64 = fields[6]
+        .parse()
+        .map_err(|_| err(format!("bad LONGITUDE {:?}", fields[6])))?;
+    let latitude: f64 = fields[7]
+        .parse()
+        .map_err(|_| err(format!("bad LATITUDE {:?}", fields[7])))?;
+    let raw: f64 = fields[var.field_index()]
+        .parse()
+        .map_err(|_| err(format!("bad value {:?}", fields[var.field_index()])))?;
+    Ok(Observation {
+        station,
+        utc,
+        longitude,
+        latitude,
+        value: (!is_missing(raw)).then_some(raw),
+    })
+}
+
+/// Station metadata collected while reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationInfo {
+    /// WBAN station number.
+    pub station: u32,
+    /// Longitude in degrees.
+    pub longitude: f64,
+    /// Latitude in degrees.
+    pub latitude: f64,
+}
+
+/// The result of reading a set of `hourly02` lines: one irregular series per
+/// station plus its metadata, keyed and ordered by WBAN number.
+#[derive(Debug, Clone, Default)]
+pub struct StationData {
+    /// Per-station observations (missing sentinels already dropped).
+    pub series: BTreeMap<u32, IrregularSeries>,
+    /// Per-station metadata.
+    pub info: BTreeMap<u32, StationInfo>,
+}
+
+impl StationData {
+    /// Station count.
+    pub fn n_stations(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Series in WBAN order, consuming self.
+    pub fn into_series(self) -> Vec<IrregularSeries> {
+        self.series.into_values().collect()
+    }
+}
+
+/// Parses an iterator of `hourly02` lines (e.g. the concatenation of all
+/// per-station files for a year). Blank lines are skipped; malformed lines
+/// abort with a positioned error.
+pub fn read_lines<'a, I>(lines: I, var: Variable) -> Result<StationData, TsError>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut out = StationData::default();
+    for (i, line) in lines.into_iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obs = parse_line(line, var, i + 1)?;
+        out.info.entry(obs.station).or_insert(StationInfo {
+            station: obs.station,
+            longitude: obs.longitude,
+            latitude: obs.latitude,
+        });
+        let series = out
+            .series
+            .entry(obs.station)
+            .or_insert_with(IrregularSeries::empty);
+        if let Some(v) = obs.value {
+            series.push(obs.utc, v);
+        }
+    }
+    if out.series.is_empty() {
+        return Err(TsError::Empty);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{Aggregation, Grid};
+
+    // A realistic hourly02 line (station 3047, 2020-01-01 05:00 UTC).
+    const LINE: &str = "3047 20200101 0500 20191231 2200 3 -105.10 40.81 -3.2 -3.1 -2.8 -3.5 0.0 0 0 0 0 0 0 R -4.3 0 -5.0 0 -3.9 0 81 0";
+
+    #[test]
+    fn parse_line_extracts_t_calc() {
+        let obs = parse_line(LINE, Variable::TCalc, 1).unwrap();
+        assert_eq!(obs.station, 3047);
+        assert_eq!(obs.longitude, -105.10);
+        assert_eq!(obs.latitude, 40.81);
+        assert_eq!(obs.value, Some(-3.2));
+    }
+
+    #[test]
+    fn parse_line_other_variables() {
+        assert_eq!(parse_line(LINE, Variable::THrAvg, 1).unwrap().value, Some(-3.1));
+        assert_eq!(parse_line(LINE, Variable::TMax, 1).unwrap().value, Some(-2.8));
+        assert_eq!(parse_line(LINE, Variable::TMin, 1).unwrap().value, Some(-3.5));
+        assert_eq!(parse_line(LINE, Variable::PCalc, 1).unwrap().value, Some(0.0));
+        assert_eq!(parse_line(LINE, Variable::SurTemp, 1).unwrap().value, Some(-4.3));
+        assert_eq!(parse_line(LINE, Variable::RhHrAvg, 1).unwrap().value, Some(81.0));
+    }
+
+    #[test]
+    fn missing_sentinel_becomes_none() {
+        let line = LINE.replace("-3.2", "-9999.0");
+        let obs = parse_line(&line, Variable::TCalc, 1).unwrap();
+        assert_eq!(obs.value, None);
+        assert!(is_missing(-9999.0));
+        assert!(is_missing(-99999.0));
+        assert!(!is_missing(-3.2));
+    }
+
+    #[test]
+    fn utc_timestamp_is_correct() {
+        // 2020-01-01 00:00 UTC = 1577836800.
+        assert_eq!(parse_utc("20200101", "0000").unwrap(), 1_577_836_800);
+        // +5 hours.
+        let obs = parse_line(LINE, Variable::TCalc, 1).unwrap();
+        assert_eq!(obs.utc, 1_577_836_800 + 5 * 3600);
+        // Leap-day handling.
+        assert_eq!(
+            parse_utc("20200301", "0000").unwrap() - parse_utc("20200228", "0000").unwrap(),
+            2 * 86_400
+        );
+    }
+
+    #[test]
+    fn parse_utc_rejects_malformed() {
+        assert!(parse_utc("2020011", "0000").is_err());
+        assert!(parse_utc("20200101", "000").is_err());
+        assert!(parse_utc("20201301", "0000").is_err());
+        assert!(parse_utc("20200101", "2400").is_err());
+        assert!(parse_utc("abcdefgh", "0000").is_err());
+    }
+
+    #[test]
+    fn parse_line_reports_line_number() {
+        let err = parse_line("3047 20200101", Variable::TCalc, 42).unwrap_err();
+        match err {
+            TsError::Parse { line, .. } => assert_eq!(line, 42),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_lines_groups_by_station() {
+        let l1 = LINE;
+        let l2 = LINE
+            .replace("3047", "9999")
+            .replace("0500", "0600");
+        let l3 = LINE.replace("0500", "0600").replace("-3.2", "-2.0");
+        let data = read_lines(vec![l1, &l2, "", &l3], Variable::TCalc).unwrap();
+        assert_eq!(data.n_stations(), 2);
+        let s3047 = &data.series[&3047];
+        assert_eq!(s3047.len(), 2);
+        assert_eq!(s3047.values(), &[-3.2, -2.0]);
+        assert_eq!(data.info[&9999].station, 9999);
+    }
+
+    #[test]
+    fn read_lines_then_synchronize() {
+        // Two stations, observations at hours 0 and 2; hour 1 interpolated.
+        let base = 1_577_836_800;
+        let mk = |station: &str, time: &str, val: &str| {
+            format!(
+                "{station} 20200101 {time} 20191231 2200 3 -105.10 40.81 {val} -3.1 -2.8 -3.5 0.0 0 0 0 0 0 0 R -4.3 0 -5.0 0 -3.9 0 81 0"
+            )
+        };
+        let lines = vec![
+            mk("1", "0000", "0.0"),
+            mk("1", "0200", "4.0"),
+            mk("2", "0000", "10.0"),
+            mk("2", "0200", "10.0"),
+        ];
+        let data = read_lines(lines.iter().map(|s| s.as_str()), Variable::TCalc).unwrap();
+        let grid = Grid::new(base, 3600, 3).unwrap();
+        let m = crate::sync::synchronize_all(&data.into_series(), &grid, Aggregation::Mean)
+            .unwrap();
+        assert_eq!(m.row(0), &[0.0, 2.0, 4.0]);
+        assert_eq!(m.row(1), &[10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(
+            read_lines(Vec::<&str>::new(), Variable::TCalc),
+            Err(TsError::Empty)
+        ));
+    }
+}

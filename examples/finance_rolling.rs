@@ -1,0 +1,94 @@
+//! Rolling stock-market correlation — the paper's finance motivation
+//! (Kenett et al.; Tilfani et al.'s sliding-window approach).
+//!
+//! Simulated prices follow correlated geometric Brownian motion with a
+//! mid-sample "crisis" where market-wide correlation spikes (the
+//! well-documented correlation-breakdown phenomenon). Dangoron tracks the
+//! rolling correlation network of log-returns; network density exposes the
+//! crisis window.
+//!
+//! ```sh
+//! cargo run --release --example finance_rolling
+//! ```
+
+use dangoron::{Dangoron, DangoronConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch::SlidingQuery;
+use tsdata::rand_util::standard_normal;
+use tsdata::TimeSeriesMatrix;
+
+/// Correlated GBM log-returns: a market factor everyone loads on, with the
+/// loading raised inside the crisis regime.
+fn simulate_returns(n_assets: usize, days: usize, crisis: std::ops::Range<usize>) -> TimeSeriesMatrix {
+    let mut rng = StdRng::seed_from_u64(1987);
+    let market: Vec<f64> = (0..days).map(|_| standard_normal(&mut rng)).collect();
+    let mut rows = Vec::with_capacity(n_assets);
+    for _ in 0..n_assets {
+        let base_beta = 0.3 + 0.2 * standard_normal(&mut rng).abs();
+        let row: Vec<f64> = (0..days)
+            .map(|t| {
+                let beta = if crisis.contains(&t) { 0.9 } else { base_beta };
+                let idio = (1.0f64 - beta * beta).max(0.0).sqrt();
+                0.0005 + 0.01 * (beta * market[t] + idio * standard_normal(&mut rng))
+            })
+            .collect();
+        rows.push(row);
+    }
+    TimeSeriesMatrix::from_rows(rows).expect("non-empty")
+}
+
+fn main() {
+    let days = 1_260; // ~5 trading years
+    let crisis = 600..780; // ~9 crisis months
+    let x = simulate_returns(30, days, crisis.clone());
+    println!("30 assets × {days} daily returns, crisis at days {crisis:?}");
+
+    // Quarterly windows (60 trading days), sliding by 10 days.
+    let query = SlidingQuery {
+        start: 0,
+        end: days,
+        window: 60,
+        step: 10,
+        threshold: 0.5,
+    };
+    let engine = Dangoron::new(DangoronConfig {
+        basic_window: 10,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let result = engine.execute(&x, query).expect("query");
+
+    // Density trace: the crisis should light up as a density spike.
+    println!("\nwindow-start-day  density  bar");
+    let mut crisis_peak = 0.0f64;
+    let mut calm_peak = 0.0f64;
+    for (w, m) in result.matrices.iter().enumerate() {
+        let (ws, we) = query.window_range(w);
+        let density = m.density();
+        let overlaps_crisis = ws < crisis.end && crisis.start < we;
+        if overlaps_crisis {
+            crisis_peak = crisis_peak.max(density);
+        } else {
+            calm_peak = calm_peak.max(density);
+        }
+        if w % 6 == 0 {
+            let bar = "#".repeat((density * 60.0) as usize);
+            println!(
+                "{:>16}  {:>7.3}  {}{}",
+                ws,
+                density,
+                bar,
+                if overlaps_crisis { "  <- crisis" } else { "" }
+            );
+        }
+    }
+    println!(
+        "\npeak density in crisis windows : {crisis_peak:.3}\n\
+         peak density elsewhere         : {calm_peak:.3}"
+    );
+    println!(
+        "pruning: {:.1}% of cells skipped at β = 0.5",
+        100.0 * result.stats.skip_fraction()
+    );
+}

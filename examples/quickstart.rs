@@ -1,0 +1,47 @@
+//! Quickstart: compute a sequence of thresholded correlation matrices over
+//! sliding windows with Dangoron.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dangoron::{Dangoron, DangoronConfig};
+use sketch::SlidingQuery;
+use tsdata::generators;
+
+fn main() {
+    // 1. Data: 8 series in 2 correlated clusters, 720 time points.
+    let x = generators::clustered_matrix(8, 720, 2, 0.4, 7).expect("generate data");
+
+    // 2. Query: windows of 120 points sliding by 24, keep correlations ≥ 0.8.
+    let query = SlidingQuery {
+        start: 0,
+        end: 720,
+        window: 120,
+        step: 24,
+        threshold: 0.8,
+    };
+
+    // 3. Engine: basic windows of 24 points, the paper's Eq. 2 jumping.
+    let engine = Dangoron::new(DangoronConfig {
+        basic_window: 24,
+        ..Default::default()
+    })
+    .expect("valid config");
+
+    let result = engine.execute(&x, query).expect("query");
+
+    println!("windows computed : {}", result.matrices.len());
+    println!("total edges      : {}", result.total_edges());
+    println!(
+        "work skipped     : {:.1}% of (pair, window) cells",
+        100.0 * result.stats.skip_fraction()
+    );
+
+    // 4. Inspect the network of the first window.
+    let first = &result.matrices[0];
+    println!("\nwindow 0 network ({} edges):", first.n_edges());
+    for e in first.edges() {
+        println!("  series {:>2} — series {:>2}   r = {:+.3}", e.i, e.j, e.value);
+    }
+}

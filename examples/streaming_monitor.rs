@@ -1,0 +1,108 @@
+//! Real-time network monitoring — the "updates" half of the paper's first
+//! challenge ("efficiency of network construction and updates … to achieve
+//! interactivity").
+//!
+//! A [`StreamingDangoron`] session is opened over one week of hourly
+//! history; then new data arrives day by day. Each append extends the
+//! sketches incrementally (only the fresh columns are scanned) and emits
+//! the networks of the windows that just became complete, which a monitor
+//! summarises on the fly.
+//!
+//! ```sh
+//! cargo run --release --example streaming_monitor
+//! ```
+
+use dangoron::{DangoronConfig, StreamingDangoron};
+use network::export::to_edge_list;
+use tsdata::climate::{generate, ClimateConfig};
+
+fn main() {
+    // Full "future" dataset; the session will only see it chunk by chunk.
+    let total_hours = 24 * 40;
+    let dataset = generate(&ClimateConfig {
+        n_stations: 24,
+        hours: total_hours,
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("climate generation");
+
+    let history_hours = 24 * 7;
+    let initial = dataset.data.slice_columns(0, history_hours).expect("slice");
+    let mut session = StreamingDangoron::new(
+        initial,
+        24 * 5, // 5-day windows
+        24,     // sliding one day
+        0.9,
+        DangoronConfig {
+            basic_window: 24,
+            ..Default::default()
+        },
+    )
+    .expect("session");
+
+    // Emit whatever the initial history already contains.
+    let backlog = session.drain_completed().expect("drain");
+    println!(
+        "opened session over {history_hours}h of history → {} windows ready",
+        backlog.len()
+    );
+
+    // Stream the remaining days one at a time.
+    let mut t = history_hours;
+    while t < total_hours {
+        let next = (t + 24).min(total_hours);
+        let chunk = dataset.data.slice_columns(t, next).expect("chunk");
+        let completed = session.append(&chunk).expect("append");
+        for cw in &completed {
+            let m = &cw.matrix;
+            println!(
+                "day {:>3}: window {:>3} complete — {:>3} edges, density {:.3}",
+                next / 24,
+                cw.index,
+                m.n_edges(),
+                m.density()
+            );
+        }
+        t = next;
+    }
+
+    println!(
+        "\nsession end: {} windows emitted over {}h of data",
+        session.emitted_windows(),
+        session.history_len()
+    );
+
+    // The last window's network, in edge-list interchange format.
+    let last = session.drain_completed().expect("drain");
+    assert!(last.is_empty(), "everything was already emitted");
+    let batch = session.batch_query();
+    println!(
+        "equivalent batch query: start={} end={} l={} η={} β={}",
+        batch.start, batch.end, batch.window, batch.step, batch.threshold
+    );
+    // Re-run the final window through the batch engine for the export.
+    let engine = dangoron::Dangoron::new(DangoronConfig {
+        basic_window: 24,
+        ..Default::default()
+    })
+    .expect("engine");
+    let result = engine.execute(
+        // Safe: the session's data is private; regenerate the same matrix.
+        &generate(&ClimateConfig {
+            n_stations: 24,
+            hours: total_hours,
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap()
+        .data,
+        batch,
+    )
+    .expect("batch run");
+    let final_matrix = result.matrices.last().expect("windows exist");
+    println!("\nfinal window edge list (first lines):");
+    for line in to_edge_list(final_matrix).lines().take(6) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # dangoron-suite — workspace façade
+//!
+//! Re-exports the public API of every crate in the Dangoron reproduction so
+//! the examples and integration tests have one import root. Library users
+//! should depend on the individual crates (`dangoron`, `tomborg`, …)
+//! directly.
+
+pub use baselines;
+pub use dangoron;
+pub use dsp;
+pub use eval;
+pub use linalg;
+pub use network;
+pub use sketch;
+pub use tomborg;
+pub use tsdata;

@@ -1,0 +1,141 @@
+//! Cross-crate integration: every engine in the workspace run over shared
+//! workloads, with agreement guarantees matched to each engine's contract.
+
+use baselines::naive::Naive;
+use baselines::parcorr::ParCorr;
+use baselines::statstream::StatStream;
+use baselines::tsubasa::Tsubasa;
+use baselines::SlidingEngine;
+use dangoron::config::{HorizontalConfig, PivotStrategy};
+use dangoron::{BoundMode, DangoronConfig};
+use eval::engines::DangoronEngine;
+use eval::workloads;
+
+fn exact_engines(basic_window: usize) -> Vec<Box<dyn SlidingEngine>> {
+    vec![
+        Box::new(Tsubasa {
+            basic_window,
+            threads: 1,
+        }),
+        Box::new(Tsubasa {
+            basic_window,
+            threads: 3,
+        }),
+        Box::new(DangoronEngine {
+            config: DangoronConfig {
+                basic_window,
+                bound: BoundMode::Exhaustive,
+                ..Default::default()
+            },
+        }),
+        Box::new(DangoronEngine {
+            config: DangoronConfig {
+                basic_window,
+                bound: BoundMode::Exhaustive,
+                horizontal: Some(HorizontalConfig {
+                    n_pivots: 2,
+                    strategy: PivotStrategy::Evenly,
+                }),
+                ..Default::default()
+            },
+        }),
+        Box::new(DangoronEngine {
+            config: DangoronConfig {
+                basic_window,
+                bound: BoundMode::Exhaustive,
+                threads: 4,
+                ..Default::default()
+            },
+        }),
+    ]
+}
+
+#[test]
+fn exact_engines_agree_with_naive_on_climate() {
+    let w = workloads::climate_quick(10, 0.85).unwrap();
+    let truth = Naive.execute(&w.data, w.query).unwrap();
+    for engine in exact_engines(w.basic_window) {
+        let got = engine.execute(&w.data, w.query).unwrap();
+        let r = eval::compare(&got, &truth);
+        assert_eq!(r.f1, 1.0, "{} disagreed with naive: {r:?}", engine.name());
+        assert!(
+            r.max_value_err < 1e-9,
+            "{} value drift: {r:?}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn exact_engines_agree_on_tomborg_case() {
+    let case = &tomborg::suite::smoke_suite(8, 512, 5)[0];
+    let w = workloads::from_tomborg(case, 0.7).unwrap();
+    let truth = Naive.execute(&w.data, w.query).unwrap();
+    for engine in exact_engines(w.basic_window) {
+        let got = engine.execute(&w.data, w.query).unwrap();
+        let r = eval::compare(&got, &truth);
+        assert_eq!(r.f1, 1.0, "{} disagreed: {r:?}", engine.name());
+    }
+}
+
+#[test]
+fn approximate_engines_meet_their_contracts() {
+    let w = workloads::climate_quick(10, 0.85).unwrap();
+    let truth = Naive.execute(&w.data, w.query).unwrap();
+
+    // Dangoron(jump): perfect precision, ≥0.9 recall on climate data.
+    let jump = DangoronEngine {
+        config: DangoronConfig {
+            basic_window: w.basic_window,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            ..Default::default()
+        },
+    };
+    let r = eval::compare(&jump.execute(&w.data, w.query).unwrap(), &truth);
+    assert_eq!(r.fp, 0, "jump mode must not invent edges");
+    // The paper's "accuracy above 90 percent" — F1 against the exact output.
+    assert!(r.f1 >= 0.9, "jump F1 {r:?}");
+    assert!(r.recall >= 0.85, "jump recall {r:?}");
+
+    // ParCorr with verification: perfect precision, high recall.
+    let pc = ParCorr {
+        dim: 256,
+        seed: 3,
+        margin: 0.1,
+        verify: true,
+    };
+    let r = eval::compare(&pc.execute(&w.data, w.query).unwrap(), &truth);
+    assert_eq!(r.fp, 0);
+    assert!(r.recall >= 0.85, "parcorr recall {r:?}");
+
+    // StatStream with verification: perfect precision by construction.
+    let ss = StatStream {
+        coeffs: 24,
+        margin: 0.1,
+        verify: true,
+    };
+    let r = eval::compare(&ss.execute(&w.data, w.query).unwrap(), &truth);
+    assert_eq!(r.fp, 0);
+}
+
+#[test]
+fn slack_trades_speed_for_recall() {
+    let w = workloads::climate_quick(8, 0.85).unwrap();
+    let truth = Naive.execute(&w.data, w.query).unwrap();
+    let mut recalls = Vec::new();
+    let mut evaluated = Vec::new();
+    for slack in [0.0, 0.1, 0.3] {
+        let engine = dangoron::Dangoron::new(DangoronConfig {
+            basic_window: w.basic_window,
+            bound: BoundMode::PaperJump { slack },
+            ..Default::default()
+        })
+        .unwrap();
+        let res = engine.execute(&w.data, w.query).unwrap();
+        recalls.push(eval::compare(&res.matrices, &truth).recall);
+        evaluated.push(res.stats.evaluated);
+    }
+    // More slack ⇒ at least as many evaluations and at least the recall.
+    assert!(evaluated[0] <= evaluated[1] && evaluated[1] <= evaluated[2]);
+    assert!(recalls[0] <= recalls[2] + 1e-12);
+}

@@ -1,0 +1,133 @@
+//! Full pipeline integration: USCRN-format text → parsing →
+//! synchronization → Dangoron → network analytics.
+
+use dangoron::{Dangoron, DangoronConfig};
+use network::temporal::window_summaries;
+use sketch::SlidingQuery;
+use tsdata::sync::{synchronize_all, Aggregation, Grid};
+use tsdata::uscrn::{self, Variable};
+
+/// Builds a small USCRN-format corpus: 4 stations, hourly for `hours`
+/// hours. Stations 1/2 share a warm-weather pattern, stations 3/4 a cold
+/// one, so the downstream network must split into two communities.
+fn fake_uscrn_corpus(hours: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for h in 0..hours {
+        let day = h / 24;
+        let hour = h % 24;
+        // Two regional temperature regimes plus tiny station offsets.
+        let warm = 20.0 + 8.0 * ((h as f64) * std::f64::consts::TAU / 24.0).sin()
+            + (day as f64 * 0.7).sin() * 4.0;
+        let cold = -2.0 + 3.0 * ((h as f64) * std::f64::consts::TAU / 24.0).cos()
+            + (day as f64 * 1.3).cos() * 5.0;
+        for (station, base, offset) in [
+            (1001u32, warm, 0.0),
+            (1002, warm, 0.4),
+            (2001, cold, 0.0),
+            (2002, cold, -0.3),
+        ] {
+            // Occasionally emit the missing sentinel to exercise
+            // interpolation (every 50th observation of station 1002).
+            let value = if station == 1002 && h % 50 == 7 {
+                "-9999.0".to_string()
+            } else {
+                format!("{:.1}", base + offset)
+            };
+            lines.push(format!(
+                "{station} 2020{:02}{:02} {:02}00 20200101 0000 3 -105.0 40.0 {value} 0 0 0 0.0 0 0 0 0 0 0 R 0 0 0 0 0 0 50 0",
+                1 + day / 28,
+                1 + day % 28,
+                hour
+            ));
+        }
+    }
+    lines
+}
+
+#[test]
+fn uscrn_text_to_correlation_network() {
+    let hours = 24 * 28; // four weeks
+    let corpus = fake_uscrn_corpus(hours);
+
+    // Parse.
+    let data = uscrn::read_lines(corpus.iter().map(|s| s.as_str()), Variable::TCalc).unwrap();
+    assert_eq!(data.n_stations(), 4);
+
+    // Synchronize onto the hourly grid.
+    let start = uscrn::parse_utc("20200101", "0000").unwrap();
+    let grid = Grid::new(start, 3600, hours).unwrap();
+    let matrix = synchronize_all(&data.into_series(), &grid, Aggregation::Mean).unwrap();
+    assert_eq!(matrix.n_series(), 4);
+    assert_eq!(matrix.len(), hours);
+
+    // Query: daily windows sliding 12 h.
+    let query = SlidingQuery {
+        start: 0,
+        end: hours,
+        window: 48,
+        step: 12,
+        threshold: 0.9,
+    };
+    let engine = Dangoron::new(DangoronConfig {
+        basic_window: 12,
+        ..Default::default()
+    })
+    .unwrap();
+    let result = engine.execute(&matrix, query).unwrap();
+    assert_eq!(result.matrices.len(), query.n_windows());
+
+    // The two regional pairs must dominate the network.
+    let mut warm_pair = 0usize;
+    let mut cold_pair = 0usize;
+    let mut cross = 0usize;
+    for m in &result.matrices {
+        if m.contains(0, 1) {
+            warm_pair += 1;
+        }
+        if m.contains(2, 3) {
+            cold_pair += 1;
+        }
+        for (i, j) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+            if m.contains(i, j) {
+                cross += 1;
+            }
+        }
+    }
+    let n = result.matrices.len();
+    assert!(warm_pair > n * 8 / 10, "warm pair connected {warm_pair}/{n}");
+    assert!(cold_pair > n * 8 / 10, "cold pair connected {cold_pair}/{n}");
+    // Cross-regime edges can fire occasionally (both regimes share the
+    // diurnal cycle) but must be rarer than in-regime ones.
+    assert!(
+        cross < warm_pair + cold_pair,
+        "cross edges {cross} should not dominate"
+    );
+
+    // Network summaries come out structurally sane.
+    let summaries = window_summaries(&result.matrices);
+    assert_eq!(summaries.len(), n);
+    assert!(summaries.iter().all(|s| s.n_components >= 1));
+}
+
+#[test]
+fn sketch_serialization_roundtrip_preserves_query_results() {
+    let w = eval::workloads::climate_quick(6, 0.85).unwrap();
+    let layout = sketch::BasicWindowLayout::for_query(&w.query, w.basic_window).unwrap();
+    let store = sketch::SketchStore::build(&w.data, layout).unwrap();
+
+    // Persist, reload, and verify the reloaded store answers identically.
+    let bytes = store.serialize();
+    let restored = sketch::SketchStore::deserialize(&bytes).unwrap();
+    assert_eq!(store, restored);
+
+    let pair = sketch::PairSketch::build(&layout, w.data.row(0), w.data.row(1)).unwrap();
+    for b0 in 0..4 {
+        let r1 = sketch::combine::window_correlation(&store, &pair, 0, 1, b0, b0 + 3);
+        let r2 = sketch::combine::window_correlation(&restored, &pair, 0, 1, b0, b0 + 3);
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            other => panic!("divergent results: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based integration tests: random workloads and queries, with
+//! the engines' core invariants checked against the naive oracle.
+
+use baselines::naive::Naive;
+use baselines::SlidingEngine;
+use dangoron::{BoundMode, Dangoron, DangoronConfig};
+use proptest::prelude::*;
+use sketch::SlidingQuery;
+use tsdata::generators;
+
+/// Strategy: a random-but-aligned query geometry over `len` points.
+fn aligned_query(len: usize) -> impl Strategy<Value = (SlidingQuery, usize)> {
+    // basic window in {4, 8, 10}, window/step multiples of it.
+    (prop_oneof![Just(4usize), Just(8), Just(10)], 2usize..5, 1usize..4, 0.0f64..0.95)
+        .prop_map(move |(b, w_mult, s_mult, beta)| {
+            let window = b * w_mult * 2;
+            let step = b * s_mult;
+            (
+                SlidingQuery {
+                    start: 0,
+                    end: len,
+                    window,
+                    step,
+                    threshold: beta,
+                },
+                b,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exhaustive Dangoron equals the naive oracle on any clustered
+    /// workload and any aligned query.
+    #[test]
+    fn exhaustive_equals_naive(
+        (query, basic) in aligned_query(400),
+        seed in 0u64..500,
+        groups in 1usize..4,
+        noise in 0.2f64..1.5,
+    ) {
+        let x = generators::clustered_matrix(7, 400, groups, noise, seed).unwrap();
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: basic,
+            bound: BoundMode::Exhaustive,
+            ..Default::default()
+        }).unwrap();
+        let got = engine.execute(&x, query).unwrap();
+        let truth = Naive.execute(&x, query).unwrap();
+        let r = eval::compare(&got.matrices, &truth);
+        prop_assert_eq!(r.f1, 1.0);
+        prop_assert!(r.max_value_err < 1e-9);
+    }
+
+    /// Jump mode never reports a false edge (its precision is structural:
+    /// edges are only emitted after exact evaluation), on any workload.
+    #[test]
+    fn jump_mode_has_no_false_positives(
+        (query, basic) in aligned_query(400),
+        seed in 0u64..500,
+    ) {
+        let x = generators::independent_ar1_matrix(6, 400, 0.7, seed).unwrap();
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: basic,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            ..Default::default()
+        }).unwrap();
+        let got = engine.execute(&x, query).unwrap();
+        let truth = Naive.execute(&x, query).unwrap();
+        let r = eval::compare(&got.matrices, &truth);
+        prop_assert_eq!(r.fp, 0, "false positives: {:?}", r);
+    }
+
+    /// Stats accounting is exact for every configuration: each (pair,
+    /// window) cell is evaluated, jumped, or triangle-pruned.
+    #[test]
+    fn work_accounting_is_exact(
+        (query, basic) in aligned_query(400),
+        seed in 0u64..500,
+        jump in proptest::bool::ANY,
+    ) {
+        let x = generators::clustered_matrix(6, 400, 2, 0.5, seed).unwrap();
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: basic,
+            bound: if jump { BoundMode::PaperJump { slack: 0.0 } } else { BoundMode::Exhaustive },
+            ..Default::default()
+        }).unwrap();
+        let res = engine.execute(&x, query).unwrap();
+        let s = &res.stats;
+        prop_assert_eq!(s.n_pairs, 15);
+        prop_assert_eq!(s.total_cells, 15 * query.n_windows() as u64);
+        prop_assert_eq!(
+            s.evaluated + s.skipped_by_jump + s.pruned_by_triangle,
+            s.total_cells
+        );
+        let emitted: u64 = res.matrices.iter().map(|m| m.n_edges() as u64).sum();
+        prop_assert_eq!(s.edges, emitted);
+    }
+
+    /// The output matrices only ever contain values ≥ β, within [−1, 1].
+    #[test]
+    fn emitted_values_respect_threshold(
+        (query, basic) in aligned_query(400),
+        seed in 0u64..200,
+    ) {
+        let x = generators::clustered_matrix(6, 400, 2, 0.6, seed).unwrap();
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: basic,
+            ..Default::default()
+        }).unwrap();
+        let res = engine.execute(&x, query).unwrap();
+        for m in &res.matrices {
+            for e in m.edges() {
+                prop_assert!(e.value >= query.threshold);
+                prop_assert!(e.value <= 1.0);
+                prop_assert!(e.i < e.j);
+            }
+        }
+    }
+}
