@@ -113,11 +113,7 @@ mod tests {
 
     #[test]
     fn matrices_from_edges_thresholds_and_sorts() {
-        let ms = matrices_from_edges(
-            3,
-            0.5,
-            vec![vec![(1, 0, 0.9), (0, 2, 0.4)], vec![]],
-        );
+        let ms = matrices_from_edges(3, 0.5, vec![vec![(1, 0, 0.9), (0, 2, 0.4)], vec![]]);
         assert_eq!(ms.len(), 2);
         assert_eq!(ms[0].n_edges(), 1); // 0.4 dropped by threshold
         assert_eq!(ms[0].get(0, 1), 0.9);

@@ -4,14 +4,61 @@
 //! as the ground truth for accuracy metrics and as the sanity baseline in
 //! the scaling benches.
 
-use crate::{matrices_from_edges, SlidingEngine};
+use crate::SlidingEngine;
 use sketch::output::EdgeRule;
 use sketch::{SlidingQuery, ThresholdedMatrix};
 use tsdata::{stats, TimeSeriesMatrix, TsError};
 
-/// The naive engine (stateless).
+/// The naive engine (stateless, sequential).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Naive;
+
+/// One window of the naive scan: direct Pearson over every pair, filtered
+/// by `rule`. The single copy of the inner loop every naive entry point
+/// (sequential, explicit-rule, parallel) shares — so zero-variance and
+/// threshold handling cannot drift between the comparators.
+fn window_matrix(
+    x: &TimeSeriesMatrix,
+    query: &SlidingQuery,
+    w: usize,
+    rule: EdgeRule,
+) -> ThresholdedMatrix {
+    let n = x.n_series();
+    let (ws, we) = query.window_range(w);
+    let mut m = ThresholdedMatrix::with_rule(n, query.threshold, rule);
+    for i in 0..n {
+        let xi = &x.row(i)[ws..we];
+        for j in (i + 1)..n {
+            // Zero-variance windows have undefined correlation: treated as
+            // "no edge", consistent with every engine in this workspace.
+            if let Ok(r) = stats::pearson(xi, &x.row(j)[ws..we]) {
+                m.push(i, j, r);
+            }
+        }
+    }
+    m.finalize();
+    m
+}
+
+/// The naive scan parallelised over windows with the shared executor —
+/// the fair multi-core comparator for the parallel engines (E8d). Windows
+/// are embarrassingly parallel and each produces its own matrix, so
+/// results are collected in window order and identical for any thread
+/// count.
+pub fn execute_parallel(
+    x: &TimeSeriesMatrix,
+    query: SlidingQuery,
+    rule: EdgeRule,
+    threads: usize,
+) -> Result<Vec<ThresholdedMatrix>, TsError> {
+    query.validate(x.len())?;
+    Ok(exec::par_collect_chunks(
+        query.n_windows(),
+        threads,
+        1,
+        |range| range.map(|w| window_matrix(x, &query, w, rule)).collect(),
+    ))
+}
 
 /// Naive scan with an explicit [`EdgeRule`] — the ground truth for
 /// absolute-threshold (anticorrelation) queries.
@@ -21,23 +68,9 @@ pub fn execute_with_rule(
     rule: EdgeRule,
 ) -> Result<Vec<ThresholdedMatrix>, TsError> {
     query.validate(x.len())?;
-    let n = x.n_series();
-    let mut out = Vec::with_capacity(query.n_windows());
-    for w in 0..query.n_windows() {
-        let (ws, we) = query.window_range(w);
-        let mut m = ThresholdedMatrix::with_rule(n, query.threshold, rule);
-        for i in 0..n {
-            let xi = &x.row(i)[ws..we];
-            for j in (i + 1)..n {
-                if let Ok(r) = stats::pearson(xi, &x.row(j)[ws..we]) {
-                    m.push(i, j, r);
-                }
-            }
-        }
-        m.finalize();
-        out.push(m);
-    }
-    Ok(out)
+    Ok((0..query.n_windows())
+        .map(|w| window_matrix(x, &query, w, rule))
+        .collect())
 }
 
 impl SlidingEngine for Naive {
@@ -50,29 +83,7 @@ impl SlidingEngine for Naive {
         x: &TimeSeriesMatrix,
         query: SlidingQuery,
     ) -> Result<Vec<ThresholdedMatrix>, TsError> {
-        query.validate(x.len())?;
-        let n = x.n_series();
-        let mut window_edges = Vec::with_capacity(query.n_windows());
-        for w in 0..query.n_windows() {
-            let (ws, we) = query.window_range(w);
-            let mut edges = Vec::new();
-            for i in 0..n {
-                let xi = &x.row(i)[ws..we];
-                for j in (i + 1)..n {
-                    let xj = &x.row(j)[ws..we];
-                    // Zero-variance windows have undefined correlation:
-                    // treated as "no edge", consistent with every engine in
-                    // this workspace.
-                    if let Ok(r) = stats::pearson(xi, xj) {
-                        if r >= query.threshold {
-                            edges.push((i, j, r));
-                        }
-                    }
-                }
-            }
-            window_edges.push(edges);
-        }
-        Ok(matrices_from_edges(n, query.threshold, window_edges))
+        execute_with_rule(x, query, EdgeRule::Positive)
     }
 }
 
@@ -108,12 +119,10 @@ mod tests {
         let mut a = generators::white_noise(200, 5);
         let mut b = generators::white_noise(200, 6);
         // Make the two series identical only in [100, 200).
-        for t in 100..200 {
-            b[t] = a[t];
-        }
+        b[100..200].copy_from_slice(&a[100..200]);
         // And uncorrelated (independent noise) in [0, 100).
-        for t in 0..100 {
-            a[t] = (t as f64 * 0.7).sin();
+        for (t, v) in a.iter_mut().enumerate().take(100) {
+            *v = (t as f64 * 0.7).sin();
         }
         let x = TimeSeriesMatrix::from_rows(vec![a, b]).unwrap();
         let q = SlidingQuery {
@@ -130,11 +139,9 @@ mod tests {
 
     #[test]
     fn zero_variance_yields_no_edge() {
-        let x = TimeSeriesMatrix::from_rows(vec![
-            vec![1.0; 60],
-            (0..60).map(|t| t as f64).collect(),
-        ])
-        .unwrap();
+        let x =
+            TimeSeriesMatrix::from_rows(vec![vec![1.0; 60], (0..60).map(|t| t as f64).collect()])
+                .unwrap();
         let q = SlidingQuery {
             start: 0,
             end: 60,
@@ -166,6 +173,26 @@ mod tests {
         for m in &abs {
             assert_eq!(m.n_edges(), 1);
             assert!((m.get(0, 1) + 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_at_any_thread_count() {
+        let x = generators::clustered_matrix(8, 200, 2, 0.5, 13).unwrap();
+        let q = SlidingQuery {
+            start: 0,
+            end: 200,
+            window: 50,
+            step: 25,
+            threshold: 0.6,
+        };
+        let seq = Naive.execute(&x, q).unwrap();
+        for threads in [1, 2, 8] {
+            let par = execute_parallel(&x, q, EdgeRule::Positive, threads).unwrap();
+            assert_eq!(seq.len(), par.len(), "threads={threads}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.edges(), b.edges(), "threads={threads}");
+            }
         }
     }
 

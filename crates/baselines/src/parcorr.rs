@@ -53,10 +53,14 @@ impl ParCorr {
         query: SlidingQuery,
     ) -> Result<Vec<ThresholdedMatrix>, TsError> {
         if self.dim == 0 {
-            return Err(TsError::InvalidParameter("sketch dim must be positive".into()));
+            return Err(TsError::InvalidParameter(
+                "sketch dim must be positive".into(),
+            ));
         }
         if self.margin < 0.0 {
-            return Err(TsError::InvalidParameter("margin must be non-negative".into()));
+            return Err(TsError::InvalidParameter(
+                "margin must be non-negative".into(),
+            ));
         }
         query.validate(x.len())?;
         let n = x.n_series();
@@ -74,10 +78,10 @@ impl ParCorr {
             for (i, st) in states.iter_mut().enumerate() {
                 st.advance(x.row(i), ws);
             }
-            let sketches: Vec<Option<Vec<f64>>> =
-                states.iter().map(|s| s.normalized()).collect();
+            let sketches: Vec<Option<Vec<f64>>> = states.iter().map(|s| s.normalized()).collect();
 
             let mut edges = Vec::new();
+            #[allow(clippy::needless_range_loop)] // i/j pair over two slices
             for i in 0..n {
                 let Some(si) = &sketches[i] else { continue };
                 for j in (i + 1)..n {
@@ -165,15 +169,21 @@ mod tests {
     #[test]
     fn verify_mode_has_perfect_precision() {
         let (x, q) = workload();
+        // margin 0.15: wide enough that JL estimation noise (which depends
+        // on the PRNG stream — see crates/shims/rand) cannot push recall
+        // below the asserted floor; precision stays exact via verification.
         let pc = ParCorr {
             dim: 256,
             seed: 1,
-            margin: 0.1,
+            margin: 0.15,
             verify: true,
         };
         let got = edge_set(&pc.run(&x, q).unwrap());
         let truth = edge_set(&Naive.execute(&x, q).unwrap());
-        assert!(got.is_subset(&truth), "verified ParCorr emitted a false edge");
+        assert!(
+            got.is_subset(&truth),
+            "verified ParCorr emitted a false edge"
+        );
         assert!(!truth.is_empty());
         let recall = got.len() as f64 / truth.len() as f64;
         assert!(recall >= 0.9, "recall = {recall}");

@@ -54,7 +54,9 @@ impl StatStream {
             ));
         }
         if self.margin < 0.0 {
-            return Err(TsError::InvalidParameter("margin must be non-negative".into()));
+            return Err(TsError::InvalidParameter(
+                "margin must be non-negative".into(),
+            ));
         }
         query.validate(x.len())?;
         let n = x.n_series();
@@ -77,12 +79,12 @@ impl StatStream {
                 .collect();
 
             let mut edges = Vec::new();
+            #[allow(clippy::needless_range_loop)] // i/j pair over two slices
             for i in 0..n {
                 let Some(ci) = &specs[i] else { continue };
                 for j in (i + 1)..n {
                     let Some(cj) = &specs[j] else { continue };
-                    let est: f64 =
-                        ci.iter().zip(cj).map(|(a, b)| a * b).sum::<f64>() / l as f64;
+                    let est: f64 = ci.iter().zip(cj).map(|(a, b)| a * b).sum::<f64>() / l as f64;
                     if est < query.threshold - self.margin {
                         continue;
                     }
@@ -223,9 +225,15 @@ mod tests {
         };
         let few = recall_of(2);
         let many = recall_of(100);
-        assert!(many >= few, "more coefficients cannot hurt: {few} vs {many}");
+        assert!(
+            many >= few,
+            "more coefficients cannot hurt: {few} vs {many}"
+        );
         assert!(many > 0.95, "full-coefficient recall should be ~1: {many}");
-        assert!(few < 0.9, "2-coefficient recall on noise should degrade: {few}");
+        assert!(
+            few < 0.9,
+            "2-coefficient recall on noise should degrade: {few}"
+        );
     }
 
     #[test]

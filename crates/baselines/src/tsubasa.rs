@@ -10,8 +10,11 @@
 //! over basic windows (no prefix sums), because that O(n_s) factor *is*
 //! the baseline Dangoron's order-of-magnitude claim is measured against.
 
-use crate::{matrices_from_edges, SlidingEngine, TimedRun};
-use sketch::{BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix};
+use crate::{SlidingEngine, TimedRun};
+use sketch::output::{Edge, EdgeRule};
+use sketch::{
+    pair, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix,
+};
 use std::time::Instant;
 use tsdata::stats::pearson_from_sums;
 use tsdata::{TimeSeriesMatrix, TsError};
@@ -63,7 +66,7 @@ impl TsubasaPrepared {
         }
         let (b0, b1) = self.layout.window_to_basic(ws, we)?;
         let (a, b) = if i < j { (i, j) } else { (j, i) };
-        let pair = &self.pairs[pair_index(a, b, self.n)];
+        let pair = &self.pairs[triangular::rank(a, b, self.n)];
         Ok(combine_tsubasa(&self.store, pair, a, b, b0, b1))
     }
 }
@@ -83,14 +86,9 @@ impl Tsubasa {
         }
         query.validate(x.len())?;
         let layout = BasicWindowLayout::for_query(&query, self.basic_window)?;
-        let store = SketchStore::build(x, layout)?;
+        let store = SketchStore::build_with_threads(x, layout, self.threads)?;
         let n = x.n_series();
-        let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                pairs.push(PairSketch::build(&layout, x.row(i), x.row(j))?);
-            }
-        }
+        let pairs = pair::build_all(&layout, x, self.threads)?;
         Ok(TsubasaPrepared {
             layout,
             store,
@@ -101,56 +99,51 @@ impl Tsubasa {
     }
 
     /// Pure query phase: per pair, per window, O(n_s) sketch combination.
+    ///
+    /// Uses the same work-stealing executor and lock-free flat-buffer
+    /// merge as the Dangoron engine, so parallel speedup comparisons
+    /// measure the algorithms, not the schedulers.
     pub fn run(&self, prep: &TsubasaPrepared) -> Vec<ThresholdedMatrix> {
         let q = &prep.query;
         let n_windows = q.n_windows();
         let n = prep.n;
-        let all_pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-            .collect();
 
-        let process = |pairs: &[(usize, usize)]| -> Vec<Vec<(usize, usize, f64)>> {
-            let mut window_edges: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); n_windows];
-            for &(i, j) in pairs {
-                let pair = &prep.pairs[pair_index(i, j, n)];
-                for w in 0..n_windows {
-                    let (ws, we) = q.window_range(w);
-                    let (b0, b1) = prep
-                        .layout
-                        .window_to_basic(ws, we)
-                        .expect("alignment checked in prepare");
-                    if let Some(r) = combine_tsubasa(&prep.store, pair, i, j, b0, b1) {
-                        if r >= q.threshold {
-                            window_edges[w].push((i, j, r));
+        let worker_out = exec::run_partitioned(
+            triangular::count(n),
+            self.threads,
+            8,
+            |_| Vec::<(u32, Edge)>::new(),
+            |buf, range| {
+                for p in range {
+                    let (i, j) = triangular::unrank(p, n);
+                    let pair = &prep.pairs[p];
+                    for w in 0..n_windows {
+                        let (ws, we) = q.window_range(w);
+                        let (b0, b1) = prep
+                            .layout
+                            .window_to_basic(ws, we)
+                            .expect("alignment checked in prepare");
+                        if let Some(r) = combine_tsubasa(&prep.store, pair, i, j, b0, b1) {
+                            if r >= q.threshold {
+                                buf.push((
+                                    w as u32,
+                                    Edge {
+                                        i: i as u32,
+                                        j: j as u32,
+                                        value: r,
+                                    },
+                                ));
+                            }
                         }
                     }
                 }
-            }
-            window_edges
-        };
-
-        let threads = self.threads.max(1).min(all_pairs.len().max(1));
-        let merged: Vec<Vec<(usize, usize, f64)>> = if threads <= 1 {
-            process(&all_pairs)
-        } else {
-            let chunk = all_pairs.len().div_ceil(threads);
-            let pieces: Vec<Vec<Vec<(usize, usize, f64)>>> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = all_pairs
-                    .chunks(chunk)
-                    .map(|c| scope.spawn(move |_| process(c)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("worker thread panicked");
-            let mut merged: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); n_windows];
-            for piece in pieces {
-                for (w, mut es) in piece.into_iter().enumerate() {
-                    merged[w].append(&mut es);
-                }
-            }
-            merged
-        };
-        matrices_from_edges(n, q.threshold, merged)
+            },
+        );
+        let mut flat = Vec::new();
+        for buf in worker_out {
+            flat.extend(buf);
+        }
+        ThresholdedMatrix::assemble_windows(n, q.threshold, EdgeRule::Positive, n_windows, flat)
     }
 }
 
@@ -182,11 +175,6 @@ fn combine_tsubasa(
         sxy += pair.cross_sum(b, b + 1);
     }
     pearson_from_sums(n, sx, sy, sxx, syy, sxy).ok()
-}
-
-#[inline]
-fn pair_index(i: usize, j: usize, n: usize) -> usize {
-    i * (2 * n - i - 1) / 2 + (j - i - 1)
 }
 
 impl SlidingEngine for Tsubasa {
@@ -323,8 +311,7 @@ mod tests {
         for (ws, we) in [(0usize, 40usize), (20, 140), (60, 240), (0, 240)] {
             for (i, j) in [(0usize, 3usize), (4, 1), (2, 5)] {
                 let got = prep.query_window(i, j, ws, we).unwrap().unwrap();
-                let truth =
-                    tsdata::stats::pearson(&x.row(i)[ws..we], &x.row(j)[ws..we]).unwrap();
+                let truth = tsdata::stats::pearson(&x.row(i)[ws..we], &x.row(j)[ws..we]).unwrap();
                 assert!((got - truth).abs() < 1e-9, "({i},{j}) [{ws},{we})");
             }
         }

@@ -43,9 +43,7 @@ fn bench_ablation(c: &mut Criterion) {
     for (name, config) in variants {
         let engine = Dangoron::new(config).expect("valid config");
         let prep = engine.prepare(&w.data, w.query).expect("prepare");
-        group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(engine.run(&prep)))
-        });
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(engine.run(&prep))));
     }
     group.finish();
 }

@@ -1,25 +1,54 @@
-//! Experiment harness: regenerates every table/figure of the paper.
+//! Experiment harness: regenerates every table/figure of the paper, and
+//! records the perf trajectory.
 //!
 //! ```text
-//! harness <exp-id>... [--full]     # e1 … e10, or `all`
+//! harness <exp-id>... [--full]               # e1 … e10, or `all`
+//! harness bench [--out BENCH_1.json] [--full]  # perf ladder → JSON
 //! ```
 //!
 //! Quick scale (default) runs in seconds per experiment; `--full` uses the
 //! paper-sized configuration (N up to 512, a full year of hourly data) and
-//! takes minutes.
+//! takes minutes. `bench` times the E1 workload's prepare and pure-query
+//! phases at threads 1/2/4/8 and writes a machine-readable record (see
+//! `bench::perf`) so every PR's speedup is comparable to its predecessors.
 
 use bench::experiments::{run_experiment, ALL};
 use bench::Scale;
 
+fn run_bench(args: &[String], scale: Scale) {
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(k) => match args.get(k + 1) {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => {
+                eprintln!("error: --out requires a file path");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_1.json".to_string(),
+    };
+    let record = bench::perf::run(scale);
+    let json = record.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let scale = Scale::from_flag(full);
+    if args.iter().any(|a| a == "bench") {
+        run_bench(&args, scale);
+        return;
+    }
     let ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .cloned()
         .collect();
-    let scale = Scale::from_flag(full);
 
     let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL.to_vec()

@@ -26,7 +26,14 @@ pub fn run(scale: Scale) -> String {
     let summaries = window_summaries(&r.matrices);
     let mut s_table = Table::new(
         "E10a: per-window network summaries (sampled)",
-        &["window", "edges", "density", "components", "giant", "clustering"],
+        &[
+            "window",
+            "edges",
+            "density",
+            "components",
+            "giant",
+            "clustering",
+        ],
     );
     let idx = [0, summaries.len() / 2, summaries.len() - 1];
     for &i in &idx {
@@ -47,7 +54,7 @@ pub fn run(scale: Scale) -> String {
         .iter()
         .filter(|e| e.is_blinking(n_windows, 2, 0.6))
         .collect();
-    blinking.sort_by(|a, b| b.deactivations.cmp(&a.deactivations));
+    blinking.sort_by_key(|e| std::cmp::Reverse(e.deactivations));
     let mut b_table = Table::new(
         "E10b: top blinking links (≥2 blinks, stability ≤ 0.6)",
         &["edge", "presence", "blinks", "longest-run", "mean-corr"],

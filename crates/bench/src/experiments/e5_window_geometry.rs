@@ -21,16 +21,18 @@ pub fn run(scale: Scale) -> String {
     };
     let beta = 0.9;
     let ds = generate_sized(n, hours, 2020).expect("climate data");
-    let geometries: &[(usize, usize)] = &[
-        (72, 24),
-        (168, 24),
-        (336, 24),
-        (168, 48),
-        (168, 96),
-    ];
+    let geometries: &[(usize, usize)] = &[(72, 24), (168, 24), (336, 24), (168, 48), (168, 96)];
     let mut table = Table::new(
         "E5: window size l and step η sweep (β=0.9)",
-        &["l", "η", "windows", "tsubasa", "dangoron", "speedup", "skip-frac"],
+        &[
+            "l",
+            "η",
+            "windows",
+            "tsubasa",
+            "dangoron",
+            "speedup",
+            "skip-frac",
+        ],
     );
     for &(l, step) in geometries {
         let query = SlidingQuery {

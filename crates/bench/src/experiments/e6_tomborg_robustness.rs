@@ -92,7 +92,10 @@ mod tests {
         // Dangoron column stays high on both (Eq. 2 is assumption-based, so
         // strongly autocorrelated spectra cost it a few points — the paper's
         // "above 90 percent" is measured on climate data, E2).
-        assert!(easy[0] > 0.85 && hard[0] > 0.85, "dangoron: {easy:?} {hard:?}");
+        assert!(
+            easy[0] > 0.85 && hard[0] > 0.85,
+            "dangoron: {easy:?} {hard:?}"
+        );
         // StatStream must degrade from concentrated to band.
         assert!(
             easy[2] > hard[2] + 0.1,

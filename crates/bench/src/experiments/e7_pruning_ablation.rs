@@ -7,8 +7,8 @@
 
 use crate::common::time_dangoron;
 use crate::Scale;
-use dangoron::{BoundMode, Dangoron, DangoronConfig, PairStorage};
 use dangoron::config::{HorizontalConfig, PivotStrategy};
+use dangoron::{BoundMode, Dangoron, DangoronConfig, PairStorage};
 use eval::report::{dur, Table};
 use eval::workloads;
 

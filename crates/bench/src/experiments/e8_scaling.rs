@@ -84,6 +84,40 @@ pub fn run(scale: Scale) -> String {
         ]);
     }
 
+    // E8d: the naive exact scan on the same executor — the multi-core
+    // baseline every sketch-engine speedup is ultimately measured against.
+    // Smaller N than E8c: the naive scan is O(N²·γ·l) and only needs to
+    // show its own thread scaling, not match E8c's workload.
+    let mut d_table = Table::new(
+        "E8d: parallel naive scan (window-partitioned, same executor)",
+        &["threads", "query", "speedup-vs-1"],
+    );
+    let w_naive = workloads::climate(32, 24 * 60, beta, 2020).expect("workload");
+    let mut naive_base_ms = None;
+    for &threads in threads_list {
+        let t = eval::timing::measure(2, 1, || {
+            let t0 = std::time::Instant::now();
+            let _ = baselines::naive::execute_parallel(
+                &w_naive.data,
+                w_naive.query,
+                sketch::output::EdgeRule::Positive,
+                threads,
+            )
+            .expect("valid workload");
+            t0.elapsed()
+        });
+        let ms = t.median.as_secs_f64() * 1e3;
+        let speedup = naive_base_ms.map(|b: f64| b / ms).unwrap_or(1.0);
+        if naive_base_ms.is_none() {
+            naive_base_ms = Some(ms);
+        }
+        d_table.row(vec![
+            threads.to_string(),
+            dur(t.median),
+            format!("{}x", f3(speedup)),
+        ]);
+    }
+
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
@@ -92,10 +126,13 @@ pub fn run(scale: Scale) -> String {
     out.push_str(&l_table.render());
     out.push('\n');
     out.push_str(&t_table.render());
+    out.push('\n');
+    out.push_str(&d_table.render());
     out.push_str(&format!(
         "\nExpected shape: query time ~quadratic in N, ~linear in L; thread\n\
-         speedup tracks physical cores (this host reports {cores} — with one\n\
-         core, E8c can only show the spawn overhead).\n"
+         speedup (E8c engine, E8d naive baseline) tracks physical cores\n\
+         (this host reports {cores} — with one core, both can only show the\n\
+         spawn overhead).\n"
     ));
     out
 }
@@ -110,6 +147,7 @@ mod tests {
         assert!(report.contains("E8a"));
         assert!(report.contains("E8b"));
         assert!(report.contains("E8c"));
+        assert!(report.contains("E8d"));
         assert!(report.contains("per-pair"));
     }
 }

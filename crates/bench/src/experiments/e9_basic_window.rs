@@ -8,8 +8,8 @@
 
 use crate::common::{time_dangoron, time_tsubasa};
 use crate::Scale;
-use dangoron::{BoundMode, Dangoron, DangoronConfig};
 use baselines::tsubasa::Tsubasa;
+use dangoron::{BoundMode, Dangoron, DangoronConfig};
 use eval::report::{dur, f3, Table};
 use eval::workloads;
 use std::time::Instant;
@@ -81,7 +81,9 @@ mod tests {
         let report = run(Scale::Quick);
         for b in ["4", "6", "8", "12", "24"] {
             assert!(
-                report.lines().any(|l| l.split_whitespace().next() == Some(b)),
+                report
+                    .lines()
+                    .any(|l| l.split_whitespace().next() == Some(b)),
                 "missing width {b}"
             );
         }

@@ -1,5 +1,6 @@
 //! The experiment modules, one per paper artefact (see EXPERIMENTS.md).
 
+pub mod e10_network;
 pub mod e1_query_time;
 pub mod e2_accuracy;
 pub mod e3_jump_structure;
@@ -9,7 +10,6 @@ pub mod e6_tomborg_robustness;
 pub mod e7_pruning_ablation;
 pub mod e8_scaling;
 pub mod e9_basic_window;
-pub mod e10_network;
 
 use crate::Scale;
 
@@ -31,6 +31,4 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 10] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-];
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

@@ -7,6 +7,7 @@
 
 pub mod common;
 pub mod experiments;
+pub mod perf;
 
 /// How big the experiment should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

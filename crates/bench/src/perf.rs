@@ -1,0 +1,242 @@
+//! The `BENCH_*.json` perf trajectory: one machine-readable record per PR
+//! so every later optimisation is measured against its predecessors.
+//!
+//! `harness bench [--out BENCH_N.json] [--full]` runs the E1 query-time
+//! workload at a ladder of thread counts, timing the prepare phase (sketch
+//! building — the paper excludes it from "pure query time" but it
+//! dominates offline cost) and the pure query walk separately. The JSON is
+//! hand-rolled: serde_json is not an available dependency, and the schema
+//! is flat enough that a tiny emitter is clearer than a shim.
+
+use crate::common::dangoron_engine;
+use crate::Scale;
+use dangoron::{BoundMode, Dangoron, DangoronConfig};
+use eval::timing::{measure, speedup, TimingSummary};
+use eval::workloads::{self, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Thread counts every perf record samples.
+pub const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// One `(threads, timings)` sample of the perf run.
+#[derive(Debug, Clone)]
+pub struct ThreadSample {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Prepare-phase (sketch build) timing.
+    pub prepare: TimingSummary,
+    /// Pure-query timing.
+    pub query: TimingSummary,
+    /// Fraction of cells skipped by pruning.
+    pub skip_fraction: f64,
+    /// Total edges across all windows (sanity: identical for all rows).
+    pub total_edges: usize,
+}
+
+/// A full perf record.
+#[derive(Debug, Clone)]
+pub struct PerfRecord {
+    /// Workload description.
+    pub workload: String,
+    /// Series count.
+    pub n_series: usize,
+    /// Series length in columns.
+    pub n_cols: usize,
+    /// Number of sliding windows.
+    pub n_windows: usize,
+    /// Hardware threads the machine reports (speedups above this number
+    /// are not expected to materialise).
+    pub hardware_threads: usize,
+    /// Per-thread-count samples.
+    pub samples: Vec<ThreadSample>,
+}
+
+impl PerfRecord {
+    /// Query-time speedup of the `threads` sample over the 1-thread one.
+    pub fn query_speedup(&self, threads: usize) -> Option<f64> {
+        let base = self.samples.iter().find(|s| s.threads == 1)?;
+        let cand = self.samples.iter().find(|s| s.threads == threads)?;
+        Some(speedup(&base.query, &cand.query))
+    }
+
+    /// Prepare-phase speedup of the `threads` sample over the 1-thread one.
+    pub fn prepare_speedup(&self, threads: usize) -> Option<f64> {
+        let base = self.samples.iter().find(|s| s.threads == 1)?;
+        let cand = self.samples.iter().find(|s| s.threads == threads)?;
+        Some(speedup(&base.prepare, &cand.prepare))
+    }
+
+    /// Renders the record as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"dangoron-bench-v1\",");
+        let _ = writeln!(s, "  \"workload\": {},", json_str(&self.workload));
+        let _ = writeln!(s, "  \"n_series\": {},", self.n_series);
+        let _ = writeln!(s, "  \"n_cols\": {},", self.n_cols);
+        let _ = writeln!(s, "  \"n_windows\": {},", self.n_windows);
+        let _ = writeln!(s, "  \"hardware_threads\": {},", self.hardware_threads);
+        let _ = writeln!(s, "  \"samples\": [");
+        for (k, smp) in self.samples.iter().enumerate() {
+            let comma = if k + 1 < self.samples.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"threads\": {}, \"prepare_ms\": {{\"median\": {:.6}, \"min\": {:.6}, \"max\": {:.6}}}, \
+                 \"query_ms\": {{\"median\": {:.6}, \"min\": {:.6}, \"max\": {:.6}}}, \
+                 \"skip_fraction\": {:.6}, \"total_edges\": {}, \
+                 \"query_speedup_vs_1\": {}, \"prepare_speedup_vs_1\": {}}}{comma}",
+                smp.threads,
+                smp.prepare.median_ms(),
+                smp.prepare.min.as_secs_f64() * 1e3,
+                smp.prepare.max.as_secs_f64() * 1e3,
+                smp.query.median_ms(),
+                smp.query.min.as_secs_f64() * 1e3,
+                smp.query.max.as_secs_f64() * 1e3,
+                smp.skip_fraction,
+                smp.total_edges,
+                json_ratio(self.query_speedup(smp.threads)),
+                json_ratio(self.prepare_speedup(smp.threads)),
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+/// A speedup ratio as a JSON value: `null` when there is no 1-thread
+/// baseline in the ladder (bare `NaN` is not valid JSON).
+fn json_ratio(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.4}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn sample(w: &Workload, engine: &Dangoron, threads: usize, reps: usize) -> ThreadSample {
+    let prepare = measure(reps, 1, || {
+        let t = Instant::now();
+        let p = engine.prepare(&w.data, w.query).expect("valid workload");
+        let elapsed = t.elapsed();
+        drop(p);
+        elapsed
+    });
+    let prep = engine.prepare(&w.data, w.query).expect("valid workload");
+    let result = engine.run(&prep);
+    let query = measure(reps, 1, || {
+        let t = Instant::now();
+        let _ = engine.run(&prep);
+        t.elapsed()
+    });
+    ThreadSample {
+        threads,
+        prepare,
+        query,
+        skip_fraction: result.stats.skip_fraction(),
+        total_edges: result.total_edges(),
+    }
+}
+
+/// Runs the perf ladder and returns the record.
+pub fn run(scale: Scale) -> PerfRecord {
+    let (n, hours, reps) = match scale {
+        Scale::Quick => (32, 24 * 90, 3),
+        Scale::Full => (128, 24 * 365, 5),
+    };
+    let beta = 0.9;
+    let w = workloads::climate(n, hours, beta, 2020).expect("workload");
+    let base = dangoron_engine(&w, BoundMode::PaperJump { slack: 0.0 });
+
+    let samples = THREAD_LADDER
+        .iter()
+        .map(|&threads| {
+            let engine = Dangoron::new(DangoronConfig {
+                threads,
+                ..base.config().clone()
+            })
+            .expect("valid config");
+            sample(&w, &engine, threads, reps)
+        })
+        .collect();
+
+    PerfRecord {
+        workload: w.name.clone(),
+        n_series: n,
+        n_cols: w.data.len(),
+        n_windows: w.query.n_windows(),
+        hardware_threads: exec::available_threads(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_record() -> PerfRecord {
+        // A miniature ladder so the test stays fast.
+        let w = workloads::climate_quick(8, 0.9).unwrap();
+        let samples = [1usize, 2]
+            .iter()
+            .map(|&threads| {
+                let engine = Dangoron::new(DangoronConfig {
+                    basic_window: w.basic_window,
+                    threads,
+                    ..Default::default()
+                })
+                .unwrap();
+                sample(&w, &engine, threads, 1)
+            })
+            .collect();
+        PerfRecord {
+            workload: w.name.clone(),
+            n_series: 8,
+            n_cols: w.data.len(),
+            n_windows: w.query.n_windows(),
+            hardware_threads: exec::available_threads(),
+            samples,
+        }
+    }
+
+    #[test]
+    fn record_is_consistent_and_serialises() {
+        let r = tiny_record();
+        // Edges identical across thread counts (determinism).
+        let edges: Vec<usize> = r.samples.iter().map(|s| s.total_edges).collect();
+        assert!(edges.windows(2).all(|w| w[0] == w[1]), "{edges:?}");
+        assert!(r.query_speedup(2).is_some());
+        assert!(r.prepare_speedup(2).is_some());
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"dangoron-bench-v1\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("query_speedup_vs_1"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

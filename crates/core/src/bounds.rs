@@ -114,6 +114,7 @@ pub fn eq2_lower_bound(
 ///
 /// Runs the paper's binary search; validity rests on the bound's
 /// monotonicity in `k`.
+#[allow(clippy::too_many_arguments)]
 pub fn max_jump(
     corr_i: f64,
     beta: f64,
@@ -240,7 +241,9 @@ mod tests {
     #[test]
     fn eq2_bound_is_monotone_in_k() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cs: Vec<Option<f64>> = (0..50).map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0)).collect();
+        let cs: Vec<Option<f64>> = (0..50)
+            .map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0))
+            .collect();
         let dep = DepartureCost::from_correlations(cs.into_iter());
         let mut prev = f64::NEG_INFINITY;
         for k in 0..=10 {
@@ -255,8 +258,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for trial in 0..200 {
             let nb = rng.gen_range(10..60);
-            let cs: Vec<Option<f64>> =
-                (0..nb).map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0)).collect();
+            let cs: Vec<Option<f64>> = (0..nb)
+                .map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0))
+                .collect();
             let dep = DepartureCost::from_correlations(cs.into_iter());
             let ns = rng.gen_range(2..8usize);
             let step_bw = rng.gen_range(1..3usize);
@@ -326,9 +330,8 @@ mod tests {
         let ns = 8usize;
         let dep = DepartureCost::from_correlations(cs.iter().copied());
         // Window starting at basic window w: correlation over ns windows.
-        let win_corr = |w: usize| {
-            pearson(&x[w * b..(w + ns) * b], &y[w * b..(w + ns) * b]).unwrap()
-        };
+        let win_corr =
+            |w: usize| pearson(&x[w * b..(w + ns) * b], &y[w * b..(w + ns) * b]).unwrap();
         for w0 in 0..8 {
             let c0 = win_corr(w0);
             for k in 1..=6 {
@@ -344,9 +347,8 @@ mod tests {
 
     #[test]
     fn lower_cost_prefix() {
-        let dep = DepartureCost::from_correlations_lower(
-            vec![Some(1.0), Some(-1.0), None].into_iter(),
-        );
+        let dep =
+            DepartureCost::from_correlations_lower(vec![Some(1.0), Some(-1.0), None].into_iter());
         assert_eq!(dep.cost(0, 1), 2.0);
         assert_eq!(dep.cost(1, 2), 0.0);
         assert_eq!(dep.cost(2, 3), 1.0);
@@ -357,8 +359,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..200 {
             let nb = rng.gen_range(10..40);
-            let cs: Vec<Option<f64>> =
-                (0..nb).map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0)).collect();
+            let cs: Vec<Option<f64>> = (0..nb)
+                .map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0))
+                .collect();
             let up = DepartureCost::from_correlations(cs.iter().copied());
             let low = DepartureCost::from_correlations_lower(cs.iter().copied());
             let ns = rng.gen_range(2..6usize);
@@ -366,8 +369,7 @@ mod tests {
             let k_max = (nb - bw0).min(12);
             let corr = rng.gen::<f64>() * 2.0 - 1.0;
             let beta: f64 = rng.gen();
-            let fast =
-                max_jump_absolute(corr, corr, beta, 0.0, ns, 1, bw0, k_max, &up, &low);
+            let fast = max_jump_absolute(corr, corr, beta, 0.0, ns, 1, bw0, k_max, &up, &low);
             let mut slow = 0;
             for k in 1..=k_max {
                 let ub = eq2_upper_bound(corr, ns, 1, bw0, k, &up);
@@ -388,8 +390,9 @@ mod tests {
         // subset of the positive-rule jumps.
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..100 {
-            let cs: Vec<Option<f64>> =
-                (0..30).map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0)).collect();
+            let cs: Vec<Option<f64>> = (0..30)
+                .map(|_| Some(rng.gen::<f64>() * 2.0 - 1.0))
+                .collect();
             let up = DepartureCost::from_correlations(cs.iter().copied());
             let low = DepartureCost::from_correlations_lower(cs.iter().copied());
             let corr = rng.gen::<f64>() * 1.6 - 0.8;

@@ -29,23 +29,18 @@ impl Default for BoundMode {
 }
 
 /// Whether per-pair cross-product sketches are materialised up front.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PairStorage {
     /// Build all `N·(N−1)/2` pair sketches during `prepare` (the TSUBASA
     /// storage model): O(N²·n_b) memory, O(1) query-time evaluation.
     /// "Pure query time" in the paper's sense excludes this build.
+    #[default]
     Precomputed,
     /// Build each pair's sketch lazily inside the query (O(L) per visited
     /// pair): constant memory, the mode that scales to large `N`, and the
     /// mode where horizontal pruning pays (a pruned pair never touches the
     /// raw series).
     OnDemand,
-}
-
-impl Default for PairStorage {
-    fn default() -> Self {
-        PairStorage::Precomputed
-    }
 }
 
 /// Pivot selection for horizontal (triangle-inequality) pruning.
@@ -162,32 +157,42 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_parameters() {
-        let mut c = DangoronConfig::default();
-        c.basic_window = 1;
+        let c = DangoronConfig {
+            basic_window: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DangoronConfig::default();
-        c.threads = 0;
+        let c = DangoronConfig {
+            threads: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DangoronConfig::default();
-        c.bound = BoundMode::PaperJump { slack: -0.1 };
+        let mut c = DangoronConfig {
+            bound: BoundMode::PaperJump { slack: -0.1 },
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c.bound = BoundMode::PaperJump { slack: f64::NAN };
         assert!(c.validate().is_err());
 
-        let mut c = DangoronConfig::default();
-        c.horizontal = Some(HorizontalConfig {
-            n_pivots: 0,
-            strategy: PivotStrategy::Evenly,
-        });
+        let c = DangoronConfig {
+            horizontal: Some(HorizontalConfig {
+                n_pivots: 0,
+                strategy: PivotStrategy::Evenly,
+            }),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DangoronConfig::default();
-        c.horizontal = Some(HorizontalConfig {
-            n_pivots: 1,
-            strategy: PivotStrategy::Explicit(vec![]),
-        });
+        let c = DangoronConfig {
+            horizontal: Some(HorizontalConfig {
+                n_pivots: 1,
+                strategy: PivotStrategy::Explicit(vec![]),
+            }),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -13,9 +13,10 @@ use crate::config::{BoundMode, DangoronConfig, PairStorage};
 use crate::pivot::{select_pivots, PivotSet};
 use crate::stats::PruningStats;
 use crate::walker::{pair_costs, walk_pair, WalkGeometry};
-use parking_lot::Mutex;
 use sketch::output::{Edge, EdgeRule};
-use sketch::{BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix};
+use sketch::{
+    pair, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix,
+};
 use tsdata::{TimeSeriesMatrix, TsError};
 
 /// The Dangoron framework, configured once and reusable across datasets.
@@ -60,11 +61,17 @@ impl QueryResult {
     }
 }
 
-#[inline]
-fn pair_index(i: usize, j: usize, n: usize) -> usize {
-    debug_assert!(i < j && j < n);
-    i * (2 * n - i - 1) / 2 + (j - i - 1)
-}
+/// Minimum pair-chunk a worker steals at once. Small, because vertical
+/// jumping makes per-pair cost wildly non-uniform — a large floor would
+/// recreate the static-chunk straggler problem the scheduler exists to
+/// avoid; going all the way to 1 pays one atomic per pair on cheap
+/// workloads.
+pub(crate) const WALK_GRAIN: usize = 8;
+
+/// A flat, windows-tagged edge emitted by one worker. The per-worker
+/// buffers are merged lock-free and assembled into matrices with a single
+/// sort-and-partition ([`ThresholdedMatrix::assemble_windows`]).
+type TaggedEdge = (u32, Edge);
 
 impl Dangoron {
     /// Creates an engine after validating the configuration.
@@ -91,23 +98,29 @@ impl Dangoron {
             ));
         }
         let layout = BasicWindowLayout::for_query(&query, self.config.basic_window)?;
-        let store = SketchStore::build(x, layout)?;
+        let threads = self.config.threads;
+        let store = SketchStore::build_with_threads(x, layout, threads)?;
         let n = x.n_series();
 
         let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
         let (pairs, deps) = match self.config.storage {
             PairStorage::Precomputed => {
-                let mut v = Vec::with_capacity(n * (n - 1) / 2);
-                let mut d = need_dep.then(|| Vec::with_capacity(n * (n - 1) / 2));
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        let pair = PairSketch::build(&layout, x.row(i), x.row(j))?;
-                        if let Some(d) = d.as_mut() {
-                            d.push(pair_costs(&store, &pair, i, j, self.config.edge_rule));
-                        }
-                        v.push(pair);
-                    }
-                }
+                // Cache-blocked tiled build of all N·(N−1)/2 cross-prefix
+                // sketches, then the Eq. 2 departure costs, both with
+                // workers stealing chunks — the prepare phase dominates
+                // wall time at large N and was previously a serial loop.
+                let v = pair::build_all(&layout, x, threads)?;
+                let d = need_dep.then(|| {
+                    let rule = self.config.edge_rule;
+                    exec::par_collect_chunks(v.len(), threads, 16, |range| {
+                        range
+                            .map(|p| {
+                                let (i, j) = triangular::unrank(p, n);
+                                pair_costs(&store, &v[p], i, j, rule)
+                            })
+                            .collect()
+                    })
+                });
                 (Some(v), d)
             }
             PairStorage::OnDemand => (None, None),
@@ -140,55 +153,45 @@ impl Dangoron {
     }
 
     /// Runs the pruned sliding query — the paper's "pure query time".
+    ///
+    /// Pairs are handed to workers by a work-stealing chunk scheduler
+    /// (pruning makes per-pair cost wildly non-uniform, so static chunks
+    /// strand cores); every worker appends to a thread-local flat
+    /// `(window, Edge)` buffer, and the buffers are merged lock-free at
+    /// the end — no mutex anywhere on the query path. The merged buffer
+    /// becomes the per-window matrices via one sort-and-partition, which
+    /// also makes the result identical for every thread count.
     pub fn run(&self, prep: &Prepared<'_>) -> QueryResult {
         let n = prep.x.n_series();
-        let all_pairs: Vec<(u32, u32)> = (0..n as u32)
-            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
-            .collect();
+        let n_pairs = triangular::count(n);
 
-        let threads = self.config.threads.min(all_pairs.len().max(1));
-        let (window_edges, stats) = if threads <= 1 {
-            self.process_pairs(prep, &all_pairs)
-        } else {
-            let results: Mutex<Vec<(Vec<Vec<Edge>>, PruningStats)>> =
-                Mutex::new(Vec::with_capacity(threads));
-            let chunk = all_pairs.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
-                for piece in all_pairs.chunks(chunk) {
-                    let results = &results;
-                    scope.spawn(move |_| {
-                        let out = self.process_pairs(prep, piece);
-                        results.lock().push(out);
-                    });
+        let worker_out = exec::run_partitioned(
+            n_pairs,
+            self.config.threads,
+            WALK_GRAIN,
+            |_| (Vec::<TaggedEdge>::new(), PruningStats::default()),
+            |(buf, stats), range| {
+                for p in range {
+                    let (i, j) = triangular::unrank(p, n);
+                    self.walk_one_pair(prep, i, j, buf, stats);
                 }
-            })
-            .expect("worker thread panicked");
-            let mut merged_edges: Vec<Vec<Edge>> = vec![Vec::new(); prep.geo.n_windows];
-            let mut merged_stats = PruningStats::default();
-            for (edges, stats) in results.into_inner() {
-                for (w, mut es) in edges.into_iter().enumerate() {
-                    merged_edges[w].append(&mut es);
-                }
-                merged_stats.merge(&stats);
-            }
-            (merged_edges, merged_stats)
-        };
+            },
+        );
 
-        let matrices = window_edges
-            .into_iter()
-            .map(|edges| {
-                let mut m = ThresholdedMatrix::with_rule(
-                    n,
-                    prep.query.threshold,
-                    self.config.edge_rule,
-                );
-                for e in edges {
-                    m.push(e.i as usize, e.j as usize, e.value);
-                }
-                m.finalize();
-                m
-            })
-            .collect();
+        let mut stats = PruningStats::default();
+        let total: usize = worker_out.iter().map(|(buf, _)| buf.len()).sum();
+        let mut flat: Vec<TaggedEdge> = Vec::with_capacity(total);
+        for (buf, s) in worker_out {
+            stats.merge(&s);
+            flat.extend(buf);
+        }
+        let matrices = ThresholdedMatrix::assemble_windows(
+            n,
+            prep.query.threshold,
+            self.config.edge_rule,
+            prep.geo.n_windows,
+            flat,
+        );
         QueryResult { matrices, stats }
     }
 
@@ -202,77 +205,77 @@ impl Dangoron {
         Ok(self.run(&prep))
     }
 
-    fn process_pairs(
+    /// Walks one pair, appending its edges to the worker's flat buffer.
+    fn walk_one_pair(
         &self,
         prep: &Prepared<'_>,
-        pairs: &[(u32, u32)],
-    ) -> (Vec<Vec<Edge>>, PruningStats) {
+        i: usize,
+        j: usize,
+        buf: &mut Vec<TaggedEdge>,
+        stats: &mut PruningStats,
+    ) {
         let n = prep.x.n_series();
         let beta = prep.query.threshold;
         let n_windows = prep.geo.n_windows;
-        let mut window_edges: Vec<Vec<Edge>> = vec![Vec::new(); n_windows];
-        let mut stats = PruningStats::default();
         let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
 
-        for &(i, j) in pairs {
-            let (i, j) = (i as usize, j as usize);
-
-            // Pair-level horizontal prefilter: only worthwhile when the
-            // pair sketch would have to be built from raw data.
-            if prep.pairs.is_none() {
-                if let Some(pv) = &prep.pivots {
-                    if pv.pair_never_edges(i, j, beta, self.config.edge_rule) {
-                        stats.n_pairs += 1;
-                        stats.total_cells += n_windows as u64;
-                        stats.pairs_skipped_entirely += 1;
-                        continue;
-                    }
+        // Pair-level horizontal prefilter: only worthwhile when the pair
+        // sketch would have to be built from raw data.
+        if prep.pairs.is_none() {
+            if let Some(pv) = &prep.pivots {
+                if pv.pair_never_edges(i, j, beta, self.config.edge_rule) {
+                    stats.n_pairs += 1;
+                    stats.total_cells += n_windows as u64;
+                    stats.pairs_skipped_entirely += 1;
+                    return;
                 }
             }
+        }
 
-            let owned;
-            let pair: &PairSketch = match &prep.pairs {
-                Some(all) => &all[pair_index(i, j, n)],
-                None => {
-                    owned = PairSketch::build(&prep.layout, prep.x.row(i), prep.x.row(j))
-                        .expect("pair geometry validated in prepare");
-                    &owned
-                }
-            };
+        let owned;
+        let pair: &PairSketch = match &prep.pairs {
+            Some(all) => &all[triangular::rank(i, j, n)],
+            None => {
+                owned = PairSketch::build(&prep.layout, prep.x.row(i), prep.x.row(j))
+                    .expect("pair geometry validated in prepare");
+                &owned
+            }
+        };
 
-            // Precomputed deps (sketch state) when available; transient
-            // otherwise (OnDemand storage pays it inside the query).
-            let dep_owned;
-            let dep = match (&prep.deps, need_dep) {
-                (Some(all), true) => Some(&all[pair_index(i, j, n)]),
-                (None, true) => {
-                    dep_owned = pair_costs(&prep.store, pair, i, j, self.config.edge_rule);
-                    Some(&dep_owned)
-                }
-                (_, false) => None,
-            };
-            walk_pair(
-                &prep.store,
-                pair,
-                i,
-                j,
-                prep.geo,
-                beta,
-                self.config.edge_rule,
-                self.config.bound,
-                dep,
-                prep.pivots.as_ref(),
-                &mut stats,
-                |w, v| {
-                    window_edges[w].push(Edge {
+        // Precomputed deps (sketch state) when available; transient
+        // otherwise (OnDemand storage pays it inside the query).
+        let dep_owned;
+        let dep = match (&prep.deps, need_dep) {
+            (Some(all), true) => Some(&all[triangular::rank(i, j, n)]),
+            (None, true) => {
+                dep_owned = pair_costs(&prep.store, pair, i, j, self.config.edge_rule);
+                Some(&dep_owned)
+            }
+            (_, false) => None,
+        };
+        walk_pair(
+            &prep.store,
+            pair,
+            i,
+            j,
+            prep.geo,
+            beta,
+            self.config.edge_rule,
+            self.config.bound,
+            dep,
+            prep.pivots.as_ref(),
+            stats,
+            |w, v| {
+                buf.push((
+                    w as u32,
+                    Edge {
                         i: i as u32,
                         j: j as u32,
                         value: v,
-                    })
-                },
-            );
-        }
-        (window_edges, stats)
+                    },
+                ))
+            },
+        );
     }
 }
 
@@ -645,10 +648,7 @@ mod tests {
         }
     }
 
-    fn baselines_like_naive_abs(
-        x: &TimeSeriesMatrix,
-        q: &SlidingQuery,
-    ) -> Vec<ThresholdedMatrix> {
+    fn baselines_like_naive_abs(x: &TimeSeriesMatrix, q: &SlidingQuery) -> Vec<ThresholdedMatrix> {
         (0..q.n_windows())
             .map(|w| {
                 let (ws, we) = q.window_range(w);
@@ -682,15 +682,36 @@ mod tests {
     }
 
     #[test]
-    fn pair_index_is_dense_and_ordered() {
+    fn pair_rank_is_dense_and_ordered() {
         let n = 7;
         let mut seen = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
-                seen.push(pair_index(i, j, n));
+                seen.push(triangular::rank(i, j, n));
             }
         }
         let expected: Vec<usize> = (0..n * (n - 1) / 2).collect();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn assemble_windows_partitions_and_sorts() {
+        let e = |i: u32, j: u32, v: f64| Edge { i, j, value: v };
+        // Deliberately unordered, as if produced by racing workers.
+        let flat = vec![
+            (2u32, e(1, 3, 0.9)),
+            (0, e(2, 4, 0.8)),
+            (2, e(0, 1, 0.95)),
+            (0, e(0, 1, 0.85)),
+        ];
+        let ms = ThresholdedMatrix::assemble_windows(5, 0.7, EdgeRule::Positive, 4, flat);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0].n_edges(), 2);
+        assert_eq!(ms[0].get(0, 1), 0.85);
+        assert_eq!(ms[0].get(2, 4), 0.8);
+        assert_eq!(ms[1].n_edges(), 0);
+        assert_eq!(ms[2].n_edges(), 2);
+        assert_eq!(ms[2].get(0, 1), 0.95);
+        assert_eq!(ms[3].n_edges(), 0);
     }
 }

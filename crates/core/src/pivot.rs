@@ -180,7 +180,14 @@ mod tests {
     use super::*;
     use tsdata::generators;
 
-    fn setup(n: usize) -> (TimeSeriesMatrix, SketchStore, BasicWindowLayout, SlidingQuery) {
+    fn setup(
+        n: usize,
+    ) -> (
+        TimeSeriesMatrix,
+        SketchStore,
+        BasicWindowLayout,
+        SlidingQuery,
+    ) {
         let x = generators::clustered_matrix(n, 240, 2, 0.5, 3).unwrap();
         let query = SlidingQuery {
             start: 0,
@@ -226,8 +233,7 @@ mod tests {
         for s in 1..6 {
             for w in 0..query.n_windows() {
                 let (ws, we) = query.window_range(w);
-                let direct =
-                    tsdata::stats::pearson(&x.row(0)[ws..we], &x.row(s)[ws..we]).unwrap();
+                let direct = tsdata::stats::pearson(&x.row(0)[ws..we], &x.row(s)[ws..we]).unwrap();
                 let stored = pv.corr[0][s * pv.n_windows + w];
                 assert!((direct - stored).abs() < 1e-9, "s={s} w={w}");
             }

@@ -68,13 +68,17 @@ impl PruningStats {
         self.pairs_skipped_entirely += other.pairs_skipped_entirely;
         self.jumps += other.jumps;
         self.edges += other.edges;
-        for (a, b) in self.jump_length_hist.iter_mut().zip(&other.jump_length_hist) {
+        for (a, b) in self
+            .jump_length_hist
+            .iter_mut()
+            .zip(&other.jump_length_hist)
+        {
             *a += b;
         }
     }
 
-    /// Fraction of cells *not* exactly evaluated (jumped + triangle-pruned
-    /// + wholesale-skipped pairs), in `[0, 1]`. The headline number of the
+    /// Fraction of cells *not* exactly evaluated — jumped, triangle-pruned
+    /// or wholesale-skipped — in `[0, 1]`. The headline number of the
     /// Figure 2 experiment.
     pub fn skip_fraction(&self) -> f64 {
         if self.total_cells == 0 {
@@ -114,16 +118,20 @@ mod tests {
 
     #[test]
     fn merge_adds_everything() {
-        let mut a = PruningStats::default();
-        a.n_pairs = 3;
-        a.total_cells = 30;
-        a.evaluated = 10;
+        let mut a = PruningStats {
+            n_pairs: 3,
+            total_cells: 30,
+            evaluated: 10,
+            ..Default::default()
+        };
         a.record_jump(4);
-        let mut b = PruningStats::default();
-        b.n_pairs = 2;
-        b.total_cells = 20;
-        b.evaluated = 20;
-        b.edges = 7;
+        let mut b = PruningStats {
+            n_pairs: 2,
+            total_cells: 20,
+            evaluated: 20,
+            edges: 7,
+            ..Default::default()
+        };
         b.record_jump(4);
         a.merge(&b);
         assert_eq!(a.n_pairs, 5);

@@ -13,7 +13,9 @@ use crate::config::{BoundMode, DangoronConfig};
 use crate::stats::PruningStats;
 use crate::walker::{pair_costs, WalkGeometry};
 use sketch::output::Edge;
-use sketch::{BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix};
+use sketch::{
+    pair, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix,
+};
 use tsdata::{TimeSeriesMatrix, TsError};
 
 /// A long-lived streaming session.
@@ -64,12 +66,12 @@ impl StreamingDangoron {
             ));
         }
         let b = config.basic_window;
-        if window < 2 || window % b != 0 {
+        if window < 2 || !window.is_multiple_of(b) {
             return Err(TsError::InvalidParameter(format!(
                 "window {window} must be a positive multiple of basic window {b}"
             )));
         }
-        if step == 0 || step % b != 0 {
+        if step == 0 || !step.is_multiple_of(b) {
             return Err(TsError::InvalidParameter(format!(
                 "step {step} must be a positive multiple of basic window {b}"
             )));
@@ -91,14 +93,8 @@ impl StreamingDangoron {
             });
         }
         let layout = BasicWindowLayout::cover(0, initial.len(), b)?;
-        let store = SketchStore::build(&initial, layout)?;
-        let n = initial.n_series();
-        let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                pairs.push(PairSketch::build(&layout, initial.row(i), initial.row(j))?);
-            }
-        }
+        let store = SketchStore::build_with_threads(&initial, layout, config.threads)?;
+        let pairs = pair::build_all(&layout, &initial, config.threads)?;
         Ok(Self {
             config,
             window,
@@ -134,21 +130,24 @@ impl StreamingDangoron {
     /// Ingests new columns and returns every window that became complete,
     /// in order. Sketches are extended incrementally (only the new columns
     /// are read); the walk runs only over the new windows.
-    pub fn append(
-        &mut self,
-        new_cols: &TimeSeriesMatrix,
-    ) -> Result<Vec<CompletedWindow>, TsError> {
+    pub fn append(&mut self, new_cols: &TimeSeriesMatrix) -> Result<Vec<CompletedWindow>, TsError> {
         self.data.append_columns(new_cols)?;
         self.store.append(&self.data)?;
         let layout = *self.store.layout();
         let n = self.data.n_series();
-        let mut idx = 0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                self.pairs[idx].append(&layout, self.data.row(i), self.data.row(j))?;
-                idx += 1;
+        // Every pair ingests the same Δ columns — uniform cost — so static
+        // per-worker slices are the right schedule here (no stealing
+        // overhead). The preconditions of `PairSketch::append` hold by
+        // construction once `store.append` succeeded: all rows share the
+        // grown length and the layout only ever grows.
+        let data = &self.data;
+        exec::par_chunks_mut(&mut self.pairs, self.config.threads, |offset, piece| {
+            for (k, pair) in piece.iter_mut().enumerate() {
+                let (i, j) = triangular::unrank(offset + k, n);
+                pair.append(&layout, data.row(i), data.row(j))
+                    .expect("pair/store layouts kept in lockstep");
             }
-        }
+        });
         self.drain_completed()
     }
 
@@ -176,46 +175,58 @@ impl StreamingDangoron {
         let offset_bw = first_new * step_bw;
         let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
 
-        let mut window_edges: Vec<Vec<Edge>> = vec![Vec::new(); n_new];
-        let mut stats = PruningStats::default();
-        let mut idx = 0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let pair = &self.pairs[idx];
-                idx += 1;
-                let dep =
-                    need_dep.then(|| pair_costs(&self.store, pair, i, j, self.config.edge_rule));
-                // Shift the walk into the global basic-window frame by
-                // walking a sub-geometry against a shifted first window.
-                walk_shifted(
-                    &self.store,
-                    pair,
-                    i,
-                    j,
-                    geo,
-                    offset_bw,
-                    self.threshold,
-                    &self.config,
-                    dep.as_ref(),
-                    &mut stats,
-                    &mut window_edges,
-                );
-            }
+        // Same executor as the batch engine: workers steal pair chunks,
+        // accumulate flat (window, edge) buffers, merged lock-free and
+        // assembled with one sort-and-partition.
+        let n_pairs = self.pairs.len();
+        let worker_out = exec::run_partitioned(
+            n_pairs,
+            self.config.threads,
+            crate::engine::WALK_GRAIN,
+            |_| (Vec::<(u32, Edge)>::new(), PruningStats::default()),
+            |(buf, stats), range| {
+                for p in range {
+                    let (i, j) = triangular::unrank(p, n);
+                    let pair = &self.pairs[p];
+                    let dep = need_dep
+                        .then(|| pair_costs(&self.store, pair, i, j, self.config.edge_rule));
+                    // Shift the walk into the global basic-window frame by
+                    // walking a sub-geometry against a shifted first window.
+                    walk_shifted(
+                        &self.store,
+                        pair,
+                        i,
+                        j,
+                        geo,
+                        offset_bw,
+                        self.threshold,
+                        &self.config,
+                        dep.as_ref(),
+                        stats,
+                        buf,
+                    );
+                }
+            },
+        );
+        let mut flat = Vec::new();
+        for (buf, _stats) in worker_out {
+            flat.extend(buf);
         }
-
-        let mut out = Vec::with_capacity(n_new);
-        for (k, edges) in window_edges.into_iter().enumerate() {
-            let mut m =
-                ThresholdedMatrix::with_rule(n, self.threshold, self.config.edge_rule);
-            for e in edges {
-                m.push(e.i as usize, e.j as usize, e.value);
-            }
-            m.finalize();
-            out.push(CompletedWindow {
+        let matrices = ThresholdedMatrix::assemble_windows(
+            n,
+            self.threshold,
+            self.config.edge_rule,
+            n_new,
+            flat,
+        );
+        let out = matrices
+            .into_iter()
+            .enumerate()
+            .map(|(k, matrix)| CompletedWindow {
                 index: first_new + k,
-                matrix: m,
-            });
-        }
+                matrix,
+            })
+            .collect();
         self.emitted_windows = total;
         Ok(out)
     }
@@ -247,7 +258,7 @@ fn walk_shifted(
     config: &DangoronConfig,
     dep: Option<&crate::bounds::PairCosts>,
     stats: &mut PruningStats,
-    window_edges: &mut [Vec<Edge>],
+    buf: &mut Vec<(u32, Edge)>,
 ) {
     // The standard walker indexes basic windows as w·step_bw; emulate the
     // shift by walking with an offset geometry: window w here is global
@@ -271,11 +282,14 @@ fn walk_shifted(
         };
         if config.edge_rule.keeps(corr, beta) {
             stats.edges += 1;
-            window_edges[w].push(Edge {
-                i: i as u32,
-                j: j as u32,
-                value: corr,
-            });
+            buf.push((
+                w as u32,
+                Edge {
+                    i: i as u32,
+                    j: j as u32,
+                    value: corr,
+                },
+            ));
             w += 1;
             continue;
         }
@@ -464,13 +478,11 @@ mod tests {
         let x = generators::clustered_matrix(4, 100, 2, 0.5, 1).unwrap();
         // Misaligned window.
         assert!(
-            StreamingDangoron::new(x.clone(), 75, 20, 0.5, config(BoundMode::Exhaustive))
-                .is_err()
+            StreamingDangoron::new(x.clone(), 75, 20, 0.5, config(BoundMode::Exhaustive)).is_err()
         );
         // Misaligned step.
         assert!(
-            StreamingDangoron::new(x.clone(), 80, 15, 0.5, config(BoundMode::Exhaustive))
-                .is_err()
+            StreamingDangoron::new(x.clone(), 80, 15, 0.5, config(BoundMode::Exhaustive)).is_err()
         );
         // Horizontal pruning unsupported.
         let mut c = config(BoundMode::Exhaustive);
@@ -481,8 +493,6 @@ mod tests {
         assert!(StreamingDangoron::new(x.clone(), 80, 20, 0.5, c).is_err());
         // Too little initial data.
         let tiny = x.slice_columns(0, 5).unwrap();
-        assert!(
-            StreamingDangoron::new(tiny, 80, 20, 0.5, config(BoundMode::Exhaustive)).is_err()
-        );
+        assert!(StreamingDangoron::new(tiny, 80, 20, 0.5, config(BoundMode::Exhaustive)).is_err());
     }
 }

@@ -43,12 +43,7 @@ impl WalkGeometry {
 }
 
 /// Builds the Eq. 2 departure-cost prefix for a pair over the whole layout.
-pub fn departure_cost(
-    store: &SketchStore,
-    pair: &PairSketch,
-    i: usize,
-    j: usize,
-) -> DepartureCost {
+pub fn departure_cost(store: &SketchStore, pair: &PairSketch, i: usize, j: usize) -> DepartureCost {
     let nb = store.layout().count;
     DepartureCost::from_correlations((0..nb).map(|b| pair.basic_correlation(store, i, j, b)))
 }

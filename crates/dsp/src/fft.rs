@@ -33,7 +33,10 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// arbitrary lengths should use [`crate::dft::fft_any`].
 pub fn fft_in_place(data: &mut [Complex64], dir: Direction) {
     let n = data.len();
-    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "radix-2 FFT requires power-of-two length, got {n}"
+    );
     if n == 1 {
         return;
     }
@@ -152,7 +155,11 @@ mod tests {
         let spec = fft_real(&signal);
         // cos tone of frequency k splits into bins k and n−k, each n/2.
         for (bin, v) in spec.iter().enumerate() {
-            let expected = if bin == k || bin == n - k { n as f64 / 2.0 } else { 0.0 };
+            let expected = if bin == k || bin == n - k {
+                n as f64 / 2.0
+            } else {
+                0.0
+            };
             assert!(
                 (v.abs() - expected).abs() < 1e-9,
                 "bin {bin}: |X| = {}",
@@ -174,7 +181,9 @@ mod tests {
     fn linearity() {
         let n = 16;
         let a: Vec<Complex64> = (0..n).map(|t| Complex64::new(t as f64, 0.0)).collect();
-        let b: Vec<Complex64> = (0..n).map(|t| Complex64::new(0.0, (t as f64).cos())).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::new(0.0, (t as f64).cos()))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         let mut fa = a.clone();
         let mut fb = b.clone();

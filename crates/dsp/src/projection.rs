@@ -41,7 +41,8 @@ impl TimeIndexedProjection {
     #[inline]
     pub fn entry(&self, row: usize, t: usize) -> f64 {
         let h = splitmix64(
-            self.seed ^ (row as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            self.seed
+                ^ (row as u64).wrapping_mul(0xA076_1D64_78BD_642F)
                 ^ (t as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB),
         );
         if h & 1 == 0 {
@@ -132,7 +133,9 @@ impl SlidingSketch {
             *self = Self::init(self.proj, series, new_t0, self.len);
             return;
         }
-        // Remove leaving points, add entering points.
+        // Remove leaving points, add entering points. (`t` is the global
+        // time index — it seeds `entry(r, t)` — so an indexed loop it is.)
+        #[allow(clippy::needless_range_loop)]
         for t in self.t0..new_t0 {
             let x = series[t];
             self.sum -= x;
@@ -143,6 +146,7 @@ impl SlidingSketch {
                 self.row_sum[r] -= e;
             }
         }
+        #[allow(clippy::needless_range_loop)]
         for t in self.t0 + self.len..new_t0 + self.len {
             let x = series[t];
             self.sum += x;
@@ -260,10 +264,7 @@ mod tests {
         let sx = p.sketch_window(&x, 0, n).unwrap();
         let sy = p.sketch_window(&y, 0, n).unwrap();
         let est = TimeIndexedProjection::estimate_correlation(&sx, &sy, n);
-        assert!(
-            (est - exact).abs() < 0.12,
-            "exact {exact}, estimated {est}"
-        );
+        assert!((est - exact).abs() < 0.12, "exact {exact}, estimated {est}");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub fn forward(signal: &[f64]) -> Vec<f64> {
         out[2 * k - 1] = spec[k].re / sqrt_half;
         out[2 * k] = -spec[k].im / sqrt_half;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         out[n - 1] = spec[n / 2].re / sqrt_n;
     }
     out
@@ -71,7 +71,7 @@ pub fn inverse(coeffs: &[f64]) -> Vec<f64> {
         spec[k] = Complex64::new(re, im);
         spec[n - k] = Complex64::new(re, -im);
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         spec[n / 2] = Complex64::new(coeffs[n - 1] * sqrt_n, 0.0);
     }
     let time = fft_any(&spec, Direction::Inverse);
@@ -118,10 +118,10 @@ pub fn basis_value(n: usize, c: usize, t: usize) -> f64 {
     if c == 0 {
         return 1.0 / nf.sqrt();
     }
-    if n % 2 == 0 && c == n - 1 {
-        return if t % 2 == 0 { 1.0 } else { -1.0 } / nf.sqrt();
+    if n.is_multiple_of(2) && c == n - 1 {
+        return if t.is_multiple_of(2) { 1.0 } else { -1.0 } / nf.sqrt();
     }
-    let k = (c + 1) / 2; // c = 2k−1 → cos, c = 2k → sin
+    let k = c.div_ceil(2); // c = 2k−1 → cos, c = 2k → sin
     let ang = std::f64::consts::TAU * (k * t) as f64 / nf;
     let scale = (2.0 / nf).sqrt();
     if c % 2 == 1 {
@@ -199,7 +199,10 @@ mod tests {
             let fy = forward(&y);
             let d_time: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
             let d_freq: f64 = fx.iter().zip(&fy).map(|(a, b)| (a - b) * (a - b)).sum();
-            assert!((d_time - d_freq).abs() < 1e-9, "n={n}: {d_time} vs {d_freq}");
+            assert!(
+                (d_time - d_freq).abs() < 1e-9,
+                "n={n}: {d_time} vs {d_freq}"
+            );
             // Inner products too.
             let ip_time: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
             let ip_freq: f64 = fx.iter().zip(&fy).map(|(a, b)| a * b).sum();
@@ -230,7 +233,9 @@ mod tests {
 
     #[test]
     fn nyquist_row_even_length_only() {
-        let x: Vec<f64> = (0..8).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..8)
+            .map(|t| if t % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let a = forward(&x);
         // Alternating signal is exactly the Nyquist basis row times √8.
         assert!((a[7] - 8.0f64.sqrt()).abs() < 1e-10);

@@ -49,10 +49,16 @@ pub fn compare(got: &[ThresholdedMatrix], truth: &[ThresholdedMatrix]) -> Accura
     let mut max_err: f64 = 0.0;
     let mut sum_err = 0.0;
     for (g, t) in got.iter().zip(truth) {
-        let tmap: HashMap<(usize, usize), f64> =
-            t.edges().iter().map(|e| ((e.i as usize, e.j as usize), e.value)).collect();
-        let gmap: HashMap<(usize, usize), f64> =
-            g.edges().iter().map(|e| ((e.i as usize, e.j as usize), e.value)).collect();
+        let tmap: HashMap<(usize, usize), f64> = t
+            .edges()
+            .iter()
+            .map(|e| ((e.i as usize, e.j as usize), e.value))
+            .collect();
+        let gmap: HashMap<(usize, usize), f64> = g
+            .edges()
+            .iter()
+            .map(|e| ((e.i as usize, e.j as usize), e.value))
+            .collect();
         for (pair, gv) in &gmap {
             match tmap.get(pair) {
                 Some(tv) => {
@@ -70,8 +76,16 @@ pub fn compare(got: &[ThresholdedMatrix], truth: &[ThresholdedMatrix]) -> Accura
             }
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {

@@ -35,8 +35,13 @@ impl DangoronEngine {
 impl SlidingEngine for DangoronEngine {
     fn name(&self) -> String {
         let mode = match self.config.bound {
-            BoundMode::PaperJump { slack } if slack == 0.0 => "jump".to_string(),
-            BoundMode::PaperJump { slack } => format!("jump+{slack}"),
+            BoundMode::PaperJump { slack } => {
+                if slack == 0.0 {
+                    "jump".to_string()
+                } else {
+                    format!("jump+{slack}")
+                }
+            }
             BoundMode::Exhaustive => "exhaustive".to_string(),
         };
         let h = if self.config.horizontal.is_some() {
@@ -120,7 +125,9 @@ mod tests {
 
     #[test]
     fn names_describe_configuration() {
-        assert!(DangoronEngine::with_basic_window(24).name().contains("jump"));
+        assert!(DangoronEngine::with_basic_window(24)
+            .name()
+            .contains("jump"));
         assert!(DangoronEngine::with_basic_window(24)
             .exhaustive()
             .name()

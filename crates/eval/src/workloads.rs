@@ -57,7 +57,7 @@ pub fn from_tomborg(case: &SuiteCase, beta: f64) -> Result<Workload, TsError> {
     let window = (len / 8).max(32);
     let step = window / 4;
     // Align everything on a basic window that divides both.
-    let basic = step.min(16).max(2);
+    let basic = step.clamp(2, 16);
     let window = window - window % basic;
     let step = step - step % basic;
     let query = SlidingQuery {

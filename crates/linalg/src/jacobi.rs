@@ -16,7 +16,11 @@ pub struct EigenDecomposition {
 
 /// Cyclic Jacobi sweeps until the off-diagonal Frobenius norm falls below
 /// `tol · ‖A‖`, or the sweep budget runs out.
-pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<EigenDecomposition, LinalgError> {
+pub fn jacobi_eigen(
+    a: &Matrix,
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<EigenDecomposition, LinalgError> {
     let n = a.require_square()?;
     if !a.is_symmetric(1e-8) {
         return Err(LinalgError::NotSymmetric);
@@ -25,7 +29,13 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<EigenDeco
     m.symmetrize();
     let mut v = Matrix::identity(n);
 
-    let norm = m.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+    let norm = m
+        .as_slice()
+        .iter()
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(1e-300);
     let threshold = tol * norm;
 
     for _sweep in 0..max_sweeps {

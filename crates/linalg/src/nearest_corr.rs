@@ -75,7 +75,9 @@ pub fn nearest_correlation(a: &Matrix, opts: NearestCorrOptions) -> Result<Matri
     // Final cleanup: one more PSD pass then exact unit diagonal via
     // D^{-1/2}·B·D^{-1/2}, which preserves PSD-ness exactly.
     let mut b = project_psd(&y, opts.eig_floor)?;
-    let d: Vec<f64> = (0..n).map(|i| b.get(i, i).max(opts.eig_floor).sqrt()).collect();
+    let d: Vec<f64> = (0..n)
+        .map(|i| b.get(i, i).max(opts.eig_floor).sqrt())
+        .collect();
     for i in 0..n {
         for j in 0..n {
             let v = b.get(i, j) / (d[i] * d[j]);

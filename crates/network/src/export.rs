@@ -22,7 +22,10 @@ pub fn to_dot(m: &ThresholdedMatrix, labels: Option<&[String]>) -> String {
     for e in m.edges() {
         out.push_str(&format!(
             "  n{} -- n{} [weight={:.4}, label=\"{:.2}\"];\n",
-            e.i, e.j, e.value.abs(), e.value
+            e.i,
+            e.j,
+            e.value.abs(),
+            e.value
         ));
     }
     out.push_str("}\n");

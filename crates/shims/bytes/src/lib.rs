@@ -1,0 +1,78 @@
+//! Minimal `Buf`/`BufMut`: exactly the little-endian accessors the sketch
+//! store's binary frame format uses.
+
+/// Read side: consuming little-endian reads over a shrinking slice.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Pop `n` bytes off the front.
+    fn advance(&mut self, n: usize);
+    /// Borrow the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Read a little-endian `u64`, consuming 8 bytes.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`, consuming 8 bytes.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write side: appending little-endian writes.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u64_le(0xDEAD_BEEF_u64);
+        buf.put_f64_le(-1.5);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 16);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_u64);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+}

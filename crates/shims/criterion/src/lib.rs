@@ -1,0 +1,206 @@
+//! Minimal criterion-compatible bench runner.
+//!
+//! Supports the subset the workspace's `benches/` use: groups, per-input
+//! benchmarks, sample sizes, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` entry points. Each benchmark runs a
+//! short warm-up, then `sample_size` timed iterations, and prints the
+//! median, min and max. No statistics beyond that — the real trend data
+//! lives in the harness's `BENCH_*.json` files.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name + parameter display.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("dangoron", 64)` → `dangoron/64`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` runs of `routine` (after one warm-up run).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run (fills caches, triggers lazy init).
+        let _ = std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark with an input parameter.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    /// Run a benchmark without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    /// Close the group (prints a trailing newline).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_s = n as f64 / median.as_secs_f64();
+                format!("  [{per_s:.0} elem/s]")
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_s = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  [{per_s:.1} MiB/s]")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: median {median:?}  (min {min:?}, max {max:?}, n={}){tp}",
+            self.name,
+            sorted.len()
+        );
+    }
+}
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Re-export for `use criterion::black_box` compatibility.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

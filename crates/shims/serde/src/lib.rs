@@ -1,0 +1,20 @@
+//! serde façade: re-exports the no-op derives and declares the two traits
+//! so `use serde::{Deserialize, Serialize}` resolves in both the macro and
+//! trait namespaces. Blanket impls keep any `T: Serialize` bound satisfied.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned-deserialisation marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

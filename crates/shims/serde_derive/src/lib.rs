@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace decorates its config and output types with serde derives
+//! but never serialises through serde (JSON is hand-rolled in `eval` and
+//! `bench`), so empty expansions are sufficient. The `attributes(serde)`
+//! declarations keep `#[serde(default)]`-style field attributes legal.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -119,7 +119,11 @@ mod tests {
     use proptest::prelude::*;
     use tsdata::{stats, TimeSeriesMatrix};
 
-    fn setup(x: Vec<f64>, y: Vec<f64>, width: usize) -> (SketchStore, PairSketch, Vec<f64>, Vec<f64>) {
+    fn setup(
+        x: Vec<f64>,
+        y: Vec<f64>,
+        width: usize,
+    ) -> (SketchStore, PairSketch, Vec<f64>, Vec<f64>) {
         let layout = BasicWindowLayout::cover(0, x.len(), width).unwrap();
         let m = TimeSeriesMatrix::from_rows(vec![x.clone(), y.clone()]).unwrap();
         let store = SketchStore::build(&m, layout).unwrap();
@@ -129,8 +133,12 @@ mod tests {
 
     #[test]
     fn pooled_form_matches_direct_pearson() {
-        let x: Vec<f64> = (0..40).map(|t| (t as f64 * 0.31).sin() + 0.02 * t as f64).collect();
-        let y: Vec<f64> = (0..40).map(|t| (t as f64 * 0.31).sin() * 0.7 + (t as f64 * 1.3).cos()).collect();
+        let x: Vec<f64> = (0..40)
+            .map(|t| (t as f64 * 0.31).sin() + 0.02 * t as f64)
+            .collect();
+        let y: Vec<f64> = (0..40)
+            .map(|t| (t as f64 * 0.31).sin() * 0.7 + (t as f64 * 1.3).cos())
+            .collect();
         let (store, pair, x, y) = setup(x, y, 5);
         for (b0, b1) in [(0usize, 8usize), (0, 2), (3, 8), (2, 5)] {
             let direct = stats::pearson(&x[b0 * 5..b1 * 5], &y[b0 * 5..b1 * 5]).unwrap();
@@ -144,8 +152,12 @@ mod tests {
 
     #[test]
     fn paper_form_matches_pooled_form_equal_sizes() {
-        let x: Vec<f64> = (0..48).map(|t| (t as f64 * 0.77).sin() + 0.1 * (t as f64).sqrt()).collect();
-        let y: Vec<f64> = (0..48).map(|t| (t as f64 * 0.77).cos() - 0.05 * t as f64).collect();
+        let x: Vec<f64> = (0..48)
+            .map(|t| (t as f64 * 0.77).sin() + 0.1 * (t as f64).sqrt())
+            .collect();
+        let y: Vec<f64> = (0..48)
+            .map(|t| (t as f64 * 0.77).cos() - 0.05 * t as f64)
+            .collect();
         let (store, pair, ..) = setup(x, y, 6);
         for (b0, b1) in [(0usize, 8usize), (1, 5), (4, 8)] {
             let pooled = window_correlation(&store, &pair, 0, 1, b0, b1).unwrap();

@@ -24,6 +24,7 @@ pub mod output;
 pub mod pair;
 pub mod plan;
 pub mod store;
+pub mod triangular;
 
 pub use output::ThresholdedMatrix;
 pub use pair::PairSketch;

@@ -72,9 +72,69 @@ impl ThresholdedMatrix {
         }
     }
 
+    /// Builds a matrix directly from an already-sorted, already-filtered
+    /// edge list — the fast path for engines that assemble all windows
+    /// with one sort-and-partition over a flat edge buffer instead of
+    /// per-window pushes.
+    ///
+    /// Every entry must satisfy `i < j < n`, pass `rule` at `beta`, and
+    /// the list must be sorted by `(i, j)` (all checked in debug builds).
+    pub fn from_sorted_edges(n: usize, beta: f64, rule: EdgeRule, entries: Vec<Edge>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            for pair in entries.windows(2) {
+                debug_assert!(
+                    (pair[0].i, pair[0].j) < (pair[1].i, pair[1].j),
+                    "from_sorted_edges: entries not strictly sorted"
+                );
+            }
+            for e in &entries {
+                debug_assert!((e.i as usize) < (e.j as usize) && (e.j as usize) < n);
+                debug_assert!(rule.keeps(e.value, beta));
+            }
+        }
+        Self {
+            n,
+            threshold: beta,
+            rule,
+            entries,
+            sorted: true,
+        }
+    }
+
     /// The edge rule the matrix filters with.
     pub fn rule(&self) -> EdgeRule {
         self.rule
+    }
+
+    /// Assembles one finalized matrix per window from a flat, window-tagged
+    /// edge buffer, with a single sort-and-partition.
+    ///
+    /// This is the merge step shared by every parallel engine: workers
+    /// append `(window, Edge)` records to thread-local buffers, the caller
+    /// concatenates them lock-free, and this sorts once by `(window, i, j)`
+    /// — a key unique per edge, so worker scheduling cannot affect the
+    /// output — then slices out each window.
+    pub fn assemble_windows(
+        n: usize,
+        beta: f64,
+        rule: EdgeRule,
+        n_windows: usize,
+        mut flat: Vec<(u32, Edge)>,
+    ) -> Vec<ThresholdedMatrix> {
+        flat.sort_unstable_by_key(|(w, e)| (*w, e.i, e.j));
+        let mut out = Vec::with_capacity(n_windows);
+        let mut pos = 0;
+        for w in 0..n_windows as u32 {
+            let start = pos;
+            while pos < flat.len() && flat[pos].0 == w {
+                pos += 1;
+            }
+            let edges: Vec<Edge> = flat[start..pos].iter().map(|&(_, e)| e).collect();
+            out.push(ThresholdedMatrix::from_sorted_edges(n, beta, rule, edges));
+        }
+        debug_assert_eq!(pos, flat.len(), "edge tagged with out-of-range window");
+        out
     }
 
     /// Number of series (matrix order).
@@ -144,7 +204,11 @@ impl ThresholdedMatrix {
             return 1.0;
         }
         assert!(self.sorted, "call finalize() before point lookups");
-        let (a, b) = if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) };
+        let (a, b) = if i < j {
+            (i as u32, j as u32)
+        } else {
+            (j as u32, i as u32)
+        };
         match self.entries.binary_search_by_key(&(a, b), |e| (e.i, e.j)) {
             Ok(pos) => self.entries[pos].value,
             Err(_) => 0.0,
@@ -268,6 +332,47 @@ mod tests {
         m.finalize();
         assert_eq!(m.n_edges(), 2);
         assert_eq!(m.get(0, 1), -0.4);
+    }
+
+    #[test]
+    fn from_sorted_edges_is_lookup_ready() {
+        let entries = vec![
+            Edge {
+                i: 0,
+                j: 2,
+                value: 0.9,
+            },
+            Edge {
+                i: 1,
+                j: 3,
+                value: -0.85,
+            },
+        ];
+        let m = ThresholdedMatrix::from_sorted_edges(4, 0.8, EdgeRule::Absolute, entries);
+        assert_eq!(m.n_edges(), 2);
+        assert_eq!(m.get(0, 2), 0.9);
+        assert_eq!(m.get(3, 1), -0.85);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.rule(), EdgeRule::Absolute);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not strictly sorted")]
+    fn from_sorted_edges_rejects_unsorted_in_debug() {
+        let entries = vec![
+            Edge {
+                i: 1,
+                j: 3,
+                value: 0.9,
+            },
+            Edge {
+                i: 0,
+                j: 2,
+                value: 0.9,
+            },
+        ];
+        let _ = ThresholdedMatrix::from_sorted_edges(4, 0.5, EdgeRule::Positive, entries);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use crate::plan::BasicWindowLayout;
 use crate::store::SketchStore;
-use tsdata::TsError;
+use crate::triangular;
+use tsdata::{TimeSeriesMatrix, TsError};
 
 /// Cross-product sketch for one ordered pair of series.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,17 +33,23 @@ impl PairSketch {
                 available: x.len(),
             });
         }
+        Ok(Self::build_unchecked(layout, x, y))
+    }
+
+    /// [`PairSketch::build`] without the validation — for batch builders
+    /// that have already validated the matrix once.
+    fn build_unchecked(layout: &BasicWindowLayout, x: &[f64], y: &[f64]) -> Self {
         let mut cross_prefix = Vec::with_capacity(layout.count + 1);
         cross_prefix.push(0.0);
         let mut acc = 0.0;
         for b in 0..layout.count {
             let (t0, t1) = layout.time_range(b);
             for t in t0..t1 {
-                acc += x[t] * y[t];
+                acc = x[t].mul_add(y[t], acc);
             }
             cross_prefix.push(acc);
         }
-        Ok(Self { cross_prefix })
+        Self { cross_prefix }
     }
 
     /// Number of basic windows covered.
@@ -77,11 +84,13 @@ impl PairSketch {
                 "grown layout has fewer basic windows than the sketch".into(),
             ));
         }
+        // Same fused accumulation as `build_unchecked`, so an appended
+        // sketch stays bit-identical to a fresh build.
         let mut acc = *self.cross_prefix.last().unwrap();
         for b in old_count..layout.count {
             let (t0, t1) = layout.time_range(b);
             for t in t0..t1 {
-                acc += x[t] * y[t];
+                acc = x[t].mul_add(y[t], acc);
             }
             self.cross_prefix.push(acc);
         }
@@ -117,14 +126,93 @@ impl PairSketch {
     }
 }
 
+/// Builds the pair sketch of **every** `i < j` pair of `x`, in
+/// [`triangular::rank`] order, using cache-blocked tiles and `threads`
+/// workers.
+///
+/// The naive enumeration streams a fresh `y` row from memory for every
+/// pair — O(N²·L) bytes of traffic. Tiling the pair grid into row-blocks
+/// sized to stay L2-resident means each block of rows is read once per
+/// tile instead of once per pair, turning the build memory-bound →
+/// cache-bound. Tiles are independent, so workers steal them from the
+/// shared tile list; results are scattered back by pair rank, making the
+/// output identical for any thread count and any tile size.
+pub fn build_all(
+    layout: &BasicWindowLayout,
+    x: &TimeSeriesMatrix,
+    threads: usize,
+) -> Result<Vec<PairSketch>, TsError> {
+    let n = x.n_series();
+    if layout.end() > x.len() {
+        return Err(TsError::OutOfRange {
+            requested: layout.end(),
+            available: x.len(),
+        });
+    }
+    let n_pairs = triangular::count(n);
+    if n_pairs == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Row-block size: two blocks of rows (the tile's i-side and j-side)
+    // should fit in ~half of a typical 512 KiB L2 together.
+    let row_bytes = x.len() * std::mem::size_of::<f64>();
+    let block = (128 * 1024 / row_bytes.max(1)).clamp(2, 64);
+    let n_blocks = n.div_ceil(block);
+    let block_range = |b: usize| (b * block)..((b + 1) * block).min(n);
+
+    // Upper triangle of tiles, diagonal included.
+    let tiles: Vec<(usize, usize)> = (0..n_blocks)
+        .flat_map(|bi| (bi..n_blocks).map(move |bj| (bi, bj)))
+        .collect();
+
+    let per_tile: Vec<Vec<(usize, PairSketch)>> =
+        exec::par_collect_chunks(tiles.len(), threads, 1, |range| {
+            range
+                .map(|t| {
+                    let (bi, bj) = tiles[t];
+                    let mut out = Vec::new();
+                    for i in block_range(bi) {
+                        let row_i = x.row(i);
+                        for j in block_range(bj) {
+                            if j > i {
+                                out.push((
+                                    triangular::rank(i, j, n),
+                                    PairSketch::build_unchecked(layout, row_i, x.row(j)),
+                                ));
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect()
+        });
+
+    let mut slots: Vec<Option<PairSketch>> = (0..n_pairs).map(|_| None).collect();
+    for tile in per_tile {
+        for (rank, sketch) in tile {
+            debug_assert!(slots[rank].is_none(), "tile overlap at rank {rank}");
+            slots[rank] = Some(sketch);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("tiling covers every pair"))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsdata::{stats, TimeSeriesMatrix};
+    use tsdata::stats;
 
     fn rows() -> (Vec<f64>, Vec<f64>) {
-        let x: Vec<f64> = (0..30).map(|t| (t as f64 * 0.9).sin() + 0.05 * t as f64).collect();
-        let y: Vec<f64> = (0..30).map(|t| (t as f64 * 0.9).cos() - 0.02 * t as f64).collect();
+        let x: Vec<f64> = (0..30)
+            .map(|t| (t as f64 * 0.9).sin() + 0.05 * t as f64)
+            .collect();
+        let y: Vec<f64> = (0..30)
+            .map(|t| (t as f64 * 0.9).cos() - 0.02 * t as f64)
+            .collect();
         (x, y)
     }
 
@@ -193,6 +281,39 @@ mod tests {
         assert!(p.append(&grown, &x[..20], &y[..20]).is_err()); // too short
         let shrunk = BasicWindowLayout::cover(0, 10, 5).unwrap();
         assert!(p.append(&shrunk, &x, &y).is_err());
+    }
+
+    #[test]
+    fn build_all_matches_per_pair_builds_at_any_thread_count() {
+        // Rows long enough (2560 cols → ~20 KiB/row → 6-row blocks) that
+        // the grid splits into several tiles; verify against per-pair
+        // builds.
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|s| {
+                (0..2560)
+                    .map(|t| ((t + 3 * s) as f64 * 0.37).sin() + 0.01 * (s as f64))
+                    .collect()
+            })
+            .collect();
+        let x = TimeSeriesMatrix::from_rows(rows).unwrap();
+        let layout = BasicWindowLayout::cover(0, 2560, 64).unwrap();
+        let mut expected = Vec::new();
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                expected.push(PairSketch::build(&layout, x.row(i), x.row(j)).unwrap());
+            }
+        }
+        for threads in [1, 2, 8] {
+            let got = build_all(&layout, &x, threads).unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn build_all_validates_layout() {
+        let x = TimeSeriesMatrix::from_rows(vec![vec![0.0; 10], vec![1.0; 10]]).unwrap();
+        let layout = BasicWindowLayout::cover(0, 20, 5).unwrap();
+        assert!(build_all(&layout, &x, 2).is_err());
     }
 
     #[test]

@@ -123,13 +123,13 @@ impl BasicWindowLayout {
     /// Layout for a query: covers its range and checks alignment.
     pub fn for_query(query: &SlidingQuery, width: usize) -> Result<Self, TsError> {
         let layout = Self::cover(query.start, query.end, width)?;
-        if query.window % width != 0 {
+        if !query.window.is_multiple_of(width) {
             return Err(TsError::InvalidParameter(format!(
                 "window {} is not a multiple of basic window width {width}",
                 query.window
             )));
         }
-        if query.step % width != 0 {
+        if !query.step.is_multiple_of(width) {
             return Err(TsError::InvalidParameter(format!(
                 "step {} is not a multiple of basic window width {width}",
                 query.step
@@ -153,8 +153,8 @@ impl BasicWindowLayout {
     /// `[wstart, wend)`; errors when unaligned or out of coverage.
     pub fn window_to_basic(&self, wstart: usize, wend: usize) -> Result<(usize, usize), TsError> {
         if wstart < self.origin
-            || (wstart - self.origin) % self.width != 0
-            || (wend - self.origin) % self.width != 0
+            || !(wstart - self.origin).is_multiple_of(self.width)
+            || !(wend - self.origin).is_multiple_of(self.width)
         {
             return Err(TsError::InvalidParameter(format!(
                 "window {wstart}..{wend} is not aligned to basic windows (origin {}, width {})",

@@ -52,8 +52,21 @@ pub struct SketchStore {
 }
 
 impl SketchStore {
-    /// Builds the store in one O(N·L) pass.
+    /// Builds the store in one O(N·L) pass (sequential).
     pub fn build(x: &TimeSeriesMatrix, layout: BasicWindowLayout) -> Result<Self, TsError> {
+        Self::build_with_threads(x, layout, 1)
+    }
+
+    /// Builds the store with `threads` workers stealing row chunks.
+    ///
+    /// Rows are independent; each worker produces whole prefix rows which
+    /// are reassembled in series order, so the result is identical for any
+    /// thread count.
+    pub fn build_with_threads(
+        x: &TimeSeriesMatrix,
+        layout: BasicWindowLayout,
+        threads: usize,
+    ) -> Result<Self, TsError> {
         if layout.end() > x.len() {
             return Err(TsError::OutOfRange {
                 requested: layout.end(),
@@ -62,22 +75,16 @@ impl SketchStore {
         }
         let n = x.n_series();
         let stride = layout.count + 1;
-        let mut sum_prefix = vec![0.0; n * stride];
-        let mut sum_sq_prefix = vec![0.0; n * stride];
-        for i in 0..n {
-            let row = x.row(i);
-            let base = i * stride;
-            let mut acc = 0.0;
-            let mut acc_sq = 0.0;
-            for b in 0..layout.count {
-                let (t0, t1) = layout.time_range(b);
-                for &v in &row[t0..t1] {
-                    acc += v;
-                    acc_sq += v * v;
-                }
-                sum_prefix[base + b + 1] = acc;
-                sum_sq_prefix[base + b + 1] = acc_sq;
-            }
+        let rows = exec::par_collect_chunks(n, threads, 1, |range| {
+            range
+                .map(|i| prefix_row(x.row(i), &layout))
+                .collect::<Vec<_>>()
+        });
+        let mut sum_prefix = Vec::with_capacity(n * stride);
+        let mut sum_sq_prefix = Vec::with_capacity(n * stride);
+        for (sums, sq) in rows {
+            sum_prefix.extend(sums);
+            sum_sq_prefix.extend(sq);
         }
         Ok(Self {
             layout,
@@ -161,11 +168,13 @@ impl SketchStore {
             let row = x.row(i);
             let mut acc = sum_prefix[new_base + old_count];
             let mut acc_sq = sum_sq_prefix[new_base + old_count];
+            // Same fused accumulation as `prefix_row`, so an appended
+            // store stays bit-identical to a fresh build.
             for b in old_count..new_count {
                 let (t0, t1) = new_layout.time_range(b);
                 for &v in &row[t0..t1] {
                     acc += v;
-                    acc_sq += v * v;
+                    acc_sq = v.mul_add(v, acc_sq);
                 }
                 sum_prefix[new_base + b + 1] = acc;
                 sum_sq_prefix[new_base + b + 1] = acc_sq;
@@ -186,9 +195,8 @@ impl SketchStore {
     /// (TSUBASA persists sketches so historical queries skip the raw scan;
     /// this is the equivalent facility).
     pub fn serialize(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(
-            40 + (self.sum_prefix.len() + self.sum_sq_prefix.len()) * 8,
-        );
+        let mut buf =
+            Vec::with_capacity(40 + (self.sum_prefix.len() + self.sum_sq_prefix.len()) * 8);
         buf.put_u64_le(SKETCH_MAGIC);
         buf.put_u64_le(self.layout.origin as u64);
         buf.put_u64_le(self.layout.width as u64);
@@ -250,6 +258,28 @@ impl SketchStore {
     }
 }
 
+/// One series' `(count+1)`-long prefix rows of `Σx` and `Σx²`, fused in a
+/// single pass with `mul_add` for the squared accumulation.
+fn prefix_row(row: &[f64], layout: &BasicWindowLayout) -> (Vec<f64>, Vec<f64>) {
+    let stride = layout.count + 1;
+    let mut sums = Vec::with_capacity(stride);
+    let mut sums_sq = Vec::with_capacity(stride);
+    sums.push(0.0);
+    sums_sq.push(0.0);
+    let mut acc = 0.0;
+    let mut acc_sq = 0.0;
+    for b in 0..layout.count {
+        let (t0, t1) = layout.time_range(b);
+        for &v in &row[t0..t1] {
+            acc += v;
+            acc_sq = v.mul_add(v, acc_sq);
+        }
+        sums.push(acc);
+        sums_sq.push(acc_sq);
+    }
+    (sums, sums_sq)
+}
+
 const SKETCH_MAGIC: u64 = 0x4441_4e47_4f52_4f4e; // "DANGORON"
 
 #[cfg(test)]
@@ -259,7 +289,9 @@ mod tests {
 
     fn matrix() -> TimeSeriesMatrix {
         TimeSeriesMatrix::from_rows(vec![
-            (0..24).map(|t| (t as f64 * 0.7).sin() + 0.1 * t as f64).collect(),
+            (0..24)
+                .map(|t| (t as f64 * 0.7).sin() + 0.1 * t as f64)
+                .collect(),
             (0..24).map(|t| (t as f64 * 0.3).cos() * 2.0).collect(),
             (0..24).map(|t| t as f64).collect(),
         ])
@@ -296,7 +328,7 @@ mod tests {
         let layout = BasicWindowLayout::cover(4, 24, 5).unwrap();
         let store = SketchStore::build(&x, layout).unwrap();
         let ws = store.basic_stats(2, 0); // series 2 is t → t
-        // Basic window covers t = 4..9: sum = 4+5+6+7+8 = 30.
+                                          // Basic window covers t = 4..9: sum = 4+5+6+7+8 = 30.
         assert!((ws.sum - 30.0).abs() < 1e-12);
     }
 
@@ -326,11 +358,7 @@ mod tests {
             .unwrap();
         assert_eq!(store.append(&grown).unwrap(), 1);
 
-        let fresh = SketchStore::build(
-            &full,
-            BasicWindowLayout::cover(0, 24, 4).unwrap(),
-        )
-        .unwrap();
+        let fresh = SketchStore::build(&full, BasicWindowLayout::cover(0, 24, 4).unwrap()).unwrap();
         assert_eq!(store, fresh);
         // No new complete window ⇒ no-op.
         assert_eq!(store.append(&grown).unwrap(), 0);
@@ -370,6 +398,17 @@ mod tests {
         assert!(SketchStore::deserialize(&bytes).is_err());
         let bytes = store.serialize();
         assert!(SketchStore::deserialize(&bytes[..bytes.len() - 8]).is_err());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let x = matrix();
+        let layout = BasicWindowLayout::cover(0, 24, 4).unwrap();
+        let seq = SketchStore::build(&x, layout).unwrap();
+        for threads in [2, 3, 8] {
+            let par = SketchStore::build_with_threads(&x, layout, threads).unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 
     #[test]

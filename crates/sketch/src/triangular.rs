@@ -1,0 +1,78 @@
+//! Dense ranking of the strict upper triangle `{(i, j) : i < j < n}`.
+//!
+//! Every engine in the workspace walks the same pair space; sharing the
+//! rank/unrank pair here keeps the layouts byte-identical across the core
+//! engine, the streaming session and the baselines (the parallel
+//! schedulers hand out *pair ranks*, so all of them must agree on the
+//! enumeration).
+//!
+//! Rank order is lexicographic: `(0,1), (0,2), …, (0,n−1), (1,2), …`.
+
+/// Number of pairs: `n·(n−1)/2`.
+#[inline]
+pub fn count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Rank of pair `(i, j)` with `i < j < n`.
+#[inline]
+pub fn rank(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+/// First rank of row `i` (the rank of `(i, i+1)`).
+#[inline]
+fn row_start(i: usize, n: usize) -> usize {
+    i * (2 * n - i - 1) / 2
+}
+
+/// Inverse of [`rank`]: the pair at rank `p`.
+///
+/// O(1) via the quadratic formula, with an exact integer fix-up of the
+/// float estimate (at most one step in either direction for any `n` that
+/// fits the triangle in a `usize`).
+#[inline]
+pub fn unrank(p: usize, n: usize) -> (usize, usize) {
+    debug_assert!(p < count(n));
+    // Solve i(2n−i−1)/2 ≤ p for the largest i.
+    let nf = n as f64;
+    let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * p as f64;
+    let mut i = ((2.0 * nf - 1.0 - disc.max(0.0).sqrt()) / 2.0) as usize;
+    i = i.min(n - 2);
+    while i > 0 && row_start(i, n) > p {
+        i -= 1;
+    }
+    while row_start(i + 1, n) <= p && i < n - 2 {
+        i += 1;
+    }
+    let j = i + 1 + (p - row_start(i, n));
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_unrank_roundtrip_dense() {
+        for n in [2usize, 3, 5, 17, 64, 301] {
+            let mut expected = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(rank(i, j, n), expected, "n={n} ({i},{j})");
+                    assert_eq!(unrank(expected, n), (i, j), "n={n} p={expected}");
+                    expected += 1;
+                }
+            }
+            assert_eq!(expected, count(n));
+        }
+    }
+
+    #[test]
+    fn count_degenerate() {
+        assert_eq!(count(0), 0);
+        assert_eq!(count(1), 0);
+        assert_eq!(count(2), 1);
+    }
+}

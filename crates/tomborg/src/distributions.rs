@@ -79,7 +79,9 @@ impl CorrDistribution {
             }
             CorrDistribution::Beta { a, b, lo, hi } => {
                 if a <= 0.0 || b <= 0.0 {
-                    return Err(TsError::InvalidParameter("beta shapes must be positive".into()));
+                    return Err(TsError::InvalidParameter(
+                        "beta shapes must be positive".into(),
+                    ));
                 }
                 if !ok(lo) || !ok(hi) || lo > hi {
                     return Err(TsError::InvalidParameter(format!(
@@ -96,8 +98,10 @@ impl CorrDistribution {
                 if n_blocks == 0 {
                     return Err(TsError::InvalidParameter("need at least one block".into()));
                 }
-                if !ok(within) || !ok(between) || jitter < 0.0 || jitter > 1.0 {
-                    return Err(TsError::InvalidParameter("block parameters out of range".into()));
+                if !ok(within) || !ok(between) || !(0.0..=1.0).contains(&jitter) {
+                    return Err(TsError::InvalidParameter(
+                        "block parameters out of range".into(),
+                    ));
                 }
             }
             CorrDistribution::Equi { rho } => {
@@ -111,7 +115,9 @@ impl CorrDistribution {
                 weak,
             } => {
                 if !(0.0..=1.0).contains(&frac_strong) || !ok(strong) || !ok(weak) {
-                    return Err(TsError::InvalidParameter("spike parameters out of range".into()));
+                    return Err(TsError::InvalidParameter(
+                        "spike parameters out of range".into(),
+                    ));
                 }
             }
         }
@@ -243,7 +249,9 @@ mod tests {
 
     #[test]
     fn equi_and_spike() {
-        let m = CorrDistribution::Equi { rho: 0.4 }.sample_matrix(5, 0).unwrap();
+        let m = CorrDistribution::Equi { rho: 0.4 }
+            .sample_matrix(5, 0)
+            .unwrap();
         check_basic(&m, 5);
         assert!(m.get(0, 4) == 0.4 && m.get(1, 2) == 0.4);
 
@@ -265,8 +273,12 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(CorrDistribution::Uniform { lo: 0.5, hi: 0.2 }.validate().is_err());
-        assert!(CorrDistribution::Uniform { lo: -2.0, hi: 0.2 }.validate().is_err());
+        assert!(CorrDistribution::Uniform { lo: 0.5, hi: 0.2 }
+            .validate()
+            .is_err());
+        assert!(CorrDistribution::Uniform { lo: -2.0, hi: 0.2 }
+            .validate()
+            .is_err());
         assert!(CorrDistribution::Beta {
             a: 0.0,
             b: 1.0,
@@ -291,6 +303,8 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(CorrDistribution::Equi { rho: 0.5 }.sample_matrix(0, 0).is_err());
+        assert!(CorrDistribution::Equi { rho: 0.5 }
+            .sample_matrix(0, 0)
+            .is_err());
     }
 }

@@ -31,9 +31,7 @@ impl TomborgConfig {
     /// Validates all parts.
     pub fn validate(&self) -> Result<(), TsError> {
         if self.n_series < 2 {
-            return Err(TsError::InvalidParameter(
-                "need at least two series".into(),
-            ));
+            return Err(TsError::InvalidParameter("need at least two series".into()));
         }
         if self.len < 8 {
             return Err(TsError::TooShort {
@@ -102,6 +100,7 @@ pub fn generate(config: &TomborgConfig) -> Result<TomborgDataset, TsError> {
     let mut rows = Vec::with_capacity(n);
     for i in 0..n {
         let mut row = vec![0.0; len];
+        #[allow(clippy::needless_range_loop)] // k indexes both L and latents
         for k in 0..=i {
             let lik = l.get(i, k);
             if lik == 0.0 {
@@ -188,9 +187,7 @@ mod tests {
             SpectralEnvelope::White,
         );
         let d = generate(&c).unwrap();
-        assert!(
-            linalg::nearest_corr::is_positive_semidefinite(&d.target, 1e-6).unwrap()
-        );
+        assert!(linalg::nearest_corr::is_positive_semidefinite(&d.target, 1e-6).unwrap());
         for i in 0..8 {
             assert!((d.target.get(i, i) - 1.0).abs() < 1e-9);
         }

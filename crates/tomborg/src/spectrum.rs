@@ -61,7 +61,9 @@ impl SpectralEnvelope {
             }
             SpectralEnvelope::Band { lo, hi } => {
                 if !(0.0..1.0).contains(&lo) || hi <= lo || hi > 1.0 {
-                    Err(TsError::InvalidParameter(format!("band [{lo}, {hi}] invalid")))
+                    Err(TsError::InvalidParameter(format!(
+                        "band [{lo}, {hi}] invalid"
+                    )))
                 } else {
                     Ok(())
                 }
@@ -81,13 +83,14 @@ impl SpectralEnvelope {
         }
         let nyquist = n / 2;
         let mut w2 = vec![0.0f64; n]; // squared weights
+        #[allow(clippy::needless_range_loop)] // c maps to a frequency index
         for c in 1..n {
             // Frequency index of coefficient c (Nyquist row for even n is
             // c = n−1 with k = n/2).
-            let k = if n % 2 == 0 && c == n - 1 {
+            let k = if n.is_multiple_of(2) && c == n - 1 {
                 nyquist
             } else {
-                (c + 1) / 2
+                c.div_ceil(2)
             };
             let f = k as f64 / nyquist as f64; // fraction of Nyquist
             w2[c] = match *self {
@@ -159,7 +162,9 @@ mod tests {
 
     #[test]
     fn concentrated_cuts_high_frequencies() {
-        let w = SpectralEnvelope::Concentrated { frac: 0.25 }.weights(64).unwrap();
+        let w = SpectralEnvelope::Concentrated { frac: 0.25 }
+            .weights(64)
+            .unwrap();
         // k ≤ 8 kept (f = k/32 ≤ 0.25), higher zero.
         assert!(w[2 * 8 - 1] > 0.0);
         assert_eq!(w[2 * 9 - 1], 0.0);
@@ -168,7 +173,9 @@ mod tests {
 
     #[test]
     fn band_selects_middle() {
-        let w = SpectralEnvelope::Band { lo: 0.5, hi: 0.75 }.weights(64).unwrap();
+        let w = SpectralEnvelope::Band { lo: 0.5, hi: 0.75 }
+            .weights(64)
+            .unwrap();
         // k = 16 → f = 0.5 in band; k = 4 → 0.125 out; k = 28 → 0.875 out.
         assert!(w[2 * 16 - 1] > 0.0);
         assert_eq!(w[2 * 4 - 1], 0.0);
@@ -178,10 +185,16 @@ mod tests {
     #[test]
     fn validation_and_degenerate_lengths() {
         assert!(SpectralEnvelope::Pink { alpha: -1.0 }.validate().is_err());
-        assert!(SpectralEnvelope::Concentrated { frac: 0.0 }.validate().is_err());
-        assert!(SpectralEnvelope::Band { lo: 0.8, hi: 0.5 }.validate().is_err());
+        assert!(SpectralEnvelope::Concentrated { frac: 0.0 }
+            .validate()
+            .is_err());
+        assert!(SpectralEnvelope::Band { lo: 0.8, hi: 0.5 }
+            .validate()
+            .is_err());
         assert!(SpectralEnvelope::White.weights(2).is_err());
         // A band so narrow it selects nothing at short lengths errors out.
-        assert!(SpectralEnvelope::Band { lo: 0.01, hi: 0.02 }.weights(8).is_err());
+        assert!(SpectralEnvelope::Band { lo: 0.01, hi: 0.02 }
+            .weights(8)
+            .is_err());
     }
 }

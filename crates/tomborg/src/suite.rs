@@ -30,10 +30,7 @@ impl SuiteCase {
 /// — that ordering is the experiment's expected shape.
 pub fn standard_suite(n_series: usize, len: usize, seed: u64) -> Vec<SuiteCase> {
     let corrs: Vec<(&str, CorrDistribution)> = vec![
-        (
-            "uniform",
-            CorrDistribution::Uniform { lo: 0.0, hi: 0.9 },
-        ),
+        ("uniform", CorrDistribution::Uniform { lo: 0.0, hi: 0.9 }),
         (
             "beta-skew",
             CorrDistribution::Beta {

@@ -150,7 +150,9 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateDataset, TsError> {
             y: rng.gen::<f64>(),
         })
         .collect();
-    let anchors: Vec<(f64, f64)> = (0..k).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let anchors: Vec<(f64, f64)> = (0..k)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     // Row-normalised Gaussian radial loadings: w_ik ∝ exp(−d²/(2ρ²)),
     // Σ_k w_ik² = 1 so each station's correlated part has unit variance.
@@ -187,8 +189,8 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateDataset, TsError> {
         let diurnal_amp = config.diurnal_amp * (1.0 + 0.1 * standard_normal(&mut rng));
         let seasonal_phase = 0.05 * standard_normal(&mut rng);
         // Longitude-driven solar-time offset plus small local jitter.
-        let tz_shift = std::f64::consts::TAU * config.timezone_span_hours / 24.0
-            * (stations[i].x - 0.5);
+        let tz_shift =
+            std::f64::consts::TAU * config.timezone_span_hours / 24.0 * (stations[i].x - 0.5);
         let diurnal_phase = tz_shift + 0.05 * standard_normal(&mut rng);
         let level = config.base_temp + 2.0 * standard_normal(&mut rng);
 
@@ -217,7 +219,11 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateDataset, TsError> {
 }
 
 /// Convenience: generate with defaults except size, for benches/tests.
-pub fn generate_sized(n_stations: usize, hours: usize, seed: u64) -> Result<ClimateDataset, TsError> {
+pub fn generate_sized(
+    n_stations: usize,
+    hours: usize,
+    seed: u64,
+) -> Result<ClimateDataset, TsError> {
     generate(&ClimateConfig {
         n_stations,
         hours,
@@ -253,14 +259,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = ClimateConfig::default();
-        c.n_stations = 0;
+        let c = ClimateConfig {
+            n_stations: 0,
+            ..Default::default()
+        };
         assert!(generate(&c).is_err());
-        let mut c = ClimateConfig::default();
-        c.factor_phi = 1.0;
+        let c = ClimateConfig {
+            factor_phi: 1.0,
+            ..Default::default()
+        };
         assert!(generate(&c).is_err());
-        let mut c = ClimateConfig::default();
-        c.factor_radius = 0.0;
+        let c = ClimateConfig {
+            factor_radius: 0.0,
+            ..Default::default()
+        };
         assert!(generate(&c).is_err());
     }
 
@@ -320,7 +332,10 @@ mod tests {
             }
         }
         let mean_r = rs.iter().sum::<f64>() / rs.len() as f64;
-        assert!(mean_r > 0.4, "seasonal cycle should dominate: mean r = {mean_r}");
+        assert!(
+            mean_r > 0.4,
+            "seasonal cycle should dominate: mean r = {mean_r}"
+        );
     }
 
     #[test]

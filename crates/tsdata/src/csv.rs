@@ -114,8 +114,7 @@ pub fn read(text: &str, orientation: Orientation, has_header: bool) -> Result<Cs
                     let name = cells.next().ok_or(TsError::Empty)?;
                     names.push(name.to_string());
                 }
-                let vals: Result<Vec<f64>, _> =
-                    cells.map(|c| parse(c, r + 1)).collect();
+                let vals: Result<Vec<f64>, _> = cells.map(|c| parse(c, r + 1)).collect();
                 series.push(vals?);
             }
             Ok(CsvData {
@@ -213,17 +212,14 @@ mod tests {
 
     #[test]
     fn roundtrip_via_write() {
-        let m = TimeSeriesMatrix::from_rows(vec![
-            vec![1.0, 2.5, -3.0],
-            vec![0.5, 0.0, 9.25],
-        ])
-        .unwrap();
+        let m =
+            TimeSeriesMatrix::from_rows(vec![vec![1.0, 2.5, -3.0], vec![0.5, 0.0, 9.25]]).unwrap();
         let names = vec!["s1".to_string(), "s2".to_string()];
         let text = write(&m, Some(&names)).unwrap();
         let back = read(&text, Orientation::SeriesPerColumn, true).unwrap();
         assert_eq!(back.data, m);
         assert_eq!(back.names.unwrap(), names);
         // Name-count mismatch rejected.
-        assert!(write(&m, Some(&names[..1].to_vec())).is_err());
+        assert!(write(&m, Some(&names[..1])).is_err());
     }
 }

@@ -50,14 +50,20 @@ impl fmt::Display for TsError {
             }
             TsError::Empty => write!(f, "empty input"),
             TsError::TooShort { need, got } => {
-                write!(f, "series too short: need at least {need} points, got {got}")
+                write!(
+                    f,
+                    "series too short: need at least {need} points, got {got}"
+                )
             }
             TsError::ZeroVariance => write!(f, "zero variance: correlation undefined"),
             TsError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             TsError::OutOfRange {
                 requested,
                 available,
-            } => write!(f, "out of range: requested {requested}, available {available}"),
+            } => write!(
+                f,
+                "out of range: requested {requested}, available {available}"
+            ),
             TsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }

@@ -59,7 +59,11 @@ pub fn correlated_pair(len: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) 
     let x: Vec<f64> = (0..len).map(|_| standard_normal(&mut rng)).collect();
     let e: Vec<f64> = (0..len).map(|_| standard_normal(&mut rng)).collect();
     let c = (1.0 - rho * rho).sqrt();
-    let y: Vec<f64> = x.iter().zip(&e).map(|(&xv, &ev)| rho * xv + c * ev).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .zip(&e)
+        .map(|(&xv, &ev)| rho * xv + c * ev)
+        .collect();
     (x, y)
 }
 
@@ -88,7 +92,9 @@ pub fn clustered_matrix(
     seed: u64,
 ) -> Result<TimeSeriesMatrix, TsError> {
     if groups == 0 || n == 0 {
-        return Err(TsError::InvalidParameter("n and groups must be positive".into()));
+        return Err(TsError::InvalidParameter(
+            "n and groups must be positive".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let drivers: Vec<Vec<f64>> = (0..groups)

@@ -266,7 +266,10 @@ mod tests {
 
     #[test]
     fn from_rows_rejects_empty() {
-        assert_eq!(TimeSeriesMatrix::from_rows(vec![]).unwrap_err(), TsError::Empty);
+        assert_eq!(
+            TimeSeriesMatrix::from_rows(vec![]).unwrap_err(),
+            TsError::Empty
+        );
         assert_eq!(
             TimeSeriesMatrix::from_rows(vec![vec![]]).unwrap_err(),
             TsError::Empty

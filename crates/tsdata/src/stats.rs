@@ -95,6 +95,9 @@ pub fn pearson_from_sums(
 ) -> Result<f64, TsError> {
     let vx = sxx - sx * sx / n;
     let vy = syy - sy * sy / n;
+    // Negated comparisons on purpose: NaN variance must take the error
+    // path, which `vx <= 0.0` would not.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(vx > 0.0) || !(vy > 0.0) {
         return Err(TsError::ZeroVariance);
     }
@@ -278,7 +281,7 @@ mod tests {
         assert!(m > 0.0 && s > 0.0);
         assert!(mean(&xs).unwrap().abs() < 1e-12);
         assert!((variance(&xs).unwrap() - 1.0).abs() < 1e-12);
-        assert!(z_normalize(&mut vec![1.0, 1.0, 1.0]).is_err());
+        assert!(z_normalize(&mut [1.0, 1.0, 1.0]).is_err());
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl Grid {
             )));
         }
         if len == 0 {
-            return Err(TsError::InvalidParameter("grid length must be positive".into()));
+            return Err(TsError::InvalidParameter(
+                "grid length must be positive".into(),
+            ));
         }
         Ok(Self { start, step, len })
     }
@@ -236,8 +238,7 @@ pub fn repair_non_finite(m: &mut TimeSeriesMatrix) -> Result<usize, TsError> {
         if row.iter().all(|v| v.is_finite()) {
             continue;
         }
-        let mut cells: Vec<Option<f64>> =
-            row.iter().map(|&v| v.is_finite().then_some(v)).collect();
+        let mut cells: Vec<Option<f64>> = row.iter().map(|&v| v.is_finite().then_some(v)).collect();
         repaired += cells.iter().filter(|c| c.is_none()).count();
         interpolate_gaps(&mut cells)?;
         let fixed: Vec<f64> = cells.into_iter().map(|v| v.unwrap()).collect();
@@ -301,8 +302,8 @@ mod tests {
     #[test]
     fn mean_aggregation_buckets() {
         let g = Grid::new(0, 10, 3).unwrap();
-        let s = IrregularSeries::new(vec![1, 5, 12, 25, 27], vec![1.0, 3.0, 4.0, 10.0, 20.0])
-            .unwrap();
+        let s =
+            IrregularSeries::new(vec![1, 5, 12, 25, 27], vec![1.0, 3.0, 4.0, 10.0, 20.0]).unwrap();
         let v = s.synchronize(&g, Aggregation::Mean).unwrap();
         assert_eq!(v, vec![2.0, 4.0, 15.0]);
     }
@@ -339,7 +340,10 @@ mod tests {
     fn no_observations_on_grid_is_error() {
         let g = Grid::new(0, 10, 5).unwrap();
         let s = IrregularSeries::new(vec![1_000], vec![7.0]).unwrap();
-        assert!(matches!(s.synchronize(&g, Aggregation::Mean), Err(TsError::Empty)));
+        assert!(matches!(
+            s.synchronize(&g, Aggregation::Mean),
+            Err(TsError::Empty)
+        ));
     }
 
     #[test]

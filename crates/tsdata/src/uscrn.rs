@@ -105,7 +105,11 @@ pub fn parse_utc(date: &str, time: &str) -> Result<i64, TsError> {
     let d: u32 = date[6..8].parse().map_err(|_| bad("bad day"))?;
     let hh: i64 = time[0..2].parse().map_err(|_| bad("bad hour"))?;
     let mm: i64 = time[2..4].parse().map_err(|_| bad("bad minute"))?;
-    if !(1..=12).contains(&m) || !(1..=31).contains(&d) || !(0..24).contains(&hh) || !(0..60).contains(&mm) {
+    if !(1..=12).contains(&m)
+        || !(1..=31).contains(&d)
+        || !(0..24).contains(&hh)
+        || !(0..60).contains(&mm)
+    {
         return Err(bad("date/time component out of range"));
     }
     Ok(days_from_civil(y, m, d) * 86_400 + hh * 3_600 + mm * 60)
@@ -233,12 +237,30 @@ mod tests {
 
     #[test]
     fn parse_line_other_variables() {
-        assert_eq!(parse_line(LINE, Variable::THrAvg, 1).unwrap().value, Some(-3.1));
-        assert_eq!(parse_line(LINE, Variable::TMax, 1).unwrap().value, Some(-2.8));
-        assert_eq!(parse_line(LINE, Variable::TMin, 1).unwrap().value, Some(-3.5));
-        assert_eq!(parse_line(LINE, Variable::PCalc, 1).unwrap().value, Some(0.0));
-        assert_eq!(parse_line(LINE, Variable::SurTemp, 1).unwrap().value, Some(-4.3));
-        assert_eq!(parse_line(LINE, Variable::RhHrAvg, 1).unwrap().value, Some(81.0));
+        assert_eq!(
+            parse_line(LINE, Variable::THrAvg, 1).unwrap().value,
+            Some(-3.1)
+        );
+        assert_eq!(
+            parse_line(LINE, Variable::TMax, 1).unwrap().value,
+            Some(-2.8)
+        );
+        assert_eq!(
+            parse_line(LINE, Variable::TMin, 1).unwrap().value,
+            Some(-3.5)
+        );
+        assert_eq!(
+            parse_line(LINE, Variable::PCalc, 1).unwrap().value,
+            Some(0.0)
+        );
+        assert_eq!(
+            parse_line(LINE, Variable::SurTemp, 1).unwrap().value,
+            Some(-4.3)
+        );
+        assert_eq!(
+            parse_line(LINE, Variable::RhHrAvg, 1).unwrap().value,
+            Some(81.0)
+        );
     }
 
     #[test]
@@ -286,9 +308,7 @@ mod tests {
     #[test]
     fn read_lines_groups_by_station() {
         let l1 = LINE;
-        let l2 = LINE
-            .replace("3047", "9999")
-            .replace("0500", "0600");
+        let l2 = LINE.replace("3047", "9999").replace("0500", "0600");
         let l3 = LINE.replace("0500", "0600").replace("-3.2", "-2.0");
         let data = read_lines(vec![l1, &l2, "", &l3], Variable::TCalc).unwrap();
         assert_eq!(data.n_stations(), 2);
@@ -307,7 +327,7 @@ mod tests {
                 "{station} 20200101 {time} 20191231 2200 3 -105.10 40.81 {val} -3.1 -2.8 -3.5 0.0 0 0 0 0 0 0 R -4.3 0 -5.0 0 -3.9 0 81 0"
             )
         };
-        let lines = vec![
+        let lines = [
             mk("1", "0000", "0.0"),
             mk("1", "0200", "4.0"),
             mk("2", "0000", "10.0"),
@@ -315,8 +335,8 @@ mod tests {
         ];
         let data = read_lines(lines.iter().map(|s| s.as_str()), Variable::TCalc).unwrap();
         let grid = Grid::new(base, 3600, 3).unwrap();
-        let m = crate::sync::synchronize_all(&data.into_series(), &grid, Aggregation::Mean)
-            .unwrap();
+        let m =
+            crate::sync::synchronize_all(&data.into_series(), &grid, Aggregation::Mean).unwrap();
         assert_eq!(m.row(0), &[0.0, 2.0, 4.0]);
         assert_eq!(m.row(1), &[10.0, 10.0, 10.0]);
     }

@@ -75,7 +75,7 @@ fn main() {
         .iter()
         .filter(|e| e.is_blinking(n_windows, 2, 0.6))
         .collect();
-    blinking.sort_by(|a, b| b.deactivations.cmp(&a.deactivations));
+    blinking.sort_by_key(|e| std::cmp::Reverse(e.deactivations));
     println!(
         "\n{} distinct edges, {} blinking; most unstable:",
         dynamics.len(),

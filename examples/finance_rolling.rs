@@ -20,7 +20,11 @@ use tsdata::TimeSeriesMatrix;
 
 /// Correlated GBM log-returns: a market factor everyone loads on, with the
 /// loading raised inside the crisis regime.
-fn simulate_returns(n_assets: usize, days: usize, crisis: std::ops::Range<usize>) -> TimeSeriesMatrix {
+fn simulate_returns(
+    n_assets: usize,
+    days: usize,
+    crisis: std::ops::Range<usize>,
+) -> TimeSeriesMatrix {
     let mut rng = StdRng::seed_from_u64(1987);
     let market: Vec<f64> = (0..days).map(|_| standard_normal(&mut rng)).collect();
     let mut rows = Vec::with_capacity(n_assets);

@@ -76,7 +76,10 @@ fn main() {
             if mates.is_empty() {
                 continue;
             }
-            let same = mates.iter().filter(|&&u| u / (n_regions / 4) == mine).count();
+            let same = mates
+                .iter()
+                .filter(|&&u| u / (n_regions / 4) == mine)
+                .count();
             if same * 2 >= mates.len() {
                 pure += 1;
             }

@@ -42,6 +42,9 @@ fn main() {
     let first = &result.matrices[0];
     println!("\nwindow 0 network ({} edges):", first.n_edges());
     for e in first.edges() {
-        println!("  series {:>2} — series {:>2}   r = {:+.3}", e.i, e.j, e.value);
+        println!(
+            "  series {:>2} — series {:>2}   r = {:+.3}",
+            e.i, e.j, e.value
+        );
     }
 }

@@ -87,19 +87,20 @@ fn main() {
         ..Default::default()
     })
     .expect("engine");
-    let result = engine.execute(
-        // Safe: the session's data is private; regenerate the same matrix.
-        &generate(&ClimateConfig {
-            n_stations: 24,
-            hours: total_hours,
-            seed: 7,
-            ..Default::default()
-        })
-        .unwrap()
-        .data,
-        batch,
-    )
-    .expect("batch run");
+    let result = engine
+        .execute(
+            // Safe: the session's data is private; regenerate the same matrix.
+            &generate(&ClimateConfig {
+                n_stations: 24,
+                hours: total_hours,
+                seed: 7,
+                ..Default::default()
+            })
+            .unwrap()
+            .data,
+            batch,
+        )
+        .expect("batch run");
     let final_matrix = result.matrices.last().expect("windows exist");
     println!("\nfinal window edge list (first lines):");
     for line in to_edge_list(final_matrix).lines().take(6) {

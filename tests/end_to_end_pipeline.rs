@@ -16,9 +16,11 @@ fn fake_uscrn_corpus(hours: usize) -> Vec<String> {
         let day = h / 24;
         let hour = h % 24;
         // Two regional temperature regimes plus tiny station offsets.
-        let warm = 20.0 + 8.0 * ((h as f64) * std::f64::consts::TAU / 24.0).sin()
+        let warm = 20.0
+            + 8.0 * ((h as f64) * std::f64::consts::TAU / 24.0).sin()
             + (day as f64 * 0.7).sin() * 4.0;
-        let cold = -2.0 + 3.0 * ((h as f64) * std::f64::consts::TAU / 24.0).cos()
+        let cold = -2.0
+            + 3.0 * ((h as f64) * std::f64::consts::TAU / 24.0).cos()
             + (day as f64 * 1.3).cos() * 5.0;
         for (station, base, offset) in [
             (1001u32, warm, 0.0),
@@ -94,8 +96,14 @@ fn uscrn_text_to_correlation_network() {
         }
     }
     let n = result.matrices.len();
-    assert!(warm_pair > n * 8 / 10, "warm pair connected {warm_pair}/{n}");
-    assert!(cold_pair > n * 8 / 10, "cold pair connected {cold_pair}/{n}");
+    assert!(
+        warm_pair > n * 8 / 10,
+        "warm pair connected {warm_pair}/{n}"
+    );
+    assert!(
+        cold_pair > n * 8 / 10,
+        "cold pair connected {cold_pair}/{n}"
+    );
     // Cross-regime edges can fire occasionally (both regimes share the
     // diurnal cycle) but must be rarer than in-regime ones.
     assert!(

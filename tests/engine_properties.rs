@@ -11,7 +11,12 @@ use tsdata::generators;
 /// Strategy: a random-but-aligned query geometry over `len` points.
 fn aligned_query(len: usize) -> impl Strategy<Value = (SlidingQuery, usize)> {
     // basic window in {4, 8, 10}, window/step multiples of it.
-    (prop_oneof![Just(4usize), Just(8), Just(10)], 2usize..5, 1usize..4, 0.0f64..0.95)
+    (
+        prop_oneof![Just(4usize), Just(8), Just(10)],
+        2usize..5,
+        1usize..4,
+        0.0f64..0.95,
+    )
         .prop_map(move |(b, w_mult, s_mult, beta)| {
             let window = b * w_mult * 2;
             let step = b * s_mult;

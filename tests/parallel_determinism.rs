@@ -1,0 +1,204 @@
+//! Parallel determinism: `QueryResult` — edge sets (values bit-for-bit)
+//! and pruning counters — must be identical for `threads = 1, 2, 8`, in
+//! both the batch and streaming engines, across storage modes, bound
+//! modes and edge rules. The work-stealing scheduler hands pairs out
+//! non-deterministically; the sort-and-partition assembly must erase that
+//! completely.
+
+use dangoron::{BoundMode, Dangoron, DangoronConfig, PairStorage, QueryResult, StreamingDangoron};
+use sketch::output::EdgeRule;
+use sketch::{SlidingQuery, ThresholdedMatrix};
+use tsdata::generators;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn assert_bit_identical(a: &[ThresholdedMatrix], b: &[ThresholdedMatrix], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: window count");
+    for (w, (ma, mb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ma.n_edges(), mb.n_edges(), "{ctx}: window {w} edge count");
+        for (ea, eb) in ma.edges().iter().zip(mb.edges()) {
+            assert_eq!((ea.i, ea.j), (eb.i, eb.j), "{ctx}: window {w} indices");
+            assert_eq!(
+                ea.value.to_bits(),
+                eb.value.to_bits(),
+                "{ctx}: window {w} edge ({}, {}) value not bit-identical",
+                ea.i,
+                ea.j
+            );
+        }
+    }
+}
+
+fn assert_same_result(a: &QueryResult, b: &QueryResult, ctx: &str) {
+    assert_bit_identical(&a.matrices, &b.matrices, ctx);
+    assert_eq!(a.stats, b.stats, "{ctx}: pruning stats diverged");
+}
+
+#[test]
+fn batch_engine_is_thread_count_invariant() {
+    let x = generators::clustered_matrix(16, 480, 4, 0.6, 2024).unwrap();
+    let q = SlidingQuery {
+        start: 0,
+        end: 480,
+        window: 80,
+        step: 20,
+        threshold: 0.7,
+    };
+    for storage in [PairStorage::Precomputed, PairStorage::OnDemand] {
+        for bound in [BoundMode::Exhaustive, BoundMode::PaperJump { slack: 0.0 }] {
+            for edge_rule in [EdgeRule::Positive, EdgeRule::Absolute] {
+                let run = |threads| {
+                    Dangoron::new(DangoronConfig {
+                        basic_window: 20,
+                        bound,
+                        storage,
+                        threads,
+                        edge_rule,
+                        ..Default::default()
+                    })
+                    .unwrap()
+                    .execute(&x, q)
+                    .unwrap()
+                };
+                let baseline = run(THREAD_COUNTS[0]);
+                assert!(baseline.total_edges() > 0, "workload produced no edges");
+                for &t in &THREAD_COUNTS[1..] {
+                    let got = run(t);
+                    let ctx = format!("batch {storage:?}/{bound:?}/{edge_rule:?} threads={t}");
+                    assert_same_result(&baseline, &got, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_engine_with_pivots_is_thread_count_invariant() {
+    use dangoron::PivotStrategy;
+    let x = generators::clustered_matrix(14, 400, 3, 0.7, 7).unwrap();
+    let q = SlidingQuery {
+        start: 0,
+        end: 400,
+        window: 80,
+        step: 40,
+        threshold: 0.85,
+    };
+    let run = |threads| {
+        Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            storage: PairStorage::OnDemand,
+            horizontal: Some(dangoron::config::HorizontalConfig {
+                n_pivots: 3,
+                strategy: PivotStrategy::Evenly,
+            }),
+            threads,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap()
+    };
+    let baseline = run(1);
+    for &t in &THREAD_COUNTS[1..] {
+        assert_same_result(&baseline, &run(t), &format!("pivots threads={t}"));
+    }
+}
+
+#[test]
+fn streaming_engine_is_thread_count_invariant() {
+    let full = generators::clustered_matrix(10, 400, 2, 0.5, 99).unwrap();
+    for bound in [BoundMode::Exhaustive, BoundMode::PaperJump { slack: 0.0 }] {
+        let run = |threads: usize| {
+            let initial = full.slice_columns(0, 150).unwrap();
+            let mut session = StreamingDangoron::new(
+                initial,
+                80,
+                20,
+                0.7,
+                DangoronConfig {
+                    basic_window: 10,
+                    bound,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut collected = session.drain_completed().unwrap();
+            for (a, b) in [(150usize, 220usize), (220, 330), (330, 400)] {
+                let chunk = full.slice_columns(a, b).unwrap();
+                collected.extend(session.append(&chunk).unwrap());
+            }
+            collected
+        };
+        let baseline = run(1);
+        assert!(
+            baseline.iter().any(|c| c.matrix.n_edges() > 0),
+            "stream produced no edges"
+        );
+        for &t in &THREAD_COUNTS[1..] {
+            let got = run(t);
+            assert_eq!(baseline.len(), got.len(), "{bound:?} threads={t}");
+            for (a, b) in baseline.iter().zip(&got) {
+                assert_eq!(a.index, b.index, "{bound:?} threads={t}");
+                let ma = std::slice::from_ref(&a.matrix);
+                let mb = std::slice::from_ref(&b.matrix);
+                assert_bit_identical(ma, mb, &format!("stream {bound:?} threads={t}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn tsubasa_baseline_is_thread_count_invariant() {
+    use baselines::tsubasa::Tsubasa;
+    let x = generators::clustered_matrix(12, 300, 3, 0.6, 5).unwrap();
+    let q = SlidingQuery {
+        start: 0,
+        end: 300,
+        window: 60,
+        step: 20,
+        threshold: 0.6,
+    };
+    let run = |threads| {
+        let t = Tsubasa {
+            basic_window: 20,
+            threads,
+        };
+        let prep = t.prepare(&x, q).unwrap();
+        t.run(&prep)
+    };
+    let baseline = run(1);
+    for &t in &THREAD_COUNTS[1..] {
+        assert_bit_identical(&baseline, &run(t), &format!("tsubasa threads={t}"));
+    }
+}
+
+#[test]
+fn prepare_is_thread_count_invariant() {
+    // The prepared state (sketch store + pair sketches) drives every
+    // downstream number; the parallel tiled build must be bit-identical.
+    let x = generators::clustered_matrix(12, 360, 3, 0.5, 31).unwrap();
+    let q = SlidingQuery {
+        start: 0,
+        end: 360,
+        window: 60,
+        step: 20,
+        threshold: 0.8,
+    };
+    let prep = |threads| {
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            threads,
+            ..Default::default()
+        })
+        .unwrap();
+        let p = engine.prepare(&x, q).unwrap();
+        (engine.run(&p), p.memory_bytes())
+    };
+    let (r1, m1) = prep(1);
+    for &t in &THREAD_COUNTS[1..] {
+        let (rt, mt) = prep(t);
+        assert_same_result(&r1, &rt, &format!("prepare threads={t}"));
+        assert_eq!(m1, mt, "memory accounting threads={t}");
+    }
+}

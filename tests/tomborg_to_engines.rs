@@ -7,8 +7,8 @@ use baselines::SlidingEngine;
 use dangoron::{BoundMode, DangoronConfig};
 use eval::engines::DangoronEngine;
 use eval::workloads;
-use tomborg::{CorrDistribution, SpectralEnvelope, TomborgConfig};
 use tomborg::verify::{edge_agreement, fidelity};
+use tomborg::{CorrDistribution, SpectralEnvelope, TomborgConfig};
 
 #[test]
 fn generated_data_matches_its_target() {
