@@ -2,8 +2,9 @@
 //! records the perf trajectory.
 //!
 //! ```text
-//! harness <exp-id>... [--full]               # e1 … e10, or `all`
-//! harness bench [--out BENCH_1.json] [--full]  # perf ladder → JSON
+//! harness <exp-id>... [--full]                    # e1 … e11, or `all`
+//! harness bench [--out BENCH_1.json] [--full]     # perf ladder → JSON
+//! harness validate [--require-streaming] FILE...  # check bench records
 //! ```
 //!
 //! Quick scale (default) runs in seconds per experiment; `--full` uses the
@@ -36,10 +37,47 @@ fn run_bench(args: &[String], scale: Scale) {
     eprintln!("wrote {out_path}");
 }
 
+fn run_validate(args: &[String]) {
+    let require_streaming = args.iter().any(|a| a == "--require-streaming");
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && *a != "validate")
+        .collect();
+    if files.is_empty() {
+        eprintln!("error: validate needs at least one record file");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in files {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match bench::schema::validate(&json, require_streaming) {
+            Ok(()) => println!("{path}: valid dangoron-bench-v1 record"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = Scale::from_flag(full);
+    if args.iter().any(|a| a == "validate") {
+        run_validate(&args);
+        return;
+    }
     if args.iter().any(|a| a == "bench") {
         run_bench(&args, scale);
         return;
@@ -63,7 +101,7 @@ fn main() {
                 println!("{report}");
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e10 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e11 or all)");
                 failed = true;
             }
         }

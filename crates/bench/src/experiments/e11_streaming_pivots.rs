@@ -1,0 +1,172 @@
+//! E11 — streaming horizontal pruning: the incrementally maintained pivot
+//! table brings the triangle bound (the one bound that never costs
+//! accuracy) to the real-time path, closing the feature gap between
+//! sessions and the batch engine.
+//!
+//! Three session variants stream the same workload in week-sized appends:
+//! no pruning, triangle only, and triangle + Eq. 2 jumping. Exhaustive
+//! variants must agree edge-for-edge (the triangle bound is sound); the
+//! reported skip fraction is what the pivot table buys per drain.
+
+use crate::Scale;
+use dangoron::config::{HorizontalConfig, PivotStrategy};
+use dangoron::{BoundMode, DangoronConfig, PruningStats, StreamingDangoron};
+use eval::report::{dur, Table};
+use eval::workloads::{self, Workload};
+use std::time::{Duration, Instant};
+
+struct StreamOutcome {
+    open: Duration,
+    stream: Duration,
+    edges: u64,
+    windows: usize,
+    stats: PruningStats,
+}
+
+fn stream(w: &Workload, config: DangoronConfig) -> StreamOutcome {
+    let b = w.basic_window;
+    let initial_cols = ((w.data.len() / 2) / b * b).max(b);
+    let initial = w.data.slice_columns(0, initial_cols).expect("slice");
+    let t = Instant::now();
+    let mut session = StreamingDangoron::new(
+        initial,
+        w.query.window,
+        w.query.step,
+        w.query.threshold,
+        config,
+    )
+    .expect("valid streaming geometry");
+    let open = t.elapsed();
+
+    let t = Instant::now();
+    let mut windows = session.drain_completed().expect("drain").len();
+    let mut at = initial_cols;
+    while at < w.data.len() {
+        let next = (at + 7 * b).min(w.data.len());
+        let chunk = w.data.slice_columns(at, next).expect("chunk");
+        windows += session.append(&chunk).expect("append").len();
+        at = next;
+    }
+    let stream = t.elapsed();
+    let stats = session.stats().clone();
+    StreamOutcome {
+        open,
+        stream,
+        edges: stats.edges,
+        windows,
+        stats,
+    }
+}
+
+/// Runs E11 and renders its table.
+pub fn run(scale: Scale) -> String {
+    let (n, hours) = match scale {
+        Scale::Quick => (16, 24 * 90),
+        Scale::Full => (64, 24 * 365),
+    };
+    let beta = 0.9;
+    let w = workloads::climate(n, hours, beta, 2020).expect("workload");
+    let horizontal = Some(HorizontalConfig {
+        n_pivots: 2,
+        strategy: PivotStrategy::Evenly,
+    });
+
+    let variants: Vec<(&str, DangoronConfig)> = vec![
+        (
+            "exhaustive",
+            DangoronConfig {
+                basic_window: w.basic_window,
+                bound: BoundMode::Exhaustive,
+                ..Default::default()
+            },
+        ),
+        (
+            "exhaustive+triangle",
+            DangoronConfig {
+                basic_window: w.basic_window,
+                bound: BoundMode::Exhaustive,
+                horizontal: horizontal.clone(),
+                ..Default::default()
+            },
+        ),
+        (
+            "jump+triangle",
+            DangoronConfig {
+                basic_window: w.basic_window,
+                bound: BoundMode::PaperJump { slack: 0.0 },
+                horizontal,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    let mut table = Table::new(
+        "E11: streaming pivots (β=0.9, week-sized appends)",
+        &[
+            "variant",
+            "open",
+            "stream",
+            "windows",
+            "evaluated",
+            "tri-pruned",
+            "pairs-skipped",
+            "skip-frac",
+            "edges",
+        ],
+    );
+    for (name, config) in variants {
+        let o = stream(&w, config);
+        table.row(vec![
+            name.to_string(),
+            dur(o.open),
+            dur(o.stream),
+            o.windows.to_string(),
+            o.stats.evaluated.to_string(),
+            o.stats.pruned_by_triangle.to_string(),
+            o.stats.pairs_skipped_entirely.to_string(),
+            format!("{:.3}", o.stats.skip_fraction()),
+            o.edges.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nExpected shape: both exhaustive variants emit identical edge\n\
+         counts (the triangle bound is lossless) while the triangle column\n\
+         turns nonzero; jump+triangle composes both mechanisms for the\n\
+         highest skip fraction. The pivot table is never rebuilt — each\n\
+         append extends it from the incrementally updated sketches.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_is_lossless_and_fires_in_streaming() {
+        let report = run(Scale::Quick);
+        let field = |name: &str, idx: usize| -> u64 {
+            report
+                .lines()
+                .find(|l| l.trim_start().starts_with(name))
+                .unwrap_or_else(|| panic!("row {name} in:\n{report}"))
+                .split_whitespace()
+                .nth(idx)
+                .unwrap()
+                .parse::<f64>()
+                .unwrap() as u64
+        };
+        // Edge totals (last column = index 8) agree exactly.
+        assert_eq!(
+            field("exhaustive ", 8),
+            field("exhaustive+triangle", 8),
+            "triangle pruning changed streamed edges"
+        );
+        // The triangle machinery did something: fewer exact evaluations.
+        assert!(
+            field("exhaustive+triangle", 4) < field("exhaustive ", 4),
+            "triangle pruning saved no evaluations:\n{report}"
+        );
+    }
+}

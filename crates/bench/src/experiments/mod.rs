@@ -1,6 +1,7 @@
 //! The experiment modules, one per paper artefact (see EXPERIMENTS.md).
 
 pub mod e10_network;
+pub mod e11_streaming_pivots;
 pub mod e1_query_time;
 pub mod e2_accuracy;
 pub mod e3_jump_structure;
@@ -13,7 +14,7 @@ pub mod e9_basic_window;
 
 use crate::Scale;
 
-/// Dispatch an experiment by id (`"e1"` … `"e10"`), returning its report.
+/// Dispatch an experiment by id (`"e1"` … `"e11"`), returning its report.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
     Some(match id {
         "e1" => e1_query_time::run(scale),
@@ -26,9 +27,12 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
         "e8" => e8_scaling::run(scale),
         "e9" => e9_basic_window::run(scale),
         "e10" => e10_network::run(scale),
+        "e11" => e11_streaming_pivots::run(scale),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];

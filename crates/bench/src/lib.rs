@@ -8,6 +8,7 @@
 pub mod common;
 pub mod experiments;
 pub mod perf;
+pub mod schema;
 
 /// How big the experiment should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,11 +10,12 @@
 
 use crate::common::dangoron_engine;
 use crate::Scale;
-use dangoron::{BoundMode, Dangoron, DangoronConfig};
+use dangoron::config::HorizontalConfig;
+use dangoron::{BoundMode, Dangoron, DangoronConfig, StreamingDangoron};
 use eval::timing::{measure, speedup, TimingSummary};
 use eval::workloads::{self, Workload};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Thread counts every perf record samples.
 pub const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
@@ -34,6 +35,29 @@ pub struct ThreadSample {
     pub total_edges: usize,
 }
 
+/// The streaming-pivots sample: the same workload replayed through a
+/// [`StreamingDangoron`] session whose pivot table is maintained
+/// incrementally, so horizontal pruning applies on the real-time path.
+#[derive(Debug, Clone)]
+pub struct StreamingPerf {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Session-open timing (initial sketch + pivot build).
+    pub open: TimingSummary,
+    /// Total append+drain timing for the whole remaining stream.
+    pub drain: TimingSummary,
+    /// Windows emitted over the stream.
+    pub windows: usize,
+    /// Fraction of cells not exactly evaluated (cumulative).
+    pub skip_fraction: f64,
+    /// Cells settled by the triangle bound.
+    pub pruned_by_triangle: u64,
+    /// (pair, drain) encounters eliminated wholesale by the prefilter.
+    pub pairs_skipped_entirely: u64,
+    /// Total edges across all emitted windows.
+    pub total_edges: usize,
+}
+
 /// A full perf record.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -50,6 +74,8 @@ pub struct PerfRecord {
     pub hardware_threads: usize,
     /// Per-thread-count samples.
     pub samples: Vec<ThreadSample>,
+    /// The streaming-pivots experiment (absent in pre-PR-2 records).
+    pub streaming: Option<StreamingPerf>,
 }
 
 impl PerfRecord {
@@ -77,6 +103,28 @@ impl PerfRecord {
         let _ = writeln!(s, "  \"n_cols\": {},", self.n_cols);
         let _ = writeln!(s, "  \"n_windows\": {},", self.n_windows);
         let _ = writeln!(s, "  \"hardware_threads\": {},", self.hardware_threads);
+        if let Some(sp) = &self.streaming {
+            let _ = writeln!(
+                s,
+                "  \"streaming_pivots\": {{\"threads\": {}, \
+                 \"open_ms\": {{\"median\": {:.6}, \"min\": {:.6}, \"max\": {:.6}}}, \
+                 \"drain_ms\": {{\"median\": {:.6}, \"min\": {:.6}, \"max\": {:.6}}}, \
+                 \"windows\": {}, \"skip_fraction\": {:.6}, \"pruned_by_triangle\": {}, \
+                 \"pairs_skipped_entirely\": {}, \"total_edges\": {}}},",
+                sp.threads,
+                sp.open.median_ms(),
+                sp.open.min.as_secs_f64() * 1e3,
+                sp.open.max.as_secs_f64() * 1e3,
+                sp.drain.median_ms(),
+                sp.drain.min.as_secs_f64() * 1e3,
+                sp.drain.max.as_secs_f64() * 1e3,
+                sp.windows,
+                sp.skip_fraction,
+                sp.pruned_by_triangle,
+                sp.pairs_skipped_entirely,
+                sp.total_edges,
+            );
+        }
         let _ = writeln!(s, "  \"samples\": [");
         for (k, smp) in self.samples.iter().enumerate() {
             let comma = if k + 1 < self.samples.len() { "," } else { "" };
@@ -156,6 +204,73 @@ fn sample(w: &Workload, engine: &Dangoron, threads: usize, reps: usize) -> Threa
     }
 }
 
+fn summarize(mut samples: Vec<Duration>) -> TimingSummary {
+    samples.sort_unstable();
+    TimingSummary {
+        reps: samples.len(),
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: *samples.last().expect("at least one rep"),
+    }
+}
+
+/// Replays the workload through a streaming session with horizontal
+/// pruning: open over the first half of the history, then append the rest
+/// in week-sized chunks, timing the open and the total drain separately.
+fn streaming_sample(w: &Workload, threads: usize, reps: usize) -> StreamingPerf {
+    let config = DangoronConfig {
+        basic_window: w.basic_window,
+        bound: BoundMode::PaperJump { slack: 0.0 },
+        horizontal: Some(HorizontalConfig::default()),
+        threads,
+        ..Default::default()
+    };
+    let b = w.basic_window;
+    let initial_cols = ((w.data.len() / 2) / b * b).max(b);
+    let chunk_cols = 7 * b;
+
+    let mut opens = Vec::with_capacity(reps);
+    let mut drains = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let initial = w.data.slice_columns(0, initial_cols).expect("slice");
+        let t = Instant::now();
+        let mut session = StreamingDangoron::new(
+            initial,
+            w.query.window,
+            w.query.step,
+            w.query.threshold,
+            config.clone(),
+        )
+        .expect("valid streaming geometry");
+        opens.push(t.elapsed());
+
+        let t = Instant::now();
+        let mut windows = session.drain_completed().expect("drain").len();
+        let mut at = initial_cols;
+        while at < w.data.len() {
+            let next = (at + chunk_cols).min(w.data.len());
+            let chunk = w.data.slice_columns(at, next).expect("chunk");
+            windows += session.append(&chunk).expect("append").len();
+            at = next;
+        }
+        drains.push(t.elapsed());
+        last = Some((windows, session));
+    }
+    let (windows, session) = last.expect("at least one rep");
+    let s = session.stats();
+    StreamingPerf {
+        threads,
+        open: summarize(opens),
+        drain: summarize(drains),
+        windows,
+        skip_fraction: s.skip_fraction(),
+        pruned_by_triangle: s.pruned_by_triangle,
+        pairs_skipped_entirely: s.pairs_skipped_entirely,
+        total_edges: s.edges as usize,
+    }
+}
+
 /// Runs the perf ladder and returns the record.
 pub fn run(scale: Scale) -> PerfRecord {
     let (n, hours, reps) = match scale {
@@ -178,6 +293,9 @@ pub fn run(scale: Scale) -> PerfRecord {
         })
         .collect();
 
+    let streaming_threads = exec::available_threads().min(*THREAD_LADDER.last().unwrap());
+    let streaming = Some(streaming_sample(&w, streaming_threads, reps));
+
     PerfRecord {
         workload: w.name.clone(),
         n_series: n,
@@ -185,6 +303,7 @@ pub fn run(scale: Scale) -> PerfRecord {
         n_windows: w.query.n_windows(),
         hardware_threads: exec::available_threads(),
         samples,
+        streaming,
     }
 }
 
@@ -214,6 +333,7 @@ mod tests {
             n_windows: w.query.n_windows(),
             hardware_threads: exec::available_threads(),
             samples,
+            streaming: Some(streaming_sample(&w, 1, 1)),
         }
     }
 
@@ -230,9 +350,25 @@ mod tests {
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("query_speedup_vs_1"));
+        assert!(json.contains("\"streaming_pivots\""));
+        assert!(json.contains("\"pruned_by_triangle\""));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn streaming_sample_covers_every_window() {
+        // The streamed replay must emit exactly the batch query's windows
+        // and produce sane cumulative counters. (Edge totals are compared
+        // against batch truth in the core crate's exhaustive-mode tests;
+        // jump mode legitimately re-evaluates at drain boundaries.)
+        let w = workloads::climate_quick(8, 0.9).unwrap();
+        let sp = streaming_sample(&w, 2, 1);
+        assert_eq!(sp.windows, w.query.n_windows());
+        assert!((0.0..=1.0).contains(&sp.skip_fraction));
+        assert!(sp.open.median > Duration::ZERO);
+        assert!(sp.drain.median > Duration::ZERO);
     }
 
     #[test]

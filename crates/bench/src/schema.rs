@@ -1,0 +1,333 @@
+//! Validation of `dangoron-bench-v1` perf records.
+//!
+//! The workspace has no JSON-parsing dependency (see `crates/shims`), so
+//! the perf JSON is emitted by hand in [`crate::perf`]; this module is the
+//! matching consumer-side check the CI smoke job runs against the records
+//! it produces. It is a structural validator, not a full JSON parser: it
+//! checks bracket balance outside strings, the schema tag, and the
+//! presence + rough type of every required key — enough to catch emitter
+//! regressions (a dropped comma, a renamed key, a missing section) without
+//! pretending to be serde.
+
+/// Keys every `dangoron-bench-v1` record must carry at the top level.
+const TOP_LEVEL_KEYS: [(&str, ValueKind); 6] = [
+    ("workload", ValueKind::String),
+    ("n_series", ValueKind::Number),
+    ("n_cols", ValueKind::Number),
+    ("n_windows", ValueKind::Number),
+    ("hardware_threads", ValueKind::Number),
+    ("samples", ValueKind::Array),
+];
+
+/// Keys every entry of `samples` must carry.
+const SAMPLE_KEYS: [(&str, ValueKind); 5] = [
+    ("threads", ValueKind::Number),
+    ("prepare_ms", ValueKind::Object),
+    ("query_ms", ValueKind::Object),
+    ("skip_fraction", ValueKind::Number),
+    ("total_edges", ValueKind::Number),
+];
+
+/// Keys the `streaming_pivots` section must carry when present.
+const STREAMING_KEYS: [(&str, ValueKind); 8] = [
+    ("threads", ValueKind::Number),
+    ("open_ms", ValueKind::Object),
+    ("drain_ms", ValueKind::Object),
+    ("windows", ValueKind::Number),
+    ("skip_fraction", ValueKind::Number),
+    ("pruned_by_triangle", ValueKind::Number),
+    ("pairs_skipped_entirely", ValueKind::Number),
+    ("total_edges", ValueKind::Number),
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueKind {
+    String,
+    Number,
+    Array,
+    Object,
+}
+
+impl ValueKind {
+    fn matches(&self, first: char) -> bool {
+        match self {
+            ValueKind::String => first == '"',
+            ValueKind::Number => first.is_ascii_digit() || first == '-',
+            ValueKind::Array => first == '[',
+            ValueKind::Object => first == '{',
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ValueKind::String => "string",
+            ValueKind::Number => "number",
+            ValueKind::Array => "array",
+            ValueKind::Object => "object",
+        }
+    }
+}
+
+/// Validates a perf record against the `dangoron-bench-v1` schema.
+///
+/// `require_streaming` additionally demands the `streaming_pivots`
+/// section (records written before the streaming-pivots experiment lack
+/// it); when the section is present it is always checked.
+pub fn validate(json: &str, require_streaming: bool) -> Result<(), String> {
+    check_balance(json)?;
+    let schema =
+        string_value(json, "schema").ok_or_else(|| "missing \"schema\" tag".to_string())?;
+    if schema != "dangoron-bench-v1" {
+        return Err(format!("unknown schema {schema:?}"));
+    }
+    for (key, kind) in TOP_LEVEL_KEYS {
+        check_key(json, key, kind)?;
+    }
+    // At least one sample object, carrying every per-sample key.
+    let samples = after_key(json, "samples").expect("checked above");
+    if !samples.trim_start().starts_with("[")
+        || samples.trim_start()[1..].trim_start().starts_with(']')
+    {
+        return Err("\"samples\" must be a non-empty array".to_string());
+    }
+    for (key, kind) in SAMPLE_KEYS {
+        check_key(samples, key, kind)?;
+    }
+    match after_key(json, "streaming_pivots") {
+        Some(section) => {
+            // Confine the key checks to the section's own object — the
+            // later `samples` entries share key names (`skip_fraction`,
+            // `total_edges`) and must not satisfy them by accident.
+            let body = object_body(section)
+                .ok_or_else(|| "\"streaming_pivots\" must be an object".to_string())?;
+            for (key, kind) in STREAMING_KEYS {
+                check_key(body, key, kind)?;
+            }
+        }
+        None if require_streaming => {
+            return Err("missing required \"streaming_pivots\" section".to_string())
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+/// Everything after `"key":`, or `None` when the key never appears.
+fn after_key<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\":");
+    json.find(&marker).map(|at| &json[at + marker.len()..])
+}
+
+/// The string value of `"key": "…"`.
+fn string_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let rest = after_key(json, key)?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// The text of the object starting at the first non-space character of
+/// `rest` (which must be `{`), up to and including its matching `}`.
+fn object_body(rest: &str) -> Option<&str> {
+    let rest = rest.trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (at, c) in rest.char_indices() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..=at]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_key(json: &str, key: &str, kind: ValueKind) -> Result<(), String> {
+    let rest = after_key(json, key).ok_or_else(|| format!("missing key \"{key}\""))?;
+    let first = rest
+        .trim_start()
+        .chars()
+        .next()
+        .ok_or_else(|| format!("key \"{key}\" has no value"))?;
+    if !kind.matches(first) {
+        return Err(format!(
+            "key \"{key}\" should be a {}, found {first:?}",
+            kind.name()
+        ));
+    }
+    Ok(())
+}
+
+/// Brace/bracket balance outside string literals.
+fn check_balance(json: &str) -> Result<(), String> {
+    let (mut depth_obj, mut depth_arr) = (0i64, 0i64);
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err("unbalanced brackets".to_string());
+        }
+    }
+    if depth_obj != 0 || depth_arr != 0 || in_string {
+        return Err("unterminated object, array or string".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(streaming: bool) -> String {
+        let streaming_section = if streaming {
+            "\"streaming_pivots\": {\"threads\": 1, \
+             \"open_ms\": {\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}, \
+             \"drain_ms\": {\"median\": 2.0, \"min\": 2.0, \"max\": 2.0}, \
+             \"windows\": 3, \"skip_fraction\": 0.25, \"pruned_by_triangle\": 7, \
+             \"pairs_skipped_entirely\": 2, \"total_edges\": 9},"
+        } else {
+            ""
+        };
+        format!(
+            "{{\"schema\": \"dangoron-bench-v1\", \"workload\": \"w\", \
+             \"n_series\": 4, \"n_cols\": 100, \"n_windows\": 3, \
+             \"hardware_threads\": 1, {streaming_section} \
+             \"samples\": [{{\"threads\": 1, \
+             \"prepare_ms\": {{\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}}, \
+             \"query_ms\": {{\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}}, \
+             \"skip_fraction\": 0.5, \"total_edges\": 4}}]}}"
+        )
+    }
+
+    #[test]
+    fn accepts_valid_records() {
+        validate(&minimal(false), false).unwrap();
+        validate(&minimal(true), false).unwrap();
+        validate(&minimal(true), true).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_streaming_when_required() {
+        let err = validate(&minimal(false), true).unwrap_err();
+        assert!(err.contains("streaming_pivots"), "{err}");
+    }
+
+    #[test]
+    fn rejects_structural_damage() {
+        // Bad schema tag.
+        let bad = minimal(false).replace("dangoron-bench-v1", "v0");
+        assert!(validate(&bad, false).is_err());
+        // Dropped key.
+        let bad = minimal(false).replace("\"n_windows\": 3,", "");
+        assert!(validate(&bad, false).is_err());
+        // Wrong type.
+        let bad = minimal(false).replace("\"n_series\": 4", "\"n_series\": \"four\"");
+        assert!(validate(&bad, false).is_err());
+        // Unbalanced braces.
+        let full = minimal(false);
+        assert!(validate(&full[..full.len() - 1], false).is_err());
+        // Empty samples.
+        let bad = "{\"schema\": \"dangoron-bench-v1\", \"workload\": \"w\", \
+                   \"n_series\": 1, \"n_cols\": 1, \"n_windows\": 1, \
+                   \"hardware_threads\": 1, \"samples\": []}";
+        assert!(validate(bad, false).is_err());
+        // Damaged streaming section is caught even when not required.
+        let bad = minimal(true).replace("\"pruned_by_triangle\": 7,", "");
+        assert!(validate(&bad, false).is_err());
+    }
+
+    #[test]
+    fn streaming_keys_cannot_be_satisfied_by_samples() {
+        // `skip_fraction` and `total_edges` also appear in every samples
+        // entry; dropping them from the streaming section must still fail
+        // (the check is confined to the section's own object).
+        let bad = minimal(true)
+            .replace("\"skip_fraction\": 0.25, ", "")
+            .replace(
+                "\"pairs_skipped_entirely\": 2, \"total_edges\": 9",
+                "\"pairs_skipped_entirely\": 2",
+            );
+        let err = validate(&bad, true).unwrap_err();
+        assert!(
+            err.contains("skip_fraction") || err.contains("total_edges"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn real_emitter_output_validates() {
+        // The actual perf emitter and this validator must stay in sync.
+        use crate::perf::{PerfRecord, StreamingPerf, ThreadSample};
+        use eval::timing::TimingSummary;
+        use std::time::Duration;
+        let t = TimingSummary {
+            reps: 1,
+            median: Duration::from_millis(5),
+            min: Duration::from_millis(4),
+            max: Duration::from_millis(6),
+        };
+        let mut r = PerfRecord {
+            workload: "unit \"test\"".to_string(),
+            n_series: 4,
+            n_cols: 128,
+            n_windows: 5,
+            hardware_threads: 2,
+            samples: vec![ThreadSample {
+                threads: 1,
+                prepare: t,
+                query: t,
+                skip_fraction: 0.5,
+                total_edges: 10,
+            }],
+            streaming: None,
+        };
+        validate(&r.to_json(), false).unwrap();
+        assert!(validate(&r.to_json(), true).is_err());
+        r.streaming = Some(StreamingPerf {
+            threads: 2,
+            open: t,
+            drain: t,
+            windows: 5,
+            skip_fraction: 0.25,
+            pruned_by_triangle: 3,
+            pairs_skipped_entirely: 1,
+            total_edges: 10,
+        });
+        validate(&r.to_json(), true).unwrap();
+    }
+}

@@ -62,6 +62,29 @@ impl DepartureCost {
         Self { prefix }
     }
 
+    /// Extends a [`DepartureCost::from_correlations`] prefix with further
+    /// basic windows' correlations. The accumulation continues from the
+    /// stored tail, so an extended prefix is bit-identical to a fresh
+    /// build over the concatenated sequence — the streaming-session
+    /// maintenance path.
+    pub fn extend_from_correlations(&mut self, cs: impl Iterator<Item = Option<f64>>) {
+        let mut acc = *self.prefix.last().expect("prefix is never empty");
+        for c in cs {
+            acc += 1.0 - c.unwrap_or(0.0);
+            self.prefix.push(acc);
+        }
+    }
+
+    /// The [`DepartureCost::from_correlations_lower`] counterpart of
+    /// [`DepartureCost::extend_from_correlations`].
+    pub fn extend_from_correlations_lower(&mut self, cs: impl Iterator<Item = Option<f64>>) {
+        let mut acc = *self.prefix.last().expect("prefix is never empty");
+        for c in cs {
+            acc += 1.0 + c.unwrap_or(0.0);
+            self.prefix.push(acc);
+        }
+    }
+
     /// Number of basic windows covered.
     pub fn n_basic(&self) -> usize {
         self.prefix.len() - 1
@@ -236,6 +259,24 @@ mod tests {
         assert_eq!(dep.cost(3, 4), 1.0); // None → c = 0
         assert_eq!(dep.cost(0, 4), 3.5);
         assert_eq!(dep.cost(2, 2), 0.0);
+    }
+
+    #[test]
+    fn extended_prefix_is_bit_identical_to_fresh_build() {
+        let cs: Vec<Option<f64>> = vec![Some(0.9), Some(-0.3), None, Some(0.47), Some(0.99)];
+        let fresh = DepartureCost::from_correlations(cs.iter().cloned());
+        let mut grown = DepartureCost::from_correlations(cs[..2].iter().cloned());
+        grown.extend_from_correlations(cs[2..].iter().cloned());
+        assert_eq!(grown.n_basic(), fresh.n_basic());
+        for b in 0..=fresh.n_basic() {
+            assert_eq!(grown.cost(0, b).to_bits(), fresh.cost(0, b).to_bits());
+        }
+        let fresh = DepartureCost::from_correlations_lower(cs.iter().cloned());
+        let mut grown = DepartureCost::from_correlations_lower(cs[..3].iter().cloned());
+        grown.extend_from_correlations_lower(cs[3..].iter().cloned());
+        for b in 0..=fresh.n_basic() {
+            assert_eq!(grown.cost(0, b).to_bits(), fresh.cost(0, b).to_bits());
+        }
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub enum PivotStrategy {
 }
 
 /// Horizontal-pruning configuration.
+///
+/// Applies to both the batch engine (pivot table built in parallel during
+/// `prepare`) and streaming sessions (pivot table grown incrementally per
+/// append). The triangle bound is lossless, so enabling it never changes
+/// results — only how many cells are evaluated exactly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HorizontalConfig {
     /// Number of pivot series.

@@ -129,7 +129,15 @@ impl Dangoron {
         let pivots = match &self.config.horizontal {
             Some(h) => {
                 let chosen = select_pivots(&h.strategy, h.n_pivots, n)?;
-                Some(PivotSet::build(x, &store, &layout, &query, chosen)?)
+                Some(PivotSet::build(
+                    x,
+                    &store,
+                    &layout,
+                    &query,
+                    chosen,
+                    pairs.as_deref(),
+                    threads,
+                )?)
             }
             None => None,
         };
@@ -138,6 +146,7 @@ impl Dangoron {
             n_windows: query.n_windows(),
             ns: layout.windows_per_query(query.window),
             step_bw: query.step / layout.width,
+            offset_bw: 0,
         };
 
         Ok(Prepared {

@@ -6,12 +6,19 @@
 //! `c_xz·c_yz ± √((1−c_xz²)(1−c_yz²))`; pairs whose upper bound stays below
 //! `β` never need an exact evaluation. Unlike the Eq. 2 jump this bound is
 //! unconditional, so horizontal pruning never costs accuracy.
+//!
+//! The table is maintained *incrementally*: [`PivotSet::append_windows`]
+//! grows it window-by-window from already-updated sketches, which is what
+//! lets [`crate::streaming::StreamingDangoron`] apply horizontal pruning
+//! without ever rebuilding pivot state — the per-drain cost stays
+//! O(n_pivots · N · Δwindows).
 
 use crate::bounds::triangle_bounds;
 use crate::config::PivotStrategy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sketch::{combine, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery};
+use sketch::output::EdgeRule;
+use sketch::{combine, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery};
 use tsdata::{TimeSeriesMatrix, TsError};
 
 /// Pivot indices plus their per-window correlations to every series.
@@ -21,8 +28,9 @@ pub struct PivotSet {
     pub pivots: Vec<usize>,
     n_series: usize,
     n_windows: usize,
-    /// `corr[p][s·γ + w]` = corr(pivot p, series s) in window w;
-    /// `NaN` marks undefined (zero-variance) windows, which never prune.
+    /// `corr[p][w·N + s]` = corr(pivot p, series s) in window w, stored
+    /// window-major so new windows append at the end; `NaN` marks
+    /// undefined (zero-variance) windows, which never prune.
     corr: Vec<Vec<f64>>,
 }
 
@@ -39,15 +47,16 @@ pub fn select_pivots(
     let mut pivots = match strategy {
         PivotStrategy::Evenly => (0..k).map(|p| p * n_series / k).collect::<Vec<_>>(),
         PivotStrategy::Random { seed } => {
+            // Seeded partial Fisher–Yates: O(n_series) worst case, unlike
+            // rejection sampling which degrades as k → n_series.
             let mut rng = StdRng::seed_from_u64(*seed);
-            let mut chosen = Vec::with_capacity(k);
-            while chosen.len() < k {
-                let c = rng.gen_range(0..n_series);
-                if !chosen.contains(&c) {
-                    chosen.push(c);
-                }
+            let mut idx: Vec<usize> = (0..n_series).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n_series);
+                idx.swap(i, j);
             }
-            chosen
+            idx.truncate(k);
+            idx
         }
         PivotStrategy::Explicit(list) => {
             for &p in list {
@@ -70,40 +79,81 @@ pub fn select_pivots(
 }
 
 impl PivotSet {
-    /// Builds pivot-to-all correlations for every window.
+    /// An empty table (zero windows) — the starting point for sessions
+    /// that grow it via [`PivotSet::append_windows`].
+    pub fn empty(pivots: Vec<usize>, n_series: usize) -> Self {
+        let n_pivots = pivots.len();
+        Self {
+            pivots,
+            n_series,
+            n_windows: 0,
+            corr: vec![Vec::new(); n_pivots],
+        }
+    }
+
+    /// Builds pivot-to-all correlations for every window of `query`, with
+    /// `threads` workers stealing `(pivot, series)` cells.
     ///
-    /// Cost: `O(n_pivots · N · (L + γ))` — the linear-in-N part of the
-    /// horizontal pruning trade.
+    /// When the caller has already materialised all pair sketches (the
+    /// Precomputed storage mode), pass them as `pairs` (in
+    /// [`triangular::rank`] order) and the build skips the per-cell O(L)
+    /// sketch construction; otherwise each cell builds its own transient
+    /// sketch. Cost: `O(n_pivots · N · (L + γ) / threads)`.
     pub fn build(
         x: &TimeSeriesMatrix,
         store: &SketchStore,
         layout: &BasicWindowLayout,
         query: &SlidingQuery,
         pivots: Vec<usize>,
+        pairs: Option<&[PairSketch]>,
+        threads: usize,
     ) -> Result<Self, TsError> {
         let n = x.n_series();
         let n_windows = query.n_windows();
-        let mut corr = Vec::with_capacity(pivots.len());
-        for &z in &pivots {
-            let mut row = vec![f64::NAN; n * n_windows];
-            for s in 0..n {
-                if s == z {
-                    // corr(z, z) = 1 in every window.
-                    for w in 0..n_windows {
-                        row[s * n_windows + w] = 1.0;
-                    }
-                    continue;
-                }
-                let sketch = PairSketch::build(layout, x.row(z), x.row(s))?;
-                for w in 0..n_windows {
-                    let (ws, we) = query.window_range(w);
-                    let (b0, b1) = layout.window_to_basic(ws, we)?;
-                    row[s * n_windows + w] =
-                        combine::window_correlation(store, &sketch, z, s, b0, b1)
-                            .unwrap_or(f64::NAN);
-                }
+        // Precompute the basic-window range of every window once.
+        let mut ranges = Vec::with_capacity(n_windows);
+        for w in 0..n_windows {
+            let (ws, we) = query.window_range(w);
+            ranges.push(layout.window_to_basic(ws, we)?);
+        }
+
+        // One column of per-window correlations per (pivot, series) cell;
+        // cells are independent, so workers steal them.
+        let cells: Vec<Result<Vec<f64>, TsError>> =
+            exec::par_collect_chunks(pivots.len() * n, threads, 1, |range| {
+                range
+                    .map(|cell| {
+                        let (p, s) = (cell / n, cell % n);
+                        let z = pivots[p];
+                        if s == z {
+                            // corr(z, z) = 1 in every window.
+                            return Ok(vec![1.0; n_windows]);
+                        }
+                        let owned;
+                        let sketch: &PairSketch = match pairs {
+                            Some(all) => &all[triangular::rank(z.min(s), z.max(s), n)],
+                            None => {
+                                owned = PairSketch::build(layout, x.row(z), x.row(s))?;
+                                &owned
+                            }
+                        };
+                        Ok(ranges
+                            .iter()
+                            .map(|&(b0, b1)| {
+                                combine::window_correlation(store, sketch, z, s, b0, b1)
+                                    .unwrap_or(f64::NAN)
+                            })
+                            .collect())
+                    })
+                    .collect()
+            });
+
+        let mut corr = vec![vec![f64::NAN; n * n_windows]; pivots.len()];
+        for (cell, col) in cells.into_iter().enumerate() {
+            let (p, s) = (cell / n, cell % n);
+            for (w, v) in col?.into_iter().enumerate() {
+                corr[p][w * n + s] = v;
             }
-            corr.push(row);
         }
         Ok(Self {
             pivots,
@@ -111,6 +161,36 @@ impl PivotSet {
             n_windows,
             corr,
         })
+    }
+
+    /// Extends the table to cover `total_windows` windows, computing only
+    /// the new windows' pivot-to-all correlations. Window `w` spans basic
+    /// windows `[w·step_bw, w·step_bw + ns)`; `corr_of(z, s, b0, b1)`
+    /// supplies the exact correlation from the caller's (incrementally
+    /// updated) sketches, `NaN` when undefined.
+    ///
+    /// This is the streaming maintenance path: per append it costs
+    /// O(n_pivots · N · Δwindows) sketch combines and never rescans
+    /// history.
+    pub fn append_windows(
+        &mut self,
+        total_windows: usize,
+        ns: usize,
+        step_bw: usize,
+        corr_of: impl Fn(usize, usize, usize, usize) -> f64,
+    ) {
+        let n = self.n_series;
+        for w in self.n_windows..total_windows {
+            let (b0, b1) = (w * step_bw, w * step_bw + ns);
+            for (p, &z) in self.pivots.iter().enumerate() {
+                self.corr[p].reserve(n);
+                for s in 0..n {
+                    let v = if s == z { 1.0 } else { corr_of(z, s, b0, b1) };
+                    self.corr[p].push(v);
+                }
+            }
+        }
+        self.n_windows = self.n_windows.max(total_windows);
     }
 
     /// Number of windows covered.
@@ -123,6 +203,7 @@ impl PivotSet {
     /// undefined there or the pair involves a pivot-degenerate window.
     pub fn interval(&self, i: usize, j: usize, w: usize) -> (f64, f64) {
         debug_assert!(i < self.n_series && j < self.n_series && w < self.n_windows);
+        let base = w * self.n_series;
         let mut best_lo = -1.0f64;
         let mut best_hi = 1.0f64;
         for (p, row) in self.corr.iter().enumerate() {
@@ -132,8 +213,8 @@ impl PivotSet {
             if self.pivots[p] == i || self.pivots[p] == j {
                 continue;
             }
-            let c_iz = row[i * self.n_windows + w];
-            let c_jz = row[j * self.n_windows + w];
+            let c_iz = row[base + i];
+            let c_jz = row[base + j];
             if c_iz.is_nan() || c_jz.is_nan() {
                 continue;
             }
@@ -155,23 +236,31 @@ impl PivotSet {
         (0..self.n_windows).all(|w| self.upper_bound(i, j, w) < beta)
     }
 
-    /// Rule-aware pair-level prefilter: true when no window of the pair
-    /// can produce an edge under `rule` at `beta`.
-    pub fn pair_never_edges(
+    /// Rule-aware pair-level prefilter over windows `[w0, w1)`: true when
+    /// none of those windows can produce an edge under `rule` at `beta` —
+    /// the walk over that window range can be skipped wholesale.
+    pub fn pair_never_edges_in(
         &self,
         i: usize,
         j: usize,
         beta: f64,
-        rule: sketch::output::EdgeRule,
+        rule: EdgeRule,
+        w0: usize,
+        w1: usize,
     ) -> bool {
-        use sketch::output::EdgeRule;
-        (0..self.n_windows).all(|w| {
+        debug_assert!(w1 <= self.n_windows);
+        (w0..w1).all(|w| {
             let (lo, hi) = self.interval(i, j, w);
             match rule {
                 EdgeRule::Positive => hi < beta,
                 EdgeRule::Absolute => hi < beta && lo > -beta,
             }
         })
+    }
+
+    /// Rule-aware pair-level prefilter over **every** window.
+    pub fn pair_never_edges(&self, i: usize, j: usize, beta: f64, rule: EdgeRule) -> bool {
+        self.pair_never_edges_in(i, j, beta, rule, 0, self.n_windows)
     }
 }
 
@@ -201,6 +290,16 @@ mod tests {
         (x, store, layout, query)
     }
 
+    fn build(
+        x: &TimeSeriesMatrix,
+        store: &SketchStore,
+        layout: &BasicWindowLayout,
+        query: &SlidingQuery,
+        pivots: Vec<usize>,
+    ) -> PivotSet {
+        PivotSet::build(x, store, layout, query, pivots, None, 1).unwrap()
+    }
+
     #[test]
     fn select_evenly_and_random() {
         let p = select_pivots(&PivotStrategy::Evenly, 3, 12).unwrap();
@@ -219,6 +318,23 @@ mod tests {
     }
 
     #[test]
+    fn select_random_handles_k_near_n() {
+        // The old rejection sampler degenerated here; Fisher–Yates must
+        // return all indices, distinct, in O(n).
+        for n in [1usize, 2, 7, 50] {
+            let p = select_pivots(&PivotStrategy::Random { seed: 42 }, n, n).unwrap();
+            assert_eq!(p.len(), n, "n={n}");
+            assert_eq!(p, (0..n).collect::<Vec<_>>(), "sorted+deduped, n={n}");
+            // k = n − 1 is the classic worst case for rejection sampling.
+            if n > 1 {
+                let p = select_pivots(&PivotStrategy::Random { seed: 42 }, n - 1, n).unwrap();
+                assert_eq!(p.len(), n - 1);
+                assert!(p.windows(2).all(|w| w[0] < w[1]), "distinct, n={n}");
+            }
+        }
+    }
+
+    #[test]
     fn select_explicit_validates() {
         let p = select_pivots(&PivotStrategy::Explicit(vec![3, 1, 3]), 2, 5).unwrap();
         assert_eq!(p, vec![1, 3]); // sorted, deduped
@@ -228,22 +344,80 @@ mod tests {
     #[test]
     fn pivot_correlations_are_exact() {
         let (x, store, layout, query) = setup(6);
-        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0]).unwrap();
+        let pv = build(&x, &store, &layout, &query, vec![0]);
         // Check against direct computation for a few (series, window) cells.
         for s in 1..6 {
             for w in 0..query.n_windows() {
                 let (ws, we) = query.window_range(w);
                 let direct = tsdata::stats::pearson(&x.row(0)[ws..we], &x.row(s)[ws..we]).unwrap();
-                let stored = pv.corr[0][s * pv.n_windows + w];
+                let stored = pv.corr[0][w * pv.n_series + s];
                 assert!((direct - stored).abs() < 1e-9, "s={s} w={w}");
             }
         }
     }
 
     #[test]
+    fn parallel_build_is_bit_identical_and_reuses_pairs() {
+        let (x, store, layout, query) = setup(9);
+        let seq = build(&x, &store, &layout, &query, vec![0, 4]);
+        for threads in [2, 8] {
+            let par =
+                PivotSet::build(&x, &store, &layout, &query, vec![0, 4], None, threads).unwrap();
+            for (a, b) in seq.corr.iter().zip(&par.corr) {
+                assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "threads={threads}"
+                );
+            }
+        }
+        // Building from precomputed pair sketches gives the same table.
+        let pairs = sketch::pair::build_all(&layout, &x, 1).unwrap();
+        let reused =
+            PivotSet::build(&x, &store, &layout, &query, vec![0, 4], Some(&pairs), 2).unwrap();
+        for (a, b) in seq.corr.iter().zip(&reused.corr) {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn append_windows_matches_batch_build() {
+        // Growing the table window-by-window from sketches must reproduce
+        // the batch build exactly.
+        let (x, store, layout, query) = setup(8);
+        let batch = build(&x, &store, &layout, &query, vec![0, 4]);
+        let pairs = sketch::pair::build_all(&layout, &x, 1).unwrap();
+        let ns = layout.windows_per_query(query.window);
+        let step_bw = query.step / layout.width;
+
+        let mut grown = PivotSet::empty(vec![0, 4], 8);
+        // Two uneven growth steps.
+        for total in [2, query.n_windows()] {
+            grown.append_windows(total, ns, step_bw, |z, s, b0, b1| {
+                let p = &pairs[triangular::rank(z.min(s), z.max(s), 8)];
+                combine::window_correlation(&store, p, z, s, b0, b1).unwrap_or(f64::NAN)
+            });
+        }
+        assert_eq!(grown.n_windows(), batch.n_windows());
+        for (a, b) in grown.corr.iter().zip(&batch.corr) {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        // Idempotent when nothing new completes.
+        let before = grown.corr.clone();
+        grown.append_windows(query.n_windows(), ns, step_bw, |_, _, _, _| f64::NAN);
+        assert_eq!(before, grown.corr);
+    }
+
+    #[test]
     fn upper_bound_is_sound_everywhere() {
         let (x, store, layout, query) = setup(8);
-        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0, 4]).unwrap();
+        let pv = build(&x, &store, &layout, &query, vec![0, 4]);
         for i in 0..8 {
             for j in (i + 1)..8 {
                 for w in 0..query.n_windows() {
@@ -263,12 +437,18 @@ mod tests {
     #[test]
     fn pair_prefilter_agrees_with_bounds() {
         let (x, store, layout, query) = setup(8);
-        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0, 4]).unwrap();
+        let pv = build(&x, &store, &layout, &query, vec![0, 4]);
         for i in 0..8 {
             for j in (i + 1)..8 {
                 let all_below = pv.pair_always_below(i, j, 0.8);
                 let manual = (0..query.n_windows()).all(|w| pv.upper_bound(i, j, w) < 0.8);
                 assert_eq!(all_below, manual);
+                // The ranged prefilter over the full range agrees with the
+                // unranged one.
+                assert_eq!(
+                    pv.pair_never_edges(i, j, 0.8, EdgeRule::Positive),
+                    pv.pair_never_edges_in(i, j, 0.8, EdgeRule::Positive, 0, pv.n_windows())
+                );
             }
         }
     }
@@ -277,7 +457,7 @@ mod tests {
     fn pruning_actually_fires_on_clustered_data() {
         // Cross-cluster pairs should be prunable with in-cluster pivots.
         let (x, store, layout, query) = setup(10);
-        let pv = PivotSet::build(&x, &store, &layout, &query, vec![0, 1]).unwrap();
+        let pv = build(&x, &store, &layout, &query, vec![0, 1]);
         let pruned = (0..10)
             .flat_map(|i| ((i + 1)..10).map(move |j| (i, j)))
             .filter(|&(i, j)| pv.pair_always_below(i, j, 0.95))

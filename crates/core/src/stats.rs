@@ -8,6 +8,13 @@ use serde::{Deserialize, Serialize};
 pub const JUMP_BUCKETS: usize = 24;
 
 /// Counters describing how much work a query skipped.
+///
+/// Batch queries produce one record per run; streaming sessions merge
+/// every drain's per-worker counters into a cumulative record
+/// (`StreamingDangoron::stats`) and keep the latest drain separately
+/// (`last_drain_stats`). In the cumulative view `n_pairs` counts
+/// (pair, drain) encounters — each drain walks every pair over its new
+/// windows — so `total_cells` still sums to pairs × windows overall.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PruningStats {
     /// Pairs processed.

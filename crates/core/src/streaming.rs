@@ -3,37 +3,72 @@
 //!
 //! The problem statement's first challenge is "efficiency of network
 //! construction **and updates**". [`StreamingDangoron`] owns the growing
-//! history, maintains the basic-window sketch store incrementally
-//! (`SketchStore::append` / `PairSketch::append` touch only the new
-//! columns — history is never rescanned), and answers each
-//! [`StreamingDangoron::append`] with the thresholded matrices of every
-//! window that became complete.
+//! sketch state — per-series and per-pair prefixes plus, in jump mode,
+//! the Eq. 2 departure-cost prefixes — and maintains all of it
+//! incrementally (`SketchStore::append_tail` / `PairSketch::append_tail`
+//! / `extend_pair_costs` touch only the new columns — history is never
+//! rescanned), answering each [`StreamingDangoron::append`] with the
+//! thresholded matrices of every window that became complete.
+//!
+//! Both pruning mechanisms of the batch engine apply:
+//!
+//! * **vertical jumping** (Eq. 2) over each drain's window suffix, and
+//! * **horizontal (triangle) pruning** via an incrementally maintained
+//!   [`PivotSet`]: new windows' pivot-to-all correlations are extended
+//!   column-by-column from the already-updated sketches
+//!   ([`PivotSet::append_windows`]), so enabling
+//!   [`DangoronConfig::horizontal`] costs O(n_pivots · N · Δwindows) per
+//!   append — never a rebuild. The triangle bound is unconditional, so
+//!   streamed results stay bit-identical to the exhaustive batch engine.
+//!
+//! The walk itself is the batch walker ([`crate::walker::walk_pair`])
+//! shifted into the global window frame by [`WalkGeometry::offset_bw`]; no
+//! parallel streaming implementation exists. Raw history is evicted as
+//! soon as it is absorbed into the sketch prefixes, so a long-lived
+//! session holds O(N·n_b) sketch state plus less than one basic window of
+//! raw columns — not the full stream.
 
+use crate::bounds::PairCosts;
 use crate::config::{BoundMode, DangoronConfig};
+use crate::pivot::{select_pivots, PivotSet};
 use crate::stats::PruningStats;
-use crate::walker::{pair_costs, WalkGeometry};
+use crate::walker::{extend_pair_costs, pair_costs, walk_pair, WalkGeometry};
 use sketch::output::Edge;
 use sketch::{
-    pair, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix,
+    combine, pair, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery,
+    ThresholdedMatrix,
 };
 use tsdata::{TimeSeriesMatrix, TsError};
 
 /// A long-lived streaming session.
 ///
 /// Restrictions relative to the batch engine: pair sketches are always
-/// materialised (the streaming state *is* the precomputed sketch set), and
-/// horizontal pruning is not applied (pivot tables are per-query; a
-/// streaming variant would rebuild them each step for little gain).
+/// materialised (the streaming state *is* the precomputed sketch set).
+/// Horizontal pruning is supported — the pivot table is grown
+/// incrementally alongside the sketches.
 pub struct StreamingDangoron {
     config: DangoronConfig,
     window: usize,
     step: usize,
     threshold: f64,
-    data: TimeSeriesMatrix,
+    n_series: usize,
+    /// Raw columns not yet absorbed into the sketches: global indices
+    /// `[tail_start, tail_start + len)`. `None` ⇔ nothing retained.
+    /// Invariant: `tail_start + len == total_cols`, and after every
+    /// append `len < basic_window` (absorbed history is evicted).
+    tail: Option<TimeSeriesMatrix>,
+    tail_start: usize,
+    total_cols: usize,
     store: SketchStore,
     pairs: Vec<PairSketch>,
-    /// Departure costs are extended lazily: rebuilt per emission batch
-    /// from the (cheap) per-basic-window correlations of the whole layout.
+    /// Per-pair Eq. 2 departure-cost prefixes, maintained incrementally
+    /// alongside the pair sketches; empty unless the bound mode jumps.
+    deps: Vec<PairCosts>,
+    pivots: Option<PivotSet>,
+    /// Cumulative pruning counters across all drains.
+    stats: PruningStats,
+    /// Counters of the most recent non-empty drain.
+    last_drain_stats: PruningStats,
     emitted_windows: usize,
 }
 
@@ -60,11 +95,6 @@ impl StreamingDangoron {
         config: DangoronConfig,
     ) -> Result<Self, TsError> {
         config.validate()?;
-        if config.horizontal.is_some() {
-            return Err(TsError::InvalidParameter(
-                "horizontal pruning is not supported in streaming sessions".into(),
-            ));
-        }
         let b = config.basic_window;
         if window < 2 || !window.is_multiple_of(b) {
             return Err(TsError::InvalidParameter(format!(
@@ -81,11 +111,6 @@ impl StreamingDangoron {
                 "threshold must be in [-1, 1], got {threshold}"
             )));
         }
-        // Cover whatever full basic windows already exist; the layout must
-        // exist even before a full window of data has arrived, so cover at
-        // least one basic window lazily by padding the wait: if not even
-        // one basic window fits, defer the build with an empty cover over
-        // the first width columns once they arrive.
         if initial.len() < b {
             return Err(TsError::TooShort {
                 need: b,
@@ -95,16 +120,56 @@ impl StreamingDangoron {
         let layout = BasicWindowLayout::cover(0, initial.len(), b)?;
         let store = SketchStore::build_with_threads(&initial, layout, config.threads)?;
         let pairs = pair::build_all(&layout, &initial, config.threads)?;
-        Ok(Self {
+        let n = initial.n_series();
+        let total_cols = initial.len();
+
+        // Jump mode: precompute the Eq. 2 cost prefixes once; appends
+        // extend them from the new basic windows only.
+        let deps = if matches!(config.bound, BoundMode::PaperJump { .. }) {
+            let rule = config.edge_rule;
+            exec::par_collect_chunks(pairs.len(), config.threads, 16, |range| {
+                range
+                    .map(|p| {
+                        let (i, j) = triangular::unrank(p, n);
+                        pair_costs(&store, &pairs[p], i, j, rule)
+                    })
+                    .collect()
+            })
+        } else {
+            Vec::new()
+        };
+
+        // Keep only the raw columns the sketches have not absorbed yet.
+        let covered = store.layout().end();
+        let (tail, tail_start) = if covered < total_cols {
+            (Some(initial.slice_columns(covered, total_cols)?), covered)
+        } else {
+            (None, total_cols)
+        };
+
+        let mut session = Self {
             config,
             window,
             step,
             threshold,
-            data: initial,
+            n_series: n,
+            tail,
+            tail_start,
+            total_cols,
             store,
             pairs,
+            deps,
+            pivots: None,
+            stats: PruningStats::default(),
+            last_drain_stats: PruningStats::default(),
             emitted_windows: 0,
-        })
+        };
+        if let Some(h) = &session.config.horizontal {
+            let chosen = select_pivots(&h.strategy, h.n_pivots, n)?;
+            session.pivots = Some(PivotSet::empty(chosen, n));
+            session.extend_pivots();
+        }
+        Ok(session)
     }
 
     /// Number of windows fully contained in the current history.
@@ -117,9 +182,17 @@ impl StreamingDangoron {
         }
     }
 
-    /// Current history length in columns.
+    /// Raw columns currently buffered — only the (partial basic window)
+    /// tail the sketches have not absorbed yet, so this stays below
+    /// `basic_window` no matter how much data has streamed through.
     pub fn history_len(&self) -> usize {
-        self.data.len()
+        self.tail.as_ref().map_or(0, |t| t.len())
+    }
+
+    /// Total columns ingested since the session opened (the length of the
+    /// equivalent batch history, including any evicted raw columns).
+    pub fn ingested_cols(&self) -> usize {
+        self.total_cols
     }
 
     /// Windows already emitted.
@@ -127,28 +200,95 @@ impl StreamingDangoron {
         self.emitted_windows
     }
 
+    /// Cumulative pruning counters across every drain so far.
+    pub fn stats(&self) -> &PruningStats {
+        &self.stats
+    }
+
+    /// Pruning counters of the most recent drain that walked new windows.
+    pub fn last_drain_stats(&self) -> &PruningStats {
+        &self.last_drain_stats
+    }
+
     /// Ingests new columns and returns every window that became complete,
-    /// in order. Sketches are extended incrementally (only the new columns
-    /// are read); the walk runs only over the new windows.
+    /// in order. Sketches and the pivot table are extended incrementally
+    /// (only the new columns are read); the walk runs only over the new
+    /// windows.
     pub fn append(&mut self, new_cols: &TimeSeriesMatrix) -> Result<Vec<CompletedWindow>, TsError> {
-        self.data.append_columns(new_cols)?;
-        self.store.append(&self.data)?;
+        if new_cols.n_series() != self.n_series {
+            return Err(TsError::DimensionMismatch {
+                expected: self.n_series,
+                found: new_cols.n_series(),
+            });
+        }
+        match &mut self.tail {
+            Some(t) => t.append_columns(new_cols)?,
+            None => self.tail = Some(new_cols.clone()),
+        }
+        self.total_cols += new_cols.len();
+        let tail = self.tail.as_ref().expect("tail was just filled");
+        self.store.append_tail(tail, self.tail_start)?;
         let layout = *self.store.layout();
-        let n = self.data.n_series();
+        let n = self.n_series;
         // Every pair ingests the same Δ columns — uniform cost — so static
         // per-worker slices are the right schedule here (no stealing
-        // overhead). The preconditions of `PairSketch::append` hold by
-        // construction once `store.append` succeeded: all rows share the
-        // grown length and the layout only ever grows.
-        let data = &self.data;
+        // overhead). The preconditions of `PairSketch::append_tail` hold
+        // by construction once `store.append_tail` succeeded: all rows
+        // share the grown length and the layout only ever grows.
         exec::par_chunks_mut(&mut self.pairs, self.config.threads, |offset, piece| {
             for (k, pair) in piece.iter_mut().enumerate() {
                 let (i, j) = triangular::unrank(offset + k, n);
-                pair.append(&layout, data.row(i), data.row(j))
+                pair.append_tail(&layout, tail.row(i), tail.row(j), self.tail_start)
                     .expect("pair/store layouts kept in lockstep");
             }
         });
+        // Jump mode: extend the Eq. 2 cost prefixes over the new basic
+        // windows only (an extended prefix is bit-identical to a fresh
+        // build, so drains keep matching the batch engine).
+        let (store, pairs) = (&self.store, &self.pairs);
+        exec::par_chunks_mut(&mut self.deps, self.config.threads, |offset, piece| {
+            for (k, costs) in piece.iter_mut().enumerate() {
+                let (i, j) = triangular::unrank(offset + k, n);
+                extend_pair_costs(costs, store, &pairs[offset + k], i, j);
+            }
+        });
+        self.extend_pivots();
+        self.evict_absorbed();
         self.drain_completed()
+    }
+
+    /// Grows the pivot table to cover every currently available window,
+    /// reading correlations straight from the session's own sketches.
+    fn extend_pivots(&mut self) {
+        let total = self.available_windows();
+        let (ns, step_bw) = (
+            self.window / self.config.basic_window,
+            self.step / self.config.basic_window,
+        );
+        let (pairs, store, n) = (&self.pairs, &self.store, self.n_series);
+        if let Some(pv) = &mut self.pivots {
+            pv.append_windows(total, ns, step_bw, |z, s, b0, b1| {
+                let p = &pairs[triangular::rank(z.min(s), z.max(s), n)];
+                combine::window_correlation(store, p, z, s, b0, b1).unwrap_or(f64::NAN)
+            });
+        }
+    }
+
+    /// Drops raw columns the sketch prefixes have absorbed; global column
+    /// indices stay stable because the layout keeps its origin.
+    fn evict_absorbed(&mut self) {
+        let covered = self.store.layout().end();
+        if covered <= self.tail_start {
+            return;
+        }
+        self.tail = match self.tail.take() {
+            Some(t) if covered < self.tail_start + t.len() => Some(
+                t.slice_columns(covered - self.tail_start, t.len())
+                    .expect("non-empty remainder"),
+            ),
+            _ => None,
+        };
+        self.tail_start = covered.min(self.total_cols);
     }
 
     /// Emits any already-complete windows that have not been emitted yet
@@ -159,21 +299,24 @@ impl StreamingDangoron {
             return Ok(Vec::new());
         }
         let first_new = self.emitted_windows;
-        let n = self.data.n_series();
+        let n = self.n_series;
         let b = self.config.basic_window;
         let ns = self.window / b;
         let step_bw = self.step / b;
         let n_new = total - first_new;
 
-        // Walk only the new suffix: a geometry whose window 0 is global
-        // window `first_new`.
+        // Walk only the new suffix with the shared batch walker: a
+        // geometry whose local window 0 sits at global window `first_new`.
         let geo = WalkGeometry {
             n_windows: n_new,
             ns,
             step_bw,
+            offset_bw: first_new * step_bw,
         };
-        let offset_bw = first_new * step_bw;
         let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
+        let beta = self.threshold;
+        let rule = self.config.edge_rule;
+        let pivots = self.pivots.as_ref();
 
         // Same executor as the batch engine: workers steal pair chunks,
         // accumulate flat (window, edge) buffers, merged lock-free and
@@ -187,38 +330,57 @@ impl StreamingDangoron {
             |(buf, stats), range| {
                 for p in range {
                     let (i, j) = triangular::unrank(p, n);
+                    // Pair-level wholesale prefilter: when no new window of
+                    // this pair can produce an edge, skip its walk entirely.
+                    if let Some(pv) = pivots {
+                        if pv.pair_never_edges_in(i, j, beta, rule, first_new, total) {
+                            stats.n_pairs += 1;
+                            stats.total_cells += n_new as u64;
+                            stats.pairs_skipped_entirely += 1;
+                            continue;
+                        }
+                    }
                     let pair = &self.pairs[p];
-                    let dep = need_dep
-                        .then(|| pair_costs(&self.store, pair, i, j, self.config.edge_rule));
-                    // Shift the walk into the global basic-window frame by
-                    // walking a sub-geometry against a shifted first window.
-                    walk_shifted(
+                    let dep = need_dep.then(|| &self.deps[p]);
+                    walk_pair(
                         &self.store,
                         pair,
                         i,
                         j,
                         geo,
-                        offset_bw,
-                        self.threshold,
-                        &self.config,
-                        dep.as_ref(),
+                        beta,
+                        rule,
+                        self.config.bound,
+                        dep,
+                        pivots,
                         stats,
-                        buf,
+                        |w, v| {
+                            buf.push((
+                                w as u32,
+                                Edge {
+                                    i: i as u32,
+                                    j: j as u32,
+                                    value: v,
+                                },
+                            ))
+                        },
                     );
                 }
             },
         );
-        let mut flat = Vec::new();
-        for (buf, _stats) in worker_out {
+        // Merge the per-worker counters (previously discarded) exactly
+        // like the batch engine does, keeping both the per-drain view and
+        // the session-cumulative one.
+        let mut drain_stats = PruningStats::default();
+        let total_edges: usize = worker_out.iter().map(|(buf, _)| buf.len()).sum();
+        let mut flat = Vec::with_capacity(total_edges);
+        for (buf, s) in worker_out {
+            drain_stats.merge(&s);
             flat.extend(buf);
         }
-        let matrices = ThresholdedMatrix::assemble_windows(
-            n,
-            self.threshold,
-            self.config.edge_rule,
-            n_new,
-            flat,
-        );
+        self.stats.merge(&drain_stats);
+        self.last_drain_stats = drain_stats;
+        let matrices = ThresholdedMatrix::assemble_windows(n, self.threshold, rule, n_new, flat);
         let out = matrices
             .into_iter()
             .enumerate()
@@ -244,117 +406,10 @@ impl StreamingDangoron {
     }
 }
 
-/// Walks a suffix of windows whose basic-window frame starts at
-/// `offset_bw`, reusing the standard walker on a shifted pair view.
-#[allow(clippy::too_many_arguments)]
-fn walk_shifted(
-    store: &SketchStore,
-    pair: &PairSketch,
-    i: usize,
-    j: usize,
-    geo: WalkGeometry,
-    offset_bw: usize,
-    beta: f64,
-    config: &DangoronConfig,
-    dep: Option<&crate::bounds::PairCosts>,
-    stats: &mut PruningStats,
-    buf: &mut Vec<(u32, Edge)>,
-) {
-    // The standard walker indexes basic windows as w·step_bw; emulate the
-    // shift by walking with an offset geometry: window w here is global
-    // window w + offset_bw/step_bw, so its first basic window is
-    // offset_bw + w·step_bw. The walker's `first_bw` has no offset, so we
-    // use a local closure-based re-implementation kept in lockstep with
-    // `walker::walk_pair` semantics via the shared bound/evaluation calls.
-    let shifted_geo = ShiftedGeometry { geo, offset_bw };
-    let mut w = 0usize;
-    stats.n_pairs += 1;
-    stats.total_cells += geo.n_windows as u64;
-    while w < geo.n_windows {
-        let (b0, b1) = shifted_geo.bw_range(w);
-        stats.evaluated += 1;
-        let corr = match sketch::combine::window_correlation(store, pair, i, j, b0, b1) {
-            Ok(c) => c,
-            Err(_) => {
-                w += 1;
-                continue;
-            }
-        };
-        if config.edge_rule.keeps(corr, beta) {
-            stats.edges += 1;
-            buf.push((
-                w as u32,
-                Edge {
-                    i: i as u32,
-                    j: j as u32,
-                    value: corr,
-                },
-            ));
-            w += 1;
-            continue;
-        }
-        match config.bound {
-            BoundMode::Exhaustive => w += 1,
-            BoundMode::PaperJump { slack } => {
-                let dep = dep.expect("PaperJump requires departure costs");
-                let k_max = geo.n_windows - 1 - w;
-                let k = match config.edge_rule {
-                    sketch::output::EdgeRule::Positive => crate::bounds::max_jump(
-                        corr,
-                        beta,
-                        slack,
-                        geo.ns,
-                        geo.step_bw,
-                        shifted_geo.first_bw(w),
-                        k_max,
-                        &dep.upper,
-                    ),
-                    sketch::output::EdgeRule::Absolute => crate::bounds::max_jump_absolute(
-                        corr,
-                        corr,
-                        beta,
-                        slack,
-                        geo.ns,
-                        geo.step_bw,
-                        shifted_geo.first_bw(w),
-                        k_max,
-                        &dep.upper,
-                        dep.lower.as_ref().expect("absolute rule needs lower costs"),
-                    ),
-                };
-                if k == 0 {
-                    w += 1;
-                } else {
-                    stats.record_jump(k);
-                    w += k + 1;
-                }
-            }
-        }
-    }
-}
-
-#[derive(Clone, Copy)]
-struct ShiftedGeometry {
-    geo: WalkGeometry,
-    offset_bw: usize,
-}
-
-impl ShiftedGeometry {
-    #[inline]
-    fn first_bw(&self, w: usize) -> usize {
-        self.offset_bw + w * self.geo.step_bw
-    }
-
-    #[inline]
-    fn bw_range(&self, w: usize) -> (usize, usize) {
-        let b0 = self.first_bw(w);
-        (b0, b0 + self.geo.ns)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{HorizontalConfig, PivotStrategy};
     use crate::engine::Dangoron;
     use tsdata::generators;
 
@@ -366,13 +421,30 @@ mod tests {
         }
     }
 
+    fn config_with_pivots(bound: BoundMode, n_pivots: usize) -> DangoronConfig {
+        DangoronConfig {
+            horizontal: Some(HorizontalConfig {
+                n_pivots,
+                strategy: PivotStrategy::Evenly,
+            }),
+            ..config(bound)
+        }
+    }
+
     fn assert_same_windows(streamed: &[CompletedWindow], batch: &[ThresholdedMatrix]) {
         for cw in streamed {
             let b = &batch[cw.index];
             assert_eq!(cw.matrix.n_edges(), b.n_edges(), "window {}", cw.index);
             for (ea, eb) in cw.matrix.edges().iter().zip(b.edges()) {
                 assert_eq!((ea.i, ea.j), (eb.i, eb.j));
-                assert!((ea.value - eb.value).abs() < 1e-9);
+                assert_eq!(
+                    ea.value.to_bits(),
+                    eb.value.to_bits(),
+                    "window {} edge ({}, {})",
+                    cw.index,
+                    ea.i,
+                    ea.j
+                );
             }
         }
     }
@@ -396,6 +468,101 @@ mod tests {
         assert_eq!(idxs, expected);
 
         // And equal to the batch engine over the full history.
+        let engine = Dangoron::new(config(BoundMode::Exhaustive)).unwrap();
+        let batch = engine.execute(&full, session.batch_query()).unwrap();
+        assert_eq!(collected.len(), batch.matrices.len());
+        assert_same_windows(&collected, &batch.matrices);
+    }
+
+    #[test]
+    fn streaming_with_pivots_matches_batch_exhaustive() {
+        // Horizontal pruning is lossless: with pivots enabled the streamed
+        // windows must still be bit-identical to the exhaustive batch
+        // truth, while the triangle counter actually fires.
+        let full = generators::clustered_matrix(10, 400, 2, 0.4, 11).unwrap();
+        let initial = full.slice_columns(0, 150).unwrap();
+        let mut session = StreamingDangoron::new(
+            initial,
+            80,
+            20,
+            0.9,
+            config_with_pivots(BoundMode::Exhaustive, 2),
+        )
+        .unwrap();
+        let mut collected = session.drain_completed().unwrap();
+        for (a, b) in [(150usize, 163usize), (163, 240), (240, 400)] {
+            let chunk = full.slice_columns(a, b).unwrap();
+            collected.extend(session.append(&chunk).unwrap());
+        }
+        let engine = Dangoron::new(config(BoundMode::Exhaustive)).unwrap();
+        let batch = engine.execute(&full, session.batch_query()).unwrap();
+        assert_eq!(collected.len(), batch.matrices.len());
+        assert_same_windows(&collected, &batch.matrices);
+        let s = session.stats();
+        assert!(
+            s.pruned_by_triangle > 0 || s.pairs_skipped_entirely > 0,
+            "horizontal pruning never fired on clustered data: {s:?}"
+        );
+    }
+
+    #[test]
+    fn streaming_stats_accumulate_across_drains() {
+        let full = generators::clustered_matrix(8, 400, 2, 0.5, 3).unwrap();
+        let initial = full.slice_columns(0, 150).unwrap();
+        let mut session =
+            StreamingDangoron::new(initial, 80, 20, 0.7, config(BoundMode::Exhaustive)).unwrap();
+        let mut collected = session.drain_completed().unwrap();
+        let after_open = session.stats().clone();
+        assert!(after_open.n_pairs > 0, "first drain recorded nothing");
+        for (a, b) in [(150usize, 250usize), (250, 400)] {
+            let chunk = full.slice_columns(a, b).unwrap();
+            collected.extend(session.append(&chunk).unwrap());
+        }
+        let s = session.stats();
+        let n_pairs = 8 * 7 / 2;
+        let total_windows = session.available_windows();
+        // Cumulative accounting: every (pair, new-window) cell of every
+        // drain is recorded exactly once.
+        assert_eq!(s.total_cells, (n_pairs * total_windows) as u64);
+        assert_eq!(s.evaluated, s.total_cells, "exhaustive without pivots");
+        assert_eq!(
+            s.edges,
+            collected
+                .iter()
+                .map(|c| c.matrix.n_edges() as u64)
+                .sum::<u64>()
+        );
+        // The last-drain view is a component of the cumulative one.
+        assert!(session.last_drain_stats().total_cells <= s.total_cells);
+        assert!(session.last_drain_stats().total_cells > 0);
+    }
+
+    #[test]
+    fn raw_history_is_evicted() {
+        // Raw columns must be dropped once absorbed into the sketches:
+        // the buffered history stays below one basic window while the
+        // ingested total keeps growing — and the emitted networks still
+        // match the batch engine over the full history.
+        let full = generators::clustered_matrix(6, 600, 2, 0.5, 5).unwrap();
+        let initial = full.slice_columns(0, 100).unwrap();
+        let mut session =
+            StreamingDangoron::new(initial, 80, 20, 0.7, config(BoundMode::Exhaustive)).unwrap();
+        assert!(session.history_len() < 10, "open did not evict");
+        let mut collected = session.drain_completed().unwrap();
+        let mut t = 100;
+        for chunk_len in [7usize, 23, 40, 104, 13, 96, 200, 17] {
+            let chunk = full.slice_columns(t, t + chunk_len).unwrap();
+            collected.extend(session.append(&chunk).unwrap());
+            t += chunk_len;
+            assert!(
+                session.history_len() < 10,
+                "retained {} raw columns after ingesting {}",
+                session.history_len(),
+                session.ingested_cols()
+            );
+            assert_eq!(session.ingested_cols(), t);
+        }
+        assert_eq!(t, 600);
         let engine = Dangoron::new(config(BoundMode::Exhaustive)).unwrap();
         let batch = engine.execute(&full, session.batch_query()).unwrap();
         assert_eq!(collected.len(), batch.matrices.len());
@@ -484,13 +651,14 @@ mod tests {
         assert!(
             StreamingDangoron::new(x.clone(), 80, 15, 0.5, config(BoundMode::Exhaustive)).is_err()
         );
-        // Horizontal pruning unsupported.
-        let mut c = config(BoundMode::Exhaustive);
-        c.horizontal = Some(crate::config::HorizontalConfig {
-            n_pivots: 1,
-            strategy: crate::config::PivotStrategy::Evenly,
-        });
-        assert!(StreamingDangoron::new(x.clone(), 80, 20, 0.5, c).is_err());
+        // Horizontal pruning is supported in sessions.
+        let c = config_with_pivots(BoundMode::Exhaustive, 1);
+        assert!(StreamingDangoron::new(x.clone(), 80, 20, 0.5, c).is_ok());
+        // Mismatched series count on append is rejected.
+        let mut session =
+            StreamingDangoron::new(x.clone(), 80, 20, 0.5, config(BoundMode::Exhaustive)).unwrap();
+        let other = generators::clustered_matrix(3, 40, 1, 0.5, 1).unwrap();
+        assert!(session.append(&other).is_err());
         // Too little initial data.
         let tiny = x.slice_columns(0, 5).unwrap();
         assert!(StreamingDangoron::new(tiny, 80, 20, 0.5, config(BoundMode::Exhaustive)).is_err());

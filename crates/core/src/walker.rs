@@ -17,28 +17,43 @@ use sketch::output::EdgeRule;
 use sketch::{combine, PairSketch, SketchStore};
 
 /// Window-to-basic-window geometry shared by every pair of a query.
+///
+/// `offset_bw` shifts the whole walk into a global basic-window frame:
+/// batch queries walk from the layout origin (`offset_bw = 0`), while a
+/// streaming drain walks only the suffix of newly completed windows
+/// (`offset_bw = first_new_window · step_bw`). One walker serves both.
 #[derive(Debug, Clone, Copy)]
 pub struct WalkGeometry {
-    /// Number of sliding windows (`γ + 1`).
+    /// Number of sliding windows to walk (`γ + 1`, or the suffix length).
     pub n_windows: usize,
     /// Basic windows per query window (`n_s`).
     pub ns: usize,
     /// Basic windows departed per slide (`η / B`).
     pub step_bw: usize,
+    /// Basic-window index of local window 0 — a multiple of `step_bw`.
+    pub offset_bw: usize,
 }
 
 impl WalkGeometry {
-    /// First basic-window index of window `w`.
+    /// First basic-window index of (local) window `w`.
     #[inline]
     pub fn first_bw(&self, w: usize) -> usize {
-        w * self.step_bw
+        self.offset_bw + w * self.step_bw
     }
 
-    /// Basic-window range `[b0, b1)` of window `w`.
+    /// Basic-window range `[b0, b1)` of (local) window `w`.
     #[inline]
     pub fn bw_range(&self, w: usize) -> (usize, usize) {
         let b0 = self.first_bw(w);
         (b0, b0 + self.ns)
+    }
+
+    /// Global window index of local window `w` — the index pivot tables
+    /// and emitted matrices are keyed by.
+    #[inline]
+    pub fn global_window(&self, w: usize) -> usize {
+        debug_assert!(self.offset_bw.is_multiple_of(self.step_bw));
+        self.offset_bw / self.step_bw + w
     }
 }
 
@@ -65,6 +80,28 @@ pub fn pair_costs(
         )
     });
     PairCosts { upper, lower }
+}
+
+/// Extends stored [`PairCosts`] to cover the store's current basic-window
+/// count, reading only the new windows' correlations — the streaming
+/// maintenance path (bit-identical to a fresh [`pair_costs`] build).
+pub fn extend_pair_costs(
+    costs: &mut PairCosts,
+    store: &SketchStore,
+    pair: &PairSketch,
+    i: usize,
+    j: usize,
+) {
+    let from = costs.upper.n_basic();
+    let nb = store.layout().count;
+    costs
+        .upper
+        .extend_from_correlations((from..nb).map(|b| pair.basic_correlation(store, i, j, b)));
+    if let Some(lower) = &mut costs.lower {
+        lower.extend_from_correlations_lower(
+            (from..nb).map(|b| pair.basic_correlation(store, i, j, b)),
+        );
+    }
 }
 
 /// Walks all windows of one pair, calling `emit(window, value)` for every
@@ -94,7 +131,7 @@ pub fn walk_pair(
         // settles the window without an exact combine.
         let mut bracket: Option<(f64, f64)> = None; // (lo, hi) on c_ij
         if let Some(pv) = pivots {
-            let (lo, hi) = pv.interval(i, j, w);
+            let (lo, hi) = pv.interval(i, j, geo.global_window(w));
             let settled = match rule {
                 EdgeRule::Positive => hi < beta,
                 EdgeRule::Absolute => hi < beta && lo > -beta,
@@ -201,6 +238,7 @@ mod tests {
             n_windows: query.n_windows(),
             ns: layout.windows_per_query(query.window),
             step_bw: query.step / layout.width,
+            offset_bw: 0,
         };
         Fixture {
             x,
@@ -357,6 +395,7 @@ mod tests {
             n_windows: query.n_windows(),
             ns: 2,
             step_bw: 1,
+            offset_bw: 0,
         };
         let dep = pair_costs(&store, &pair, 0, 1, EdgeRule::Positive);
         let mut stats = PruningStats::default();
@@ -377,6 +416,57 @@ mod tests {
         );
         assert_eq!(emitted, 0);
         assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn offset_walk_equals_suffix_of_full_walk() {
+        // The streaming drain walks only new windows via `offset_bw`; its
+        // emissions must be exactly the full walk's, shifted. (Exhaustive
+        // mode: jump state does not carry across the suffix boundary.)
+        let f = fixture(0.85, 0.8);
+        let mut full = Vec::new();
+        let mut stats = PruningStats::default();
+        walk_pair(
+            &f.store,
+            &f.pair,
+            0,
+            1,
+            f.geo,
+            0.8,
+            EdgeRule::Positive,
+            BoundMode::Exhaustive,
+            None,
+            None,
+            &mut stats,
+            |w, v| full.push((w, v)),
+        );
+        for skip in [1usize, 3, 7] {
+            let geo = WalkGeometry {
+                n_windows: f.geo.n_windows - skip,
+                offset_bw: skip * f.geo.step_bw,
+                ..f.geo
+            };
+            assert_eq!(geo.global_window(0), skip);
+            let mut got = Vec::new();
+            let mut stats = PruningStats::default();
+            walk_pair(
+                &f.store,
+                &f.pair,
+                0,
+                1,
+                geo,
+                0.8,
+                EdgeRule::Positive,
+                BoundMode::Exhaustive,
+                None,
+                None,
+                &mut stats,
+                |w, v| got.push((w + skip, v)),
+            );
+            let expected: Vec<(usize, f64)> =
+                full.iter().filter(|(w, _)| *w >= skip).cloned().collect();
+            assert_eq!(got, expected, "skip={skip}");
+        }
     }
 
     #[test]

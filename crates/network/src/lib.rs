@@ -9,7 +9,7 @@
 //! * [`degree`] — degree sequences and distributions;
 //! * [`clustering`] — local/global clustering coefficients;
 //! * [`temporal`] — dynamics across the window sequence: edge stability,
-//!   "blinking links" (the El Niño signature of Gozolchiani et al. [3]),
+//!   "blinking links" (the El Niño signature of Gozolchiani et al. \[3\]),
 //!   and per-window summary series.
 
 pub mod clustering;

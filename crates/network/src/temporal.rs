@@ -1,7 +1,7 @@
 //! Temporal dynamics across the sliding-window network sequence.
 //!
 //! The climate-network literature the paper motivates with (Gozolchiani et
-//! al. [3]) studies how edges appear and disappear across windows —
+//! al. \[3\]) studies how edges appear and disappear across windows —
 //! "blinking links" track El Niño events. This module computes per-edge
 //! lifetimes, stability, blink counts, and per-window summary series over
 //! a `Vec<ThresholdedMatrix>` (the engine's output).

@@ -66,16 +66,31 @@ impl PairSketch {
         x: &[f64],
         y: &[f64],
     ) -> Result<usize, TsError> {
-        if x.len() != y.len() {
+        self.append_tail(layout, x, y, 0)
+    }
+
+    /// [`PairSketch::append`] from *tail* slices: `x_tail`/`y_tail` hold
+    /// only the columns from global index `tail_start` onward, so callers
+    /// that evict absorbed raw history can still extend the sketch. Every
+    /// new basic window of `layout` must lie within the tail
+    /// (`tail_start ≤` the first new window's start column).
+    pub fn append_tail(
+        &mut self,
+        layout: &BasicWindowLayout,
+        x_tail: &[f64],
+        y_tail: &[f64],
+        tail_start: usize,
+    ) -> Result<usize, TsError> {
+        if x_tail.len() != y_tail.len() {
             return Err(TsError::DimensionMismatch {
-                expected: x.len(),
-                found: y.len(),
+                expected: x_tail.len(),
+                found: y_tail.len(),
             });
         }
-        if layout.end() > x.len() {
+        if layout.end() > tail_start + x_tail.len() {
             return Err(TsError::OutOfRange {
                 requested: layout.end(),
-                available: x.len(),
+                available: tail_start + x_tail.len(),
             });
         }
         let old_count = self.count();
@@ -84,13 +99,22 @@ impl PairSketch {
                 "grown layout has fewer basic windows than the sketch".into(),
             ));
         }
+        if old_count < layout.count {
+            let (first_new, _) = layout.time_range(old_count);
+            if tail_start > first_new {
+                return Err(TsError::OutOfRange {
+                    requested: first_new,
+                    available: tail_start,
+                });
+            }
+        }
         // Same fused accumulation as `build_unchecked`, so an appended
         // sketch stays bit-identical to a fresh build.
         let mut acc = *self.cross_prefix.last().unwrap();
         for b in old_count..layout.count {
             let (t0, t1) = layout.time_range(b);
             for t in t0..t1 {
-                acc = x[t].mul_add(y[t], acc);
+                acc = x_tail[t - tail_start].mul_add(y_tail[t - tail_start], acc);
             }
             self.cross_prefix.push(acc);
         }
@@ -269,6 +293,22 @@ mod tests {
         assert_eq!(p, fresh);
         // Idempotent when nothing new is complete.
         assert_eq!(p.append(&grown, &x, &y).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_tail_matches_full_append() {
+        // Extending from only the new columns (evicted history) must be
+        // bit-identical to extending from the full rows.
+        let (x, y) = rows();
+        let small = BasicWindowLayout::cover(0, 15, 5).unwrap();
+        let mut p = PairSketch::build(&small, &x[..15], &y[..15]).unwrap();
+        let grown = BasicWindowLayout::cover(0, 30, 5).unwrap();
+        assert_eq!(p.append_tail(&grown, &x[15..], &y[15..], 15).unwrap(), 3);
+        let fresh = PairSketch::build(&grown, &x, &y).unwrap();
+        assert_eq!(p, fresh);
+        // A tail starting after the first new window leaves a gap.
+        let mut q = PairSketch::build(&small, &x[..15], &y[..15]).unwrap();
+        assert!(q.append_tail(&grown, &x[20..], &y[20..], 20).is_err());
     }
 
     #[test]

@@ -132,19 +132,39 @@ impl SketchStore {
     /// new columns plus a prefix-array copy — the real-time-update path:
     /// history is never rescanned.
     pub fn append(&mut self, x: &TimeSeriesMatrix) -> Result<usize, TsError> {
-        if x.n_series() != self.n_series {
+        self.append_tail(x, 0)
+    }
+
+    /// [`SketchStore::append`] from a *tail* matrix: `tail` holds only the
+    /// columns from global index `tail_start` onward (earlier raw history
+    /// may have been evicted once absorbed into the prefix arrays). The
+    /// layout keeps global indices, so results are bit-identical to a
+    /// fresh full-history build.
+    pub fn append_tail(
+        &mut self,
+        tail: &TimeSeriesMatrix,
+        tail_start: usize,
+    ) -> Result<usize, TsError> {
+        if tail.n_series() != self.n_series {
             return Err(TsError::DimensionMismatch {
                 expected: self.n_series,
-                found: x.n_series(),
+                found: tail.n_series(),
             });
         }
-        if x.len() < self.layout.end() {
+        let total_len = tail_start + tail.len();
+        if total_len < self.layout.end() {
             return Err(TsError::OutOfRange {
                 requested: self.layout.end(),
-                available: x.len(),
+                available: total_len,
             });
         }
-        let new_count = (x.len() - self.layout.origin) / self.layout.width;
+        if tail_start > self.layout.end() {
+            return Err(TsError::InvalidParameter(format!(
+                "tail starting at column {tail_start} leaves a gap after coverage end {}",
+                self.layout.end()
+            )));
+        }
+        let new_count = (total_len - self.layout.origin) / self.layout.width;
         let added = new_count.saturating_sub(self.layout.count);
         if added == 0 {
             return Ok(0);
@@ -165,14 +185,14 @@ impl SketchStore {
                 .copy_from_slice(&self.sum_prefix[old_base..old_base + old_stride]);
             sum_sq_prefix[new_base..new_base + old_stride]
                 .copy_from_slice(&self.sum_sq_prefix[old_base..old_base + old_stride]);
-            let row = x.row(i);
+            let row = tail.row(i);
             let mut acc = sum_prefix[new_base + old_count];
             let mut acc_sq = sum_sq_prefix[new_base + old_count];
             // Same fused accumulation as `prefix_row`, so an appended
             // store stays bit-identical to a fresh build.
             for b in old_count..new_count {
                 let (t0, t1) = new_layout.time_range(b);
-                for &v in &row[t0..t1] {
+                for &v in &row[t0 - tail_start..t1 - tail_start] {
                     acc += v;
                     acc_sq = v.mul_add(v, acc_sq);
                 }
@@ -362,6 +382,28 @@ mod tests {
         assert_eq!(store, fresh);
         // No new complete window ⇒ no-op.
         assert_eq!(store.append(&grown).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_tail_matches_full_append() {
+        let full = matrix();
+        let prefix = full.slice_columns(0, 12).unwrap();
+        let layout_small = BasicWindowLayout::cover(0, 12, 4).unwrap();
+        let mut a = SketchStore::build(&prefix, layout_small).unwrap();
+        let mut b = a.clone();
+
+        let mut grown = prefix.clone();
+        grown
+            .append_columns(&full.slice_columns(12, 24).unwrap())
+            .unwrap();
+        assert_eq!(a.append(&grown).unwrap(), 3);
+        // Tail-only append of the same columns is bit-identical.
+        let tail = full.slice_columns(12, 24).unwrap();
+        assert_eq!(b.append_tail(&tail, 12).unwrap(), 3);
+        assert_eq!(a, b);
+        // A tail starting past the coverage end leaves a gap.
+        let gap = full.slice_columns(20, 24).unwrap();
+        assert!(b.append_tail(&gap, 40).is_err());
     }
 
     #[test]

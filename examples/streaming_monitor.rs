@@ -36,6 +36,9 @@ fn main() {
         0.9,
         DangoronConfig {
             basic_window: 24,
+            // Horizontal (triangle) pruning: the pivot table is grown
+            // incrementally with the sketches, so it costs O(N) per day.
+            horizontal: Some(Default::default()),
             ..Default::default()
         },
     )
@@ -67,10 +70,15 @@ fn main() {
         t = next;
     }
 
+    let s = session.stats();
     println!(
-        "\nsession end: {} windows emitted over {}h of data",
+        "\nsession end: {} windows emitted over {}h of data \
+         ({}h of raw history retained; {} cells triangle-pruned, {} pairs skipped wholesale)",
         session.emitted_windows(),
-        session.history_len()
+        session.ingested_cols(),
+        session.history_len(),
+        s.pruned_by_triangle,
+        s.pairs_skipped_entirely,
     );
 
     // The last window's network, in edge-list interchange format.

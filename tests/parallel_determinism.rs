@@ -149,6 +149,102 @@ fn streaming_engine_is_thread_count_invariant() {
 }
 
 #[test]
+fn streaming_with_pivots_emits_exact_batch_truth() {
+    // Horizontal pruning is lossless, so a streaming session with pivots
+    // must emit *exactly* the exhaustive batch truth — bit-identical —
+    // for every append chunking, both edge rules, and every thread
+    // count. Within one chunking the cumulative pruning stats must be
+    // invariant in the thread count (across chunkings they legitimately
+    // differ: counters record per-drain pair encounters), and the
+    // triangle counters must actually fire on clustered data.
+    use dangoron::config::HorizontalConfig;
+    use dangoron::{PivotStrategy, PruningStats};
+
+    let full = generators::clustered_matrix(12, 420, 3, 0.45, 13).unwrap();
+    let chunkings: [&[usize]; 3] = [
+        // One big append.
+        &[160, 420],
+        // Uneven, including sub-basic-window fragments.
+        &[160, 167, 240, 253, 420],
+        // Step-sized appends.
+        &[
+            160, 180, 200, 220, 240, 260, 280, 300, 320, 340, 360, 380, 400, 420,
+        ],
+    ];
+
+    for edge_rule in [EdgeRule::Positive, EdgeRule::Absolute] {
+        // The exhaustive batch truth, no pruning at all.
+        let truth = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::Exhaustive,
+            edge_rule,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(
+            &full,
+            SlidingQuery {
+                start: 0,
+                end: 420,
+                window: 80,
+                step: 20,
+                threshold: 0.85,
+            },
+        )
+        .unwrap();
+
+        let mut stats_across_runs: Vec<PruningStats> = Vec::new();
+        for (c, chunking) in chunkings.iter().enumerate() {
+            for &threads in &THREAD_COUNTS {
+                let mut session = StreamingDangoron::new(
+                    full.slice_columns(0, chunking[0]).unwrap(),
+                    80,
+                    20,
+                    0.85,
+                    DangoronConfig {
+                        basic_window: 20,
+                        bound: BoundMode::Exhaustive,
+                        edge_rule,
+                        threads,
+                        horizontal: Some(HorizontalConfig {
+                            n_pivots: 3,
+                            strategy: PivotStrategy::Evenly,
+                        }),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let mut collected = session.drain_completed().unwrap();
+                for pair in chunking.windows(2) {
+                    let chunk = full.slice_columns(pair[0], pair[1]).unwrap();
+                    collected.extend(session.append(&chunk).unwrap());
+                }
+                let ctx = format!("pivots {edge_rule:?} chunking#{c} threads={threads}");
+                assert_eq!(collected.len(), truth.matrices.len(), "{ctx}: windows");
+                let streamed: Vec<ThresholdedMatrix> =
+                    collected.iter().map(|cw| cw.matrix.clone()).collect();
+                assert_bit_identical(&streamed, &truth.matrices, &ctx);
+                let s = session.stats().clone();
+                assert!(
+                    s.pruned_by_triangle > 0 || s.pairs_skipped_entirely > 0,
+                    "{ctx}: horizontal pruning never fired: {s:?}"
+                );
+                stats_across_runs.push(s);
+            }
+            // Stats invariant in the thread count (same chunking).
+            let base = stats_across_runs.len() - THREAD_COUNTS.len();
+            for k in 1..THREAD_COUNTS.len() {
+                assert_eq!(
+                    stats_across_runs[base],
+                    stats_across_runs[base + k],
+                    "{edge_rule:?} chunking#{c}: stats diverged across threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn tsubasa_baseline_is_thread_count_invariant() {
     use baselines::tsubasa::Tsubasa;
     let x = generators::clustered_matrix(12, 300, 3, 0.6, 5).unwrap();
