@@ -2,9 +2,9 @@
 //! records the perf trajectory.
 //!
 //! ```text
-//! harness <exp-id>... [--full]                    # e1 … e11, or `all`
+//! harness <exp-id>... [--full]                    # e1 … e12, or `all`
 //! harness bench [--out BENCH_1.json] [--full]     # perf ladder → JSON
-//! harness validate [--require-streaming] FILE...  # check bench records
+//! harness validate [--require-streaming] [--require-kernels] FILE...
 //! ```
 //!
 //! Quick scale (default) runs in seconds per experiment; `--full` uses the
@@ -39,6 +39,7 @@ fn run_bench(args: &[String], scale: Scale) {
 
 fn run_validate(args: &[String]) {
     let require_streaming = args.iter().any(|a| a == "--require-streaming");
+    let require_kernels = args.iter().any(|a| a == "--require-kernels");
     let files: Vec<&String> = args
         .iter()
         .filter(|a| !a.starts_with("--") && *a != "validate")
@@ -57,7 +58,7 @@ fn run_validate(args: &[String]) {
                 continue;
             }
         };
-        match bench::schema::validate(&json, require_streaming) {
+        match bench::schema::validate(&json, require_streaming, require_kernels) {
             Ok(()) => println!("{path}: valid dangoron-bench-v1 record"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
@@ -101,7 +102,7 @@ fn main() {
                 println!("{report}");
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e11 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e12 or all)");
                 failed = true;
             }
         }

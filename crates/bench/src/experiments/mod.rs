@@ -2,6 +2,7 @@
 
 pub mod e10_network;
 pub mod e11_streaming_pivots;
+pub mod e12_kernels;
 pub mod e1_query_time;
 pub mod e2_accuracy;
 pub mod e3_jump_structure;
@@ -14,7 +15,7 @@ pub mod e9_basic_window;
 
 use crate::Scale;
 
-/// Dispatch an experiment by id (`"e1"` … `"e11"`), returning its report.
+/// Dispatch an experiment by id (`"e1"` … `"e12"`), returning its report.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
     Some(match id {
         "e1" => e1_query_time::run(scale),
@@ -28,11 +29,12 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
         "e9" => e9_basic_window::run(scale),
         "e10" => e10_network::run(scale),
         "e11" => e11_streaming_pivots::run(scale),
+        "e12" => e12_kernels::run(scale),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];

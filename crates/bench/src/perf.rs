@@ -58,6 +58,24 @@ pub struct StreamingPerf {
     pub total_edges: usize,
 }
 
+/// The kernel microbenchmark sample: dispatched SIMD kernels against the
+/// PR 2 sequential-scalar baselines (see `experiments::e12_kernels`), so
+/// the single-core multiplier lands in the perf trajectory alongside the
+/// thread-scaling one.
+#[derive(Debug, Clone)]
+pub struct KernelsPerf {
+    /// Backend the dispatcher selected (`avx2+fma`, `neon`, `scalar`).
+    pub backend: String,
+    /// Input length in `f64` elements.
+    pub len: usize,
+    /// Dot-product kernel speedup over the PR 2 baseline.
+    pub dot_speedup: f64,
+    /// Five-moment (window-correlation) kernel speedup.
+    pub moments_speedup: f64,
+    /// End-to-end `PairSketch::build` prefix-build speedup.
+    pub prefix_build_speedup: f64,
+}
+
 /// A full perf record.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -76,6 +94,8 @@ pub struct PerfRecord {
     pub samples: Vec<ThreadSample>,
     /// The streaming-pivots experiment (absent in pre-PR-2 records).
     pub streaming: Option<StreamingPerf>,
+    /// The kernel microbenchmark (absent in pre-PR-3 records).
+    pub kernels: Option<KernelsPerf>,
 }
 
 impl PerfRecord {
@@ -125,6 +145,19 @@ impl PerfRecord {
                 sp.total_edges,
             );
         }
+        if let Some(k) = &self.kernels {
+            let _ = writeln!(
+                s,
+                "  \"kernels\": {{\"backend\": {}, \"len\": {}, \
+                 \"dot_speedup\": {}, \"moments_speedup\": {}, \
+                 \"prefix_build_speedup\": {}}},",
+                json_str(&k.backend),
+                k.len,
+                json_num(k.dot_speedup),
+                json_num(k.moments_speedup),
+                json_num(k.prefix_build_speedup),
+            );
+        }
         let _ = writeln!(s, "  \"samples\": [");
         for (k, smp) in self.samples.iter().enumerate() {
             let comma = if k + 1 < self.samples.len() { "," } else { "" };
@@ -150,6 +183,16 @@ impl PerfRecord {
         let _ = writeln!(s, "  ]");
         let _ = writeln!(s, "}}");
         s
+    }
+}
+
+/// A ratio as a JSON *number* for schema-required keys: non-finite values
+/// (an implausible zero-duration denominator) degrade to `0.0`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0.0".to_string()
     }
 }
 
@@ -295,6 +338,7 @@ pub fn run(scale: Scale) -> PerfRecord {
 
     let streaming_threads = exec::available_threads().min(*THREAD_LADDER.last().unwrap());
     let streaming = Some(streaming_sample(&w, streaming_threads, reps));
+    let kernels = Some(kernels_sample(scale));
 
     PerfRecord {
         workload: w.name.clone(),
@@ -304,6 +348,28 @@ pub fn run(scale: Scale) -> PerfRecord {
         hardware_threads: exec::available_threads(),
         samples,
         streaming,
+        kernels,
+    }
+}
+
+/// Runs the E12 microbenchmark suite and condenses it to the `kernels`
+/// section of the record.
+fn kernels_sample(scale: Scale) -> KernelsPerf {
+    use crate::experiments::e12_kernels;
+    let suite = e12_kernels::measure_suite(scale);
+    let pick = |name: &str| -> f64 {
+        suite
+            .iter()
+            .find(|k| k.name == name)
+            .map(|k| k.speedup_vs_pr2())
+            .unwrap_or(0.0)
+    };
+    KernelsPerf {
+        backend: kernel::active_backend().to_string(),
+        len: suite.first().map(|k| k.len).unwrap_or(0),
+        dot_speedup: pick("dot"),
+        moments_speedup: pick("moments"),
+        prefix_build_speedup: pick("prefix-build"),
     }
 }
 
@@ -334,6 +400,13 @@ mod tests {
             hardware_threads: exec::available_threads(),
             samples,
             streaming: Some(streaming_sample(&w, 1, 1)),
+            kernels: Some(KernelsPerf {
+                backend: kernel::active_backend().to_string(),
+                len: 64,
+                dot_speedup: 1.0,
+                moments_speedup: 1.0,
+                prefix_build_speedup: 1.0,
+            }),
         }
     }
 
@@ -352,6 +425,8 @@ mod tests {
         assert!(json.contains("query_speedup_vs_1"));
         assert!(json.contains("\"streaming_pivots\""));
         assert!(json.contains("\"pruned_by_triangle\""));
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("\"prefix_build_speedup\""));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

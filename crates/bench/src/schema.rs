@@ -28,6 +28,15 @@ const SAMPLE_KEYS: [(&str, ValueKind); 5] = [
     ("total_edges", ValueKind::Number),
 ];
 
+/// Keys the `kernels` section must carry when present.
+const KERNEL_KEYS: [(&str, ValueKind); 5] = [
+    ("backend", ValueKind::String),
+    ("len", ValueKind::Number),
+    ("dot_speedup", ValueKind::Number),
+    ("moments_speedup", ValueKind::Number),
+    ("prefix_build_speedup", ValueKind::Number),
+];
+
 /// Keys the `streaming_pivots` section must carry when present.
 const STREAMING_KEYS: [(&str, ValueKind); 8] = [
     ("threads", ValueKind::Number),
@@ -72,8 +81,9 @@ impl ValueKind {
 ///
 /// `require_streaming` additionally demands the `streaming_pivots`
 /// section (records written before the streaming-pivots experiment lack
-/// it); when the section is present it is always checked.
-pub fn validate(json: &str, require_streaming: bool) -> Result<(), String> {
+/// it), and `require_kernels` the `kernels` section (absent before the
+/// SIMD-kernel experiment); present sections are always checked.
+pub fn validate(json: &str, require_streaming: bool, require_kernels: bool) -> Result<(), String> {
     check_balance(json)?;
     let schema =
         string_value(json, "schema").ok_or_else(|| "missing \"schema\" tag".to_string())?;
@@ -107,6 +117,17 @@ pub fn validate(json: &str, require_streaming: bool) -> Result<(), String> {
         None if require_streaming => {
             return Err("missing required \"streaming_pivots\" section".to_string())
         }
+        None => {}
+    }
+    match after_key(json, "kernels") {
+        Some(section) => {
+            let body =
+                object_body(section).ok_or_else(|| "\"kernels\" must be an object".to_string())?;
+            for (key, kind) in KERNEL_KEYS {
+                check_key(body, key, kind)?;
+            }
+        }
+        None if require_kernels => return Err("missing required \"kernels\" section".to_string()),
         None => {}
     }
     Ok(())
@@ -213,7 +234,7 @@ fn check_balance(json: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn minimal(streaming: bool) -> String {
+    fn minimal(streaming: bool, kernels: bool) -> String {
         let streaming_section = if streaming {
             "\"streaming_pivots\": {\"threads\": 1, \
              \"open_ms\": {\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}, \
@@ -223,10 +244,17 @@ mod tests {
         } else {
             ""
         };
+        let kernels_section = if kernels {
+            "\"kernels\": {\"backend\": \"avx2+fma\", \"len\": 16384, \
+             \"dot_speedup\": 9.1, \"moments_speedup\": 2.0, \
+             \"prefix_build_speedup\": 13.0},"
+        } else {
+            ""
+        };
         format!(
             "{{\"schema\": \"dangoron-bench-v1\", \"workload\": \"w\", \
              \"n_series\": 4, \"n_cols\": 100, \"n_windows\": 3, \
-             \"hardware_threads\": 1, {streaming_section} \
+             \"hardware_threads\": 1, {streaming_section} {kernels_section} \
              \"samples\": [{{\"threads\": 1, \
              \"prepare_ms\": {{\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}}, \
              \"query_ms\": {{\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}}, \
@@ -236,39 +264,53 @@ mod tests {
 
     #[test]
     fn accepts_valid_records() {
-        validate(&minimal(false), false).unwrap();
-        validate(&minimal(true), false).unwrap();
-        validate(&minimal(true), true).unwrap();
+        validate(&minimal(false, false), false, false).unwrap();
+        validate(&minimal(true, false), false, false).unwrap();
+        validate(&minimal(true, false), true, false).unwrap();
+        validate(&minimal(true, true), true, true).unwrap();
+        validate(&minimal(false, true), false, true).unwrap();
     }
 
     #[test]
     fn rejects_missing_streaming_when_required() {
-        let err = validate(&minimal(false), true).unwrap_err();
+        let err = validate(&minimal(false, true), true, false).unwrap_err();
         assert!(err.contains("streaming_pivots"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_kernels_when_required() {
+        let err = validate(&minimal(true, false), false, true).unwrap_err();
+        assert!(err.contains("kernels"), "{err}");
+        // Damaged kernels section is caught even when not required.
+        let bad = minimal(false, true).replace("\"dot_speedup\": 9.1,", "");
+        assert!(validate(&bad, false, false).is_err());
+        // Wrong type in the section.
+        let bad = minimal(false, true).replace("\"len\": 16384", "\"len\": \"big\"");
+        assert!(validate(&bad, false, false).is_err());
     }
 
     #[test]
     fn rejects_structural_damage() {
         // Bad schema tag.
-        let bad = minimal(false).replace("dangoron-bench-v1", "v0");
-        assert!(validate(&bad, false).is_err());
+        let bad = minimal(false, false).replace("dangoron-bench-v1", "v0");
+        assert!(validate(&bad, false, false).is_err());
         // Dropped key.
-        let bad = minimal(false).replace("\"n_windows\": 3,", "");
-        assert!(validate(&bad, false).is_err());
+        let bad = minimal(false, false).replace("\"n_windows\": 3,", "");
+        assert!(validate(&bad, false, false).is_err());
         // Wrong type.
-        let bad = minimal(false).replace("\"n_series\": 4", "\"n_series\": \"four\"");
-        assert!(validate(&bad, false).is_err());
+        let bad = minimal(false, false).replace("\"n_series\": 4", "\"n_series\": \"four\"");
+        assert!(validate(&bad, false, false).is_err());
         // Unbalanced braces.
-        let full = minimal(false);
-        assert!(validate(&full[..full.len() - 1], false).is_err());
+        let full = minimal(false, false);
+        assert!(validate(&full[..full.len() - 1], false, false).is_err());
         // Empty samples.
         let bad = "{\"schema\": \"dangoron-bench-v1\", \"workload\": \"w\", \
                    \"n_series\": 1, \"n_cols\": 1, \"n_windows\": 1, \
                    \"hardware_threads\": 1, \"samples\": []}";
-        assert!(validate(bad, false).is_err());
+        assert!(validate(bad, false, false).is_err());
         // Damaged streaming section is caught even when not required.
-        let bad = minimal(true).replace("\"pruned_by_triangle\": 7,", "");
-        assert!(validate(&bad, false).is_err());
+        let bad = minimal(true, false).replace("\"pruned_by_triangle\": 7,", "");
+        assert!(validate(&bad, false, false).is_err());
     }
 
     #[test]
@@ -276,13 +318,13 @@ mod tests {
         // `skip_fraction` and `total_edges` also appear in every samples
         // entry; dropping them from the streaming section must still fail
         // (the check is confined to the section's own object).
-        let bad = minimal(true)
+        let bad = minimal(true, false)
             .replace("\"skip_fraction\": 0.25, ", "")
             .replace(
                 "\"pairs_skipped_entirely\": 2, \"total_edges\": 9",
                 "\"pairs_skipped_entirely\": 2",
             );
-        let err = validate(&bad, true).unwrap_err();
+        let err = validate(&bad, true, false).unwrap_err();
         assert!(
             err.contains("skip_fraction") || err.contains("total_edges"),
             "{err}"
@@ -292,7 +334,7 @@ mod tests {
     #[test]
     fn real_emitter_output_validates() {
         // The actual perf emitter and this validator must stay in sync.
-        use crate::perf::{PerfRecord, StreamingPerf, ThreadSample};
+        use crate::perf::{KernelsPerf, PerfRecord, StreamingPerf, ThreadSample};
         use eval::timing::TimingSummary;
         use std::time::Duration;
         let t = TimingSummary {
@@ -315,9 +357,11 @@ mod tests {
                 total_edges: 10,
             }],
             streaming: None,
+            kernels: None,
         };
-        validate(&r.to_json(), false).unwrap();
-        assert!(validate(&r.to_json(), true).is_err());
+        validate(&r.to_json(), false, false).unwrap();
+        assert!(validate(&r.to_json(), true, false).is_err());
+        assert!(validate(&r.to_json(), false, true).is_err());
         r.streaming = Some(StreamingPerf {
             threads: 2,
             open: t,
@@ -328,6 +372,13 @@ mod tests {
             pairs_skipped_entirely: 1,
             total_edges: 10,
         });
-        validate(&r.to_json(), true).unwrap();
+        r.kernels = Some(KernelsPerf {
+            backend: "avx2+fma".to_string(),
+            len: 16384,
+            dot_speedup: 9.2,
+            moments_speedup: 2.0,
+            prefix_build_speedup: 13.1,
+        });
+        validate(&r.to_json(), true, true).unwrap();
     }
 }

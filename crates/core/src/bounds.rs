@@ -230,13 +230,14 @@ pub fn max_jump_absolute(
 
 /// Triangle-inequality bounds on `c_xy` from pivot correlations.
 ///
-/// Returns `(lower, upper)`. Requires both inputs in `[-1, 1]`.
+/// Returns `(lower, upper)`. Requires both inputs in `[-1, 1]`. The
+/// single-pair convenience form of [`kernel::triangle_interval`], so the
+/// scalar bound and the vectorised pivot-table scan share one definition
+/// (and one rounding behaviour) by construction.
 #[inline]
 pub fn triangle_bounds(c_xz: f64, c_yz: f64) -> (f64, f64) {
     debug_assert!((-1.0..=1.0).contains(&c_xz) && (-1.0..=1.0).contains(&c_yz));
-    let prod = c_xz * c_yz;
-    let rad = ((1.0 - c_xz * c_xz).max(0.0) * (1.0 - c_yz * c_yz).max(0.0)).sqrt();
-    ((prod - rad).max(-1.0), (prod + rad).min(1.0))
+    kernel::triangle_interval(&[c_xz], &[c_yz])
 }
 
 #[cfg(test)]

@@ -170,6 +170,25 @@ impl Dangoron {
     /// the end — no mutex anywhere on the query path. The merged buffer
     /// becomes the per-window matrices via one sort-and-partition, which
     /// also makes the result identical for every thread count.
+    ///
+    /// ```
+    /// use dangoron::{Dangoron, DangoronConfig};
+    /// use sketch::SlidingQuery;
+    /// use tsdata::generators;
+    ///
+    /// let x = generators::clustered_matrix(6, 120, 2, 0.5, 3).unwrap();
+    /// let query = SlidingQuery { start: 0, end: 120, window: 40, step: 20, threshold: 0.7 };
+    /// let engine = Dangoron::new(DangoronConfig {
+    ///     basic_window: 20,
+    ///     ..Default::default()
+    /// }).unwrap();
+    /// // Prepare once (offline sketch build), run many times (pure query).
+    /// let prep = engine.prepare(&x, query).unwrap();
+    /// let first = engine.run(&prep);
+    /// let again = engine.run(&prep);
+    /// assert_eq!(first.matrices.len(), query.n_windows());
+    /// assert_eq!(first.total_edges(), again.total_edges());
+    /// ```
     pub fn run(&self, prep: &Prepared<'_>) -> QueryResult {
         let n = prep.x.n_series();
         let n_pairs = triangular::count(n);

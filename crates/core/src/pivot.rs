@@ -13,7 +13,6 @@
 //! without ever rebuilding pivot state — the per-drain cost stays
 //! O(n_pivots · N · Δwindows).
 
-use crate::bounds::triangle_bounds;
 use crate::config::PivotStrategy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -201,26 +200,55 @@ impl PivotSet {
     /// Tightest triangle interval `[lo, hi]` on `c_ij` at window `w`
     /// across all pivots; `(−1, 1)` (no information) when every pivot is
     /// undefined there or the pair involves a pivot-degenerate window.
+    ///
+    /// The per-pivot `(c_iz, c_jz)` pairs are gathered into stack buffers
+    /// and intersected by [`kernel::triangle_interval`] four lanes at a
+    /// time; chunked intersection is exact (min/max is associative), so
+    /// the result is bit-identical for any chunk boundary and any kernel
+    /// backend.
     pub fn interval(&self, i: usize, j: usize, w: usize) -> (f64, f64) {
+        /// Gather-buffer capacity; pivot counts above this just flush in
+        /// batches.
+        const GATHER: usize = 32;
         debug_assert!(i < self.n_series && j < self.n_series && w < self.n_windows);
         let base = w * self.n_series;
+        let mut c_iz = [0.0f64; GATHER];
+        let mut c_jz = [0.0f64; GATHER];
+        let mut fill = 0usize;
         let mut best_lo = -1.0f64;
         let mut best_hi = 1.0f64;
+        let flush = |iz: &[f64], jz: &[f64], best_lo: &mut f64, best_hi: &mut f64| {
+            let (lo, hi) = kernel::triangle_interval(iz, jz);
+            if lo > *best_lo {
+                *best_lo = lo;
+            }
+            if hi < *best_hi {
+                *best_hi = hi;
+            }
+        };
         for (p, row) in self.corr.iter().enumerate() {
             // Using the pivot as one endpoint would be circular; the value
             // is exact in that case, and the walker evaluates it exactly
-            // anyway, so skip.
+            // anyway, so skip. NaN marks zero-variance windows, which
+            // carry no information.
             if self.pivots[p] == i || self.pivots[p] == j {
                 continue;
             }
-            let c_iz = row[base + i];
-            let c_jz = row[base + j];
-            if c_iz.is_nan() || c_jz.is_nan() {
+            let iz = row[base + i];
+            let jz = row[base + j];
+            if iz.is_nan() || jz.is_nan() {
                 continue;
             }
-            let (lo, hi) = triangle_bounds(c_iz, c_jz);
-            best_lo = best_lo.max(lo);
-            best_hi = best_hi.min(hi);
+            c_iz[fill] = iz;
+            c_jz[fill] = jz;
+            fill += 1;
+            if fill == GATHER {
+                flush(&c_iz, &c_jz, &mut best_lo, &mut best_hi);
+                fill = 0;
+            }
+        }
+        if fill > 0 {
+            flush(&c_iz[..fill], &c_jz[..fill], &mut best_lo, &mut best_hi);
         }
         (best_lo, best_hi)
     }

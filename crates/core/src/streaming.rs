@@ -46,6 +46,26 @@ use tsdata::{TimeSeriesMatrix, TsError};
 /// materialised (the streaming state *is* the precomputed sketch set).
 /// Horizontal pruning is supported — the pivot table is grown
 /// incrementally alongside the sketches.
+///
+/// ```
+/// use dangoron::{DangoronConfig, StreamingDangoron};
+/// use tsdata::generators;
+///
+/// let full = generators::clustered_matrix(6, 200, 2, 0.5, 9).unwrap();
+/// let mut session = StreamingDangoron::new(
+///     full.slice_columns(0, 80).unwrap(), // initial history
+///     60,                                 // window
+///     20,                                 // step
+///     0.7,                                // threshold β
+///     DangoronConfig { basic_window: 20, ..Default::default() },
+/// ).unwrap();
+/// let mut windows = session.drain_completed().unwrap();
+/// windows.extend(session.append(&full.slice_columns(80, 200).unwrap()).unwrap());
+/// // Every window the equivalent batch query would emit has streamed out,
+/// // and its history buffer stayed below one basic window of raw columns.
+/// assert_eq!(windows.len(), session.batch_query().n_windows());
+/// assert!(session.history_len() < 20);
+/// ```
 pub struct StreamingDangoron {
     config: DangoronConfig,
     window: usize,

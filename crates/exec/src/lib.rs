@@ -19,6 +19,35 @@
 //!   in item order regardless of which worker ran what.
 //! * **`threads == 1` never spawns.** The single-threaded path runs inline
 //!   so sequential benchmarks measure the algorithm, not the scheduler.
+//!
+//! Three entry points cover the workspace's needs: [`run_partitioned`]
+//! (per-worker fold states, the query walk), [`par_collect_chunks`]
+//! (ordered map-collect, the sketch builders), and [`par_chunks_mut`]
+//! (static disjoint splits of a mutable slice, uniform-cost updates).
+//!
+//! ```
+//! // Ordered map-collect: output is in item order no matter which worker
+//! // ran which chunk.
+//! let squares = exec::par_collect_chunks(100, 4, 1, |range| {
+//!     range.map(|i| i * i).collect::<Vec<_>>()
+//! });
+//! assert_eq!(squares[7], 49);
+//!
+//! // Per-worker fold states, merged by the caller after the join.
+//! let counts = exec::run_partitioned(
+//!     1000,
+//!     4,
+//!     8,
+//!     |_worker| 0usize,
+//!     |acc, range| *acc += range.len(),
+//! );
+//! assert_eq!(counts.iter().sum::<usize>(), 1000);
+//! ```
+//!
+//! This crate parallelises *across* items; the sibling `kernel` crate
+//! vectorises *within* one item's arithmetic. The two compose: both are
+//! deterministic by construction, so SIMD-parallel code keeps bit-exact
+//! reproducibility.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};

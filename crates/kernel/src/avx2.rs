@@ -1,0 +1,178 @@
+//! AVX2 + FMA backend: one `f64x4` register per lane group, one
+//! `vfmadd`/`vadd` per element — the same lane-wise operation sequence as
+//! [`crate::scalar`], so results are bit-identical (every IEEE operation,
+//! including fused multiply-add and square root, is exactly rounded).
+//!
+//! Remainder elements and the final 4-lane combine are delegated to the
+//! shared helpers in [`crate::scalar`], so divergence there is impossible
+//! by construction.
+//!
+//! # Safety
+//! Every function here is `unsafe` and must only be called after the
+//! dispatcher has confirmed `avx2` **and** `fma` are available (statically
+//! via `target_feature` or dynamically via `is_x86_feature_detected!`).
+
+use crate::scalar::{self, LANES};
+use crate::CrossMoments;
+use core::arch::x86_64::*;
+
+/// Store the four lanes of `v` to an array (lane `l` of the register is
+/// canonical lane `l`).
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn lanes_of(v: __m256d) -> [f64; LANES] {
+    let mut out = [0.0f64; LANES];
+    _mm256_storeu_pd(out.as_mut_ptr(), v);
+    out
+}
+
+/// See [`scalar::dot`].
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let blocks = x.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    for k in 0..blocks {
+        let a = _mm256_loadu_pd(x.as_ptr().add(k * LANES));
+        let b = _mm256_loadu_pd(y.as_ptr().add(k * LANES));
+        acc = _mm256_fmadd_pd(a, b, acc);
+    }
+    scalar::finish_fma(lanes_of(acc), &x[blocks * LANES..], &y[blocks * LANES..])
+}
+
+/// See [`scalar::sum_squares`].
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn sum_squares(x: &[f64]) -> f64 {
+    let blocks = x.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    for k in 0..blocks {
+        let a = _mm256_loadu_pd(x.as_ptr().add(k * LANES));
+        acc = _mm256_fmadd_pd(a, a, acc);
+    }
+    let tail = &x[blocks * LANES..];
+    scalar::finish_fma(lanes_of(acc), tail, tail)
+}
+
+/// See [`scalar::sum_and_sum_squares`].
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
+    let blocks = x.len() / LANES;
+    let mut s = _mm256_setzero_pd();
+    let mut ss = _mm256_setzero_pd();
+    for k in 0..blocks {
+        let a = _mm256_loadu_pd(x.as_ptr().add(k * LANES));
+        s = _mm256_add_pd(s, a);
+        ss = _mm256_fmadd_pd(a, a, ss);
+    }
+    let mut s = lanes_of(s);
+    let mut ss = lanes_of(ss);
+    for (l, &v) in x[blocks * LANES..].iter().enumerate() {
+        s[l] += v;
+        ss[l] = v.mul_add(v, ss[l]);
+    }
+    (scalar::reduce_add(s), scalar::reduce_add(ss))
+}
+
+/// See [`scalar::cross_moments`].
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
+    assert_eq!(x.len(), y.len(), "cross_moments: length mismatch");
+    let blocks = x.len() / LANES;
+    let mut sx = _mm256_setzero_pd();
+    let mut sy = _mm256_setzero_pd();
+    let mut sxx = _mm256_setzero_pd();
+    let mut syy = _mm256_setzero_pd();
+    let mut sxy = _mm256_setzero_pd();
+    for k in 0..blocks {
+        let a = _mm256_loadu_pd(x.as_ptr().add(k * LANES));
+        let b = _mm256_loadu_pd(y.as_ptr().add(k * LANES));
+        sx = _mm256_add_pd(sx, a);
+        sy = _mm256_add_pd(sy, b);
+        sxx = _mm256_fmadd_pd(a, a, sxx);
+        syy = _mm256_fmadd_pd(b, b, syy);
+        sxy = _mm256_fmadd_pd(a, b, sxy);
+    }
+    let mut sx = lanes_of(sx);
+    let mut sy = lanes_of(sy);
+    let mut sxx = lanes_of(sxx);
+    let mut syy = lanes_of(syy);
+    let mut sxy = lanes_of(sxy);
+    for (l, (&a, &b)) in x[blocks * LANES..]
+        .iter()
+        .zip(&y[blocks * LANES..])
+        .enumerate()
+    {
+        sx[l] += a;
+        sy[l] += b;
+        sxx[l] = a.mul_add(a, sxx[l]);
+        syy[l] = b.mul_add(b, syy[l]);
+        sxy[l] = a.mul_add(b, sxy[l]);
+    }
+    CrossMoments {
+        sum_x: scalar::reduce_add(sx),
+        sum_y: scalar::reduce_add(sy),
+        sum_xx: scalar::reduce_add(sxx),
+        sum_yy: scalar::reduce_add(syy),
+        sum_xy: scalar::reduce_add(sxy),
+    }
+}
+
+/// See [`scalar::fma_accumulate`].
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
+    assert_eq!(acc.len(), x.len(), "fma_accumulate: length mismatch");
+    let blocks = acc.len() / LANES;
+    let s = _mm256_set1_pd(scale);
+    for k in 0..blocks {
+        let a = _mm256_loadu_pd(acc.as_ptr().add(k * LANES));
+        let v = _mm256_loadu_pd(x.as_ptr().add(k * LANES));
+        _mm256_storeu_pd(acc.as_mut_ptr().add(k * LANES), _mm256_fmadd_pd(v, s, a));
+    }
+    for (a, &v) in acc[blocks * LANES..].iter_mut().zip(&x[blocks * LANES..]) {
+        *a = v.mul_add(scale, *a);
+    }
+}
+
+/// `b` where the lane of `cond` is all-ones, else `a` — the vector
+/// counterpart of the scalar `if cond { b } else { a }` selects in
+/// [`scalar::tri_lo_hi`].
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn select(a: __m256d, b: __m256d, cond: __m256d) -> __m256d {
+    _mm256_blendv_pd(a, b, cond)
+}
+
+/// See [`scalar::triangle_interval`].
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn triangle_interval(c_iz: &[f64], c_jz: &[f64]) -> (f64, f64) {
+    assert_eq!(c_iz.len(), c_jz.len(), "triangle_interval: length mismatch");
+    let blocks = c_iz.len() / LANES;
+    let zero = _mm256_setzero_pd();
+    let one = _mm256_set1_pd(1.0);
+    let neg_one = _mm256_set1_pd(-1.0);
+    let mut best_lo = neg_one;
+    let mut best_hi = one;
+    for k in 0..blocks {
+        let a = _mm256_loadu_pd(c_iz.as_ptr().add(k * LANES));
+        let b = _mm256_loadu_pd(c_jz.as_ptr().add(k * LANES));
+        // Mirrors scalar::tri_lo_hi operation for operation.
+        let prod = _mm256_mul_pd(a, b);
+        let u = _mm256_fnmadd_pd(a, a, one);
+        let u = select(zero, u, _mm256_cmp_pd::<_CMP_GT_OQ>(u, zero));
+        let v = _mm256_fnmadd_pd(b, b, one);
+        let v = select(zero, v, _mm256_cmp_pd::<_CMP_GT_OQ>(v, zero));
+        let rad = _mm256_sqrt_pd(_mm256_mul_pd(u, v));
+        let lo = _mm256_sub_pd(prod, rad);
+        let lo = select(neg_one, lo, _mm256_cmp_pd::<_CMP_GT_OQ>(lo, neg_one));
+        let hi = _mm256_add_pd(prod, rad);
+        let hi = select(one, hi, _mm256_cmp_pd::<_CMP_LT_OQ>(hi, one));
+        best_lo = select(best_lo, lo, _mm256_cmp_pd::<_CMP_GT_OQ>(lo, best_lo));
+        best_hi = select(best_hi, hi, _mm256_cmp_pd::<_CMP_LT_OQ>(hi, best_hi));
+    }
+    scalar::tri_finish(
+        lanes_of(best_lo),
+        lanes_of(best_hi),
+        &c_iz[blocks * LANES..],
+        &c_jz[blocks * LANES..],
+    )
+}

@@ -1,0 +1,309 @@
+//! # kernel — portable 4-lane `f64` SIMD primitives for the hot loops
+//!
+//! Every dense inner product in this workspace — sketch prefix builders,
+//! the direct five-moment Pearson accumulation, pivot-table triangle
+//! bounds, the linear-algebra substrate — funnels through this crate. Each
+//! primitive exists in up to three backends:
+//!
+//! * [`scalar`] — the canonical **4-lane striped** reference (always
+//!   compiled, used where no SIMD backend applies);
+//! * an AVX2+FMA backend (x86-64), selected at compile time when the
+//!   binary is built with `-C target-feature=+avx2,+fma` and otherwise at
+//!   first use via CPU feature detection;
+//! * a NEON backend (aarch64, where NEON is architecturally mandatory).
+//!
+//! ## The determinism contract
+//!
+//! The canonical reduction order is defined by [`scalar`]: element
+//! `4k + l` of the input updates lane accumulator `l` with exactly one
+//! IEEE-754 operation (`+` or fused `mul_add`), trailing `len % 4`
+//! elements update lanes `0 .. len % 4`, and the lanes combine as
+//! `(l0 + l1) + (l2 + l3)`. The SIMD backends perform the *same* lane-wise
+//! operations in the *same* order — which is precisely what 4-wide FMA
+//! hardware does — and every IEEE operation (including fused multiply-add
+//! and square root) is exactly rounded, so **all backends produce
+//! bit-identical results on every input**. This is what lets the engine
+//! guarantee bit-identical edges across scalar and SIMD builds, extending
+//! the thread-count determinism contract of `tests/parallel_determinism.rs`
+//! to the instruction set; the crate's property tests assert the identity
+//! on random lengths, including all remainder classes `len % 4 ∈ {1,2,3}`.
+//!
+//! ```
+//! let x: Vec<f64> = (0..1027).map(|t| (t as f64 * 0.37).sin()).collect();
+//! let y: Vec<f64> = (0..1027).map(|t| (t as f64 * 0.91).cos()).collect();
+//! // Dispatched kernel (SIMD where available) vs the canonical scalar
+//! // reference: bit-identical, not merely close.
+//! assert_eq!(kernel::dot(&x, &y).to_bits(), kernel::scalar::dot(&x, &y).to_bits());
+//! let m = kernel::cross_moments(&x, &y);
+//! assert_eq!(m.sum_xy.to_bits(), kernel::dot(&x, &y).to_bits());
+//! ```
+
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The five raw sums `(Σx, Σy, Σx², Σy², Σxy)` of a pair of slices — the
+/// exact inputs of the pooled Pearson form used throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CrossMoments {
+    /// `Σ x`.
+    pub sum_x: f64,
+    /// `Σ y`.
+    pub sum_y: f64,
+    /// `Σ x²`.
+    pub sum_xx: f64,
+    /// `Σ y²`.
+    pub sum_yy: f64,
+    /// `Σ x·y`.
+    pub sum_xy: f64,
+}
+
+/// When set, the dispatcher routes every call to [`scalar`] regardless of
+/// hardware — the benchmarking/testing override.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Force (or stop forcing) the scalar backend at runtime.
+///
+/// Because every backend is bit-identical, flipping this mid-run can never
+/// change a result — only its speed. Used by the E12 microbenchmark and
+/// the `kernels` section of the perf record to measure the SIMD speedup
+/// end-to-end, and by tests asserting backend invariance.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_active() -> bool {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        return false;
+    }
+    #[cfg(all(target_feature = "avx2", target_feature = "fma"))]
+    {
+        true
+    }
+    #[cfg(not(all(target_feature = "avx2", target_feature = "fma")))]
+    {
+        // Runtime detection, cached: 0 = unknown, 1 = absent, 2 = present.
+        use std::sync::atomic::AtomicU8;
+        static STATE: AtomicU8 = AtomicU8::new(0);
+        match STATE.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let ok = std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma");
+                STATE.store(if ok { 2 } else { 1 }, Ordering::Relaxed);
+                ok
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[inline]
+fn neon_active() -> bool {
+    // NEON is mandatory on aarch64; only the override disables it.
+    !FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Name of the backend the dispatcher currently selects — recorded by the
+/// perf harness so `BENCH_*.json` readers know what was measured.
+pub fn active_backend() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_active() {
+        return "avx2+fma";
+    }
+    #[cfg(target_arch = "aarch64")]
+    if neon_active() {
+        return "neon";
+    }
+    "scalar"
+}
+
+/// Dispatch one kernel call: SIMD backend when active, canonical scalar
+/// otherwise. The `unsafe` is justified by the matching `*_active()`
+/// feature check.
+macro_rules! dispatch {
+    ($name:ident ( $($arg:expr),* )) => {{
+        #[cfg(target_arch = "x86_64")]
+        if avx2_active() {
+            // SAFETY: avx2_active() confirmed avx2+fma (statically or via
+            // CPU detection).
+            return unsafe { avx2::$name($($arg),*) };
+        }
+        #[cfg(target_arch = "aarch64")]
+        if neon_active() {
+            // SAFETY: NEON is architecturally mandatory on aarch64.
+            return unsafe { neon::$name($($arg),*) };
+        }
+        scalar::$name($($arg),*)
+    }};
+}
+
+/// Dot product `Σ x·y` in the canonical striped order.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    dispatch!(dot(x, y))
+}
+
+/// `Σ x²` in the canonical striped order.
+#[inline]
+pub fn sum_squares(x: &[f64]) -> f64 {
+    dispatch!(sum_squares(x))
+}
+
+/// Fused `(Σ x, Σ x²)` in one pass — the sketch-store prefix kernel.
+#[inline]
+pub fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
+    dispatch!(sum_and_sum_squares(x))
+}
+
+/// Fused five-moment accumulation — the direct window-correlation kernel.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
+    dispatch!(cross_moments(x, y))
+}
+
+/// `acc[i] += x[i] · scale`, one fused multiply-add per element (axpy).
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
+    dispatch!(fma_accumulate(acc, x, scale))
+}
+
+/// Tightest triangle-inequality interval on `c_xy` across a batch of
+/// pivot correlation pairs `(c_iz[p], c_jz[p])`, clamped to `[-1, 1]`.
+/// Empty input returns `(-1, 1)`. Inputs must be finite.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn triangle_interval(c_iz: &[f64], c_jz: &[f64]) -> (f64, f64) {
+    dispatch!(triangle_interval(c_iz, c_jz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| (t as f64 * 0.73 + phase).sin() * 2.0 + 0.01 * t as f64)
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_and_scalar() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000] {
+            let x = series(n, 0.0);
+            let y = series(n, 1.3);
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let d = dot(&x, &y);
+            assert!((d - naive).abs() <= 1e-9 * naive.abs().max(1.0), "n={n}");
+            assert_eq!(d.to_bits(), scalar::dot(&x, &y).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_sums_match_components() {
+        for n in [0usize, 1, 3, 5, 16, 21, 257] {
+            let x = series(n, 0.4);
+            let (s, ss) = sum_and_sum_squares(&x);
+            let (rs, rss) = scalar::sum_and_sum_squares(&x);
+            assert_eq!(s.to_bits(), rs.to_bits());
+            assert_eq!(ss.to_bits(), rss.to_bits());
+            assert_eq!(ss.to_bits(), sum_squares(&x).to_bits());
+            let direct: f64 = x.iter().sum();
+            assert!((s - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cross_moments_agree_with_kernels() {
+        let x = series(143, 0.0);
+        let y = series(143, 2.2);
+        let m = cross_moments(&x, &y);
+        assert_eq!(m.sum_xy.to_bits(), dot(&x, &y).to_bits());
+        assert_eq!(m.sum_xx.to_bits(), sum_squares(&x).to_bits());
+        let (sx, sxx) = sum_and_sum_squares(&x);
+        assert_eq!(m.sum_x.to_bits(), sx.to_bits());
+        assert_eq!(m.sum_xx.to_bits(), sxx.to_bits());
+    }
+
+    #[test]
+    fn fma_accumulate_is_axpy() {
+        for n in [0usize, 1, 4, 6, 100, 103] {
+            let x = series(n, 0.9);
+            let mut acc = series(n, 0.2);
+            let mut expect = acc.clone();
+            for (e, &v) in expect.iter_mut().zip(&x) {
+                *e = v.mul_add(0.37, *e);
+            }
+            fma_accumulate(&mut acc, &x, 0.37);
+            assert_eq!(
+                acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_interval_bounds_are_sound() {
+        // Against the direct per-pivot formula, and backend-identical.
+        for n in [0usize, 1, 2, 3, 4, 5, 9, 31] {
+            let ciz: Vec<f64> = (0..n).map(|p| (p as f64 * 1.1).sin()).collect();
+            let cjz: Vec<f64> = (0..n).map(|p| (p as f64 * 0.7).cos()).collect();
+            let (lo, hi) = triangle_interval(&ciz, &cjz);
+            let (slo, shi) = scalar::triangle_interval(&ciz, &cjz);
+            assert_eq!(lo.to_bits(), slo.to_bits(), "n={n}");
+            assert_eq!(hi.to_bits(), shi.to_bits(), "n={n}");
+            // Arbitrary (mutually inconsistent) pivot values can produce
+            // an empty intersection, so only the clamps are asserted.
+            assert!(lo >= -1.0 && hi <= 1.0, "n={n}");
+            let mut direct_lo = -1.0f64;
+            let mut direct_hi = 1.0f64;
+            for p in 0..n {
+                let prod = ciz[p] * cjz[p];
+                let rad =
+                    ((1.0 - ciz[p] * ciz[p]).max(0.0) * (1.0 - cjz[p] * cjz[p]).max(0.0)).sqrt();
+                direct_lo = direct_lo.max(prod - rad);
+                direct_hi = direct_hi.min(prod + rad);
+            }
+            assert!((lo - direct_lo).abs() < 1e-12, "n={n}");
+            assert!((hi - direct_hi).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn force_scalar_round_trips() {
+        let x = series(77, 0.0);
+        let y = series(77, 0.5);
+        let before = dot(&x, &y);
+        force_scalar(true);
+        assert_eq!(active_backend(), "scalar");
+        let forced = dot(&x, &y);
+        force_scalar(false);
+        assert_eq!(before.to_bits(), forced.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! NEON backend (aarch64): two `f64x2` registers carry the canonical four
+//! lanes (register 0 holds lanes 0–1, register 1 lanes 2–3), one
+//! `vfmaq`/`vaddq` per element — the same lane-wise operation sequence as
+//! [`crate::scalar`], so results are bit-identical. Remainders and the
+//! final combine go through the shared [`crate::scalar`] helpers.
+//!
+//! # Safety
+//! NEON is architecturally mandatory on aarch64, so these functions are
+//! always safe to call there; they stay `unsafe fn` for symmetry with the
+//! x86 backend and are only reached through the dispatcher.
+
+use crate::scalar::{self, LANES};
+use crate::CrossMoments;
+use core::arch::aarch64::*;
+
+/// The canonical lane array of the register pair `(v01, v23)`.
+#[inline]
+unsafe fn lanes_of(v01: float64x2_t, v23: float64x2_t) -> [f64; LANES] {
+    [
+        vgetq_lane_f64::<0>(v01),
+        vgetq_lane_f64::<1>(v01),
+        vgetq_lane_f64::<0>(v23),
+        vgetq_lane_f64::<1>(v23),
+    ]
+}
+
+/// See [`scalar::dot`].
+pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let blocks = x.len() / LANES;
+    let mut a01 = vdupq_n_f64(0.0);
+    let mut a23 = vdupq_n_f64(0.0);
+    for k in 0..blocks {
+        let xp = x.as_ptr().add(k * LANES);
+        let yp = y.as_ptr().add(k * LANES);
+        a01 = vfmaq_f64(a01, vld1q_f64(xp), vld1q_f64(yp));
+        a23 = vfmaq_f64(a23, vld1q_f64(xp.add(2)), vld1q_f64(yp.add(2)));
+    }
+    scalar::finish_fma(
+        lanes_of(a01, a23),
+        &x[blocks * LANES..],
+        &y[blocks * LANES..],
+    )
+}
+
+/// See [`scalar::sum_squares`].
+pub(crate) unsafe fn sum_squares(x: &[f64]) -> f64 {
+    let blocks = x.len() / LANES;
+    let mut a01 = vdupq_n_f64(0.0);
+    let mut a23 = vdupq_n_f64(0.0);
+    for k in 0..blocks {
+        let xp = x.as_ptr().add(k * LANES);
+        let v01 = vld1q_f64(xp);
+        let v23 = vld1q_f64(xp.add(2));
+        a01 = vfmaq_f64(a01, v01, v01);
+        a23 = vfmaq_f64(a23, v23, v23);
+    }
+    let tail = &x[blocks * LANES..];
+    scalar::finish_fma(lanes_of(a01, a23), tail, tail)
+}
+
+/// See [`scalar::sum_and_sum_squares`].
+pub(crate) unsafe fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
+    let blocks = x.len() / LANES;
+    let mut s01 = vdupq_n_f64(0.0);
+    let mut s23 = vdupq_n_f64(0.0);
+    let mut q01 = vdupq_n_f64(0.0);
+    let mut q23 = vdupq_n_f64(0.0);
+    for k in 0..blocks {
+        let xp = x.as_ptr().add(k * LANES);
+        let v01 = vld1q_f64(xp);
+        let v23 = vld1q_f64(xp.add(2));
+        s01 = vaddq_f64(s01, v01);
+        s23 = vaddq_f64(s23, v23);
+        q01 = vfmaq_f64(q01, v01, v01);
+        q23 = vfmaq_f64(q23, v23, v23);
+    }
+    let mut s = lanes_of(s01, s23);
+    let mut ss = lanes_of(q01, q23);
+    for (l, &v) in x[blocks * LANES..].iter().enumerate() {
+        s[l] += v;
+        ss[l] = v.mul_add(v, ss[l]);
+    }
+    (scalar::reduce_add(s), scalar::reduce_add(ss))
+}
+
+/// See [`scalar::cross_moments`].
+pub(crate) unsafe fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
+    assert_eq!(x.len(), y.len(), "cross_moments: length mismatch");
+    let blocks = x.len() / LANES;
+    let zero = vdupq_n_f64(0.0);
+    let (mut sx0, mut sx1) = (zero, zero);
+    let (mut sy0, mut sy1) = (zero, zero);
+    let (mut xx0, mut xx1) = (zero, zero);
+    let (mut yy0, mut yy1) = (zero, zero);
+    let (mut xy0, mut xy1) = (zero, zero);
+    for k in 0..blocks {
+        let xp = x.as_ptr().add(k * LANES);
+        let yp = y.as_ptr().add(k * LANES);
+        let a0 = vld1q_f64(xp);
+        let a1 = vld1q_f64(xp.add(2));
+        let b0 = vld1q_f64(yp);
+        let b1 = vld1q_f64(yp.add(2));
+        sx0 = vaddq_f64(sx0, a0);
+        sx1 = vaddq_f64(sx1, a1);
+        sy0 = vaddq_f64(sy0, b0);
+        sy1 = vaddq_f64(sy1, b1);
+        xx0 = vfmaq_f64(xx0, a0, a0);
+        xx1 = vfmaq_f64(xx1, a1, a1);
+        yy0 = vfmaq_f64(yy0, b0, b0);
+        yy1 = vfmaq_f64(yy1, b1, b1);
+        xy0 = vfmaq_f64(xy0, a0, b0);
+        xy1 = vfmaq_f64(xy1, a1, b1);
+    }
+    let mut sx = lanes_of(sx0, sx1);
+    let mut sy = lanes_of(sy0, sy1);
+    let mut sxx = lanes_of(xx0, xx1);
+    let mut syy = lanes_of(yy0, yy1);
+    let mut sxy = lanes_of(xy0, xy1);
+    for (l, (&a, &b)) in x[blocks * LANES..]
+        .iter()
+        .zip(&y[blocks * LANES..])
+        .enumerate()
+    {
+        sx[l] += a;
+        sy[l] += b;
+        sxx[l] = a.mul_add(a, sxx[l]);
+        syy[l] = b.mul_add(b, syy[l]);
+        sxy[l] = a.mul_add(b, sxy[l]);
+    }
+    CrossMoments {
+        sum_x: scalar::reduce_add(sx),
+        sum_y: scalar::reduce_add(sy),
+        sum_xx: scalar::reduce_add(sxx),
+        sum_yy: scalar::reduce_add(syy),
+        sum_xy: scalar::reduce_add(sxy),
+    }
+}
+
+/// See [`scalar::fma_accumulate`].
+pub(crate) unsafe fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
+    assert_eq!(acc.len(), x.len(), "fma_accumulate: length mismatch");
+    let blocks = acc.len() / LANES;
+    let s = vdupq_n_f64(scale);
+    for k in 0..blocks {
+        let ap = acc.as_mut_ptr().add(k * LANES);
+        let xp = x.as_ptr().add(k * LANES);
+        vst1q_f64(ap, vfmaq_f64(vld1q_f64(ap), vld1q_f64(xp), s));
+        vst1q_f64(
+            ap.add(2),
+            vfmaq_f64(vld1q_f64(ap.add(2)), vld1q_f64(xp.add(2)), s),
+        );
+    }
+    for (a, &v) in acc[blocks * LANES..].iter_mut().zip(&x[blocks * LANES..]) {
+        *a = v.mul_add(scale, *a);
+    }
+}
+
+/// `b` where `cond` lane is all-ones, else `a` (see the scalar selects in
+/// [`scalar::tri_lo_hi`]).
+#[inline]
+unsafe fn select(a: float64x2_t, b: float64x2_t, cond: uint64x2_t) -> float64x2_t {
+    vbslq_f64(cond, b, a)
+}
+
+/// One register pair's worth of [`scalar::tri_lo_hi`], operation for
+/// operation.
+#[inline]
+unsafe fn tri_step(
+    a: float64x2_t,
+    b: float64x2_t,
+    best_lo: float64x2_t,
+    best_hi: float64x2_t,
+) -> (float64x2_t, float64x2_t) {
+    let zero = vdupq_n_f64(0.0);
+    let one = vdupq_n_f64(1.0);
+    let neg_one = vdupq_n_f64(-1.0);
+    let prod = vmulq_f64(a, b);
+    // vfmsq_f64(c, a, b) = c − a·b, fused: mirrors (−c).mul_add(c, 1.0).
+    let u = vfmsq_f64(one, a, a);
+    let u = select(zero, u, vcgtq_f64(u, zero));
+    let v = vfmsq_f64(one, b, b);
+    let v = select(zero, v, vcgtq_f64(v, zero));
+    let rad = vsqrtq_f64(vmulq_f64(u, v));
+    let lo = vsubq_f64(prod, rad);
+    let lo = select(neg_one, lo, vcgtq_f64(lo, neg_one));
+    let hi = vaddq_f64(prod, rad);
+    let hi = select(one, hi, vcltq_f64(hi, one));
+    (
+        select(best_lo, lo, vcgtq_f64(lo, best_lo)),
+        select(best_hi, hi, vcltq_f64(hi, best_hi)),
+    )
+}
+
+/// See [`scalar::triangle_interval`].
+pub(crate) unsafe fn triangle_interval(c_iz: &[f64], c_jz: &[f64]) -> (f64, f64) {
+    assert_eq!(c_iz.len(), c_jz.len(), "triangle_interval: length mismatch");
+    let blocks = c_iz.len() / LANES;
+    let mut lo01 = vdupq_n_f64(-1.0);
+    let mut lo23 = vdupq_n_f64(-1.0);
+    let mut hi01 = vdupq_n_f64(1.0);
+    let mut hi23 = vdupq_n_f64(1.0);
+    for k in 0..blocks {
+        let ip = c_iz.as_ptr().add(k * LANES);
+        let jp = c_jz.as_ptr().add(k * LANES);
+        (lo01, hi01) = tri_step(vld1q_f64(ip), vld1q_f64(jp), lo01, hi01);
+        (lo23, hi23) = tri_step(vld1q_f64(ip.add(2)), vld1q_f64(jp.add(2)), lo23, hi23);
+    }
+    scalar::tri_finish(
+        lanes_of(lo01, lo23),
+        lanes_of(hi01, hi23),
+        &c_iz[blocks * LANES..],
+        &c_jz[blocks * LANES..],
+    )
+}

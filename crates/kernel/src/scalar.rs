@@ -1,0 +1,224 @@
+//! The canonical striped scalar kernels — the portable reference every
+//! SIMD backend must match **bit for bit**.
+//!
+//! Each reduction walks the input in blocks of [`LANES`] elements and
+//! accumulates element `4k + l` into lane accumulator `l` with exactly one
+//! IEEE-754 operation per element (`+`, or a fused `mul_add`). Trailing
+//! elements (`len % 4` of them) go into lanes `0 .. len % 4` with the same
+//! per-lane operation, and the four lanes are combined by the fixed
+//! reduction tree `(l0 + l1) + (l2 + l3)` (or a sequential compare-select
+//! fold over lanes `0, 1, 2, 3` for the interval kernels). A SIMD
+//! backend that performs the same lane-wise operations in the same order —
+//! which 4-wide FMA hardware does naturally — produces identical bits,
+//! because every IEEE operation (including fused multiply-add and square
+//! root) is exactly rounded and therefore deterministic per lane.
+
+use crate::CrossMoments;
+
+/// Stripe width of the canonical reduction order. Fixed at 4 (one AVX2
+/// `f64x4` register, two NEON `f64x2` registers) for every backend,
+/// including this scalar one.
+pub const LANES: usize = 4;
+
+/// The canonical 4-lane combine: `(l0 + l1) + (l2 + l3)`.
+#[inline]
+pub(crate) fn reduce_add(l: [f64; LANES]) -> f64 {
+    (l[0] + l[1]) + (l[2] + l[3])
+}
+
+/// Fold the trailing `x.len() % 4` elements into `acc` lanes `0..rem`
+/// with `op`, then combine with [`reduce_add`]. Shared by every backend so
+/// remainder handling cannot diverge.
+#[inline]
+pub(crate) fn finish_fma(mut acc: [f64; LANES], x: &[f64], y: &[f64]) -> f64 {
+    for (l, (&a, &b)) in x.iter().zip(y).enumerate() {
+        acc[l] = a.mul_add(b, acc[l]);
+    }
+    reduce_add(acc)
+}
+
+/// Dot product `Σ x·y` in the canonical striped order (lane-wise fused
+/// multiply-adds).
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let blocks = x.len() / LANES;
+    let mut acc = [0.0f64; LANES];
+    for k in 0..blocks {
+        let xs = &x[k * LANES..(k + 1) * LANES];
+        let ys = &y[k * LANES..(k + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] = xs[l].mul_add(ys[l], acc[l]);
+        }
+    }
+    finish_fma(acc, &x[blocks * LANES..], &y[blocks * LANES..])
+}
+
+/// `Σ x²` in the canonical striped order.
+pub fn sum_squares(x: &[f64]) -> f64 {
+    let blocks = x.len() / LANES;
+    let mut acc = [0.0f64; LANES];
+    for k in 0..blocks {
+        let xs = &x[k * LANES..(k + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] = xs[l].mul_add(xs[l], acc[l]);
+        }
+    }
+    finish_fma(acc, &x[blocks * LANES..], &x[blocks * LANES..])
+}
+
+/// Fused `(Σ x, Σ x²)` in one pass — the sketch-store prefix kernel.
+pub fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
+    let blocks = x.len() / LANES;
+    let mut s = [0.0f64; LANES];
+    let mut ss = [0.0f64; LANES];
+    for k in 0..blocks {
+        let xs = &x[k * LANES..(k + 1) * LANES];
+        for l in 0..LANES {
+            s[l] += xs[l];
+            ss[l] = xs[l].mul_add(xs[l], ss[l]);
+        }
+    }
+    for (l, &v) in x[blocks * LANES..].iter().enumerate() {
+        s[l] += v;
+        ss[l] = v.mul_add(v, ss[l]);
+    }
+    (reduce_add(s), reduce_add(ss))
+}
+
+/// Fused five-moment accumulation `(Σx, Σy, Σx², Σy², Σxy)` — the direct
+/// window-correlation kernel.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
+    assert_eq!(x.len(), y.len(), "cross_moments: length mismatch");
+    let blocks = x.len() / LANES;
+    let mut sx = [0.0f64; LANES];
+    let mut sy = [0.0f64; LANES];
+    let mut sxx = [0.0f64; LANES];
+    let mut syy = [0.0f64; LANES];
+    let mut sxy = [0.0f64; LANES];
+    for k in 0..blocks {
+        let xs = &x[k * LANES..(k + 1) * LANES];
+        let ys = &y[k * LANES..(k + 1) * LANES];
+        for l in 0..LANES {
+            sx[l] += xs[l];
+            sy[l] += ys[l];
+            sxx[l] = xs[l].mul_add(xs[l], sxx[l]);
+            syy[l] = ys[l].mul_add(ys[l], syy[l]);
+            sxy[l] = xs[l].mul_add(ys[l], sxy[l]);
+        }
+    }
+    for (l, (&a, &b)) in x[blocks * LANES..]
+        .iter()
+        .zip(&y[blocks * LANES..])
+        .enumerate()
+    {
+        sx[l] += a;
+        sy[l] += b;
+        sxx[l] = a.mul_add(a, sxx[l]);
+        syy[l] = b.mul_add(b, syy[l]);
+        sxy[l] = a.mul_add(b, sxy[l]);
+    }
+    CrossMoments {
+        sum_x: reduce_add(sx),
+        sum_y: reduce_add(sy),
+        sum_xx: reduce_add(sxx),
+        sum_yy: reduce_add(syy),
+        sum_xy: reduce_add(sxy),
+    }
+}
+
+/// `acc[i] += x[i] · scale` with one fused multiply-add per element — the
+/// axpy kernel. Element-wise (no reduction), so it is bit-identical across
+/// backends for any vector width.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
+    assert_eq!(acc.len(), x.len(), "fma_accumulate: length mismatch");
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a = v.mul_add(scale, *a);
+    }
+}
+
+/// One element of the triangle-interval kernel: the `[lo, hi]` bound on
+/// `c_xy` from the pivot correlations `(c_xz, c_yz)`, with every operation
+/// expressed as the exact sequence the SIMD backends use (fused negated
+/// multiply-add, compare-select clamps).
+#[inline]
+pub(crate) fn tri_lo_hi(c_iz: f64, c_jz: f64) -> (f64, f64) {
+    let prod = c_iz * c_jz;
+    let u = (-c_iz).mul_add(c_iz, 1.0);
+    let u = if u > 0.0 { u } else { 0.0 };
+    let v = (-c_jz).mul_add(c_jz, 1.0);
+    let v = if v > 0.0 { v } else { 0.0 };
+    let rad = (u * v).sqrt();
+    let lo = prod - rad;
+    let lo = if lo > -1.0 { lo } else { -1.0 };
+    let hi = prod + rad;
+    let hi = if hi < 1.0 { hi } else { 1.0 };
+    (lo, hi)
+}
+
+/// Fold the remainder elements into the interval lanes and combine the
+/// lanes sequentially (`0, 1, 2, 3`) with compare-select, shared by every
+/// backend.
+#[inline]
+pub(crate) fn tri_finish(
+    mut lo: [f64; LANES],
+    mut hi: [f64; LANES],
+    c_iz: &[f64],
+    c_jz: &[f64],
+) -> (f64, f64) {
+    for (l, (&a, &b)) in c_iz.iter().zip(c_jz).enumerate() {
+        let (clo, chi) = tri_lo_hi(a, b);
+        if clo > lo[l] {
+            lo[l] = clo;
+        }
+        if chi < hi[l] {
+            hi[l] = chi;
+        }
+    }
+    let (mut best_lo, mut best_hi) = (lo[0], hi[0]);
+    for l in 1..LANES {
+        if lo[l] > best_lo {
+            best_lo = lo[l];
+        }
+        if hi[l] < best_hi {
+            best_hi = hi[l];
+        }
+    }
+    (best_lo, best_hi)
+}
+
+/// Tightest triangle-inequality interval on `c_xy` over a batch of pivot
+/// correlations: intersects `c_iz[p]·c_jz[p] ± √((1−c_iz²)(1−c_jz²))`
+/// across all `p`, clamped to `[-1, 1]`. Empty input returns `(-1, 1)`
+/// (no information). Inputs must be finite (callers filter NaN pivots).
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn triangle_interval(c_iz: &[f64], c_jz: &[f64]) -> (f64, f64) {
+    assert_eq!(c_iz.len(), c_jz.len(), "triangle_interval: length mismatch");
+    let blocks = c_iz.len() / LANES;
+    let mut lo = [-1.0f64; LANES];
+    let mut hi = [1.0f64; LANES];
+    for k in 0..blocks {
+        let izs = &c_iz[k * LANES..(k + 1) * LANES];
+        let jzs = &c_jz[k * LANES..(k + 1) * LANES];
+        for l in 0..LANES {
+            let (clo, chi) = tri_lo_hi(izs[l], jzs[l]);
+            if clo > lo[l] {
+                lo[l] = clo;
+            }
+            if chi < hi[l] {
+                hi[l] = chi;
+            }
+        }
+    }
+    tri_finish(lo, hi, &c_iz[blocks * LANES..], &c_jz[blocks * LANES..])
+}

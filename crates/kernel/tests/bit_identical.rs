@@ -1,0 +1,128 @@
+//! The determinism contract, property-tested: on *any* input — random
+//! values, random lengths covering every remainder class `len % 4 ∈
+//! {0, 1, 2, 3}` — the dispatched kernels (SIMD where the host supports
+//! it) return **bit-identical** results to the canonical striped scalar
+//! reference. On an AVX2+FMA or NEON host this is a real cross-backend
+//! check; on a bare scalar host it degenerates to reflexivity, which is
+//! why CI also runs a build-matrix leg with the features force-enabled.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Random slice whose length hits every remainder class: `base4 * 4 + rem`.
+fn inputs(seed: u64, base4: usize, rem: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = base4 * 4 + rem;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 200.0 - 100.0).collect();
+    let y: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 200.0 - 100.0).collect();
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dot_is_backend_invariant(seed in 0u64..10_000, base4 in 0usize..40, rem in 0usize..4) {
+        let (x, y) = inputs(seed, base4, rem);
+        prop_assert_eq!(
+            kernel::dot(&x, &y).to_bits(),
+            kernel::scalar::dot(&x, &y).to_bits(),
+            "len={}", x.len()
+        );
+    }
+
+    #[test]
+    fn sums_are_backend_invariant(seed in 0u64..10_000, base4 in 0usize..40, rem in 0usize..4) {
+        let (x, _) = inputs(seed, base4, rem);
+        let (s, ss) = kernel::sum_and_sum_squares(&x);
+        let (rs, rss) = kernel::scalar::sum_and_sum_squares(&x);
+        prop_assert_eq!(s.to_bits(), rs.to_bits(), "len={}", x.len());
+        prop_assert_eq!(ss.to_bits(), rss.to_bits(), "len={}", x.len());
+        prop_assert_eq!(
+            kernel::sum_squares(&x).to_bits(),
+            kernel::scalar::sum_squares(&x).to_bits()
+        );
+    }
+
+    #[test]
+    fn cross_moments_are_backend_invariant(
+        seed in 0u64..10_000, base4 in 0usize..40, rem in 0usize..4
+    ) {
+        let (x, y) = inputs(seed, base4, rem);
+        let a = kernel::cross_moments(&x, &y);
+        let b = kernel::scalar::cross_moments(&x, &y);
+        prop_assert_eq!(a.sum_x.to_bits(), b.sum_x.to_bits());
+        prop_assert_eq!(a.sum_y.to_bits(), b.sum_y.to_bits());
+        prop_assert_eq!(a.sum_xx.to_bits(), b.sum_xx.to_bits());
+        prop_assert_eq!(a.sum_yy.to_bits(), b.sum_yy.to_bits());
+        prop_assert_eq!(a.sum_xy.to_bits(), b.sum_xy.to_bits());
+    }
+
+    #[test]
+    fn fma_accumulate_is_backend_invariant(
+        seed in 0u64..10_000, base4 in 0usize..40, rem in 0usize..4, scale in -10.0f64..10.0
+    ) {
+        let (x, acc0) = inputs(seed, base4, rem);
+        let mut a = acc0.clone();
+        let mut b = acc0;
+        kernel::fma_accumulate(&mut a, &x, scale);
+        kernel::scalar::fma_accumulate(&mut b, &x, scale);
+        let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(ab, bb, "len={}", x.len());
+    }
+
+    #[test]
+    fn triangle_interval_is_backend_invariant(
+        seed in 0u64..10_000, base4 in 0usize..16, rem in 0usize..4
+    ) {
+        // Correlations live in [-1, 1]; map the raw inputs down.
+        let (x, y) = inputs(seed, base4, rem);
+        let ciz: Vec<f64> = x.iter().map(|v| (v / 100.0).clamp(-1.0, 1.0)).collect();
+        let cjz: Vec<f64> = y.iter().map(|v| (v / 100.0).clamp(-1.0, 1.0)).collect();
+        let (lo, hi) = kernel::triangle_interval(&ciz, &cjz);
+        let (slo, shi) = kernel::scalar::triangle_interval(&ciz, &cjz);
+        prop_assert_eq!(lo.to_bits(), slo.to_bits(), "len={}", ciz.len());
+        prop_assert_eq!(hi.to_bits(), shi.to_bits(), "len={}", ciz.len());
+    }
+}
+
+/// Chunked interval intersection (how `PivotSet::interval` feeds the
+/// kernel) equals one whole-batch call: min/max intersection is exactly
+/// associative, so chunk boundaries cannot change bits.
+#[test]
+fn triangle_interval_chunking_is_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let ciz: Vec<f64> = (0..37).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let cjz: Vec<f64> = (0..37).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let whole = kernel::triangle_interval(&ciz, &cjz);
+    for chunk in [1usize, 3, 4, 8, 32] {
+        let (mut lo, mut hi) = (-1.0f64, 1.0f64);
+        let mut at = 0;
+        while at < ciz.len() {
+            let end = (at + chunk).min(ciz.len());
+            let (clo, chi) = kernel::triangle_interval(&ciz[at..end], &cjz[at..end]);
+            if clo > lo {
+                lo = clo;
+            }
+            if chi < hi {
+                hi = chi;
+            }
+            at = end;
+        }
+        assert_eq!(lo.to_bits(), whole.0.to_bits(), "chunk={chunk}");
+        assert_eq!(hi.to_bits(), whole.1.to_bits(), "chunk={chunk}");
+    }
+}
+
+/// This host's backend, printed into the test log for CI triage, plus the
+/// guarantee that forcing scalar flips the dispatcher.
+#[test]
+fn backend_reporting_is_consistent() {
+    let b = kernel::active_backend();
+    assert!(["avx2+fma", "neon", "scalar"].contains(&b), "{b}");
+    kernel::force_scalar(true);
+    assert_eq!(kernel::active_backend(), "scalar");
+    kernel::force_scalar(false);
+    assert_eq!(kernel::active_backend(), b);
+}

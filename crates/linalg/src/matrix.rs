@@ -168,7 +168,8 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order keeps the inner accesses contiguous.
+        // ikj loop order keeps the inner accesses contiguous; each inner
+        // row update is one fused axpy kernel call.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.get(i, k);
@@ -177,9 +178,7 @@ impl Matrix {
                 }
                 let orow = other.row(k);
                 let out_base = i * out.cols;
-                for (j, &b) in orow.iter().enumerate() {
-                    out.data[out_base + j] += a * b;
-                }
+                kernel::fma_accumulate(&mut out.data[out_base..out_base + out.cols], orow, a);
             }
         }
         Ok(out)
@@ -193,7 +192,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .map(|i| kernel::dot(self.row(i), v))
             .collect())
     }
 

@@ -171,6 +171,28 @@ mod tests {
     }
 
     #[test]
+    fn tiny_windows_survive_kernel_rewrite() {
+        // Widths 2, 3 and 5 keep every basic window inside the kernel's
+        // remainder-lane territory (len % 4 ∈ {2, 3, 1}); single-window
+        // and full-range queries must still match the direct Pearson.
+        for width in [2usize, 3, 5] {
+            let len = width * 4;
+            let x: Vec<f64> = (0..len).map(|t| (t as f64 * 1.1).sin()).collect();
+            let y: Vec<f64> = (0..len).map(|t| (t as f64 * 0.6).cos() + 0.3).collect();
+            let (store, pair, x, y) = setup(x, y, width);
+            for (b0, b1) in [(0usize, 1usize), (1, 2), (3, 4), (0, 4), (1, 3)] {
+                let (lo, hi) = (b0 * width, b1 * width);
+                let direct = stats::pearson(&x[lo..hi], &y[lo..hi]).unwrap();
+                let sketched = window_correlation(&store, &pair, 0, 1, b0, b1).unwrap();
+                assert!(
+                    (direct - sketched).abs() < 1e-10,
+                    "width {width} [{b0},{b1}): {direct} vs {sketched}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn zero_variance_propagates() {
         let x = vec![2.0; 20];
         let y: Vec<f64> = (0..20).map(|t| t as f64).collect();

@@ -14,10 +14,38 @@
 //!   `r, l, η, β`) and [`plan::BasicWindowLayout`] alignment;
 //! * [`store`] — per-series prefix-summed basic-window statistics, with
 //!   compact binary (de)serialisation;
-//! * [`pair`] — per-pair cross-product sketches;
+//! * [`pair`] — per-pair cross-product sketches, plus the cache-blocked
+//!   all-pairs builder [`pair::build_all`];
 //! * [`combine`] — O(1) window correlation from the sketches (Eq. 1);
 //! * [`output`] — [`output::ThresholdedMatrix`], the sparse `C_k` the
-//!   problem definition asks for.
+//!   problem definition asks for;
+//! * [`triangular`] — the shared `(i, j) ↔ rank` pair ordering.
+//!
+//! Every dense accumulation in the prefix builders runs on the `kernel`
+//! crate's 4-lane SIMD primitives ([`kernel::dot`],
+//! [`kernel::sum_and_sum_squares`]) whose scalar fallback is bit-identical
+//! by contract, so sketches — and everything derived from them — do not
+//! depend on the instruction set, the thread count, or batch-vs-streaming
+//! construction order.
+//!
+//! Building the two sketch kinds and reconstructing an exact windowed
+//! correlation from them:
+//!
+//! ```
+//! use sketch::{combine, BasicWindowLayout, PairSketch, SketchStore};
+//! use tsdata::TimeSeriesMatrix;
+//!
+//! let x: Vec<f64> = (0..32).map(|t| (t as f64 * 0.4).sin()).collect();
+//! let y: Vec<f64> = (0..32).map(|t| (t as f64 * 0.4 + 1.0).sin()).collect();
+//! let m = TimeSeriesMatrix::from_rows(vec![x.clone(), y.clone()]).unwrap();
+//! let layout = BasicWindowLayout::cover(0, 32, 8).unwrap();
+//! let store = SketchStore::build(&m, layout).unwrap(); // Σx, Σx² prefixes
+//! let pair = PairSketch::build(&layout, &x, &y).unwrap(); // Σx·y prefix
+//! // Exact Pearson correlation over basic windows [1, 4) in O(1):
+//! let r = combine::window_correlation(&store, &pair, 0, 1, 1, 4).unwrap();
+//! let direct = tsdata::stats::pearson(&x[8..32], &y[8..32]).unwrap();
+//! assert!((r - direct).abs() < 1e-9);
+//! ```
 
 pub mod combine;
 pub mod output;

@@ -38,15 +38,19 @@ impl PairSketch {
 
     /// [`PairSketch::build`] without the validation — for batch builders
     /// that have already validated the matrix once.
+    ///
+    /// Each basic window's `Σ x·y` is one [`kernel::dot`] call (SIMD where
+    /// the host supports it, the canonical striped scalar order
+    /// otherwise — bit-identical either way), and the prefix chain is a
+    /// sequential add per window, so appended sketches can continue it
+    /// exactly.
     fn build_unchecked(layout: &BasicWindowLayout, x: &[f64], y: &[f64]) -> Self {
         let mut cross_prefix = Vec::with_capacity(layout.count + 1);
         cross_prefix.push(0.0);
         let mut acc = 0.0;
         for b in 0..layout.count {
             let (t0, t1) = layout.time_range(b);
-            for t in t0..t1 {
-                acc = x[t].mul_add(y[t], acc);
-            }
+            acc += kernel::dot(&x[t0..t1], &y[t0..t1]);
             cross_prefix.push(acc);
         }
         Self { cross_prefix }
@@ -108,14 +112,15 @@ impl PairSketch {
                 });
             }
         }
-        // Same fused accumulation as `build_unchecked`, so an appended
-        // sketch stays bit-identical to a fresh build.
+        // Same per-window kernel reduction as `build_unchecked`, so an
+        // appended sketch stays bit-identical to a fresh build.
         let mut acc = *self.cross_prefix.last().unwrap();
         for b in old_count..layout.count {
             let (t0, t1) = layout.time_range(b);
-            for t in t0..t1 {
-                acc = x_tail[t - tail_start].mul_add(y_tail[t - tail_start], acc);
-            }
+            acc += kernel::dot(
+                &x_tail[t0 - tail_start..t1 - tail_start],
+                &y_tail[t0 - tail_start..t1 - tail_start],
+            );
             self.cross_prefix.push(acc);
         }
         Ok(layout.count - old_count)

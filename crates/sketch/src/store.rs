@@ -188,14 +188,13 @@ impl SketchStore {
             let row = tail.row(i);
             let mut acc = sum_prefix[new_base + old_count];
             let mut acc_sq = sum_sq_prefix[new_base + old_count];
-            // Same fused accumulation as `prefix_row`, so an appended
-            // store stays bit-identical to a fresh build.
+            // Same per-window kernel reduction as `prefix_row`, so an
+            // appended store stays bit-identical to a fresh build.
             for b in old_count..new_count {
                 let (t0, t1) = new_layout.time_range(b);
-                for &v in &row[t0 - tail_start..t1 - tail_start] {
-                    acc += v;
-                    acc_sq = v.mul_add(v, acc_sq);
-                }
+                let (s, ss) = kernel::sum_and_sum_squares(&row[t0 - tail_start..t1 - tail_start]);
+                acc += s;
+                acc_sq += ss;
                 sum_prefix[new_base + b + 1] = acc;
                 sum_sq_prefix[new_base + b + 1] = acc_sq;
             }
@@ -278,8 +277,12 @@ impl SketchStore {
     }
 }
 
-/// One series' `(count+1)`-long prefix rows of `Σx` and `Σx²`, fused in a
-/// single pass with `mul_add` for the squared accumulation.
+/// One series' `(count+1)`-long prefix rows of `Σx` and `Σx²`.
+///
+/// Each basic window is one fused [`kernel::sum_and_sum_squares`] pass
+/// (SIMD where available, bit-identical striped scalar otherwise); the
+/// prefix chain across windows is a sequential add per window, so
+/// [`SketchStore::append_tail`] can continue it exactly.
 fn prefix_row(row: &[f64], layout: &BasicWindowLayout) -> (Vec<f64>, Vec<f64>) {
     let stride = layout.count + 1;
     let mut sums = Vec::with_capacity(stride);
@@ -290,10 +293,9 @@ fn prefix_row(row: &[f64], layout: &BasicWindowLayout) -> (Vec<f64>, Vec<f64>) {
     let mut acc_sq = 0.0;
     for b in 0..layout.count {
         let (t0, t1) = layout.time_range(b);
-        for &v in &row[t0..t1] {
-            acc += v;
-            acc_sq = v.mul_add(v, acc_sq);
-        }
+        let (s, ss) = kernel::sum_and_sum_squares(&row[t0..t1]);
+        acc += s;
+        acc_sq += ss;
         sums.push(acc);
         sums_sq.push(acc_sq);
     }

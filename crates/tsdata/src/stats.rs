@@ -48,6 +48,10 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, TsError> {
 
 /// Pearson correlation coefficient.
 ///
+/// The five raw moments come from the fused [`kernel::cross_moments`]
+/// pass (SIMD where the host supports it), so the direct path and the
+/// sketch-reconstructed path share one accumulation kernel.
+///
 /// Errors when the slices differ in length, have fewer than 2 points, or
 /// either has zero variance (the coefficient is undefined there).
 pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, TsError> {
@@ -64,20 +68,13 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, TsError> {
         });
     }
     let n = xs.len() as f64;
-    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
-    for (&x, &y) in xs.iter().zip(ys) {
-        sx += x;
-        sy += y;
-        sxx += x * x;
-        syy += y * y;
-        sxy += x * y;
-    }
-    let vx = sxx - sx * sx / n;
-    let vy = syy - sy * sy / n;
+    let m = kernel::cross_moments(xs, ys);
+    let vx = m.sum_xx - m.sum_x * m.sum_x / n;
+    let vy = m.sum_yy - m.sum_y * m.sum_y / n;
     if vx <= 0.0 || vy <= 0.0 {
         return Err(TsError::ZeroVariance);
     }
-    let r = (sxy - sx * sy / n) / (vx.sqrt() * vy.sqrt());
+    let r = (m.sum_xy - m.sum_x * m.sum_y / n) / (vx.sqrt() * vy.sqrt());
     // Guard against floating-point excursions slightly past ±1.
     Ok(r.clamp(-1.0, 1.0))
 }

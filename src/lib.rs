@@ -9,6 +9,7 @@ pub use baselines;
 pub use dangoron;
 pub use dsp;
 pub use eval;
+pub use kernel;
 pub use linalg;
 pub use network;
 pub use sketch;

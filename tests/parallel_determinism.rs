@@ -4,6 +4,13 @@
 //! modes and edge rules. The work-stealing scheduler hands pairs out
 //! non-deterministically; the sort-and-partition assembly must erase that
 //! completely.
+//!
+//! Since the SIMD kernel layer, the contract extends to the instruction
+//! set: the dispatched kernels (AVX2+FMA / NEON) and the canonical
+//! striped scalar fallback are bit-identical, so the engine's output is
+//! invariant in the kernel backend too
+//! ([`engine_output_is_kernel_backend_invariant`]); CI runs this file
+//! with and without `-C target-feature=+avx2,+fma`.
 
 use dangoron::{BoundMode, Dangoron, DangoronConfig, PairStorage, QueryResult, StreamingDangoron};
 use sketch::output::EdgeRule;
@@ -241,6 +248,79 @@ fn streaming_with_pivots_emits_exact_batch_truth() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn engine_output_is_kernel_backend_invariant() {
+    // Forcing the scalar-striped kernels must not move a single bit of
+    // the result — edges, values, or pruning counters — in either
+    // engine. (Safe to flip globally even while other tests run: the
+    // backends are bit-identical by contract, so concurrent queries can
+    // only get slower, never different.)
+    let x = generators::clustered_matrix(12, 400, 3, 0.55, 77).unwrap();
+    let q = SlidingQuery {
+        start: 0,
+        end: 400,
+        window: 80,
+        step: 20,
+        threshold: 0.75,
+    };
+    let run = || {
+        Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            horizontal: Some(dangoron::config::HorizontalConfig {
+                n_pivots: 3,
+                strategy: dangoron::PivotStrategy::Evenly,
+            }),
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap()
+        .execute(&x, q)
+        .unwrap()
+    };
+    let simd = run();
+    assert!(simd.total_edges() > 0, "workload produced no edges");
+    kernel::force_scalar(true);
+    let scalar = run();
+    kernel::force_scalar(false);
+    assert_same_result(&simd, &scalar, "kernel backend (batch)");
+
+    let stream = |threads: usize| {
+        let initial = x.slice_columns(0, 160).unwrap();
+        let mut session = StreamingDangoron::new(
+            initial,
+            80,
+            20,
+            0.75,
+            DangoronConfig {
+                basic_window: 20,
+                bound: BoundMode::PaperJump { slack: 0.0 },
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut collected = session.drain_completed().unwrap();
+        for (a, b) in [(160usize, 260usize), (260, 400)] {
+            collected.extend(session.append(&x.slice_columns(a, b).unwrap()).unwrap());
+        }
+        collected
+    };
+    let simd = stream(2);
+    kernel::force_scalar(true);
+    let scalar = stream(2);
+    kernel::force_scalar(false);
+    assert_eq!(simd.len(), scalar.len(), "stream window count");
+    for (a, b) in simd.iter().zip(&scalar) {
+        assert_eq!(a.index, b.index);
+        assert_bit_identical(
+            std::slice::from_ref(&a.matrix),
+            std::slice::from_ref(&b.matrix),
+            "kernel backend (stream)",
+        );
     }
 }
 
