@@ -2,32 +2,59 @@
 //! records the perf trajectory.
 //!
 //! ```text
-//! harness <exp-id>... [--full]                    # e1 … e12, or `all`
-//! harness bench [--out BENCH_1.json] [--full]     # perf ladder → JSON
-//! harness validate [--require-streaming] [--require-kernels] FILE...
+//! harness <exp-id>... [--full]                    # e1 … e13, or `all`
+//! harness bench [--out BENCH_1.json] [--full] [--shard-records DIR]
+//! harness merge --out MERGED.json SHARD.json...   # fold per-shard records
+//! harness validate [--require-streaming] [--require-kernels]
+//!                  [--require-shards] FILE...
 //! ```
 //!
 //! Quick scale (default) runs in seconds per experiment; `--full` uses the
 //! paper-sized configuration (N up to 512, a full year of hourly data) and
 //! takes minutes. `bench` times the E1 workload's prepare and pure-query
 //! phases at threads 1/2/4/8 and writes a machine-readable record (see
-//! `bench::perf`) so every PR's speedup is comparable to its predecessors.
+//! `bench::perf`) so every PR's speedup is comparable to its predecessors;
+//! `--shard-records DIR` additionally writes the distributed run's
+//! per-shard records, which `merge` folds into one (evaluation counts
+//! summed, wall times maxed, `n_shards` recorded).
 
 use bench::experiments::{run_experiment, ALL};
+use bench::schema::Requires;
 use bench::Scale;
 
+fn flag_value(args: &[String], flag: &str) -> Option<Result<String, String>> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|k| match args.get(k + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("{flag} requires a value")),
+        })
+}
+
 fn run_bench(args: &[String], scale: Scale) {
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(k) => match args.get(k + 1) {
-            Some(v) if !v.starts_with("--") => v.clone(),
-            _ => {
-                eprintln!("error: --out requires a file path");
-                std::process::exit(2);
-            }
-        },
+    let out_path = match flag_value(args, "--out") {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
         None => "BENCH_1.json".to_string(),
     };
-    let record = bench::perf::run(scale);
+    let shard_dir = match flag_value(args, "--shard-records") {
+        Some(Ok(v)) => Some(v),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let (record, dist_result, workload) = bench::perf::run_full(scale);
+    if let Some(dir) = shard_dir {
+        if let Err(e) = write_shard_records(&dir, &workload, &dist_result) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     let json = record.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
@@ -37,9 +64,91 @@ fn run_bench(args: &[String], scale: Scale) {
     eprintln!("wrote {out_path}");
 }
 
+/// Writes one per-shard record per completed shard of the perf run's
+/// distributed leg into `dir` (`shard_0.json`, `shard_1.json`, …) —
+/// reusing the run `bench::perf::run_full` already executed.
+fn write_shard_records(
+    dir: &str,
+    w: &eval::workloads::Workload,
+    result: &dist::DistResult,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let hardware = bench::perf::HardwareInfo::probe();
+    for (k, shard) in result.shards.iter().enumerate() {
+        let json = bench::merge::shard_record_json(
+            &w.name,
+            w.data.n_series(),
+            w.data.len(),
+            w.query.n_windows(),
+            &hardware,
+            result.coord.n_shards_planned,
+            k,
+            shard,
+        );
+        let path = format!("{dir}/shard_{k}.json");
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_merge(args: &[String]) {
+    let out_path = match flag_value(args, "--out") {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: merge requires --out FILE");
+            std::process::exit(2);
+        }
+    };
+    let skip_value_of = ["--out"];
+    let mut inputs = Vec::new();
+    let mut k = 0;
+    let argv: Vec<&String> = args.iter().filter(|a| *a != "merge").collect();
+    while k < argv.len() {
+        let a = argv[k];
+        if skip_value_of.contains(&a.as_str()) {
+            k += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            eprintln!("error: unknown merge flag {a}");
+            std::process::exit(2);
+        }
+        match std::fs::read_to_string(a) {
+            Ok(json) => inputs.push((a.clone(), json)),
+            Err(e) => {
+                eprintln!("{a}: cannot read: {e}");
+                std::process::exit(1);
+            }
+        }
+        k += 1;
+    }
+    match bench::merge::merge_records(&inputs) {
+        Ok(merged) => {
+            if let Err(e) = std::fs::write(&out_path, &merged) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("{merged}");
+            eprintln!("merged {} per-shard records into {out_path}", inputs.len());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_validate(args: &[String]) {
-    let require_streaming = args.iter().any(|a| a == "--require-streaming");
-    let require_kernels = args.iter().any(|a| a == "--require-kernels");
+    let requires = Requires {
+        streaming: args.iter().any(|a| a == "--require-streaming"),
+        kernels: args.iter().any(|a| a == "--require-kernels"),
+        shards: args.iter().any(|a| a == "--require-shards"),
+    };
     let files: Vec<&String> = args
         .iter()
         .filter(|a| !a.starts_with("--") && *a != "validate")
@@ -58,7 +167,7 @@ fn run_validate(args: &[String]) {
                 continue;
             }
         };
-        match bench::schema::validate(&json, require_streaming, require_kernels) {
+        match bench::schema::validate(&json, requires) {
             Ok(()) => println!("{path}: valid dangoron-bench-v1 record"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
@@ -77,6 +186,10 @@ fn main() {
     let scale = Scale::from_flag(full);
     if args.iter().any(|a| a == "validate") {
         run_validate(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "merge") {
+        run_merge(&args);
         return;
     }
     if args.iter().any(|a| a == "bench") {
@@ -102,7 +215,7 @@ fn main() {
                 println!("{report}");
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e12 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e13 or all)");
                 failed = true;
             }
         }

@@ -3,6 +3,7 @@
 pub mod e10_network;
 pub mod e11_streaming_pivots;
 pub mod e12_kernels;
+pub mod e13_sharding;
 pub mod e1_query_time;
 pub mod e2_accuracy;
 pub mod e3_jump_structure;
@@ -30,11 +31,12 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
         "e10" => e10_network::run(scale),
         "e11" => e11_streaming_pivots::run(scale),
         "e12" => e12_kernels::run(scale),
+        "e13" => e13_sharding::run(scale),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];

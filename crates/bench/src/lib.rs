@@ -7,6 +7,7 @@
 
 pub mod common;
 pub mod experiments;
+pub mod merge;
 pub mod perf;
 pub mod schema;
 

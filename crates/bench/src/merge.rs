@@ -1,0 +1,344 @@
+//! `harness merge`: combining per-shard `dangoron-bench-v1` records into
+//! one merged record.
+//!
+//! A distributed run (`harness bench --shard-records DIR`) writes one
+//! record per shard, each carrying a `shard` section with its rank
+//! interval and counters. This module folds them into a single record the
+//! trajectory can keep: **evaluation counts sum**, **wall times take the
+//! max across shards** (the distributed run is as slow as its slowest
+//! shard), and the merged record carries a `shards` section recording
+//! `n_shards` and the fold — `harness validate --require-shards` checks
+//! it. Like the rest of the harness, everything is hand-rolled over the
+//! structural helpers in [`crate::schema`]; no JSON dependency exists in
+//! the workspace.
+
+use crate::perf::{json_str, HardwareInfo};
+use crate::schema::{self, Requires};
+use dist::ShardSummary;
+use std::fmt::Write as _;
+
+/// Renders the per-shard record for one completed shard of a distributed
+/// run — a full `dangoron-bench-v1` record (so every tool that reads the
+/// trajectory can read it) plus the `shard` section `harness merge`
+/// consumes.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_record_json(
+    workload: &str,
+    n_series: usize,
+    n_cols: usize,
+    n_windows: usize,
+    hardware: &HardwareInfo,
+    n_shards: usize,
+    index: usize,
+    shard: &ShardSummary,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"dangoron-bench-v1\",");
+    let _ = writeln!(s, "  \"workload\": {},", json_str(workload));
+    let _ = writeln!(s, "  \"n_series\": {n_series},");
+    let _ = writeln!(s, "  \"n_cols\": {n_cols},");
+    let _ = writeln!(s, "  \"n_windows\": {n_windows},");
+    let _ = writeln!(s, "  \"hardware_threads\": {},", exec::available_threads());
+    let flags: Vec<String> = hardware.flags.iter().map(|f| json_str(f)).collect();
+    let _ = writeln!(
+        s,
+        "  \"hardware\": {{\"n_physical_cores\": {}, \"flags\": [{}]}},",
+        hardware.n_physical_cores,
+        flags.join(", "),
+    );
+    let _ = writeln!(
+        s,
+        "  \"shard\": {{\"index\": {index}, \"n_shards\": {n_shards}, \
+         \"pair_start\": {}, \"pair_end\": {}, \"evaluated\": {}, \
+         \"total_cells\": {}, \"edges\": {}, \"attempt\": {}, \
+         \"prepare_ms\": {:.6}, \"query_ms\": {:.6}}},",
+        shard.ranks.start,
+        shard.ranks.end,
+        shard.stats.evaluated,
+        shard.stats.total_cells,
+        shard.n_edges,
+        shard.attempt,
+        shard.prepare_s * 1e3,
+        shard.query_s * 1e3,
+    );
+    let _ = writeln!(s, "  \"samples\": [");
+    let _ = writeln!(
+        s,
+        "    {{\"threads\": 1, \
+         \"prepare_ms\": {{\"median\": {p:.6}, \"min\": {p:.6}, \"max\": {p:.6}}}, \
+         \"query_ms\": {{\"median\": {q:.6}, \"min\": {q:.6}, \"max\": {q:.6}}}, \
+         \"skip_fraction\": {:.6}, \"total_edges\": {}}}",
+        shard.stats.skip_fraction(),
+        shard.n_edges,
+        p = shard.prepare_s * 1e3,
+        q = shard.query_s * 1e3,
+    );
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Extracted view of one per-shard record.
+struct ShardRecord {
+    pair_start: usize,
+    pair_end: usize,
+    n_shards: usize,
+    evaluated: u64,
+    total_cells: u64,
+    edges: u64,
+    attempt: u64,
+    prepare_ms: f64,
+    query_ms: f64,
+    threads: u64,
+}
+
+/// Merges per-shard records into one merged `dangoron-bench-v1` record.
+///
+/// Inputs are `(label, json)` pairs (the label is used in error
+/// messages). Every input must be a valid record with a `shard` section;
+/// the shard intervals must tile `[0, max_pair_end)` without gaps or
+/// overlaps (re-planned, finer-than-planned partitions are fine), and all
+/// must agree on the workload and `n_shards`.
+pub fn merge_records(inputs: &[(String, String)]) -> Result<String, String> {
+    if inputs.is_empty() {
+        return Err("merge needs at least one per-shard record".to_string());
+    }
+    let mut parsed = Vec::with_capacity(inputs.len());
+    for (label, json) in inputs {
+        schema::validate(json, Requires::default()).map_err(|e| format!("{label}: {e}"))?;
+        let body = schema::after_key(json, "shard")
+            .and_then(schema::object_body)
+            .ok_or_else(|| format!("{label}: not a per-shard record (no \"shard\" section)"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            schema::num_value(body, key)
+                .ok_or_else(|| format!("{label}: shard section lacks \"{key}\""))
+        };
+        let samples = schema::after_key(json, "samples").expect("validated above");
+        parsed.push(ShardRecord {
+            pair_start: num("pair_start")? as usize,
+            pair_end: num("pair_end")? as usize,
+            n_shards: num("n_shards")? as usize,
+            evaluated: num("evaluated")? as u64,
+            total_cells: num("total_cells")? as u64,
+            edges: num("edges")? as u64,
+            attempt: num("attempt")? as u64,
+            prepare_ms: num("prepare_ms")?,
+            query_ms: num("query_ms")?,
+            threads: schema::num_value(samples, "threads").unwrap_or(1.0) as u64,
+        });
+    }
+
+    let (first_label, first_json) = &inputs[0];
+    let workload = schema::string_value(first_json, "workload")
+        .ok_or_else(|| format!("{first_label}: no workload"))?;
+    let meta_num = |key: &str| -> Result<f64, String> {
+        schema::num_value(first_json, key)
+            .ok_or_else(|| format!("{first_label}: missing \"{key}\""))
+    };
+    let hardware = schema::after_key(first_json, "hardware")
+        .and_then(schema::object_body)
+        .ok_or_else(|| format!("{first_label}: missing hardware section"))?;
+    for (k, (label, json)) in inputs.iter().enumerate().skip(1) {
+        let w = schema::string_value(json, "workload").unwrap_or("");
+        if w != workload {
+            return Err(format!(
+                "{label}: workload {w:?} differs from {first_label}'s {workload:?}"
+            ));
+        }
+        if parsed[k].n_shards != parsed[0].n_shards {
+            return Err(format!("{label}: n_shards disagrees with {first_label}"));
+        }
+    }
+
+    // The shard intervals must tile the *whole* pair space — a missing
+    // highest-rank record would otherwise fold into a silently
+    // undercounted merged record.
+    let n_series = meta_num("n_series")? as usize;
+    let n_pairs = n_series * n_series.saturating_sub(1) / 2;
+    let mut order: Vec<usize> = (0..parsed.len()).collect();
+    order.sort_by_key(|&k| parsed[k].pair_start);
+    let mut expected = 0usize;
+    for &k in &order {
+        let r = &parsed[k];
+        if r.pair_start != expected {
+            return Err(format!(
+                "{}: shard interval {}..{} leaves a gap or overlap at rank {expected}",
+                inputs[k].0, r.pair_start, r.pair_end
+            ));
+        }
+        if r.pair_end <= r.pair_start {
+            return Err(format!("{}: empty shard interval", inputs[k].0));
+        }
+        expected = r.pair_end;
+    }
+    if expected != n_pairs {
+        return Err(format!(
+            "shard intervals cover ranks 0..{expected} but n_series = {n_series} \
+             has {n_pairs} pairs — a per-shard record is missing"
+        ));
+    }
+
+    let evaluated: u64 = parsed.iter().map(|r| r.evaluated).sum();
+    let total_cells: u64 = parsed.iter().map(|r| r.total_cells).sum();
+    let edges: u64 = parsed.iter().map(|r| r.edges).sum();
+    // Re-planned shard *intervals* (attempt > 0): one coordinator re-plan
+    // event that split a shard across 3 survivors shows up as 3 here —
+    // the per-event count lives only in the original run's own `shards`
+    // section, which a fold of per-shard records cannot reconstruct.
+    let replans: u64 = parsed.iter().filter(|r| r.attempt > 0).count() as u64;
+    let prepare_ms_max = parsed.iter().map(|r| r.prepare_ms).fold(0.0, f64::max);
+    let query_ms_max = parsed.iter().map(|r| r.query_ms).fold(0.0, f64::max);
+    let threads = parsed.iter().map(|r| r.threads).max().unwrap_or(1);
+    let skip_fraction = if total_cells == 0 {
+        0.0
+    } else {
+        1.0 - evaluated as f64 / total_cells as f64
+    };
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"dangoron-bench-v1\",");
+    let _ = writeln!(s, "  \"workload\": {},", json_str(workload));
+    let _ = writeln!(s, "  \"n_series\": {},", meta_num("n_series")? as u64);
+    let _ = writeln!(s, "  \"n_cols\": {},", meta_num("n_cols")? as u64);
+    let _ = writeln!(s, "  \"n_windows\": {},", meta_num("n_windows")? as u64);
+    let _ = writeln!(
+        s,
+        "  \"hardware_threads\": {},",
+        meta_num("hardware_threads")? as u64
+    );
+    let _ = writeln!(s, "  \"hardware\": {hardware},");
+    let _ = writeln!(
+        s,
+        "  \"shards\": {{\"n_shards\": {}, \"merged_from\": {}, \
+         \"evaluated\": {evaluated}, \"total_cells\": {total_cells}, \
+         \"merged_edges\": {edges}, \"prepare_ms_max\": {prepare_ms_max:.6}, \
+         \"query_ms_max\": {query_ms_max:.6}, \"replans\": {replans}}},",
+        parsed[0].n_shards,
+        parsed.len(),
+    );
+    let _ = writeln!(s, "  \"samples\": [");
+    let _ = writeln!(
+        s,
+        "    {{\"threads\": {threads}, \
+         \"prepare_ms\": {{\"median\": {p:.6}, \"min\": {p:.6}, \"max\": {p:.6}}}, \
+         \"query_ms\": {{\"median\": {q:.6}, \"min\": {q:.6}, \"max\": {q:.6}}}, \
+         \"skip_fraction\": {skip_fraction:.6}, \"total_edges\": {edges}}}",
+        p = prepare_ms_max,
+        q = query_ms_max,
+    );
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    debug_assert!(schema::validate(
+        &s,
+        Requires {
+            shards: true,
+            ..Default::default()
+        }
+    )
+    .is_ok());
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangoron::PruningStats;
+
+    fn summary(ranks: std::ops::Range<usize>, evaluated: u64, edges: usize) -> ShardSummary {
+        ShardSummary {
+            ranks,
+            attempt: 0,
+            prepare_s: 0.004,
+            query_s: 0.002,
+            stats: PruningStats {
+                n_pairs: 10,
+                total_cells: evaluated + 5,
+                evaluated,
+                edges: edges as u64,
+                ..Default::default()
+            },
+            n_edges: edges,
+        }
+    }
+
+    fn record(ranks: std::ops::Range<usize>, index: usize, evaluated: u64) -> String {
+        shard_record_json(
+            "climate(test)",
+            16,
+            480,
+            7,
+            &HardwareInfo {
+                n_physical_cores: 2,
+                flags: vec!["avx2".into()],
+            },
+            2,
+            index,
+            &summary(ranks, evaluated, 3),
+        )
+    }
+
+    #[test]
+    fn shard_records_validate_standalone() {
+        let json = record(0..60, 0, 40);
+        schema::validate(&json, Requires::default()).unwrap();
+        assert!(json.contains("\"shard\": {\"index\": 0, \"n_shards\": 2"));
+        assert!(json.contains("\"pair_end\": 60"));
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_times() {
+        let inputs = vec![
+            ("a".to_string(), record(0..60, 0, 40)),
+            ("b".to_string(), record(60..120, 1, 30)),
+        ];
+        let merged = merge_records(&inputs).unwrap();
+        schema::validate(
+            &merged,
+            Requires {
+                shards: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(merged.contains("\"n_shards\": 2"));
+        assert!(merged.contains("\"evaluated\": 70"));
+        assert!(merged.contains("\"total_cells\": 80"));
+        assert!(merged.contains("\"merged_edges\": 6"));
+        // Wall time is the slowest shard, not the sum.
+        assert!(merged.contains("\"query_ms_max\": 2.000000"));
+        // Merge order must not matter.
+        let reversed = vec![inputs[1].clone(), inputs[0].clone()];
+        assert_eq!(merge_records(&reversed).unwrap(), merged);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_mismatches() {
+        // Gap between 60 and 70.
+        let bad = vec![
+            ("a".to_string(), record(0..60, 0, 40)),
+            ("b".to_string(), record(70..120, 1, 30)),
+        ];
+        assert!(merge_records(&bad).unwrap_err().contains("gap"));
+        // Overlap.
+        let bad = vec![
+            ("a".to_string(), record(0..60, 0, 40)),
+            ("b".to_string(), record(50..120, 1, 30)),
+        ];
+        assert!(merge_records(&bad).is_err());
+        // Not a shard record.
+        let plain = record(0..60, 0, 40).replace("\"shard\":", "\"not_shard\":");
+        assert!(merge_records(&[("a".to_string(), plain)])
+            .unwrap_err()
+            .contains("shard"));
+        // Workload mismatch.
+        let other = record(60..120, 1, 30).replace("climate(test)", "other");
+        assert!(
+            merge_records(&[("a".to_string(), record(0..60, 0, 40)), ("b".into(), other)])
+                .unwrap_err()
+                .contains("workload")
+        );
+        assert!(merge_records(&[]).is_err());
+    }
+}

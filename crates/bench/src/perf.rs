@@ -76,6 +76,63 @@ pub struct KernelsPerf {
     pub prefix_build_speedup: f64,
 }
 
+/// Hardware context embedded in every record, so the machine's limits
+/// (1-core containers, missing SIMD) are self-documenting instead of
+/// tribal knowledge. Hostname-free by construction: a fixed flag
+/// whitelist and one counter (see `exec::hardware`).
+#[derive(Debug, Clone)]
+pub struct HardwareInfo {
+    /// Physical cores (hyperthreads excluded), best effort.
+    pub n_physical_cores: usize,
+    /// Whitelisted SIMD capability flags.
+    pub flags: Vec<String>,
+}
+
+impl HardwareInfo {
+    /// Probes the running machine.
+    pub fn probe() -> Self {
+        Self {
+            n_physical_cores: exec::hardware::physical_cores(),
+            flags: exec::hardware::simd_flags()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+}
+
+/// The distributed-tier sample: the E13 shard run condensed for the perf
+/// trajectory (absent in pre-PR-4 records).
+#[derive(Debug, Clone)]
+pub struct ShardsPerf {
+    /// Shards planned.
+    pub n_shards: usize,
+    /// Worker processes used (0 in the in-process fallback).
+    pub workers: usize,
+    /// `"processes"` when real `dangoron-shard` workers ran,
+    /// `"in-process"` when the worker binary was unavailable.
+    pub mode: String,
+    /// Re-plan events over the run.
+    pub replans: usize,
+    /// Summed exact evaluations across shards.
+    pub evaluated: u64,
+    /// Summed (pair, window) cells across shards.
+    pub total_cells: u64,
+    /// Edges in the merged result.
+    pub merged_edges: usize,
+    /// Slowest shard prepare, milliseconds.
+    pub prepare_ms_max: f64,
+    /// Slowest shard query, milliseconds.
+    pub query_ms_max: f64,
+    /// Coordinator end-to-end wall milliseconds.
+    pub coord_ms: f64,
+    /// Single-process reference wall milliseconds (prepare + query).
+    pub single_process_ms: f64,
+    /// Whether the merged matrices matched the single-process engine
+    /// bitwise (enforced to `true` by tests and CI; recorded anyway).
+    pub bit_identical: bool,
+}
+
 /// A full perf record.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -90,12 +147,16 @@ pub struct PerfRecord {
     /// Hardware threads the machine reports (speedups above this number
     /// are not expected to materialise).
     pub hardware_threads: usize,
+    /// Hardware context (physical cores, SIMD flags).
+    pub hardware: HardwareInfo,
     /// Per-thread-count samples.
     pub samples: Vec<ThreadSample>,
     /// The streaming-pivots experiment (absent in pre-PR-2 records).
     pub streaming: Option<StreamingPerf>,
     /// The kernel microbenchmark (absent in pre-PR-3 records).
     pub kernels: Option<KernelsPerf>,
+    /// The distributed shard tier (absent in pre-PR-4 records).
+    pub shards: Option<ShardsPerf>,
 }
 
 impl PerfRecord {
@@ -123,6 +184,34 @@ impl PerfRecord {
         let _ = writeln!(s, "  \"n_cols\": {},", self.n_cols);
         let _ = writeln!(s, "  \"n_windows\": {},", self.n_windows);
         let _ = writeln!(s, "  \"hardware_threads\": {},", self.hardware_threads);
+        let flags: Vec<String> = self.hardware.flags.iter().map(|f| json_str(f)).collect();
+        let _ = writeln!(
+            s,
+            "  \"hardware\": {{\"n_physical_cores\": {}, \"flags\": [{}]}},",
+            self.hardware.n_physical_cores,
+            flags.join(", "),
+        );
+        if let Some(sh) = &self.shards {
+            let _ = writeln!(
+                s,
+                "  \"shards\": {{\"n_shards\": {}, \"workers\": {}, \"mode\": {}, \
+                 \"replans\": {}, \"evaluated\": {}, \"total_cells\": {}, \
+                 \"merged_edges\": {}, \"prepare_ms_max\": {}, \"query_ms_max\": {}, \
+                 \"coord_ms\": {}, \"single_process_ms\": {}, \"bit_identical\": {}}},",
+                sh.n_shards,
+                sh.workers,
+                json_str(&sh.mode),
+                sh.replans,
+                sh.evaluated,
+                sh.total_cells,
+                sh.merged_edges,
+                json_num(sh.prepare_ms_max),
+                json_num(sh.query_ms_max),
+                json_num(sh.coord_ms),
+                json_num(sh.single_process_ms),
+                sh.bit_identical,
+            );
+        }
         if let Some(sp) = &self.streaming {
             let _ = writeln!(
                 s,
@@ -205,7 +294,7 @@ fn json_ratio(v: Option<f64>) -> String {
     }
 }
 
-fn json_str(v: &str) -> String {
+pub(crate) fn json_str(v: &str) -> String {
     let mut out = String::with_capacity(v.len() + 2);
     out.push('"');
     for c in v.chars() {
@@ -316,6 +405,14 @@ fn streaming_sample(w: &Workload, threads: usize, reps: usize) -> StreamingPerf 
 
 /// Runs the perf ladder and returns the record.
 pub fn run(scale: Scale) -> PerfRecord {
+    run_full(scale).0
+}
+
+/// [`run`], additionally handing back the distributed run's
+/// [`dist::DistResult`] and the workload — so `harness bench
+/// --shard-records` can write the per-shard records without re-running
+/// the (expensive) distributed and single-process reference legs.
+pub fn run_full(scale: Scale) -> (PerfRecord, dist::DistResult, Workload) {
     let (n, hours, reps) = match scale {
         Scale::Quick => (32, 24 * 90, 3),
         Scale::Full => (128, 24 * 365, 5),
@@ -339,17 +436,88 @@ pub fn run(scale: Scale) -> PerfRecord {
     let streaming_threads = exec::available_threads().min(*THREAD_LADDER.last().unwrap());
     let streaming = Some(streaming_sample(&w, streaming_threads, reps));
     let kernels = Some(kernels_sample(scale));
+    let (shards_perf, dist_result) = shards_sample(&w);
 
-    PerfRecord {
+    let record = PerfRecord {
         workload: w.name.clone(),
         n_series: n,
         n_cols: w.data.len(),
         n_windows: w.query.n_windows(),
         hardware_threads: exec::available_threads(),
+        hardware: HardwareInfo::probe(),
         samples,
         streaming,
         kernels,
-    }
+        shards: Some(shards_perf),
+    };
+    (record, dist_result, w)
+}
+
+/// Runs the distributed shard tier over the workload (4 shards, batch
+/// mode) and condenses it to the `shards` section — through real
+/// `dangoron-shard` worker processes when the binary is built, an
+/// in-process fallback otherwise. Also returns the per-shard summaries so
+/// `harness bench --shard-records` can write the per-shard records that
+/// `harness merge` consumes.
+pub fn shards_sample(w: &Workload) -> (ShardsPerf, dist::DistResult) {
+    use dist::coord;
+    use dist::proto::WorkerMode;
+    let engine_cfg = DangoronConfig {
+        basic_window: w.basic_window,
+        bound: BoundMode::PaperJump { slack: 0.0 },
+        ..Default::default()
+    };
+    let n_shards = 4;
+    let t = Instant::now();
+    let single = coord::run_single_process(WorkerMode::Batch, &engine_cfg, &w.data, w.query)
+        .expect("single-process reference run");
+    let single_process_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let in_process = || {
+        coord::run_in_process(n_shards, WorkerMode::Batch, &engine_cfg, &w.data, w.query)
+            .expect("in-process shard run")
+    };
+    let (result, mode) = match coord::default_worker_path() {
+        Some(worker_bin) => {
+            let cfg = coord::CoordinatorConfig {
+                timeout: Duration::from_secs(600),
+                ..coord::CoordinatorConfig::new(worker_bin, n_shards)
+            };
+            match coord::run(&cfg, &engine_cfg, &w.data, w.query) {
+                Ok(r) => (r, "processes"),
+                Err(e) => {
+                    eprintln!("shards: process tier failed ({e}); recording in-process run");
+                    (in_process(), "in-process")
+                }
+            }
+        }
+        None => (in_process(), "in-process"),
+    };
+    let bit_identical = dist::merge::windows_bit_identical(&result.matrices, &single.matrices)
+        && result.stats == single.stats;
+    let perf = ShardsPerf {
+        n_shards: result.coord.n_shards_planned,
+        workers: result.coord.n_workers,
+        mode: mode.to_string(),
+        replans: result.coord.replans,
+        evaluated: result.stats.evaluated,
+        total_cells: result.stats.total_cells,
+        merged_edges: result.matrices.iter().map(|m| m.n_edges()).sum(),
+        prepare_ms_max: result
+            .shards
+            .iter()
+            .map(|s| s.prepare_s * 1e3)
+            .fold(0.0, f64::max),
+        query_ms_max: result
+            .shards
+            .iter()
+            .map(|s| s.query_s * 1e3)
+            .fold(0.0, f64::max),
+        coord_ms: result.coord.wall_s * 1e3,
+        single_process_ms,
+        bit_identical,
+    };
+    (perf, result)
 }
 
 /// Runs the E12 microbenchmark suite and condenses it to the `kernels`
@@ -398,6 +566,7 @@ mod tests {
             n_cols: w.data.len(),
             n_windows: w.query.n_windows(),
             hardware_threads: exec::available_threads(),
+            hardware: HardwareInfo::probe(),
             samples,
             streaming: Some(streaming_sample(&w, 1, 1)),
             kernels: Some(KernelsPerf {
@@ -407,6 +576,7 @@ mod tests {
                 moments_speedup: 1.0,
                 prefix_build_speedup: 1.0,
             }),
+            shards: Some(shards_sample(&w).0),
         }
     }
 
@@ -427,9 +597,15 @@ mod tests {
         assert!(json.contains("\"pruned_by_triangle\""));
         assert!(json.contains("\"kernels\""));
         assert!(json.contains("\"prefix_build_speedup\""));
+        assert!(json.contains("\"hardware\""));
+        assert!(json.contains("\"n_physical_cores\""));
+        assert!(json.contains("\"shards\""));
+        assert!(json.contains("\"merged_edges\""));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The shard run must have reproduced the single-process result.
+        assert!(r.shards.unwrap().bit_identical);
     }
 
     #[test]

@@ -10,13 +10,48 @@
 //! pretending to be serde.
 
 /// Keys every `dangoron-bench-v1` record must carry at the top level.
-const TOP_LEVEL_KEYS: [(&str, ValueKind); 6] = [
+const TOP_LEVEL_KEYS: [(&str, ValueKind); 7] = [
     ("workload", ValueKind::String),
     ("n_series", ValueKind::Number),
     ("n_cols", ValueKind::Number),
     ("n_windows", ValueKind::Number),
     ("hardware_threads", ValueKind::Number),
+    ("hardware", ValueKind::Object),
     ("samples", ValueKind::Array),
+];
+
+/// Keys the `hardware` context section must carry (required since the
+/// distributed-tier records; see `docs/bench-schema.md`).
+const HARDWARE_KEYS: [(&str, ValueKind); 2] = [
+    ("n_physical_cores", ValueKind::Number),
+    ("flags", ValueKind::Array),
+];
+
+/// Keys the `shards` section must carry when present (written by the
+/// distributed E13 run and by `harness merge`).
+const SHARDS_KEYS: [(&str, ValueKind); 7] = [
+    ("n_shards", ValueKind::Number),
+    ("evaluated", ValueKind::Number),
+    ("total_cells", ValueKind::Number),
+    ("merged_edges", ValueKind::Number),
+    ("prepare_ms_max", ValueKind::Number),
+    ("query_ms_max", ValueKind::Number),
+    ("replans", ValueKind::Number),
+];
+
+/// Keys the per-shard `shard` section must carry when present (records
+/// written by one worker's shard, the inputs of `harness merge`).
+const SHARD_KEYS: [(&str, ValueKind); 10] = [
+    ("index", ValueKind::Number),
+    ("n_shards", ValueKind::Number),
+    ("pair_start", ValueKind::Number),
+    ("pair_end", ValueKind::Number),
+    ("evaluated", ValueKind::Number),
+    ("total_cells", ValueKind::Number),
+    ("edges", ValueKind::Number),
+    ("attempt", ValueKind::Number),
+    ("prepare_ms", ValueKind::Number),
+    ("query_ms", ValueKind::Number),
 ];
 
 /// Keys every entry of `samples` must carry.
@@ -77,13 +112,27 @@ impl ValueKind {
     }
 }
 
+/// Which optional sections a validation run additionally demands.
+///
+/// Records written before a section's introducing PR legitimately lack
+/// it; CI requires every section its own emitter produces, so a dropped
+/// section is an emitter regression, not a schema downgrade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Requires {
+    /// Demand the `streaming_pivots` section.
+    pub streaming: bool,
+    /// Demand the `kernels` section.
+    pub kernels: bool,
+    /// Demand the `shards` section (distributed tier / merged records).
+    pub shards: bool,
+}
+
 /// Validates a perf record against the `dangoron-bench-v1` schema.
 ///
-/// `require_streaming` additionally demands the `streaming_pivots`
-/// section (records written before the streaming-pivots experiment lack
-/// it), and `require_kernels` the `kernels` section (absent before the
-/// SIMD-kernel experiment); present sections are always checked.
-pub fn validate(json: &str, require_streaming: bool, require_kernels: bool) -> Result<(), String> {
+/// `requires` names the optional sections this run demands
+/// ([`Requires`]); present sections are always checked, including the
+/// per-shard `shard` section `harness merge` consumes.
+pub fn validate(json: &str, requires: Requires) -> Result<(), String> {
     check_balance(json)?;
     let schema =
         string_value(json, "schema").ok_or_else(|| "missing \"schema\" tag".to_string())?;
@@ -93,6 +142,7 @@ pub fn validate(json: &str, require_streaming: bool, require_kernels: bool) -> R
     for (key, kind) in TOP_LEVEL_KEYS {
         check_key(json, key, kind)?;
     }
+    check_section(json, "hardware", &HARDWARE_KEYS, true)?;
     // At least one sample object, carrying every per-sample key.
     let samples = after_key(json, "samples").expect("checked above");
     if !samples.trim_start().starts_with("[")
@@ -103,52 +153,69 @@ pub fn validate(json: &str, require_streaming: bool, require_kernels: bool) -> R
     for (key, kind) in SAMPLE_KEYS {
         check_key(samples, key, kind)?;
     }
-    match after_key(json, "streaming_pivots") {
-        Some(section) => {
-            // Confine the key checks to the section's own object — the
-            // later `samples` entries share key names (`skip_fraction`,
-            // `total_edges`) and must not satisfy them by accident.
-            let body = object_body(section)
-                .ok_or_else(|| "\"streaming_pivots\" must be an object".to_string())?;
-            for (key, kind) in STREAMING_KEYS {
-                check_key(body, key, kind)?;
-            }
-        }
-        None if require_streaming => {
-            return Err("missing required \"streaming_pivots\" section".to_string())
-        }
-        None => {}
-    }
-    match after_key(json, "kernels") {
-        Some(section) => {
-            let body =
-                object_body(section).ok_or_else(|| "\"kernels\" must be an object".to_string())?;
-            for (key, kind) in KERNEL_KEYS {
-                check_key(body, key, kind)?;
-            }
-        }
-        None if require_kernels => return Err("missing required \"kernels\" section".to_string()),
-        None => {}
-    }
+    check_section(
+        json,
+        "streaming_pivots",
+        &STREAMING_KEYS,
+        requires.streaming,
+    )?;
+    check_section(json, "kernels", &KERNEL_KEYS, requires.kernels)?;
+    check_section(json, "shards", &SHARDS_KEYS, requires.shards)?;
+    check_section(json, "shard", &SHARD_KEYS, false)?;
     Ok(())
 }
 
+/// Checks one named object section: every listed key must appear inside
+/// the section's **own** object — later `samples` entries share key names
+/// (`skip_fraction`, `total_edges`, `threads`) and must not satisfy them
+/// by accident.
+fn check_section(
+    json: &str,
+    name: &str,
+    keys: &[(&str, ValueKind)],
+    required: bool,
+) -> Result<(), String> {
+    match after_key(json, name) {
+        Some(section) => {
+            let body =
+                object_body(section).ok_or_else(|| format!("\"{name}\" must be an object"))?;
+            for &(key, kind) in keys {
+                check_key(body, key, kind)?;
+            }
+            Ok(())
+        }
+        None if required => Err(format!("missing required \"{name}\" section")),
+        None => Ok(()),
+    }
+}
+
 /// Everything after `"key":`, or `None` when the key never appears.
-fn after_key<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn after_key<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     let marker = format!("\"{key}\":");
     json.find(&marker).map(|at| &json[at + marker.len()..])
 }
 
 /// The string value of `"key": "…"`.
-fn string_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn string_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     let rest = after_key(json, key)?.trim_start();
     let rest = rest.strip_prefix('"')?;
     rest.split('"').next()
 }
 
+/// The numeric value of the first `"key": <number>` occurrence — the
+/// extraction primitive `harness merge` reads per-shard records with
+/// (scoped to a section by passing that section's [`object_body`]).
+pub(crate) fn num_value(json: &str, key: &str) -> Option<f64> {
+    let rest = after_key(json, key)?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// The text of the object starting at the first non-space character of
 /// `rest` (which must be `{`), up to and including its matching `}`.
-fn object_body(rest: &str) -> Option<&str> {
+pub(crate) fn object_body(rest: &str) -> Option<&str> {
     let rest = rest.trim_start();
     if !rest.starts_with('{') {
         return None;
@@ -234,7 +301,32 @@ fn check_balance(json: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    const REQ_NONE: Requires = Requires {
+        streaming: false,
+        kernels: false,
+        shards: false,
+    };
+    const REQ_STREAMING: Requires = Requires {
+        streaming: true,
+        kernels: false,
+        shards: false,
+    };
+    const REQ_KERNELS: Requires = Requires {
+        streaming: false,
+        kernels: true,
+        shards: false,
+    };
+    const REQ_SHARDS: Requires = Requires {
+        streaming: false,
+        kernels: false,
+        shards: true,
+    };
+
     fn minimal(streaming: bool, kernels: bool) -> String {
+        minimal_with(streaming, kernels, false)
+    }
+
+    fn minimal_with(streaming: bool, kernels: bool, shards: bool) -> String {
         let streaming_section = if streaming {
             "\"streaming_pivots\": {\"threads\": 1, \
              \"open_ms\": {\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}, \
@@ -251,10 +343,19 @@ mod tests {
         } else {
             ""
         };
+        let shards_section = if shards {
+            "\"shards\": {\"n_shards\": 4, \"workers\": 4, \"mode\": \"processes\", \
+             \"evaluated\": 100, \"total_cells\": 400, \"merged_edges\": 9, \
+             \"prepare_ms_max\": 2.5, \"query_ms_max\": 1.5, \"replans\": 1},"
+        } else {
+            ""
+        };
         format!(
             "{{\"schema\": \"dangoron-bench-v1\", \"workload\": \"w\", \
              \"n_series\": 4, \"n_cols\": 100, \"n_windows\": 3, \
-             \"hardware_threads\": 1, {streaming_section} {kernels_section} \
+             \"hardware_threads\": 1, \
+             \"hardware\": {{\"n_physical_cores\": 1, \"flags\": [\"avx2\", \"fma\"]}}, \
+             {streaming_section} {kernels_section} {shards_section} \
              \"samples\": [{{\"threads\": 1, \
              \"prepare_ms\": {{\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}}, \
              \"query_ms\": {{\"median\": 1.0, \"min\": 1.0, \"max\": 1.0}}, \
@@ -264,53 +365,99 @@ mod tests {
 
     #[test]
     fn accepts_valid_records() {
-        validate(&minimal(false, false), false, false).unwrap();
-        validate(&minimal(true, false), false, false).unwrap();
-        validate(&minimal(true, false), true, false).unwrap();
-        validate(&minimal(true, true), true, true).unwrap();
-        validate(&minimal(false, true), false, true).unwrap();
+        validate(&minimal(false, false), REQ_NONE).unwrap();
+        validate(&minimal(true, false), REQ_NONE).unwrap();
+        validate(&minimal(true, false), REQ_STREAMING).unwrap();
+        validate(&minimal(false, true), REQ_KERNELS).unwrap();
+        validate(&minimal_with(true, true, true), REQ_STREAMING).unwrap();
+        validate(&minimal_with(false, false, true), REQ_SHARDS).unwrap();
     }
 
     #[test]
     fn rejects_missing_streaming_when_required() {
-        let err = validate(&minimal(false, true), true, false).unwrap_err();
+        let err = validate(&minimal(false, true), REQ_STREAMING).unwrap_err();
         assert!(err.contains("streaming_pivots"), "{err}");
     }
 
     #[test]
     fn rejects_missing_kernels_when_required() {
-        let err = validate(&minimal(true, false), false, true).unwrap_err();
+        let err = validate(&minimal(true, false), REQ_KERNELS).unwrap_err();
         assert!(err.contains("kernels"), "{err}");
         // Damaged kernels section is caught even when not required.
         let bad = minimal(false, true).replace("\"dot_speedup\": 9.1,", "");
-        assert!(validate(&bad, false, false).is_err());
+        assert!(validate(&bad, REQ_NONE).is_err());
         // Wrong type in the section.
         let bad = minimal(false, true).replace("\"len\": 16384", "\"len\": \"big\"");
-        assert!(validate(&bad, false, false).is_err());
+        assert!(validate(&bad, REQ_NONE).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_or_damaged_shards_section() {
+        let err = validate(&minimal(false, false), REQ_SHARDS).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+        // Damaged shards section is caught even when not required.
+        let bad = minimal_with(false, false, true).replace(", \"replans\": 1}", "}");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        let bad = minimal_with(false, false, true)
+            .replace("\"query_ms_max\": 1.5", "\"query_ms_max\": \"slow\"");
+        assert!(validate(&bad, REQ_NONE).is_err());
+    }
+
+    #[test]
+    fn hardware_section_is_required_and_checked() {
+        let bad = minimal(false, false).replace(
+            "\"hardware\": {\"n_physical_cores\": 1, \"flags\": [\"avx2\", \"fma\"]}, ",
+            "",
+        );
+        let err = validate(&bad, REQ_NONE).unwrap_err();
+        assert!(err.contains("hardware"), "{err}");
+        let bad = minimal(false, false).replace("\"flags\": [\"avx2\", \"fma\"]", "\"flags\": 3");
+        assert!(validate(&bad, REQ_NONE).is_err());
+    }
+
+    #[test]
+    fn per_shard_records_validate_and_extract() {
+        let record = minimal(false, false).replace(
+            "\"samples\":",
+            "\"shard\": {\"index\": 2, \"n_shards\": 4, \"pair_start\": 10, \
+             \"pair_end\": 20, \"evaluated\": 25, \"total_cells\": 30, \
+             \"edges\": 3, \"attempt\": 0, \"prepare_ms\": 1.25, \
+             \"query_ms\": 0.5}, \"samples\":",
+        );
+        validate(&record, REQ_NONE).unwrap();
+        let body = object_body(after_key(&record, "shard").unwrap()).unwrap();
+        assert_eq!(num_value(body, "pair_end"), Some(20.0));
+        assert_eq!(num_value(body, "prepare_ms"), Some(1.25));
+        assert_eq!(num_value(body, "nope"), None);
+        // A damaged shard section fails even though it is optional.
+        let bad = record.replace("\"pair_end\": 20, ", "");
+        assert!(validate(&bad, REQ_NONE).is_err());
     }
 
     #[test]
     fn rejects_structural_damage() {
         // Bad schema tag.
         let bad = minimal(false, false).replace("dangoron-bench-v1", "v0");
-        assert!(validate(&bad, false, false).is_err());
+        assert!(validate(&bad, REQ_NONE).is_err());
         // Dropped key.
         let bad = minimal(false, false).replace("\"n_windows\": 3,", "");
-        assert!(validate(&bad, false, false).is_err());
+        assert!(validate(&bad, REQ_NONE).is_err());
         // Wrong type.
         let bad = minimal(false, false).replace("\"n_series\": 4", "\"n_series\": \"four\"");
-        assert!(validate(&bad, false, false).is_err());
+        assert!(validate(&bad, REQ_NONE).is_err());
         // Unbalanced braces.
         let full = minimal(false, false);
-        assert!(validate(&full[..full.len() - 1], false, false).is_err());
+        assert!(validate(&full[..full.len() - 1], REQ_NONE).is_err());
         // Empty samples.
         let bad = "{\"schema\": \"dangoron-bench-v1\", \"workload\": \"w\", \
                    \"n_series\": 1, \"n_cols\": 1, \"n_windows\": 1, \
-                   \"hardware_threads\": 1, \"samples\": []}";
-        assert!(validate(bad, false, false).is_err());
+                   \"hardware_threads\": 1, \
+                   \"hardware\": {\"n_physical_cores\": 1, \"flags\": []}, \
+                   \"samples\": []}";
+        assert!(validate(bad, REQ_NONE).is_err());
         // Damaged streaming section is caught even when not required.
         let bad = minimal(true, false).replace("\"pruned_by_triangle\": 7,", "");
-        assert!(validate(&bad, false, false).is_err());
+        assert!(validate(&bad, REQ_NONE).is_err());
     }
 
     #[test]
@@ -324,7 +471,7 @@ mod tests {
                 "\"pairs_skipped_entirely\": 2, \"total_edges\": 9",
                 "\"pairs_skipped_entirely\": 2",
             );
-        let err = validate(&bad, true, false).unwrap_err();
+        let err = validate(&bad, REQ_STREAMING).unwrap_err();
         assert!(
             err.contains("skip_fraction") || err.contains("total_edges"),
             "{err}"
@@ -334,7 +481,9 @@ mod tests {
     #[test]
     fn real_emitter_output_validates() {
         // The actual perf emitter and this validator must stay in sync.
-        use crate::perf::{KernelsPerf, PerfRecord, StreamingPerf, ThreadSample};
+        use crate::perf::{
+            HardwareInfo, KernelsPerf, PerfRecord, ShardsPerf, StreamingPerf, ThreadSample,
+        };
         use eval::timing::TimingSummary;
         use std::time::Duration;
         let t = TimingSummary {
@@ -349,6 +498,10 @@ mod tests {
             n_cols: 128,
             n_windows: 5,
             hardware_threads: 2,
+            hardware: HardwareInfo {
+                n_physical_cores: 2,
+                flags: vec!["avx2".into(), "fma".into()],
+            },
             samples: vec![ThreadSample {
                 threads: 1,
                 prepare: t,
@@ -358,10 +511,12 @@ mod tests {
             }],
             streaming: None,
             kernels: None,
+            shards: None,
         };
-        validate(&r.to_json(), false, false).unwrap();
-        assert!(validate(&r.to_json(), true, false).is_err());
-        assert!(validate(&r.to_json(), false, true).is_err());
+        validate(&r.to_json(), REQ_NONE).unwrap();
+        assert!(validate(&r.to_json(), REQ_STREAMING).is_err());
+        assert!(validate(&r.to_json(), REQ_KERNELS).is_err());
+        assert!(validate(&r.to_json(), REQ_SHARDS).is_err());
         r.streaming = Some(StreamingPerf {
             threads: 2,
             open: t,
@@ -379,6 +534,28 @@ mod tests {
             moments_speedup: 2.0,
             prefix_build_speedup: 13.1,
         });
-        validate(&r.to_json(), true, true).unwrap();
+        r.shards = Some(ShardsPerf {
+            n_shards: 4,
+            workers: 4,
+            mode: "processes".to_string(),
+            replans: 1,
+            evaluated: 100,
+            total_cells: 400,
+            merged_edges: 10,
+            prepare_ms_max: 5.0,
+            query_ms_max: 2.5,
+            coord_ms: 9.0,
+            single_process_ms: 8.0,
+            bit_identical: true,
+        });
+        validate(
+            &r.to_json(),
+            Requires {
+                streaming: true,
+                kernels: true,
+                shards: true,
+            },
+        )
+        .unwrap();
     }
 }

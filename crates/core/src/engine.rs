@@ -17,6 +17,7 @@ use sketch::output::{Edge, EdgeRule};
 use sketch::{
     pair, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery, ThresholdedMatrix,
 };
+use std::ops::Range;
 use tsdata::{TimeSeriesMatrix, TsError};
 
 /// The Dangoron framework, configured once and reusable across datasets.
@@ -42,6 +43,11 @@ pub struct Prepared<'a> {
     deps: Option<Vec<PairCosts>>,
     pivots: Option<PivotSet>,
     geo: WalkGeometry,
+    /// The contiguous pair-rank interval this preparation covers: the full
+    /// triangle for [`Dangoron::prepare`], a shard for
+    /// [`Dangoron::prepare_shard`]. `pairs`/`deps` are indexed by
+    /// `rank − pair_range.start`.
+    pair_range: Range<usize>,
 }
 
 /// The result of a sliding query: one thresholded matrix per window plus
@@ -91,6 +97,36 @@ impl Dangoron {
         x: &'a TimeSeriesMatrix,
         query: SlidingQuery,
     ) -> Result<Prepared<'a>, TsError> {
+        let n_pairs = triangular::count(x.n_series());
+        self.prepare_shard(x, query, 0..n_pairs)
+    }
+
+    /// [`Dangoron::prepare`] restricted to a contiguous pair-rank shard
+    /// `[pair_range.start, pair_range.end)` of the [`triangular`] rank
+    /// space — the distributed tier's worker entry point.
+    ///
+    /// In [`PairStorage::Precomputed`] mode only the shard's pair sketches
+    /// and departure costs are built, so a worker's prepare cost and memory
+    /// scale with its shard, not with the full `N·(N−1)/2` triangle. The
+    /// per-series [`SketchStore`] and the pivot table (when horizontal
+    /// pruning is on) are whole-matrix state and are built in full — they
+    /// are O(N), not O(N²), and every shard needs them. Sharded
+    /// preparations build the pivot table from raw rows rather than from
+    /// the (partial) pair-sketch set; the two paths are bit-identical, so
+    /// results never depend on the shard layout.
+    pub fn prepare_shard<'a>(
+        &self,
+        x: &'a TimeSeriesMatrix,
+        query: SlidingQuery,
+        pair_range: Range<usize>,
+    ) -> Result<Prepared<'a>, TsError> {
+        let n_pairs = triangular::count(x.n_series());
+        if pair_range.start > pair_range.end || pair_range.end > n_pairs {
+            return Err(TsError::InvalidParameter(format!(
+                "pair range {}..{} outside the {} pair ranks",
+                pair_range.start, pair_range.end, n_pairs
+            )));
+        }
         query.validate(x.len())?;
         if self.config.edge_rule == EdgeRule::Absolute && query.threshold < 0.0 {
             return Err(TsError::InvalidParameter(
@@ -102,21 +138,28 @@ impl Dangoron {
         let store = SketchStore::build_with_threads(x, layout, threads)?;
         let n = x.n_series();
 
+        let full_triangle = pair_range == (0..n_pairs);
         let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
         let (pairs, deps) = match self.config.storage {
             PairStorage::Precomputed => {
-                // Cache-blocked tiled build of all N·(N−1)/2 cross-prefix
-                // sketches, then the Eq. 2 departure costs, both with
-                // workers stealing chunks — the prepare phase dominates
-                // wall time at large N and was previously a serial loop.
-                let v = pair::build_all(&layout, x, threads)?;
+                // Cache-blocked tiled build of the cross-prefix sketches
+                // (the whole triangle, or only the shard's rank interval),
+                // then the Eq. 2 departure costs, both with workers
+                // stealing chunks — the prepare phase dominates wall time
+                // at large N and was previously a serial loop.
+                let v = if full_triangle {
+                    pair::build_all(&layout, x, threads)?
+                } else {
+                    pair::build_range(&layout, x, pair_range.clone(), threads)?
+                };
                 let d = need_dep.then(|| {
                     let rule = self.config.edge_rule;
+                    let base = pair_range.start;
                     exec::par_collect_chunks(v.len(), threads, 16, |range| {
                         range
-                            .map(|p| {
-                                let (i, j) = triangular::unrank(p, n);
-                                pair_costs(&store, &v[p], i, j, rule)
+                            .map(|k| {
+                                let (i, j) = triangular::unrank(base + k, n);
+                                pair_costs(&store, &v[k], i, j, rule)
                             })
                             .collect()
                     })
@@ -129,14 +172,16 @@ impl Dangoron {
         let pivots = match &self.config.horizontal {
             Some(h) => {
                 let chosen = select_pivots(&h.strategy, h.n_pivots, n)?;
+                // A sharded pair-sketch set cannot serve arbitrary
+                // (pivot, series) ranks, so shard preparations build the
+                // table from raw rows — bit-identical to the reuse path.
+                let reuse = if full_triangle {
+                    pairs.as_deref()
+                } else {
+                    None
+                };
                 Some(PivotSet::build(
-                    x,
-                    &store,
-                    &layout,
-                    &query,
-                    chosen,
-                    pairs.as_deref(),
-                    threads,
+                    x, &store, &layout, &query, chosen, reuse, threads,
                 )?)
             }
             None => None,
@@ -158,6 +203,7 @@ impl Dangoron {
             deps,
             pivots,
             geo,
+            pair_range,
         })
     }
 
@@ -190,17 +236,40 @@ impl Dangoron {
     /// assert_eq!(first.total_edges(), again.total_edges());
     /// ```
     pub fn run(&self, prep: &Prepared<'_>) -> QueryResult {
+        self.run_range(prep, prep.pair_range.clone())
+    }
+
+    /// [`Dangoron::run`] restricted to the pair ranks
+    /// `[ranks.start, ranks.end)` — the distributed tier's worker query.
+    ///
+    /// `ranks` must lie inside the interval the preparation covers
+    /// ([`Prepared::pair_range`]). Concatenating the edge buffers of a
+    /// partition of the triangle reproduces the unsharded [`Dangoron::run`]
+    /// output bit-for-bit (the per-pair walk is independent, and the final
+    /// sort-and-partition is keyed uniquely per edge), and the per-shard
+    /// [`PruningStats`] sum to the unsharded counters.
+    ///
+    /// # Panics
+    /// Panics when `ranks` is not contained in the prepared interval.
+    pub fn run_range(&self, prep: &Prepared<'_>, ranks: Range<usize>) -> QueryResult {
+        assert!(
+            ranks.start >= prep.pair_range.start && ranks.end <= prep.pair_range.end,
+            "pair ranks {}..{} outside the prepared interval {}..{}",
+            ranks.start,
+            ranks.end,
+            prep.pair_range.start,
+            prep.pair_range.end,
+        );
         let n = prep.x.n_series();
-        let n_pairs = triangular::count(n);
 
         let worker_out = exec::run_partitioned(
-            n_pairs,
+            ranks.len(),
             self.config.threads,
             WALK_GRAIN,
             |_| (Vec::<TaggedEdge>::new(), PruningStats::default()),
             |(buf, stats), range| {
-                for p in range {
-                    let (i, j) = triangular::unrank(p, n);
+                for local in range {
+                    let (i, j) = triangular::unrank(ranks.start + local, n);
                     self.walk_one_pair(prep, i, j, buf, stats);
                 }
             },
@@ -262,7 +331,7 @@ impl Dangoron {
 
         let owned;
         let pair: &PairSketch = match &prep.pairs {
-            Some(all) => &all[triangular::rank(i, j, n)],
+            Some(all) => &all[triangular::rank(i, j, n) - prep.pair_range.start],
             None => {
                 owned = PairSketch::build(&prep.layout, prep.x.row(i), prep.x.row(j))
                     .expect("pair geometry validated in prepare");
@@ -274,7 +343,7 @@ impl Dangoron {
         // otherwise (OnDemand storage pays it inside the query).
         let dep_owned;
         let dep = match (&prep.deps, need_dep) {
-            (Some(all), true) => Some(&all[triangular::rank(i, j, n)]),
+            (Some(all), true) => Some(&all[triangular::rank(i, j, n) - prep.pair_range.start]),
             (None, true) => {
                 dep_owned = pair_costs(&prep.store, pair, i, j, self.config.edge_rule);
                 Some(&dep_owned)
@@ -322,6 +391,13 @@ impl Prepared<'_> {
     /// The walk geometry (exposed for the experiment harness).
     pub fn geometry(&self) -> WalkGeometry {
         self.geo
+    }
+
+    /// The contiguous pair-rank interval this preparation covers — the
+    /// full triangle for [`Dangoron::prepare`], the shard for
+    /// [`Dangoron::prepare_shard`].
+    pub fn pair_range(&self) -> Range<usize> {
+        self.pair_range.clone()
     }
 }
 
@@ -707,6 +783,124 @@ mod tests {
         })
         .unwrap();
         assert!(engine.prepare(&x, q).is_err());
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_full_result() {
+        // Any contiguous partition of the rank space, each shard prepared
+        // AND run independently (the worker path), must reproduce the
+        // unsharded result bit-for-bit once concatenated, and the shard
+        // stats must sum to the unsharded counters.
+        let x = workload(12, 300);
+        let q = query(300, 0.7);
+        let n_pairs = 12 * 11 / 2;
+        for (storage, horizontal) in [
+            (PairStorage::Precomputed, None),
+            (
+                PairStorage::OnDemand,
+                Some(HorizontalConfig {
+                    n_pivots: 3,
+                    strategy: PivotStrategy::Evenly,
+                }),
+            ),
+        ] {
+            let engine = Dangoron::new(DangoronConfig {
+                basic_window: 20,
+                storage,
+                horizontal: horizontal.clone(),
+                ..Default::default()
+            })
+            .unwrap();
+            let full_prep = engine.prepare(&x, q).unwrap();
+            assert_eq!(full_prep.pair_range(), 0..n_pairs);
+            let full = engine.run(&full_prep);
+
+            for cuts in [
+                vec![0, n_pairs],
+                vec![0, 17, n_pairs],
+                vec![0, 1, 2, 40, n_pairs],
+            ] {
+                let mut flat = Vec::new();
+                let mut stats = PruningStats::default();
+                for w in cuts.windows(2) {
+                    let prep = engine.prepare_shard(&x, q, w[0]..w[1]).unwrap();
+                    let part = engine.run_range(&prep, w[0]..w[1]);
+                    stats.merge(&part.stats);
+                    for (win, m) in part.matrices.iter().enumerate() {
+                        flat.extend(m.edges().iter().map(|&e| (win as u32, e)));
+                    }
+                }
+                let merged = ThresholdedMatrix::assemble_windows(
+                    12,
+                    q.threshold,
+                    engine.config().edge_rule,
+                    q.n_windows(),
+                    flat,
+                );
+                assert_eq!(merged.len(), full.matrices.len());
+                for (a, b) in merged.iter().zip(&full.matrices) {
+                    assert_eq!(a.n_edges(), b.n_edges());
+                    for (ea, eb) in a.edges().iter().zip(b.edges()) {
+                        assert_eq!((ea.i, ea.j), (eb.i, eb.j));
+                        assert_eq!(ea.value.to_bits(), eb.value.to_bits());
+                    }
+                }
+                assert_eq!(stats, full.stats, "cuts {cuts:?} ({storage:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn run_range_within_one_preparation_matches_shards() {
+        // Splitting one full preparation with run_range must agree with
+        // the separately-prepared shards (engine-side invariance).
+        let x = workload(10, 300);
+        let q = query(300, 0.6);
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            ..Default::default()
+        })
+        .unwrap();
+        let prep = engine.prepare(&x, q).unwrap();
+        let n_pairs = 45;
+        let a = engine.run_range(&prep, 0..20);
+        let b = engine.run_range(&prep, 20..n_pairs);
+        let shard_a = engine.run_range(&engine.prepare_shard(&x, q, 0..20).unwrap(), 0..20);
+        assert_eq!(a.stats, shard_a.stats);
+        assert_eq!(
+            a.total_edges() + b.total_edges(),
+            engine.run(&prep).total_edges()
+        );
+    }
+
+    #[test]
+    fn prepare_shard_rejects_out_of_triangle_ranges() {
+        let x = workload(6, 300);
+        let q = query(300, 0.5);
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(engine.prepare_shard(&x, q, 0..16).is_err()); // 15 pairs
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 9..3;
+        assert!(engine.prepare_shard(&x, q, reversed).is_err());
+        assert!(engine.prepare_shard(&x, q, 3..9).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the prepared interval")]
+    fn run_range_outside_prepared_shard_panics() {
+        let x = workload(6, 300);
+        let q = query(300, 0.5);
+        let engine = Dangoron::new(DangoronConfig {
+            basic_window: 20,
+            ..Default::default()
+        })
+        .unwrap();
+        let prep = engine.prepare_shard(&x, q, 3..9).unwrap();
+        let _ = engine.run_range(&prep, 0..9);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use sketch::{
     combine, pair, triangular, BasicWindowLayout, PairSketch, SketchStore, SlidingQuery,
     ThresholdedMatrix,
 };
+use std::ops::Range;
 use tsdata::{TimeSeriesMatrix, TsError};
 
 /// A long-lived streaming session.
@@ -80,10 +81,22 @@ pub struct StreamingDangoron {
     tail_start: usize,
     total_cols: usize,
     store: SketchStore,
+    /// The contiguous pair-rank interval this session walks — the full
+    /// triangle for [`StreamingDangoron::new`], a shard for
+    /// [`StreamingDangoron::new_sharded`]. `pairs`/`deps` are indexed by
+    /// `rank − pair_range.start`.
+    pair_range: Range<usize>,
     pairs: Vec<PairSketch>,
     /// Per-pair Eq. 2 departure-cost prefixes, maintained incrementally
     /// alongside the pair sketches; empty unless the bound mode jumps.
     deps: Vec<PairCosts>,
+    /// Pivot-pair sketches whose ranks fall **outside** `pair_range`,
+    /// sorted by rank — sharded sessions still need every (pivot, series)
+    /// correlation to grow the pivot table. Empty when the session is
+    /// unsharded (the main pair set covers them) or horizontal pruning is
+    /// off. Built and appended with the same kernels as the main set, so
+    /// the table stays bit-identical to an unsharded session's.
+    pivot_pairs: Vec<(usize, PairSketch)>,
     pivots: Option<PivotSet>,
     /// Cumulative pruning counters across all drains.
     stats: PruningStats,
@@ -114,7 +127,34 @@ impl StreamingDangoron {
         threshold: f64,
         config: DangoronConfig,
     ) -> Result<Self, TsError> {
+        let n_pairs = triangular::count(initial.n_series());
+        Self::new_sharded(initial, window, step, threshold, config, 0..n_pairs)
+    }
+
+    /// [`StreamingDangoron::new`] restricted to a contiguous pair-rank
+    /// shard of the [`triangular`] rank space — the distributed tier's
+    /// streaming worker. The session materialises (and incrementally
+    /// maintains) only the shard's pair sketches plus, when horizontal
+    /// pruning is on, the out-of-shard pivot pairs; drains walk the shard
+    /// only. Concatenating the drained edges of a partition of the
+    /// triangle is bit-identical to an unsharded session's drains, and the
+    /// per-shard stats sum to the unsharded counters.
+    pub fn new_sharded(
+        initial: TimeSeriesMatrix,
+        window: usize,
+        step: usize,
+        threshold: f64,
+        config: DangoronConfig,
+        pair_range: Range<usize>,
+    ) -> Result<Self, TsError> {
         config.validate()?;
+        let n_pairs_total = triangular::count(initial.n_series());
+        if pair_range.start > pair_range.end || pair_range.end > n_pairs_total {
+            return Err(TsError::InvalidParameter(format!(
+                "pair range {}..{} outside the {} pair ranks",
+                pair_range.start, pair_range.end, n_pairs_total
+            )));
+        }
         let b = config.basic_window;
         if window < 2 || !window.is_multiple_of(b) {
             return Err(TsError::InvalidParameter(format!(
@@ -139,19 +179,61 @@ impl StreamingDangoron {
         }
         let layout = BasicWindowLayout::cover(0, initial.len(), b)?;
         let store = SketchStore::build_with_threads(&initial, layout, config.threads)?;
-        let pairs = pair::build_all(&layout, &initial, config.threads)?;
         let n = initial.n_series();
+        let full_triangle = pair_range == (0..n_pairs_total);
+        let pairs = if full_triangle {
+            pair::build_all(&layout, &initial, config.threads)?
+        } else {
+            pair::build_range(&layout, &initial, pair_range.clone(), config.threads)?
+        };
         let total_cols = initial.len();
+
+        // Sharded sessions with horizontal pruning additionally keep the
+        // out-of-shard pivot-pair sketches, so the pivot table can keep
+        // growing without the full triangle.
+        let mut pivot_ranks: Vec<usize> = Vec::new();
+        let chosen = match &config.horizontal {
+            Some(h) => {
+                let chosen = select_pivots(&h.strategy, h.n_pivots, n)?;
+                for &z in &chosen {
+                    for s in 0..n {
+                        if s != z {
+                            let p = triangular::rank(z.min(s), z.max(s), n);
+                            if !pair_range.contains(&p) {
+                                pivot_ranks.push(p);
+                            }
+                        }
+                    }
+                }
+                pivot_ranks.sort_unstable();
+                pivot_ranks.dedup();
+                Some(chosen)
+            }
+            None => None,
+        };
+        let pivot_pairs: Vec<(usize, PairSketch)> =
+            exec::par_collect_chunks(pivot_ranks.len(), config.threads, 8, |range| {
+                range
+                    .map(|k| {
+                        let p = pivot_ranks[k];
+                        let (i, j) = triangular::unrank(p, n);
+                        let sketch = PairSketch::build(&layout, initial.row(i), initial.row(j))
+                            .expect("layout covers the initial history");
+                        (p, sketch)
+                    })
+                    .collect()
+            });
 
         // Jump mode: precompute the Eq. 2 cost prefixes once; appends
         // extend them from the new basic windows only.
         let deps = if matches!(config.bound, BoundMode::PaperJump { .. }) {
             let rule = config.edge_rule;
+            let base = pair_range.start;
             exec::par_collect_chunks(pairs.len(), config.threads, 16, |range| {
                 range
-                    .map(|p| {
-                        let (i, j) = triangular::unrank(p, n);
-                        pair_costs(&store, &pairs[p], i, j, rule)
+                    .map(|k| {
+                        let (i, j) = triangular::unrank(base + k, n);
+                        pair_costs(&store, &pairs[k], i, j, rule)
                     })
                     .collect()
             })
@@ -177,19 +259,25 @@ impl StreamingDangoron {
             tail_start,
             total_cols,
             store,
+            pair_range,
             pairs,
             deps,
+            pivot_pairs,
             pivots: None,
             stats: PruningStats::default(),
             last_drain_stats: PruningStats::default(),
             emitted_windows: 0,
         };
-        if let Some(h) = &session.config.horizontal {
-            let chosen = select_pivots(&h.strategy, h.n_pivots, n)?;
+        if let Some(chosen) = chosen {
             session.pivots = Some(PivotSet::empty(chosen, n));
             session.extend_pivots();
         }
         Ok(session)
+    }
+
+    /// The contiguous pair-rank interval this session walks.
+    pub fn pair_range(&self) -> Range<usize> {
+        self.pair_range.clone()
     }
 
     /// Number of windows fully contained in the current history.
@@ -255,11 +343,21 @@ impl StreamingDangoron {
         // overhead). The preconditions of `PairSketch::append_tail` hold
         // by construction once `store.append_tail` succeeded: all rows
         // share the grown length and the layout only ever grows.
+        let base = self.pair_range.start;
         exec::par_chunks_mut(&mut self.pairs, self.config.threads, |offset, piece| {
             for (k, pair) in piece.iter_mut().enumerate() {
-                let (i, j) = triangular::unrank(offset + k, n);
+                let (i, j) = triangular::unrank(base + offset + k, n);
                 pair.append_tail(&layout, tail.row(i), tail.row(j), self.tail_start)
                     .expect("pair/store layouts kept in lockstep");
+            }
+        });
+        // Out-of-shard pivot pairs grow by the same columns.
+        exec::par_chunks_mut(&mut self.pivot_pairs, self.config.threads, |_, piece| {
+            for (rank, sketch) in piece.iter_mut() {
+                let (i, j) = triangular::unrank(*rank, n);
+                sketch
+                    .append_tail(&layout, tail.row(i), tail.row(j), self.tail_start)
+                    .expect("pivot-pair/store layouts kept in lockstep");
             }
         });
         // Jump mode: extend the Eq. 2 cost prefixes over the new basic
@@ -268,7 +366,7 @@ impl StreamingDangoron {
         let (store, pairs) = (&self.store, &self.pairs);
         exec::par_chunks_mut(&mut self.deps, self.config.threads, |offset, piece| {
             for (k, costs) in piece.iter_mut().enumerate() {
-                let (i, j) = triangular::unrank(offset + k, n);
+                let (i, j) = triangular::unrank(base + offset + k, n);
                 extend_pair_costs(costs, store, &pairs[offset + k], i, j);
             }
         });
@@ -285,10 +383,20 @@ impl StreamingDangoron {
             self.window / self.config.basic_window,
             self.step / self.config.basic_window,
         );
-        let (pairs, store, n) = (&self.pairs, &self.store, self.n_series);
+        let (pairs, pivot_pairs, store, n) =
+            (&self.pairs, &self.pivot_pairs, &self.store, self.n_series);
+        let range = &self.pair_range;
         if let Some(pv) = &mut self.pivots {
             pv.append_windows(total, ns, step_bw, |z, s, b0, b1| {
-                let p = &pairs[triangular::rank(z.min(s), z.max(s), n)];
+                let rank = triangular::rank(z.min(s), z.max(s), n);
+                let p = if range.contains(&rank) {
+                    &pairs[rank - range.start]
+                } else {
+                    let k = pivot_pairs
+                        .binary_search_by_key(&rank, |(r, _)| *r)
+                        .expect("out-of-shard pivot pairs are all materialised");
+                    &pivot_pairs[k].1
+                };
                 combine::window_correlation(store, p, z, s, b0, b1).unwrap_or(f64::NAN)
             });
         }
@@ -342,6 +450,7 @@ impl StreamingDangoron {
         // accumulate flat (window, edge) buffers, merged lock-free and
         // assembled with one sort-and-partition.
         let n_pairs = self.pairs.len();
+        let base = self.pair_range.start;
         let worker_out = exec::run_partitioned(
             n_pairs,
             self.config.threads,
@@ -349,7 +458,7 @@ impl StreamingDangoron {
             |_| (Vec::<(u32, Edge)>::new(), PruningStats::default()),
             |(buf, stats), range| {
                 for p in range {
-                    let (i, j) = triangular::unrank(p, n);
+                    let (i, j) = triangular::unrank(base + p, n);
                     // Pair-level wholesale prefilter: when no new window of
                     // this pair can produce an edge, skip its walk entirely.
                     if let Some(pv) = pivots {
@@ -616,6 +725,61 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sharded_sessions_partition_the_unsharded_drains() {
+        // Replay the same chunked stream through k sharded sessions; the
+        // concatenated drains must be bit-identical to the unsharded
+        // session's and the shard stats must sum to its counters — with
+        // horizontal pruning on, exercising the out-of-shard pivot pairs.
+        let full = generators::clustered_matrix(9, 400, 2, 0.45, 13).unwrap();
+        let n_pairs = 9 * 8 / 2;
+        let chunks = [(150usize, 190usize), (190, 300), (300, 400)];
+        let cfg = config_with_pivots(BoundMode::Exhaustive, 2);
+
+        let replay = |range: std::ops::Range<usize>| {
+            let initial = full.slice_columns(0, 150).unwrap();
+            let mut s =
+                StreamingDangoron::new_sharded(initial, 80, 20, 0.85, cfg.clone(), range).unwrap();
+            let mut out = s.drain_completed().unwrap();
+            for (a, b) in chunks {
+                out.extend(s.append(&full.slice_columns(a, b).unwrap()).unwrap());
+            }
+            let stats = s.stats().clone();
+            (out, stats)
+        };
+
+        let (whole, whole_stats) = replay(0..n_pairs);
+        for cuts in [vec![0, 11, n_pairs], vec![0, 1, 12, 13, n_pairs]] {
+            let mut flat: Vec<(u32, sketch::output::Edge)> = Vec::new();
+            let mut stats = PruningStats::default();
+            let mut n_windows = 0;
+            for w in cuts.windows(2) {
+                let (part, part_stats) = replay(w[0]..w[1]);
+                stats.merge(&part_stats);
+                n_windows = part.len();
+                for cw in part {
+                    flat.extend(cw.matrix.edges().iter().map(|&e| (cw.index as u32, e)));
+                }
+            }
+            assert_eq!(n_windows, whole.len(), "cuts {cuts:?}");
+            let merged =
+                ThresholdedMatrix::assemble_windows(9, 0.85, cfg.edge_rule, whole.len(), flat);
+            for (m, cw) in merged.iter().zip(&whole) {
+                assert_eq!(m.n_edges(), cw.matrix.n_edges(), "window {}", cw.index);
+                for (ea, eb) in m.edges().iter().zip(cw.matrix.edges()) {
+                    assert_eq!((ea.i, ea.j), (eb.i, eb.j));
+                    assert_eq!(ea.value.to_bits(), eb.value.to_bits());
+                }
+            }
+            assert_eq!(stats, whole_stats, "cuts {cuts:?}");
+        }
+        // Out-of-triangle shard ranges are rejected.
+        let initial = full.slice_columns(0, 150).unwrap();
+        assert!(
+            StreamingDangoron::new_sharded(initial, 80, 20, 0.85, cfg, 0..n_pairs + 1).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! The shard coordinator CLI: plans the pair space, drives
+//! `dangoron-shard` worker processes over the climate workload, merges
+//! their sorted edge buffers, and (optionally) verifies the merged result
+//! bitwise against the single-process engine — the CI `shard-smoke`
+//! entry point.
+//!
+//! ```text
+//! dangoron-coord [--shards K] [--workers W] [--worker-threads T]
+//!                [--n N] [--hours H] [--beta B] [--streaming]
+//!                [--verify] [--kill-worker IDX] [--timeout-s S]
+//!                [--worker-bin PATH]
+//!                [--export-json PATH] [--export-csv PATH] [--export-dot PATH]
+//! ```
+//!
+//! `--verify` exits non-zero unless the merged matrices are bit-identical
+//! to the unsharded engine and the shard stats sum to its counters.
+//! `--kill-worker IDX` injects a deterministic worker crash to exercise
+//! the re-plan path (`--verify` still must pass). The `--export-*` flags
+//! dump the merged temporal network via `network::export`.
+
+use dangoron::{BoundMode, DangoronConfig};
+use dist::coord::{self, CoordinatorConfig};
+use dist::merge::windows_bit_identical;
+use dist::proto::WorkerMode;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    shards: usize,
+    workers: Option<usize>,
+    worker_threads: usize,
+    n: usize,
+    hours: usize,
+    beta: f64,
+    streaming: bool,
+    verify: bool,
+    kill_worker: Option<usize>,
+    timeout_s: u64,
+    worker_bin: Option<PathBuf>,
+    export_json: Option<PathBuf>,
+    export_csv: Option<PathBuf>,
+    export_dot: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shards: 4,
+        workers: None,
+        worker_threads: 1,
+        n: 32,
+        hours: 24 * 90,
+        beta: 0.9,
+        streaming: false,
+        verify: false,
+        kill_worker: None,
+        timeout_s: 120,
+        worker_bin: None,
+        export_json: None,
+        export_csv: None,
+        export_dot: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut k = 0;
+    let value = |argv: &[String], k: usize, flag: &str| -> Result<String, String> {
+        argv.get(k + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--shards" => args.shards = parse(&value(&argv, k, "--shards")?)?,
+            "--workers" => args.workers = Some(parse(&value(&argv, k, "--workers")?)?),
+            "--worker-threads" => {
+                args.worker_threads = parse(&value(&argv, k, "--worker-threads")?)?
+            }
+            "--n" => args.n = parse(&value(&argv, k, "--n")?)?,
+            "--hours" => args.hours = parse(&value(&argv, k, "--hours")?)?,
+            "--beta" => {
+                args.beta = value(&argv, k, "--beta")?
+                    .parse()
+                    .map_err(|e| format!("bad --beta: {e}"))?
+            }
+            "--kill-worker" => args.kill_worker = Some(parse(&value(&argv, k, "--kill-worker")?)?),
+            "--timeout-s" => args.timeout_s = parse(&value(&argv, k, "--timeout-s")?)? as u64,
+            "--worker-bin" => args.worker_bin = Some(value(&argv, k, "--worker-bin")?.into()),
+            "--export-json" => args.export_json = Some(value(&argv, k, "--export-json")?.into()),
+            "--export-csv" => args.export_csv = Some(value(&argv, k, "--export-csv")?.into()),
+            "--export-dot" => args.export_dot = Some(value(&argv, k, "--export-dot")?.into()),
+            "--streaming" => {
+                args.streaming = true;
+                k += 1;
+                continue;
+            }
+            "--verify" => {
+                args.verify = true;
+                k += 1;
+                continue;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        k += 2;
+    }
+    Ok(args)
+}
+
+fn parse(v: &str) -> Result<usize, String> {
+    v.parse().map_err(|e| format!("bad number {v:?}: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dangoron-coord: {e}");
+            std::process::exit(2);
+        }
+    };
+    let worker_bin = match args.worker_bin.clone().or_else(coord::default_worker_path) {
+        Some(p) => p,
+        None => {
+            eprintln!(
+                "dangoron-coord: cannot find the dangoron-shard binary; \
+                 build it (cargo build -p dist) or pass --worker-bin"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let w = match eval::workloads::climate(args.n, args.hours, args.beta, 2020) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("dangoron-coord: bad workload: {e:?}");
+            std::process::exit(2);
+        }
+    };
+    let engine_cfg = DangoronConfig {
+        basic_window: w.basic_window,
+        bound: BoundMode::PaperJump { slack: 0.0 },
+        ..Default::default()
+    };
+    let mode = if args.streaming {
+        let b = w.basic_window;
+        WorkerMode::StreamingReplay {
+            initial_cols: ((w.data.len() / 2) / b * b).max(b),
+            chunk_cols: 7 * b,
+        }
+    } else {
+        WorkerMode::Batch
+    };
+    let cfg = CoordinatorConfig {
+        worker_bin,
+        n_shards: args.shards,
+        n_workers: args.workers.unwrap_or(args.shards),
+        worker_threads: args.worker_threads,
+        mode,
+        timeout: Duration::from_secs(args.timeout_s),
+        kill_worker: args.kill_worker,
+        max_attempts: 4,
+    };
+
+    let result = match coord::run(&cfg, &engine_cfg, &w.data, w.query) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dangoron-coord: {e}");
+            std::process::exit(1);
+        }
+    };
+    let total_edges: usize = result.matrices.iter().map(|m| m.n_edges()).sum();
+    println!(
+        "workload {} | shards {} | workers {} | windows {} | edges {} | \
+         skip {:.3} | replans {} | worker failures {} | wall {:.3}s",
+        w.name,
+        result.coord.n_shards_planned,
+        result.coord.n_workers,
+        result.matrices.len(),
+        total_edges,
+        result.stats.skip_fraction(),
+        result.coord.replans,
+        result.coord.worker_failures,
+        result.coord.wall_s,
+    );
+    for s in &result.shards {
+        println!(
+            "  shard {:>7}..{:<7} attempt {} | prepare {:.3}s query {:.3}s | edges {}",
+            s.ranks.start, s.ranks.end, s.attempt, s.prepare_s, s.query_s, s.n_edges
+        );
+    }
+    if args.kill_worker.is_some() && result.coord.replans == 0 {
+        eprintln!("dangoron-coord: --kill-worker was set but no re-plan happened");
+        std::process::exit(1);
+    }
+
+    if args.verify {
+        let single = match coord::run_single_process(mode, &engine_cfg, &w.data, w.query) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("dangoron-coord: verification run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !windows_bit_identical(&result.matrices, &single.matrices) {
+            eprintln!("dangoron-coord: VERIFY FAILED: merged matrices differ from single-process");
+            std::process::exit(1);
+        }
+        if result.stats != single.stats {
+            eprintln!("dangoron-coord: VERIFY FAILED: shard stats do not sum to single-process");
+            std::process::exit(1);
+        }
+        println!(
+            "verify: OK — bit-identical to single-process across {} windows",
+            result.matrices.len()
+        );
+    }
+
+    if let Some(path) = &args.export_json {
+        write_or_die(path, &network::export::to_temporal_json(&result.matrices));
+    }
+    if let Some(path) = &args.export_csv {
+        write_or_die(path, &network::export::to_temporal_csv(&result.matrices));
+    }
+    if let Some(path) = &args.export_dot {
+        // DOT renders one graph; dump the busiest window.
+        let busiest = result
+            .matrices
+            .iter()
+            .max_by_key(|m| m.n_edges())
+            .expect("at least one window");
+        write_or_die(path, &network::export::to_dot(busiest, None));
+    }
+}
+
+fn write_or_die(path: &PathBuf, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("dangoron-coord: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}

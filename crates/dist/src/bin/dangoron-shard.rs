@@ -1,0 +1,17 @@
+//! The shard worker process: reads `Assign` frames on stdin, executes
+//! each shard with the sharded engines, writes `Result`/`Error` frames on
+//! stdout, and exits when the coordinator closes the pipe. See
+//! `dist::proto` for the wire format.
+
+use std::io;
+
+fn main() {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    if let Err(e) = dist::worker::serve(&mut input, &mut output) {
+        eprintln!("dangoron-shard: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,633 @@
+//! The shard coordinator: process spawning, assignment, fault handling
+//! and result collection.
+//!
+//! The coordinator owns the shard plan and a pool of `dangoron-shard`
+//! worker processes talking length-prefixed frames over their stdio
+//! pipes. Per round it ships one [`Assignment`] to every idle worker,
+//! then waits on a single event channel fed by one reader thread per
+//! worker. Three things can happen to an outstanding shard:
+//!
+//! * **result** — its sorted edge buffer and counters are recorded;
+//! * **worker death** (pipe EOF, write failure, protocol damage) — the
+//!   shard's rank interval is *re-planned*: split across the surviving
+//!   workers ([`crate::plan::split_range`]) and re-enqueued;
+//! * **timeout** — the worker is killed and the shard re-planned the same
+//!   way.
+//!
+//! Because shards are pure functions of their rank interval, re-planning
+//! never changes the answer: any disjoint cover of the triangle merges to
+//! the same matrices ([`crate::merge`]), so even a run that lost workers
+//! mid-flight is bit-identical to the single-process engine. Retries are
+//! counted in [`CoordStats`] and surface in the BENCH `shards` section.
+
+use crate::merge::{merge_shard_edges, ShardEdges};
+use crate::plan::{split_range, ShardPlan};
+use crate::proto::{self, Assignment, Message, WorkerMode};
+use crate::worker;
+use bytes::frame;
+use dangoron::{DangoronConfig, PruningStats};
+use sketch::{triangular, SlidingQuery, ThresholdedMatrix};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use tsdata::TimeSeriesMatrix;
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Path to the `dangoron-shard` worker binary.
+    pub worker_bin: PathBuf,
+    /// Number of shards to plan.
+    pub n_shards: usize,
+    /// Worker processes to spawn (clamped to the shard count).
+    pub n_workers: usize,
+    /// Engine threads *inside* each worker process.
+    pub worker_threads: usize,
+    /// Batch query or streaming replay.
+    pub mode: WorkerMode,
+    /// Per-assignment deadline before the worker is declared hung.
+    pub timeout: Duration,
+    /// Crash injection: this worker index aborts on its first assignment
+    /// (sets [`worker::FAIL_ENV`] in the child's environment) — the
+    /// replan path's deterministic test hook.
+    pub kill_worker: Option<usize>,
+    /// Upper bound on re-plan generations per rank interval before the
+    /// run is abandoned.
+    pub max_attempts: u32,
+}
+
+impl CoordinatorConfig {
+    /// Defaults: one worker per shard, single-threaded workers, batch
+    /// mode, a generous 120 s deadline.
+    pub fn new(worker_bin: PathBuf, n_shards: usize) -> Self {
+        Self {
+            worker_bin,
+            n_shards,
+            n_workers: n_shards,
+            worker_threads: 1,
+            mode: WorkerMode::Batch,
+            timeout: Duration::from_secs(120),
+            kill_worker: None,
+            max_attempts: 4,
+        }
+    }
+}
+
+/// Per-completed-shard accounting.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// The rank interval (post-replan intervals can be finer than the
+    /// original plan).
+    pub ranks: Range<usize>,
+    /// Which re-plan generation produced it (0 = original plan).
+    pub attempt: u32,
+    /// Worker-side prepare/open wall seconds.
+    pub prepare_s: f64,
+    /// Worker-side query/drain wall seconds.
+    pub query_s: f64,
+    /// The shard's pruning counters.
+    pub stats: PruningStats,
+    /// Edges the shard contributed.
+    pub n_edges: usize,
+}
+
+/// Run-level coordinator accounting.
+#[derive(Debug, Clone, Default)]
+pub struct CoordStats {
+    /// Shards in the original plan.
+    pub n_shards_planned: usize,
+    /// Worker processes spawned.
+    pub n_workers: usize,
+    /// Re-plan events (worker death, timeout, or worker-reported error).
+    pub replans: usize,
+    /// Workers lost over the run.
+    pub worker_failures: usize,
+    /// End-to-end wall seconds (spawn → merged matrices).
+    pub wall_s: f64,
+}
+
+/// The distributed run's output: merged matrices (bit-identical to the
+/// single-process engine), summed counters, and the audit trail.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// One finalized matrix per window.
+    pub matrices: Vec<ThresholdedMatrix>,
+    /// Sum of every shard's [`PruningStats`] — equal to the unsharded
+    /// engine's counters.
+    pub stats: PruningStats,
+    /// Per-shard accounting, in completion order.
+    pub shards: Vec<ShardSummary>,
+    /// Run-level accounting.
+    pub coord: CoordStats,
+}
+
+enum Event {
+    Msg(usize, Message),
+    Closed(usize, String),
+}
+
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    alive: bool,
+}
+
+impl WorkerHandle {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| io::Error::other("worker stdin already closed"))?;
+        frame::write_to(stdin, payload)
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+    }
+
+    fn shutdown(&mut self) {
+        self.stdin.take(); // EOF → worker exits its serve loop
+        let _ = self.child.wait();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingShard {
+    ranks: Range<usize>,
+    attempt: u32,
+}
+
+/// Locates the `dangoron-shard` binary: the `DANGORON_SHARD_BIN`
+/// environment variable, then siblings of the current executable (covers
+/// `target/<profile>/` for binaries and `target/<profile>/deps/` for test
+/// executables).
+pub fn default_worker_path() -> Option<PathBuf> {
+    let name = format!("dangoron-shard{}", std::env::consts::EXE_SUFFIX);
+    if let Ok(p) = std::env::var("DANGORON_SHARD_BIN") {
+        let p = PathBuf::from(p);
+        if p.exists() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    let mut candidates = vec![dir.join(&name)];
+    if let Some(up) = dir.parent() {
+        candidates.push(up.join(&name));
+    }
+    candidates.into_iter().find(|c| c.exists())
+}
+
+/// Number of windows the merged result must cover for a mode.
+pub fn expected_windows(
+    mode: WorkerMode,
+    engine_cfg: &DangoronConfig,
+    data_cols: usize,
+    query: &SlidingQuery,
+) -> usize {
+    match mode {
+        WorkerMode::Batch => query.n_windows(),
+        WorkerMode::StreamingReplay { .. } => {
+            // A streaming session only sees whole basic windows.
+            let covered = data_cols / engine_cfg.basic_window * engine_cfg.basic_window;
+            if covered < query.window {
+                0
+            } else {
+                (covered - query.window) / query.step + 1
+            }
+        }
+    }
+}
+
+/// Runs the distributed query across worker processes.
+pub fn run(
+    cfg: &CoordinatorConfig,
+    engine_cfg: &DangoronConfig,
+    data: &TimeSeriesMatrix,
+    query: SlidingQuery,
+) -> Result<DistResult, String> {
+    let t_start = Instant::now();
+    let plan = ShardPlan::balanced(data.n_series(), cfg.n_shards);
+    if plan.shards().is_empty() {
+        return Err("workload has no pairs to shard".into());
+    }
+    let n_workers = cfg.n_workers.clamp(1, plan.shards().len());
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut workers = Vec::with_capacity(n_workers);
+    for w in 0..n_workers {
+        workers.push(spawn_worker(cfg, w, tx.clone())?);
+    }
+    drop(tx);
+
+    let mut pending: VecDeque<PendingShard> = plan
+        .shards()
+        .iter()
+        .map(|s| PendingShard {
+            ranks: s.ranks.clone(),
+            attempt: 0,
+        })
+        .collect();
+    // worker → (shard, deadline, assignment id)
+    let mut busy: HashMap<usize, (PendingShard, Instant, u64)> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut segments: Vec<ShardEdges> = Vec::new();
+    let mut summaries: Vec<ShardSummary> = Vec::new();
+    let mut stats = PruningStats::default();
+    let mut coord = CoordStats {
+        n_shards_planned: plan.shards().len(),
+        n_workers,
+        ..Default::default()
+    };
+
+    let live = |workers: &[WorkerHandle]| workers.iter().filter(|h| h.alive).count();
+    let replan = |shard: PendingShard,
+                  survivors: usize,
+                  pending: &mut VecDeque<PendingShard>,
+                  coord: &mut CoordStats|
+     -> Result<(), String> {
+        if shard.attempt + 1 > cfg.max_attempts {
+            return Err(format!(
+                "shard {:?} exceeded {} re-plan attempts",
+                shard.ranks, cfg.max_attempts
+            ));
+        }
+        coord.replans += 1;
+        for sub in split_range(shard.ranks.clone(), survivors.max(1)) {
+            pending.push_back(PendingShard {
+                ranks: sub,
+                attempt: shard.attempt + 1,
+            });
+        }
+        Ok(())
+    };
+
+    loop {
+        // Dispatch to every idle live worker.
+        for w in 0..workers.len() {
+            if pending.is_empty() {
+                break;
+            }
+            if !workers[w].alive || busy.contains_key(&w) {
+                continue;
+            }
+            let shard = pending.pop_front().expect("checked non-empty");
+            let id = next_id;
+            next_id += 1;
+            let assignment = Assignment {
+                shard_id: id,
+                ranks: shard.ranks.clone(),
+                mode: cfg.mode,
+                config: DangoronConfig {
+                    threads: cfg.worker_threads,
+                    ..engine_cfg.clone()
+                },
+                query,
+                data: data.clone(),
+            };
+            let payload = proto::encode(&Message::Assign(assignment));
+            if payload.len() > proto::MAX_FRAME {
+                return Err(format!(
+                    "assignment payload of {} bytes exceeds the {}-byte frame \
+                     limit — the workload matrix is too large for one frame",
+                    payload.len(),
+                    proto::MAX_FRAME
+                ));
+            }
+            match workers[w].send(&payload) {
+                Ok(()) => {
+                    busy.insert(w, (shard, Instant::now() + cfg.timeout, id));
+                }
+                Err(_) => {
+                    // Write failure ⇒ the worker is gone.
+                    workers[w].alive = false;
+                    workers[w].kill();
+                    coord.worker_failures += 1;
+                    replan(shard, live(&workers), &mut pending, &mut coord)?;
+                }
+            }
+        }
+        if busy.is_empty() {
+            if pending.is_empty() {
+                break;
+            }
+            if live(&workers) == 0 {
+                return Err("every worker died with shards outstanding".into());
+            }
+            continue;
+        }
+
+        // Wait for the next event or the earliest deadline.
+        let deadline = busy
+            .values()
+            .map(|(_, d, _)| *d)
+            .min()
+            .expect("busy is non-empty");
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(Event::Msg(w, Message::Result(res))) => {
+                // A result from a worker we already gave up on is stale:
+                // its shard has been re-planned, so it must be dropped.
+                if let Some((shard, _, id)) = busy.remove(&w) {
+                    if res.shard_id != id {
+                        return Err(format!(
+                            "worker {w} answered assignment {} while {} was outstanding",
+                            res.shard_id, id
+                        ));
+                    }
+                    stats.merge(&res.stats);
+                    summaries.push(ShardSummary {
+                        ranks: res.ranks.clone(),
+                        attempt: shard.attempt,
+                        prepare_s: res.prepare_s,
+                        query_s: res.query_s,
+                        stats: res.stats.clone(),
+                        n_edges: res.edges.len(),
+                    });
+                    segments.push((res.ranks, res.edges));
+                }
+            }
+            Ok(Event::Msg(w, Message::Error(text))) => {
+                // Engine-side failure: the worker survives, the shard is
+                // re-planned (possibly back onto the same worker).
+                if let Some((shard, _, _)) = busy.remove(&w) {
+                    eprintln!("dist: worker {w} reported: {text}");
+                    replan(shard, live(&workers), &mut pending, &mut coord)?;
+                }
+            }
+            Ok(Event::Msg(w, Message::Assign(_))) => {
+                return Err(format!("worker {w} sent an assignment to the coordinator"));
+            }
+            Ok(Event::Closed(w, why)) => {
+                if workers[w].alive {
+                    workers[w].alive = false;
+                    workers[w].kill();
+                    coord.worker_failures += 1;
+                    if let Some((shard, _, _)) = busy.remove(&w) {
+                        eprintln!(
+                            "dist: worker {w} died ({why}); re-planning {:?}",
+                            shard.ranks
+                        );
+                        replan(shard, live(&workers), &mut pending, &mut coord)?;
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let now = Instant::now();
+                let expired: Vec<usize> = busy
+                    .iter()
+                    .filter(|(_, (_, d, _))| *d <= now)
+                    .map(|(w, _)| *w)
+                    .collect();
+                for w in expired {
+                    let (shard, _, _) = busy.remove(&w).expect("just listed");
+                    workers[w].alive = false;
+                    workers[w].kill();
+                    coord.worker_failures += 1;
+                    eprintln!("dist: worker {w} timed out; re-planning {:?}", shard.ranks);
+                    replan(shard, live(&workers), &mut pending, &mut coord)?;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err("every worker reader thread terminated".into());
+            }
+        }
+    }
+
+    for h in &mut workers {
+        h.shutdown();
+    }
+
+    let n_windows = expected_windows(cfg.mode, engine_cfg, data.len(), &query);
+    let matrices = merge_shard_edges(
+        data.n_series(),
+        query.threshold,
+        engine_cfg.edge_rule,
+        n_windows,
+        segments,
+    );
+    coord.wall_s = t_start.elapsed().as_secs_f64();
+    Ok(DistResult {
+        matrices,
+        stats,
+        shards: summaries,
+        coord,
+    })
+}
+
+/// Runs the same shard plan **in-process** (no worker processes): every
+/// shard goes through the identical [`worker::execute`] path and the
+/// identical merge, sequentially. The harness falls back to this when the
+/// worker binary is not built, and tests use it as the ground truth the
+/// process tier must reproduce.
+pub fn run_in_process(
+    n_shards: usize,
+    mode: WorkerMode,
+    engine_cfg: &DangoronConfig,
+    data: &TimeSeriesMatrix,
+    query: SlidingQuery,
+) -> Result<DistResult, String> {
+    let t_start = Instant::now();
+    let plan = ShardPlan::balanced(data.n_series(), n_shards);
+    if plan.shards().is_empty() {
+        return Err("workload has no pairs to shard".into());
+    }
+    let mut segments: Vec<ShardEdges> = Vec::new();
+    let mut summaries = Vec::new();
+    let mut stats = PruningStats::default();
+    for s in plan.shards() {
+        let a = Assignment {
+            shard_id: s.id as u64,
+            ranks: s.ranks.clone(),
+            mode,
+            config: engine_cfg.clone(),
+            query,
+            data: data.clone(),
+        };
+        let r = worker::execute(&a)?;
+        stats.merge(&r.stats);
+        summaries.push(ShardSummary {
+            ranks: r.ranks.clone(),
+            attempt: 0,
+            prepare_s: r.prepare_s,
+            query_s: r.query_s,
+            stats: r.stats.clone(),
+            n_edges: r.edges.len(),
+        });
+        segments.push((r.ranks, r.edges));
+    }
+    let n_windows = expected_windows(mode, engine_cfg, data.len(), &query);
+    let matrices = merge_shard_edges(
+        data.n_series(),
+        query.threshold,
+        engine_cfg.edge_rule,
+        n_windows,
+        segments,
+    );
+    Ok(DistResult {
+        matrices,
+        stats,
+        shards: summaries,
+        coord: CoordStats {
+            n_shards_planned: plan.shards().len(),
+            n_workers: 0,
+            replans: 0,
+            worker_failures: 0,
+            wall_s: t_start.elapsed().as_secs_f64(),
+        },
+    })
+}
+
+/// The unsharded reference: the whole triangle through the same
+/// [`worker::execute`] path (for batch mode this is exactly
+/// `Dangoron::prepare` + `run`). The coordinator's `--verify` compares
+/// against it bitwise.
+pub fn run_single_process(
+    mode: WorkerMode,
+    engine_cfg: &DangoronConfig,
+    data: &TimeSeriesMatrix,
+    query: SlidingQuery,
+) -> Result<DistResult, String> {
+    run_in_process(1, mode, engine_cfg, data, query).map(|mut r| {
+        debug_assert_eq!(r.shards.len(), 1);
+        debug_assert_eq!(r.shards[0].ranks, 0..triangular::count(data.n_series()));
+        r.coord.n_shards_planned = 1;
+        r
+    })
+}
+
+fn spawn_worker(
+    cfg: &CoordinatorConfig,
+    idx: usize,
+    tx: mpsc::Sender<Event>,
+) -> Result<WorkerHandle, String> {
+    let mut cmd = Command::new(&cfg.worker_bin);
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if cfg.kill_worker == Some(idx) {
+        cmd.env(worker::FAIL_ENV, "1");
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn {:?}: {e}", cfg.worker_bin))?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let reader = std::thread::spawn(move || loop {
+        match frame::read_from(&mut stdout, proto::MAX_FRAME) {
+            Ok(Some(payload)) => match proto::decode(&payload) {
+                Ok(msg) => {
+                    if tx.send(Event::Msg(idx, msg)).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Event::Closed(idx, format!("protocol damage: {e}")));
+                    break;
+                }
+            },
+            Ok(None) => {
+                let _ = tx.send(Event::Closed(idx, "clean EOF".into()));
+                break;
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Closed(idx, e.to_string()));
+                break;
+            }
+        }
+    });
+    Ok(WorkerHandle {
+        child,
+        stdin: Some(stdin),
+        reader: Some(reader),
+        alive: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::windows_bit_identical;
+    use dangoron::BoundMode;
+    use tsdata::generators;
+
+    fn workload() -> (TimeSeriesMatrix, SlidingQuery, DangoronConfig) {
+        let data = generators::clustered_matrix(10, 300, 2, 0.5, 23).unwrap();
+        let query = SlidingQuery {
+            start: 0,
+            end: 300,
+            window: 60,
+            step: 20,
+            threshold: 0.7,
+        };
+        let cfg = DangoronConfig {
+            basic_window: 20,
+            bound: BoundMode::PaperJump { slack: 0.0 },
+            ..Default::default()
+        };
+        (data, query, cfg)
+    }
+
+    #[test]
+    fn in_process_sharding_is_invariant_in_shard_count() {
+        let (data, query, cfg) = workload();
+        let single = run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+        for k in [2usize, 4, 8, 45] {
+            let sharded = run_in_process(k, WorkerMode::Batch, &cfg, &data, query).unwrap();
+            assert!(
+                windows_bit_identical(&sharded.matrices, &single.matrices),
+                "k={k}"
+            );
+            assert_eq!(sharded.stats, single.stats, "k={k}");
+        }
+    }
+
+    #[test]
+    fn in_process_streaming_replay_is_invariant_in_shard_count() {
+        let (data, query, cfg) = workload();
+        let mode = WorkerMode::StreamingReplay {
+            initial_cols: 140,
+            chunk_cols: 60,
+        };
+        let single = run_single_process(mode, &cfg, &data, query).unwrap();
+        assert_eq!(
+            single.matrices.len(),
+            expected_windows(mode, &cfg, data.len(), &query)
+        );
+        for k in [2usize, 5] {
+            let sharded = run_in_process(k, mode, &cfg, &data, query).unwrap();
+            assert!(
+                windows_bit_identical(&sharded.matrices, &single.matrices),
+                "k={k}"
+            );
+            assert_eq!(sharded.stats, single.stats, "k={k}");
+        }
+    }
+
+    #[test]
+    fn expected_windows_accounts_for_partial_basic_windows() {
+        let (_, query, cfg) = workload();
+        assert_eq!(
+            expected_windows(WorkerMode::Batch, &cfg, 300, &query),
+            query.n_windows()
+        );
+        let stream = WorkerMode::StreamingReplay {
+            initial_cols: 100,
+            chunk_cols: 50,
+        };
+        // 310 columns: the last 10 never complete a basic window.
+        assert_eq!(
+            expected_windows(stream, &cfg, 310, &query),
+            expected_windows(stream, &cfg, 300, &query)
+        );
+        assert_eq!(expected_windows(stream, &cfg, 59, &query), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The shard planner: partitioning the triangular pair-rank space
+//! `[0, count(n))` into contiguous shards.
+//!
+//! The rank space ([`sketch::triangular`]) is the ParCorr-style sharding
+//! key: dense, total-ordered, and shared by every engine in the workspace,
+//! so a contiguous rank interval is simultaneously a well-defined unit of
+//! work, of result (its sorted edge buffer), and of re-planning. Two
+//! layouts are offered:
+//!
+//! * [`ShardPlan::balanced`] — exact area balance: every shard carries the
+//!   same number of pairs (±1), cut anywhere in the rank space.
+//! * [`ShardPlan::row_aligned`] — shard boundaries snap to *row* starts of
+//!   the triangle (all pairs `(i, ·)` of a row stay together, so a worker
+//!   streams each of its left-hand series exactly once). A naive equal
+//!   *row-span* split would be badly skewed — row `i` holds `n−1−i` pairs,
+//!   so the first of `k` row bands would carry nearly twice the average
+//!   work — hence the cut rows are chosen by cumulative triangle **area**,
+//!   not by row count.
+
+use sketch::triangular;
+use std::ops::Range;
+
+/// One planned shard: a contiguous pair-rank interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Stable shard id (plan order).
+    pub id: usize,
+    /// The pair ranks `[ranks.start, ranks.end)` this shard owns.
+    pub ranks: Range<usize>,
+}
+
+/// A partition of the pair space into contiguous shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    n_series: usize,
+    shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Exact area-balanced plan: `min(n_shards, count(n))` non-empty
+    /// contiguous shards whose pair counts differ by at most one.
+    pub fn balanced(n_series: usize, n_shards: usize) -> Self {
+        let n_pairs = triangular::count(n_series);
+        let shards = split_range(0..n_pairs, n_shards)
+            .into_iter()
+            .enumerate()
+            .map(|(id, ranks)| Shard { id, ranks })
+            .collect();
+        Self { n_series, shards }
+    }
+
+    /// Row-aligned, area-balanced plan: shard boundaries fall on row
+    /// starts of the triangle, with cut rows chosen so each shard's pair
+    /// count tracks `count(n)/k` as closely as row granularity allows.
+    pub fn row_aligned(n_series: usize, n_shards: usize) -> Self {
+        let n = n_series;
+        let n_pairs = triangular::count(n);
+        let k = n_shards.clamp(1, n_pairs.max(1));
+        // Rank of the first pair of row `i` — the cumulative triangle area
+        // above it.
+        let row_start = |i: usize| -> usize {
+            if n < 2 || i >= n - 1 {
+                n_pairs
+            } else {
+                triangular::rank(i, i + 1, n)
+            }
+        };
+        let mut shards = Vec::with_capacity(k);
+        let mut cut = 0usize; // current cut row
+        for s in 0..k {
+            if n_pairs == 0 {
+                break;
+            }
+            let target = (s + 1) * n_pairs / k;
+            // Smallest row whose start reaches the target area, but always
+            // at least one row past the previous cut.
+            let mut hi = cut + 1;
+            while s + 1 < k && hi < n - 1 && row_start(hi) < target {
+                hi += 1;
+            }
+            if s + 1 == k {
+                hi = n.saturating_sub(1).max(cut + 1);
+            }
+            let ranks = row_start(cut)..row_start(hi);
+            if !ranks.is_empty() {
+                shards.push(Shard {
+                    id: shards.len(),
+                    ranks,
+                });
+            }
+            cut = hi;
+            if cut >= n.saturating_sub(1) {
+                break;
+            }
+        }
+        Self { n_series, shards }
+    }
+
+    /// The planned shards, in rank order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Series count the plan was made for.
+    pub fn n_series(&self) -> usize {
+        self.n_series
+    }
+
+    /// Total pairs across all shards.
+    pub fn n_pairs(&self) -> usize {
+        triangular::count(self.n_series)
+    }
+
+    /// Largest / smallest shard pair counts — the balance figure reports
+    /// quote.
+    pub fn balance(&self) -> (usize, usize) {
+        let max = self.shards.iter().map(|s| s.ranks.len()).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.ranks.len()).min().unwrap_or(0);
+        (max, min)
+    }
+}
+
+/// Splits a contiguous rank interval into `k` balanced contiguous
+/// sub-intervals (sizes differ by at most one; empty splits are dropped).
+/// This is both the [`ShardPlan::balanced`] kernel and the re-planning
+/// primitive: a failed shard's interval is re-split across the surviving
+/// workers.
+pub fn split_range(ranks: Range<usize>, k: usize) -> Vec<Range<usize>> {
+    let len = ranks.end.saturating_sub(ranks.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, len);
+    (0..k)
+        .map(|s| (ranks.start + s * len / k)..(ranks.start + (s + 1) * len / k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(plan: &ShardPlan) {
+        let mut next = 0;
+        for (k, s) in plan.shards().iter().enumerate() {
+            assert_eq!(s.id, k);
+            assert_eq!(s.ranks.start, next, "gap before shard {k}");
+            assert!(s.ranks.end > s.ranks.start, "empty shard {k}");
+            next = s.ranks.end;
+        }
+        assert_eq!(next, plan.n_pairs(), "plan does not cover the triangle");
+    }
+
+    #[test]
+    fn balanced_covers_and_balances() {
+        for n in [2usize, 3, 9, 32, 101] {
+            for k in [1usize, 2, 3, 4, 8, 17] {
+                let plan = ShardPlan::balanced(n, k);
+                assert_partition(&plan);
+                let (max, min) = plan.balance();
+                assert!(max - min <= 1, "n={n} k={k}: {max} vs {min}");
+                assert_eq!(plan.shards().len(), k.min(triangular::count(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn row_aligned_covers_and_snaps_to_rows() {
+        for n in [2usize, 5, 9, 33, 64] {
+            for k in [1usize, 2, 4, 8] {
+                let plan = ShardPlan::row_aligned(n, k);
+                assert_partition(&plan);
+                for s in plan.shards() {
+                    // Every boundary is a row start: the pair at the
+                    // boundary has j == i + 1.
+                    let (i, j) = triangular::unrank(s.ranks.start, n);
+                    assert_eq!(j, i + 1, "n={n} k={k}: shard {} not row-aligned", s.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_aligned_beats_equal_row_span() {
+        // 64 series, 4 shards: an equal row-span split (16 rows each)
+        // gives the first band 888 of 2016 pairs (44%); the area-balanced
+        // cut must stay far closer to the ideal 504.
+        let n = 64;
+        let plan = ShardPlan::row_aligned(n, 4);
+        let (max, _) = plan.balance();
+        assert!(
+            max < 700,
+            "area balancing regressed to row-span balance: max shard {max} pairs"
+        );
+    }
+
+    #[test]
+    fn degenerate_plans() {
+        assert!(ShardPlan::balanced(0, 4).shards().is_empty());
+        assert!(ShardPlan::balanced(1, 4).shards().is_empty());
+        assert_eq!(ShardPlan::balanced(2, 4).shards().len(), 1);
+        assert!(ShardPlan::row_aligned(1, 4).shards().is_empty());
+        assert_eq!(ShardPlan::row_aligned(2, 4).shards().len(), 1);
+    }
+
+    #[test]
+    fn split_range_is_balanced_and_contiguous() {
+        let parts = split_range(10..110, 7);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts[0].start, 10);
+        assert_eq!(parts.last().unwrap().end, 110);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // Degenerate inputs.
+        assert!(split_range(5..5, 3).is_empty());
+        assert_eq!(split_range(5..7, 8).len(), 2);
+    }
+}

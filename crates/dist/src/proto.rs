@@ -1,0 +1,535 @@
+//! The coordinator/worker wire protocol: hand-rolled little-endian
+//! message bodies inside the `bytes` shim's length-prefixed frames.
+//!
+//! Frame layout (see `bytes::frame`): a `u32` LE payload length, then the
+//! payload. Every payload starts with a one-byte message tag:
+//!
+//! | tag | message  | direction          | body |
+//! |-----|----------|--------------------|------|
+//! | 1   | `Assign` | coordinator→worker | mode, shard id + rank interval, engine config, query, the full column matrix |
+//! | 2   | `Result` | worker→coordinator | shard id + rank interval, per-phase wall times, [`PruningStats`], the shard's `(window, edge)` buffer sorted by `(window, i, j)` |
+//! | 3   | `Error`  | worker→coordinator | UTF-8 message (the shard is re-planned) |
+//!
+//! All integers are `u64`/`u32` LE, all floats `f64` bit patterns —
+//! correlation values cross the wire losslessly, which is what lets the
+//! coordinator's merged matrices be bit-identical to the single-process
+//! engine. Both ends of the pipe run the same binary version, but frames
+//! are still decoded defensively (length checks before every read) so a
+//! truncated or corrupt stream surfaces as a protocol error and a shard
+//! re-plan, never a coordinator panic.
+
+use bytes::{Buf, BufMut};
+use dangoron::config::{HorizontalConfig, PivotStrategy};
+use dangoron::{BoundMode, DangoronConfig, PairStorage, PruningStats};
+use sketch::output::{Edge, EdgeRule};
+use sketch::SlidingQuery;
+use std::ops::Range;
+use tsdata::TimeSeriesMatrix;
+
+/// Upper bound on a frame's payload (guards against garbage length
+/// prefixes; a 1 GiB frame is far beyond any real workload here).
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// How the worker executes its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// One `prepare_shard` + `run_range` batch query.
+    Batch,
+    /// Replay the matrix through a sharded [`dangoron::StreamingDangoron`]:
+    /// open over the first `initial_cols` columns, then append
+    /// `chunk_cols`-wide slices until the history is exhausted, collecting
+    /// every drain.
+    StreamingReplay {
+        /// Columns the session opens over.
+        initial_cols: usize,
+        /// Columns per append.
+        chunk_cols: usize,
+    },
+}
+
+/// A shard assignment shipped to a worker.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Shard id (coordinator bookkeeping, echoed in the result).
+    pub shard_id: u64,
+    /// The pair-rank interval to walk.
+    pub ranks: Range<usize>,
+    /// Execution mode.
+    pub mode: WorkerMode,
+    /// Engine configuration (worker-side thread count included).
+    pub config: DangoronConfig,
+    /// The sliding query.
+    pub query: SlidingQuery,
+    /// The full column matrix.
+    pub data: TimeSeriesMatrix,
+}
+
+/// A completed shard, streamed back to the coordinator.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Echoed shard id.
+    pub shard_id: u64,
+    /// Echoed rank interval.
+    pub ranks: Range<usize>,
+    /// Prepare-phase (or session-open) wall seconds.
+    pub prepare_s: f64,
+    /// Query (or total drain) wall seconds.
+    pub query_s: f64,
+    /// The shard's pruning counters.
+    pub stats: PruningStats,
+    /// The shard's edges, sorted by `(window, i, j)`.
+    pub edges: Vec<(u32, Edge)>,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Coordinator → worker.
+    Assign(Assignment),
+    /// Worker → coordinator.
+    Result(ShardResult),
+    /// Worker → coordinator: the shard failed engine-side.
+    Error(String),
+}
+
+const TAG_ASSIGN: u8 = 1;
+const TAG_RESULT: u8 = 2;
+const TAG_ERROR: u8 = 3;
+
+/// Encodes a message into a frame payload (no length prefix).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::Assign(a) => {
+            out.put_u8(TAG_ASSIGN);
+            match a.mode {
+                WorkerMode::Batch => out.put_u8(0),
+                WorkerMode::StreamingReplay {
+                    initial_cols,
+                    chunk_cols,
+                } => {
+                    out.put_u8(1);
+                    out.put_u64_le(initial_cols as u64);
+                    out.put_u64_le(chunk_cols as u64);
+                }
+            }
+            out.put_u64_le(a.shard_id);
+            out.put_u64_le(a.ranks.start as u64);
+            out.put_u64_le(a.ranks.end as u64);
+            encode_config(&mut out, &a.config);
+            out.put_u64_le(a.query.start as u64);
+            out.put_u64_le(a.query.end as u64);
+            out.put_u64_le(a.query.window as u64);
+            out.put_u64_le(a.query.step as u64);
+            out.put_f64_le(a.query.threshold);
+            out.put_u64_le(a.data.n_series() as u64);
+            out.put_u64_le(a.data.len() as u64);
+            for v in a.data.as_slice() {
+                out.put_f64_le(*v);
+            }
+        }
+        Message::Result(r) => {
+            out.put_u8(TAG_RESULT);
+            out.put_u64_le(r.shard_id);
+            out.put_u64_le(r.ranks.start as u64);
+            out.put_u64_le(r.ranks.end as u64);
+            out.put_f64_le(r.prepare_s);
+            out.put_f64_le(r.query_s);
+            encode_stats(&mut out, &r.stats);
+            out.put_u64_le(r.edges.len() as u64);
+            for (w, e) in &r.edges {
+                out.put_u32_le(*w);
+                out.put_u32_le(e.i);
+                out.put_u32_le(e.j);
+                out.put_f64_le(e.value);
+            }
+        }
+        Message::Error(text) => {
+            out.put_u8(TAG_ERROR);
+            out.put_u64_le(text.len() as u64);
+            out.put_slice(text.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a frame payload.
+pub fn decode(payload: &[u8]) -> Result<Message, String> {
+    let mut buf = payload;
+    let tag = take_u8(&mut buf, "tag")?;
+    match tag {
+        TAG_ASSIGN => {
+            let mode = match take_u8(&mut buf, "mode")? {
+                0 => WorkerMode::Batch,
+                1 => WorkerMode::StreamingReplay {
+                    initial_cols: take_u64(&mut buf, "initial_cols")? as usize,
+                    chunk_cols: take_u64(&mut buf, "chunk_cols")? as usize,
+                },
+                m => return Err(format!("unknown worker mode {m}")),
+            };
+            let shard_id = take_u64(&mut buf, "shard_id")?;
+            let start = take_u64(&mut buf, "rank_start")? as usize;
+            let end = take_u64(&mut buf, "rank_end")? as usize;
+            let config = decode_config(&mut buf)?;
+            let query = SlidingQuery {
+                start: take_u64(&mut buf, "query.start")? as usize,
+                end: take_u64(&mut buf, "query.end")? as usize,
+                window: take_u64(&mut buf, "query.window")? as usize,
+                step: take_u64(&mut buf, "query.step")? as usize,
+                threshold: take_f64(&mut buf, "query.threshold")?,
+            };
+            let n = take_u64(&mut buf, "n_series")? as usize;
+            let cols = take_u64(&mut buf, "n_cols")? as usize;
+            let cells = n
+                .checked_mul(cols)
+                .ok_or_else(|| "matrix dimensions overflow".to_string())?;
+            need(
+                buf,
+                cells.checked_mul(8).ok_or("matrix bytes overflow")?,
+                "matrix",
+            )?;
+            let mut data = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                data.push(buf.get_f64_le());
+            }
+            let data = TimeSeriesMatrix::from_flat(n, cols, data)
+                .map_err(|e| format!("bad matrix: {e:?}"))?;
+            Ok(Message::Assign(Assignment {
+                shard_id,
+                ranks: start..end,
+                mode,
+                config,
+                query,
+                data,
+            }))
+        }
+        TAG_RESULT => {
+            let shard_id = take_u64(&mut buf, "shard_id")?;
+            let start = take_u64(&mut buf, "rank_start")? as usize;
+            let end = take_u64(&mut buf, "rank_end")? as usize;
+            let prepare_s = take_f64(&mut buf, "prepare_s")?;
+            let query_s = take_f64(&mut buf, "query_s")?;
+            let stats = decode_stats(&mut buf)?;
+            let n_edges = take_u64(&mut buf, "n_edges")? as usize;
+            need(
+                buf,
+                n_edges.checked_mul(20).ok_or("edge bytes overflow")?,
+                "edges",
+            )?;
+            let mut edges = Vec::with_capacity(n_edges);
+            for _ in 0..n_edges {
+                let w = buf.get_u32_le();
+                let i = buf.get_u32_le();
+                let j = buf.get_u32_le();
+                let value = buf.get_f64_le();
+                edges.push((w, Edge { i, j, value }));
+            }
+            Ok(Message::Result(ShardResult {
+                shard_id,
+                ranks: start..end,
+                prepare_s,
+                query_s,
+                stats,
+                edges,
+            }))
+        }
+        TAG_ERROR => {
+            let len = take_u64(&mut buf, "error length")? as usize;
+            need(buf, len, "error text")?;
+            let text = String::from_utf8_lossy(&buf.chunk()[..len]).into_owned();
+            Ok(Message::Error(text))
+        }
+        t => Err(format!("unknown message tag {t}")),
+    }
+}
+
+fn encode_config(out: &mut Vec<u8>, c: &DangoronConfig) {
+    out.put_u64_le(c.basic_window as u64);
+    match c.bound {
+        BoundMode::Exhaustive => {
+            out.put_u8(0);
+            out.put_f64_le(0.0);
+        }
+        BoundMode::PaperJump { slack } => {
+            out.put_u8(1);
+            out.put_f64_le(slack);
+        }
+    }
+    out.put_u8(match c.storage {
+        PairStorage::Precomputed => 0,
+        PairStorage::OnDemand => 1,
+    });
+    match &c.horizontal {
+        None => out.put_u8(0),
+        Some(h) => {
+            out.put_u8(1);
+            out.put_u64_le(h.n_pivots as u64);
+            match &h.strategy {
+                PivotStrategy::Evenly => {
+                    out.put_u8(0);
+                }
+                PivotStrategy::Random { seed } => {
+                    out.put_u8(1);
+                    out.put_u64_le(*seed);
+                }
+                PivotStrategy::Explicit(list) => {
+                    out.put_u8(2);
+                    out.put_u64_le(list.len() as u64);
+                    for &p in list {
+                        out.put_u64_le(p as u64);
+                    }
+                }
+            }
+        }
+    }
+    out.put_u64_le(c.threads as u64);
+    out.put_u8(match c.edge_rule {
+        EdgeRule::Positive => 0,
+        EdgeRule::Absolute => 1,
+    });
+}
+
+fn decode_config(buf: &mut &[u8]) -> Result<DangoronConfig, String> {
+    let basic_window = take_u64(buf, "basic_window")? as usize;
+    let bound_tag = take_u8(buf, "bound")?;
+    let slack = take_f64(buf, "slack")?;
+    let bound = match bound_tag {
+        0 => BoundMode::Exhaustive,
+        1 => BoundMode::PaperJump { slack },
+        t => return Err(format!("unknown bound mode {t}")),
+    };
+    let storage = match take_u8(buf, "storage")? {
+        0 => PairStorage::Precomputed,
+        1 => PairStorage::OnDemand,
+        t => return Err(format!("unknown storage mode {t}")),
+    };
+    let horizontal = match take_u8(buf, "horizontal flag")? {
+        0 => None,
+        1 => {
+            let n_pivots = take_u64(buf, "n_pivots")? as usize;
+            let strategy = match take_u8(buf, "pivot strategy")? {
+                0 => PivotStrategy::Evenly,
+                1 => PivotStrategy::Random {
+                    seed: take_u64(buf, "pivot seed")?,
+                },
+                2 => {
+                    let len = take_u64(buf, "pivot list length")? as usize;
+                    need(
+                        buf,
+                        len.checked_mul(8).ok_or("pivot list overflow")?,
+                        "pivot list",
+                    )?;
+                    PivotStrategy::Explicit((0..len).map(|_| buf.get_u64_le() as usize).collect())
+                }
+                t => return Err(format!("unknown pivot strategy {t}")),
+            };
+            Some(HorizontalConfig { n_pivots, strategy })
+        }
+        t => return Err(format!("bad horizontal flag {t}")),
+    };
+    let threads = take_u64(buf, "threads")? as usize;
+    let edge_rule = match take_u8(buf, "edge rule")? {
+        0 => EdgeRule::Positive,
+        1 => EdgeRule::Absolute,
+        t => return Err(format!("unknown edge rule {t}")),
+    };
+    Ok(DangoronConfig {
+        basic_window,
+        bound,
+        storage,
+        horizontal,
+        threads,
+        edge_rule,
+    })
+}
+
+fn encode_stats(out: &mut Vec<u8>, s: &PruningStats) {
+    out.put_u64_le(s.n_pairs);
+    out.put_u64_le(s.total_cells);
+    out.put_u64_le(s.evaluated);
+    out.put_u64_le(s.skipped_by_jump);
+    out.put_u64_le(s.pruned_by_triangle);
+    out.put_u64_le(s.pairs_skipped_entirely);
+    out.put_u64_le(s.jumps);
+    out.put_u64_le(s.edges);
+    out.put_u64_le(s.jump_length_hist.len() as u64);
+    for &b in &s.jump_length_hist {
+        out.put_u64_le(b);
+    }
+}
+
+fn decode_stats(buf: &mut &[u8]) -> Result<PruningStats, String> {
+    let mut s = PruningStats {
+        n_pairs: take_u64(buf, "n_pairs")?,
+        total_cells: take_u64(buf, "total_cells")?,
+        evaluated: take_u64(buf, "evaluated")?,
+        skipped_by_jump: take_u64(buf, "skipped_by_jump")?,
+        pruned_by_triangle: take_u64(buf, "pruned_by_triangle")?,
+        pairs_skipped_entirely: take_u64(buf, "pairs_skipped_entirely")?,
+        jumps: take_u64(buf, "jumps")?,
+        edges: take_u64(buf, "edges")?,
+        ..Default::default()
+    };
+    let hist_len = take_u64(buf, "hist length")? as usize;
+    need(buf, hist_len.checked_mul(8).ok_or("hist overflow")?, "hist")?;
+    s.jump_length_hist = (0..hist_len).map(|_| buf.get_u64_le()).collect();
+    Ok(s)
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), String> {
+    if buf.remaining() < n {
+        Err(format!(
+            "truncated frame: need {n} bytes for {what}, have {}",
+            buf.remaining()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn take_u8(buf: &mut &[u8], what: &str) -> Result<u8, String> {
+    need(buf, 1, what)?;
+    Ok(buf.get_u8())
+}
+
+fn take_u64(buf: &mut &[u8], what: &str) -> Result<u64, String> {
+    need(buf, 8, what)?;
+    Ok(buf.get_u64_le())
+}
+
+fn take_f64(buf: &mut &[u8], what: &str) -> Result<f64, String> {
+    need(buf, 8, what)?;
+    Ok(buf.get_f64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::generators;
+
+    fn sample_assignment() -> Assignment {
+        Assignment {
+            shard_id: 3,
+            ranks: 10..25,
+            mode: WorkerMode::StreamingReplay {
+                initial_cols: 100,
+                chunk_cols: 40,
+            },
+            config: DangoronConfig {
+                basic_window: 20,
+                bound: BoundMode::PaperJump { slack: 0.125 },
+                storage: PairStorage::OnDemand,
+                horizontal: Some(HorizontalConfig {
+                    n_pivots: 3,
+                    strategy: PivotStrategy::Explicit(vec![0, 4, 7]),
+                }),
+                threads: 2,
+                edge_rule: EdgeRule::Absolute,
+            },
+            query: SlidingQuery {
+                start: 0,
+                end: 200,
+                window: 60,
+                step: 20,
+                threshold: 0.75,
+            },
+            data: generators::clustered_matrix(8, 200, 2, 0.5, 3).unwrap(),
+        }
+    }
+
+    #[test]
+    fn assign_roundtrips() {
+        let a = sample_assignment();
+        let payload = encode(&Message::Assign(a.clone()));
+        match decode(&payload).unwrap() {
+            Message::Assign(b) => {
+                assert_eq!(b.shard_id, a.shard_id);
+                assert_eq!(b.ranks, a.ranks);
+                assert_eq!(b.mode, a.mode);
+                assert_eq!(b.config, a.config);
+                assert_eq!(b.query, a.query);
+                assert_eq!(b.data.n_series(), a.data.n_series());
+                assert_eq!(
+                    b.data
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    a.data
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                );
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_roundtrips_bitwise() {
+        let mut stats = PruningStats::default();
+        stats.record_jump(5);
+        stats.n_pairs = 15;
+        stats.evaluated = 40;
+        let r = ShardResult {
+            shard_id: 7,
+            ranks: 0..15,
+            prepare_s: 0.25,
+            query_s: 1.5,
+            stats: stats.clone(),
+            edges: vec![
+                (
+                    0,
+                    Edge {
+                        i: 1,
+                        j: 2,
+                        value: 0.9876543210123,
+                    },
+                ),
+                (
+                    3,
+                    Edge {
+                        i: 0,
+                        j: 5,
+                        value: -0.25,
+                    },
+                ),
+            ],
+        };
+        let payload = encode(&Message::Result(r.clone()));
+        match decode(&payload).unwrap() {
+            Message::Result(b) => {
+                assert_eq!(b.shard_id, 7);
+                assert_eq!(b.ranks, 0..15);
+                assert_eq!(b.stats, stats);
+                assert_eq!(b.edges.len(), 2);
+                for ((wa, ea), (wb, eb)) in r.edges.iter().zip(&b.edges) {
+                    assert_eq!(wa, wb);
+                    assert_eq!((ea.i, ea.j), (eb.i, eb.j));
+                    assert_eq!(ea.value.to_bits(), eb.value.to_bits());
+                }
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_roundtrips() {
+        let payload = encode(&Message::Error("shard exploded".into()));
+        match decode(&payload).unwrap() {
+            Message::Error(t) => assert_eq!(t, "shard exploded"),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked() {
+        let full = encode(&Message::Assign(sample_assignment()));
+        // Every strict prefix must decode to Err, never panic.
+        for cut in [0usize, 1, 2, 9, 17, 40, full.len() - 1] {
+            assert!(decode(&full[..cut]).is_err(), "cut={cut}");
+        }
+        assert!(decode(&[99]).is_err(), "unknown tag");
+    }
+}

@@ -1,0 +1,257 @@
+//! The shard worker: the engine-driving side of the `dangoron-shard`
+//! process.
+//!
+//! A worker is a frame loop over its stdio pipes: read an
+//! [`Assignment`], execute the shard (batch
+//! `prepare_shard` + `run_range`, or a sharded streaming replay), write
+//! one [`ShardResult`] frame back, repeat until the
+//! coordinator closes the pipe. Engine-side failures are reported as
+//! `Error` frames (the worker survives and can take re-planned shards);
+//! transport failures end the process.
+
+use crate::merge::flatten_windows;
+use crate::proto::{self, Assignment, Message, ShardResult, WorkerMode};
+use bytes::frame;
+use dangoron::{Dangoron, StreamingDangoron};
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+/// When this environment variable is set (to anything non-empty), the
+/// worker aborts with an I/O error upon receiving its first assignment —
+/// the deterministic crash-injection hook the coordinator's replan path is
+/// tested with.
+pub const FAIL_ENV: &str = "DANGORON_SHARD_FAIL";
+
+/// Serves assignments from `input`, writing results to `output`, until a
+/// clean end-of-stream. This is the whole body of the `dangoron-shard`
+/// binary, kept here so the loop is unit-testable over in-memory pipes.
+pub fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
+    let inject_fail = std::env::var(FAIL_ENV).is_ok_and(|v| !v.is_empty());
+    while let Some(payload) = frame::read_from(input, proto::MAX_FRAME)? {
+        let msg =
+            proto::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let assignment = match msg {
+            Message::Assign(a) => a,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("worker expected an assignment, got {other:?}"),
+                ))
+            }
+        };
+        if inject_fail {
+            return Err(io::Error::other(
+                "injected worker failure (DANGORON_SHARD_FAIL)",
+            ));
+        }
+        let reply = match execute(&assignment) {
+            Ok(result) => Message::Result(result),
+            Err(e) => Message::Error(e),
+        };
+        frame::write_to(output, &proto::encode(&reply))?;
+    }
+    Ok(())
+}
+
+/// Executes one assignment, producing the shard's sorted edge buffer and
+/// counters.
+pub fn execute(a: &Assignment) -> Result<ShardResult, String> {
+    match a.mode {
+        WorkerMode::Batch => execute_batch(a),
+        WorkerMode::StreamingReplay {
+            initial_cols,
+            chunk_cols,
+        } => execute_streaming(a, initial_cols, chunk_cols),
+    }
+}
+
+fn execute_batch(a: &Assignment) -> Result<ShardResult, String> {
+    let engine = Dangoron::new(a.config.clone()).map_err(|e| format!("bad config: {e:?}"))?;
+    let t = Instant::now();
+    let prep = engine
+        .prepare_shard(&a.data, a.query, a.ranks.clone())
+        .map_err(|e| format!("prepare failed: {e:?}"))?;
+    let prepare_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let result = engine.run_range(&prep, a.ranks.clone());
+    let query_s = t.elapsed().as_secs_f64();
+    Ok(ShardResult {
+        shard_id: a.shard_id,
+        ranks: a.ranks.clone(),
+        prepare_s,
+        query_s,
+        stats: result.stats.clone(),
+        edges: flatten_windows(&result.matrices),
+    })
+}
+
+fn execute_streaming(
+    a: &Assignment,
+    initial_cols: usize,
+    chunk_cols: usize,
+) -> Result<ShardResult, String> {
+    if chunk_cols == 0 {
+        return Err("streaming replay needs a positive chunk width".into());
+    }
+    let total = a.data.len();
+    let initial_cols = initial_cols.min(total);
+    let initial = a
+        .data
+        .slice_columns(0, initial_cols)
+        .map_err(|e| format!("bad initial slice: {e:?}"))?;
+    let t = Instant::now();
+    let mut session = StreamingDangoron::new_sharded(
+        initial,
+        a.query.window,
+        a.query.step,
+        a.query.threshold,
+        a.config.clone(),
+        a.ranks.clone(),
+    )
+    .map_err(|e| format!("session open failed: {e:?}"))?;
+    let prepare_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut windows = session
+        .drain_completed()
+        .map_err(|e| format!("drain failed: {e:?}"))?;
+    let mut at = initial_cols;
+    while at < total {
+        let next = (at + chunk_cols).min(total);
+        let chunk = a
+            .data
+            .slice_columns(at, next)
+            .map_err(|e| format!("bad chunk slice: {e:?}"))?;
+        windows.extend(
+            session
+                .append(&chunk)
+                .map_err(|e| format!("append failed: {e:?}"))?,
+        );
+        at = next;
+    }
+    let query_s = t.elapsed().as_secs_f64();
+
+    // Drains ascend in window index and each matrix is (i, j)-sorted, so
+    // the flattened buffer is already in wire order.
+    let total_edges: usize = windows.iter().map(|w| w.matrix.n_edges()).sum();
+    let mut edges = Vec::with_capacity(total_edges);
+    for cw in &windows {
+        edges.extend(cw.matrix.edges().iter().map(|&e| (cw.index as u32, e)));
+    }
+    Ok(ShardResult {
+        shard_id: a.shard_id,
+        ranks: a.ranks.clone(),
+        prepare_s,
+        query_s,
+        stats: session.stats().clone(),
+        edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangoron::{BoundMode, DangoronConfig};
+    use sketch::SlidingQuery;
+    use tsdata::generators;
+
+    fn assignment(mode: WorkerMode, ranks: std::ops::Range<usize>) -> Assignment {
+        Assignment {
+            shard_id: 1,
+            ranks,
+            mode,
+            config: DangoronConfig {
+                basic_window: 20,
+                bound: BoundMode::Exhaustive,
+                ..Default::default()
+            },
+            query: SlidingQuery {
+                start: 0,
+                end: 300,
+                window: 60,
+                step: 20,
+                threshold: 0.7,
+            },
+            data: generators::clustered_matrix(8, 300, 2, 0.5, 17).unwrap(),
+        }
+    }
+
+    #[test]
+    fn serve_round_trips_batch_and_streaming_over_in_memory_pipes() {
+        let mut input = Vec::new();
+        for msg in [
+            Message::Assign(assignment(WorkerMode::Batch, 0..28)),
+            Message::Assign(assignment(
+                WorkerMode::StreamingReplay {
+                    initial_cols: 120,
+                    chunk_cols: 60,
+                },
+                5..20,
+            )),
+        ] {
+            input.extend(frame::encode(&proto::encode(&msg)));
+        }
+        let mut reader: &[u8] = &input;
+        let mut output = Vec::new();
+        serve(&mut reader, &mut output).unwrap();
+
+        let mut stream: &[u8] = &output;
+        let mut results = Vec::new();
+        while let Some(payload) = frame::read_from(&mut stream, proto::MAX_FRAME).unwrap() {
+            match proto::decode(&payload).unwrap() {
+                Message::Result(r) => results.push(r),
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].ranks, 0..28);
+        assert_eq!(results[0].stats.n_pairs, 28);
+        assert!(results[0]
+            .edges
+            .windows(2)
+            .all(|w| { (w[0].0, w[0].1.i, w[0].1.j) < (w[1].0, w[1].1.i, w[1].1.j) }));
+        assert_eq!(results[1].ranks, 5..20);
+        assert_eq!(results[1].stats.n_pairs % 15, 0, "15 pairs per drain");
+    }
+
+    #[test]
+    fn engine_errors_become_error_frames_not_transport_failures() {
+        // An out-of-triangle shard interval must come back as an Error
+        // message and leave the worker alive for the next assignment.
+        let bad = Message::Assign(assignment(WorkerMode::Batch, 0..999));
+        let good = Message::Assign(assignment(WorkerMode::Batch, 0..28));
+        let mut input = Vec::new();
+        input.extend(frame::encode(&proto::encode(&bad)));
+        input.extend(frame::encode(&proto::encode(&good)));
+        let mut reader: &[u8] = &input;
+        let mut output = Vec::new();
+        serve(&mut reader, &mut output).unwrap();
+
+        let mut stream: &[u8] = &output;
+        let first = proto::decode(
+            &frame::read_from(&mut stream, proto::MAX_FRAME)
+                .unwrap()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(first, Message::Error(_)), "{first:?}");
+        let second = proto::decode(
+            &frame::read_from(&mut stream, proto::MAX_FRAME)
+                .unwrap()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(second, Message::Result(_)), "{second:?}");
+    }
+
+    #[test]
+    fn batch_worker_output_matches_direct_engine_run() {
+        let a = assignment(WorkerMode::Batch, 3..17);
+        let r = execute(&a).unwrap();
+        let engine = Dangoron::new(a.config.clone()).unwrap();
+        let prep = engine.prepare_shard(&a.data, a.query, 3..17).unwrap();
+        let direct = engine.run_range(&prep, 3..17);
+        assert_eq!(r.stats, direct.stats);
+        assert_eq!(r.edges, flatten_windows(&direct.matrices));
+    }
+}

@@ -1,0 +1,131 @@
+//! Hardware context for perf records: physical core count and a
+//! whitelisted set of SIMD capability flags.
+//!
+//! The BENCH trajectory is recorded on whatever machine runs the harness —
+//! often a 1-core CI container where thread-scaling targets cannot
+//! materialise. Embedding the physical topology and vector capabilities in
+//! every record makes that caveat self-documenting instead of tribal
+//! knowledge. Everything reported here is **hostname-free**: a fixed flag
+//! whitelist and two counters, nothing that identifies the machine.
+
+/// SIMD/vector flags worth recording, in report order. x86 names match
+/// `/proc/cpuinfo`; `neon` is synthesised from aarch64's `asimd` feature.
+const FLAG_WHITELIST: [&str; 8] = [
+    "sse2", "ssse3", "sse4_1", "sse4_2", "avx", "avx2", "fma", "avx512f",
+];
+
+/// Number of *physical* cores (hyperthreads excluded), best effort:
+/// unique `(physical id, core id)` pairs from `/proc/cpuinfo`, falling
+/// back to [`crate::available_threads`] when the topology is unreadable
+/// (non-Linux, or containers that mask it).
+pub fn physical_cores() -> usize {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| parse_physical_cores(&text))
+        .unwrap_or_else(crate::available_threads)
+}
+
+/// The whitelisted SIMD flags this machine reports, in a stable order.
+pub fn simd_flags() -> Vec<&'static str> {
+    #[cfg(target_arch = "aarch64")]
+    {
+        // aarch64 mandates NEON; /proc/cpuinfo calls it `asimd`.
+        return vec!["neon"];
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    {
+        std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .map(|text| parse_simd_flags(&text))
+            .unwrap_or_default()
+    }
+}
+
+/// Parses unique `(physical id, core id)` pairs; `None` when the file
+/// carries no topology (some VMs/containers).
+fn parse_physical_cores(cpuinfo: &str) -> Option<usize> {
+    let mut cores = std::collections::HashSet::new();
+    let (mut phys, mut core) = (None::<u64>, None::<u64>);
+    for line in cpuinfo.lines().chain(std::iter::once("")) {
+        if line.trim().is_empty() {
+            if let (Some(p), Some(c)) = (phys, core) {
+                cores.insert((p, c));
+            }
+            (phys, core) = (None, None);
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => phys = value.trim().parse().ok(),
+            "core id" => core = value.trim().parse().ok(),
+            _ => {}
+        }
+    }
+    (!cores.is_empty()).then_some(cores.len())
+}
+
+/// Intersects the first `flags` line with the whitelist.
+#[cfg_attr(target_arch = "aarch64", allow(dead_code))]
+fn parse_simd_flags(cpuinfo: &str) -> Vec<&'static str> {
+    let Some(line) = cpuinfo
+        .lines()
+        .find(|l| l.split(':').next().map(str::trim) == Some("flags"))
+    else {
+        return Vec::new();
+    };
+    let present: std::collections::HashSet<&str> = line
+        .split_once(':')
+        .map(|(_, v)| v.split_whitespace().collect())
+        .unwrap_or_default();
+    FLAG_WHITELIST
+        .iter()
+        .copied()
+        .filter(|f| present.contains(f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+processor\t: 0
+physical id\t: 0
+core id\t: 0
+flags\t\t: fpu sse2 ssse3 avx avx2 fma hostnameleak
+
+processor\t: 1
+physical id\t: 0
+core id\t: 0
+flags\t\t: fpu sse2 ssse3 avx avx2 fma
+
+processor\t: 2
+physical id\t: 0
+core id\t: 1
+flags\t\t: fpu sse2 ssse3 avx avx2 fma
+";
+
+    #[test]
+    fn counts_unique_physical_cores_not_hyperthreads() {
+        // 3 logical processors, 2 unique (physical, core) pairs.
+        assert_eq!(parse_physical_cores(SAMPLE), Some(2));
+        assert_eq!(parse_physical_cores("processor: 0\n"), None);
+    }
+
+    #[test]
+    fn flags_are_whitelisted_and_ordered() {
+        let flags = parse_simd_flags(SAMPLE);
+        assert_eq!(flags, vec!["sse2", "ssse3", "avx", "avx2", "fma"]);
+        // Non-whitelisted tokens (potential identifiers) never leak.
+        assert!(!flags.contains(&"hostnameleak"));
+        assert!(parse_simd_flags("no flags line\n").is_empty());
+    }
+
+    #[test]
+    fn live_probes_are_sane() {
+        assert!(physical_cores() >= 1);
+        let _ = simd_flags(); // must not panic anywhere
+    }
+}

@@ -1,5 +1,7 @@
-//! Minimal `Buf`/`BufMut`: exactly the little-endian accessors the sketch
-//! store's binary frame format uses.
+//! Minimal `Buf`/`BufMut`: the little-endian accessors the sketch store's
+//! binary frame format and the distributed tier's wire protocol use, plus
+//! a tiny length-prefixed framing module ([`frame`]) for the
+//! coordinator/worker streams.
 
 /// Read side: consuming little-endian reads over a shrinking slice.
 pub trait Buf {
@@ -9,6 +11,21 @@ pub trait Buf {
     fn advance(&mut self, n: usize);
     /// Borrow the unread bytes.
     fn chunk(&self) -> &[u8];
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a little-endian `u32`, consuming 4 bytes.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
 
     /// Read a little-endian `u64`, consuming 8 bytes.
     fn get_u64_le(&mut self) -> u64 {
@@ -43,6 +60,16 @@ pub trait BufMut {
     /// Append raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
@@ -60,6 +87,92 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// Length-prefixed framing over byte streams: every frame is a
+/// little-endian `u32` payload length followed by the payload.
+///
+/// This is the wire format of the distributed shard tier's
+/// coordinator/worker protocol (`crates/dist`). It is a shim extension —
+/// the real `bytes` crate carries no I/O; when the registry becomes
+/// reachable and the shim is swapped out, this module moves verbatim into
+/// `dist::proto` (see `crates/shims/README.md`).
+pub mod frame {
+    use std::io::{self, Read, Write};
+
+    /// Bytes of the length prefix.
+    pub const HEADER_LEN: usize = 4;
+
+    /// Largest payload the `u32` length prefix can carry. Writers must
+    /// refuse anything bigger — a silent wrap would corrupt the stream.
+    pub const MAX_PAYLOAD: usize = u32::MAX as usize;
+
+    /// Encodes one frame (length prefix + payload) into a fresh buffer.
+    ///
+    /// # Panics
+    /// Panics when the payload exceeds [`MAX_PAYLOAD`] (the prefix would
+    /// wrap); fallible callers should use [`write_to`].
+    pub fn encode(payload: &[u8]) -> Vec<u8> {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "frame payload of {} bytes exceeds the u32 length prefix",
+            payload.len()
+        );
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Writes one frame to `w` and flushes it. Fails fast (nothing
+    /// written) when the payload exceeds [`MAX_PAYLOAD`] — wrapping the
+    /// prefix would corrupt the stream mid-frame.
+    pub fn write_to(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds the u32 length prefix",
+                    payload.len()
+                ),
+            ));
+        }
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(payload)?;
+        w.flush()
+    }
+
+    /// Reads one frame's payload from `r`.
+    ///
+    /// Returns `Ok(None)` on a clean end-of-stream (EOF before any header
+    /// byte); a stream that ends mid-frame is an error, as is a declared
+    /// length above `max_len` (protects against garbage prefixes).
+    pub fn read_from(r: &mut impl Read, max_len: usize) -> io::Result<Option<Vec<u8>>> {
+        let mut header = [0u8; HEADER_LEN];
+        let mut got = 0;
+        while got < HEADER_LEN {
+            match r.read(&mut header[got..])? {
+                0 if got == 0 => return Ok(None),
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a frame header",
+                    ))
+                }
+                n => got += n,
+            }
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > max_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds the {max_len}-byte limit"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Ok(Some(payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,12 +180,51 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xAB_CD_EF_01);
         buf.put_u64_le(0xDEAD_BEEF_u64);
         buf.put_f64_le(-1.5);
         let mut r: &[u8] = &buf;
-        assert_eq!(r.remaining(), 16);
+        assert_eq!(r.remaining(), 21);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xAB_CD_EF_01);
         assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_u64);
         assert_eq!(r.get_f64_le(), -1.5);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_stream() {
+        let mut stream = Vec::new();
+        frame::write_to(&mut stream, b"hello").unwrap();
+        frame::write_to(&mut stream, b"").unwrap();
+        frame::write_to(&mut stream, &[9u8; 300]).unwrap();
+        let mut r: &[u8] = &stream;
+        assert_eq!(frame::read_from(&mut r, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(frame::read_from(&mut r, 1024).unwrap().unwrap(), b"");
+        assert_eq!(frame::read_from(&mut r, 1024).unwrap().unwrap(), [9u8; 300]);
+        // Clean EOF after the last frame.
+        assert!(frame::read_from(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_encode_matches_write_to() {
+        let mut stream = Vec::new();
+        frame::write_to(&mut stream, b"abc").unwrap();
+        assert_eq!(frame::encode(b"abc"), stream);
+    }
+
+    #[test]
+    fn frame_errors_on_damage() {
+        // Truncated mid-header.
+        let mut r: &[u8] = &[1u8, 0];
+        assert!(frame::read_from(&mut r, 1024).is_err());
+        // Truncated mid-payload.
+        let full = frame::encode(b"hello");
+        let mut r: &[u8] = &full[..full.len() - 2];
+        assert!(frame::read_from(&mut r, 1024).is_err());
+        // Oversized declared length.
+        let mut r: &[u8] = &frame::encode(&[0u8; 64]);
+        assert!(frame::read_from(&mut r, 16).is_err());
     }
 }

@@ -230,6 +230,45 @@ pub fn build_all(
         .collect())
 }
 
+/// Builds the pair sketches of a **contiguous rank interval**
+/// `[ranks.start, ranks.end)` of the triangle, in rank order — the shard
+/// variant of [`build_all`] used by distributed workers so a worker never
+/// touches out-of-shard pairs.
+///
+/// Each sketch is produced by the same per-pair kernel reduction as
+/// [`PairSketch::build`] (which [`build_all`] also uses per entry), so the
+/// returned slice is bit-identical to the corresponding sub-slice of a
+/// [`build_all`] result for any thread count.
+pub fn build_range(
+    layout: &BasicWindowLayout,
+    x: &TimeSeriesMatrix,
+    ranks: std::ops::Range<usize>,
+    threads: usize,
+) -> Result<Vec<PairSketch>, TsError> {
+    let n = x.n_series();
+    if layout.end() > x.len() {
+        return Err(TsError::OutOfRange {
+            requested: layout.end(),
+            available: x.len(),
+        });
+    }
+    let n_pairs = triangular::count(n);
+    if ranks.start > ranks.end || ranks.end > n_pairs {
+        return Err(TsError::OutOfRange {
+            requested: ranks.end,
+            available: n_pairs,
+        });
+    }
+    Ok(exec::par_collect_chunks(ranks.len(), threads, 8, |chunk| {
+        chunk
+            .map(|k| {
+                let (i, j) = triangular::unrank(ranks.start + k, n);
+                PairSketch::build_unchecked(layout, x.row(i), x.row(j))
+            })
+            .collect()
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +391,42 @@ mod tests {
             let got = build_all(&layout, &x, threads).unwrap();
             assert_eq!(got, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn build_range_matches_build_all_subslice() {
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|s| {
+                (0..120)
+                    .map(|t| ((t + 5 * s) as f64 * 0.23).sin() + 0.02 * (s as f64))
+                    .collect()
+            })
+            .collect();
+        let x = TimeSeriesMatrix::from_rows(rows).unwrap();
+        let layout = BasicWindowLayout::cover(0, 120, 10).unwrap();
+        let all = build_all(&layout, &x, 1).unwrap();
+        let n_pairs = all.len();
+        for (start, end) in [
+            (0usize, n_pairs),
+            (0, 7),
+            (7, 8),
+            (5, 21),
+            (n_pairs, n_pairs),
+        ] {
+            for threads in [1, 4] {
+                let got = build_range(&layout, &x, start..end, threads).unwrap();
+                assert_eq!(
+                    got,
+                    all[start..end],
+                    "range {start}..{end} threads={threads}"
+                );
+            }
+        }
+        // Out-of-triangle ranges are rejected.
+        assert!(build_range(&layout, &x, 0..n_pairs + 1, 1).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 5..4;
+        assert!(build_range(&layout, &x, reversed, 1).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 pub use baselines;
 pub use dangoron;
+pub use dist;
 pub use dsp;
 pub use eval;
 pub use kernel;
