@@ -4,6 +4,7 @@
 //! ```text
 //! harness <exp-id>... [--full]                    # e1 … e13, or `all`
 //! harness bench [--out BENCH_1.json] [--full] [--shard-records DIR]
+//!               [--dist-transport pipes|tcp]
 //! harness merge --out MERGED.json SHARD.json...   # fold per-shard records
 //! harness validate [--require-streaming] [--require-kernels]
 //!                  [--require-shards] FILE...
@@ -16,7 +17,10 @@
 //! `bench::perf`) so every PR's speedup is comparable to its predecessors;
 //! `--shard-records DIR` additionally writes the distributed run's
 //! per-shard records, which `merge` folds into one (evaluation counts
-//! summed, wall times maxed, `n_shards` recorded).
+//! summed, wall times maxed, `n_shards` recorded, disagreeing `hardware`
+//! sections flagged); `--dist-transport tcp` runs the distributed leg
+//! over localhost TCP (coordinator listener + `dangoron-shard --connect`
+//! workers) instead of spawned stdio pipes.
 
 use bench::experiments::{run_experiment, ALL};
 use bench::schema::Requires;
@@ -48,7 +52,20 @@ fn run_bench(args: &[String], scale: Scale) {
         }
         None => None,
     };
-    let (record, dist_result, workload) = bench::perf::run_full(scale);
+    let transport = match flag_value(args, "--dist-transport") {
+        Some(Ok(v)) if v == "pipes" => bench::perf::DistTransport::Pipes,
+        Some(Ok(v)) if v == "tcp" => bench::perf::DistTransport::Tcp,
+        Some(Ok(v)) => {
+            eprintln!("error: --dist-transport must be `pipes` or `tcp`, got {v:?}");
+            std::process::exit(2);
+        }
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        None => bench::perf::DistTransport::Pipes,
+    };
+    let (record, dist_result, workload) = bench::perf::run_full_with(scale, transport);
     if let Some(dir) = shard_dir {
         if let Err(e) = write_shard_records(&dir, &workload, &dist_result) {
             eprintln!("error: {e}");

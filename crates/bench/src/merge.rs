@@ -7,7 +7,9 @@
 //! trajectory can keep: **evaluation counts sum**, **wall times take the
 //! max across shards** (the distributed run is as slow as its slowest
 //! shard), and the merged record carries a `shards` section recording
-//! `n_shards` and the fold — `harness validate --require-shards` checks
+//! `n_shards`, the fold, and whether the per-shard `hardware` sections
+//! disagreed (`hardware_mismatch` — shards of a TCP run can come off
+//! different machines) — `harness validate --require-shards` checks
 //! it. Like the rest of the harness, everything is hand-rolled over the
 //! structural helpers in [`crate::schema`]; no JSON dependency exists in
 //! the workspace.
@@ -139,6 +141,12 @@ pub fn merge_records(inputs: &[(String, String)]) -> Result<String, String> {
     let hardware = schema::after_key(first_json, "hardware")
         .and_then(schema::object_body)
         .ok_or_else(|| format!("{first_label}: missing hardware section"))?;
+    // In a multi-machine (TCP) run the per-shard records can come off
+    // different hosts; silently keeping the first `hardware` section
+    // would misattribute every other shard's numbers. Detect the
+    // disagreement and record it in the merged `shards` section.
+    let mut hardware_mismatch = false;
+    let normalize = |s: &str| -> String { s.split_whitespace().collect::<Vec<_>>().join(" ") };
     for (k, (label, json)) in inputs.iter().enumerate().skip(1) {
         let w = schema::string_value(json, "workload").unwrap_or("");
         if w != workload {
@@ -148,6 +156,12 @@ pub fn merge_records(inputs: &[(String, String)]) -> Result<String, String> {
         }
         if parsed[k].n_shards != parsed[0].n_shards {
             return Err(format!("{label}: n_shards disagrees with {first_label}"));
+        }
+        let hw = schema::after_key(json, "hardware")
+            .and_then(schema::object_body)
+            .ok_or_else(|| format!("{label}: missing hardware section"))?;
+        if normalize(hw) != normalize(hardware) {
+            hardware_mismatch = true;
         }
     }
 
@@ -214,7 +228,8 @@ pub fn merge_records(inputs: &[(String, String)]) -> Result<String, String> {
         "  \"shards\": {{\"n_shards\": {}, \"merged_from\": {}, \
          \"evaluated\": {evaluated}, \"total_cells\": {total_cells}, \
          \"merged_edges\": {edges}, \"prepare_ms_max\": {prepare_ms_max:.6}, \
-         \"query_ms_max\": {query_ms_max:.6}, \"replans\": {replans}}},",
+         \"query_ms_max\": {query_ms_max:.6}, \"replans\": {replans}, \
+         \"hardware_mismatch\": {hardware_mismatch}}},",
         parsed[0].n_shards,
         parsed.len(),
     );
@@ -311,6 +326,36 @@ mod tests {
         // Merge order must not matter.
         let reversed = vec![inputs[1].clone(), inputs[0].clone()];
         assert_eq!(merge_records(&reversed).unwrap(), merged);
+    }
+
+    #[test]
+    fn merge_detects_disagreeing_hardware_sections() {
+        // Identical hardware across shards: no mismatch recorded.
+        let same = vec![
+            ("a".to_string(), record(0..60, 0, 40)),
+            ("b".to_string(), record(60..120, 1, 30)),
+        ];
+        let merged = merge_records(&same).unwrap();
+        assert!(merged.contains("\"hardware_mismatch\": false"), "{merged}");
+
+        // One shard ran on a different machine: the fold must say so
+        // instead of silently keeping the first record's hardware.
+        let other =
+            record(60..120, 1, 30).replace("\"n_physical_cores\": 2", "\"n_physical_cores\": 64");
+        let mixed = vec![
+            ("a".to_string(), record(0..60, 0, 40)),
+            ("b".to_string(), other),
+        ];
+        let merged = merge_records(&mixed).unwrap();
+        assert!(merged.contains("\"hardware_mismatch\": true"), "{merged}");
+        schema::validate(
+            &merged,
+            Requires {
+                shards: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
     }
 
     #[test]

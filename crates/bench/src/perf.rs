@@ -112,6 +112,19 @@ pub struct ShardsPerf {
     /// `"processes"` when real `dangoron-shard` workers ran,
     /// `"in-process"` when the worker binary was unavailable.
     pub mode: String,
+    /// Transport the workers were reached over (`"pipe"`, `"tcp"`,
+    /// `"in-process"`).
+    pub transport: String,
+    /// Assignment frames sent (replans included).
+    pub assignments: usize,
+    /// Total payload bytes of the slim (post-`Load`) `Assign` frames.
+    pub assign_bytes: u64,
+    /// Total payload bytes of the per-worker `Load` frames.
+    pub load_bytes: u64,
+    /// What the protocol-v1 fat assignments (matrix inside every
+    /// `Assign`) would have cost for the same run — `assign_bytes +
+    /// load_bytes` against this number is the `Load`-frame saving.
+    pub fat_assign_bytes: u64,
     /// Re-plan events over the run.
     pub replans: usize,
     /// Summed exact evaluations across shards.
@@ -195,12 +208,19 @@ impl PerfRecord {
             let _ = writeln!(
                 s,
                 "  \"shards\": {{\"n_shards\": {}, \"workers\": {}, \"mode\": {}, \
+                 \"transport\": {}, \"assignments\": {}, \"assign_bytes\": {}, \
+                 \"load_bytes\": {}, \"fat_assign_bytes\": {}, \
                  \"replans\": {}, \"evaluated\": {}, \"total_cells\": {}, \
                  \"merged_edges\": {}, \"prepare_ms_max\": {}, \"query_ms_max\": {}, \
                  \"coord_ms\": {}, \"single_process_ms\": {}, \"bit_identical\": {}}},",
                 sh.n_shards,
                 sh.workers,
                 json_str(&sh.mode),
+                json_str(&sh.transport),
+                sh.assignments,
+                sh.assign_bytes,
+                sh.load_bytes,
+                sh.fat_assign_bytes,
                 sh.replans,
                 sh.evaluated,
                 sh.total_cells,
@@ -403,6 +423,18 @@ fn streaming_sample(w: &Workload, threads: usize, reps: usize) -> StreamingPerf 
     }
 }
 
+/// Which transport the perf record's distributed leg exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistTransport {
+    /// Spawn `dangoron-shard` children over stdio pipes (falls back to
+    /// the in-process tier when the worker binary is not built).
+    #[default]
+    Pipes,
+    /// Localhost TCP: bind an OS-assigned port and start
+    /// `dangoron-shard --connect` worker processes against it.
+    Tcp,
+}
+
 /// Runs the perf ladder and returns the record.
 pub fn run(scale: Scale) -> PerfRecord {
     run_full(scale).0
@@ -413,6 +445,15 @@ pub fn run(scale: Scale) -> PerfRecord {
 /// --shard-records` can write the per-shard records without re-running
 /// the (expensive) distributed and single-process reference legs.
 pub fn run_full(scale: Scale) -> (PerfRecord, dist::DistResult, Workload) {
+    run_full_with(scale, DistTransport::Pipes)
+}
+
+/// [`run_full`] with an explicit transport for the distributed leg
+/// (`harness bench --dist-transport tcp`).
+pub fn run_full_with(
+    scale: Scale,
+    transport: DistTransport,
+) -> (PerfRecord, dist::DistResult, Workload) {
     let (n, hours, reps) = match scale {
         Scale::Quick => (32, 24 * 90, 3),
         Scale::Full => (128, 24 * 365, 5),
@@ -436,7 +477,7 @@ pub fn run_full(scale: Scale) -> (PerfRecord, dist::DistResult, Workload) {
     let streaming_threads = exec::available_threads().min(*THREAD_LADDER.last().unwrap());
     let streaming = Some(streaming_sample(&w, streaming_threads, reps));
     let kernels = Some(kernels_sample(scale));
-    let (shards_perf, dist_result) = shards_sample(&w);
+    let (shards_perf, dist_result) = shards_sample_with(&w, transport);
 
     let record = PerfRecord {
         workload: w.name.clone(),
@@ -453,13 +494,27 @@ pub fn run_full(scale: Scale) -> (PerfRecord, dist::DistResult, Workload) {
     (record, dist_result, w)
 }
 
-/// Runs the distributed shard tier over the workload (4 shards, batch
-/// mode) and condenses it to the `shards` section — through real
-/// `dangoron-shard` worker processes when the binary is built, an
-/// in-process fallback otherwise. Also returns the per-shard summaries so
-/// `harness bench --shard-records` can write the per-shard records that
-/// `harness merge` consumes.
+/// Runs the distributed shard tier over the workload (8 shards queued
+/// onto 4 workers, batch mode) and condenses it to the `shards` section —
+/// through real `dangoron-shard` worker processes when the binary is
+/// built, an in-process fallback otherwise. More shards than workers is
+/// deliberate: queued shards reuse the worker's `Load`ed matrix, which is
+/// exactly the per-assignment byte saving the record measures
+/// (`assign_bytes + load_bytes` vs `fat_assign_bytes`). Also returns the
+/// per-shard summaries so `harness bench --shard-records` can write the
+/// per-shard records that `harness merge` consumes.
 pub fn shards_sample(w: &Workload) -> (ShardsPerf, dist::DistResult) {
+    shards_sample_with(w, DistTransport::Pipes)
+}
+
+/// [`shards_sample`] over an explicit transport. The TCP leg binds an
+/// OS-assigned localhost port and starts the workers itself with
+/// `dangoron-shard --connect`; either leg degrades to the in-process
+/// tier when the worker binary is unavailable.
+pub fn shards_sample_with(
+    w: &Workload,
+    transport: DistTransport,
+) -> (ShardsPerf, dist::DistResult) {
     use dist::coord;
     use dist::proto::WorkerMode;
     let engine_cfg = DangoronConfig {
@@ -467,7 +522,8 @@ pub fn shards_sample(w: &Workload) -> (ShardsPerf, dist::DistResult) {
         bound: BoundMode::PaperJump { slack: 0.0 },
         ..Default::default()
     };
-    let n_shards = 4;
+    let n_shards = 8;
+    let n_workers = 4;
     let t = Instant::now();
     let single = coord::run_single_process(WorkerMode::Batch, &engine_cfg, &w.data, w.query)
         .expect("single-process reference run");
@@ -479,11 +535,20 @@ pub fn shards_sample(w: &Workload) -> (ShardsPerf, dist::DistResult) {
     };
     let (result, mode) = match coord::default_worker_path() {
         Some(worker_bin) => {
-            let cfg = coord::CoordinatorConfig {
-                timeout: Duration::from_secs(600),
-                ..coord::CoordinatorConfig::new(worker_bin, n_shards)
+            let attempt = match transport {
+                DistTransport::Pipes => {
+                    let cfg = coord::CoordinatorConfig {
+                        n_workers,
+                        timeout: Duration::from_secs(600),
+                        ..coord::CoordinatorConfig::new(worker_bin, n_shards)
+                    };
+                    coord::run(&cfg, &engine_cfg, &w.data, w.query)
+                }
+                DistTransport::Tcp => {
+                    run_over_tcp(&worker_bin, n_shards, n_workers, &engine_cfg, w)
+                }
             };
-            match coord::run(&cfg, &engine_cfg, &w.data, w.query) {
+            match attempt {
                 Ok(r) => (r, "processes"),
                 Err(e) => {
                     eprintln!("shards: process tier failed ({e}); recording in-process run");
@@ -495,10 +560,20 @@ pub fn shards_sample(w: &Workload) -> (ShardsPerf, dist::DistResult) {
     };
     let bit_identical = dist::merge::windows_bit_identical(&result.matrices, &single.matrices)
         && result.stats == single.stats;
+    // What protocol v1 (matrix inside every Assign) would have shipped:
+    // every assignment additionally carries the matrix dims + cells.
+    let matrix_bytes = 16 + 8 * (w.data.n_series() * w.data.len()) as u64;
+    let fat_assign_bytes =
+        result.coord.assign_bytes + result.coord.assignments as u64 * matrix_bytes;
     let perf = ShardsPerf {
         n_shards: result.coord.n_shards_planned,
         workers: result.coord.n_workers,
         mode: mode.to_string(),
+        transport: result.coord.transport.clone(),
+        assignments: result.coord.assignments,
+        assign_bytes: result.coord.assign_bytes,
+        load_bytes: result.coord.load_bytes,
+        fat_assign_bytes,
         replans: result.coord.replans,
         evaluated: result.stats.evaluated,
         total_cells: result.stats.total_cells,
@@ -518,6 +593,61 @@ pub fn shards_sample(w: &Workload) -> (ShardsPerf, dist::DistResult) {
         bit_identical,
     };
     (perf, result)
+}
+
+/// Drives the distributed leg over localhost TCP: binds an OS-assigned
+/// port, starts one `dangoron-shard --connect` process per shard, and
+/// runs the coordinator against the pre-bound listener — the same path a
+/// real multi-machine run takes, minus the network in between.
+fn run_over_tcp(
+    worker_bin: &std::path::Path,
+    n_shards: usize,
+    n_workers: usize,
+    engine_cfg: &DangoronConfig,
+    w: &Workload,
+) -> Result<dist::DistResult, String> {
+    use std::process::{Command, Stdio};
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("TCP bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .to_string();
+    let mut children = Vec::new();
+    for _ in 0..n_workers {
+        let spawned = Command::new(worker_bin)
+            .arg("--connect")
+            .arg(&addr)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match spawned {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                // Reap the partial set — orphans would retry the dial
+                // for ~30 s and then linger as zombies.
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(format!("spawn {worker_bin:?} --connect: {e}"));
+            }
+        }
+    }
+    let cfg = dist::coord::CoordinatorConfig {
+        n_workers,
+        timeout: Duration::from_secs(600),
+        ..dist::coord::CoordinatorConfig::tcp(addr, n_shards)
+    };
+    let out = dist::coord::run_with_listener(&cfg, listener, engine_cfg, &w.data, w.query);
+    for mut c in children {
+        if out.is_err() {
+            let _ = c.kill();
+        }
+        let _ = c.wait();
+    }
+    out
 }
 
 /// Runs the E12 microbenchmark suite and condenses it to the `kernels`

@@ -39,6 +39,24 @@ const SHARDS_KEYS: [(&str, ValueKind); 7] = [
     ("replans", ValueKind::Number),
 ];
 
+/// Keys the `shards` section *may* carry — introduced after PR 4, so
+/// older records legitimately lack them, but when present they must have
+/// the right shape. `transport`/`assign_bytes`/`load_bytes`/
+/// `fat_assign_bytes` arrived with the TCP transport + `Load` frame;
+/// `hardware_mismatch` is written by `harness merge` when per-shard
+/// records disagree on their `hardware` sections.
+const SHARDS_OPTIONAL_KEYS: [(&str, ValueKind); 9] = [
+    ("workers", ValueKind::Number),
+    ("mode", ValueKind::String),
+    ("transport", ValueKind::String),
+    ("assignments", ValueKind::Number),
+    ("assign_bytes", ValueKind::Number),
+    ("load_bytes", ValueKind::Number),
+    ("fat_assign_bytes", ValueKind::Number),
+    ("bit_identical", ValueKind::Bool),
+    ("hardware_mismatch", ValueKind::Bool),
+];
+
 /// Keys the per-shard `shard` section must carry when present (records
 /// written by one worker's shard, the inputs of `harness merge`).
 const SHARD_KEYS: [(&str, ValueKind); 10] = [
@@ -90,6 +108,7 @@ enum ValueKind {
     Number,
     Array,
     Object,
+    Bool,
 }
 
 impl ValueKind {
@@ -99,6 +118,7 @@ impl ValueKind {
             ValueKind::Number => first.is_ascii_digit() || first == '-',
             ValueKind::Array => first == '[',
             ValueKind::Object => first == '{',
+            ValueKind::Bool => first == 't' || first == 'f',
         }
     }
 
@@ -108,6 +128,7 @@ impl ValueKind {
             ValueKind::Number => "number",
             ValueKind::Array => "array",
             ValueKind::Object => "object",
+            ValueKind::Bool => "bool",
         }
     }
 }
@@ -161,6 +182,11 @@ pub fn validate(json: &str, requires: Requires) -> Result<(), String> {
     )?;
     check_section(json, "kernels", &KERNEL_KEYS, requires.kernels)?;
     check_section(json, "shards", &SHARDS_KEYS, requires.shards)?;
+    if let Some(body) = after_key(json, "shards").and_then(object_body) {
+        for (key, kind) in SHARDS_OPTIONAL_KEYS {
+            check_optional_key(body, key, kind)?;
+        }
+    }
     check_section(json, "shard", &SHARD_KEYS, false)?;
     Ok(())
 }
@@ -246,6 +272,16 @@ pub(crate) fn object_body(rest: &str) -> Option<&str> {
         }
     }
     None
+}
+
+/// [`check_key`] for a key that may legitimately be absent (introduced
+/// after the section itself): only the type is enforced, and only when
+/// the key appears.
+fn check_optional_key(body: &str, key: &str, kind: ValueKind) -> Result<(), String> {
+    if after_key(body, key).is_some() {
+        check_key(body, key, kind)?;
+    }
+    Ok(())
 }
 
 fn check_key(json: &str, key: &str, kind: ValueKind) -> Result<(), String> {
@@ -388,6 +424,28 @@ mod tests {
         assert!(validate(&bad, REQ_NONE).is_err());
         // Wrong type in the section.
         let bad = minimal(false, true).replace("\"len\": 16384", "\"len\": \"big\"");
+        assert!(validate(&bad, REQ_NONE).is_err());
+    }
+
+    #[test]
+    fn optional_shards_keys_are_type_checked_when_present() {
+        // Records without the v2 keys stay valid (pre-TCP records)...
+        validate(&minimal_with(false, false, true), REQ_SHARDS).unwrap();
+        // ...a well-typed v2 section is valid...
+        let v2 = minimal_with(false, false, true).replace(
+            "\"replans\": 1}",
+            "\"replans\": 1, \"transport\": \"tcp\", \"assignments\": 4, \
+             \"assign_bytes\": 512, \"load_bytes\": 4096, \
+             \"fat_assign_bytes\": 16000, \"bit_identical\": true, \
+             \"hardware_mismatch\": false}",
+        );
+        validate(&v2, REQ_SHARDS).unwrap();
+        // ...and a mis-typed one is rejected.
+        let bad = v2.replace("\"transport\": \"tcp\"", "\"transport\": 6");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        let bad = v2.replace("\"hardware_mismatch\": false", "\"hardware_mismatch\": 0");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        let bad = v2.replace("\"load_bytes\": 4096", "\"load_bytes\": \"many\"");
         assert!(validate(&bad, REQ_NONE).is_err());
     }
 
@@ -538,6 +596,11 @@ mod tests {
             n_shards: 4,
             workers: 4,
             mode: "processes".to_string(),
+            transport: "tcp".to_string(),
+            assignments: 5,
+            assign_bytes: 640,
+            load_bytes: 4096,
+            fat_assign_bytes: 20_000,
             replans: 1,
             evaluated: 100,
             total_cells: 400,

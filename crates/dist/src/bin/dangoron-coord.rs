@@ -1,25 +1,35 @@
 //! The shard coordinator CLI: plans the pair space, drives
-//! `dangoron-shard` worker processes over the climate workload, merges
+//! `dangoron-shard` workers over the climate workload — spawned over
+//! stdio pipes by default, or accepted over TCP with `--listen` — merges
 //! their sorted edge buffers, and (optionally) verifies the merged result
-//! bitwise against the single-process engine — the CI `shard-smoke`
-//! entry point.
+//! bitwise against the single-process engine — the CI `shard-smoke` and
+//! `tcp-smoke` entry point.
 //!
 //! ```text
 //! dangoron-coord [--shards K] [--workers W] [--worker-threads T]
 //!                [--n N] [--hours H] [--beta B] [--streaming]
 //!                [--verify] [--kill-worker IDX] [--timeout-s S]
 //!                [--worker-bin PATH]
+//!                [--listen ADDR] [--accept-timeout-s S]
+//!                [--expect-replans R]
 //!                [--export-json PATH] [--export-csv PATH] [--export-dot PATH]
 //! ```
 //!
-//! `--verify` exits non-zero unless the merged matrices are bit-identical
-//! to the unsharded engine and the shard stats sum to its counters.
-//! `--kill-worker IDX` injects a deterministic worker crash to exercise
-//! the re-plan path (`--verify` still must pass). The `--export-*` flags
-//! dump the merged temporal network via `network::export`.
+//! `--listen ADDR` switches to the TCP transport: instead of spawning
+//! children, the coordinator waits (up to `--accept-timeout-s`, default
+//! 30) for `--workers` processes started independently with
+//! `dangoron-shard --connect ADDR`. `--verify` exits non-zero unless the
+//! merged matrices are bit-identical to the unsharded engine and the
+//! shard stats sum to its counters. `--kill-worker IDX` injects a
+//! deterministic worker crash in spawn mode (over TCP, set
+//! `DANGORON_SHARD_FAIL=1` on a worker process instead);
+//! `--expect-replans R` exits non-zero unless at least `R` re-plan events
+//! happened — the fault-injection legs assert their crash actually
+//! exercised the re-plan path. The `--export-*` flags dump the merged
+//! temporal network via `network::export`.
 
 use dangoron::{BoundMode, DangoronConfig};
-use dist::coord::{self, CoordinatorConfig};
+use dist::coord::{self, CoordinatorConfig, TransportMode};
 use dist::merge::windows_bit_identical;
 use dist::proto::WorkerMode;
 use std::path::PathBuf;
@@ -37,6 +47,9 @@ struct Args {
     kill_worker: Option<usize>,
     timeout_s: u64,
     worker_bin: Option<PathBuf>,
+    listen: Option<String>,
+    accept_timeout_s: u64,
+    expect_replans: Option<usize>,
     export_json: Option<PathBuf>,
     export_csv: Option<PathBuf>,
     export_dot: Option<PathBuf>,
@@ -55,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
         kill_worker: None,
         timeout_s: 120,
         worker_bin: None,
+        listen: None,
+        accept_timeout_s: 30,
+        expect_replans: None,
         export_json: None,
         export_csv: None,
         export_dot: None,
@@ -83,6 +99,13 @@ fn parse_args() -> Result<Args, String> {
             "--kill-worker" => args.kill_worker = Some(parse(&value(&argv, k, "--kill-worker")?)?),
             "--timeout-s" => args.timeout_s = parse(&value(&argv, k, "--timeout-s")?)? as u64,
             "--worker-bin" => args.worker_bin = Some(value(&argv, k, "--worker-bin")?.into()),
+            "--listen" => args.listen = Some(value(&argv, k, "--listen")?),
+            "--accept-timeout-s" => {
+                args.accept_timeout_s = parse(&value(&argv, k, "--accept-timeout-s")?)? as u64
+            }
+            "--expect-replans" => {
+                args.expect_replans = Some(parse(&value(&argv, k, "--expect-replans")?)?)
+            }
             "--export-json" => args.export_json = Some(value(&argv, k, "--export-json")?.into()),
             "--export-csv" => args.export_csv = Some(value(&argv, k, "--export-csv")?.into()),
             "--export-dot" => args.export_dot = Some(value(&argv, k, "--export-dot")?.into()),
@@ -115,14 +138,34 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let worker_bin = match args.worker_bin.clone().or_else(coord::default_worker_path) {
-        Some(p) => p,
+    let transport = match &args.listen {
+        Some(addr) => {
+            if args.kill_worker.is_some() {
+                eprintln!(
+                    "dangoron-coord: --kill-worker only applies to spawned workers; \
+                     over TCP, set DANGORON_SHARD_FAIL=1 on a worker process and \
+                     use --expect-replans instead"
+                );
+                std::process::exit(2);
+            }
+            TransportMode::Tcp {
+                listen: addr.clone(),
+                accept_timeout: Duration::from_secs(args.accept_timeout_s),
+            }
+        }
         None => {
-            eprintln!(
-                "dangoron-coord: cannot find the dangoron-shard binary; \
-                 build it (cargo build -p dist) or pass --worker-bin"
-            );
-            std::process::exit(2);
+            let worker_bin = match args.worker_bin.clone().or_else(coord::default_worker_path) {
+                Some(p) => p,
+                None => {
+                    eprintln!(
+                        "dangoron-coord: cannot find the dangoron-shard binary; \
+                         build it (cargo build -p dist), pass --worker-bin, or \
+                         use --listen for the TCP transport"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            TransportMode::Spawn { worker_bin }
         }
     };
 
@@ -148,7 +191,7 @@ fn main() {
         WorkerMode::Batch
     };
     let cfg = CoordinatorConfig {
-        worker_bin,
+        transport,
         n_shards: args.shards,
         n_workers: args.workers.unwrap_or(args.shards),
         worker_threads: args.worker_threads,
@@ -167,9 +210,10 @@ fn main() {
     };
     let total_edges: usize = result.matrices.iter().map(|m| m.n_edges()).sum();
     println!(
-        "workload {} | shards {} | workers {} | windows {} | edges {} | \
+        "workload {} | transport {} | shards {} | workers {} | windows {} | edges {} | \
          skip {:.3} | replans {} | worker failures {} | wall {:.3}s",
         w.name,
+        result.coord.transport,
         result.coord.n_shards_planned,
         result.coord.n_workers,
         result.matrices.len(),
@@ -178,6 +222,13 @@ fn main() {
         result.coord.replans,
         result.coord.worker_failures,
         result.coord.wall_s,
+    );
+    println!(
+        "frames: {} assignments, {} assign bytes, {} load bytes, {} stale frames discarded",
+        result.coord.assignments,
+        result.coord.assign_bytes,
+        result.coord.load_bytes,
+        result.coord.stale_frames,
     );
     for s in &result.shards {
         println!(
@@ -188,6 +239,15 @@ fn main() {
     if args.kill_worker.is_some() && result.coord.replans == 0 {
         eprintln!("dangoron-coord: --kill-worker was set but no re-plan happened");
         std::process::exit(1);
+    }
+    if let Some(min) = args.expect_replans {
+        if result.coord.replans < min {
+            eprintln!(
+                "dangoron-coord: expected ≥ {min} re-plans, saw {}",
+                result.coord.replans
+            );
+            std::process::exit(1);
+        }
     }
 
     if args.verify {

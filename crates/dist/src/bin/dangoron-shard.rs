@@ -1,16 +1,60 @@
-//! The shard worker process: reads `Assign` frames on stdin, executes
-//! each shard with the sharded engines, writes `Result`/`Error` frames on
-//! stdout, and exits when the coordinator closes the pipe. See
-//! `dist::proto` for the wire format.
+//! The shard worker process: serves `Load`/`Assign` frames with the
+//! sharded engines, writing `Result`/`Error` frames back, until the
+//! coordinator closes the link. See `dist::proto` for the wire format.
+//!
+//! ```text
+//! dangoron-shard                     # spawned mode: frames over stdio
+//! dangoron-shard --connect ADDR      # TCP mode: dial a listening
+//!                                    # dangoron-coord (retries ~30 s)
+//! ```
+//!
+//! In both modes the worker's first frame is the `Hello` handshake
+//! (protocol version + capability bits).
 
+use dist::transport::WorkerIo;
 use std::io;
+use std::time::Duration;
 
 fn main() {
-    let stdin = io::stdin();
-    let stdout = io::stdout();
-    let mut input = stdin.lock();
-    let mut output = stdout.lock();
-    if let Err(e) = dist::worker::serve(&mut input, &mut output) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut connect: Option<String> = None;
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--connect" => match args.get(k + 1) {
+                Some(addr) => {
+                    connect = Some(addr.clone());
+                    k += 2;
+                }
+                None => {
+                    eprintln!("dangoron-shard: --connect requires an ADDR");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("dangoron-shard: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let result = match connect {
+        Some(addr) => match WorkerIo::connect(&addr, Duration::from_secs(30)) {
+            Ok(mut link) => dist::worker::serve(&mut link.input, &mut link.output),
+            Err(e) => {
+                eprintln!("dangoron-shard: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            let mut input = stdin.lock();
+            let mut output = stdout.lock();
+            dist::worker::serve(&mut input, &mut output)
+        }
+    };
+    if let Err(e) = result {
         eprintln!("dangoron-shard: {e}");
         std::process::exit(1);
     }

@@ -1,18 +1,37 @@
-//! The shard coordinator: process spawning, assignment, fault handling
-//! and result collection.
+//! The shard coordinator: worker registration over a pluggable
+//! transport, assignment, fault handling and result collection.
 //!
 //! The coordinator owns the shard plan and a pool of `dangoron-shard`
-//! worker processes talking length-prefixed frames over their stdio
-//! pipes. Per round it ships one [`Assignment`] to every idle worker,
-//! then waits on a single event channel fed by one reader thread per
-//! worker. Three things can happen to an outstanding shard:
+//! workers reached through a [`Transport`] — either children it spawned
+//! over stdio pipes ([`TransportMode::Spawn`]) or independently started
+//! processes that connected to its TCP listener
+//! ([`TransportMode::Tcp`]). Registration is the same on every link: the
+//! worker's first frame must be a [`proto::Hello`] carrying the exact
+//! [`proto::PROTOCOL_VERSION`] and the capability bit the run's mode
+//! needs, and the coordinator answers with one [`Message::Load`] frame
+//! holding the workload matrix. Every later [`Assignment`] is *slim* —
+//! rank interval + config + query — so queued and re-planned shards
+//! reuse the already-loaded matrix instead of re-shipping it
+//! (the byte saving is recorded in [`CoordStats`] and the BENCH `shards`
+//! section).
+//!
+//! Per round the coordinator ships one [`Assignment`] to every idle
+//! worker, then waits on a single event channel fed by one reader thread
+//! per worker. Three things can happen to an outstanding shard:
 //!
 //! * **result** — its sorted edge buffer and counters are recorded;
-//! * **worker death** (pipe EOF, write failure, protocol damage) — the
+//! * **worker death** (EOF, write failure, protocol damage) — the
 //!   shard's rank interval is *re-planned*: split across the surviving
 //!   workers ([`crate::plan::split_range`]) and re-enqueued;
 //! * **timeout** — the worker is killed and the shard re-planned the same
 //!   way.
+//!
+//! A frame from a worker the coordinator already gave up on (its kill
+//! racing a final in-flight `Result`) is identified by its stale
+//! assignment id and discarded — never merged twice. Killing a worker
+//! severs both link directions ([`Transport::kill`]), which unblocks and
+//! joins its reader thread; no thread or child process outlives
+//! [`run`], including on error paths (worker handles kill on drop).
 //!
 //! Because shards are pure functions of their rank interval, re-planning
 //! never changes the answer: any disjoint cover of the triangle merges to
@@ -23,27 +42,49 @@
 use crate::merge::{merge_shard_edges, ShardEdges};
 use crate::plan::{split_range, ShardPlan};
 use crate::proto::{self, Assignment, Message, WorkerMode};
+use crate::transport::{ChildTransport, TcpTransport, Transport};
 use crate::worker;
 use bytes::frame;
 use dangoron::{DangoronConfig, PruningStats};
 use sketch::{triangular, SlidingQuery, ThresholdedMatrix};
 use std::collections::{HashMap, VecDeque};
-use std::io;
+use std::io::Read;
+use std::net::TcpListener;
 use std::ops::Range;
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, Command, Stdio};
+use std::process::{Command, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use tsdata::TimeSeriesMatrix;
 
+/// Where the coordinator's workers come from.
+#[derive(Debug, Clone)]
+pub enum TransportMode {
+    /// Spawn `dangoron-shard` children and speak over stdio pipes.
+    Spawn {
+        /// Path to the `dangoron-shard` worker binary.
+        worker_bin: PathBuf,
+    },
+    /// Bind `listen` and accept workers started independently with
+    /// `dangoron-shard --connect ADDR`.
+    Tcp {
+        /// Address to bind (e.g. `127.0.0.1:7441`, or port `0` for an
+        /// OS-assigned port — then use [`run_with_listener`] to learn it).
+        listen: String,
+        /// How long to wait for `n_workers` links before starting with
+        /// however many arrived (at least one).
+        accept_timeout: Duration,
+    },
+}
+
 /// Coordinator configuration.
 #[derive(Debug, Clone)]
 pub struct CoordinatorConfig {
-    /// Path to the `dangoron-shard` worker binary.
-    pub worker_bin: PathBuf,
+    /// How workers are reached.
+    pub transport: TransportMode,
     /// Number of shards to plan.
     pub n_shards: usize,
-    /// Worker processes to spawn (clamped to the shard count).
+    /// Worker links to establish (clamped to the shard count).
     pub n_workers: usize,
     /// Engine threads *inside* each worker process.
     pub worker_threads: usize,
@@ -51,9 +92,11 @@ pub struct CoordinatorConfig {
     pub mode: WorkerMode,
     /// Per-assignment deadline before the worker is declared hung.
     pub timeout: Duration,
-    /// Crash injection: this worker index aborts on its first assignment
-    /// (sets [`worker::FAIL_ENV`] in the child's environment) — the
-    /// replan path's deterministic test hook.
+    /// Crash injection (spawn mode only): this worker index aborts on its
+    /// first assignment (sets [`worker::FAIL_ENV`] in the child's
+    /// environment) — the replan path's deterministic test hook. TCP
+    /// workers are separate processes, so there the operator sets the
+    /// environment variable on the worker itself.
     pub kill_worker: Option<usize>,
     /// Upper bound on re-plan generations per rank interval before the
     /// run is abandoned.
@@ -61,11 +104,11 @@ pub struct CoordinatorConfig {
 }
 
 impl CoordinatorConfig {
-    /// Defaults: one worker per shard, single-threaded workers, batch
-    /// mode, a generous 120 s deadline.
+    /// Spawn-mode defaults: one worker per shard, single-threaded
+    /// workers, batch mode, a generous 120 s deadline.
     pub fn new(worker_bin: PathBuf, n_shards: usize) -> Self {
         Self {
-            worker_bin,
+            transport: TransportMode::Spawn { worker_bin },
             n_shards,
             n_workers: n_shards,
             worker_threads: 1,
@@ -73,6 +116,18 @@ impl CoordinatorConfig {
             timeout: Duration::from_secs(120),
             kill_worker: None,
             max_attempts: 4,
+        }
+    }
+
+    /// TCP-mode defaults: like [`CoordinatorConfig::new`], but accepting
+    /// `n_shards` workers on `listen` (30 s accept window).
+    pub fn tcp(listen: impl Into<String>, n_shards: usize) -> Self {
+        Self {
+            transport: TransportMode::Tcp {
+                listen: listen.into(),
+                accept_timeout: Duration::from_secs(30),
+            },
+            ..Self::new(PathBuf::new(), n_shards)
         }
     }
 }
@@ -100,13 +155,25 @@ pub struct ShardSummary {
 pub struct CoordStats {
     /// Shards in the original plan.
     pub n_shards_planned: usize,
-    /// Worker processes spawned.
+    /// Worker links established.
     pub n_workers: usize,
     /// Re-plan events (worker death, timeout, or worker-reported error).
     pub replans: usize,
     /// Workers lost over the run.
     pub worker_failures: usize,
-    /// End-to-end wall seconds (spawn → merged matrices).
+    /// Transport the run used (`"pipe"`, `"tcp"`, `"in-process"`).
+    pub transport: String,
+    /// Assignment frames sent (replans included).
+    pub assignments: usize,
+    /// Total payload bytes of those slim `Assign` frames.
+    pub assign_bytes: u64,
+    /// Total payload bytes of the per-worker `Load` frames.
+    pub load_bytes: u64,
+    /// Stale frames discarded (a worker's reply arriving after the
+    /// coordinator re-planned its shard — each one would have been a
+    /// double count).
+    pub stale_frames: usize,
+    /// End-to-end wall seconds (registration → merged matrices).
     pub wall_s: f64,
 }
 
@@ -131,30 +198,48 @@ enum Event {
 }
 
 struct WorkerHandle {
-    child: Child,
-    stdin: Option<ChildStdin>,
+    transport: Box<dyn Transport>,
     reader: Option<std::thread::JoinHandle<()>>,
     alive: bool,
 }
 
 impl WorkerHandle {
-    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
-        let stdin = self
-            .stdin
-            .as_mut()
-            .ok_or_else(|| io::Error::other("worker stdin already closed"))?;
-        frame::write_to(stdin, payload)
+    fn send(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        self.transport.send(payload)
     }
 
-    fn kill(&mut self) {
-        let _ = self.child.kill();
-    }
-
-    fn shutdown(&mut self) {
-        self.stdin.take(); // EOF → worker exits its serve loop
-        let _ = self.child.wait();
+    /// Declares the worker dead: severs the link (which unblocks a reader
+    /// stuck in `read()`) and joins the reader thread. Idempotent.
+    fn abandon(&mut self) {
+        self.alive = false;
+        self.transport.kill();
         if let Some(h) = self.reader.take() {
             let _ = h.join();
+        }
+    }
+
+    /// Graceful end-of-run: EOF the send half, reap the peer, join the
+    /// reader.
+    fn shutdown(&mut self) {
+        if !self.alive {
+            self.abandon();
+            return;
+        }
+        self.transport.close_send();
+        self.transport.reap();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    /// Error-path cleanup: [`run`] shuts workers down explicitly on
+    /// success, so a handle still holding its reader thread here means
+    /// the run bailed out — kill the peer rather than leak the thread.
+    fn drop(&mut self) {
+        if self.reader.is_some() {
+            self.abandon();
         }
     }
 }
@@ -207,9 +292,43 @@ pub fn expected_windows(
     }
 }
 
-/// Runs the distributed query across worker processes.
+/// Runs the distributed query across workers reached through the
+/// configured transport.
 pub fn run(
     cfg: &CoordinatorConfig,
+    engine_cfg: &DangoronConfig,
+    data: &TimeSeriesMatrix,
+    query: SlidingQuery,
+) -> Result<DistResult, String> {
+    match &cfg.transport {
+        TransportMode::Spawn { .. } => run_inner(cfg, None, engine_cfg, data, query),
+        TransportMode::Tcp { listen, .. } => {
+            let listener = TcpListener::bind(listen)
+                .map_err(|e| format!("cannot bind TCP listener on {listen}: {e}"))?;
+            run_inner(cfg, Some(listener), engine_cfg, data, query)
+        }
+    }
+}
+
+/// [`run`] with a pre-bound listener — the caller learns the actual
+/// address (port `0` binds) from [`TcpListener::local_addr`] before any
+/// worker needs it. `cfg.transport` must be [`TransportMode::Tcp`].
+pub fn run_with_listener(
+    cfg: &CoordinatorConfig,
+    listener: TcpListener,
+    engine_cfg: &DangoronConfig,
+    data: &TimeSeriesMatrix,
+    query: SlidingQuery,
+) -> Result<DistResult, String> {
+    if !matches!(cfg.transport, TransportMode::Tcp { .. }) {
+        return Err("run_with_listener requires TransportMode::Tcp".into());
+    }
+    run_inner(cfg, Some(listener), engine_cfg, data, query)
+}
+
+fn run_inner(
+    cfg: &CoordinatorConfig,
+    listener: Option<TcpListener>,
     engine_cfg: &DangoronConfig,
     data: &TimeSeriesMatrix,
     query: SlidingQuery,
@@ -220,13 +339,88 @@ pub fn run(
         return Err("workload has no pairs to shard".into());
     }
     let n_workers = cfg.n_workers.clamp(1, plan.shards().len());
+    let needed_cap = proto::required_cap(cfg.mode);
+
+    // The Load frame is identical for every worker: encode it once,
+    // straight from the borrowed matrix.
+    let load_payload = proto::encode_load(data);
+    if load_payload.len() > proto::MAX_FRAME {
+        return Err(format!(
+            "workload matrix of {} payload bytes exceeds the {}-byte frame limit",
+            load_payload.len(),
+            proto::MAX_FRAME
+        ));
+    }
 
     let (tx, rx) = mpsc::channel::<Event>();
-    let mut workers = Vec::with_capacity(n_workers);
-    for w in 0..n_workers {
-        workers.push(spawn_worker(cfg, w, tx.clone())?);
+    // Both connect paths hand back links whose handshake already
+    // validated — a spawn-mode failure is fatal (our own child is
+    // broken), a TCP peer that fails it is dropped without costing the
+    // run or an accept slot.
+    let links = match (&cfg.transport, listener) {
+        (TransportMode::Spawn { worker_bin }, _) => {
+            let mut links = Vec::with_capacity(n_workers);
+            for w in 0..n_workers {
+                links.push(spawn_worker(
+                    worker_bin,
+                    cfg.kill_worker == Some(w),
+                    needed_cap,
+                )?);
+            }
+            links
+        }
+        (TransportMode::Tcp { accept_timeout, .. }, Some(listener)) => accept_tcp_workers(
+            &listener,
+            n_workers,
+            *accept_timeout,
+            cfg.timeout,
+            needed_cap,
+        )?,
+        (TransportMode::Tcp { .. }, None) => unreachable!("run binds before run_inner"),
+    };
+    let transport_kind = links
+        .first()
+        .map(|(t, _)| t.kind())
+        .unwrap_or("none")
+        .to_string();
+
+    let mut coord = CoordStats {
+        n_shards_planned: plan.shards().len(),
+        n_workers: links.len(),
+        transport: transport_kind,
+        ..Default::default()
+    };
+
+    // Registration: ship the matrix once per worker, then hand the read
+    // half to a dedicated reader thread. A worker that dies between its
+    // handshake and the Load frame is dropped — worker death is
+    // tolerated, so it must not cost the run while healthy links exist.
+    let mut workers: Vec<WorkerHandle> = Vec::with_capacity(links.len());
+    for (mut transport, mut reader) in links {
+        transport.handshake_complete();
+        if let Err(e) = transport.send(&load_payload) {
+            eprintln!("dist: dropping a worker at registration (cannot ship the Load frame: {e})");
+            transport.kill();
+            continue;
+        }
+        coord.load_bytes += load_payload.len() as u64;
+        let idx = workers.len();
+        let tx = tx.clone();
+        let handle = std::thread::spawn(move || reader_loop(idx, &mut *reader, &tx));
+        workers.push(WorkerHandle {
+            transport,
+            reader: Some(handle),
+            alive: true,
+        });
     }
     drop(tx);
+    if workers.is_empty() {
+        return Err("every worker failed during registration".into());
+    }
+    coord.n_workers = workers.len();
+    // The encoded Load frame is matrix-sized; free it before the
+    // assignment/merge phase rather than holding it for the whole run.
+    drop(load_payload);
 
     let mut pending: VecDeque<PendingShard> = plan
         .shards()
@@ -242,11 +436,6 @@ pub fn run(
     let mut segments: Vec<ShardEdges> = Vec::new();
     let mut summaries: Vec<ShardSummary> = Vec::new();
     let mut stats = PruningStats::default();
-    let mut coord = CoordStats {
-        n_shards_planned: plan.shards().len(),
-        n_workers,
-        ..Default::default()
-    };
 
     let live = |workers: &[WorkerHandle]| workers.iter().filter(|h| h.alive).count();
     let replan = |shard: PendingShard,
@@ -291,25 +480,17 @@ pub fn run(
                     ..engine_cfg.clone()
                 },
                 query,
-                data: data.clone(),
             };
             let payload = proto::encode(&Message::Assign(assignment));
-            if payload.len() > proto::MAX_FRAME {
-                return Err(format!(
-                    "assignment payload of {} bytes exceeds the {}-byte frame \
-                     limit — the workload matrix is too large for one frame",
-                    payload.len(),
-                    proto::MAX_FRAME
-                ));
-            }
             match workers[w].send(&payload) {
                 Ok(()) => {
+                    coord.assignments += 1;
+                    coord.assign_bytes += payload.len() as u64;
                     busy.insert(w, (shard, Instant::now() + cfg.timeout, id));
                 }
                 Err(_) => {
                     // Write failure ⇒ the worker is gone.
-                    workers[w].alive = false;
-                    workers[w].kill();
+                    workers[w].abandon();
                     coord.worker_failures += 1;
                     replan(shard, live(&workers), &mut pending, &mut coord)?;
                 }
@@ -334,42 +515,63 @@ pub fn run(
         let wait = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(wait) {
             Ok(Event::Msg(w, Message::Result(res))) => {
-                // A result from a worker we already gave up on is stale:
-                // its shard has been re-planned, so it must be dropped.
-                if let Some((shard, _, id)) = busy.remove(&w) {
-                    if res.shard_id != id {
+                // Only the reply to the worker's outstanding assignment
+                // counts. Anything else is a frame the coordinator
+                // already gave up on — a kill racing a final in-flight
+                // result, or a duplicate — and merging it would double
+                // count the shard's edges; it is discarded by id.
+                match busy.get(&w) {
+                    Some(&(_, _, id)) if res.shard_id == id => {
+                        let (shard, _, _) = busy.remove(&w).expect("just found");
+                        stats.merge(&res.stats);
+                        summaries.push(ShardSummary {
+                            ranks: res.ranks.clone(),
+                            attempt: shard.attempt,
+                            prepare_s: res.prepare_s,
+                            query_s: res.query_s,
+                            stats: res.stats.clone(),
+                            n_edges: res.edges.len(),
+                        });
+                        segments.push((res.ranks, res.edges));
+                    }
+                    Some(&(_, _, id)) if res.shard_id < id => {
+                        coord.stale_frames += 1;
+                    }
+                    Some(&(_, _, id)) => {
                         return Err(format!(
                             "worker {w} answered assignment {} while {} was outstanding",
                             res.shard_id, id
                         ));
                     }
-                    stats.merge(&res.stats);
-                    summaries.push(ShardSummary {
-                        ranks: res.ranks.clone(),
-                        attempt: shard.attempt,
-                        prepare_s: res.prepare_s,
-                        query_s: res.query_s,
-                        stats: res.stats.clone(),
-                        n_edges: res.edges.len(),
-                    });
-                    segments.push((res.ranks, res.edges));
+                    None => {
+                        coord.stale_frames += 1;
+                    }
                 }
             }
-            Ok(Event::Msg(w, Message::Error(text))) => {
+            Ok(Event::Msg(w, Message::Error(id, text))) => {
                 // Engine-side failure: the worker survives, the shard is
-                // re-planned (possibly back onto the same worker).
-                if let Some((shard, _, _)) = busy.remove(&w) {
-                    eprintln!("dist: worker {w} reported: {text}");
-                    replan(shard, live(&workers), &mut pending, &mut coord)?;
+                // re-planned (possibly back onto the same worker). Stale
+                // error frames are discarded like stale results.
+                match busy.get(&w) {
+                    Some(&(_, _, cur)) if id == cur => {
+                        let (shard, _, _) = busy.remove(&w).expect("just found");
+                        eprintln!("dist: worker {w} reported: {text}");
+                        replan(shard, live(&workers), &mut pending, &mut coord)?;
+                    }
+                    _ => {
+                        coord.stale_frames += 1;
+                    }
                 }
             }
-            Ok(Event::Msg(w, Message::Assign(_))) => {
-                return Err(format!("worker {w} sent an assignment to the coordinator"));
+            Ok(Event::Msg(
+                w,
+                msg @ (Message::Assign(_) | Message::Load(_) | Message::Hello(_)),
+            )) => {
+                return Err(format!("worker {w} sent a coordinator-side frame: {msg:?}"));
             }
             Ok(Event::Closed(w, why)) => {
                 if workers[w].alive {
-                    workers[w].alive = false;
-                    workers[w].kill();
+                    workers[w].abandon();
                     coord.worker_failures += 1;
                     if let Some((shard, _, _)) = busy.remove(&w) {
                         eprintln!(
@@ -389,8 +591,7 @@ pub fn run(
                     .collect();
                 for w in expired {
                     let (shard, _, _) = busy.remove(&w).expect("just listed");
-                    workers[w].alive = false;
-                    workers[w].kill();
+                    workers[w].abandon();
                     coord.worker_failures += 1;
                     eprintln!("dist: worker {w} timed out; re-planning {:?}", shard.ranks);
                     replan(shard, live(&workers), &mut pending, &mut coord)?;
@@ -423,6 +624,216 @@ pub fn run(
     })
 }
 
+/// Reads one frame (bounded by [`proto::MAX_HELLO_FRAME`] — the peer is
+/// not yet trusted) and validates it as a compatible handshake.
+fn handshake(mut reader: &mut (dyn Read + Send), needed_cap: u32) -> Result<proto::Hello, String> {
+    let payload = frame::read_from(&mut reader, proto::MAX_HELLO_FRAME)
+        .map_err(|e| format!("cannot read the handshake frame: {e}"))?
+        .ok_or("link closed before the handshake")?;
+    match proto::decode(&payload).map_err(|e| format!("bad handshake frame: {e}"))? {
+        Message::Hello(h) => {
+            if h.version != proto::PROTOCOL_VERSION {
+                return Err(format!(
+                    "protocol version mismatch: worker speaks v{}, coordinator v{}",
+                    h.version,
+                    proto::PROTOCOL_VERSION
+                ));
+            }
+            if h.caps & needed_cap != needed_cap {
+                return Err(format!(
+                    "worker lacks the required capability bit {needed_cap:#x} (has {:#x})",
+                    h.caps
+                ));
+            }
+            Ok(h)
+        }
+        other => Err(format!("expected Hello, got {other:?}")),
+    }
+}
+
+/// The per-worker reader thread: frames off the link become events on
+/// the coordinator's channel until EOF, damage, or channel teardown.
+fn reader_loop(idx: usize, mut reader: &mut (dyn Read + Send), tx: &mpsc::Sender<Event>) {
+    loop {
+        match frame::read_from(&mut reader, proto::MAX_FRAME) {
+            Ok(Some(payload)) => match proto::decode(&payload) {
+                Ok(msg) => {
+                    if tx.send(Event::Msg(idx, msg)).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Event::Closed(idx, format!("protocol damage: {e}")));
+                    break;
+                }
+            },
+            Ok(None) => {
+                let _ = tx.send(Event::Closed(idx, "clean EOF".into()));
+                break;
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Closed(idx, e.to_string()));
+                break;
+            }
+        }
+    }
+}
+
+type Link = (Box<dyn Transport>, Box<dyn Read + Send>);
+
+/// Runs the blocking [`handshake`] read on a helper thread with a
+/// deadline — anonymous pipes have no read timeouts, so without this a
+/// spawned worker that never writes its `Hello` (a hung binary, or one
+/// speaking protocol v1, which waits for an `Assign` first) would
+/// deadlock the coordinator. On success the read half is handed back; on
+/// timeout the helper thread stays parked in `read()` until the caller
+/// kills the transport, which severs the pipe and lets it exit.
+fn handshake_with_deadline(
+    mut reader: Box<dyn Read + Send>,
+    deadline: Duration,
+    needed_cap: u32,
+) -> Result<Box<dyn Read + Send>, String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let res = handshake(&mut *reader, needed_cap);
+        let _ = tx.send((reader, res));
+    });
+    match rx.recv_timeout(deadline) {
+        Ok((reader, Ok(_))) => Ok(reader),
+        Ok((_, Err(e))) => Err(e),
+        Err(_) => Err(format!("no handshake within {deadline:?}")),
+    }
+}
+
+/// Spawns one worker child over stdio pipes and validates its handshake
+/// (10 s deadline). A failure here is fatal to the run — the configured
+/// worker binary itself is broken or incompatible.
+fn spawn_worker(
+    worker_bin: &std::path::Path,
+    inject_fail: bool,
+    needed_cap: u32,
+) -> Result<Link, String> {
+    let mut cmd = Command::new(worker_bin);
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if inject_fail {
+        cmd.env(worker::FAIL_ENV, "1");
+    }
+    let child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn {worker_bin:?}: {e}"))?;
+    let mut transport = ChildTransport::new(child);
+    let reader = transport
+        .take_reader()
+        .ok_or("spawned child has no stdout pipe")?;
+    match handshake_with_deadline(reader, Duration::from_secs(10), needed_cap) {
+        Ok(reader) => Ok((Box::new(transport), reader)),
+        Err(e) => {
+            transport.kill();
+            Err(format!("worker {worker_bin:?} handshake failed: {e}"))
+        }
+    }
+}
+
+/// Accepts workers off the listener until `want` have completed the
+/// [`handshake`] or `accept_timeout` closes the window. The peer is not
+/// yet trusted, so its first-frame read is bounded by a 10 s socket read
+/// timeout (lifted by `handshake_complete` once validated) and by
+/// [`proto::MAX_HELLO_FRAME`] — and each handshake runs on its **own
+/// thread**, so a peer that connects and then says nothing (a
+/// load-balancer probe holding the socket open) cannot serialise the
+/// accept loop and starve legitimate workers queued behind it. A peer
+/// that fails the handshake — a port scanner, a health check, a
+/// version-mismatched worker — is dropped without costing a worker slot
+/// or the run. Returns an error only when the window closes with zero
+/// workers.
+fn accept_tcp_workers(
+    listener: &TcpListener,
+    want: usize,
+    accept_timeout: Duration,
+    io_timeout: Duration,
+    needed_cap: u32,
+) -> Result<Vec<Link>, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll the TCP listener: {e}"))?;
+    let deadline = Instant::now() + accept_timeout;
+    let (tx, rx) = mpsc::channel::<Result<Link, String>>();
+    let mut links: Vec<Link> = Vec::with_capacity(want);
+    let mut in_flight = 0usize;
+    let collect = |done: Result<Link, String>, links: &mut Vec<Link>| match done {
+        Ok(link) => {
+            eprintln!("dist: accepted worker {}", links.len());
+            links.push(link);
+        }
+        Err(e) => eprintln!("dist: rejecting peer: {e}"),
+    };
+    while links.len() < want {
+        while let Ok(done) = rx.try_recv() {
+            in_flight -= 1;
+            collect(done, &mut links);
+        }
+        if links.len() >= want {
+            break;
+        }
+        if Instant::now() >= deadline {
+            if in_flight == 0 {
+                break;
+            }
+            // The window is closed; only handshakes already in flight can
+            // still qualify. Each is bounded by the 10 s pre-trust socket
+            // read timeout, so this drains quickly.
+            if let Ok(done) = rx.recv_timeout(Duration::from_millis(200)) {
+                in_flight -= 1;
+                collect(done, &mut links);
+            }
+            continue;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                // Some platforms (Windows, several BSDs) hand accepted
+                // sockets the listener's nonblocking flag; the handshake
+                // relies on blocking reads bounded by the read timeout.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_write_timeout(Some(io_timeout.max(Duration::from_secs(1))));
+                match TcpTransport::new(stream) {
+                    Ok(mut transport) => {
+                        let mut reader = transport.take_reader().expect("fresh transport");
+                        let tx = tx.clone();
+                        in_flight += 1;
+                        std::thread::spawn(move || {
+                            let res = handshake(&mut *reader, needed_cap)
+                                .map(|_| (Box::new(transport) as Box<dyn Transport>, reader))
+                                .map_err(|e| format!("{peer}: {e}"));
+                            let _ = tx.send(res);
+                        });
+                    }
+                    Err(e) => eprintln!("dist: dropping {peer}: {e}"),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("TCP accept failed: {e}")),
+        }
+    }
+    if links.is_empty() {
+        return Err(format!(
+            "no worker connected within {accept_timeout:?} — start workers with \
+             `dangoron-shard --connect ADDR`"
+        ));
+    }
+    if links.len() < want {
+        eprintln!(
+            "dist: accept window closed with {}/{want} workers; proceeding",
+            links.len()
+        );
+    }
+    Ok(links)
+}
+
 /// Runs the same shard plan **in-process** (no worker processes): every
 /// shard goes through the identical [`worker::execute`] path and the
 /// identical merge, sequentially. The harness falls back to this when the
@@ -450,9 +861,8 @@ pub fn run_in_process(
             mode,
             config: engine_cfg.clone(),
             query,
-            data: data.clone(),
         };
-        let r = worker::execute(&a)?;
+        let r = worker::execute(&a, data)?;
         stats.merge(&r.stats);
         summaries.push(ShardSummary {
             ranks: r.ranks.clone(),
@@ -478,10 +888,9 @@ pub fn run_in_process(
         shards: summaries,
         coord: CoordStats {
             n_shards_planned: plan.shards().len(),
-            n_workers: 0,
-            replans: 0,
-            worker_failures: 0,
+            transport: "in-process".to_string(),
             wall_s: t_start.elapsed().as_secs_f64(),
+            ..Default::default()
         },
     })
 }
@@ -501,54 +910,6 @@ pub fn run_single_process(
         debug_assert_eq!(r.shards[0].ranks, 0..triangular::count(data.n_series()));
         r.coord.n_shards_planned = 1;
         r
-    })
-}
-
-fn spawn_worker(
-    cfg: &CoordinatorConfig,
-    idx: usize,
-    tx: mpsc::Sender<Event>,
-) -> Result<WorkerHandle, String> {
-    let mut cmd = Command::new(&cfg.worker_bin);
-    cmd.stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit());
-    if cfg.kill_worker == Some(idx) {
-        cmd.env(worker::FAIL_ENV, "1");
-    }
-    let mut child = cmd
-        .spawn()
-        .map_err(|e| format!("cannot spawn {:?}: {e}", cfg.worker_bin))?;
-    let stdin = child.stdin.take().expect("piped stdin");
-    let mut stdout = child.stdout.take().expect("piped stdout");
-    let reader = std::thread::spawn(move || loop {
-        match frame::read_from(&mut stdout, proto::MAX_FRAME) {
-            Ok(Some(payload)) => match proto::decode(&payload) {
-                Ok(msg) => {
-                    if tx.send(Event::Msg(idx, msg)).is_err() {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    let _ = tx.send(Event::Closed(idx, format!("protocol damage: {e}")));
-                    break;
-                }
-            },
-            Ok(None) => {
-                let _ = tx.send(Event::Closed(idx, "clean EOF".into()));
-                break;
-            }
-            Err(e) => {
-                let _ = tx.send(Event::Closed(idx, e.to_string()));
-                break;
-            }
-        }
-    });
-    Ok(WorkerHandle {
-        child,
-        stdin: Some(stdin),
-        reader: Some(reader),
-        alive: true,
     })
 }
 
@@ -629,5 +990,38 @@ mod tests {
             expected_windows(stream, &cfg, 300, &query)
         );
         assert_eq!(expected_windows(stream, &cfg, 59, &query), 0);
+    }
+
+    #[test]
+    fn handshake_rejects_version_and_capability_mismatches() {
+        use proto::{Hello, CAP_BATCH, CAP_STREAMING};
+        let frame_of = |h: Hello| frame::encode(&proto::encode(&Message::Hello(h)));
+
+        let mut ok: &[u8] = &frame_of(Hello::local());
+        let boxed: &mut (dyn Read + Send) = &mut ok;
+        handshake(boxed, CAP_BATCH).unwrap();
+
+        let mut old: &[u8] = &frame_of(Hello {
+            version: 1,
+            caps: CAP_BATCH,
+        });
+        let err = handshake(&mut old, CAP_BATCH).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+
+        let mut weak: &[u8] = &frame_of(Hello {
+            version: proto::PROTOCOL_VERSION,
+            caps: CAP_BATCH,
+        });
+        let err = handshake(&mut weak, CAP_STREAMING).unwrap_err();
+        assert!(err.contains("capability"), "{err}");
+
+        // A non-Hello first frame is rejected.
+        let mut wrong: &[u8] = &frame::encode(&proto::encode(&Message::Error(0, "hi".into())));
+        assert!(handshake(&mut wrong, CAP_BATCH).is_err());
+
+        // An oversized first frame is rejected by the handshake limit
+        // before its payload is even read.
+        let mut big: &[u8] = &frame::encode(&[0u8; 4096]);
+        assert!(handshake(&mut big, CAP_BATCH).is_err());
     }
 }

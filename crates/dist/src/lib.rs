@@ -3,9 +3,15 @@
 //! Scales the Dangoron engines past one process by sharding the
 //! **triangular pair-rank space** (the ParCorr-style decomposition): a
 //! [`plan::ShardPlan`] cuts `[0, N·(N−1)/2)` into balanced contiguous
-//! intervals, a [`coord`]inator ships each interval plus the workload to a
-//! `dangoron-shard` worker *process* over a length-prefixed stdio
-//! protocol ([`proto`], framing from the `bytes` shim), and the per-shard
+//! intervals, a [`coord`]inator ships each interval to a
+//! `dangoron-shard` worker *process* over a length-prefixed frame
+//! protocol ([`proto`], framing from the `bytes` shim) carried by a
+//! pluggable [`transport`] — spawned children over stdio pipes, or
+//! independently started workers over TCP (`dangoron-coord --listen` /
+//! `dangoron-shard --connect`, with a version + capability handshake).
+//! The workload matrix ships **once per worker** in a `Load` frame at
+//! registration; every `Assign` is a slim rank interval + config, so
+//! queued and re-planned shards reuse the loaded matrix. The per-shard
 //! sorted edge buffers are reassembled by a pure concatenation merge
 //! ([`merge`]) — rank order *is* `(i, j)` order, so no re-sort is needed
 //! and the merged matrices are **bit-identical to the single-process
@@ -37,8 +43,10 @@ pub mod coord;
 pub mod merge;
 pub mod plan;
 pub mod proto;
+pub mod transport;
 pub mod worker;
 
-pub use coord::{CoordStats, CoordinatorConfig, DistResult, ShardSummary};
+pub use coord::{CoordStats, CoordinatorConfig, DistResult, ShardSummary, TransportMode};
 pub use plan::{Shard, ShardPlan};
 pub use proto::WorkerMode;
+pub use transport::Transport;

@@ -6,17 +6,26 @@
 //!
 //! | tag | message  | direction          | body |
 //! |-----|----------|--------------------|------|
-//! | 1   | `Assign` | coordinator→worker | mode, shard id + rank interval, engine config, query, the full column matrix |
+//! | 1   | `Assign` | coordinator→worker | mode, shard id + rank interval, engine config, query — **no matrix**; the worker re-uses its loaded matrix |
 //! | 2   | `Result` | worker→coordinator | shard id + rank interval, per-phase wall times, [`PruningStats`], the shard's `(window, edge)` buffer sorted by `(window, i, j)` |
-//! | 3   | `Error`  | worker→coordinator | UTF-8 message (the shard is re-planned) |
+//! | 3   | `Error`  | worker→coordinator | echoed shard id + UTF-8 message (the shard is re-planned) |
+//! | 4   | `Hello`  | worker→coordinator | handshake: protocol version + capability bits, the first frame on any link |
+//! | 5   | `Load`   | coordinator→worker | the full column matrix, shipped **once per worker** at registration |
+//!
+//! Protocol v2 (this layout) split the v1 fat `Assign` into `Load` +
+//! slim `Assign`: the matrix dominates the frame bytes, and shipping it
+//! once per worker instead of once per assignment makes queued and
+//! re-planned shards free of matrix traffic (the saving is recorded in
+//! the BENCH `shards` section).
 //!
 //! All integers are `u64`/`u32` LE, all floats `f64` bit patterns —
 //! correlation values cross the wire losslessly, which is what lets the
 //! coordinator's merged matrices be bit-identical to the single-process
-//! engine. Both ends of the pipe run the same binary version, but frames
-//! are still decoded defensively (length checks before every read) so a
-//! truncated or corrupt stream surfaces as a protocol error and a shard
-//! re-plan, never a coordinator panic.
+//! engine. With the TCP transport the peer is a *network* peer, so frames
+//! are decoded defensively: every count is validated against the bytes
+//! actually present **before** any allocation sized by it, unknown tags
+//! and truncated bodies return `Err` (never panic), and a payload with
+//! trailing bytes after its message is rejected as inconsistent.
 
 use bytes::{Buf, BufMut};
 use dangoron::config::{HorizontalConfig, PivotStrategy};
@@ -29,6 +38,35 @@ use tsdata::TimeSeriesMatrix;
 /// Upper bound on a frame's payload (guards against garbage length
 /// prefixes; a 1 GiB frame is far beyond any real workload here).
 pub const MAX_FRAME: usize = 1 << 30;
+
+/// Upper bound on the *first* frame of a link — before the handshake is
+/// validated the peer is untrusted, and a [`Hello`] payload is 9 bytes,
+/// so anything near this limit is hostile or garbage.
+pub const MAX_HELLO_FRAME: usize = 64;
+
+/// Version of the wire layout. v1 (PR 4) shipped the matrix inside every
+/// `Assign`; v2 added the `Hello` handshake and the `Load` frame. Both
+/// ends must agree exactly — there is no cross-version compatibility.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Capability bit: the worker can run [`WorkerMode::Batch`] shards.
+pub const CAP_BATCH: u32 = 1 << 0;
+/// Capability bit: the worker can run [`WorkerMode::StreamingReplay`]
+/// shards.
+pub const CAP_STREAMING: u32 = 1 << 1;
+
+/// The capability bits this build's worker advertises in its [`Hello`].
+pub fn local_caps() -> u32 {
+    CAP_BATCH | CAP_STREAMING
+}
+
+/// The capability bit a coordinator requires for `mode`.
+pub fn required_cap(mode: WorkerMode) -> u32 {
+    match mode {
+        WorkerMode::Batch => CAP_BATCH,
+        WorkerMode::StreamingReplay { .. } => CAP_STREAMING,
+    }
+}
 
 /// How the worker executes its shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +85,29 @@ pub enum WorkerMode {
     },
 }
 
-/// A shard assignment shipped to a worker.
+/// The worker's side of the handshake: the first frame it writes on any
+/// link, whether it was spawned over pipes or connected over TCP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The worker's [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// Capability bits (`CAP_*`).
+    pub caps: u32,
+}
+
+impl Hello {
+    /// The handshake this build's worker sends.
+    pub fn local() -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            caps: local_caps(),
+        }
+    }
+}
+
+/// A shard assignment shipped to a worker. Slim since protocol v2: the
+/// workload matrix travels separately in a [`Message::Load`] frame, once
+/// per worker.
 #[derive(Debug, Clone)]
 pub struct Assignment {
     /// Shard id (coordinator bookkeeping, echoed in the result).
@@ -60,8 +120,6 @@ pub struct Assignment {
     pub config: DangoronConfig,
     /// The sliding query.
     pub query: SlidingQuery,
-    /// The full column matrix.
-    pub data: TimeSeriesMatrix,
 }
 
 /// A completed shard, streamed back to the coordinator.
@@ -84,17 +142,25 @@ pub struct ShardResult {
 /// A protocol message.
 #[derive(Debug, Clone)]
 pub enum Message {
-    /// Coordinator → worker.
+    /// Coordinator → worker: one shard of work.
     Assign(Assignment),
-    /// Worker → coordinator.
+    /// Coordinator → worker: the workload matrix, once per worker.
+    Load(TimeSeriesMatrix),
+    /// Worker → coordinator: the link handshake.
+    Hello(Hello),
+    /// Worker → coordinator: a completed shard.
     Result(ShardResult),
-    /// Worker → coordinator: the shard failed engine-side.
-    Error(String),
+    /// Worker → coordinator: the shard failed engine-side. Carries the
+    /// assignment id so a frame that arrives after the coordinator gave
+    /// up on it can be identified as stale and discarded.
+    Error(u64, String),
 }
 
 const TAG_ASSIGN: u8 = 1;
 const TAG_RESULT: u8 = 2;
 const TAG_ERROR: u8 = 3;
+const TAG_HELLO: u8 = 4;
+const TAG_LOAD: u8 = 5;
 
 /// Encodes a message into a frame payload (no length prefix).
 pub fn encode(msg: &Message) -> Vec<u8> {
@@ -122,11 +188,12 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             out.put_u64_le(a.query.window as u64);
             out.put_u64_le(a.query.step as u64);
             out.put_f64_le(a.query.threshold);
-            out.put_u64_le(a.data.n_series() as u64);
-            out.put_u64_le(a.data.len() as u64);
-            for v in a.data.as_slice() {
-                out.put_f64_le(*v);
-            }
+        }
+        Message::Load(data) => write_load(&mut out, data),
+        Message::Hello(h) => {
+            out.put_u8(TAG_HELLO);
+            out.put_u32_le(h.version);
+            out.put_u32_le(h.caps);
         }
         Message::Result(r) => {
             out.put_u8(TAG_RESULT);
@@ -144,8 +211,9 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 out.put_f64_le(e.value);
             }
         }
-        Message::Error(text) => {
+        Message::Error(shard_id, text) => {
             out.put_u8(TAG_ERROR);
+            out.put_u64_le(*shard_id);
             out.put_u64_le(text.len() as u64);
             out.put_slice(text.as_bytes());
         }
@@ -153,11 +221,40 @@ pub fn encode(msg: &Message) -> Vec<u8> {
     out
 }
 
+/// Encodes a `Load` frame payload straight from a borrowed matrix —
+/// what the coordinator ships at registration. Identical bytes to
+/// `encode(&Message::Load(data.clone()))` without cloning the matrix
+/// just to build the owning enum.
+pub fn encode_load(data: &TimeSeriesMatrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + 8 * data.n_series() * data.len());
+    write_load(&mut out, data);
+    out
+}
+
+fn write_load(out: &mut Vec<u8>, data: &TimeSeriesMatrix) {
+    out.put_u8(TAG_LOAD);
+    out.put_u64_le(data.n_series() as u64);
+    out.put_u64_le(data.len() as u64);
+    for v in data.as_slice() {
+        out.put_f64_le(*v);
+    }
+}
+
 /// Decodes a frame payload.
+///
+/// Rejects (with `Err`, never a panic) oversized payloads, unknown tags
+/// and worker modes, truncated bodies, counts inconsistent with the bytes
+/// actually present, and trailing bytes after the message.
 pub fn decode(payload: &[u8]) -> Result<Message, String> {
+    if payload.len() > MAX_FRAME {
+        return Err(format!(
+            "payload of {} bytes exceeds the {MAX_FRAME}-byte frame limit",
+            payload.len()
+        ));
+    }
     let mut buf = payload;
     let tag = take_u8(&mut buf, "tag")?;
-    match tag {
+    let msg = match tag {
         TAG_ASSIGN => {
             let mode = match take_u8(&mut buf, "mode")? {
                 0 => WorkerMode::Batch,
@@ -178,30 +275,29 @@ pub fn decode(payload: &[u8]) -> Result<Message, String> {
                 step: take_u64(&mut buf, "query.step")? as usize,
                 threshold: take_f64(&mut buf, "query.threshold")?,
             };
-            let n = take_u64(&mut buf, "n_series")? as usize;
-            let cols = take_u64(&mut buf, "n_cols")? as usize;
-            let cells = n
-                .checked_mul(cols)
-                .ok_or_else(|| "matrix dimensions overflow".to_string())?;
-            need(
-                buf,
-                cells.checked_mul(8).ok_or("matrix bytes overflow")?,
-                "matrix",
-            )?;
-            let mut data = Vec::with_capacity(cells);
-            for _ in 0..cells {
-                data.push(buf.get_f64_le());
-            }
-            let data = TimeSeriesMatrix::from_flat(n, cols, data)
-                .map_err(|e| format!("bad matrix: {e:?}"))?;
-            Ok(Message::Assign(Assignment {
+            Message::Assign(Assignment {
                 shard_id,
                 ranks: start..end,
                 mode,
                 config,
                 query,
-                data,
-            }))
+            })
+        }
+        TAG_LOAD => {
+            let n = take_u64(&mut buf, "n_series")? as usize;
+            let cols = take_u64(&mut buf, "n_cols")? as usize;
+            let cells = n
+                .checked_mul(cols)
+                .ok_or_else(|| "matrix dimensions overflow".to_string())?;
+            let data = take_f64s(&mut buf, cells, "matrix")?;
+            let data = TimeSeriesMatrix::from_flat(n, cols, data)
+                .map_err(|e| format!("bad matrix: {e:?}"))?;
+            Message::Load(data)
+        }
+        TAG_HELLO => {
+            let version = take_u32(&mut buf, "version")?;
+            let caps = take_u32(&mut buf, "caps")?;
+            Message::Hello(Hello { version, caps })
         }
         TAG_RESULT => {
             let shard_id = take_u64(&mut buf, "shard_id")?;
@@ -212,7 +308,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, String> {
             let stats = decode_stats(&mut buf)?;
             let n_edges = take_u64(&mut buf, "n_edges")? as usize;
             need(
-                buf,
+                &buf,
                 n_edges.checked_mul(20).ok_or("edge bytes overflow")?,
                 "edges",
             )?;
@@ -224,23 +320,32 @@ pub fn decode(payload: &[u8]) -> Result<Message, String> {
                 let value = buf.get_f64_le();
                 edges.push((w, Edge { i, j, value }));
             }
-            Ok(Message::Result(ShardResult {
+            Message::Result(ShardResult {
                 shard_id,
                 ranks: start..end,
                 prepare_s,
                 query_s,
                 stats,
                 edges,
-            }))
+            })
         }
         TAG_ERROR => {
+            let shard_id = take_u64(&mut buf, "shard_id")?;
             let len = take_u64(&mut buf, "error length")? as usize;
-            need(buf, len, "error text")?;
+            need(&buf, len, "error text")?;
             let text = String::from_utf8_lossy(&buf.chunk()[..len]).into_owned();
-            Ok(Message::Error(text))
+            buf.advance(len);
+            Message::Error(shard_id, text)
         }
-        t => Err(format!("unknown message tag {t}")),
+        t => return Err(format!("unknown message tag {t}")),
+    };
+    if !buf.is_empty() {
+        return Err(format!(
+            "{} trailing bytes after a well-formed message",
+            buf.len()
+        ));
     }
+    Ok(msg)
 }
 
 fn encode_config(out: &mut Vec<u8>, c: &DangoronConfig) {
@@ -314,12 +419,8 @@ fn decode_config(buf: &mut &[u8]) -> Result<DangoronConfig, String> {
                 },
                 2 => {
                     let len = take_u64(buf, "pivot list length")? as usize;
-                    need(
-                        buf,
-                        len.checked_mul(8).ok_or("pivot list overflow")?,
-                        "pivot list",
-                    )?;
-                    PivotStrategy::Explicit((0..len).map(|_| buf.get_u64_le() as usize).collect())
+                    let list = take_u64s(buf, len, "pivot list")?;
+                    PivotStrategy::Explicit(list.into_iter().map(|p| p as usize).collect())
                 }
                 t => return Err(format!("unknown pivot strategy {t}")),
             };
@@ -371,12 +472,11 @@ fn decode_stats(buf: &mut &[u8]) -> Result<PruningStats, String> {
         ..Default::default()
     };
     let hist_len = take_u64(buf, "hist length")? as usize;
-    need(buf, hist_len.checked_mul(8).ok_or("hist overflow")?, "hist")?;
-    s.jump_length_hist = (0..hist_len).map(|_| buf.get_u64_le()).collect();
+    s.jump_length_hist = take_u64s(buf, hist_len, "hist")?;
     Ok(s)
 }
 
-fn need(buf: &[u8], n: usize, what: &str) -> Result<(), String> {
+fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), String> {
     if buf.remaining() < n {
         Err(format!(
             "truncated frame: need {n} bytes for {what}, have {}",
@@ -392,6 +492,11 @@ fn take_u8(buf: &mut &[u8], what: &str) -> Result<u8, String> {
     Ok(buf.get_u8())
 }
 
+fn take_u32(buf: &mut &[u8], what: &str) -> Result<u32, String> {
+    need(buf, 4, what)?;
+    Ok(buf.get_u32_le())
+}
+
 fn take_u64(buf: &mut &[u8], what: &str) -> Result<u64, String> {
     need(buf, 8, what)?;
     Ok(buf.get_u64_le())
@@ -400,6 +505,28 @@ fn take_u64(buf: &mut &[u8], what: &str) -> Result<u64, String> {
 fn take_f64(buf: &mut &[u8], what: &str) -> Result<f64, String> {
     need(buf, 8, what)?;
     Ok(buf.get_f64_le())
+}
+
+/// Reads `count` LE `u64`s, validating the count against the bytes
+/// actually present **before** allocating — a hostile length field can
+/// never size an allocation larger than the received payload.
+fn take_u64s(buf: &mut &[u8], count: usize, what: &str) -> Result<Vec<u64>, String> {
+    need(
+        buf,
+        count.checked_mul(8).ok_or("element count overflow")?,
+        what,
+    )?;
+    Ok((0..count).map(|_| buf.get_u64_le()).collect())
+}
+
+/// [`take_u64s`] for `f64` bit patterns.
+fn take_f64s(buf: &mut &[u8], count: usize, what: &str) -> Result<Vec<f64>, String> {
+    need(
+        buf,
+        count.checked_mul(8).ok_or("element count overflow")?,
+        what,
+    )?;
+    Ok((0..count).map(|_| buf.get_f64_le()).collect())
 }
 
 #[cfg(test)]
@@ -433,7 +560,6 @@ mod tests {
                 step: 20,
                 threshold: 0.75,
             },
-            data: generators::clustered_matrix(8, 200, 2, 0.5, 3).unwrap(),
         }
     }
 
@@ -448,19 +574,47 @@ mod tests {
                 assert_eq!(b.mode, a.mode);
                 assert_eq!(b.config, a.config);
                 assert_eq!(b.query, a.query);
-                assert_eq!(b.data.n_series(), a.data.n_series());
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_roundtrips_bitwise() {
+        let data = generators::clustered_matrix(8, 200, 2, 0.5, 3).unwrap();
+        let payload = encode(&Message::Load(data.clone()));
+        assert_eq!(
+            payload,
+            encode_load(&data),
+            "borrowed and owned Load encodings must be byte-identical"
+        );
+        match decode(&payload).unwrap() {
+            Message::Load(b) => {
+                assert_eq!(b.n_series(), data.n_series());
+                assert_eq!(b.len(), data.len());
                 assert_eq!(
-                    b.data
-                        .as_slice()
-                        .iter()
-                        .map(|v| v.to_bits())
-                        .collect::<Vec<_>>(),
-                    a.data
-                        .as_slice()
+                    b.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    data.as_slice()
                         .iter()
                         .map(|v| v.to_bits())
                         .collect::<Vec<_>>(),
                 );
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_roundtrips_and_fits_the_handshake_limit() {
+        let h = Hello::local();
+        let payload = encode(&Message::Hello(h));
+        assert!(payload.len() <= MAX_HELLO_FRAME);
+        match decode(&payload).unwrap() {
+            Message::Hello(b) => {
+                assert_eq!(b, h);
+                assert_eq!(b.version, PROTOCOL_VERSION);
+                assert_eq!(b.caps & CAP_BATCH, CAP_BATCH);
+                assert_eq!(b.caps & CAP_STREAMING, CAP_STREAMING);
             }
             other => panic!("wrong message: {other:?}"),
         }
@@ -516,9 +670,12 @@ mod tests {
 
     #[test]
     fn error_roundtrips() {
-        let payload = encode(&Message::Error("shard exploded".into()));
+        let payload = encode(&Message::Error(9, "shard exploded".into()));
         match decode(&payload).unwrap() {
-            Message::Error(t) => assert_eq!(t, "shard exploded"),
+            Message::Error(id, t) => {
+                assert_eq!(id, 9);
+                assert_eq!(t, "shard exploded");
+            }
             other => panic!("wrong message: {other:?}"),
         }
     }
@@ -531,5 +688,41 @@ mod tests {
             assert!(decode(&full[..cut]).is_err(), "cut={cut}");
         }
         assert!(decode(&[99]).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for msg in [
+            Message::Hello(Hello::local()),
+            Message::Error(1, "x".into()),
+            Message::Assign(sample_assignment()),
+        ] {
+            let mut payload = encode(&msg);
+            payload.push(0);
+            assert!(decode(&payload).is_err(), "{msg:?} accepted trailing byte");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_never_size_allocations() {
+        // A Load frame declaring a 2^60-cell matrix but carrying no cells:
+        // must fail on the length check, not on an allocation.
+        let mut payload = Vec::new();
+        payload.put_u8(5); // TAG_LOAD
+        payload.put_u64_le(1 << 30);
+        payload.put_u64_le(1 << 30);
+        assert!(decode(&payload).is_err());
+        // Same for a Result frame with a hostile edge count.
+        let mut payload = encode(&Message::Result(ShardResult {
+            shard_id: 0,
+            ranks: 0..1,
+            prepare_s: 0.0,
+            query_s: 0.0,
+            stats: PruningStats::default(),
+            edges: vec![],
+        }));
+        let at = payload.len() - 8; // the trailing n_edges field
+        payload[at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&payload).is_err());
     }
 }

@@ -1,0 +1,273 @@
+//! Pluggable coordinator↔worker transports.
+//!
+//! The wire protocol ([`crate::proto`]) is a sequence of length-prefixed
+//! frames over *any* byte stream; this module abstracts where that stream
+//! comes from. A [`Transport`] is one established, bidirectional link to
+//! one worker: framed writes on the coordinator thread, and a detachable
+//! read half the coordinator moves onto a dedicated reader thread. Two
+//! implementations exist:
+//!
+//! * [`ChildTransport`] — the PR 4 mode: the coordinator spawns a
+//!   `dangoron-shard` child and speaks over its stdio pipes;
+//! * [`TcpTransport`] — workers started independently (possibly on other
+//!   machines) connect to `dangoron-coord --listen ADDR`, and the
+//!   coordinator accepts them off a [`std::net::TcpListener`].
+//!
+//! Both halves of a link are severed by [`Transport::kill`] (SIGKILL for
+//! a child, `shutdown(Both)` for a socket), which is what guarantees the
+//! reader thread unblocks and can be joined — a reader blocked in
+//! `read()` on a live pipe/socket would otherwise leak.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::{Child, ChildStdin, ChildStdout};
+use std::time::Duration;
+
+use bytes::frame;
+
+/// One established link to a worker, with the read half detachable so a
+/// reader thread can own it while the coordinator keeps the write half.
+pub trait Transport: Send {
+    /// Writes one length-prefixed frame and flushes it.
+    fn send(&mut self, payload: &[u8]) -> io::Result<()>;
+
+    /// Takes the read half (at most once) for the reader thread.
+    fn take_reader(&mut self) -> Option<Box<dyn Read + Send>>;
+
+    /// Called once the peer's handshake has been validated — the link is
+    /// trusted from here on. [`TcpTransport`] uses this to lift the
+    /// short pre-trust socket read timeout; the default is a no-op.
+    fn handshake_complete(&mut self) {}
+
+    /// Signals end-of-assignments: the worker's serve loop sees a clean
+    /// EOF on its next read and exits.
+    fn close_send(&mut self);
+
+    /// Forcibly severs the link in both directions. Idempotent; after it
+    /// returns, a blocked reader-thread `read()` is guaranteed to
+    /// complete (EOF or error).
+    fn kill(&mut self);
+
+    /// Reaps whatever the transport owns (waits on a child process);
+    /// called after [`Transport::close_send`] or [`Transport::kill`].
+    fn reap(&mut self);
+
+    /// A short human label for diagnostics (`"pipe"` / `"tcp"`).
+    fn kind(&self) -> &'static str;
+}
+
+/// A spawned `dangoron-shard` child over its stdio pipes.
+pub struct ChildTransport {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: Option<ChildStdout>,
+}
+
+impl ChildTransport {
+    /// Wraps a child whose stdin/stdout were spawned piped.
+    pub fn new(mut child: Child) -> Self {
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take();
+        Self {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+}
+
+impl Drop for ChildTransport {
+    /// Error-path cleanup: a transport dropped before a graceful
+    /// `close_send` + `reap` (e.g. registration bailed out mid-loop)
+    /// must not leave the child as a zombie. After a normal shutdown the
+    /// kill is a no-op and the wait returns the cached status.
+    fn drop(&mut self) {
+        self.stdin.take();
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Transport for ChildTransport {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| io::Error::other("worker stdin already closed"))?;
+        frame::write_to(stdin, payload)
+    }
+
+    fn take_reader(&mut self) -> Option<Box<dyn Read + Send>> {
+        self.stdout
+            .take()
+            .map(|s| Box::new(s) as Box<dyn Read + Send>)
+    }
+
+    fn close_send(&mut self) {
+        self.stdin.take(); // dropping the pipe is the EOF
+    }
+
+    fn kill(&mut self) {
+        self.stdin.take();
+        let _ = self.child.kill();
+        // Reap immediately: child death closes its stdout pipe, which is
+        // what unblocks the reader thread.
+        let _ = self.child.wait();
+    }
+
+    fn reap(&mut self) {
+        let _ = self.child.wait();
+    }
+
+    fn kind(&self) -> &'static str {
+        "pipe"
+    }
+}
+
+/// A worker connected over TCP. The write half is owned here; the read
+/// half is a cloned handle to the same socket, so `shutdown(Both)`
+/// severs both at once.
+pub struct TcpTransport {
+    stream: TcpStream,
+    reader: Option<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Wraps an accepted (or connected) stream. Cloning the read half can
+    /// fail only on resource exhaustion.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        let reader = stream.try_clone()?;
+        Ok(Self {
+            stream,
+            reader: Some(reader),
+        })
+    }
+
+    /// Sets the socket read timeout (used to bound the handshake read on
+    /// a not-yet-trusted peer; `None` blocks forever).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Reads one frame synchronously off the link — the coordinator's
+    /// handshake read, before the read half is detached.
+    pub fn recv(&mut self, max_len: usize) -> io::Result<Option<Vec<u8>>> {
+        match self.reader.as_mut() {
+            Some(r) => frame::read_from(r, max_len),
+            None => Err(io::Error::other("read half already detached")),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        frame::write_to(&mut self.stream, payload)
+    }
+
+    fn take_reader(&mut self) -> Option<Box<dyn Read + Send>> {
+        self.reader
+            .take()
+            .map(|s| Box::new(s) as Box<dyn Read + Send>)
+    }
+
+    fn handshake_complete(&mut self) {
+        // The read-timeout socket option is shared with the cloned read
+        // half, so this also unblocks the reader thread's long waits.
+        let _ = self.stream.set_read_timeout(None);
+    }
+
+    fn close_send(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Write);
+    }
+
+    fn kill(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn reap(&mut self) {}
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// The worker's side of a link: a framed `Read + Write` pair driving
+/// [`crate::worker::serve`]. Stdio pipes and TCP sockets both reduce to
+/// this.
+pub struct WorkerIo<R: Read, W: Write> {
+    /// The frame source (assignments in).
+    pub input: R,
+    /// The frame sink (results out).
+    pub output: W,
+}
+
+impl WorkerIo<TcpStream, TcpStream> {
+    /// Connects to a listening coordinator, retrying for up to
+    /// `patience` (covers the two-terminal race where the worker starts
+    /// before the coordinator has bound its listener).
+    pub fn connect(addr: &str, patience: Duration) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + patience;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let input = stream.try_clone()?;
+                    return Ok(Self {
+                        input,
+                        output: stream,
+                    });
+                }
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_transport_frames_roundtrip_and_kill_unblocks_the_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut io = WorkerIo::connect(&addr.to_string(), Duration::from_secs(5)).unwrap();
+            // Echo one frame back, then wait for the EOF from close_send.
+            let got = frame::read_from(&mut io.input, 1024).unwrap().unwrap();
+            frame::write_to(&mut io.output, &got).unwrap();
+            assert!(frame::read_from(&mut io.input, 1024).unwrap().is_none());
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::new(stream).unwrap();
+        t.send(b"ping").unwrap();
+        assert_eq!(t.recv(1024).unwrap().unwrap(), b"ping");
+        let mut reader = t.take_reader().unwrap();
+        t.close_send();
+        client.join().unwrap();
+        // After the peer exits, the detached read half sees EOF.
+        assert!(frame::read_from(&mut reader, 1024).unwrap().is_none());
+        t.kill();
+        t.reap();
+        assert_eq!(t.kind(), "tcp");
+    }
+
+    #[test]
+    fn connect_retries_until_the_listener_appears() {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe); // free the port; nothing is listening now
+        let waiter = std::thread::spawn(move || {
+            WorkerIo::connect(&addr.to_string(), Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(400));
+        let listener = TcpListener::bind(addr).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        assert!(waiter.join().unwrap().is_ok());
+    }
+}

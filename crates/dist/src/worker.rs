@@ -1,41 +1,75 @@
 //! The shard worker: the engine-driving side of the `dangoron-shard`
 //! process.
 //!
-//! A worker is a frame loop over its stdio pipes: read an
-//! [`Assignment`], execute the shard (batch
-//! `prepare_shard` + `run_range`, or a sharded streaming replay), write
-//! one [`ShardResult`] frame back, repeat until the
-//! coordinator closes the pipe. Engine-side failures are reported as
-//! `Error` frames (the worker survives and can take re-planned shards);
-//! transport failures end the process.
+//! A worker is a frame loop over any byte link (stdio pipes when spawned
+//! by the coordinator, a TCP socket when started with `--connect`): write
+//! one [`Hello`] handshake frame, then serve — a [`Message::Load`] frame
+//! stores the workload matrix for the rest of the link, an
+//! [`Assignment`] executes the shard (batch `prepare_shard` +
+//! `run_range`, or a sharded streaming replay) against the loaded matrix
+//! and writes one [`ShardResult`] frame back — until the coordinator
+//! closes the link. Engine-side failures are reported as `Error` frames
+//! (the worker survives and can take re-planned shards); transport
+//! failures and protocol damage end the process.
 
 use crate::merge::flatten_windows;
-use crate::proto::{self, Assignment, Message, ShardResult, WorkerMode};
+use crate::proto::{self, Assignment, Hello, Message, ShardResult, WorkerMode};
 use bytes::frame;
 use dangoron::{Dangoron, StreamingDangoron};
 use std::io::{self, Read, Write};
 use std::time::Instant;
+use tsdata::TimeSeriesMatrix;
 
 /// When this environment variable is set (to anything non-empty), the
 /// worker aborts with an I/O error upon receiving its first assignment —
 /// the deterministic crash-injection hook the coordinator's replan path is
-/// tested with.
+/// tested with, in both the spawn and the TCP mode (where the operator
+/// sets it on the worker process).
 pub const FAIL_ENV: &str = "DANGORON_SHARD_FAIL";
+
+/// When set to a millisecond count, the worker sleeps that long before
+/// answering each assignment — the deterministic hook for the
+/// coordinator's timeout/kill path.
+pub const DELAY_ENV: &str = "DANGORON_SHARD_DELAY_MS";
+
+/// When set (non-empty), the worker writes every `Result` frame **twice**
+/// — the deterministic stand-in for the race where a worker's final frame
+/// is already in flight when the coordinator gives up on it. The
+/// duplicate must be identified as stale and discarded, never
+/// double-counted.
+pub const DUP_ENV: &str = "DANGORON_SHARD_DUP_RESULT";
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty())
+}
 
 /// Serves assignments from `input`, writing results to `output`, until a
 /// clean end-of-stream. This is the whole body of the `dangoron-shard`
-/// binary, kept here so the loop is unit-testable over in-memory pipes.
+/// binary (for both the pipe and TCP transports), kept here so the loop
+/// is unit-testable over in-memory pipes.
 pub fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
-    let inject_fail = std::env::var(FAIL_ENV).is_ok_and(|v| !v.is_empty());
+    let inject_fail = env_flag(FAIL_ENV);
+    let dup_result = env_flag(DUP_ENV);
+    let delay_ms: u64 = std::env::var(DELAY_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    frame::write_to(output, &proto::encode(&Message::Hello(Hello::local())))?;
+    let mut loaded: Option<TimeSeriesMatrix> = None;
     while let Some(payload) = frame::read_from(input, proto::MAX_FRAME)? {
         let msg =
             proto::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let assignment = match msg {
+            Message::Load(data) => {
+                loaded = Some(data);
+                continue;
+            }
             Message::Assign(a) => a,
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("worker expected an assignment, got {other:?}"),
+                    format!("worker expected Load or Assign, got {other:?}"),
                 ))
             }
         };
@@ -44,32 +78,45 @@ pub fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
                 "injected worker failure (DANGORON_SHARD_FAIL)",
             ));
         }
-        let reply = match execute(&assignment) {
-            Ok(result) => Message::Result(result),
-            Err(e) => Message::Error(e),
+        if delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+        let reply = match &loaded {
+            Some(data) => match execute(&assignment, data) {
+                Ok(result) => Message::Result(result),
+                Err(e) => Message::Error(assignment.shard_id, e),
+            },
+            None => Message::Error(
+                assignment.shard_id,
+                "assignment received before any Load frame".to_string(),
+            ),
         };
-        frame::write_to(output, &proto::encode(&reply))?;
+        let encoded = proto::encode(&reply);
+        frame::write_to(output, &encoded)?;
+        if dup_result && matches!(reply, Message::Result(_)) {
+            frame::write_to(output, &encoded)?;
+        }
     }
     Ok(())
 }
 
-/// Executes one assignment, producing the shard's sorted edge buffer and
-/// counters.
-pub fn execute(a: &Assignment) -> Result<ShardResult, String> {
+/// Executes one assignment against the loaded matrix, producing the
+/// shard's sorted edge buffer and counters.
+pub fn execute(a: &Assignment, data: &TimeSeriesMatrix) -> Result<ShardResult, String> {
     match a.mode {
-        WorkerMode::Batch => execute_batch(a),
+        WorkerMode::Batch => execute_batch(a, data),
         WorkerMode::StreamingReplay {
             initial_cols,
             chunk_cols,
-        } => execute_streaming(a, initial_cols, chunk_cols),
+        } => execute_streaming(a, data, initial_cols, chunk_cols),
     }
 }
 
-fn execute_batch(a: &Assignment) -> Result<ShardResult, String> {
+fn execute_batch(a: &Assignment, data: &TimeSeriesMatrix) -> Result<ShardResult, String> {
     let engine = Dangoron::new(a.config.clone()).map_err(|e| format!("bad config: {e:?}"))?;
     let t = Instant::now();
     let prep = engine
-        .prepare_shard(&a.data, a.query, a.ranks.clone())
+        .prepare_shard(data, a.query, a.ranks.clone())
         .map_err(|e| format!("prepare failed: {e:?}"))?;
     let prepare_s = t.elapsed().as_secs_f64();
     let t = Instant::now();
@@ -87,16 +134,16 @@ fn execute_batch(a: &Assignment) -> Result<ShardResult, String> {
 
 fn execute_streaming(
     a: &Assignment,
+    data: &TimeSeriesMatrix,
     initial_cols: usize,
     chunk_cols: usize,
 ) -> Result<ShardResult, String> {
     if chunk_cols == 0 {
         return Err("streaming replay needs a positive chunk width".into());
     }
-    let total = a.data.len();
+    let total = data.len();
     let initial_cols = initial_cols.min(total);
-    let initial = a
-        .data
+    let initial = data
         .slice_columns(0, initial_cols)
         .map_err(|e| format!("bad initial slice: {e:?}"))?;
     let t = Instant::now();
@@ -118,8 +165,7 @@ fn execute_streaming(
     let mut at = initial_cols;
     while at < total {
         let next = (at + chunk_cols).min(total);
-        let chunk = a
-            .data
+        let chunk = data
             .slice_columns(at, next)
             .map_err(|e| format!("bad chunk slice: {e:?}"))?;
         windows.extend(
@@ -155,6 +201,10 @@ mod tests {
     use sketch::SlidingQuery;
     use tsdata::generators;
 
+    fn data() -> TimeSeriesMatrix {
+        generators::clustered_matrix(8, 300, 2, 0.5, 17).unwrap()
+    }
+
     fn assignment(mode: WorkerMode, ranks: std::ops::Range<usize>) -> Assignment {
         Assignment {
             shard_id: 1,
@@ -172,14 +222,23 @@ mod tests {
                 step: 20,
                 threshold: 0.7,
             },
-            data: generators::clustered_matrix(8, 300, 2, 0.5, 17).unwrap(),
         }
+    }
+
+    fn replies(output: &[u8]) -> Vec<Message> {
+        let mut stream: &[u8] = output;
+        let mut msgs = Vec::new();
+        while let Some(payload) = frame::read_from(&mut stream, proto::MAX_FRAME).unwrap() {
+            msgs.push(proto::decode(&payload).unwrap());
+        }
+        msgs
     }
 
     #[test]
     fn serve_round_trips_batch_and_streaming_over_in_memory_pipes() {
         let mut input = Vec::new();
         for msg in [
+            Message::Load(data()),
             Message::Assign(assignment(WorkerMode::Batch, 0..28)),
             Message::Assign(assignment(
                 WorkerMode::StreamingReplay {
@@ -195,14 +254,19 @@ mod tests {
         let mut output = Vec::new();
         serve(&mut reader, &mut output).unwrap();
 
-        let mut stream: &[u8] = &output;
-        let mut results = Vec::new();
-        while let Some(payload) = frame::read_from(&mut stream, proto::MAX_FRAME).unwrap() {
-            match proto::decode(&payload).unwrap() {
-                Message::Result(r) => results.push(r),
-                other => panic!("unexpected reply {other:?}"),
-            }
+        let msgs = replies(&output);
+        assert_eq!(msgs.len(), 3, "hello + two results");
+        match &msgs[0] {
+            Message::Hello(h) => assert_eq!(*h, Hello::local()),
+            other => panic!("first frame must be the handshake, got {other:?}"),
         }
+        let results: Vec<&ShardResult> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Result(r) => Some(r),
+                _ => None,
+            })
+            .collect();
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].ranks, 0..28);
         assert_eq!(results[0].stats.n_pairs, 28);
@@ -218,38 +282,53 @@ mod tests {
     fn engine_errors_become_error_frames_not_transport_failures() {
         // An out-of-triangle shard interval must come back as an Error
         // message and leave the worker alive for the next assignment.
-        let bad = Message::Assign(assignment(WorkerMode::Batch, 0..999));
-        let good = Message::Assign(assignment(WorkerMode::Batch, 0..28));
         let mut input = Vec::new();
-        input.extend(frame::encode(&proto::encode(&bad)));
-        input.extend(frame::encode(&proto::encode(&good)));
+        for msg in [
+            Message::Load(data()),
+            Message::Assign(assignment(WorkerMode::Batch, 0..999)),
+            Message::Assign(assignment(WorkerMode::Batch, 0..28)),
+        ] {
+            input.extend(frame::encode(&proto::encode(&msg)));
+        }
         let mut reader: &[u8] = &input;
         let mut output = Vec::new();
         serve(&mut reader, &mut output).unwrap();
 
-        let mut stream: &[u8] = &output;
-        let first = proto::decode(
-            &frame::read_from(&mut stream, proto::MAX_FRAME)
-                .unwrap()
-                .unwrap(),
-        )
-        .unwrap();
-        assert!(matches!(first, Message::Error(_)), "{first:?}");
-        let second = proto::decode(
-            &frame::read_from(&mut stream, proto::MAX_FRAME)
-                .unwrap()
-                .unwrap(),
-        )
-        .unwrap();
-        assert!(matches!(second, Message::Result(_)), "{second:?}");
+        let msgs = replies(&output);
+        assert_eq!(msgs.len(), 3);
+        assert!(matches!(msgs[0], Message::Hello(_)));
+        match &msgs[1] {
+            Message::Error(id, _) => assert_eq!(*id, 1, "error echoes the assignment id"),
+            other => panic!("expected an Error frame, got {other:?}"),
+        }
+        assert!(matches!(msgs[2], Message::Result(_)), "{:?}", msgs[2]);
+    }
+
+    #[test]
+    fn assignment_before_load_is_an_error_frame() {
+        let mut input = Vec::new();
+        input.extend(frame::encode(&proto::encode(&Message::Assign(assignment(
+            WorkerMode::Batch,
+            0..28,
+        )))));
+        let mut reader: &[u8] = &input;
+        let mut output = Vec::new();
+        serve(&mut reader, &mut output).unwrap();
+        let msgs = replies(&output);
+        assert_eq!(msgs.len(), 2);
+        match &msgs[1] {
+            Message::Error(_, text) => assert!(text.contains("Load"), "{text}"),
+            other => panic!("expected an Error frame, got {other:?}"),
+        }
     }
 
     #[test]
     fn batch_worker_output_matches_direct_engine_run() {
+        let d = data();
         let a = assignment(WorkerMode::Batch, 3..17);
-        let r = execute(&a).unwrap();
+        let r = execute(&a, &d).unwrap();
         let engine = Dangoron::new(a.config.clone()).unwrap();
-        let prep = engine.prepare_shard(&a.data, a.query, 3..17).unwrap();
+        let prep = engine.prepare_shard(&d, a.query, 3..17).unwrap();
         let direct = engine.run_range(&prep, 3..17);
         assert_eq!(r.stats, direct.stats);
         assert_eq!(r.edges, flatten_windows(&direct.matrices));

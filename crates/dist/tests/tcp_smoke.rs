@@ -1,0 +1,236 @@
+//! End-to-end tests of the TCP transport: a real coordinator listener
+//! driving real `dangoron-shard --connect` worker processes over
+//! localhost sockets, verified bitwise against the single-process engine
+//! — including the worker-kill/replan, timeout, and stale-final-frame
+//! paths.
+
+use dangoron::{BoundMode, DangoronConfig};
+use dist::coord::{self, CoordinatorConfig, TransportMode};
+use dist::merge::windows_bit_identical;
+use dist::proto::WorkerMode;
+use sketch::SlidingQuery;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use tsdata::generators;
+use tsdata::TimeSeriesMatrix;
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dangoron-shard")
+}
+
+fn workload() -> (TimeSeriesMatrix, SlidingQuery, DangoronConfig) {
+    let data = generators::clustered_matrix(12, 360, 3, 0.5, 41).unwrap();
+    let query = SlidingQuery {
+        start: 0,
+        end: 360,
+        window: 60,
+        step: 20,
+        threshold: 0.7,
+    };
+    let cfg = DangoronConfig {
+        basic_window: 20,
+        bound: BoundMode::PaperJump { slack: 0.0 },
+        ..Default::default()
+    };
+    (data, query, cfg)
+}
+
+/// Binds an OS-assigned localhost port and spawns `n` workers dialing it,
+/// each with extra environment variables from `envs[i]` (cycled).
+fn bind_and_spawn(n: usize, envs: &[Vec<(&str, &str)>]) -> (TcpListener, String, Vec<Child>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let children = (0..n)
+        .map(|k| {
+            let mut cmd = Command::new(worker_bin());
+            cmd.arg("--connect")
+                .arg(&addr)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit());
+            if let Some(vars) = envs.get(k % envs.len().max(1)) {
+                for (k, v) in vars {
+                    cmd.env(k, v);
+                }
+            }
+            cmd.spawn().expect("spawn dangoron-shard --connect")
+        })
+        .collect();
+    (listener, addr, children)
+}
+
+fn coordinator(n_shards: usize, n_workers: usize, mode: WorkerMode) -> CoordinatorConfig {
+    CoordinatorConfig {
+        transport: TransportMode::Tcp {
+            listen: String::new(), // pre-bound listener supplies the socket
+            accept_timeout: Duration::from_secs(30),
+        },
+        n_workers,
+        mode,
+        timeout: Duration::from_secs(60),
+        ..CoordinatorConfig::new(Default::default(), n_shards)
+    }
+}
+
+fn reap(mut children: Vec<Child>) {
+    for c in &mut children {
+        let _ = c.wait();
+    }
+}
+
+#[test]
+fn tcp_tier_matches_single_process_bitwise() {
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    let (listener, _, children) = bind_and_spawn(2, &[vec![]]);
+    let ccfg = coordinator(4, 2, WorkerMode::Batch);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(children);
+
+    assert_eq!(dist.coord.transport, "tcp");
+    assert_eq!(dist.coord.n_workers, 2);
+    assert_eq!(dist.shards.len(), 4);
+    assert!(
+        windows_bit_identical(&dist.matrices, &single.matrices),
+        "TCP-merged matrices differ from the single-process engine"
+    );
+    assert_eq!(dist.stats, single.stats, "shard stats do not sum");
+    assert_eq!(dist.coord.replans, 0);
+    assert_eq!(dist.coord.worker_failures, 0);
+
+    // The Load frame carries the matrix once per worker; the slim
+    // assignments must be orders of magnitude smaller than the v1 fat
+    // assignments (matrix inside every Assign) would have been.
+    let matrix_payload = 1 + 16 + 8 * data.n_series() * data.len();
+    assert_eq!(dist.coord.assignments, 4);
+    assert_eq!(dist.coord.load_bytes, 2 * matrix_payload as u64);
+    assert!(
+        dist.coord.assign_bytes < dist.coord.assignments as u64 * 1024,
+        "slim assignments are unexpectedly large: {} bytes",
+        dist.coord.assign_bytes
+    );
+    let fat = dist.coord.assign_bytes + dist.coord.assignments as u64 * matrix_payload as u64;
+    assert!(
+        dist.coord.assign_bytes + dist.coord.load_bytes < fat,
+        "Load + slim assignments must beat fat assignments"
+    );
+}
+
+#[test]
+fn hostile_peer_is_rejected_without_costing_the_run_or_a_worker_slot() {
+    use std::io::Write as _;
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    // A non-worker connects first and sends a garbage frame — a port
+    // scanner or health check hitting the listener. It must be dropped
+    // at the handshake; the run proceeds with the two real workers.
+    let (listener, addr, children) = bind_and_spawn(2, &[vec![]]);
+    let mut stray = std::net::TcpStream::connect(&addr).unwrap();
+    stray
+        .write_all(&bytes::frame::encode(&[0xFF, 0xEE]))
+        .unwrap();
+    let ccfg = coordinator(4, 2, WorkerMode::Batch);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(children);
+    drop(stray);
+
+    assert_eq!(dist.coord.n_workers, 2, "the stray peer took a worker slot");
+    assert_eq!(dist.coord.worker_failures, 0);
+    assert!(windows_bit_identical(&dist.matrices, &single.matrices));
+    assert_eq!(dist.stats, single.stats);
+}
+
+#[test]
+fn killed_tcp_worker_is_replanned_onto_survivors_with_identical_result() {
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    // Worker 0 aborts on its first assignment (the TCP stand-in for a
+    // machine dying mid-run); worker 1 survives.
+    let (listener, _, children) = bind_and_spawn(2, &[vec![(dist::worker::FAIL_ENV, "1")], vec![]]);
+    let ccfg = coordinator(4, 2, WorkerMode::Batch);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(children);
+
+    assert!(dist.coord.worker_failures >= 1, "injected kill never fired");
+    assert!(dist.coord.replans >= 1, "no re-plan recorded");
+    assert!(
+        dist.shards.iter().any(|s| s.attempt > 0),
+        "no shard carries a retry generation"
+    );
+    assert!(
+        windows_bit_identical(&dist.matrices, &single.matrices),
+        "replanned TCP run differs from the single-process engine"
+    );
+    assert_eq!(dist.stats, single.stats, "replanned stats do not sum");
+}
+
+#[test]
+fn streaming_replay_over_tcp_matches_single_process() {
+    let (data, query, cfg) = workload();
+    let mode = WorkerMode::StreamingReplay {
+        initial_cols: 160,
+        chunk_cols: 60,
+    };
+    let single = coord::run_single_process(mode, &cfg, &data, query).unwrap();
+    let (listener, _, children) = bind_and_spawn(2, &[vec![]]);
+    let ccfg = coordinator(4, 2, mode);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(children);
+
+    assert!(!single.matrices.is_empty());
+    assert!(windows_bit_identical(&dist.matrices, &single.matrices));
+    assert_eq!(dist.stats, single.stats);
+}
+
+#[test]
+fn duplicate_final_frames_are_discarded_not_double_counted() {
+    // Every worker writes each Result frame twice — the deterministic
+    // stand-in for a worker's final frame racing the coordinator's kill.
+    // Each duplicate must be identified as stale by its assignment id and
+    // discarded; merging it would double every affected shard's edges.
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    let (listener, _, children) = bind_and_spawn(2, &[vec![(dist::worker::DUP_ENV, "1")]]);
+    // More shards than workers, so duplicates interleave with fresh
+    // assignments on the same link.
+    let ccfg = coordinator(6, 2, WorkerMode::Batch);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(children);
+
+    assert!(
+        dist.coord.stale_frames >= 1,
+        "no duplicate frame was ever discarded"
+    );
+    assert_eq!(dist.shards.len(), 6, "a duplicate was merged as a shard");
+    assert!(
+        windows_bit_identical(&dist.matrices, &single.matrices),
+        "duplicated frames leaked into the merge"
+    );
+    assert_eq!(dist.stats, single.stats, "stats were double-counted");
+}
+
+#[test]
+fn hung_tcp_worker_times_out_and_is_replanned() {
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    // Worker 0 sleeps 30 s before answering anything; the coordinator's
+    // 2 s deadline must kill it and re-plan onto worker 1. The sleeper's
+    // eventual write lands on a shut-down socket and dies there.
+    let (listener, _, children) =
+        bind_and_spawn(2, &[vec![(dist::worker::DELAY_ENV, "4000")], vec![]]);
+    let mut ccfg = coordinator(4, 2, WorkerMode::Batch);
+    ccfg.timeout = Duration::from_secs(2);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+
+    assert!(dist.coord.worker_failures >= 1, "timeout never fired");
+    assert!(dist.coord.replans >= 1, "no re-plan recorded");
+    assert!(
+        windows_bit_identical(&dist.matrices, &single.matrices),
+        "timeout/replan TCP run differs from the single-process engine"
+    );
+    assert_eq!(dist.stats, single.stats);
+    // The sleeper must not outlive the run by much: its socket is shut
+    // down, so its next write fails and the process exits.
+    reap(children);
+}

@@ -140,11 +140,20 @@ pub mod frame {
         w.flush()
     }
 
+    /// Largest chunk the reader commits memory to ahead of the bytes
+    /// actually arriving (see [`read_from`]).
+    const READ_CHUNK: usize = 1 << 20;
+
     /// Reads one frame's payload from `r`.
     ///
     /// Returns `Ok(None)` on a clean end-of-stream (EOF before any header
     /// byte); a stream that ends mid-frame is an error, as is a declared
     /// length above `max_len` (protects against garbage prefixes).
+    ///
+    /// The length prefix is never trusted with an allocation: the payload
+    /// buffer grows in at-most-1-MiB steps as bytes actually
+    /// arrive, so a hostile peer that declares `max_len` and then stalls
+    /// (or disconnects) costs one chunk of memory, not `max_len`.
     pub fn read_from(r: &mut impl Read, max_len: usize) -> io::Result<Option<Vec<u8>>> {
         let mut header = [0u8; HEADER_LEN];
         let mut got = 0;
@@ -167,8 +176,13 @@ pub mod frame {
                 format!("frame length {len} exceeds the {max_len}-byte limit"),
             ));
         }
-        let mut payload = vec![0u8; len];
-        r.read_exact(&mut payload)?;
+        let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+        while payload.len() < len {
+            let step = (len - payload.len()).min(READ_CHUNK);
+            let at = payload.len();
+            payload.resize(at + step, 0);
+            r.read_exact(&mut payload[at..])?;
+        }
         Ok(Some(payload))
     }
 }
@@ -212,6 +226,19 @@ mod tests {
         let mut stream = Vec::new();
         frame::write_to(&mut stream, b"abc").unwrap();
         assert_eq!(frame::encode(b"abc"), stream);
+    }
+
+    #[test]
+    fn frames_larger_than_one_read_chunk_roundtrip() {
+        // Exercises the incremental-allocation path (payload > READ_CHUNK).
+        let payload: Vec<u8> = (0..(1 << 20) * 2 + 12345).map(|k| k as u8).collect();
+        let mut stream = Vec::new();
+        frame::write_to(&mut stream, &payload).unwrap();
+        let mut r: &[u8] = &stream;
+        assert_eq!(
+            frame::read_from(&mut r, usize::MAX).unwrap().unwrap(),
+            payload
+        );
     }
 
     #[test]

@@ -64,9 +64,8 @@ fn run_cuts(
             mode,
             config: cfg.clone(),
             query,
-            data: data.clone(),
         };
-        let r = worker::execute(&a).expect("shard execution");
+        let r = worker::execute(&a, data).expect("shard execution");
         stats.merge(&r.stats);
         segments.push((r.ranks, r.edges));
     }
