@@ -4,7 +4,7 @@
 //! ```text
 //! harness <exp-id>... [--full]                    # e1 … e13, or `all`
 //! harness bench [--out BENCH_1.json] [--full] [--shard-records DIR]
-//!               [--dist-transport pipes|tcp]
+//!               [--dist-transport pipes|tcp|tcp-elastic]
 //! harness merge --out MERGED.json SHARD.json...   # fold per-shard records
 //! harness validate [--require-streaming] [--require-kernels]
 //!                  [--require-shards] FILE...
@@ -20,7 +20,10 @@
 //! summed, wall times maxed, `n_shards` recorded, disagreeing `hardware`
 //! sections flagged); `--dist-transport tcp` runs the distributed leg
 //! over localhost TCP (coordinator listener + `dangoron-shard --connect`
-//! workers) instead of spawned stdio pipes.
+//! workers) instead of spawned stdio pipes, and `tcp-elastic` starts
+//! that leg with a single deliberately slow worker, admits a second one
+//! mid-run, and steals the straggler's tail — recording `late_joins` /
+//! `steals` / `heartbeats` in the `shards` section.
 
 use bench::experiments::{run_experiment, ALL};
 use bench::schema::Requires;
@@ -55,8 +58,9 @@ fn run_bench(args: &[String], scale: Scale) {
     let transport = match flag_value(args, "--dist-transport") {
         Some(Ok(v)) if v == "pipes" => bench::perf::DistTransport::Pipes,
         Some(Ok(v)) if v == "tcp" => bench::perf::DistTransport::Tcp,
+        Some(Ok(v)) if v == "tcp-elastic" => bench::perf::DistTransport::TcpElastic,
         Some(Ok(v)) => {
-            eprintln!("error: --dist-transport must be `pipes` or `tcp`, got {v:?}");
+            eprintln!("error: --dist-transport must be `pipes`, `tcp` or `tcp-elastic`, got {v:?}");
             std::process::exit(2);
         }
         Some(Err(e)) => {

@@ -127,6 +127,13 @@ pub struct ShardsPerf {
     pub fat_assign_bytes: u64,
     /// Re-plan events over the run.
     pub replans: usize,
+    /// Workers admitted after the run started (elastic TCP leg; 0
+    /// elsewhere).
+    pub late_joins: usize,
+    /// Steal grants that moved work off a straggler mid-run.
+    pub steals: usize,
+    /// Heartbeat pongs received over the run.
+    pub heartbeats: usize,
     /// Summed exact evaluations across shards.
     pub evaluated: u64,
     /// Summed (pair, window) cells across shards.
@@ -210,7 +217,8 @@ impl PerfRecord {
                 "  \"shards\": {{\"n_shards\": {}, \"workers\": {}, \"mode\": {}, \
                  \"transport\": {}, \"assignments\": {}, \"assign_bytes\": {}, \
                  \"load_bytes\": {}, \"fat_assign_bytes\": {}, \
-                 \"replans\": {}, \"evaluated\": {}, \"total_cells\": {}, \
+                 \"replans\": {}, \"late_joins\": {}, \"steals\": {}, \
+                 \"heartbeats\": {}, \"evaluated\": {}, \"total_cells\": {}, \
                  \"merged_edges\": {}, \"prepare_ms_max\": {}, \"query_ms_max\": {}, \
                  \"coord_ms\": {}, \"single_process_ms\": {}, \"bit_identical\": {}}},",
                 sh.n_shards,
@@ -222,6 +230,9 @@ impl PerfRecord {
                 sh.load_bytes,
                 sh.fat_assign_bytes,
                 sh.replans,
+                sh.late_joins,
+                sh.steals,
+                sh.heartbeats,
                 sh.evaluated,
                 sh.total_cells,
                 sh.merged_edges,
@@ -433,6 +444,11 @@ pub enum DistTransport {
     /// Localhost TCP: bind an OS-assigned port and start
     /// `dangoron-shard --connect` worker processes against it.
     Tcp,
+    /// The elastic TCP leg: start with one deliberately slow worker,
+    /// have a second one join mid-run, and let the coordinator steal the
+    /// straggler's tail — exercising (and recording) late joins and
+    /// steals while still verifying the merged result bitwise.
+    TcpElastic,
 }
 
 /// Runs the perf ladder and returns the record.
@@ -547,6 +563,9 @@ pub fn shards_sample_with(
                 DistTransport::Tcp => {
                     run_over_tcp(&worker_bin, n_shards, n_workers, &engine_cfg, w)
                 }
+                DistTransport::TcpElastic => {
+                    run_over_tcp_elastic(&worker_bin, n_shards, &engine_cfg, w)
+                }
             };
             match attempt {
                 Ok(r) => (r, "processes"),
@@ -569,12 +588,21 @@ pub fn shards_sample_with(
         n_shards: result.coord.n_shards_planned,
         workers: result.coord.n_workers,
         mode: mode.to_string(),
-        transport: result.coord.transport.clone(),
+        transport: if matches!(transport, DistTransport::TcpElastic) && mode == "processes" {
+            // The coordinator only knows it spoke TCP; the record keeps
+            // what the leg *did* (late join + steal choreography).
+            "tcp-elastic".to_string()
+        } else {
+            result.coord.transport.clone()
+        },
         assignments: result.coord.assignments,
         assign_bytes: result.coord.assign_bytes,
         load_bytes: result.coord.load_bytes,
         fat_assign_bytes,
         replans: result.coord.replans,
+        late_joins: result.coord.late_joins,
+        steals: result.coord.steals,
+        heartbeats: result.coord.pongs,
         evaluated: result.stats.evaluated,
         total_cells: result.stats.total_cells,
         merged_edges: result.matrices.iter().map(|m| m.n_edges()).sum(),
@@ -605,13 +633,13 @@ fn run_over_tcp(
     n_workers: usize,
     engine_cfg: &DangoronConfig,
     w: &Workload,
-) -> Result<dist::DistResult, String> {
+) -> Result<dist::DistResult, dist::CoordError> {
     use std::process::{Command, Stdio};
-    let listener =
-        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("TCP bind: {e}"))?;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| dist::CoordError::Internal(format!("TCP bind: {e}")))?;
     let addr = listener
         .local_addr()
-        .map_err(|e| format!("local_addr: {e}"))?
+        .map_err(|e| dist::CoordError::Internal(format!("local_addr: {e}")))?
         .to_string();
     let mut children = Vec::new();
     for _ in 0..n_workers {
@@ -631,7 +659,9 @@ fn run_over_tcp(
                     let _ = c.kill();
                     let _ = c.wait();
                 }
-                return Err(format!("spawn {worker_bin:?} --connect: {e}"));
+                return Err(dist::CoordError::Internal(format!(
+                    "spawn {worker_bin:?} --connect: {e}"
+                )));
             }
         }
     }
@@ -641,6 +671,71 @@ fn run_over_tcp(
         ..dist::coord::CoordinatorConfig::tcp(addr, n_shards)
     };
     let out = dist::coord::run_with_listener(&cfg, listener, engine_cfg, &w.data, w.query);
+    for mut c in children {
+        if out.is_err() {
+            let _ = c.kill();
+        }
+        let _ = c.wait();
+    }
+    out
+}
+
+/// Drives the elastic distributed leg: the run *starts* with a single
+/// deliberately slow worker (a per-chunk delay makes it a straggler that
+/// keeps reporting progress), a second worker dials in ~400 ms later and
+/// is admitted mid-run, drains the pending queue, and then steals the
+/// straggler's remaining tail. The merged result is still verified
+/// bitwise by the caller — elasticity must never change the answer.
+fn run_over_tcp_elastic(
+    worker_bin: &std::path::Path,
+    n_shards: usize,
+    engine_cfg: &DangoronConfig,
+    w: &Workload,
+) -> Result<dist::DistResult, dist::CoordError> {
+    use std::process::{Command, Stdio};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| dist::CoordError::Internal(format!("TCP bind: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| dist::CoordError::Internal(format!("local_addr: {e}")))?
+        .to_string();
+    // The straggler: fine-grained chunks, each preceded by a sleep — slow
+    // but demonstrably alive, so it is stolen from rather than killed.
+    let straggler = Command::new(worker_bin)
+        .arg("--connect")
+        .arg(&addr)
+        .env(dist::worker::CHUNK_DELAY_ENV, "300")
+        .env(dist::worker::CHUNK_RANKS_ENV, "8")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| dist::CoordError::Internal(format!("spawn {worker_bin:?} --connect: {e}")))?;
+    // The late joiner: dials in once the run is already under way.
+    let late = {
+        let worker_bin = worker_bin.to_path_buf();
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            Command::new(&worker_bin)
+                .arg("--connect")
+                .arg(&addr)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+        })
+    };
+    let cfg = dist::coord::CoordinatorConfig {
+        n_workers: 1, // start as soon as the straggler registers
+        timeout: Duration::from_secs(60),
+        ..dist::coord::CoordinatorConfig::tcp(addr, n_shards)
+    };
+    let out = dist::coord::run_with_listener(&cfg, listener, engine_cfg, &w.data, w.query);
+    let mut children = vec![straggler];
+    if let Ok(Ok(c)) = late.join() {
+        children.push(c);
+    }
     for mut c in children {
         if out.is_err() {
             let _ = c.kill();

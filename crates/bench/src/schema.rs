@@ -43,9 +43,10 @@ const SHARDS_KEYS: [(&str, ValueKind); 7] = [
 /// older records legitimately lack them, but when present they must have
 /// the right shape. `transport`/`assign_bytes`/`load_bytes`/
 /// `fat_assign_bytes` arrived with the TCP transport + `Load` frame;
+/// `late_joins`/`steals`/`heartbeats` with the elastic tier (PR 6);
 /// `hardware_mismatch` is written by `harness merge` when per-shard
 /// records disagree on their `hardware` sections.
-const SHARDS_OPTIONAL_KEYS: [(&str, ValueKind); 9] = [
+const SHARDS_OPTIONAL_KEYS: [(&str, ValueKind); 12] = [
     ("workers", ValueKind::Number),
     ("mode", ValueKind::String),
     ("transport", ValueKind::String),
@@ -53,6 +54,9 @@ const SHARDS_OPTIONAL_KEYS: [(&str, ValueKind); 9] = [
     ("assign_bytes", ValueKind::Number),
     ("load_bytes", ValueKind::Number),
     ("fat_assign_bytes", ValueKind::Number),
+    ("late_joins", ValueKind::Number),
+    ("steals", ValueKind::Number),
+    ("heartbeats", ValueKind::Number),
     ("bit_identical", ValueKind::Bool),
     ("hardware_mismatch", ValueKind::Bool),
 ];
@@ -436,12 +440,15 @@ mod tests {
             "\"replans\": 1}",
             "\"replans\": 1, \"transport\": \"tcp\", \"assignments\": 4, \
              \"assign_bytes\": 512, \"load_bytes\": 4096, \
-             \"fat_assign_bytes\": 16000, \"bit_identical\": true, \
+             \"fat_assign_bytes\": 16000, \"late_joins\": 1, \"steals\": 2, \
+             \"heartbeats\": 12, \"bit_identical\": true, \
              \"hardware_mismatch\": false}",
         );
         validate(&v2, REQ_SHARDS).unwrap();
         // ...and a mis-typed one is rejected.
         let bad = v2.replace("\"transport\": \"tcp\"", "\"transport\": 6");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        let bad = v2.replace("\"steals\": 2", "\"steals\": \"two\"");
         assert!(validate(&bad, REQ_NONE).is_err());
         let bad = v2.replace("\"hardware_mismatch\": false", "\"hardware_mismatch\": 0");
         assert!(validate(&bad, REQ_NONE).is_err());
@@ -602,6 +609,9 @@ mod tests {
             load_bytes: 4096,
             fat_assign_bytes: 20_000,
             replans: 1,
+            late_joins: 1,
+            steals: 2,
+            heartbeats: 12,
             evaluated: 100,
             total_cells: 400,
             merged_edges: 10,

@@ -9,29 +9,39 @@
 //! dangoron-coord [--shards K] [--workers W] [--worker-threads T]
 //!                [--n N] [--hours H] [--beta B] [--streaming]
 //!                [--verify] [--kill-worker IDX] [--timeout-s S]
-//!                [--worker-bin PATH]
+//!                [--handshake-timeout-s S] [--max-attempts A]
+//!                [--steal-after-ms MS] [--worker-bin PATH]
 //!                [--listen ADDR] [--accept-timeout-s S]
-//!                [--expect-replans R]
+//!                [--chaos-seed SEED]
+//!                [--expect-replans R] [--expect-steals S]
+//!                [--expect-late-joins J]
 //!                [--export-json PATH] [--export-csv PATH] [--export-dot PATH]
 //! ```
 //!
 //! `--listen ADDR` switches to the TCP transport: instead of spawning
 //! children, the coordinator waits (up to `--accept-timeout-s`, default
 //! 30) for `--workers` processes started independently with
-//! `dangoron-shard --connect ADDR`. `--verify` exits non-zero unless the
-//! merged matrices are bit-identical to the unsharded engine and the
-//! shard stats sum to its counters. `--kill-worker IDX` injects a
-//! deterministic worker crash in spawn mode (over TCP, set
-//! `DANGORON_SHARD_FAIL=1` on a worker process instead);
-//! `--expect-replans R` exits non-zero unless at least `R` re-plan events
-//! happened — the fault-injection legs assert their crash actually
-//! exercised the re-plan path. The `--export-*` flags dump the merged
-//! temporal network via `network::export`.
+//! `dangoron-shard --connect ADDR` — and keeps the door open after that:
+//! workers may join mid-run, and dropped workers re-dialing with
+//! `--reconnect` are re-admitted as new members. `--verify` exits
+//! non-zero unless the merged matrices are bit-identical to the
+//! unsharded engine and the shard stats sum to its counters.
+//! `--kill-worker IDX` injects a deterministic worker crash in spawn
+//! mode (over TCP, set `DANGORON_SHARD_FAIL=1` on a worker process
+//! instead); `--chaos-seed SEED` arms the `dist::chaos` fault layer — a
+//! seeded, reproducible storm of link kills, delays, duplicated frames
+//! and mid-write truncations on the coordinator's outgoing side (the
+//! `DANGORON_CHAOS_SEED` environment variable does the same). The
+//! `--expect-*` gates exit non-zero unless at least that many re-plan /
+//! steal / late-join events happened — the fault-injection legs assert
+//! their storm actually exercised those paths. The `--export-*` flags
+//! dump the merged temporal network via `network::export`.
 
 use dangoron::{BoundMode, DangoronConfig};
 use dist::coord::{self, CoordinatorConfig, TransportMode};
 use dist::merge::windows_bit_identical;
 use dist::proto::WorkerMode;
+use dist::FaultPlan;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -46,10 +56,16 @@ struct Args {
     verify: bool,
     kill_worker: Option<usize>,
     timeout_s: u64,
+    handshake_timeout_s: u64,
+    max_attempts: u32,
+    steal_after_ms: u64,
     worker_bin: Option<PathBuf>,
     listen: Option<String>,
     accept_timeout_s: u64,
+    chaos_seed: Option<u64>,
     expect_replans: Option<usize>,
+    expect_steals: Option<usize>,
+    expect_late_joins: Option<usize>,
     export_json: Option<PathBuf>,
     export_csv: Option<PathBuf>,
     export_dot: Option<PathBuf>,
@@ -67,10 +83,18 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         kill_worker: None,
         timeout_s: 120,
+        handshake_timeout_s: 10,
+        max_attempts: 4,
+        steal_after_ms: 500,
         worker_bin: None,
         listen: None,
         accept_timeout_s: 30,
+        chaos_seed: std::env::var("DANGORON_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok()),
         expect_replans: None,
+        expect_steals: None,
+        expect_late_joins: None,
         export_json: None,
         export_csv: None,
         export_dot: None,
@@ -98,6 +122,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--kill-worker" => args.kill_worker = Some(parse(&value(&argv, k, "--kill-worker")?)?),
             "--timeout-s" => args.timeout_s = parse(&value(&argv, k, "--timeout-s")?)? as u64,
+            "--handshake-timeout-s" => {
+                args.handshake_timeout_s = parse(&value(&argv, k, "--handshake-timeout-s")?)? as u64
+            }
+            "--max-attempts" => {
+                args.max_attempts = parse(&value(&argv, k, "--max-attempts")?)? as u32
+            }
+            "--steal-after-ms" => {
+                args.steal_after_ms = parse(&value(&argv, k, "--steal-after-ms")?)? as u64
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    value(&argv, k, "--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --chaos-seed: {e}"))?,
+                )
+            }
             "--worker-bin" => args.worker_bin = Some(value(&argv, k, "--worker-bin")?.into()),
             "--listen" => args.listen = Some(value(&argv, k, "--listen")?),
             "--accept-timeout-s" => {
@@ -105,6 +145,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--expect-replans" => {
                 args.expect_replans = Some(parse(&value(&argv, k, "--expect-replans")?)?)
+            }
+            "--expect-steals" => {
+                args.expect_steals = Some(parse(&value(&argv, k, "--expect-steals")?)?)
+            }
+            "--expect-late-joins" => {
+                args.expect_late_joins = Some(parse(&value(&argv, k, "--expect-late-joins")?)?)
             }
             "--export-json" => args.export_json = Some(value(&argv, k, "--export-json")?.into()),
             "--export-csv" => args.export_csv = Some(value(&argv, k, "--export-csv")?.into()),
@@ -197,9 +243,15 @@ fn main() {
         worker_threads: args.worker_threads,
         mode,
         timeout: Duration::from_secs(args.timeout_s),
+        handshake_timeout: Duration::from_secs(args.handshake_timeout_s),
         kill_worker: args.kill_worker,
-        max_attempts: 4,
+        max_attempts: args.max_attempts,
+        steal_after: Duration::from_millis(args.steal_after_ms),
+        chaos: args.chaos_seed.map(FaultPlan::from_seed),
     };
+    if let Some(seed) = args.chaos_seed {
+        eprintln!("dangoron-coord: chaos armed with seed {seed}");
+    }
 
     let result = match coord::run(&cfg, &engine_cfg, &w.data, w.query) {
         Ok(r) => r,
@@ -230,6 +282,16 @@ fn main() {
         result.coord.load_bytes,
         result.coord.stale_frames,
     );
+    println!(
+        "elastic: {} late joins, {} steals of {} requested, {} pings / {} pongs, \
+         {} progress frames",
+        result.coord.late_joins,
+        result.coord.steals,
+        result.coord.steal_requests,
+        result.coord.pings_sent,
+        result.coord.pongs,
+        result.coord.progress_frames,
+    );
     for s in &result.shards {
         println!(
             "  shard {:>7}..{:<7} attempt {} | prepare {:.3}s query {:.3}s | edges {}",
@@ -245,6 +307,24 @@ fn main() {
             eprintln!(
                 "dangoron-coord: expected ≥ {min} re-plans, saw {}",
                 result.coord.replans
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(min) = args.expect_steals {
+        if result.coord.steals < min {
+            eprintln!(
+                "dangoron-coord: expected ≥ {min} steals, saw {}",
+                result.coord.steals
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(min) = args.expect_late_joins {
+        if result.coord.late_joins < min {
+            eprintln!(
+                "dangoron-coord: expected ≥ {min} late joins, saw {}",
+                result.coord.late_joins
             );
             std::process::exit(1);
         }

@@ -3,13 +3,24 @@
 //! coordinator closes the link. See `dist::proto` for the wire format.
 //!
 //! ```text
-//! dangoron-shard                     # spawned mode: frames over stdio
-//! dangoron-shard --connect ADDR      # TCP mode: dial a listening
-//!                                    # dangoron-coord (retries ~30 s)
+//! dangoron-shard                          # spawned mode: frames over stdio
+//! dangoron-shard --connect ADDR           # TCP mode: dial a listening
+//!                                         # dangoron-coord
+//!            [--connect-timeout-s S]      # dial patience per attempt
+//!                                         # (jittered backoff, default 30)
+//!            [--reconnect N]              # after a dropped link, re-dial
+//!                                         # up to N times and rejoin the
+//!                                         # run as a new member
 //! ```
 //!
 //! In both modes the worker's first frame is the `Hello` handshake
-//! (protocol version + capability bits).
+//! (protocol version + capability bits). With `--reconnect`, a worker
+//! whose link dies mid-run (coordinator restart, network fault, injected
+//! chaos) dials again with the same jittered backoff and — because the
+//! coordinator's membership is elastic — is re-admitted as a *new*
+//! member: it receives a fresh `Load` and fresh assignments, while its
+//! old identity's in-flight work is re-planned and any stale frames are
+//! discarded by assignment id.
 
 use dist::transport::WorkerIo;
 use std::io;
@@ -18,44 +29,92 @@ use std::time::Duration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut connect: Option<String> = None;
+    let mut connect_timeout_s: u64 = 30;
+    let mut reconnect: u32 = 0;
     let mut k = 0;
+    let value = |args: &[String], k: usize, flag: &str| -> String {
+        match args.get(k + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("dangoron-shard: {flag} requires a value");
+                std::process::exit(2);
+            }
+        }
+    };
     while k < args.len() {
         match args[k].as_str() {
-            "--connect" => match args.get(k + 1) {
-                Some(addr) => {
-                    connect = Some(addr.clone());
-                    k += 2;
+            "--connect" => connect = Some(value(&args, k, "--connect")),
+            "--connect-timeout-s" => {
+                connect_timeout_s = match value(&args, k, "--connect-timeout-s").parse() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("dangoron-shard: bad --connect-timeout-s: {e}");
+                        std::process::exit(2);
+                    }
                 }
-                None => {
-                    eprintln!("dangoron-shard: --connect requires an ADDR");
-                    std::process::exit(2);
+            }
+            "--reconnect" => {
+                reconnect = match value(&args, k, "--reconnect").parse() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("dangoron-shard: bad --reconnect: {e}");
+                        std::process::exit(2);
+                    }
                 }
-            },
+            }
             other => {
                 eprintln!("dangoron-shard: unknown flag {other}");
                 std::process::exit(2);
             }
         }
+        k += 2;
+    }
+    if connect.is_none() && (reconnect > 0 || connect_timeout_s != 30) {
+        eprintln!("dangoron-shard: --reconnect/--connect-timeout-s require --connect");
+        std::process::exit(2);
     }
 
     let result = match connect {
-        Some(addr) => match WorkerIo::connect(&addr, Duration::from_secs(30)) {
-            Ok(mut link) => dist::worker::serve(&mut link.input, &mut link.output),
-            Err(e) => {
-                eprintln!("dangoron-shard: cannot connect to {addr}: {e}");
-                std::process::exit(1);
-            }
-        },
+        Some(addr) => serve_tcp(&addr, Duration::from_secs(connect_timeout_s), reconnect),
         None => {
             let stdin = io::stdin();
-            let stdout = io::stdout();
-            let mut input = stdin.lock();
-            let mut output = stdout.lock();
-            dist::worker::serve(&mut input, &mut output)
+            let input = stdin.lock();
+            // Not the lock: the v3 serve loop writes from two threads
+            // through its own mutex, and `StdoutLock` is not `Send`.
+            dist::worker::serve(input, io::stdout())
         }
     };
     if let Err(e) = result {
         eprintln!("dangoron-shard: {e}");
         std::process::exit(1);
+    }
+}
+
+/// Dials the coordinator and serves; on a dropped link, re-dials up to
+/// `reconnect` times, rejoining the (elastic) run as a new member each
+/// time. The backoff jitter is seeded per process *and* per attempt so a
+/// fleet killed together does not re-dial in lockstep.
+fn serve_tcp(addr: &str, patience: Duration, reconnect: u32) -> io::Result<()> {
+    let mut attempt: u32 = 0;
+    loop {
+        let seed = (std::process::id() as u64) << 8 | attempt as u64;
+        let link = match WorkerIo::connect(addr, patience, seed) {
+            Ok(link) => link,
+            Err(e) => {
+                eprintln!("dangoron-shard: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match dist::worker::serve(link.input, link.output) {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt < reconnect => {
+                attempt += 1;
+                eprintln!(
+                    "dangoron-shard: link lost ({e}); reconnecting to {addr} \
+                     (attempt {attempt}/{reconnect})"
+                );
+            }
+            Err(e) => return Err(e),
+        }
     }
 }

@@ -39,6 +39,7 @@
 //! assert!(windows_bit_identical(&sharded.matrices, &single.matrices));
 //! ```
 
+pub mod chaos;
 pub mod coord;
 pub mod merge;
 pub mod plan;
@@ -46,7 +47,10 @@ pub mod proto;
 pub mod transport;
 pub mod worker;
 
-pub use coord::{CoordStats, CoordinatorConfig, DistResult, ShardSummary, TransportMode};
+pub use chaos::{ChaosTransport, FaultPlan, LinkFaults};
+pub use coord::{
+    CoordError, CoordStats, CoordinatorConfig, DistResult, ShardSummary, TransportMode,
+};
 pub use plan::{Shard, ShardPlan};
 pub use proto::WorkerMode;
 pub use transport::Transport;

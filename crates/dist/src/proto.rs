@@ -11,12 +11,20 @@
 //! | 3   | `Error`  | worker→coordinator | echoed shard id + UTF-8 message (the shard is re-planned) |
 //! | 4   | `Hello`  | worker→coordinator | handshake: protocol version + capability bits, the first frame on any link |
 //! | 5   | `Load`   | coordinator→worker | the full column matrix, shipped **once per worker** at registration |
+//! | 6   | `Ping`   | coordinator→worker | liveness probe (v3, [`CAP_HEARTBEAT`]); carries a sequence number |
+//! | 7   | `Pong`   | worker→coordinator | echoes the `Ping` sequence number |
+//! | 8   | `Progress` | worker→coordinator | per-assignment frontier report: the absolute rank (batch) or column (streaming) the executor has completed up to |
+//! | 9   | `Steal`  | coordinator→worker | asks the executor to give up the tail of assignment `id` (v3 batch workers only) |
+//! | 10  | `StealGrant` | worker→coordinator | the executor's answer: it will stop at `new_end` (`new_end == ranks.end` is a denial) — the coordinator re-enqueues `new_end..end` |
 //!
-//! Protocol v2 (this layout) split the v1 fat `Assign` into `Load` +
-//! slim `Assign`: the matrix dominates the frame bytes, and shipping it
-//! once per worker instead of once per assignment makes queued and
-//! re-planned shards free of matrix traffic (the saving is recorded in
-//! the BENCH `shards` section).
+//! Protocol v2 split the v1 fat `Assign` into `Load` + slim `Assign`:
+//! the matrix dominates the frame bytes, and shipping it once per worker
+//! instead of once per assignment makes queued and re-planned shards
+//! free of matrix traffic (the saving is recorded in the BENCH `shards`
+//! section). Protocol v3 adds the elastic frames (tags 6–10) behind the
+//! [`CAP_HEARTBEAT`] capability; a v3 coordinator still accepts v2
+//! workers ([`MIN_PROTOCOL_VERSION`]) and simply never sends them the
+//! new frames.
 //!
 //! All integers are `u64`/`u32` LE, all floats `f64` bit patterns —
 //! correlation values cross the wire losslessly, which is what lets the
@@ -45,19 +53,28 @@ pub const MAX_FRAME: usize = 1 << 30;
 pub const MAX_HELLO_FRAME: usize = 64;
 
 /// Version of the wire layout. v1 (PR 4) shipped the matrix inside every
-/// `Assign`; v2 added the `Hello` handshake and the `Load` frame. Both
-/// ends must agree exactly — there is no cross-version compatibility.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `Assign`; v2 added the `Hello` handshake and the `Load` frame; v3
+/// added the elastic frames (`Ping`/`Pong`/`Progress`/`Steal`/
+/// `StealGrant`) behind [`CAP_HEARTBEAT`].
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Oldest worker version a coordinator still admits. v2 workers lack the
+/// elastic frames, so the coordinator masks [`CAP_HEARTBEAT`] off their
+/// capabilities and falls back to the coarse per-assignment deadline.
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
 
 /// Capability bit: the worker can run [`WorkerMode::Batch`] shards.
 pub const CAP_BATCH: u32 = 1 << 0;
 /// Capability bit: the worker can run [`WorkerMode::StreamingReplay`]
 /// shards.
 pub const CAP_STREAMING: u32 = 1 << 1;
+/// Capability bit (v3): the worker answers `Ping`, reports per-assignment
+/// `Progress`, and negotiates `Steal`/`StealGrant`.
+pub const CAP_HEARTBEAT: u32 = 1 << 2;
 
 /// The capability bits this build's worker advertises in its [`Hello`].
 pub fn local_caps() -> u32 {
-    CAP_BATCH | CAP_STREAMING
+    CAP_BATCH | CAP_STREAMING | CAP_HEARTBEAT
 }
 
 /// The capability bit a coordinator requires for `mode`.
@@ -154,6 +171,42 @@ pub enum Message {
     /// assignment id so a frame that arrives after the coordinator gave
     /// up on it can be identified as stale and discarded.
     Error(u64, String),
+    /// Coordinator → worker (v3): liveness probe with a sequence number.
+    Ping(u64),
+    /// Worker → coordinator (v3): echo of a [`Message::Ping`] sequence
+    /// number, written immediately by the worker's reader thread — it
+    /// proves the *process* is alive even while the executor grinds.
+    Pong(u64),
+    /// Worker → coordinator (v3): the executor has completed the
+    /// assignment up to `frontier` (an absolute pair rank in batch mode,
+    /// an absolute column count in streaming replay). Progress resets the
+    /// coordinator's hung-worker deadline: a slow worker that keeps
+    /// reporting is *slow but alive*; one that stops is hung.
+    Progress {
+        /// The assignment being reported on.
+        assignment_id: u64,
+        /// Absolute frontier the executor has finished through.
+        frontier: u64,
+    },
+    /// Coordinator → worker (v3): asks the executor of `assignment_id` to
+    /// give up the tail of its rank interval for an idle worker.
+    Steal {
+        /// The straggling assignment.
+        assignment_id: u64,
+    },
+    /// Worker → coordinator (v3): the executor's binding answer to a
+    /// [`Message::Steal`] — it will stop at `new_end` and its `Result`
+    /// will cover exactly `ranks.start..new_end`. `new_end == ranks.end`
+    /// is a denial (nothing left worth stealing). The boundary is chosen
+    /// by the executor *between chunks*, which is what makes the split
+    /// race-free: the two sides of `new_end` are executed exactly once
+    /// each, so the merge stays bit-identical.
+    StealGrant {
+        /// The assignment being shrunk.
+        assignment_id: u64,
+        /// The new exclusive end of the worker's interval.
+        new_end: u64,
+    },
 }
 
 const TAG_ASSIGN: u8 = 1;
@@ -161,6 +214,11 @@ const TAG_RESULT: u8 = 2;
 const TAG_ERROR: u8 = 3;
 const TAG_HELLO: u8 = 4;
 const TAG_LOAD: u8 = 5;
+const TAG_PING: u8 = 6;
+const TAG_PONG: u8 = 7;
+const TAG_PROGRESS: u8 = 8;
+const TAG_STEAL: u8 = 9;
+const TAG_STEAL_GRANT: u8 = 10;
 
 /// Encodes a message into a frame payload (no length prefix).
 pub fn encode(msg: &Message) -> Vec<u8> {
@@ -216,6 +274,34 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             out.put_u64_le(*shard_id);
             out.put_u64_le(text.len() as u64);
             out.put_slice(text.as_bytes());
+        }
+        Message::Ping(seq) => {
+            out.put_u8(TAG_PING);
+            out.put_u64_le(*seq);
+        }
+        Message::Pong(seq) => {
+            out.put_u8(TAG_PONG);
+            out.put_u64_le(*seq);
+        }
+        Message::Progress {
+            assignment_id,
+            frontier,
+        } => {
+            out.put_u8(TAG_PROGRESS);
+            out.put_u64_le(*assignment_id);
+            out.put_u64_le(*frontier);
+        }
+        Message::Steal { assignment_id } => {
+            out.put_u8(TAG_STEAL);
+            out.put_u64_le(*assignment_id);
+        }
+        Message::StealGrant {
+            assignment_id,
+            new_end,
+        } => {
+            out.put_u8(TAG_STEAL_GRANT);
+            out.put_u64_le(*assignment_id);
+            out.put_u64_le(*new_end);
         }
     }
     out
@@ -337,6 +423,19 @@ pub fn decode(payload: &[u8]) -> Result<Message, String> {
             buf.advance(len);
             Message::Error(shard_id, text)
         }
+        TAG_PING => Message::Ping(take_u64(&mut buf, "ping seq")?),
+        TAG_PONG => Message::Pong(take_u64(&mut buf, "pong seq")?),
+        TAG_PROGRESS => Message::Progress {
+            assignment_id: take_u64(&mut buf, "progress id")?,
+            frontier: take_u64(&mut buf, "frontier")?,
+        },
+        TAG_STEAL => Message::Steal {
+            assignment_id: take_u64(&mut buf, "steal id")?,
+        },
+        TAG_STEAL_GRANT => Message::StealGrant {
+            assignment_id: take_u64(&mut buf, "grant id")?,
+            new_end: take_u64(&mut buf, "new_end")?,
+        },
         t => return Err(format!("unknown message tag {t}")),
     };
     if !buf.is_empty() {
@@ -678,6 +777,64 @@ mod tests {
             }
             other => panic!("wrong message: {other:?}"),
         }
+    }
+
+    #[test]
+    fn elastic_frames_roundtrip() {
+        let frames = [
+            Message::Ping(42),
+            Message::Pong(42),
+            Message::Progress {
+                assignment_id: 7,
+                frontier: 123_456,
+            },
+            Message::Steal { assignment_id: 7 },
+            Message::StealGrant {
+                assignment_id: 7,
+                new_end: 99,
+            },
+        ];
+        for msg in frames {
+            let payload = encode(&msg);
+            // All elastic frames are tiny control frames.
+            assert!(payload.len() <= 17, "{msg:?}: {} bytes", payload.len());
+            match (decode(&payload).unwrap(), &msg) {
+                (Message::Ping(a), Message::Ping(b)) => assert_eq!(a, *b),
+                (Message::Pong(a), Message::Pong(b)) => assert_eq!(a, *b),
+                (
+                    Message::Progress {
+                        assignment_id: a,
+                        frontier: f,
+                    },
+                    Message::Progress {
+                        assignment_id: b,
+                        frontier: g,
+                    },
+                ) => assert_eq!((a, f), (*b, *g)),
+                (Message::Steal { assignment_id: a }, Message::Steal { assignment_id: b }) => {
+                    assert_eq!(a, *b)
+                }
+                (
+                    Message::StealGrant {
+                        assignment_id: a,
+                        new_end: e,
+                    },
+                    Message::StealGrant {
+                        assignment_id: b,
+                        new_end: f,
+                    },
+                ) => assert_eq!((a, e), (*b, *f)),
+                (got, want) => panic!("{want:?} decoded as {got:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v3_hello_advertises_heartbeat_and_v2_range_is_sane() {
+        let h = Hello::local();
+        assert_eq!(h.version, PROTOCOL_VERSION);
+        assert_eq!(h.caps & CAP_HEARTBEAT, CAP_HEARTBEAT);
+        const { assert!(MIN_PROTOCOL_VERSION <= PROTOCOL_VERSION) }
     }
 
     #[test]

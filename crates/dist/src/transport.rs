@@ -31,6 +31,11 @@ pub trait Transport: Send {
     /// Writes one length-prefixed frame and flushes it.
     fn send(&mut self, payload: &[u8]) -> io::Result<()>;
 
+    /// Writes raw bytes (no framing) and flushes. Only the chaos layer
+    /// uses this — truncating a frame mid-write requires bypassing the
+    /// all-or-nothing framed `send`.
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()>;
+
     /// Takes the read half (at most once) for the reader thread.
     fn take_reader(&mut self) -> Option<Box<dyn Read + Send>>;
 
@@ -95,6 +100,15 @@ impl Transport for ChildTransport {
             .as_mut()
             .ok_or_else(|| io::Error::other("worker stdin already closed"))?;
         frame::write_to(stdin, payload)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| io::Error::other("worker stdin already closed"))?;
+        stdin.write_all(bytes)?;
+        stdin.flush()
     }
 
     fn take_reader(&mut self) -> Option<Box<dyn Read + Send>> {
@@ -164,6 +178,11 @@ impl Transport for TcpTransport {
         frame::write_to(&mut self.stream, payload)
     }
 
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
     fn take_reader(&mut self) -> Option<Box<dyn Read + Send>> {
         self.reader
             .take()
@@ -202,11 +221,17 @@ pub struct WorkerIo<R: Read, W: Write> {
 }
 
 impl WorkerIo<TcpStream, TcpStream> {
-    /// Connects to a listening coordinator, retrying for up to
-    /// `patience` (covers the two-terminal race where the worker starts
-    /// before the coordinator has bound its listener).
-    pub fn connect(addr: &str, patience: Duration) -> io::Result<Self> {
+    /// Connects to a listening coordinator, retrying with jittered
+    /// exponential backoff for up to `patience` (covers the two-terminal
+    /// race where the worker starts before the coordinator has bound its
+    /// listener, and the reconnect path after a dropped link). The delay
+    /// doubles from 100 ms up to a 2 s cap, each sleep stretched by a
+    /// seeded jitter of up to half the delay — a fleet of workers
+    /// restarting together must not re-dial in lockstep.
+    pub fn connect(addr: &str, patience: Duration, jitter_seed: u64) -> io::Result<Self> {
         let deadline = std::time::Instant::now() + patience;
+        let mut rng = crate::chaos::Rng::new(jitter_seed);
+        let mut delay = Duration::from_millis(100);
         loop {
             match TcpStream::connect(addr) {
                 Ok(stream) => {
@@ -217,10 +242,15 @@ impl WorkerIo<TcpStream, TcpStream> {
                     });
                 }
                 Err(e) => {
-                    if std::time::Instant::now() >= deadline {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
                         return Err(e);
                     }
-                    std::thread::sleep(Duration::from_millis(200));
+                    let jitter_ms = rng.range_u64(0, delay.as_millis() as u64 / 2 + 1);
+                    let sleep = (delay + Duration::from_millis(jitter_ms))
+                        .min(deadline.saturating_duration_since(now));
+                    std::thread::sleep(sleep);
+                    delay = (delay * 2).min(Duration::from_secs(2));
                 }
             }
         }
@@ -237,7 +267,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let client = std::thread::spawn(move || {
-            let mut io = WorkerIo::connect(&addr.to_string(), Duration::from_secs(5)).unwrap();
+            let mut io = WorkerIo::connect(&addr.to_string(), Duration::from_secs(5), 1).unwrap();
             // Echo one frame back, then wait for the EOF from close_send.
             let got = frame::read_from(&mut io.input, 1024).unwrap().unwrap();
             frame::write_to(&mut io.output, &got).unwrap();
@@ -263,7 +293,7 @@ mod tests {
         let addr = probe.local_addr().unwrap();
         drop(probe); // free the port; nothing is listening now
         let waiter = std::thread::spawn(move || {
-            WorkerIo::connect(&addr.to_string(), Duration::from_secs(10))
+            WorkerIo::connect(&addr.to_string(), Duration::from_secs(10), 2)
         });
         std::thread::sleep(Duration::from_millis(400));
         let listener = TcpListener::bind(addr).unwrap();

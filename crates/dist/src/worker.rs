@@ -10,15 +10,37 @@
 //! and writes one [`ShardResult`] frame back — until the coordinator
 //! closes the link. Engine-side failures are reported as `Error` frames
 //! (the worker survives and can take re-planned shards); transport
-//! failures and protocol damage end the process.
+//! failures and protocol damage end the serve call (the binary may then
+//! re-dial with `--reconnect`).
+//!
+//! Since protocol v3 the worker is **two threads**: a reader that
+//! answers `Ping` frames immediately and latches `Steal` requests, and
+//! an executor that runs assignments in rank *chunks*, emitting a
+//! [`Message::Progress`] frontier after each chunk. Between chunks the
+//! executor answers a pending steal request with a binding
+//! [`Message::StealGrant`]: it picks the split point itself (half the
+//! remaining interval), so the boundary can never race the chunk it is
+//! executing — the granted tail is work it provably has not started.
+//! Setting [`PROTO_ENV`]`=2` forces the old single-threaded v2 loop
+//! (no heartbeat frames), which is how the v2-compatibility path is
+//! exercised against a v3 coordinator.
 
 use crate::merge::flatten_windows;
 use crate::proto::{self, Assignment, Hello, Message, ShardResult, WorkerMode};
 use bytes::frame;
-use dangoron::{Dangoron, StreamingDangoron};
+use dangoron::{Dangoron, PruningStats, StreamingDangoron};
+use sketch::output::Edge;
 use std::io::{self, Read, Write};
-use std::time::Instant;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 use tsdata::TimeSeriesMatrix;
+
+/// Per-chunk output of a controlled execution: the rank interval a chunk
+/// covered and its window-major edge buffer, later re-interleaved by
+/// [`window_major_concat`] into the single-shot wire layout.
+type EdgeSegments = Vec<(Range<usize>, Vec<(u32, Edge)>)>;
 
 /// When this environment variable is set (to anything non-empty), the
 /// worker aborts with an I/O error upon receiving its first assignment —
@@ -28,8 +50,10 @@ use tsdata::TimeSeriesMatrix;
 pub const FAIL_ENV: &str = "DANGORON_SHARD_FAIL";
 
 /// When set to a millisecond count, the worker sleeps that long before
-/// answering each assignment — the deterministic hook for the
-/// coordinator's timeout/kill path.
+/// *starting* each assignment — no progress flows during the sleep, so
+/// this is the deterministic hook for the coordinator's hung-worker
+/// (timeout/kill) path. For a worker that is slow but demonstrably alive,
+/// use [`CHUNK_DELAY_ENV`] instead.
 pub const DELAY_ENV: &str = "DANGORON_SHARD_DELAY_MS";
 
 /// When set (non-empty), the worker writes every `Result` frame **twice**
@@ -39,25 +63,80 @@ pub const DELAY_ENV: &str = "DANGORON_SHARD_DELAY_MS";
 /// double-counted.
 pub const DUP_ENV: &str = "DANGORON_SHARD_DUP_RESULT";
 
+/// When set to a millisecond count, the executor sleeps that long before
+/// **every rank chunk** — a straggler that keeps reporting progress. The
+/// coordinator must *not* kill it (it is slow but alive), and its
+/// remaining interval is what the work-stealing path carves up.
+pub const CHUNK_DELAY_ENV: &str = "DANGORON_SHARD_CHUNK_DELAY_MS";
+
+/// Overrides the batch executor's chunk width in ranks (default: an
+/// eighth of the assignment, at least one rank) — tests force small
+/// chunks so progress and steal boundaries appear on small workloads.
+pub const CHUNK_RANKS_ENV: &str = "DANGORON_SHARD_CHUNK_RANKS";
+
+/// When set to `2`, the worker speaks protocol v2: the single-threaded
+/// serve loop, a version-2 `Hello` without [`proto::CAP_HEARTBEAT`], no
+/// progress or steal frames — the compatibility hook proving a v3
+/// coordinator still drives v2 workers.
+pub const PROTO_ENV: &str = "DANGORON_SHARD_PROTO";
+
 fn env_flag(name: &str) -> bool {
     std::env::var(name).is_ok_and(|v| !v.is_empty())
+}
+
+fn env_u64(name: &str) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The reader thread's lever on a running execution: latches a steal
+/// request for the executor to answer between chunks.
+#[derive(Debug, Default)]
+pub struct ExecControl {
+    steal: AtomicBool,
+}
+
+impl ExecControl {
+    /// Latches a steal request (reader side).
+    pub fn request_steal(&self) {
+        self.steal.store(true, Ordering::Release);
+    }
+
+    /// Consumes a pending steal request (executor side).
+    fn take_steal(&self) -> bool {
+        self.steal.swap(false, Ordering::AcqRel)
+    }
 }
 
 /// Serves assignments from `input`, writing results to `output`, until a
 /// clean end-of-stream. This is the whole body of the `dangoron-shard`
 /// binary (for both the pipe and TCP transports), kept here so the loop
 /// is unit-testable over in-memory pipes.
-pub fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
+pub fn serve<R: Read, W: Write + Send>(input: R, output: W) -> io::Result<()> {
+    if std::env::var(PROTO_ENV).ok().as_deref() == Some("2") {
+        serve_v2(input, output)
+    } else {
+        serve_v3(input, output)
+    }
+}
+
+/// The protocol-v2 serve loop: single-threaded, one frame in → one frame
+/// out, no heartbeat capability. Kept verbatim so [`PROTO_ENV`]`=2`
+/// exercises the real legacy behaviour against a v3 coordinator.
+fn serve_v2<R: Read, W: Write>(mut input: R, mut output: W) -> io::Result<()> {
     let inject_fail = env_flag(FAIL_ENV);
     let dup_result = env_flag(DUP_ENV);
-    let delay_ms: u64 = std::env::var(DELAY_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let delay_ms = env_u64(DELAY_ENV);
 
-    frame::write_to(output, &proto::encode(&Message::Hello(Hello::local())))?;
+    let hello = Hello {
+        version: 2,
+        caps: proto::CAP_BATCH | proto::CAP_STREAMING,
+    };
+    frame::write_to(&mut output, &proto::encode(&Message::Hello(hello)))?;
     let mut loaded: Option<TimeSeriesMatrix> = None;
-    while let Some(payload) = frame::read_from(input, proto::MAX_FRAME)? {
+    while let Some(payload) = frame::read_from(&mut input, proto::MAX_FRAME)? {
         let msg =
             proto::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let assignment = match msg {
@@ -79,7 +158,7 @@ pub fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
             ));
         }
         if delay_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            std::thread::sleep(Duration::from_millis(delay_ms));
         }
         let reply = match &loaded {
             Some(data) => match execute(&assignment, data) {
@@ -92,23 +171,187 @@ pub fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
             ),
         };
         let encoded = proto::encode(&reply);
-        frame::write_to(output, &encoded)?;
+        frame::write_to(&mut output, &encoded)?;
         if dup_result && matches!(reply, Message::Result(_)) {
-            frame::write_to(output, &encoded)?;
+            frame::write_to(&mut output, &encoded)?;
         }
     }
     Ok(())
 }
 
+/// One queued assignment on its way to the executor thread.
+struct Job {
+    a: Assignment,
+    data: Arc<TimeSeriesMatrix>,
+    ctl: Arc<ExecControl>,
+}
+
+fn write_frame<W: Write>(out: &Mutex<W>, msg: &Message) -> io::Result<()> {
+    let mut g = out.lock().expect("output writer poisoned");
+    frame::write_to(&mut *g, &proto::encode(msg))
+}
+
+/// The protocol-v3 serve loop: the calling thread reads frames (so
+/// `Ping`s are answered and `Steal`s latched even mid-execution) and a
+/// scoped executor thread runs assignments chunk by chunk, both writing
+/// through one mutex-guarded sink.
+fn serve_v3<R: Read, W: Write + Send>(mut input: R, output: W) -> io::Result<()> {
+    let inject_fail = env_flag(FAIL_ENV);
+    let dup_result = env_flag(DUP_ENV);
+    let delay_ms = env_u64(DELAY_ENV);
+    let chunk_delay_ms = env_u64(CHUNK_DELAY_ENV);
+    let chunk_ranks = env_u64(CHUNK_RANKS_ENV) as usize;
+
+    let out = Mutex::new(output);
+    write_frame(&out, &Message::Hello(Hello::local()))?;
+
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let out_ref = &out;
+        let exec = s.spawn(move || -> io::Result<()> {
+            for job in rx {
+                if delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+                let mut emit = |m: &Message| {
+                    // A failed control-frame write means the link broke;
+                    // the result write below surfaces the error.
+                    let _ = write_frame(out_ref, m);
+                };
+                let reply = match execute_controlled(
+                    &job.a,
+                    &job.data,
+                    &job.ctl,
+                    chunk_ranks,
+                    Duration::from_millis(chunk_delay_ms),
+                    &mut emit,
+                ) {
+                    Ok(result) => Message::Result(result),
+                    Err(e) => Message::Error(job.a.shard_id, e),
+                };
+                let encoded = proto::encode(&reply);
+                {
+                    let mut g = out_ref.lock().expect("output writer poisoned");
+                    frame::write_to(&mut *g, &encoded)?;
+                    if dup_result && matches!(reply, Message::Result(_)) {
+                        frame::write_to(&mut *g, &encoded)?;
+                    }
+                }
+            }
+            Ok(())
+        });
+
+        let mut loaded: Option<Arc<TimeSeriesMatrix>> = None;
+        let mut current: Option<(u64, Arc<ExecControl>)> = None;
+        let reader_res: io::Result<()> = loop {
+            let payload = match frame::read_from(&mut input, proto::MAX_FRAME) {
+                Ok(Some(p)) => p,
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            };
+            let msg = match proto::decode(&payload) {
+                Ok(m) => m,
+                Err(e) => break Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            };
+            match msg {
+                Message::Load(data) => loaded = Some(Arc::new(data)),
+                Message::Ping(seq) => {
+                    if let Err(e) = write_frame(&out, &Message::Pong(seq)) {
+                        break Err(e);
+                    }
+                }
+                Message::Steal { assignment_id } => {
+                    if let Some((id, ctl)) = &current {
+                        if *id == assignment_id {
+                            ctl.request_steal();
+                        }
+                    }
+                    // A steal for a finished assignment is simply stale;
+                    // the coordinator's Result handling already cleared it.
+                }
+                Message::Assign(a) => {
+                    if inject_fail {
+                        break Err(io::Error::other(
+                            "injected worker failure (DANGORON_SHARD_FAIL)",
+                        ));
+                    }
+                    let Some(data) = &loaded else {
+                        let err = Message::Error(
+                            a.shard_id,
+                            "assignment received before any Load frame".to_string(),
+                        );
+                        if let Err(e) = write_frame(&out, &err) {
+                            break Err(e);
+                        }
+                        continue;
+                    };
+                    let ctl = Arc::new(ExecControl::default());
+                    current = Some((a.shard_id, ctl.clone()));
+                    let job = Job {
+                        a,
+                        data: data.clone(),
+                        ctl,
+                    };
+                    if tx.send(job).is_err() {
+                        break Err(io::Error::other("executor thread ended early"));
+                    }
+                }
+                other => {
+                    break Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("worker received a worker-side frame: {other:?}"),
+                    ))
+                }
+            }
+        };
+        drop(tx);
+        let exec_res = exec
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("executor thread panicked")));
+        reader_res.and(exec_res)
+    })
+}
+
 /// Executes one assignment against the loaded matrix, producing the
-/// shard's sorted edge buffer and counters.
+/// shard's sorted edge buffer and counters. The uncontrolled single-shot
+/// path: no progress frames, no steal window — what the in-process tier
+/// and the v2 loop run.
 pub fn execute(a: &Assignment, data: &TimeSeriesMatrix) -> Result<ShardResult, String> {
     match a.mode {
         WorkerMode::Batch => execute_batch(a, data),
         WorkerMode::StreamingReplay {
             initial_cols,
             chunk_cols,
-        } => execute_streaming(a, data, initial_cols, chunk_cols),
+        } => execute_streaming_reporting(
+            a,
+            data,
+            initial_cols,
+            chunk_cols,
+            &ExecControl::default(),
+            &mut |_| {},
+        ),
+    }
+}
+
+/// Executes one assignment with a steal-control handle and a control-frame
+/// sink — the v3 executor path. Batch assignments run in rank chunks
+/// (progress after each, steal grants between); streaming assignments
+/// report per-append progress and deny steals (their rank interval is
+/// fixed at session open).
+pub fn execute_controlled(
+    a: &Assignment,
+    data: &TimeSeriesMatrix,
+    ctl: &ExecControl,
+    chunk_ranks: usize,
+    chunk_delay: Duration,
+    emit: &mut dyn FnMut(&Message),
+) -> Result<ShardResult, String> {
+    match a.mode {
+        WorkerMode::Batch => execute_batch_chunked(a, data, ctl, chunk_ranks, chunk_delay, emit),
+        WorkerMode::StreamingReplay {
+            initial_cols,
+            chunk_cols,
+        } => execute_streaming_reporting(a, data, initial_cols, chunk_cols, ctl, emit),
     }
 }
 
@@ -132,11 +375,117 @@ fn execute_batch(a: &Assignment, data: &TimeSeriesMatrix) -> Result<ShardResult,
     })
 }
 
-fn execute_streaming(
+/// The chunked batch executor: one `prepare_shard` over the full
+/// assignment, then `run_range` over successive rank chunks. After each
+/// chunk the absolute frontier goes out as a `Progress` frame; between
+/// chunks a latched steal request is answered with a binding
+/// `StealGrant` — the executor keeps the head half of its *remaining*
+/// interval and the coordinator re-enqueues the tail. Chunked execution
+/// is bit-identical to the single-shot run: sub-splitting one
+/// preparation is exactly the shard-invariance contract (proven in
+/// `core::engine` and `tests/shard_determinism.rs`).
+fn execute_batch_chunked(
+    a: &Assignment,
+    data: &TimeSeriesMatrix,
+    ctl: &ExecControl,
+    chunk_ranks: usize,
+    chunk_delay: Duration,
+    emit: &mut dyn FnMut(&Message),
+) -> Result<ShardResult, String> {
+    let engine = Dangoron::new(a.config.clone()).map_err(|e| format!("bad config: {e:?}"))?;
+    let t = Instant::now();
+    let prep = engine
+        .prepare_shard(data, a.query, a.ranks.clone())
+        .map_err(|e| format!("prepare failed: {e:?}"))?;
+    let prepare_s = t.elapsed().as_secs_f64();
+
+    let chunk = if chunk_ranks > 0 {
+        chunk_ranks
+    } else {
+        (a.ranks.len() / 8).max(1)
+    };
+    let n_windows = a.query.n_windows();
+    let mut stats = PruningStats::default();
+    let mut segments: EdgeSegments = Vec::new();
+    let mut query_s = 0.0;
+    let mut at = a.ranks.start;
+    let mut end = a.ranks.end;
+    emit(&Message::Progress {
+        assignment_id: a.shard_id,
+        frontier: at as u64,
+    });
+    loop {
+        if ctl.take_steal() {
+            let remaining = end.saturating_sub(at);
+            if remaining >= 2 {
+                // Keep the head half, grant the tail. `at` is work not
+                // yet started, so the boundary cannot race a chunk.
+                end = at + remaining / 2;
+            }
+            emit(&Message::StealGrant {
+                assignment_id: a.shard_id,
+                new_end: end as u64,
+            });
+        }
+        if at >= end {
+            break;
+        }
+        let next = (at + chunk).min(end);
+        if !chunk_delay.is_zero() {
+            std::thread::sleep(chunk_delay);
+        }
+        let t = Instant::now();
+        let result = engine.run_range(&prep, at..next);
+        query_s += t.elapsed().as_secs_f64();
+        stats.merge(&result.stats);
+        segments.push((at..next, flatten_windows(&result.matrices)));
+        at = next;
+        emit(&Message::Progress {
+            assignment_id: a.shard_id,
+            frontier: at as u64,
+        });
+    }
+    Ok(ShardResult {
+        shard_id: a.shard_id,
+        ranks: a.ranks.start..end,
+        prepare_s,
+        query_s,
+        stats,
+        edges: window_major_concat(segments, n_windows),
+    })
+}
+
+/// Re-interleaves per-chunk window-major buffers into one window-major
+/// buffer: for each window, the chunks' slices in rank order — the same
+/// concatenation the coordinator's merge performs, done worker-side so a
+/// chunked result is byte-identical on the wire to a single-shot one.
+fn window_major_concat(mut segments: EdgeSegments, n_windows: usize) -> Vec<(u32, Edge)> {
+    if segments.len() == 1 {
+        return segments.pop().expect("checked length").1;
+    }
+    segments.sort_by_key(|(r, _)| r.start);
+    let total = segments.iter().map(|(_, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut pos = vec![0usize; segments.len()];
+    for w in 0..n_windows as u32 {
+        for (k, (_, buf)) in segments.iter().enumerate() {
+            let start = pos[k];
+            while pos[k] < buf.len() && buf[pos[k]].0 == w {
+                pos[k] += 1;
+            }
+            out.extend_from_slice(&buf[start..pos[k]]);
+        }
+    }
+    out
+}
+
+fn execute_streaming_reporting(
     a: &Assignment,
     data: &TimeSeriesMatrix,
     initial_cols: usize,
     chunk_cols: usize,
+    ctl: &ExecControl,
+    emit: &mut dyn FnMut(&Message),
 ) -> Result<ShardResult, String> {
     if chunk_cols == 0 {
         return Err("streaming replay needs a positive chunk width".into());
@@ -163,7 +512,20 @@ fn execute_streaming(
         .drain_completed()
         .map_err(|e| format!("drain failed: {e:?}"))?;
     let mut at = initial_cols;
+    emit(&Message::Progress {
+        assignment_id: a.shard_id,
+        frontier: at as u64,
+    });
     while at < total {
+        if ctl.take_steal() {
+            // A streaming session's rank interval is fixed at open: deny
+            // by granting the unchanged end, which clears the
+            // coordinator's outstanding steal request.
+            emit(&Message::StealGrant {
+                assignment_id: a.shard_id,
+                new_end: a.ranks.end as u64,
+            });
+        }
         let next = (at + chunk_cols).min(total);
         let chunk = data
             .slice_columns(at, next)
@@ -174,6 +536,10 @@ fn execute_streaming(
                 .map_err(|e| format!("append failed: {e:?}"))?,
         );
         at = next;
+        emit(&Message::Progress {
+            assignment_id: a.shard_id,
+            frontier: at as u64,
+        });
     }
     let query_s = t.elapsed().as_secs_f64();
 
@@ -234,6 +600,15 @@ mod tests {
         msgs
     }
 
+    fn results(msgs: &[Message]) -> Vec<&ShardResult> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                Message::Result(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
     #[test]
     fn serve_round_trips_batch_and_streaming_over_in_memory_pipes() {
         let mut input = Vec::new();
@@ -255,18 +630,16 @@ mod tests {
         serve(&mut reader, &mut output).unwrap();
 
         let msgs = replies(&output);
-        assert_eq!(msgs.len(), 3, "hello + two results");
         match &msgs[0] {
             Message::Hello(h) => assert_eq!(*h, Hello::local()),
             other => panic!("first frame must be the handshake, got {other:?}"),
         }
-        let results: Vec<&ShardResult> = msgs
-            .iter()
-            .filter_map(|m| match m {
-                Message::Result(r) => Some(r),
-                _ => None,
-            })
-            .collect();
+        // The v3 loop interleaves Progress frames with the results.
+        assert!(
+            msgs.iter().any(|m| matches!(m, Message::Progress { .. })),
+            "v3 serve emitted no progress frames"
+        );
+        let results = results(&msgs);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].ranks, 0..28);
         assert_eq!(results[0].stats.n_pairs, 28);
@@ -276,6 +649,143 @@ mod tests {
             .all(|w| { (w[0].0, w[0].1.i, w[0].1.j) < (w[1].0, w[1].1.i, w[1].1.j) }));
         assert_eq!(results[1].ranks, 5..20);
         assert_eq!(results[1].stats.n_pairs % 15, 0, "15 pairs per drain");
+    }
+
+    #[test]
+    fn chunked_execution_is_bit_identical_to_single_shot() {
+        let d = data();
+        let a = assignment(WorkerMode::Batch, 3..26);
+        let single = execute(&a, &d).unwrap();
+        for chunk in [1usize, 2, 5, 23, 100] {
+            let chunked = execute_controlled(
+                &a,
+                &d,
+                &ExecControl::default(),
+                chunk,
+                Duration::ZERO,
+                &mut |_| {},
+            )
+            .unwrap();
+            assert_eq!(chunked.ranks, single.ranks, "chunk={chunk}");
+            assert_eq!(chunked.stats, single.stats, "chunk={chunk}");
+            assert_eq!(chunked.edges.len(), single.edges.len(), "chunk={chunk}");
+            for ((wa, ea), (wb, eb)) in single.edges.iter().zip(&chunked.edges) {
+                assert_eq!(wa, wb, "chunk={chunk}");
+                assert_eq!((ea.i, ea.j), (eb.i, eb.j), "chunk={chunk}");
+                assert_eq!(
+                    ea.value.to_bits(),
+                    eb.value.to_bits(),
+                    "chunk={chunk}: edge value drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steal_grant_shrinks_the_result_to_the_granted_boundary() {
+        let d = data();
+        let a = assignment(WorkerMode::Batch, 0..28);
+        let ctl = ExecControl::default();
+        ctl.request_steal(); // latched before the first chunk
+        let mut grants = Vec::new();
+        let r = execute_controlled(&a, &d, &ctl, 4, Duration::ZERO, &mut |m| {
+            if let Message::StealGrant { new_end, .. } = m {
+                grants.push(*new_end as usize);
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            grants,
+            vec![14],
+            "steal of 0..28 at frontier 0 grants 14..28"
+        );
+        assert_eq!(r.ranks, 0..14);
+        assert_eq!(r.stats.n_pairs, 14);
+        // Head + granted tail == the full interval, bitwise.
+        let tail = execute(&assignment(WorkerMode::Batch, 14..28), &d).unwrap();
+        let full = execute(&a, &d).unwrap();
+        assert_eq!(r.stats.n_pairs + tail.stats.n_pairs, full.stats.n_pairs);
+        let mut merged = PruningStats::default();
+        merged.merge(&r.stats);
+        merged.merge(&tail.stats);
+        assert_eq!(merged, full.stats);
+    }
+
+    #[test]
+    fn steal_of_an_exhausted_interval_is_denied() {
+        let d = data();
+        let a = assignment(WorkerMode::Batch, 0..1);
+        let ctl = ExecControl::default();
+        ctl.request_steal();
+        let mut grants = Vec::new();
+        let r = execute_controlled(&a, &d, &ctl, 4, Duration::ZERO, &mut |m| {
+            if let Message::StealGrant { new_end, .. } = m {
+                grants.push(*new_end as usize);
+            }
+        })
+        .unwrap();
+        assert_eq!(grants, vec![1], "denial echoes the unchanged end");
+        assert_eq!(r.ranks, 0..1);
+    }
+
+    #[test]
+    fn v2_env_forces_the_legacy_loop_without_heartbeat() {
+        // Env vars are process-global; this test owns PROTO_ENV (no other
+        // test in this binary sets it).
+        std::env::set_var(PROTO_ENV, "2");
+        let mut input = Vec::new();
+        for msg in [
+            Message::Load(data()),
+            Message::Assign(assignment(WorkerMode::Batch, 0..28)),
+        ] {
+            input.extend(frame::encode(&proto::encode(&msg)));
+        }
+        let mut reader: &[u8] = &input;
+        let mut output = Vec::new();
+        let res = serve(&mut reader, &mut output);
+        std::env::remove_var(PROTO_ENV);
+        res.unwrap();
+        let msgs = replies(&output);
+        assert_eq!(msgs.len(), 2, "v2 loop: hello + result, no progress");
+        match &msgs[0] {
+            Message::Hello(h) => {
+                assert_eq!(h.version, 2);
+                assert_eq!(h.caps & proto::CAP_HEARTBEAT, 0);
+            }
+            other => panic!("first frame must be the handshake, got {other:?}"),
+        }
+        assert!(matches!(msgs[1], Message::Result(_)));
+    }
+
+    #[test]
+    fn pings_are_answered_and_stale_steals_ignored() {
+        let mut input = Vec::new();
+        for msg in [
+            Message::Ping(7),
+            Message::Load(data()),
+            Message::Steal { assignment_id: 99 }, // no such assignment
+            Message::Assign(assignment(WorkerMode::Batch, 0..28)),
+            Message::Ping(8),
+        ] {
+            input.extend(frame::encode(&proto::encode(&msg)));
+        }
+        let mut reader: &[u8] = &input;
+        let mut output = Vec::new();
+        serve(&mut reader, &mut output).unwrap();
+        let msgs = replies(&output);
+        let pongs: Vec<u64> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Pong(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pongs, vec![7, 8]);
+        assert_eq!(results(&msgs).len(), 1);
+        assert!(
+            !msgs.iter().any(|m| matches!(m, Message::StealGrant { .. })),
+            "a stale steal must not be granted"
+        );
     }
 
     #[test]
@@ -295,13 +805,15 @@ mod tests {
         serve(&mut reader, &mut output).unwrap();
 
         let msgs = replies(&output);
-        assert_eq!(msgs.len(), 3);
-        assert!(matches!(msgs[0], Message::Hello(_)));
-        match &msgs[1] {
-            Message::Error(id, _) => assert_eq!(*id, 1, "error echoes the assignment id"),
-            other => panic!("expected an Error frame, got {other:?}"),
-        }
-        assert!(matches!(msgs[2], Message::Result(_)), "{:?}", msgs[2]);
+        let errors: Vec<u64> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Error(id, _) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(errors, vec![1], "error echoes the assignment id");
+        assert_eq!(results(&msgs).len(), 1);
     }
 
     #[test]

@@ -94,6 +94,17 @@ fn specimens() -> Vec<Message> {
             ],
         }),
         Message::Error(11, "shard exploded".into()),
+        Message::Ping(u64::MAX),
+        Message::Pong(0),
+        Message::Progress {
+            assignment_id: 9,
+            frontier: 123_456,
+        },
+        Message::Steal { assignment_id: 9 },
+        Message::StealGrant {
+            assignment_id: 9,
+            new_end: 777,
+        },
     ]
 }
 
@@ -131,6 +142,29 @@ fn same(a: &Message, b: &Message) -> bool {
                 })
         }
         (Message::Error(xi, xt), Message::Error(yi, yt)) => xi == yi && xt == yt,
+        (Message::Ping(x), Message::Ping(y)) => x == y,
+        (Message::Pong(x), Message::Pong(y)) => x == y,
+        (
+            Message::Progress {
+                assignment_id: xa,
+                frontier: xf,
+            },
+            Message::Progress {
+                assignment_id: ya,
+                frontier: yf,
+            },
+        ) => xa == ya && xf == yf,
+        (Message::Steal { assignment_id: x }, Message::Steal { assignment_id: y }) => x == y,
+        (
+            Message::StealGrant {
+                assignment_id: xa,
+                new_end: xe,
+            },
+            Message::StealGrant {
+                assignment_id: ya,
+                new_end: ye,
+            },
+        ) => xa == ya && xe == ye,
         _ => false,
     }
 }
@@ -165,7 +199,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn mutated_frames_never_panic(which in 0usize..6, at_frac in 0.0f64..1.0, xor in 1u8..=255) {
+    fn mutated_frames_never_panic(which in 0usize..11, at_frac in 0.0f64..1.0, xor in 1u8..=255) {
         let msg = &specimens()[which];
         let mut payload = proto::encode(msg);
         let at = ((payload.len() - 1) as f64 * at_frac) as usize;

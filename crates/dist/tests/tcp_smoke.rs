@@ -60,6 +60,21 @@ fn bind_and_spawn(n: usize, envs: &[Vec<(&str, &str)>]) -> (TcpListener, String,
     (listener, addr, children)
 }
 
+/// One worker dialing `addr`, with extra CLI flags and environment.
+fn spawn_worker(addr: &str, extra_args: &[&str], envs: &[(&str, &str)]) -> Child {
+    let mut cmd = Command::new(worker_bin());
+    cmd.arg("--connect")
+        .arg(addr)
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn dangoron-shard --connect")
+}
+
 fn coordinator(n_shards: usize, n_workers: usize, mode: WorkerMode) -> CoordinatorConfig {
     CoordinatorConfig {
         transport: TransportMode::Tcp {
@@ -208,6 +223,104 @@ fn duplicate_final_frames_are_discarded_not_double_counted() {
         "duplicated frames leaked into the merge"
     );
     assert_eq!(dist.stats, single.stats, "stats were double-counted");
+}
+
+#[test]
+fn late_joining_worker_is_admitted_and_dealt_work() {
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    // One slow worker starts the run (per-chunk delay keeps it busy for
+    // seconds); a second, fast worker dials in 300 ms later and must be
+    // admitted mid-run and dealt the pending shards.
+    let (listener, addr, children) = bind_and_spawn(
+        1,
+        &[vec![
+            (dist::worker::CHUNK_DELAY_ENV, "150"),
+            (dist::worker::CHUNK_RANKS_ENV, "8"),
+        ]],
+    );
+    let late = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        spawn_worker(&addr, &[], &[])
+    });
+    let ccfg = coordinator(4, 1, WorkerMode::Batch);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(children);
+    reap(vec![late.join().unwrap()]);
+
+    assert!(dist.coord.late_joins >= 1, "the late worker never joined");
+    assert!(
+        windows_bit_identical(&dist.matrices, &single.matrices),
+        "elastic membership changed the merged result"
+    );
+    assert_eq!(dist.stats, single.stats);
+}
+
+#[test]
+fn straggler_tail_is_stolen_by_idle_worker() {
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    // Worker 0 crawls (200 ms per 4-rank chunk, while demonstrably alive
+    // through its progress frames); worker 1 races through the rest of
+    // the queue, goes idle, and must be handed the straggler's tail.
+    let (listener, _, children) = bind_and_spawn(
+        2,
+        &[
+            vec![
+                (dist::worker::CHUNK_DELAY_ENV, "200"),
+                (dist::worker::CHUNK_RANKS_ENV, "4"),
+            ],
+            vec![],
+        ],
+    );
+    let mut ccfg = coordinator(4, 2, WorkerMode::Batch);
+    ccfg.steal_after = Duration::from_millis(100);
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(children);
+
+    assert!(dist.coord.steals >= 1, "no steal was ever granted");
+    assert!(
+        dist.shards.len() > 4,
+        "a granted steal must split a shard into extra summaries"
+    );
+    assert_eq!(dist.coord.worker_failures, 0, "stealing is not a failure");
+    assert!(
+        windows_bit_identical(&dist.matrices, &single.matrices),
+        "work-stealing changed the merged result"
+    );
+    assert_eq!(dist.stats, single.stats, "stolen intervals double-counted");
+}
+
+#[test]
+fn dropped_worker_reconnects_and_is_readmitted() {
+    let (data, query, cfg) = workload();
+    let single = coord::run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    // The chaos layer severs the sole worker's link right after its first
+    // assignment (frame 1 = Load, frame 2 = Assign). The worker, started
+    // with `--reconnect`, re-dials and must be re-admitted as a new
+    // member; its lost assignment is re-planned onto the new identity.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let child = spawn_worker(&addr, &["--reconnect", "3"], &[]);
+    let mut ccfg = coordinator(4, 1, WorkerMode::Batch);
+    ccfg.chaos = Some(dist::FaultPlan::Explicit(vec![dist::LinkFaults {
+        kill_after_frames: Some(2),
+        ..Default::default()
+    }]));
+    let dist = coord::run_with_listener(&ccfg, listener, &cfg, &data, query).unwrap();
+    reap(vec![child]);
+
+    assert!(dist.coord.worker_failures >= 1, "the cut link never died");
+    assert!(dist.coord.replans >= 1, "lost work was not re-planned");
+    assert!(
+        dist.coord.late_joins >= 1,
+        "the reconnecting worker was never re-admitted"
+    );
+    assert!(
+        windows_bit_identical(&dist.matrices, &single.matrices),
+        "reconnect/replan changed the merged result"
+    );
+    assert_eq!(dist.stats, single.stats);
 }
 
 #[test]

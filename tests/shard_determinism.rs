@@ -210,6 +210,112 @@ proptest! {
 }
 
 #[test]
+fn chunked_execution_is_partition_invariant() {
+    // The v3 worker executes batch assignments in chunks (so it can
+    // report progress and answer steals between them). Chunking is pure
+    // scheduling: any chunk size over any partition must reproduce the
+    // unsharded engine bit-for-bit.
+    let (data, query) = workload();
+    let cfg = engine_cfg(BoundMode::PaperJump { slack: 0.0 });
+    let single = run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    for chunk in [1usize, 3, 8, 64] {
+        let mut stats = PruningStats::default();
+        let mut segments = Vec::new();
+        for w in [0usize, 13, 30, N_PAIRS].windows(2) {
+            let a = Assignment {
+                shard_id: w[0] as u64,
+                ranks: w[0]..w[1],
+                mode: WorkerMode::Batch,
+                config: cfg.clone(),
+                query,
+            };
+            let r = worker::execute_controlled(
+                &a,
+                &data,
+                &worker::ExecControl::default(),
+                chunk,
+                std::time::Duration::ZERO,
+                &mut |_| {},
+            )
+            .expect("chunked shard execution");
+            stats.merge(&r.stats);
+            segments.push((r.ranks, r.edges));
+        }
+        let n_windows = expected_windows(WorkerMode::Batch, &cfg, data.len(), &query);
+        let matrices = merge_shard_edges(
+            data.n_series(),
+            query.threshold,
+            cfg.edge_rule,
+            n_windows,
+            segments,
+        );
+        assert!(
+            windows_bit_identical(&matrices, &single.matrices),
+            "chunk={chunk}: chunked execution changed the edges"
+        );
+        assert_eq!(stats, single.stats, "chunk={chunk}");
+    }
+}
+
+#[test]
+fn steal_shrink_plus_stolen_tail_reproduce_the_unsharded_engine() {
+    // A steal splits one interval into victim head + stolen tail at a
+    // boundary the executor picks between chunks. Head and tail are
+    // executed by different code paths at different times — their merge
+    // must still be the unsharded answer, exactly.
+    let (data, query) = workload();
+    let cfg = engine_cfg(BoundMode::PaperJump { slack: 0.0 });
+    let single = run_single_process(WorkerMode::Batch, &cfg, &data, query).unwrap();
+    let ctl = worker::ExecControl::default();
+    ctl.request_steal(); // latched before the first chunk boundary
+    let mut granted = None;
+    let a = Assignment {
+        shard_id: 1,
+        ranks: 0..N_PAIRS,
+        mode: WorkerMode::Batch,
+        config: cfg.clone(),
+        query,
+    };
+    let victim =
+        worker::execute_controlled(&a, &data, &ctl, 7, std::time::Duration::ZERO, &mut |m| {
+            if let dist::proto::Message::StealGrant { new_end, .. } = m {
+                granted = Some(*new_end as usize);
+            }
+        })
+        .expect("victim execution");
+    let new_end = granted.expect("no steal grant emitted");
+    assert!(0 < new_end && new_end < N_PAIRS, "grant did not split");
+    assert_eq!(victim.ranks, 0..new_end, "result does not honour the grant");
+    let tail = worker::execute(
+        &Assignment {
+            shard_id: 2,
+            ranks: new_end..N_PAIRS,
+            mode: WorkerMode::Batch,
+            config: cfg.clone(),
+            query,
+        },
+        &data,
+    )
+    .expect("stolen-tail execution");
+    let mut stats = PruningStats::default();
+    stats.merge(&victim.stats);
+    stats.merge(&tail.stats);
+    let n_windows = expected_windows(WorkerMode::Batch, &cfg, data.len(), &query);
+    let matrices = merge_shard_edges(
+        data.n_series(),
+        query.threshold,
+        cfg.edge_rule,
+        n_windows,
+        vec![(victim.ranks, victim.edges), (tail.ranks, tail.edges)],
+    );
+    assert!(
+        windows_bit_identical(&matrices, &single.matrices),
+        "victim head + stolen tail do not merge to the unsharded result"
+    );
+    assert_eq!(stats, single.stats, "steal double-counted or lost stats");
+}
+
+#[test]
 fn rank_space_is_the_sharding_key() {
     // Sanity-pin the contract the whole tier rests on: rank order equals
     // lexicographic (i, j) order, so contiguous rank shards concatenate
