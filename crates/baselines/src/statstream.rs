@@ -84,7 +84,7 @@ impl StatStream {
                 let Some(ci) = &specs[i] else { continue };
                 for j in (i + 1)..n {
                     let Some(cj) = &specs[j] else { continue };
-                    let est: f64 = ci.iter().zip(cj).map(|(a, b)| a * b).sum::<f64>() / l as f64;
+                    let est: f64 = kernel::dot(ci, cj) / l as f64;
                     if est < query.threshold - self.margin {
                         continue;
                     }

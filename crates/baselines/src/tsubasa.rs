@@ -164,15 +164,17 @@ fn combine_tsubasa(
     let mut sxx = 0.0;
     let mut syy = 0.0;
     let mut sxy = 0.0;
+    // The per-window accumulation order below IS the replicated algorithm
+    // (cost model and rounding alike), so it stays off the kernel path.
     for b in b0..b1 {
         let a = store.basic_stats(i, b);
         let c = store.basic_stats(j, b);
-        n += a.n;
-        sx += a.sum;
-        sxx += a.sum_sq;
-        sy += c.sum;
-        syy += c.sum_sq;
-        sxy += pair.cross_sum(b, b + 1);
+        n += a.n; // lint:allow(float-reduction-outside-kernel) -- literal TSUBASA walk
+        sx += a.sum; // lint:allow(float-reduction-outside-kernel) -- literal TSUBASA walk
+        sxx += a.sum_sq; // lint:allow(float-reduction-outside-kernel) -- literal TSUBASA walk
+        sy += c.sum; // lint:allow(float-reduction-outside-kernel) -- literal TSUBASA walk
+        syy += c.sum_sq; // lint:allow(float-reduction-outside-kernel) -- literal TSUBASA walk
+        sxy += pair.cross_sum(b, b + 1); // lint:allow(float-reduction-outside-kernel) -- literal TSUBASA walk
     }
     pearson_from_sums(n, sx, sy, sxx, syy, sxy).ok()
 }

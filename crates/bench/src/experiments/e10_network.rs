@@ -73,7 +73,7 @@ pub fn run(scale: Scale) -> String {
     let mean_j = if jaccard.is_empty() {
         1.0
     } else {
-        jaccard.iter().sum::<f64>() / jaccard.len() as f64
+        kernel::sum(&jaccard) / jaccard.len() as f64
     };
 
     let mut out = s_table.render();

@@ -83,8 +83,8 @@ pub fn run(scale: Scale) -> String {
         ],
     );
     for e in engines {
-        let mut precision = 0.0;
-        let mut recall = 0.0;
+        let mut precisions = Vec::new();
+        let mut recalls = Vec::new();
         let mut f1s = Vec::new();
         let mut max_err = 0.0f64;
         for &seed in &SEEDS {
@@ -92,13 +92,15 @@ pub fn run(scale: Scale) -> String {
             let truth = workloads::ground_truth(&w).expect("ground truth");
             let got = e.execute(&w.data, w.query).expect("engine run");
             let r = eval::compare(&got, &truth);
-            precision += r.precision;
-            recall += r.recall;
+            precisions.push(r.precision);
+            recalls.push(r.recall);
             f1s.push(r.f1);
             max_err = max_err.max(r.max_value_err);
         }
         let k = SEEDS.len() as f64;
-        let f1_mean = f1s.iter().sum::<f64>() / k;
+        let precision = kernel::sum(&precisions);
+        let recall = kernel::sum(&recalls);
+        let f1_mean = kernel::sum(&f1s) / k;
         let (f1_min, f1_max) = f1s
             .iter()
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {

@@ -359,13 +359,13 @@ fn main() {
         write_or_die(path, &network::export::to_temporal_csv(&result.matrices));
     }
     if let Some(path) = &args.export_dot {
-        // DOT renders one graph; dump the busiest window.
-        let busiest = result
-            .matrices
-            .iter()
-            .max_by_key(|m| m.n_edges())
-            .expect("at least one window");
-        write_or_die(path, &network::export::to_dot(busiest, None));
+        // DOT renders one graph; dump the busiest window (a run always
+        // produces at least one, but degrade to a skipped export rather
+        // than a panic if that ever changes).
+        match result.matrices.iter().max_by_key(|m| m.n_edges()) {
+            Some(busiest) => write_or_die(path, &network::export::to_dot(busiest, None)),
+            None => eprintln!("dangoron-coord: no windows to export as DOT"),
+        }
     }
 }
 

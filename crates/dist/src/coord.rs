@@ -673,7 +673,11 @@ fn run_inner(
                 }),
             )
         }
-        (TransportMode::Tcp { .. }, None) => unreachable!("run binds before run_inner"),
+        (TransportMode::Tcp { .. }, None) => {
+            return Err(CoordError::Internal(
+                "TCP mode reached run_inner without a bound listener".into(),
+            ))
+        }
     };
     let transport_kind = links
         .first()
@@ -774,7 +778,9 @@ fn run_inner(
             if !workers[w].alive || busy.contains_key(&w) {
                 continue;
             }
-            let shard = pending.pop_front().expect("checked non-empty");
+            let Some(shard) = pending.pop_front() else {
+                break;
+            };
             let id = next_id;
             next_id += 1;
             let assignment = Assignment {
@@ -842,8 +848,10 @@ fn run_inner(
                     let payload = proto::encode(&Message::Steal { assignment_id: id });
                     match workers[w].send(&payload) {
                         Ok(()) => {
-                            busy.get_mut(&w).expect("victim is busy").steal_sent = true;
-                            coord.steal_requests += 1;
+                            if let Some(o) = busy.get_mut(&w) {
+                                o.steal_sent = true;
+                                coord.steal_requests += 1;
+                            }
                         }
                         Err(_) => {
                             workers[w].abandon();
@@ -918,7 +926,9 @@ fn run_inner(
             .map(|(&w, _)| w)
             .collect();
         for w in hung {
-            let o = busy.remove(&w).expect("just listed");
+            let Some(o) = busy.remove(&w) else {
+                continue;
+            };
             workers[w].abandon();
             coord.worker_failures += 1;
             eprintln!(
@@ -954,11 +964,19 @@ fn run_inner(
         let wait = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(wait) {
             Ok(Event::Joined(transport, reader, hello)) => {
+                // Only elastic runs keep the Load frame (and only they
+                // spawn an acceptor); a Joined event without it would be
+                // a membership-state bug, not a peer failure.
+                let Some(load) = load_payload.as_deref() else {
+                    return Err(CoordError::Internal(
+                        "late-join event on a fixed membership (Load frame already freed)".into(),
+                    ));
+                };
                 if register_worker(
                     transport,
                     reader,
                     hello,
-                    load_payload.as_deref().expect("elastic runs keep the Load"),
+                    load,
                     cfg.chaos.as_ref(),
                     &mut link_seq,
                     &mut workers,
@@ -983,9 +1001,11 @@ fn run_inner(
                         // final in-flight result, or a duplicate — and
                         // merging it would double count the shard's edges;
                         // it is discarded by id.
-                        match busy.get(&w) {
-                            Some(o) if res.shard_id == o.id => {
-                                let o = busy.remove(&w).expect("just found");
+                        match busy.get(&w).map(|o| o.id) {
+                            Some(id) if res.shard_id == id => {
+                                let Some(o) = busy.remove(&w) else {
+                                    continue;
+                                };
                                 stats.merge(&res.stats);
                                 summaries.push(ShardSummary {
                                     ranks: res.ranks.clone(),
@@ -997,13 +1017,13 @@ fn run_inner(
                                 });
                                 segments.push((res.ranks, res.edges));
                             }
-                            Some(o) if res.shard_id < o.id => {
+                            Some(id) if res.shard_id < id => {
                                 coord.stale_frames += 1;
                             }
-                            Some(o) => {
+                            Some(id) => {
                                 return Err(CoordError::Internal(format!(
                                     "worker {w} answered assignment {} while {} was outstanding",
-                                    res.shard_id, o.id
+                                    res.shard_id, id
                                 )));
                             }
                             None => {
@@ -1016,9 +1036,11 @@ fn run_inner(
                         // shard is re-planned (possibly back onto the same
                         // worker). Stale error frames are discarded like
                         // stale results.
-                        match busy.get(&w) {
-                            Some(o) if id == o.id => {
-                                let o = busy.remove(&w).expect("just found");
+                        match busy.get(&w).map(|o| o.id) {
+                            Some(outstanding) if id == outstanding => {
+                                let Some(o) = busy.remove(&w) else {
+                                    continue;
+                                };
                                 eprintln!("dist: worker {w} reported: {text}");
                                 replan(o.shard, live(&workers), &mut pending, &mut coord)?;
                             }
@@ -1328,7 +1350,10 @@ fn accept_tcp_workers(
                 let _ = stream.set_write_timeout(Some(io_timeout.max(Duration::from_secs(1))));
                 match TcpTransport::new(stream) {
                     Ok(mut transport) => {
-                        let mut reader = transport.take_reader().expect("fresh transport");
+                        let Some(mut reader) = transport.take_reader() else {
+                            eprintln!("dist: dropping {peer}: read half unavailable");
+                            continue;
+                        };
                         let tx = tx.clone();
                         in_flight += 1;
                         std::thread::spawn(move || {
@@ -1385,7 +1410,10 @@ fn accept_loop(
                 let _ = stream.set_write_timeout(Some(io_timeout.max(Duration::from_secs(1))));
                 match TcpTransport::new(stream) {
                     Ok(mut transport) => {
-                        let mut reader = transport.take_reader().expect("fresh transport");
+                        let Some(mut reader) = transport.take_reader() else {
+                            eprintln!("dist: dropping late peer {peer}: read half unavailable");
+                            continue;
+                        };
                         let tx = tx.clone();
                         std::thread::spawn(move || match handshake(&mut *reader, needed_cap) {
                             Ok(hello) => {

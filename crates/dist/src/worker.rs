@@ -187,7 +187,12 @@ struct Job {
 }
 
 fn write_frame<W: Write>(out: &Mutex<W>, msg: &Message) -> io::Result<()> {
-    let mut g = out.lock().expect("output writer poisoned");
+    // A poisoned sink means a sibling writer panicked mid-frame; keep
+    // writing anyway — the coordinator's hardened decoder treats any
+    // torn frame as link damage, which is the correct failure mode.
+    let mut g = out
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     frame::write_to(&mut *g, &proto::encode(msg))
 }
 
@@ -231,7 +236,11 @@ fn serve_v3<R: Read, W: Write + Send>(mut input: R, output: W) -> io::Result<()>
                 };
                 let encoded = proto::encode(&reply);
                 {
-                    let mut g = out_ref.lock().expect("output writer poisoned");
+                    // See write_frame on poisoning: keep writing, the
+                    // peer's decoder handles torn frames.
+                    let mut g = out_ref
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     frame::write_to(&mut *g, &encoded)?;
                     if dup_result && matches!(reply, Message::Result(_)) {
                         frame::write_to(&mut *g, &encoded)?;
@@ -436,6 +445,7 @@ fn execute_batch_chunked(
         }
         let t = Instant::now();
         let result = engine.run_range(&prep, at..next);
+        // lint:allow(float-reduction-outside-kernel) -- wall-clock accounting across chunks, not a data-plane reduction
         query_s += t.elapsed().as_secs_f64();
         stats.merge(&result.stats);
         segments.push((at..next, flatten_windows(&result.matrices)));
@@ -461,7 +471,9 @@ fn execute_batch_chunked(
 /// chunked result is byte-identical on the wire to a single-shot one.
 fn window_major_concat(mut segments: EdgeSegments, n_windows: usize) -> Vec<(u32, Edge)> {
     if segments.len() == 1 {
-        return segments.pop().expect("checked length").1;
+        if let Some((_, only)) = segments.pop() {
+            return only;
+        }
     }
     segments.sort_by_key(|(r, _)| r.start);
     let total = segments.iter().map(|(_, b)| b.len()).sum();

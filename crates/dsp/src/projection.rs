@@ -64,7 +64,7 @@ impl TimeIndexedProjection {
     /// length `len`.
     pub fn estimate_correlation(sx: &[f64], sy: &[f64], len: usize) -> f64 {
         debug_assert_eq!(sx.len(), sy.len());
-        let dot: f64 = sx.iter().zip(sy).map(|(a, b)| a * b).sum();
+        let dot: f64 = kernel::dot(sx, sy);
         (dot / len as f64).clamp(-1.0, 1.0)
     }
 }
@@ -97,8 +97,8 @@ impl SlidingSketch {
         let mut sum_sq = 0.0;
         for (off, &x) in series[t0..t0 + len].iter().enumerate() {
             let t = t0 + off;
-            sum += x;
-            sum_sq += x * x;
+            sum += x; // lint:allow(float-reduction-outside-kernel) -- incremental sliding state: init and slide share one sequential update order so a slid window equals a fresh build exactly
+            sum_sq += x * x; // lint:allow(float-reduction-outside-kernel) -- incremental sliding state: init and slide share one sequential update order so a slid window equals a fresh build exactly
             for r in 0..proj.dim {
                 let e = proj.entry(r, t);
                 raw_dot[r] += e * x;
@@ -149,8 +149,8 @@ impl SlidingSketch {
         #[allow(clippy::needless_range_loop)]
         for t in self.t0 + self.len..new_t0 + self.len {
             let x = series[t];
-            self.sum += x;
-            self.sum_sq += x * x;
+            self.sum += x; // lint:allow(float-reduction-outside-kernel) -- incremental sliding state: init and slide share one sequential update order so a slid window equals a fresh build exactly
+            self.sum_sq += x * x; // lint:allow(float-reduction-outside-kernel) -- incremental sliding state: init and slide share one sequential update order so a slid window equals a fresh build exactly
             for r in 0..self.proj.dim {
                 let e = self.proj.entry(r, t);
                 self.raw_dot[r] += e * x;

@@ -89,7 +89,7 @@ pub fn forward_naive(signal: &[f64]) -> Vec<f64> {
     for (c, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
         for (t, &x) in signal.iter().enumerate() {
-            acc += x * basis_value(n, c, t);
+            acc += x * basis_value(n, c, t); // lint:allow(float-reduction-outside-kernel) -- naive O(n^2) oracle, deliberately independent of the kernels it checks
         }
         *o = acc;
         let _ = nf;
@@ -104,7 +104,7 @@ pub fn inverse_naive(coeffs: &[f64]) -> Vec<f64> {
     for (t, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
         for (c, &a) in coeffs.iter().enumerate() {
-            acc += a * basis_value(n, c, t);
+            acc += a * basis_value(n, c, t); // lint:allow(float-reduction-outside-kernel) -- naive O(n^2) oracle, deliberately independent of the kernels it checks
         }
         *o = acc;
     }

@@ -47,7 +47,10 @@ pub fn compare(got: &[ThresholdedMatrix], truth: &[ThresholdedMatrix]) -> Accura
     let mut fp = 0usize;
     let mut fn_ = 0usize;
     let mut max_err: f64 = 0.0;
-    let mut sum_err = 0.0;
+    // Walking the engine's edge list (not the map) keeps the error
+    // accumulation order deterministic; the reduction itself goes through
+    // the kernel like every other data-plane sum.
+    let mut errs = Vec::new();
     for (g, t) in got.iter().zip(truth) {
         let tmap: HashMap<(usize, usize), f64> = t
             .edges()
@@ -59,13 +62,13 @@ pub fn compare(got: &[ThresholdedMatrix], truth: &[ThresholdedMatrix]) -> Accura
             .iter()
             .map(|e| ((e.i as usize, e.j as usize), e.value))
             .collect();
-        for (pair, gv) in &gmap {
-            match tmap.get(pair) {
+        for e in g.edges() {
+            match tmap.get(&(e.i as usize, e.j as usize)) {
                 Some(tv) => {
                     tp += 1;
-                    let err = (gv - tv).abs();
+                    let err = (e.value - tv).abs();
                     max_err = max_err.max(err);
-                    sum_err += err;
+                    errs.push(err);
                 }
                 None => fp += 1,
             }
@@ -76,6 +79,7 @@ pub fn compare(got: &[ThresholdedMatrix], truth: &[ThresholdedMatrix]) -> Accura
             }
         }
     }
+    let sum_err = kernel::sum(&errs);
     let precision = if tp + fp == 0 {
         1.0
     } else {

@@ -18,6 +18,9 @@ use core::arch::x86_64::*;
 
 /// Store the four lanes of `v` to an array (lane `l` of the register is
 /// canonical lane `l`).
+// SAFETY: the only unsafe operation is `_mm256_storeu_pd`, an unaligned
+// store of exactly 4 f64 into `out`, which is exactly 4 f64 long; the
+// avx2 target feature is guaranteed by the caller (dispatcher check).
 #[inline]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn lanes_of(v: __m256d) -> [f64; LANES] {
@@ -27,6 +30,9 @@ unsafe fn lanes_of(v: __m256d) -> [f64; LANES] {
 }
 
 /// See [`scalar::dot`].
+// SAFETY: caller must guarantee avx2+fma (the dispatcher's `avx2_active`
+// check). Unaligned loads read lanes `k*4 .. k*4+4` with `k < len/4`
+// (length equality asserted first), so every pointer stays in bounds.
 #[target_feature(enable = "avx2,fma")]
 pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
@@ -40,7 +46,26 @@ pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
     scalar::finish_fma(lanes_of(acc), &x[blocks * LANES..], &y[blocks * LANES..])
 }
 
+/// See [`scalar::sum`].
+// SAFETY: caller must guarantee avx2+fma. Unaligned loads read lanes
+// `k*4 .. k*4+4` with `k < x.len()/4` — always in bounds.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn sum(x: &[f64]) -> f64 {
+    let blocks = x.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    for k in 0..blocks {
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(x.as_ptr().add(k * LANES)));
+    }
+    let mut s = lanes_of(acc);
+    for (l, &v) in x[blocks * LANES..].iter().enumerate() {
+        s[l] += v;
+    }
+    scalar::reduce_add(s)
+}
+
 /// See [`scalar::sum_squares`].
+// SAFETY: caller must guarantee avx2+fma. Unaligned loads read lanes
+// `k*4 .. k*4+4` with `k < x.len()/4` — always in bounds.
 #[target_feature(enable = "avx2,fma")]
 pub(crate) unsafe fn sum_squares(x: &[f64]) -> f64 {
     let blocks = x.len() / LANES;
@@ -54,6 +79,8 @@ pub(crate) unsafe fn sum_squares(x: &[f64]) -> f64 {
 }
 
 /// See [`scalar::sum_and_sum_squares`].
+// SAFETY: caller must guarantee avx2+fma. Unaligned loads read lanes
+// `k*4 .. k*4+4` with `k < x.len()/4` — always in bounds.
 #[target_feature(enable = "avx2,fma")]
 pub(crate) unsafe fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
     let blocks = x.len() / LANES;
@@ -74,6 +101,9 @@ pub(crate) unsafe fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
 }
 
 /// See [`scalar::cross_moments`].
+// SAFETY: caller must guarantee avx2+fma. Length equality is asserted,
+// then unaligned loads read lanes `k*4 .. k*4+4` with `k < len/4` from
+// both slices — always in bounds.
 #[target_feature(enable = "avx2,fma")]
 pub(crate) unsafe fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
     assert_eq!(x.len(), y.len(), "cross_moments: length mismatch");
@@ -118,6 +148,9 @@ pub(crate) unsafe fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
 }
 
 /// See [`scalar::fma_accumulate`].
+// SAFETY: caller must guarantee avx2+fma. Length equality is asserted;
+// loads and the store touch lanes `k*4 .. k*4+4` with `k < len/4`, and
+// the store target `acc` is exclusively borrowed — no aliasing.
 #[target_feature(enable = "avx2,fma")]
 pub(crate) unsafe fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
     assert_eq!(acc.len(), x.len(), "fma_accumulate: length mismatch");
@@ -136,6 +169,8 @@ pub(crate) unsafe fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
 /// `b` where the lane of `cond` is all-ones, else `a` — the vector
 /// counterpart of the scalar `if cond { b } else { a }` selects in
 /// [`scalar::tri_lo_hi`].
+// SAFETY: register-only blend, no memory access; requires avx2, which
+// the caller guarantees.
 #[inline]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn select(a: __m256d, b: __m256d, cond: __m256d) -> __m256d {
@@ -143,6 +178,9 @@ unsafe fn select(a: __m256d, b: __m256d, cond: __m256d) -> __m256d {
 }
 
 /// See [`scalar::triangle_interval`].
+// SAFETY: caller must guarantee avx2+fma. Length equality is asserted,
+// then unaligned loads read lanes `k*4 .. k*4+4` with `k < len/4` from
+// both slices — always in bounds.
 #[target_feature(enable = "avx2,fma")]
 pub(crate) unsafe fn triangle_interval(c_iz: &[f64], c_jz: &[f64]) -> (f64, f64) {
     assert_eq!(c_iz.len(), c_jz.len(), "triangle_interval: length mismatch");

@@ -155,6 +155,14 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     dispatch!(dot(x, y))
 }
 
+/// `Σ x` in the canonical striped order. Bit-identical to the first
+/// component of [`sum_and_sum_squares`] (same per-lane adds, same
+/// combine) — use this when only the plain sum is needed.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    dispatch!(sum(x))
+}
+
 /// `Σ x²` in the canonical striped order.
 #[inline]
 pub fn sum_squares(x: &[f64]) -> f64 {
@@ -229,6 +237,19 @@ mod tests {
             assert_eq!(ss.to_bits(), sum_squares(&x).to_bits());
             let direct: f64 = x.iter().sum();
             assert!((s - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sum_matches_scalar_and_fused_kernel_bitwise() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000] {
+            let x = series(n, 0.7);
+            let s = sum(&x);
+            assert_eq!(s.to_bits(), scalar::sum(&x).to_bits(), "n={n}");
+            let (fused, _) = sum_and_sum_squares(&x);
+            assert_eq!(s.to_bits(), fused.to_bits(), "n={n}");
+            let direct: f64 = x.iter().sum();
+            assert!((s - direct).abs() <= 1e-9 * direct.abs().max(1.0), "n={n}");
         }
     }
 

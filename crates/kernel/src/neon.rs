@@ -14,6 +14,8 @@ use crate::CrossMoments;
 use core::arch::aarch64::*;
 
 /// The canonical lane array of the register pair `(v01, v23)`.
+// SAFETY: register-only lane extraction, no memory access; NEON is
+// architecturally mandatory on aarch64.
 #[inline]
 unsafe fn lanes_of(v01: float64x2_t, v23: float64x2_t) -> [f64; LANES] {
     [
@@ -25,6 +27,9 @@ unsafe fn lanes_of(v01: float64x2_t, v23: float64x2_t) -> [f64; LANES] {
 }
 
 /// See [`scalar::dot`].
+// SAFETY: NEON is baseline on aarch64. Length equality is asserted, then
+// `vld1q_f64` reads pairs at offsets `k*4` and `k*4+2` with `k < len/4`
+// — always in bounds.
 pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     let blocks = x.len() / LANES;
@@ -43,7 +48,28 @@ pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
     )
 }
 
+/// See [`scalar::sum`].
+// SAFETY: NEON is baseline on aarch64; `vld1q_f64` reads pairs at
+// offsets `k*4` and `k*4+2` with `k < x.len()/4` — always in bounds.
+pub(crate) unsafe fn sum(x: &[f64]) -> f64 {
+    let blocks = x.len() / LANES;
+    let mut a01 = vdupq_n_f64(0.0);
+    let mut a23 = vdupq_n_f64(0.0);
+    for k in 0..blocks {
+        let xp = x.as_ptr().add(k * LANES);
+        a01 = vaddq_f64(a01, vld1q_f64(xp));
+        a23 = vaddq_f64(a23, vld1q_f64(xp.add(2)));
+    }
+    let mut s = lanes_of(a01, a23);
+    for (l, &v) in x[blocks * LANES..].iter().enumerate() {
+        s[l] += v;
+    }
+    scalar::reduce_add(s)
+}
+
 /// See [`scalar::sum_squares`].
+// SAFETY: NEON is baseline on aarch64; `vld1q_f64` reads pairs at
+// offsets `k*4` and `k*4+2` with `k < x.len()/4` — always in bounds.
 pub(crate) unsafe fn sum_squares(x: &[f64]) -> f64 {
     let blocks = x.len() / LANES;
     let mut a01 = vdupq_n_f64(0.0);
@@ -60,6 +86,8 @@ pub(crate) unsafe fn sum_squares(x: &[f64]) -> f64 {
 }
 
 /// See [`scalar::sum_and_sum_squares`].
+// SAFETY: NEON is baseline on aarch64; `vld1q_f64` reads pairs at
+// offsets `k*4` and `k*4+2` with `k < x.len()/4` — always in bounds.
 pub(crate) unsafe fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
     let blocks = x.len() / LANES;
     let mut s01 = vdupq_n_f64(0.0);
@@ -85,6 +113,9 @@ pub(crate) unsafe fn sum_and_sum_squares(x: &[f64]) -> (f64, f64) {
 }
 
 /// See [`scalar::cross_moments`].
+// SAFETY: NEON is baseline on aarch64. Length equality is asserted, then
+// `vld1q_f64` reads pairs at offsets `k*4` and `k*4+2` with `k < len/4`
+// from both slices — always in bounds.
 pub(crate) unsafe fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
     assert_eq!(x.len(), y.len(), "cross_moments: length mismatch");
     let blocks = x.len() / LANES;
@@ -138,6 +169,9 @@ pub(crate) unsafe fn cross_moments(x: &[f64], y: &[f64]) -> CrossMoments {
 }
 
 /// See [`scalar::fma_accumulate`].
+// SAFETY: NEON is baseline on aarch64. Length equality is asserted;
+// loads and `vst1q_f64` stores touch pairs at offsets `k*4` / `k*4+2`
+// with `k < len/4`, and `acc` is exclusively borrowed — no aliasing.
 pub(crate) unsafe fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
     assert_eq!(acc.len(), x.len(), "fma_accumulate: length mismatch");
     let blocks = acc.len() / LANES;
@@ -158,6 +192,8 @@ pub(crate) unsafe fn fma_accumulate(acc: &mut [f64], x: &[f64], scale: f64) {
 
 /// `b` where `cond` lane is all-ones, else `a` (see the scalar selects in
 /// [`scalar::tri_lo_hi`]).
+// SAFETY: register-only bit-select, no memory access; NEON is baseline
+// on aarch64.
 #[inline]
 unsafe fn select(a: float64x2_t, b: float64x2_t, cond: uint64x2_t) -> float64x2_t {
     vbslq_f64(cond, b, a)
@@ -165,6 +201,8 @@ unsafe fn select(a: float64x2_t, b: float64x2_t, cond: uint64x2_t) -> float64x2_
 
 /// One register pair's worth of [`scalar::tri_lo_hi`], operation for
 /// operation.
+// SAFETY: register-only arithmetic and selects, no memory access; NEON
+// is baseline on aarch64.
 #[inline]
 unsafe fn tri_step(
     a: float64x2_t,
@@ -193,6 +231,9 @@ unsafe fn tri_step(
 }
 
 /// See [`scalar::triangle_interval`].
+// SAFETY: NEON is baseline on aarch64. Length equality is asserted, then
+// `vld1q_f64` reads pairs at offsets `k*4` and `k*4+2` with `k < len/4`
+// from both slices — always in bounds.
 pub(crate) unsafe fn triangle_interval(c_iz: &[f64], c_jz: &[f64]) -> (f64, f64) {
     assert_eq!(c_iz.len(), c_jz.len(), "triangle_interval: length mismatch");
     let blocks = c_iz.len() / LANES;

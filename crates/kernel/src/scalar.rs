@@ -56,6 +56,23 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     finish_fma(acc, &x[blocks * LANES..], &y[blocks * LANES..])
 }
 
+/// `Σ x` in the canonical striped order (one lane-wise `+` per element).
+/// Bit-identical to the first component of [`sum_and_sum_squares`].
+pub fn sum(x: &[f64]) -> f64 {
+    let blocks = x.len() / LANES;
+    let mut acc = [0.0f64; LANES];
+    for k in 0..blocks {
+        let xs = &x[k * LANES..(k + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] += xs[l];
+        }
+    }
+    for (l, &v) in x[blocks * LANES..].iter().enumerate() {
+        acc[l] += v;
+    }
+    reduce_add(acc)
+}
+
 /// `Σ x²` in the canonical striped order.
 pub fn sum_squares(x: &[f64]) -> f64 {
     let blocks = x.len() / LANES;

@@ -29,13 +29,7 @@ pub fn jacobi_eigen(
     m.symmetrize();
     let mut v = Matrix::identity(n);
 
-    let norm = m
-        .as_slice()
-        .iter()
-        .map(|x| x * x)
-        .sum::<f64>()
-        .sqrt()
-        .max(1e-300);
+    let norm = kernel::sum_squares(m.as_slice()).sqrt().max(1e-300);
     let threshold = tol * norm;
 
     for _sweep in 0..max_sweeps {
@@ -74,14 +68,15 @@ pub fn jacobi_eigen_default(a: &Matrix) -> Result<EigenDecomposition, LinalgErro
 }
 
 fn off_diagonal_norm(m: &Matrix) -> f64 {
+    // Per-row strict-upper-triangle Σx² through the kernel (rows are
+    // contiguous in the row-major buffer), then one kernel sum over the
+    // row partials — every float accumulation stays in canonical order.
     let n = m.rows();
-    let mut s = 0.0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            s += 2.0 * m.get(i, j) * m.get(i, j);
-        }
-    }
-    s.sqrt()
+    let data = m.as_slice();
+    let row_partials: Vec<f64> = (0..n)
+        .map(|i| kernel::sum_squares(&data[i * n + i + 1..(i + 1) * n]))
+        .collect();
+    (2.0 * kernel::sum(&row_partials)).sqrt()
 }
 
 /// A ← Jᵀ A J for the (p, q) Givens rotation with cos/sin (c, s).

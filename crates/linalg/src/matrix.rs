@@ -228,12 +228,13 @@ impl Matrix {
     /// Panics when shapes differ.
     pub fn frobenius_distance(&self, other: &Matrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
+        let diff: Vec<f64> = self
+            .data
             .iter()
             .zip(&other.data)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+            .map(|(a, b)| a - b)
+            .collect();
+        kernel::sum_squares(&diff).sqrt()
     }
 
     /// Elementwise maximum absolute difference.

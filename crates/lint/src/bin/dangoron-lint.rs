@@ -1,0 +1,95 @@
+//! `dangoron-lint` — run the workspace invariant checker.
+//!
+//! ```text
+//! dangoron-lint --workspace [--root DIR] [--json] [--deny-warnings]
+//! dangoron-lint FILE.rs [FILE.rs ...]
+//! ```
+//!
+//! Exit code 0 when every finding is waived (and, under
+//! `--deny-warnings`, no warnings remain); 1 when deny findings exist;
+//! 2 on usage or I/O errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dangoron-lint [--workspace] [--root DIR] [--json] [--deny-warnings] [--rules] [files...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root = String::from(".");
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match args.next() {
+                Some(r) => root = r,
+                None => return usage(),
+            },
+            "--rules" => {
+                for (id, desc) in lint::RULES {
+                    println!("{id}: {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => return usage(),
+            _ => paths.push(a),
+        }
+    }
+    if !workspace && paths.is_empty() {
+        return usage();
+    }
+
+    let mut files: Vec<(String, String)> = Vec::new();
+    if workspace {
+        match lint::walk_workspace(Path::new(&root)) {
+            Ok(f) => files.extend(f),
+            Err(e) => {
+                eprintln!("dangoron-lint: cannot walk {root}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for p in &paths {
+        match std::fs::read_to_string(p) {
+            Ok(src) => files.push((p.clone(), src)),
+            Err(e) => {
+                eprintln!("dangoron-lint: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = lint::check_sources(&files);
+    let denies = findings.iter().filter(|f| !f.warning).count();
+    let warnings = findings.len() - denies;
+
+    if json {
+        println!("{}", lint::to_json(&findings));
+    } else {
+        for f in &findings {
+            let tag = if f.warning { "warning: " } else { "" };
+            println!("{}:{}: {}{}: {}", f.file, f.line, tag, f.rule, f.message);
+        }
+    }
+    eprintln!(
+        "dangoron-lint: {} file(s), {denies} deny finding(s), {warnings} warning(s)",
+        files.len()
+    );
+    if denies > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,470 @@
+//! A small, total Rust lexer: enough token structure for the rule engine
+//! (identifiers, multi-char operators, literals, lifetimes) plus a side
+//! list of comments (the home of waivers and `SAFETY:` annotations).
+//!
+//! Totality is the contract: `lex` must return *something* for every byte
+//! string — truncated files, unterminated strings, nested comments cut
+//! mid-air, stray non-ASCII — never panic. The robustness proptest in
+//! `tests/lexer_robustness.rs` mirrors the wire protocol's
+//! `proto_robustness` suite in asserting exactly that.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `sum`, …).
+    Ident,
+    /// Lifetime (`'a`) — disambiguated from char literals.
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`0.0`, `1e-300`, `2.5f64`).
+    Float,
+    /// String / raw-string / byte-string literal (text excludes quotes).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, possibly multi-char (`+=`, `::`, `->`, `..=`, `.`).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text (operators joined, literal quotes stripped).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Body text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`).
+    pub doc: bool,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (not interleaved with `tokens`).
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "::", "->", "=>",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "..",
+];
+
+/// Lexes `src` completely; never panics, never loses line accounting.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Count newlines in b[from..to] into `line`.
+    let bump = |from: usize, to: usize, line: &mut u32| {
+        for &c in b.get(from..to.min(n)).unwrap_or(&[]) {
+            if c == '\n' {
+                *line += 1;
+            }
+        }
+    };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let body: String = b[start..i].iter().collect();
+            let doc = body.starts_with("///") || body.starts_with("//!");
+            let text = body
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim()
+                .to_string();
+            out.comments.push(Comment { text, line, doc });
+            continue; // the '\n' is handled by the whitespace arm
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let body: String = b[start..i.min(n)].iter().collect();
+            let doc = body.starts_with("/**") || body.starts_with("/*!");
+            let text = body
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start_matches('!')
+                .trim_end_matches('/')
+                .trim_end_matches('*')
+                .trim()
+                .to_string();
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+                doc,
+            });
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# (any # count).
+        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+            let r_at = if c == 'r' { i } else { i + 1 };
+            let mut j = r_at + 1;
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                let start_line = line;
+                let content_start = j + 1;
+                let mut k = content_start;
+                let end;
+                'scan: loop {
+                    if k >= n {
+                        end = n; // unterminated: consume to EOF
+                        break;
+                    }
+                    if b[k] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && b[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            end = k;
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                bump(i, (end + 1 + hashes).min(n), &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: b[content_start..end.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = (end + 1 + hashes).min(n);
+                continue;
+            }
+            // Not a raw string: fall through to ident handling below.
+        }
+        // Plain or byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let q = if c == '"' { i } else { i + 1 };
+            let start_line = line;
+            let mut k = q + 1;
+            while k < n {
+                match b[k] {
+                    '\\' => {
+                        // A `\`-escape may hide a newline (line
+                        // continuation) — keep counting it.
+                        if k + 1 < n && b[k + 1] == '\n' {
+                            line += 1;
+                        }
+                        k = (k + 2).min(n);
+                    }
+                    '"' => break,
+                    '\n' => {
+                        line += 1;
+                        k += 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: b[(q + 1).min(n)..k.min(n)].iter().collect(),
+                line: start_line,
+            });
+            i = (k + 1).min(n);
+            continue;
+        }
+        // Identifiers / keywords (possibly the `b`/`r` that wasn't a
+        // string prefix).
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            i += 1;
+            if i < n && (b[i] == 'x' || b[i] == 'o' || b[i] == 'b') && c == '0' {
+                // Radix literal: digits + underscores + hex letters.
+                i += 1;
+                while i < n && (b[i].is_ascii_hexdigit() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fraction: a dot followed by a digit (not `..` or a
+                // method call like `1.max(2)`).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                } else if i < n && b[i] == '.' && (i + 1 >= n || b[i + 1] != '.') {
+                    // Trailing-dot float like `1.`
+                    let next_is_ident = i + 1 < n && (b[i + 1] == '_' || b[i + 1].is_alphabetic());
+                    if !next_is_ident {
+                        is_float = true;
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < n && (b[i] == 'e' || b[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (b[j] == '+' || b[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            // Type suffix (`u64`, `f64`, `usize`, …).
+            let suffix_start = i;
+            while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            let suffix: String = b[suffix_start..i].iter().collect();
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+            out.tokens.push(Token {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            // Lifetime: 'ident NOT followed by a closing quote.
+            if i + 1 < n && (b[i + 1] == '_' || b[i + 1].is_alphabetic()) {
+                let mut j = i + 2;
+                while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                if j >= n || b[j] != '\'' {
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal (handles escapes; unterminated ⇒ to EOF/quote).
+            let start_line = line;
+            let mut k = i + 1;
+            while k < n {
+                match b[k] {
+                    '\\' => {
+                        if k + 1 < n && b[k + 1] == '\n' {
+                            line += 1;
+                        }
+                        k = (k + 2).min(n);
+                    }
+                    '\'' => break,
+                    '\n' => {
+                        line += 1;
+                        k += 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Char,
+                text: b[(i + 1).min(n)..k.min(n)].iter().collect(),
+                line: start_line,
+            });
+            i = (k + 1).min(n);
+            continue;
+        }
+        // Multi-char operators, longest first.
+        let mut matched = false;
+        for op in OPERATORS {
+            let len = op.len(); // operators are ASCII, chars == bytes
+            if i + len <= n && b[i..i + len].iter().collect::<String>() == **op {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Single-char punct (anything else, including stray non-ASCII).
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_operators_and_lines() {
+        let l = lex("let x = a += 1;\nfoo::bar()");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", "+=", "1", ";", "foo", "::", "bar", "(", ")"]
+        );
+        assert_eq!(l.tokens[7].line, 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call() {
+        assert_eq!(
+            kinds("0.0 1e-300 2.5f64 42 0xFF 7u64 1.max(2)")[..7],
+            [
+                (TokKind::Float, "0.0".into()),
+                (TokKind::Float, "1e-300".into()),
+                (TokKind::Float, "2.5f64".into()),
+                (TokKind::Int, "42".into()),
+                (TokKind::Int, "0xFF".into()),
+                (TokKind::Int, "7u64".into()),
+                (TokKind::Int, "1".into()),
+            ]
+        );
+        // `1.max` keeps the 1 integral and the dot punctual.
+        let k = kinds("1.max(2)");
+        assert_eq!(k[1], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn strings_raw_strings_chars_lifetimes() {
+        let k = kinds(r##""a\"b" r#"raw "x" end"# 'c' '\n' &'a str"##);
+        assert_eq!(k[0], (TokKind::Str, "a\\\"b".into()));
+        assert_eq!(k[1], (TokKind::Str, "raw \"x\" end".into()));
+        assert_eq!(k[2], (TokKind::Char, "c".into()));
+        assert_eq!(k[3], (TokKind::Char, "\\n".into()));
+        assert_eq!(k[5], (TokKind::Lifetime, "a".into()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_doc_flag() {
+        let l = lex(
+            "// plain\n/// doc\n//! inner\n/* block\nspans */ fn x() {}\n// lint:allow(r1) -- why",
+        );
+        assert_eq!(l.comments.len(), 5);
+        assert!(!l.comments[0].doc);
+        assert!(l.comments[1].doc);
+        assert!(l.comments[2].doc);
+        assert_eq!(l.comments[3].line, 4);
+        assert!(l.comments[4].text.contains("lint:allow(r1)"));
+        assert_eq!(l.comments[4].line, 6);
+    }
+
+    #[test]
+    fn nested_and_unterminated_constructs_do_not_panic() {
+        for src in [
+            "/* outer /* inner */ still */ fn f(){}",
+            "/* never closed",
+            "\"never closed",
+            "r#\"never closed",
+            "'x",
+            "b\"bytes\" br#\"raw bytes\"#",
+            "'",
+            "r#",
+        ] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn escaped_newlines_in_strings_keep_line_accounting() {
+        // `\`-continuations hide the newline behind an escape; the lines
+        // after the string must still be attributed correctly.
+        let src = "let s = \"one \\\n two \\\n three\";\nlet t = 4;\n";
+        let l = lex(src);
+        let t_tok = l.tokens.iter().find(|t| t.text == "t").unwrap();
+        assert_eq!(t_tok.line, 4);
+        // An ordinary (uncontinued) multi-line string too.
+        let src = "let s = \"one\ntwo\";\nlet u = 1;\n";
+        let l = lex(src);
+        let u_tok = l.tokens.iter().find(|t| t.text == "u").unwrap();
+        assert_eq!(u_tok.line, 3);
+    }
+}

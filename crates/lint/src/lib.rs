@@ -1,0 +1,966 @@
+//! # lint — `dangoron-lint`, the workspace invariant checker
+//!
+//! Six PRs of convention hold this system together: bit-identical edges
+//! require every float reduction to run through `crates/kernel`'s fixed
+//! 4-lane order, the hardened v3 wire protocol requires every decode-path
+//! allocation to be validated against bytes present first, and the
+//! elastic coordinator requires structured errors instead of panics.
+//! This crate encodes those contracts as a blocking static-analysis pass
+//! so they survive refactors mechanically instead of by reviewer memory.
+//!
+//! Architecture mirrors `crates/kernel`: hand-rolled and dependency-free
+//! (the container has no registry access). A small total lexer
+//! ([`lexer`]) feeds a token-level rule engine; rules report findings as
+//! `file:line: rule-id: message`, a JSON mode serves CI trend tooling,
+//! and inline waivers (`// lint:allow(rule-id) -- reason`, reason
+//! mandatory) record every accepted exception next to the code it
+//! excuses. The rule catalog lives in `docs/lint-rules.md`.
+
+pub mod lexer;
+
+use lexer::{lex, Comment, Lexed, TokKind, Token};
+use std::path::{Path, PathBuf};
+
+/// Rule R1: float reductions outside `crates/kernel`.
+pub const R1: &str = "float-reduction-outside-kernel";
+/// Rule R2: decode-path allocations sized by unvalidated wire counts.
+pub const R2: &str = "decode-unchecked-allocation";
+/// Rule R3: panic paths in supervised `crates/dist` code.
+pub const R3: &str = "panic-in-supervised-path";
+/// Rule R4: `unsafe` without a `SAFETY:` comment.
+pub const R4: &str = "unsafe-without-safety-comment";
+/// Rule R5: SIMD backend ops missing from the scalar backend.
+pub const R5: &str = "backend-parity";
+/// Rule R6: blocking locks in the hot-path crates.
+pub const R6: &str = "lock-in-hot-path";
+/// Meta rule: malformed or unknown waivers.
+pub const RW: &str = "waiver-syntax";
+/// Meta rule (warning): a waiver that excuses nothing.
+pub const UNUSED: &str = "unused-waiver";
+
+/// The rule catalog: `(id, one-line description)`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        R1,
+        "f64 sum/fold/`+=` accumulation outside crates/kernel breaks the canonical reduction order",
+    ),
+    (
+        R2,
+        "decode-path Vec::with_capacity/vec! sized by a wire-read count with no need()/take_*s validation",
+    ),
+    (
+        R3,
+        "unwrap/expect/panic!/unreachable! in crates/dist supervised code (use CoordError/proto errors)",
+    ),
+    (
+        R4,
+        "unsafe block/fn without a `// SAFETY:` comment stating its invariant",
+    ),
+    (
+        R5,
+        "SIMD backend kernel op with no same-named scalar-backend reference",
+    ),
+    (
+        R6,
+        "Mutex/RwLock in crates/exec or crates/kernel (hot path must stay lock-free)",
+    ),
+];
+
+/// One reported finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path ('/'-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (one of the [`RULES`] ids, [`RW`] or [`UNUSED`]).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Warnings only fail the run under `--deny-warnings`.
+    pub warning: bool,
+}
+
+impl Finding {
+    fn deny(file: &str, line: u32, rule: &str, message: String) -> Self {
+        Self {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+            warning: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------
+
+fn is_p(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_id(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Index of the punct matching the opener at `open` (`{}`, `[]` or `()`),
+/// or `toks.len()` when unbalanced. Strings/comments are single tokens or
+/// absent, so token-level matching is exact.
+fn match_delim(toks: &[Token], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "{" => ("{", "}"),
+        "[" => ("[", "]"),
+        "(" => ("(", ")"),
+        _ => return toks.len(),
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if is_p(t, o) {
+            depth += 1;
+        } else if is_p(t, c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(is_p(&toks[i], "#") && is_p(&toks[i + 1], "[")) {
+            i += 1;
+            continue;
+        }
+        let close = match_delim(toks, i + 1);
+        if close >= toks.len() {
+            break;
+        }
+        let inner: Vec<&str> = toks[i + 2..close].iter().map(|t| t.text.as_str()).collect();
+        let is_test =
+            inner == ["test"] || (inner.len() >= 3 && inner[0] == "cfg" && inner.contains(&"test"));
+        if !is_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's body brace
+        // (a `;` first means a bodyless item — nothing to range).
+        let mut j = close + 1;
+        while j + 1 < toks.len() && is_p(&toks[j], "#") && is_p(&toks[j + 1], "[") {
+            let c = match_delim(toks, j + 1);
+            if c >= toks.len() {
+                return ranges;
+            }
+            j = c + 1;
+        }
+        let mut k = j;
+        let mut open = None;
+        while k < toks.len() {
+            if is_p(&toks[k], "{") {
+                open = Some(k);
+                break;
+            }
+            if is_p(&toks[k], ";") {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(o) = open {
+            let c = match_delim(toks, o);
+            let end_line = if c < toks.len() {
+                toks[c].line
+            } else {
+                u32::MAX
+            };
+            ranges.push((toks[i].line, end_line));
+            i = if c < toks.len() { c + 1 } else { toks.len() };
+        } else {
+            i = k + 1;
+        }
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`).
+fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// R1 — float reductions outside the kernel: `.sum::<f64>()`, `.sum()`
+/// with float evidence in the statement, `.fold(float, |…| … + …)`, and
+/// `acc += …` loops over `let mut acc = <float>` accumulators. Integer
+/// reductions and order-insensitive folds (`fold(0.0, f64::max)`) pass.
+fn rule_r1(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
+    if crate_of(rel) == "kernel" {
+        return;
+    }
+    let stmt_start = |i: usize| {
+        let mut j = i;
+        while j > 0 {
+            let t = &toks[j - 1];
+            if is_p(t, ";") || is_p(t, "{") || is_p(t, "}") {
+                break;
+            }
+            j -= 1;
+        }
+        j
+    };
+    let window_has_float = |a: usize, b: usize| {
+        toks[a..b.min(toks.len())]
+            .iter()
+            .any(|t| t.kind == TokKind::Float || is_id(t, "f64") || is_id(t, "f32"))
+    };
+
+    // Float accumulators (`let mut s = 0.0;` and friends).
+    let mut accs: Vec<(&str, usize)> = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if is_id(&toks[i], "let")
+            && is_id(&toks[i + 1], "mut")
+            && toks[i + 2].kind == TokKind::Ident
+        {
+            let mut j = i + 3;
+            let mut has_float = false;
+            let mut int_cast = false;
+            while j < toks.len() && !is_p(&toks[j], ";") {
+                if toks[j].kind == TokKind::Float
+                    || is_id(&toks[j], "f64")
+                    || is_id(&toks[j], "f32")
+                {
+                    has_float = true;
+                }
+                // `let mut i = (…2.0…) as usize;` is an integer binding —
+                // integer accumulation is whitelisted.
+                if is_id(&toks[j], "as")
+                    && j + 1 < toks.len()
+                    && matches!(
+                        toks[j + 1].text.as_str(),
+                        "usize"
+                            | "isize"
+                            | "u8"
+                            | "u16"
+                            | "u32"
+                            | "u64"
+                            | "u128"
+                            | "i8"
+                            | "i16"
+                            | "i32"
+                            | "i64"
+                            | "i128"
+                    )
+                {
+                    int_cast = true;
+                }
+                j += 1;
+            }
+            if has_float && !int_cast {
+                accs.push((toks[i + 2].text.as_str(), i + 2));
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    // Loop body token ranges (for `+=` detection).
+    let mut loops: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if is_id(t, "for") || is_id(t, "while") || is_id(t, "loop") {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if is_p(&toks[j], "(") {
+                    depth += 1;
+                } else if is_p(&toks[j], ")") {
+                    depth -= 1;
+                } else if is_p(&toks[j], "{") && depth == 0 {
+                    loops.push((j, match_delim(toks, j)));
+                    break;
+                } else if is_p(&toks[j], ";") && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_ranges(skip, line) {
+            continue;
+        }
+        // `.sum::<f64>()` / `.sum()` with float evidence.
+        if is_p(&toks[i], ".") && i + 1 < toks.len() && is_id(&toks[i + 1], "sum") {
+            let turbo_float = i + 4 < toks.len()
+                && is_p(&toks[i + 2], "::")
+                && is_p(&toks[i + 3], "<")
+                && is_id(&toks[i + 4], "f64");
+            let bare = i + 2 < toks.len() && is_p(&toks[i + 2], "(");
+            if turbo_float || (bare && window_has_float(stmt_start(i), i)) {
+                out.push(Finding::deny(
+                    rel,
+                    toks[i + 1].line,
+                    R1,
+                    "f64 `.sum()` outside crates/kernel — route through kernel::sum / \
+                     kernel::sum_squares / kernel::dot to keep the canonical reduction order"
+                        .into(),
+                ));
+            }
+        }
+        // `.fold(<float init>, |…| … + …)`.
+        if is_p(&toks[i], ".")
+            && i + 2 < toks.len()
+            && is_id(&toks[i + 1], "fold")
+            && is_p(&toks[i + 2], "(")
+        {
+            let close = match_delim(toks, i + 2);
+            if close < toks.len() {
+                let mut depth = 0i32;
+                let mut comma = None;
+                for (j, t) in toks.iter().enumerate().take(close).skip(i + 3) {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+                        ")" | "]" | "}" if t.kind == TokKind::Punct => depth -= 1,
+                        "," if depth == 0 && t.kind == TokKind::Punct => {
+                            comma = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(comma) = comma {
+                    let init_float = toks[i + 3..comma]
+                        .iter()
+                        .any(|t| t.kind == TokKind::Float || is_id(t, "f64") || is_id(t, "f32"));
+                    let body_accumulates = toks[comma + 1..close]
+                        .iter()
+                        .any(|t| is_p(t, "+") || is_p(t, "+=") || is_id(t, "mul_add"));
+                    if init_float && body_accumulates {
+                        out.push(Finding::deny(
+                            rel,
+                            toks[i + 1].line,
+                            R1,
+                            "float `.fold(…, +)` accumulation outside crates/kernel — use a \
+                             kernel reduction (order-insensitive folds like f64::max are fine)"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
+        // `acc += …` inside a loop, where acc is a float accumulator.
+        if toks[i].kind == TokKind::Ident && i + 1 < toks.len() && is_p(&toks[i + 1], "+=") {
+            let in_loop = loops.iter().any(|&(a, b)| a < i && i < b);
+            let is_acc = accs
+                .iter()
+                .any(|&(name, decl)| name == toks[i].text && decl < i);
+            if in_loop && is_acc {
+                out.push(Finding::deny(
+                    rel,
+                    line,
+                    R1,
+                    format!(
+                        "manual f64 `{} += …` accumulation loop outside crates/kernel — use a \
+                         kernel reduction to keep results bit-identical across backends",
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R2 — wire decode allocations: inside `dist/src/proto.rs`, any
+/// `Vec::with_capacity`/`vec![…; n]` sized by a `take_u64`/`take_u32`
+/// binding must have passed a `need()`/`take_u64s`/`take_f64s` validation
+/// between the read and the allocation.
+fn rule_r2(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
+    if !rel.ends_with("dist/src/proto.rs") {
+        return;
+    }
+    // Wire-count bindings: `let [mut] NAME = take_u64(…)…;`
+    let mut wire: Vec<(&str, usize)> = Vec::new();
+    let mut validators: Vec<usize> = Vec::new();
+    for i in 0..toks.len() {
+        if is_id(&toks[i], "let") {
+            let name_at = if i + 1 < toks.len() && is_id(&toks[i + 1], "mut") {
+                i + 2
+            } else {
+                i + 1
+            };
+            if name_at + 1 < toks.len()
+                && toks[name_at].kind == TokKind::Ident
+                && is_p(&toks[name_at + 1], "=")
+            {
+                let mut j = name_at + 2;
+                while j < toks.len() && !is_p(&toks[j], ";") {
+                    if is_id(&toks[j], "take_u64")
+                        || is_id(&toks[j], "take_u32")
+                        || is_id(&toks[j], "take_u8")
+                    {
+                        wire.push((toks[name_at].text.as_str(), name_at));
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if (is_id(&toks[i], "need") || is_id(&toks[i], "take_u64s") || is_id(&toks[i], "take_f64s"))
+            && i + 1 < toks.len()
+            && is_p(&toks[i + 1], "(")
+        {
+            validators.push(i);
+        }
+    }
+    let unvalidated =
+        |var_decl: usize, alloc: usize| !validators.iter().any(|&v| var_decl < v && v < alloc);
+    for i in 0..toks.len() {
+        if in_ranges(skip, toks[i].line) {
+            continue;
+        }
+        // Vec::with_capacity(ARGS) — or any `.with_capacity(ARGS)`.
+        let (arg_open, site) =
+            if is_id(&toks[i], "with_capacity") && i + 1 < toks.len() && is_p(&toks[i + 1], "(") {
+                (i + 1, i)
+            } else if is_id(&toks[i], "vec") && i + 2 < toks.len() && is_p(&toks[i + 1], "!") {
+                if is_p(&toks[i + 2], "[") {
+                    (i + 2, i)
+                } else {
+                    continue;
+                }
+            } else {
+                continue;
+            };
+        let close = match_delim(toks, arg_open);
+        if close >= toks.len() {
+            continue;
+        }
+        for j in arg_open + 1..close {
+            if toks[j].kind != TokKind::Ident {
+                continue;
+            }
+            if let Some(&(name, decl)) = wire
+                .iter()
+                .rev()
+                .find(|&&(name, decl)| name == toks[j].text && decl < site)
+            {
+                if unvalidated(decl, site) {
+                    out.push(Finding::deny(
+                        rel,
+                        toks[site].line,
+                        R2,
+                        format!(
+                            "allocation sized by wire-read count `{name}` with no need()/\
+                             take_*s validation between the read and the allocation — a \
+                             hostile frame can claim a huge count"
+                        ),
+                    ));
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// R3 — panic paths in the supervised tier: `unwrap`/`expect` calls and
+/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in `crates/dist`
+/// non-test code.
+fn rule_r3(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
+    if crate_of(rel) != "dist" {
+        return;
+    }
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_ranges(skip, line) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let is_method =
+            i > 0 && is_p(&toks[i - 1], ".") && i + 1 < toks.len() && is_p(&toks[i + 1], "(");
+        if is_method && (name == "unwrap" || name == "expect") {
+            out.push(Finding::deny(
+                rel,
+                line,
+                R3,
+                format!(
+                    "`.{name}()` in supervised dist code — return CoordError/ProtoError (or \
+                     restructure with let-else) so worker faults stay recoverable"
+                ),
+            ));
+        }
+        let is_macro = i + 1 < toks.len() && is_p(&toks[i + 1], "!");
+        if is_macro && matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
+            out.push(Finding::deny(
+                rel,
+                line,
+                R3,
+                format!("`{name}!` in supervised dist code — return a structured error instead"),
+            ));
+        }
+    }
+}
+
+/// R4 — every `unsafe` token needs a `SAFETY` comment in the contiguous
+/// comment/attribute run directly above it (or trailing on its line).
+/// Doc comments with a `# Safety` section count.
+fn rule_r4(rel: &str, lexed: &Lexed, skip: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    // Lines covered by comments (with their SAFETY flag) and attributes.
+    let mut covered: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
+    for c in &lexed.comments {
+        // A waiver naming this rule contains the substring "safety" —
+        // it records an exception, it is not a safety argument.
+        let has = !c.text.contains("lint:allow(") && c.text.to_uppercase().contains("SAFETY");
+        let span = c.text.matches('\n').count() as u32;
+        for l in c.line..=c.line + span {
+            let e = covered.entry(l).or_insert(false);
+            *e = *e || has;
+        }
+    }
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if is_p(&toks[i], "#") && is_p(&toks[i + 1], "[") {
+            let close = match_delim(toks, i + 1);
+            let end_line = if close < toks.len() {
+                toks[close].line
+            } else {
+                toks[i].line
+            };
+            for l in toks[i].line..=end_line {
+                covered.entry(l).or_insert(false);
+            }
+            i = close.min(toks.len() - 1) + 1;
+            continue;
+        }
+        i += 1;
+    }
+    for t in toks {
+        if !is_id(t, "unsafe") || in_ranges(skip, t.line) {
+            continue;
+        }
+        // Trailing comment on the same line?
+        let mut ok = covered.get(&t.line).copied() == Some(true);
+        // Walk the contiguous covered run upward.
+        let mut l = t.line;
+        while !ok && l > 1 {
+            l -= 1;
+            match covered.get(&l) {
+                Some(true) => ok = true,
+                Some(false) => {}
+                None => break,
+            }
+        }
+        if !ok {
+            out.push(Finding::deny(
+                rel,
+                t.line,
+                R4,
+                "`unsafe` without a `// SAFETY:` comment — state the alignment/length/\
+                 feature-detection invariant the block relies on"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// Named function sites: each entry is `(name, line)` for a
+/// `pub [(crate)] [unsafe] fn NAME`.
+type FnSites = Vec<(String, u32)>;
+
+/// Function names matching `pub [(crate)] [unsafe] fn NAME`, split into
+/// (safe, unsafe) sets.
+fn pub_fns(toks: &[Token]) -> (FnSites, FnSites) {
+    let mut safe = Vec::new();
+    let mut unsafe_ = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_id(&toks[i], "pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && is_p(&toks[j], "(") {
+            let c = match_delim(toks, j);
+            if c >= toks.len() {
+                break;
+            }
+            j = c + 1;
+        }
+        let is_unsafe = j < toks.len() && is_id(&toks[j], "unsafe");
+        if is_unsafe {
+            j += 1;
+        }
+        if j + 1 < toks.len() && is_id(&toks[j], "fn") && toks[j + 1].kind == TokKind::Ident {
+            let entry = (toks[j + 1].text.clone(), toks[j + 1].line);
+            if is_unsafe {
+                unsafe_.push(entry);
+            } else {
+                safe.push(entry);
+            }
+        }
+        i = j + 1;
+    }
+    (safe, unsafe_)
+}
+
+/// R5 — backend parity: every public unsafe op in a SIMD backend module
+/// (`kernel/src/avx2.rs`, `kernel/src/neon.rs`) must have a same-named
+/// public fn in the canonical scalar backend (`kernel/src/scalar.rs`).
+/// Private helpers (`lanes_of`, `select`, …) are exempt by visibility.
+fn rule_r5(files: &[(String, Lexed)], out: &mut Vec<Finding>) {
+    let scalar: Vec<String> = files
+        .iter()
+        .filter(|(rel, _)| rel.ends_with("kernel/src/scalar.rs"))
+        .flat_map(|(_, lexed)| {
+            let (safe, unsafe_) = pub_fns(&lexed.tokens);
+            safe.into_iter().chain(unsafe_).map(|(n, _)| n)
+        })
+        .collect();
+    if scalar.is_empty() {
+        return; // no scalar backend in scope — nothing to compare against
+    }
+    for (rel, lexed) in files {
+        if !(rel.ends_with("kernel/src/avx2.rs") || rel.ends_with("kernel/src/neon.rs")) {
+            continue;
+        }
+        let (safe, unsafe_) = pub_fns(&lexed.tokens);
+        for (name, line) in safe.into_iter().chain(unsafe_) {
+            if !scalar.contains(&name) {
+                out.push(Finding::deny(
+                    rel,
+                    line,
+                    R5,
+                    format!(
+                        "backend op `{name}` has no same-named fn in the scalar backend — \
+                         every SIMD kernel needs its canonical scalar reference"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R6 — no blocking locks in the hot-path crates (`exec`, `kernel`):
+/// the executor's determinism design is lock-free by construction.
+fn rule_r6(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
+    if !matches!(crate_of(rel), "exec" | "kernel") {
+        return;
+    }
+    for t in toks {
+        if t.kind == TokKind::Ident
+            && (t.text == "Mutex" || t.text == "RwLock")
+            && !in_ranges(skip, t.line)
+        {
+            out.push(Finding::deny(
+                rel,
+                t.line,
+                R6,
+                format!(
+                    "`{}` in a hot-path crate — exec/kernel stay lock-free (atomics and \
+                     channel hand-off only)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------
+
+struct Waiver {
+    ids: Vec<String>,
+    line: u32,
+    target: u32,
+    used: bool,
+}
+
+/// Parses `// lint:allow(rule-id[, rule-id]) -- reason` comments; the
+/// reason is mandatory and rule ids must exist. Returns the valid
+/// waivers plus findings for malformed ones.
+fn parse_waivers(
+    rel: &str,
+    comments: &[Comment],
+    token_lines: &[u32],
+    out: &mut Vec<Finding>,
+) -> Vec<Waiver> {
+    let known: Vec<&str> = RULES.iter().map(|&(id, _)| id).collect();
+    let mut waivers = Vec::new();
+    for c in comments {
+        // Doc comments never carry waivers — they may legitimately quote
+        // the waiver syntax when documenting it.
+        if c.doc {
+            continue;
+        }
+        let Some(at) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            out.push(Finding::deny(
+                rel,
+                c.line,
+                RW,
+                "malformed waiver: missing `)` — expected `lint:allow(rule-id) -- reason`".into(),
+            ));
+            continue;
+        };
+        let ids: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut bad = ids.is_empty();
+        for id in &ids {
+            if !known.contains(&id.as_str()) {
+                out.push(Finding::deny(
+                    rel,
+                    c.line,
+                    RW,
+                    format!("waiver names unknown rule `{id}` (see docs/lint-rules.md)"),
+                ));
+                bad = true;
+            }
+        }
+        let after = rest[close + 1..].trim();
+        let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            out.push(Finding::deny(
+                rel,
+                c.line,
+                RW,
+                "waiver without a reason — `lint:allow(rule-id) -- reason` (the reason is \
+                 mandatory)"
+                    .into(),
+            ));
+            bad = true;
+        }
+        if bad {
+            continue;
+        }
+        // Trailing comment waives its own line; a standalone comment
+        // waives the next code line.
+        let target = if token_lines.binary_search(&c.line).is_ok() {
+            c.line
+        } else {
+            *token_lines
+                .iter()
+                .find(|&&l| l > c.line)
+                .unwrap_or(&(c.line + 1))
+        };
+        waivers.push(Waiver {
+            ids,
+            line: c.line,
+            target,
+            used: false,
+        });
+    }
+    waivers
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// Lints a set of `(workspace-relative path, source)` pairs and returns
+/// every finding (deny and warning), sorted by file, line, rule.
+pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let lexed: Vec<(String, Lexed)> = files
+        .iter()
+        .map(|(rel, src)| (rel.replace('\\', "/"), lex(src)))
+        .collect();
+    let mut findings = Vec::new();
+    for (rel, l) in &lexed {
+        let skip = test_ranges(&l.tokens);
+        rule_r1(rel, &l.tokens, &skip, &mut findings);
+        rule_r2(rel, &l.tokens, &skip, &mut findings);
+        rule_r3(rel, &l.tokens, &skip, &mut findings);
+        rule_r4(rel, l, &skip, &mut findings);
+        rule_r6(rel, &l.tokens, &skip, &mut findings);
+    }
+    rule_r5(&lexed, &mut findings);
+
+    // Waivers, per file.
+    for (rel, l) in &lexed {
+        let mut token_lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        token_lines.dedup();
+        let mut waivers = parse_waivers(rel, &l.comments, &token_lines, &mut findings);
+        findings.retain(|f| {
+            if f.file != *rel {
+                return true;
+            }
+            for w in waivers.iter_mut() {
+                if w.target == f.line && w.ids.contains(&f.rule) {
+                    w.used = true;
+                    return false;
+                }
+            }
+            true
+        });
+        for w in &waivers {
+            if !w.used {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: w.line,
+                    rule: UNUSED.to_string(),
+                    message: format!(
+                        "waiver for {} excuses nothing — delete it (or it hides a future \
+                         regression)",
+                        w.ids.join(", ")
+                    ),
+                    warning: true,
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    findings
+}
+
+/// Walks a workspace root collecting lintable sources: every `.rs` file
+/// outside shim crates, test/bench/fixture trees, and build output.
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("")
+                .to_string();
+            if path.is_dir() {
+                if matches!(
+                    name.as_str(),
+                    "target" | ".git" | "tests" | "benches" | "fixtures" | "shims" | ".claude"
+                ) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let src = std::fs::read_to_string(&path)?;
+                files.push((rel, src));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Serializes findings as a JSON array (hand-rolled — no serde needed
+/// for this flat shape).
+pub fn to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            esc(&f.rule),
+            if f.warning { "warning" } else { "deny" },
+            esc(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_one(rel: &str, src: &str) -> Vec<Finding> {
+        check_sources(&[(rel.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn test_ranges_cover_cfg_test_mods() {
+        let l = lex("fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap(); }\n}\n");
+        let r = test_ranges(&l.tokens);
+        assert_eq!(r, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn r3_skips_test_modules() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { None::<u8>.unwrap(); }\n}\n";
+        let f = check_one("crates/dist/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_suppresses_and_requires_reason() {
+        let src = "// lint:allow(panic-in-supervised-path) -- provably Some: set 2 lines up\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+        assert!(check_one("crates/dist/src/x.rs", src).is_empty());
+        let bad = "// lint:allow(panic-in-supervised-path)\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+        let f = check_one("crates/dist/src/x.rs", bad);
+        assert!(f.iter().any(|f| f.rule == RW), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == R3), "{f:?}");
+    }
+
+    #[test]
+    fn unused_waiver_warns() {
+        let src = "// lint:allow(lock-in-hot-path) -- stale\nfn f() {}\n";
+        let f = check_one("crates/exec/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, UNUSED);
+        assert!(f[0].warning);
+    }
+
+    #[test]
+    fn json_escapes() {
+        let f = vec![Finding::deny(
+            "a\"b.rs",
+            3,
+            R1,
+            "msg \\ with \"quotes\"".into(),
+        )];
+        let j = to_json(&f);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("msg \\\\ with \\\"quotes\\\""));
+    }
+}

@@ -1,0 +1,66 @@
+// Fixture for R1 (float-reduction-outside-kernel). Lines ending in a
+// `FIRE` marker must produce exactly one finding; all other lines none.
+// Fed to check_sources under a non-kernel path; never compiled.
+
+fn p_turbofish(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() // FIRE
+}
+
+fn p_bare_sum_with_float_evidence(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().copied().sum(); // FIRE
+    total
+}
+
+fn p_fold_accumulation(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, &b| a + b) // FIRE
+}
+
+fn p_manual_loop(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x; // FIRE
+    }
+    acc
+}
+
+fn n_integer_sum(xs: &[usize]) -> usize {
+    xs.iter().sum::<usize>()
+}
+
+fn n_integer_count(xs: &[(usize, Vec<u8>)]) -> usize {
+    xs.iter().map(|(_, b)| b.len()).sum()
+}
+
+fn n_order_insensitive_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, f64::max)
+}
+
+fn n_integer_cast_accumulator(nf: f64) -> usize {
+    let mut i = (nf * 2.0) as usize;
+    while i < 10 {
+        i += 3;
+    }
+    i
+}
+
+fn n_kernel_reduction(xs: &[f64]) -> f64 {
+    kernel::sum(xs) + kernel::sum_squares(xs)
+}
+
+fn w_waived_trailing(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() // lint:allow(float-reduction-outside-kernel) -- fixture: prescribed order
+}
+
+fn w_waived_standalone(xs: &[f64]) -> f64 {
+    // lint:allow(float-reduction-outside-kernel) -- fixture: prescribed order
+    xs.iter().fold(0.0, |a, &b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let xs = [1.0f64, 2.0];
+        assert!(xs.iter().sum::<f64>() > 0.0);
+    }
+}

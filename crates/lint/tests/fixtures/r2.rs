@@ -1,0 +1,45 @@
+// Fixture for R2 (decode-unchecked-allocation). Fed to check_sources as
+// `crates/dist/src/proto.rs` (the rule only applies there); never
+// compiled. `FIRE`-marked lines must fire; the rest must not.
+
+fn decode_unchecked(buf: &mut &[u8]) -> Result<Vec<u64>, ProtoError> {
+    let n_edges = take_u64(buf, "n_edges")? as usize;
+    let mut out = Vec::with_capacity(n_edges); // FIRE
+    for _ in 0..n_edges {
+        out.push(0);
+    }
+    Ok(out)
+}
+
+fn decode_unchecked_vec_macro(buf: &mut &[u8]) -> Result<Vec<u8>, ProtoError> {
+    let len = take_u32(buf, "len")? as usize;
+    Ok(vec![0u8; len]) // FIRE
+}
+
+fn decode_need_validated(buf: &mut &[u8]) -> Result<Vec<u64>, ProtoError> {
+    let n_edges = take_u64(buf, "n_edges")? as usize;
+    need(buf, n_edges.checked_mul(8).ok_or(ProtoError::Overflow)?)?;
+    let mut out = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        out.push(0);
+    }
+    Ok(out)
+}
+
+fn decode_bulk_validated(buf: &mut &[u8]) -> Result<Vec<f64>, ProtoError> {
+    let n = take_u64(buf, "n")? as usize;
+    let vals = take_f64s(buf, n)?;
+    Ok(vals)
+}
+
+fn decode_constant_capacity(buf: &mut &[u8]) -> Result<Vec<u64>, ProtoError> {
+    let out = Vec::with_capacity(16);
+    Ok(out)
+}
+
+fn decode_waived(buf: &mut &[u8]) -> Result<Vec<u64>, ProtoError> {
+    let n = take_u64(buf, "n")? as usize;
+    // lint:allow(decode-unchecked-allocation) -- fixture: count bounded by MAX_FRAME upstream
+    let out = Vec::with_capacity(n);
+    Ok(out)
+}

@@ -1,0 +1,48 @@
+// Fixture for R3 (panic-in-supervised-path). Fed to check_sources under
+// a `crates/dist/` path; never compiled. `FIRE`-marked lines must fire.
+
+fn p_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // FIRE
+}
+
+fn p_expect(x: Option<u8>) -> u8 {
+    x.expect("worker state") // FIRE
+}
+
+fn p_panic_macro(x: u8) -> u8 {
+    if x > 3 {
+        panic!("bad worker"); // FIRE
+    }
+    x
+}
+
+fn p_unreachable(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), // FIRE
+    }
+}
+
+fn n_structured_error(x: Option<u8>) -> Result<u8, CoordError> {
+    let Some(v) = x else {
+        return Err(CoordError::Internal("missing".into()));
+    };
+    Ok(v)
+}
+
+fn n_poison_recovery(m: &std::sync::Mutex<u8>) -> u8 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn w_waived(x: Option<u8>) -> u8 {
+    // lint:allow(panic-in-supervised-path) -- fixture: provably Some, set on the line above
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(Some(3u8).unwrap(), 3);
+    }
+}

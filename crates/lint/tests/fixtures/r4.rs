@@ -1,0 +1,38 @@
+// Fixture for R4 (unsafe-without-safety-comment). Any crate path; never
+// compiled. `FIRE`-marked lines must fire.
+
+unsafe fn p_no_comment(x: *const f64) -> f64 { // FIRE
+    *x
+}
+
+fn p_block_no_comment(x: *const f64) -> f64 {
+    unsafe { *x } // FIRE
+}
+
+// SAFETY: caller guarantees `x` points at a valid f64.
+unsafe fn n_commented(x: *const f64) -> f64 {
+    *x
+}
+
+/// Reads one lane.
+///
+/// # Safety
+/// `x` must be non-null and aligned.
+#[inline]
+unsafe fn n_doc_safety_section_above_attr(x: *const f64) -> f64 {
+    *x
+}
+
+fn n_trailing_comment(x: *const f64) -> f64 {
+    unsafe { *x } // SAFETY: x is checked non-null by the caller above
+}
+
+fn n_comment_above_block(x: *const f64) -> f64 {
+    // SAFETY: x was validated at construction.
+    unsafe { *x }
+}
+
+fn w_waived(x: *const f64) -> f64 {
+    // lint:allow(unsafe-without-safety-comment) -- fixture: invariant documented at module level
+    unsafe { *x }
+}

@@ -1,0 +1,18 @@
+// Fixture SIMD backend for R5 (backend-parity). Fed to check_sources as
+// `crates/kernel/src/avx2.rs` together with `r5_scalar.rs`; never
+// compiled. `FIRE`-marked lines must fire.
+
+// SAFETY: fixture — caller guarantees avx2.
+pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x[0] * y[0]
+}
+
+// SAFETY: fixture — caller guarantees avx2.
+pub(crate) unsafe fn rogue_op(x: &[f64]) -> f64 { // FIRE
+    x[0]
+}
+
+// SAFETY: fixture — private helpers are exempt by visibility.
+unsafe fn lanes_of(x: &[f64]) -> [f64; 4] {
+    [x[0]; 4]
+}

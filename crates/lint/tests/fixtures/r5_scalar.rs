@@ -1,0 +1,14 @@
+// Fixture scalar backend for R5 (backend-parity). Fed to check_sources
+// as `crates/kernel/src/scalar.rs`; never compiled.
+
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x[0] * y[0]
+}
+
+pub fn sum(x: &[f64]) -> f64 {
+    x[0]
+}
+
+pub(crate) fn reduce_add(acc: [f64; 4]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}

@@ -1,0 +1,27 @@
+// Fixture for R6 (lock-in-hot-path). Fed to check_sources under a
+// `crates/exec/` path; never compiled. `FIRE`-marked lines must fire.
+
+use std::sync::Mutex; // FIRE
+
+fn p_rwlock_field(l: &std::sync::RwLock<u8>) -> u8 { // FIRE
+    0
+}
+
+fn n_atomics(c: &std::sync::atomic::AtomicUsize) -> usize {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn w_waived() {
+    let _guarded: Option<std::sync::Mutex<u8>> = None; // lint:allow(lock-in-hot-path) -- fixture: cold-path diagnostics only
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn test_code_may_lock() {
+        let m = Mutex::new(1u8);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Lexer totality: lexing (and the full rule pass) must never panic on
+//! any input — mutated real source, truncations at arbitrary byte
+//! offsets, or raw garbage. Mirrors `dist/tests/proto_robustness` for
+//! the wire decoder: the analyzer runs on every PR, so a crash on weird
+//! source is a CI outage.
+
+use lint::lexer::lex;
+use proptest::prelude::*;
+
+const SPECIMENS: &[&str] = &[
+    include_str!("../src/lexer.rs"),
+    include_str!("../src/lib.rs"),
+    include_str!("fixtures/r1.rs"),
+    include_str!("fixtures/r4.rs"),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutated_source_never_panics(which in 0usize..4, at_frac in 0.0f64..1.0, xor in 1u8..=255) {
+        let mut bytes = SPECIMENS[which].as_bytes().to_vec();
+        let at = ((bytes.len() - 1) as f64 * at_frac) as usize;
+        bytes[at] ^= xor;
+        // A flipped byte can produce invalid UTF-8; lossy replacement is
+        // what the CLI does on read, so lex what survives.
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn truncated_source_never_panics(which in 0usize..4, frac in 0.0f64..1.0) {
+        let s = SPECIMENS[which];
+        let mut cut = ((s.len() as f64) * frac) as usize;
+        cut = cut.min(s.len());
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let l = lex(&s[..cut]);
+        // Line numbers must stay monotonic even on truncated input.
+        let mut last = 1;
+        for t in &l.tokens {
+            prop_assert!(t.line >= last);
+            last = t.line;
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_even_through_the_rules(bytes in prop::collection::vec(0u8..=255u8, 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = lex(&src);
+        // The full pipeline (rules + waivers) must be total as well, on
+        // the most rule-laden path in the workspace.
+        let _ = lint::check_sources(&[("crates/dist/src/proto.rs".to_string(), src)]);
+    }
+}

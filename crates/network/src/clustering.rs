@@ -29,7 +29,8 @@ pub fn average_clustering(g: &CsrGraph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n).map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+    let locals: Vec<f64> = (0..n).map(|v| local_clustering(g, v)).collect();
+    kernel::sum(&locals) / n as f64
 }
 
 /// Global clustering coefficient (transitivity): `3 × triangles / open +

@@ -67,17 +67,17 @@ pub fn pearson_eq1_paper_form(terms: &[BasicWindowTerms]) -> Result<f64, TsError
         return Err(TsError::Empty);
     }
     let ns = terms.len() as f64;
-    let grand_mean_x = terms.iter().map(|t| t.mean_x).sum::<f64>() / ns;
-    let grand_mean_y = terms.iter().map(|t| t.mean_y).sum::<f64>() / ns;
+    let grand_mean_x = terms.iter().map(|t| t.mean_x).sum::<f64>() / ns; // lint:allow(float-reduction-outside-kernel) -- Eq. 1 paper-form reference: kept in the paper's prescribed per-window accumulation order
+    let grand_mean_y = terms.iter().map(|t| t.mean_y).sum::<f64>() / ns; // lint:allow(float-reduction-outside-kernel) -- Eq. 1 paper-form reference: kept in the paper's prescribed per-window accumulation order
     let mut num = 0.0;
     let mut den_x = 0.0;
     let mut den_y = 0.0;
     for t in terms {
         let dx = t.mean_x - grand_mean_x;
         let dy = t.mean_y - grand_mean_y;
-        num += t.size * (t.std_x * t.std_y * t.corr + dx * dy);
-        den_x += t.size * (t.std_x * t.std_x + dx * dx);
-        den_y += t.size * (t.std_y * t.std_y + dy * dy);
+        num += t.size * (t.std_x * t.std_y * t.corr + dx * dy); // lint:allow(float-reduction-outside-kernel) -- Eq. 1 paper-form reference: kept in the paper's prescribed per-window accumulation order
+        den_x += t.size * (t.std_x * t.std_x + dx * dx); // lint:allow(float-reduction-outside-kernel) -- Eq. 1 paper-form reference: kept in the paper's prescribed per-window accumulation order
+        den_y += t.size * (t.std_y * t.std_y + dy * dy); // lint:allow(float-reduction-outside-kernel) -- Eq. 1 paper-form reference: kept in the paper's prescribed per-window accumulation order
     }
     if den_x <= 0.0 || den_y <= 0.0 {
         return Err(TsError::ZeroVariance);

@@ -50,7 +50,7 @@ impl PairSketch {
         let mut acc = 0.0;
         for b in 0..layout.count {
             let (t0, t1) = layout.time_range(b);
-            acc += kernel::dot(&x[t0..t1], &y[t0..t1]);
+            acc += kernel::dot(&x[t0..t1], &y[t0..t1]); // lint:allow(float-reduction-outside-kernel) -- prefix-sum build: partials are stored; append resumes from the stored tail bit-identically
             cross_prefix.push(acc);
         }
         Self { cross_prefix }
@@ -117,6 +117,7 @@ impl PairSketch {
         let mut acc = *self.cross_prefix.last().unwrap();
         for b in old_count..layout.count {
             let (t0, t1) = layout.time_range(b);
+            // lint:allow(float-reduction-outside-kernel) -- prefix-sum build: partials are stored; append resumes from the stored tail bit-identically
             acc += kernel::dot(
                 &x_tail[t0 - tail_start..t1 - tail_start],
                 &y_tail[t0 - tail_start..t1 - tail_start],

@@ -294,8 +294,8 @@ fn prefix_row(row: &[f64], layout: &BasicWindowLayout) -> (Vec<f64>, Vec<f64>) {
     for b in 0..layout.count {
         let (t0, t1) = layout.time_range(b);
         let (s, ss) = kernel::sum_and_sum_squares(&row[t0..t1]);
-        acc += s;
-        acc_sq += ss;
+        acc += s; // lint:allow(float-reduction-outside-kernel) -- prefix-sum build: partials are stored; append resumes from the stored tail bit-identically
+        acc_sq += ss; // lint:allow(float-reduction-outside-kernel) -- prefix-sum build: partials are stored; append resumes from the stored tail bit-identically
         sums.push(acc);
         sums_sq.push(acc_sq);
     }

@@ -112,7 +112,7 @@ impl SpectralEnvelope {
                 }
             };
         }
-        let total: f64 = w2.iter().sum();
+        let total: f64 = kernel::sum(&w2);
         if total <= 0.0 {
             return Err(TsError::InvalidParameter(
                 "spectral envelope selects no frequencies at this length".into(),

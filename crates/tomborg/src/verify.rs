@@ -40,21 +40,20 @@ pub fn fidelity(x: &TimeSeriesMatrix, target: &Matrix) -> Result<FidelityReport,
     }
     let emp = empirical_correlation(x);
     let mut max_abs: f64 = 0.0;
-    let mut sum_abs = 0.0;
-    let mut sum_sq = 0.0;
-    let mut count = 0usize;
+    let mut errs = Vec::with_capacity(n.saturating_sub(1) * n / 2);
     for i in 0..n {
         for j in (i + 1)..n {
             let e = (emp.get(i, j) - target.get(i, j)).abs();
             max_abs = max_abs.max(e);
-            sum_abs += e;
-            sum_sq += e * e;
-            count += 1;
+            errs.push(e);
         }
     }
+    let count = errs.len();
     if count == 0 {
         return Err(TsError::Empty);
     }
+    let sum_abs = kernel::sum(&errs);
+    let sum_sq = kernel::sum_squares(&errs);
     Ok(FidelityReport {
         max_abs_err: max_abs,
         mean_abs_err: sum_abs / count as f64,

@@ -158,13 +158,12 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateDataset, TsError> {
     // Σ_k w_ik² = 1 so each station's correlated part has unit variance.
     let mut loadings = vec![0.0; n * k];
     for (i, s) in stations.iter().enumerate() {
-        let mut norm2 = 0.0;
         for (f, &(ax, ay)) in anchors.iter().enumerate() {
             let d2 = (s.x - ax).powi(2) + (s.y - ay).powi(2);
             let w = (-d2 / (2.0 * config.factor_radius * config.factor_radius)).exp();
             loadings[i * k + f] = w;
-            norm2 += w * w;
         }
+        let norm2 = kernel::sum_squares(&loadings[i * k..(i + 1) * k]);
         let inv = if norm2 > 0.0 { 1.0 / norm2.sqrt() } else { 0.0 };
         for f in 0..k {
             loadings[i * k + f] *= inv;
@@ -195,6 +194,7 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateDataset, TsError> {
         let level = config.base_temp + 2.0 * standard_normal(&mut rng);
 
         let mut row = Vec::with_capacity(len);
+        let mut fcol = vec![0.0; k];
         for t in 0..len {
             let year_angle =
                 std::f64::consts::TAU * t as f64 / HOURS_PER_YEAR as f64 + seasonal_phase;
@@ -202,10 +202,10 @@ pub fn generate(config: &ClimateConfig) -> Result<ClimateDataset, TsError> {
             // Seasonal minimum in "January" (t = 0) like the northern-
             // hemisphere USCRN network.
             let cycles = -seasonal_amp * year_angle.cos() - diurnal_amp * day_angle.cos();
-            let mut weather = 0.0;
-            for f in 0..k {
-                weather += loadings[i * k + f] * factors[f * len + t];
+            for (f, slot) in fcol.iter_mut().enumerate() {
+                *slot = factors[f * len + t];
             }
+            let weather = kernel::dot(&loadings[i * k..(i + 1) * k], &fcol);
             let noise = config.sensor_sigma * standard_normal(&mut rng);
             row.push(level + cycles + config.weather_sigma * weather + noise);
         }

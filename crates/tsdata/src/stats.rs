@@ -11,13 +11,13 @@ pub fn mean(xs: &[f64]) -> Result<f64, TsError> {
     if xs.is_empty() {
         return Err(TsError::Empty);
     }
-    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64) // lint:allow(float-reduction-outside-kernel) -- scalar reference oracle: deliberately independent of the kernels it validates
 }
 
 /// Population variance. Errors on empty input.
 pub fn variance(xs: &[f64]) -> Result<f64, TsError> {
     let m = mean(xs)?;
-    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64) // lint:allow(float-reduction-outside-kernel) -- scalar reference oracle: deliberately independent of the kernels it validates
 }
 
 /// Population standard deviation.
@@ -42,6 +42,7 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, TsError> {
         .iter()
         .zip(ys)
         .map(|(x, y)| (x - mx) * (y - my))
+        // lint:allow(float-reduction-outside-kernel) -- scalar reference oracle: deliberately independent of the kernels it validates
         .sum::<f64>()
         / xs.len() as f64)
 }

@@ -65,7 +65,7 @@ fn main() {
 
     // Churn: how much does the network change day to day?
     let jaccard = consecutive_jaccard(&result.matrices);
-    let mean_j = jaccard.iter().sum::<f64>() / jaccard.len().max(1) as f64;
+    let mean_j = kernel::sum(&jaccard) / jaccard.len().max(1) as f64;
     println!("\nmean day-over-day edge Jaccard: {mean_j:.3}");
 
     // Blinking links — the El Niño-style signature.
