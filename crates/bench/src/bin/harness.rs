@@ -4,10 +4,10 @@
 //! ```text
 //! harness <exp-id>... [--full]                    # e1 … e13, or `all`
 //! harness bench [--out BENCH_1.json] [--full] [--shard-records DIR]
-//!               [--dist-transport pipes|tcp|tcp-elastic]
+//!               [--dist-transport pipes|tcp|tcp-elastic] [--serve]
 //! harness merge --out MERGED.json SHARD.json...   # fold per-shard records
 //! harness validate [--require-streaming] [--require-kernels]
-//!                  [--require-shards] FILE...
+//!                  [--require-shards] [--require-serve] FILE...
 //! ```
 //!
 //! Quick scale (default) runs in seconds per experiment; `--full` uses the
@@ -23,7 +23,11 @@
 //! workers) instead of spawned stdio pipes, and `tcp-elastic` starts
 //! that leg with a single deliberately slow worker, admits a second one
 //! mid-run, and steals the straggler's tail — recording `late_joins` /
-//! `steals` / `heartbeats` in the `shards` section.
+//! `steals` / `heartbeats` in the `shards` section. `--serve` additionally
+//! runs the serving-tier panel — one resident session answering a panel
+//! of differently-shaped queries from shared sketches, each answer
+//! verified bitwise against a fresh one-shot run — and records the
+//! shared-prepare amortisation in the `serve` section.
 
 use bench::experiments::{run_experiment, ALL};
 use bench::schema::Requires;
@@ -69,7 +73,10 @@ fn run_bench(args: &[String], scale: Scale) {
         }
         None => bench::perf::DistTransport::Pipes,
     };
-    let (record, dist_result, workload) = bench::perf::run_full_with(scale, transport);
+    let (mut record, dist_result, workload) = bench::perf::run_full_with(scale, transport);
+    if args.iter().any(|a| a == "--serve") {
+        record.serve = Some(bench::perf::serve_sample(&workload));
+    }
     if let Some(dir) = shard_dir {
         if let Err(e) = write_shard_records(&dir, &workload, &dist_result) {
             eprintln!("error: {e}");
@@ -169,6 +176,7 @@ fn run_validate(args: &[String]) {
         streaming: args.iter().any(|a| a == "--require-streaming"),
         kernels: args.iter().any(|a| a == "--require-kernels"),
         shards: args.iter().any(|a| a == "--require-shards"),
+        serve: args.iter().any(|a| a == "--require-serve"),
     };
     let files: Vec<&String> = args
         .iter()

@@ -153,6 +153,33 @@ pub struct ShardsPerf {
     pub bit_identical: bool,
 }
 
+/// The serving-tier sample: one resident `serve::Session` answers a panel
+/// of differently-shaped `(window, step, threshold)` queries from its
+/// shared sketch store, timed against the one-shot path re-paying the
+/// prepare phase for every query. The ratio is the amortisation the
+/// session layer exists for — and every resident answer is checked
+/// bitwise against its one-shot twin before it counts.
+#[derive(Debug, Clone)]
+pub struct ServePerf {
+    /// Distinct `(window, step, threshold)` queries in the panel.
+    pub queries: usize,
+    /// Session-open wall milliseconds (the one shared prepare).
+    pub open_ms: f64,
+    /// Total resident `query_shared` wall milliseconds across the panel.
+    pub resident_ms: f64,
+    /// Total fresh prepare+run wall milliseconds across the same panel.
+    pub one_shot_ms: f64,
+    /// `one_shot_ms / (open_ms + resident_ms)`.
+    pub shared_prepare_speedup: f64,
+    /// Resident session bytes after the run (what the daemon's memory
+    /// budget would charge).
+    pub memory_bytes: usize,
+    /// Summed edges across every query's windows.
+    pub total_edges: usize,
+    /// Whether every resident answer matched its one-shot twin bitwise.
+    pub bit_identical: bool,
+}
+
 /// A full perf record.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -177,6 +204,9 @@ pub struct PerfRecord {
     pub kernels: Option<KernelsPerf>,
     /// The distributed shard tier (absent in pre-PR-4 records).
     pub shards: Option<ShardsPerf>,
+    /// The serving tier's shared-prepare amortisation (absent in
+    /// pre-PR-8 records; written by `harness bench --serve`).
+    pub serve: Option<ServePerf>,
 }
 
 impl PerfRecord {
@@ -276,6 +306,22 @@ impl PerfRecord {
                 json_num(k.dot_speedup),
                 json_num(k.moments_speedup),
                 json_num(k.prefix_build_speedup),
+            );
+        }
+        if let Some(sv) = &self.serve {
+            let _ = writeln!(
+                s,
+                "  \"serve\": {{\"queries\": {}, \"open_ms\": {}, \"resident_ms\": {}, \
+                 \"one_shot_ms\": {}, \"shared_prepare_speedup\": {}, \
+                 \"memory_bytes\": {}, \"total_edges\": {}, \"bit_identical\": {}}},",
+                sv.queries,
+                json_num(sv.open_ms),
+                json_num(sv.resident_ms),
+                json_num(sv.one_shot_ms),
+                json_num(sv.shared_prepare_speedup),
+                sv.memory_bytes,
+                sv.total_edges,
+                sv.bit_identical,
             );
         }
         let _ = writeln!(s, "  \"samples\": [");
@@ -434,6 +480,103 @@ fn streaming_sample(w: &Workload, threads: usize, reps: usize) -> StreamingPerf 
     }
 }
 
+/// Runs the serving-tier panel over the workload: open one resident
+/// [`serve::session::Session`], answer a panel of differently-shaped
+/// queries from its shared sketches, and time the same panel through the
+/// one-shot engine (fresh prepare per query). Each resident answer is
+/// verified bitwise against its one-shot twin; the speedup is the
+/// shared-prepare amortisation. All query geometries derive from the
+/// workload's basic window, so the panel works at any scale.
+pub fn serve_sample(w: &Workload) -> ServePerf {
+    use serve::session::Session;
+    let config = DangoronConfig {
+        basic_window: w.basic_window,
+        bound: BoundMode::PaperJump { slack: 0.0 },
+        ..Default::default()
+    };
+    let b = w.basic_window;
+    let covered = w.data.len() / b * b;
+    let data = w.data.slice_columns(0, covered).expect("aligned prefix");
+    let beta = w.query.threshold;
+    // Interactive-exploration shapes: an analyst sweeping window widths
+    // and thresholds over the same resident dataset. Steps are coarse
+    // (5–10 basic windows) so each walk is cheap and the panel isolates
+    // what the session layer amortises — the per-query prepare.
+    let panel: Vec<(usize, usize, f64)> = [
+        (30, 10, beta),
+        (30, 10, beta - 0.05),
+        (30, 10, beta - 0.1),
+        (20, 10, beta),
+        (20, 10, beta - 0.05),
+        (15, 10, beta),
+        (10, 10, beta),
+        (10, 10, beta - 0.05),
+        (40, 10, beta),
+        (45, 10, beta - 0.05),
+        (60, 10, beta),
+        (80, 10, beta - 0.05),
+        (30, 15, beta),
+        (20, 15, beta - 0.05),
+        (15, 15, beta),
+        (45, 15, beta),
+    ]
+    .iter()
+    .map(|&(wm, sm, t)| (wm * b, sm * b, t))
+    .filter(|&(win, _, _)| win <= covered)
+    .collect();
+
+    let t = Instant::now();
+    let session = Session::open(
+        data.clone(),
+        w.query.window.min(covered),
+        w.query.step,
+        beta,
+        config.clone(),
+    )
+    .expect("resident session");
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut resident_ms = 0.0;
+    let mut one_shot_ms = 0.0;
+    let mut total_edges = 0usize;
+    let mut bit_identical = true;
+    for &(win, step, threshold) in &panel {
+        let t = Instant::now();
+        let (exact_to, shared) = session.query(win, step, threshold).expect("shared query");
+        resident_ms += t.elapsed().as_secs_f64() * 1e3; // lint:allow(float-reduction-outside-kernel) -- wall-clock accounting, not data
+
+        let one_shot = Dangoron::new(config.clone()).expect("valid config");
+        let q = sketch::SlidingQuery {
+            start: 0,
+            end: exact_to,
+            window: win,
+            step,
+            threshold,
+        };
+        let t = Instant::now();
+        let fresh = one_shot.execute(&data, q).expect("one-shot run");
+        one_shot_ms += t.elapsed().as_secs_f64() * 1e3; // lint:allow(float-reduction-outside-kernel) -- wall-clock accounting, not data
+
+        total_edges += shared.matrices.iter().map(|m| m.n_edges()).sum::<usize>();
+        bit_identical &= dist::merge::windows_bit_identical(&shared.matrices, &fresh.matrices);
+    }
+    let amortised = open_ms + resident_ms;
+    ServePerf {
+        queries: panel.len(),
+        open_ms,
+        resident_ms,
+        one_shot_ms,
+        shared_prepare_speedup: if amortised > 0.0 {
+            one_shot_ms / amortised
+        } else {
+            0.0
+        },
+        memory_bytes: session.memory_bytes(),
+        total_edges,
+        bit_identical,
+    }
+}
+
 /// Which transport the perf record's distributed leg exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DistTransport {
@@ -506,6 +649,9 @@ pub fn run_full_with(
         streaming,
         kernels,
         shards: Some(shards_perf),
+        // The serving-tier panel is opt-in (`harness bench --serve`): the
+        // caller attaches it so plain bench runs stay comparable.
+        serve: None,
     };
     (record, dist_result, w)
 }
@@ -802,6 +948,7 @@ mod tests {
                 prefix_build_speedup: 1.0,
             }),
             shards: Some(shards_sample(&w).0),
+            serve: Some(serve_sample(&w)),
         }
     }
 
@@ -826,11 +973,18 @@ mod tests {
         assert!(json.contains("\"n_physical_cores\""));
         assert!(json.contains("\"shards\""));
         assert!(json.contains("\"merged_edges\""));
+        assert!(json.contains("\"serve\""));
+        assert!(json.contains("\"shared_prepare_speedup\""));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // The shard run must have reproduced the single-process result.
         assert!(r.shards.unwrap().bit_identical);
+        // Every resident answer must have matched its one-shot twin.
+        let sv = r.serve.unwrap();
+        assert!(sv.bit_identical);
+        assert!(sv.queries >= 4, "panel too small: {}", sv.queries);
+        assert!(sv.one_shot_ms > 0.0 && sv.open_ms > 0.0);
     }
 
     #[test]

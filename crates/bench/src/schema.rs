@@ -106,6 +106,19 @@ const STREAMING_KEYS: [(&str, ValueKind); 8] = [
     ("total_edges", ValueKind::Number),
 ];
 
+/// Keys the `serve` section must carry when present (written by `harness
+/// bench --serve`: the serving tier's shared-prepare amortisation panel).
+const SERVE_KEYS: [(&str, ValueKind); 8] = [
+    ("queries", ValueKind::Number),
+    ("open_ms", ValueKind::Number),
+    ("resident_ms", ValueKind::Number),
+    ("one_shot_ms", ValueKind::Number),
+    ("shared_prepare_speedup", ValueKind::Number),
+    ("memory_bytes", ValueKind::Number),
+    ("total_edges", ValueKind::Number),
+    ("bit_identical", ValueKind::Bool),
+];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ValueKind {
     String,
@@ -150,6 +163,8 @@ pub struct Requires {
     pub kernels: bool,
     /// Demand the `shards` section (distributed tier / merged records).
     pub shards: bool,
+    /// Demand the `serve` section (resident-session amortisation panel).
+    pub serve: bool,
 }
 
 /// Validates a perf record against the `dangoron-bench-v1` schema.
@@ -191,6 +206,7 @@ pub fn validate(json: &str, requires: Requires) -> Result<(), String> {
             check_optional_key(body, key, kind)?;
         }
     }
+    check_section(json, "serve", &SERVE_KEYS, requires.serve)?;
     check_section(json, "shard", &SHARD_KEYS, false)?;
     Ok(())
 }
@@ -345,21 +361,23 @@ mod tests {
         streaming: false,
         kernels: false,
         shards: false,
+        serve: false,
     };
     const REQ_STREAMING: Requires = Requires {
         streaming: true,
-        kernels: false,
-        shards: false,
+        ..REQ_NONE
     };
     const REQ_KERNELS: Requires = Requires {
-        streaming: false,
         kernels: true,
-        shards: false,
+        ..REQ_NONE
     };
     const REQ_SHARDS: Requires = Requires {
-        streaming: false,
-        kernels: false,
         shards: true,
+        ..REQ_NONE
+    };
+    const REQ_SERVE: Requires = Requires {
+        serve: true,
+        ..REQ_NONE
     };
 
     fn minimal(streaming: bool, kernels: bool) -> String {
@@ -454,6 +472,36 @@ mod tests {
         assert!(validate(&bad, REQ_NONE).is_err());
         let bad = v2.replace("\"load_bytes\": 4096", "\"load_bytes\": \"many\"");
         assert!(validate(&bad, REQ_NONE).is_err());
+    }
+
+    /// Splices a well-formed `serve` section into a record.
+    fn add_serve(record: &str) -> String {
+        record.replace(
+            "\"samples\":",
+            "\"serve\": {\"queries\": 8, \"open_ms\": 120.5, \"resident_ms\": 31.2, \
+             \"one_shot_ms\": 1042.0, \"shared_prepare_speedup\": 6.87, \
+             \"memory_bytes\": 262144, \"total_edges\": 420, \
+             \"bit_identical\": true}, \"samples\":",
+        )
+    }
+
+    #[test]
+    fn serve_section_is_required_and_checked_when_demanded() {
+        let err = validate(&minimal(false, false), REQ_SERVE).unwrap_err();
+        assert!(err.contains("serve"), "{err}");
+        let ok = add_serve(&minimal(false, false));
+        validate(&ok, REQ_SERVE).unwrap();
+        validate(&ok, REQ_NONE).unwrap();
+        // A damaged serve section is caught even when not required.
+        let bad = ok.replace("\"shared_prepare_speedup\": 6.87, ", "");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        let bad = ok.replace("\"bit_identical\": true", "\"bit_identical\": \"yes\"");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        let bad = ok.replace("\"queries\": 8", "\"queries\": \"eight\"");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        // The section keys cannot be satisfied by same-named sample keys.
+        let bad = ok.replace("\"total_edges\": 420, ", "");
+        assert!(validate(&bad, REQ_SERVE).is_err());
     }
 
     #[test]
@@ -577,11 +625,13 @@ mod tests {
             streaming: None,
             kernels: None,
             shards: None,
+            serve: None,
         };
         validate(&r.to_json(), REQ_NONE).unwrap();
         assert!(validate(&r.to_json(), REQ_STREAMING).is_err());
         assert!(validate(&r.to_json(), REQ_KERNELS).is_err());
         assert!(validate(&r.to_json(), REQ_SHARDS).is_err());
+        assert!(validate(&r.to_json(), REQ_SERVE).is_err());
         r.streaming = Some(StreamingPerf {
             threads: 2,
             open: t,
@@ -621,12 +671,23 @@ mod tests {
             single_process_ms: 8.0,
             bit_identical: true,
         });
+        r.serve = Some(crate::perf::ServePerf {
+            queries: 8,
+            open_ms: 120.0,
+            resident_ms: 30.0,
+            one_shot_ms: 1000.0,
+            shared_prepare_speedup: 6.6,
+            memory_bytes: 262_144,
+            total_edges: 420,
+            bit_identical: true,
+        });
         validate(
             &r.to_json(),
             Requires {
                 streaming: true,
                 kernels: true,
                 shards: true,
+                serve: true,
             },
         )
         .unwrap();

@@ -90,6 +90,11 @@ impl DepartureCost {
         self.prefix.len() - 1
     }
 
+    /// Resident bytes of the prefix's backing store.
+    pub fn memory_bytes(&self) -> usize {
+        self.prefix.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// `Σ_{b in [b0, b1)} (1 − c_b)` — the growth of the Eq. 2 bound when
     /// those basic windows depart.
     #[inline]
@@ -180,6 +185,13 @@ pub struct PairCosts {
     /// `Σ (1 + c_b)` prefix — drives the lower bound (anticorrelation
     /// edges); `None` for positive-threshold queries.
     pub lower: Option<DepartureCost>,
+}
+
+impl PairCosts {
+    /// Resident bytes of both prefixes.
+    pub fn memory_bytes(&self) -> usize {
+        self.upper.memory_bytes() + self.lower.as_ref().map_or(0, DepartureCost::memory_bytes)
+    }
 }
 
 /// Largest `k ∈ [1, k_max]` such that **both** Eq. 2 bounds confine the

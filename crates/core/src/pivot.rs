@@ -197,6 +197,12 @@ impl PivotSet {
         self.n_windows
     }
 
+    /// Resident bytes of the correlation table.
+    pub fn memory_bytes(&self) -> usize {
+        let cells: usize = self.corr.iter().map(Vec::capacity).sum();
+        cells * std::mem::size_of::<f64>()
+    }
+
     /// Tightest triangle interval `[lo, hi]` on `c_ij` at window `w`
     /// across all pivots; `(−1, 1)` (no information) when every pivot is
     /// undefined there or the pair involves a pivot-degenerate window.

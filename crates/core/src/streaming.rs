@@ -533,6 +533,190 @@ impl StreamingDangoron {
             threshold: self.threshold,
         }
     }
+
+    /// The window length this session drains with.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The step this session drains with.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// The threshold `β` this session drains with.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of series in the session's matrix.
+    pub fn n_series(&self) -> usize {
+        self.n_series
+    }
+
+    /// The engine configuration the session was opened with.
+    pub fn config(&self) -> &DangoronConfig {
+        &self.config
+    }
+
+    /// Bytes of resident state: sketch prefixes, pair sketches, Eq. 2
+    /// cost prefixes, the pivot table, and the unabsorbed raw tail. This
+    /// is what a serving tier accounts against its memory budget — it is
+    /// the part of the session that grows with the stream.
+    pub fn memory_bytes(&self) -> usize {
+        let pairs: usize = self.pairs.iter().map(PairSketch::memory_bytes).sum();
+        let pivot_pairs: usize = self
+            .pivot_pairs
+            .iter()
+            .map(|(_, p)| p.memory_bytes() + std::mem::size_of::<usize>())
+            .sum();
+        let deps: usize = self.deps.iter().map(PairCosts::memory_bytes).sum();
+        let pivots = self.pivots.as_ref().map_or(0, PivotSet::memory_bytes);
+        let tail = self
+            .tail
+            .as_ref()
+            .map_or(0, |t| t.n_series() * t.len() * std::mem::size_of::<f64>());
+        self.store.memory_bytes() + pairs + pivot_pairs + deps + pivots + tail
+    }
+
+    /// Answers an **ad-hoc** `(window, step, threshold)` query from the
+    /// resident sketch state — the serving tier's shared-prepare path.
+    ///
+    /// Sketch prefixes are query-independent, so a resident session can
+    /// answer any aligned query without touching the raw history or
+    /// re-paying the prepare phase: this walks the full current history
+    /// with the same pruned pair walker the batch engine uses, and the
+    /// result is bit-identical to a fresh [`crate::Dangoron`] run over
+    /// the equivalent prefix (both pruning mechanisms are lossless).
+    ///
+    /// What is reused from the resident state:
+    ///
+    /// * the [`SketchStore`] and every pair sketch — always;
+    /// * the Eq. 2 departure-cost prefixes — always in jump mode (they
+    ///   depend only on the sketches and the edge rule, not the query
+    ///   geometry);
+    /// * the pivot table — only when `(window, step)` equal the session's
+    ///   own geometry (its intervals are keyed by the session's window
+    ///   frame); other geometries simply walk without horizontal pruning.
+    ///
+    /// `window` and `step` must be multiples of the session's basic
+    /// window; sharded sessions (a partial pair range) cannot answer
+    /// shared queries — open the session unsharded.
+    pub fn query_shared(
+        &self,
+        window: usize,
+        step: usize,
+        threshold: f64,
+    ) -> Result<crate::engine::QueryResult, TsError> {
+        let b = self.config.basic_window;
+        if window < 2 || !window.is_multiple_of(b) {
+            return Err(TsError::InvalidParameter(format!(
+                "query window {window} must be a positive multiple of basic window {b}"
+            )));
+        }
+        if step == 0 || !step.is_multiple_of(b) {
+            return Err(TsError::InvalidParameter(format!(
+                "query step {step} must be a positive multiple of basic window {b}"
+            )));
+        }
+        if !(-1.0..=1.0).contains(&threshold) {
+            return Err(TsError::InvalidParameter(format!(
+                "threshold must be in [-1, 1], got {threshold}"
+            )));
+        }
+        let rule = self.config.edge_rule;
+        if rule == sketch::output::EdgeRule::Absolute && threshold < 0.0 {
+            return Err(TsError::InvalidParameter(format!(
+                "absolute edge rule needs a non-negative threshold, got {threshold}"
+            )));
+        }
+        let n = self.n_series;
+        if self.pair_range != (0..triangular::count(n)) {
+            return Err(TsError::InvalidParameter(format!(
+                "shared queries need the full pair triangle; this session holds ranks {}..{}",
+                self.pair_range.start, self.pair_range.end
+            )));
+        }
+        let covered = self.store.layout().end();
+        let n_windows = if covered < window {
+            0
+        } else {
+            (covered - window) / step + 1
+        };
+        let ns = window / b;
+        let step_bw = step / b;
+        let geo = WalkGeometry {
+            n_windows,
+            ns,
+            step_bw,
+            offset_bw: 0,
+        };
+        let need_dep = matches!(self.config.bound, BoundMode::PaperJump { .. });
+        // The pivot table's intervals are keyed by the *session's* window
+        // geometry; reuse it only when the query matches. Skipping it for
+        // other geometries is safe — horizontal pruning is lossless, so
+        // the edges come out identical either way.
+        let pivots = if window == self.window && step == self.step {
+            self.pivots.as_ref()
+        } else {
+            None
+        };
+
+        let n_pairs = self.pairs.len();
+        let worker_out = exec::run_partitioned(
+            n_pairs,
+            self.config.threads,
+            crate::engine::WALK_GRAIN,
+            |_| (Vec::<(u32, Edge)>::new(), PruningStats::default()),
+            |(buf, stats), range| {
+                for p in range {
+                    let (i, j) = triangular::unrank(p, n);
+                    if let Some(pv) = pivots {
+                        if pv.pair_never_edges_in(i, j, threshold, rule, 0, n_windows) {
+                            stats.n_pairs += 1;
+                            stats.total_cells += n_windows as u64;
+                            stats.pairs_skipped_entirely += 1;
+                            continue;
+                        }
+                    }
+                    let pair = &self.pairs[p];
+                    let dep = need_dep.then(|| &self.deps[p]);
+                    walk_pair(
+                        &self.store,
+                        pair,
+                        i,
+                        j,
+                        geo,
+                        threshold,
+                        rule,
+                        self.config.bound,
+                        dep,
+                        pivots,
+                        stats,
+                        |w, v| {
+                            buf.push((
+                                w as u32,
+                                Edge {
+                                    i: i as u32,
+                                    j: j as u32,
+                                    value: v,
+                                },
+                            ))
+                        },
+                    );
+                }
+            },
+        );
+        let mut stats = PruningStats::default();
+        let total_edges: usize = worker_out.iter().map(|(buf, _)| buf.len()).sum();
+        let mut flat = Vec::with_capacity(total_edges);
+        for (buf, s) in worker_out {
+            stats.merge(&s);
+            flat.extend(buf);
+        }
+        let matrices = ThresholdedMatrix::assemble_windows(n, threshold, rule, n_windows, flat);
+        Ok(crate::engine::QueryResult { matrices, stats })
+    }
 }
 
 #[cfg(test)]
@@ -822,6 +1006,127 @@ mod tests {
             .unwrap();
         assert!(!out.is_empty());
         assert_eq!(out[0].index, before);
+    }
+
+    fn assert_bitwise(a: &[ThresholdedMatrix], b: &[ThresholdedMatrix]) {
+        assert_eq!(a.len(), b.len());
+        for (w, (ma, mb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(ma.n_edges(), mb.n_edges(), "window {w}");
+            for (ea, eb) in ma.edges().iter().zip(mb.edges()) {
+                assert_eq!((ea.i, ea.j), (eb.i, eb.j), "window {w}");
+                assert_eq!(ea.value.to_bits(), eb.value.to_bits(), "window {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_queries_match_fresh_batch_runs() {
+        // The serving tier's contract: any aligned (window, step, β) query
+        // answered from the resident sketches is bit-identical to a fresh
+        // one-shot engine run over the same prefix — including geometries
+        // and thresholds the session was never opened with.
+        let full = generators::clustered_matrix(8, 400, 2, 0.5, 3).unwrap();
+        let initial = full.slice_columns(0, 150).unwrap();
+        let cfg = config_with_pivots(BoundMode::Exhaustive, 2);
+        let mut session = StreamingDangoron::new(initial, 80, 20, 0.7, cfg.clone()).unwrap();
+        session.drain_completed().unwrap();
+        for (a, b) in [(150usize, 290usize), (290, 400)] {
+            session.append(&full.slice_columns(a, b).unwrap()).unwrap();
+            let covered = session.batch_query().end;
+            let prefix = full.slice_columns(0, covered).unwrap();
+            for (w, s, t) in [(80, 20, 0.7), (60, 20, 0.9), (100, 40, 0.5), (40, 40, 0.8)] {
+                let shared = session.query_shared(w, s, t).unwrap();
+                let engine = Dangoron::new(cfg.clone()).unwrap();
+                let query = SlidingQuery {
+                    start: 0,
+                    end: covered,
+                    window: w,
+                    step: s,
+                    threshold: t,
+                };
+                let truth = engine.execute(&prefix, query).unwrap();
+                assert_bitwise(&shared.matrices, &truth.matrices);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_queries_match_in_jump_mode() {
+        // Jump mode is approximate vs the exhaustive truth, but the shared
+        // query reuses the resident Eq. 2 cost prefixes — which extend
+        // bit-identically to a fresh build — so it must equal a fresh
+        // jump-mode engine run exactly.
+        let full = generators::clustered_matrix(7, 300, 2, 0.5, 9).unwrap();
+        let cfg = config(BoundMode::PaperJump { slack: 0.0 });
+        let mut session = StreamingDangoron::new(
+            full.slice_columns(0, 120).unwrap(),
+            80,
+            20,
+            0.85,
+            cfg.clone(),
+        )
+        .unwrap();
+        session.drain_completed().unwrap();
+        session
+            .append(&full.slice_columns(120, 300).unwrap())
+            .unwrap();
+        let covered = session.batch_query().end;
+        let prefix = full.slice_columns(0, covered).unwrap();
+        for (w, s, t) in [(80, 20, 0.85), (60, 60, 0.7)] {
+            let shared = session.query_shared(w, s, t).unwrap();
+            let engine = Dangoron::new(cfg.clone()).unwrap();
+            let query = SlidingQuery {
+                start: 0,
+                end: covered,
+                window: w,
+                step: s,
+                threshold: t,
+            };
+            let truth = engine.execute(&prefix, query).unwrap();
+            assert_bitwise(&shared.matrices, &truth.matrices);
+        }
+    }
+
+    #[test]
+    fn shared_query_validation_and_memory_accounting() {
+        let full = generators::clustered_matrix(6, 200, 2, 0.5, 5).unwrap();
+        let mut session = StreamingDangoron::new(
+            full.slice_columns(0, 100).unwrap(),
+            80,
+            20,
+            0.7,
+            config(BoundMode::Exhaustive),
+        )
+        .unwrap();
+        // Misaligned or out-of-range parameters are structured errors.
+        assert!(session.query_shared(75, 20, 0.5).is_err());
+        assert!(session.query_shared(80, 15, 0.5).is_err());
+        assert!(session.query_shared(80, 0, 0.5).is_err());
+        assert!(session.query_shared(80, 20, 1.5).is_err());
+        // A query longer than the history yields zero windows, not an error.
+        assert!(session
+            .query_shared(200, 20, 0.5)
+            .unwrap()
+            .matrices
+            .is_empty());
+        // Memory accounting grows with the stream.
+        let before = session.memory_bytes();
+        assert!(before > 0);
+        session
+            .append(&full.slice_columns(100, 200).unwrap())
+            .unwrap();
+        assert!(session.memory_bytes() > before);
+        // Sharded sessions cannot answer shared queries.
+        let sharded = StreamingDangoron::new_sharded(
+            full.slice_columns(0, 100).unwrap(),
+            80,
+            20,
+            0.7,
+            config(BoundMode::Exhaustive),
+            0..5,
+        )
+        .unwrap();
+        assert!(sharded.query_shared(80, 20, 0.7).is_err());
     }
 
     #[test]

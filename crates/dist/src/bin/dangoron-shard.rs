@@ -22,7 +22,6 @@
 //! old identity's in-flight work is re-planned and any stale frames are
 //! discarded by assignment id.
 
-use dist::transport::WorkerIo;
 use std::io;
 use std::time::Duration;
 
@@ -92,29 +91,17 @@ fn main() {
 
 /// Dials the coordinator and serves; on a dropped link, re-dials up to
 /// `reconnect` times, rejoining the (elastic) run as a new member each
-/// time. The backoff jitter is seeded per process *and* per attempt so a
-/// fleet killed together does not re-dial in lockstep.
+/// time. The dial/retry/backoff loop itself lives in
+/// [`dist::transport::serve_with_reconnect`], shared with the serving
+/// tier's clients.
 fn serve_tcp(addr: &str, patience: Duration, reconnect: u32) -> io::Result<()> {
-    let mut attempt: u32 = 0;
-    loop {
-        let seed = (std::process::id() as u64) << 8 | attempt as u64;
-        let link = match WorkerIo::connect(addr, patience, seed) {
-            Ok(link) => link,
-            Err(e) => {
-                eprintln!("dangoron-shard: cannot connect to {addr}: {e}");
-                std::process::exit(1);
-            }
-        };
-        match dist::worker::serve(link.input, link.output) {
-            Ok(()) => return Ok(()),
-            Err(e) if attempt < reconnect => {
-                attempt += 1;
-                eprintln!(
-                    "dangoron-shard: link lost ({e}); reconnecting to {addr} \
-                     (attempt {attempt}/{reconnect})"
-                );
-            }
-            Err(e) => return Err(e),
-        }
-    }
+    dist::transport::serve_with_reconnect(addr, patience, reconnect, "dangoron-shard", |link| {
+        // `worker::serve` returns Ok exactly at end-of-file — which is
+        // how both a finished coordinator and a link killed while this
+        // worker sat idle look from here. Reporting `Eof` lets the
+        // reconnect loop's probe dial disambiguate instead of silently
+        // exiting mid-run (which strands the coordinator with no
+        // survivors).
+        dist::worker::serve(link.input, link.output).map(|()| dist::transport::LinkEnd::Eof)
+    })
 }

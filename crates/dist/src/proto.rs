@@ -55,8 +55,11 @@ pub const MAX_HELLO_FRAME: usize = 64;
 /// Version of the wire layout. v1 (PR 4) shipped the matrix inside every
 /// `Assign`; v2 added the `Hello` handshake and the `Load` frame; v3
 /// added the elastic frames (`Ping`/`Pong`/`Progress`/`Steal`/
-/// `StealGrant`) behind [`CAP_HEARTBEAT`].
-pub const PROTOCOL_VERSION: u32 = 3;
+/// `StealGrant`) behind [`CAP_HEARTBEAT`]; v4 adds the serving tier's
+/// session frames (tags 11+, defined in `crates/serve`) behind
+/// [`CAP_SERVE`] — this module stays the shared substrate (handshake,
+/// heartbeats, decode hardening) for both protocols.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Oldest worker version a coordinator still admits. v2 workers lack the
 /// elastic frames, so the coordinator masks [`CAP_HEARTBEAT`] off their
@@ -71,10 +74,15 @@ pub const CAP_STREAMING: u32 = 1 << 1;
 /// Capability bit (v3): the worker answers `Ping`, reports per-assignment
 /// `Progress`, and negotiates `Steal`/`StealGrant`.
 pub const CAP_HEARTBEAT: u32 = 1 << 2;
+/// Capability bit (v4): the peer speaks the serving tier's session frames
+/// (`Open`/`Append`/`Query`/`Subscribe`/`Evict`, tags 11+ — see
+/// `crates/serve`). The coordinator ignores it; `dangoron-serve` requires
+/// it of its clients.
+pub const CAP_SERVE: u32 = 1 << 3;
 
 /// The capability bits this build's worker advertises in its [`Hello`].
 pub fn local_caps() -> u32 {
-    CAP_BATCH | CAP_STREAMING | CAP_HEARTBEAT
+    CAP_BATCH | CAP_STREAMING | CAP_HEARTBEAT | CAP_SERVE
 }
 
 /// The capability bit a coordinator requires for `mode`.
@@ -447,7 +455,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, String> {
     Ok(msg)
 }
 
-fn encode_config(out: &mut Vec<u8>, c: &DangoronConfig) {
+pub fn encode_config(out: &mut Vec<u8>, c: &DangoronConfig) {
     out.put_u64_le(c.basic_window as u64);
     match c.bound {
         BoundMode::Exhaustive => {
@@ -493,7 +501,7 @@ fn encode_config(out: &mut Vec<u8>, c: &DangoronConfig) {
     });
 }
 
-fn decode_config(buf: &mut &[u8]) -> Result<DangoronConfig, String> {
+pub fn decode_config(buf: &mut &[u8]) -> Result<DangoronConfig, String> {
     let basic_window = take_u64(buf, "basic_window")? as usize;
     let bound_tag = take_u8(buf, "bound")?;
     let slack = take_f64(buf, "slack")?;
@@ -575,7 +583,7 @@ fn decode_stats(buf: &mut &[u8]) -> Result<PruningStats, String> {
     Ok(s)
 }
 
-fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), String> {
+pub fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), String> {
     if buf.remaining() < n {
         Err(format!(
             "truncated frame: need {n} bytes for {what}, have {}",
@@ -586,22 +594,22 @@ fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), String> {
     }
 }
 
-fn take_u8(buf: &mut &[u8], what: &str) -> Result<u8, String> {
+pub fn take_u8(buf: &mut &[u8], what: &str) -> Result<u8, String> {
     need(buf, 1, what)?;
     Ok(buf.get_u8())
 }
 
-fn take_u32(buf: &mut &[u8], what: &str) -> Result<u32, String> {
+pub fn take_u32(buf: &mut &[u8], what: &str) -> Result<u32, String> {
     need(buf, 4, what)?;
     Ok(buf.get_u32_le())
 }
 
-fn take_u64(buf: &mut &[u8], what: &str) -> Result<u64, String> {
+pub fn take_u64(buf: &mut &[u8], what: &str) -> Result<u64, String> {
     need(buf, 8, what)?;
     Ok(buf.get_u64_le())
 }
 
-fn take_f64(buf: &mut &[u8], what: &str) -> Result<f64, String> {
+pub fn take_f64(buf: &mut &[u8], what: &str) -> Result<f64, String> {
     need(buf, 8, what)?;
     Ok(buf.get_f64_le())
 }
@@ -609,7 +617,7 @@ fn take_f64(buf: &mut &[u8], what: &str) -> Result<f64, String> {
 /// Reads `count` LE `u64`s, validating the count against the bytes
 /// actually present **before** allocating — a hostile length field can
 /// never size an allocation larger than the received payload.
-fn take_u64s(buf: &mut &[u8], count: usize, what: &str) -> Result<Vec<u64>, String> {
+pub fn take_u64s(buf: &mut &[u8], count: usize, what: &str) -> Result<Vec<u64>, String> {
     need(
         buf,
         count.checked_mul(8).ok_or("element count overflow")?,
@@ -619,7 +627,7 @@ fn take_u64s(buf: &mut &[u8], count: usize, what: &str) -> Result<Vec<u64>, Stri
 }
 
 /// [`take_u64s`] for `f64` bit patterns.
-fn take_f64s(buf: &mut &[u8], count: usize, what: &str) -> Result<Vec<f64>, String> {
+pub fn take_f64s(buf: &mut &[u8], count: usize, what: &str) -> Result<Vec<f64>, String> {
     need(
         buf,
         count.checked_mul(8).ok_or("element count overflow")?,

@@ -257,6 +257,87 @@ impl WorkerIo<TcpStream, TcpStream> {
     }
 }
 
+/// How one conversation over a [`serve_with_reconnect`] link ended, as
+/// reported by the serve closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEnd {
+    /// This side is done on purpose (a client that sent its last
+    /// request). Never retried.
+    Done,
+    /// The link hit end-of-file. For a worker this is ambiguous: a peer
+    /// that finished cleanly closes the link exactly the way a severed
+    /// link looks from here — only the listener knows which happened, so
+    /// the reconnect loop disambiguates with a probe dial.
+    Eof,
+}
+
+/// Patience for the probe dial after an [`LinkEnd::Eof`]: long enough to
+/// ride out a restarting listener, short enough that a peer outliving a
+/// finished run exits promptly instead of grinding the full `patience`.
+const EOF_PROBE_PATIENCE: Duration = Duration::from_secs(2);
+
+/// Dials `addr` and hands the link to `serve`; re-dials and re-serves up
+/// to `reconnect` more times before giving up. [`LinkEnd::Done`] ends
+/// the loop — a deliberate finish is never retried. [`LinkEnd::Eof`]
+/// could be either a peer that completed its run or a link that was
+/// killed under this side while it sat idle (both read as end-of-file),
+/// so the loop probes: if something is still listening on `addr` the run
+/// is still on and the link is re-established; if nothing accepts within
+/// a short patience, the peer is gone and the loop exits cleanly. An
+/// `Err` (a link that died mid-frame) re-dials with the full `patience`
+/// and surfaces the error once attempts are exhausted.
+///
+/// This is the one reconnect loop shared by every long-lived peer of a
+/// listening process: `dangoron-shard --connect/--reconnect` rejoining an
+/// elastic coordinator, and the serving tier's clients re-dialing a
+/// `dangoron-serve` daemon. The backoff jitter is seeded per process
+/// *and* per attempt ([`WorkerIo::connect`]) so a fleet killed together
+/// does not re-dial in lockstep. `who` labels the retry diagnostics on
+/// stderr.
+pub fn serve_with_reconnect<F>(
+    addr: &str,
+    patience: Duration,
+    reconnect: u32,
+    who: &str,
+    mut serve: F,
+) -> io::Result<()>
+where
+    F: FnMut(WorkerIo<TcpStream, TcpStream>) -> io::Result<LinkEnd>,
+{
+    let mut attempt: u32 = 0;
+    let mut probing = false;
+    loop {
+        let seed = (std::process::id() as u64) << 8 | attempt as u64;
+        let link = if probing {
+            match WorkerIo::connect(addr, EOF_PROBE_PATIENCE, seed) {
+                Ok(link) => link,
+                // Nothing accepting: the peer finished and left. A clean
+                // end-of-run must exit cleanly, not as a dial error.
+                Err(_) => return Ok(()),
+            }
+        } else {
+            WorkerIo::connect(addr, patience, seed)?
+        };
+        match serve(link) {
+            Ok(LinkEnd::Done) => return Ok(()),
+            Ok(LinkEnd::Eof) if attempt < reconnect => {
+                attempt += 1;
+                probing = true;
+                eprintln!(
+                    "{who}: link closed; probing {addr} for a live peer (attempt {attempt}/{reconnect})"
+                );
+            }
+            Ok(LinkEnd::Eof) => return Ok(()),
+            Err(e) if attempt < reconnect => {
+                attempt += 1;
+                probing = false;
+                eprintln!("{who}: link lost ({e}); reconnecting to {addr} (attempt {attempt}/{reconnect})");
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +366,88 @@ mod tests {
         t.kill();
         t.reap();
         assert_eq!(t.kind(), "tcp");
+    }
+
+    #[test]
+    fn serve_with_reconnect_redials_on_error_and_stops_on_ok() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let acceptor = std::thread::spawn(move || {
+            // Accept three links; the worker errors twice, then succeeds.
+            for _ in 0..3 {
+                let (_s, _) = listener.accept().unwrap();
+            }
+        });
+        let mut served = 0;
+        let res = serve_with_reconnect(&addr, Duration::from_secs(5), 5, "test", |_link| {
+            served += 1;
+            if served < 3 {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected"))
+            } else {
+                Ok(LinkEnd::Done)
+            }
+        });
+        assert!(res.is_ok());
+        assert_eq!(served, 3, "a deliberate finish must not be retried");
+        acceptor.join().unwrap();
+
+        // Exhausted retries surface the last error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let acceptor = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (_s, _) = listener.accept().unwrap();
+            }
+        });
+        let res = serve_with_reconnect(&addr, Duration::from_secs(5), 1, "test", |_link| {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "always"))
+        });
+        assert!(res.is_err());
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn eof_probe_rejoins_while_the_listener_lives() {
+        // A link killed while this side sits idle reads as EOF; as long
+        // as the listener is still up, the loop must re-establish it.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let acceptor = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (_s, _) = listener.accept().unwrap();
+            }
+        });
+        let mut served = 0;
+        let res = serve_with_reconnect(&addr, Duration::from_secs(5), 3, "test", |_link| {
+            served += 1;
+            if served == 1 {
+                Ok(LinkEnd::Eof)
+            } else {
+                Ok(LinkEnd::Done)
+            }
+        });
+        assert!(res.is_ok());
+        assert_eq!(served, 2, "EOF with a live listener must rejoin");
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn eof_exits_cleanly_once_the_listener_is_gone() {
+        // The other half of the ambiguity: EOF because the peer finished
+        // and closed up. The probe finds nothing accepting and the loop
+        // ends Ok — never a dial error, never a full-patience grind.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            serve_with_reconnect(&addr, Duration::from_secs(30), 3, "test", |_link| {
+                Ok(LinkEnd::Eof)
+            })
+        });
+        let (_s, _) = listener.accept().unwrap();
+        drop(listener);
+        // The probe may still catch the listener's backlog for an accept
+        // or two; the attempt budget bounds it either way.
+        assert!(handle.join().unwrap().is_ok());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 pub const R1: &str = "float-reduction-outside-kernel";
 /// Rule R2: decode-path allocations sized by unvalidated wire counts.
 pub const R2: &str = "decode-unchecked-allocation";
-/// Rule R3: panic paths in supervised `crates/dist` code.
+/// Rule R3: panic paths in supervised `crates/dist`/`crates/serve` code.
 pub const R3: &str = "panic-in-supervised-path";
 /// Rule R4: `unsafe` without a `SAFETY:` comment.
 pub const R4: &str = "unsafe-without-safety-comment";
@@ -50,7 +50,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         R3,
-        "unwrap/expect/panic!/unreachable! in crates/dist supervised code (use CoordError/proto errors)",
+        "unwrap/expect/panic!/unreachable! in crates/dist or crates/serve supervised code (use structured errors)",
     ),
     (
         R4,
@@ -479,11 +479,13 @@ fn rule_r2(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding
     }
 }
 
-/// R3 — panic paths in the supervised tier: `unwrap`/`expect` calls and
-/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in `crates/dist`
-/// non-test code.
+/// R3 — panic paths in the supervised tiers: `unwrap`/`expect` calls and
+/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in `crates/dist` or
+/// `crates/serve` non-test code. Both crates host long-lived processes
+/// whose peers (workers, clients) must only ever see structured errors —
+/// a panic on a daemon thread with a lock held poisons every tenant.
 fn rule_r3(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    if crate_of(rel) != "dist" {
+    if !matches!(crate_of(rel), "dist" | "serve") {
         return;
     }
     for i in 0..toks.len() {
@@ -500,8 +502,8 @@ fn rule_r3(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding
                 line,
                 R3,
                 format!(
-                    "`.{name}()` in supervised dist code — return CoordError/ProtoError (or \
-                     restructure with let-else) so worker faults stay recoverable"
+                    "`.{name}()` in supervised code — return a structured error (or \
+                     restructure with let-else) so peer faults stay recoverable"
                 ),
             ));
         }
@@ -511,7 +513,7 @@ fn rule_r3(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding
                 rel,
                 line,
                 R3,
-                format!("`{name}!` in supervised dist code — return a structured error instead"),
+                format!("`{name}!` in supervised code — return a structured error instead"),
             ));
         }
     }
@@ -930,6 +932,15 @@ mod tests {
         let f = check_one("crates/dist/src/x.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn r3_covers_the_serving_tier_but_not_engine_crates() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let f = check_one("crates/serve/src/server.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, R3);
+        assert!(check_one("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The resident session daemon.
+//!
+//! ```text
+//! dangoron-serve --listen ADDR        # accept serve-protocol clients
+//!          [--mem-budget-mb N]        # summed resident session bytes;
+//!                                     # idle-LRU eviction + append
+//!                                     # backpressure keep under it
+//!          [--max-links N]            # exit after N links close (CI)
+//! ```
+//!
+//! Each accepted link is served on its own thread; sessions are shared
+//! across links by name, so one client can append while others query or
+//! subscribe. See `crates/serve` for the protocol and the concurrency
+//! model.
+
+use serve::Registry;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen: Option<String> = None;
+    let mut mem_budget_mb: Option<u64> = None;
+    let mut max_links: Option<u64> = None;
+    let value = |args: &[String], k: usize, flag: &str| -> String {
+        match args.get(k + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("dangoron-serve: {flag} requires a value");
+                std::process::exit(2);
+            }
+        }
+    };
+    let parse = |text: String, flag: &str| -> u64 {
+        match text.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("dangoron-serve: bad {flag}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--listen" => listen = Some(value(&args, k, "--listen")),
+            "--mem-budget-mb" => {
+                mem_budget_mb = Some(parse(value(&args, k, "--mem-budget-mb"), "--mem-budget-mb"))
+            }
+            "--max-links" => max_links = Some(parse(value(&args, k, "--max-links"), "--max-links")),
+            other => {
+                eprintln!("dangoron-serve: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        k += 2;
+    }
+    let Some(addr) = listen else {
+        eprintln!("usage: dangoron-serve --listen ADDR [--mem-budget-mb N] [--max-links N]");
+        std::process::exit(2);
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dangoron-serve: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let budget = mem_budget_mb.map(|mb| (mb as usize) << 20);
+    eprintln!(
+        "dangoron-serve: listening on {addr} (budget: {})",
+        match budget {
+            Some(b) => format!("{b} bytes"),
+            None => "unbounded".to_string(),
+        }
+    );
+    let registry = Arc::new(Registry::new(budget));
+    if let Err(e) = serve::serve(listener, registry, max_links) {
+        eprintln!("dangoron-serve: {e}");
+        std::process::exit(1);
+    }
+}

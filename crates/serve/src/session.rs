@@ -1,0 +1,208 @@
+//! A resident session: one [`StreamingDangoron`] plus its subscribers.
+//!
+//! The session is the unit the daemon keeps warm. Its engine owns the
+//! sketch prefixes, which are query-independent — every concurrent
+//! `(window, step, threshold)` query against the session shares them via
+//! [`StreamingDangoron::query_shared`] (`&self`, so readers run in
+//! parallel under the daemon's `RwLock`), paying only the walk and never
+//! the prepare phase. Appends go through [`Session::append`], which
+//! drains the newly completed windows and pushes each one to every
+//! subscriber as a per-window *delta*; a subscriber whose sink fails is
+//! dropped on the spot and can never poison the session or starve the
+//! other tenants.
+
+use dangoron::{CompletedWindow, StreamingDangoron};
+use tsdata::{TimeSeriesMatrix, TsError};
+
+/// What an append changed — the body of the `Appended` backpressure ack.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendOutcome {
+    /// Columns the resident sketches now cover.
+    pub covered_cols: usize,
+    /// Windows this append completed (and pushed to subscribers).
+    pub windows_closed: usize,
+    /// Resident bytes after the append.
+    pub memory_bytes: usize,
+}
+
+/// A delta sink: called once per completed window with the subscription
+/// id and the window; returns `false` to drop the subscription (a failed
+/// or disconnected sink).
+pub type DeltaSink = Box<dyn FnMut(u64, &CompletedWindow) -> bool + Send + Sync>;
+
+struct Subscriber {
+    sub_id: u64,
+    conn_id: u64,
+    sink: DeltaSink,
+}
+
+/// One resident engine plus its delta subscribers.
+pub struct Session {
+    engine: StreamingDangoron,
+    subscribers: Vec<Subscriber>,
+}
+
+impl Session {
+    /// Opens a resident session over the initial history. The engine must
+    /// hold the full pair triangle (shared queries reject shards), which
+    /// [`StreamingDangoron::new`] guarantees.
+    pub fn open(
+        initial: TimeSeriesMatrix,
+        window: usize,
+        step: usize,
+        threshold: f64,
+        config: dangoron::DangoronConfig,
+    ) -> Result<Self, TsError> {
+        let engine = StreamingDangoron::new(initial, window, step, threshold, config)?;
+        Ok(Self {
+            engine,
+            subscribers: Vec::new(),
+        })
+    }
+
+    /// The resident engine (read-only).
+    pub fn engine(&self) -> &StreamingDangoron {
+        &self.engine
+    }
+
+    /// Columns the resident sketches cover — the prefix shared queries
+    /// answer exactly.
+    pub fn covered_cols(&self) -> usize {
+        self.engine.batch_query().end
+    }
+
+    /// Resident bytes, charged against the daemon's memory budget.
+    pub fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+
+    /// Appends columns, then pushes each newly completed window to every
+    /// subscriber. A sink returning `false` unsubscribes itself; the
+    /// append itself never fails because of a subscriber.
+    pub fn append(&mut self, new_cols: &TimeSeriesMatrix) -> Result<AppendOutcome, TsError> {
+        let windows = self.engine.append(new_cols)?;
+        for w in &windows {
+            self.subscribers.retain_mut(|s| (s.sink)(s.sub_id, w));
+        }
+        Ok(AppendOutcome {
+            covered_cols: self.covered_cols(),
+            windows_closed: windows.len(),
+            memory_bytes: self.memory_bytes(),
+        })
+    }
+
+    /// Answers an ad-hoc query from the shared sketches. Returns the
+    /// covered-column prefix the answer is exact for alongside the result.
+    pub fn query(
+        &self,
+        window: usize,
+        step: usize,
+        threshold: f64,
+    ) -> Result<(usize, dangoron::QueryResult), TsError> {
+        let result = self.engine.query_shared(window, step, threshold)?;
+        Ok((self.covered_cols(), result))
+    }
+
+    /// Registers a delta sink and returns the first global window index
+    /// it will deliver — windows already emitted before the subscription
+    /// are back-filled by the client with a query, never replayed.
+    pub fn subscribe(&mut self, sub_id: u64, conn_id: u64, sink: DeltaSink) -> usize {
+        self.subscribers.push(Subscriber {
+            sub_id,
+            conn_id,
+            sink,
+        });
+        self.engine.emitted_windows()
+    }
+
+    /// Drops every subscription owned by a closed link.
+    pub fn drop_conn(&mut self, conn_id: u64) {
+        self.subscribers.retain(|s| s.conn_id != conn_id);
+    }
+
+    /// Live subscriptions (diagnostics and tests).
+    pub fn n_subscribers(&self) -> usize {
+        self.subscribers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangoron::DangoronConfig;
+    use std::sync::{Arc, Mutex};
+    use tsdata::generators;
+
+    fn session_over(cols: usize) -> (Session, TimeSeriesMatrix) {
+        let full = generators::clustered_matrix(6, 400, 2, 0.5, 21).unwrap();
+        let s = Session::open(
+            full.slice_columns(0, cols).unwrap(),
+            60,
+            20,
+            0.7,
+            DangoronConfig {
+                basic_window: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (s, full)
+    }
+
+    #[test]
+    fn append_pushes_window_deltas_and_failed_sinks_unsubscribe() {
+        let (mut s, full) = session_over(80);
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let next = s.subscribe(
+            1,
+            10,
+            Box::new(move |id, w| {
+                assert_eq!(id, 1);
+                sink_seen.lock().unwrap().push(w.index);
+                true
+            }),
+        );
+        assert_eq!(next, 0, "nothing emitted before the first append");
+        // A sink that dies after the first delta.
+        let mut fed = 0;
+        s.subscribe(
+            2,
+            11,
+            Box::new(move |_, _| {
+                fed += 1;
+                fed < 2
+            }),
+        );
+        assert_eq!(s.n_subscribers(), 2);
+        let out = s.append(&full.slice_columns(80, 200).unwrap()).unwrap();
+        assert_eq!(out.covered_cols, 200);
+        assert!(out.windows_closed > 1);
+        assert!(out.memory_bytes > 0);
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            *seen,
+            (0..out.windows_closed).collect::<Vec<_>>(),
+            "subscriber saw every closed window in order"
+        );
+        assert_eq!(s.n_subscribers(), 1, "the failed sink was dropped");
+    }
+
+    #[test]
+    fn drop_conn_removes_only_that_links_subscriptions() {
+        let (mut s, _) = session_over(80);
+        s.subscribe(1, 10, Box::new(|_, _| true));
+        s.subscribe(2, 10, Box::new(|_, _| true));
+        s.subscribe(3, 11, Box::new(|_, _| true));
+        s.drop_conn(10);
+        assert_eq!(s.n_subscribers(), 1);
+    }
+
+    #[test]
+    fn subscribe_after_appends_reports_the_backfill_boundary() {
+        let (mut s, full) = session_over(80);
+        let out = s.append(&full.slice_columns(80, 160).unwrap()).unwrap();
+        let next = s.subscribe(1, 10, Box::new(|_, _| true));
+        assert_eq!(next, out.windows_closed, "deltas resume after the drain");
+    }
+}

@@ -1,0 +1,194 @@
+//! Subscription deltas reassemble the full matrices, bit-exactly.
+//!
+//! A subscription never re-emits whole matrices: each closed window
+//! arrives once, as its edge list. The contract proved here:
+//!
+//! * reassembling the deltas window-by-window reproduces the session's
+//!   own query answer **and** a fresh one-shot run, bit for bit;
+//! * a mid-stream disconnect loses nothing — the re-subscribe ack says
+//!   which window deltas resume at, and a query back-fills the gap with
+//!   the same bit-exact edges;
+//! * a subscriber that vanishes without unsubscribing is shed by the
+//!   daemon and never fails, poisons, or stalls the session.
+
+use dangoron::{Dangoron, DangoronConfig};
+use serve::{Registry, ServeClient};
+use sketch::output::Edge;
+use sketch::{SlidingQuery, ThresholdedMatrix};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+use tsdata::{generators, TimeSeriesMatrix};
+
+const N: usize = 8;
+const TOTAL: usize = 500;
+const WINDOW: usize = 80;
+const STEP: usize = 20;
+const BETA: f64 = 0.7;
+
+fn cfg() -> DangoronConfig {
+    DangoronConfig {
+        basic_window: 20,
+        ..Default::default()
+    }
+}
+
+fn dataset() -> TimeSeriesMatrix {
+    generators::clustered_matrix(N, TOTAL, 2, 0.5, 13).expect("dataset")
+}
+
+fn fresh_matrices(full: &TimeSeriesMatrix, end: usize) -> Vec<ThresholdedMatrix> {
+    Dangoron::new(cfg())
+        .expect("config")
+        .execute(
+            &full.slice_columns(0, end).expect("prefix"),
+            SlidingQuery {
+                start: 0,
+                end,
+                window: WINDOW,
+                step: STEP,
+                threshold: BETA,
+            },
+        )
+        .expect("one-shot run")
+        .matrices
+}
+
+fn assert_bitwise(a: &ThresholdedMatrix, b: &ThresholdedMatrix, w: usize) {
+    assert_eq!(a.n_edges(), b.n_edges(), "window {w}: edge count");
+    for (ea, eb) in a.edges().iter().zip(b.edges()) {
+        assert_eq!((ea.i, ea.j), (eb.i, eb.j), "window {w}: edge endpoints");
+        assert_eq!(
+            ea.value.to_bits(),
+            eb.value.to_bits(),
+            "window {w}: edge ({}, {}) value not bit-identical",
+            ea.i,
+            ea.j
+        );
+    }
+}
+
+fn matrix_of(edges: Vec<Edge>) -> ThresholdedMatrix {
+    ThresholdedMatrix::from_sorted_edges(N, BETA, cfg().edge_rule, edges)
+}
+
+#[test]
+fn reassembled_deltas_match_the_full_matrices_across_disconnect_and_reconnect() {
+    let full = dataset();
+    let addr = serve::spawn_local(Arc::new(Registry::new(None)), None)
+        .expect("daemon")
+        .to_string();
+    let mut appender = ServeClient::connect(&addr, Duration::from_secs(10)).expect("connect");
+    appender
+        .open(
+            "sub",
+            &full.slice_columns(0, 100).expect("initial"),
+            WINDOW,
+            STEP,
+            BETA,
+            &cfg(),
+        )
+        .expect("open");
+
+    // Phase 1: subscribe before anything is emitted.
+    let mut sub = ServeClient::connect(&addr, Duration::from_secs(10)).expect("connect");
+    let (sub_id, next) = sub.subscribe("sub").expect("subscribe");
+    assert_eq!(next, 0, "nothing emitted yet");
+
+    let mut collected: BTreeMap<usize, ThresholdedMatrix> = BTreeMap::new();
+    let ack = appender
+        .append("sub", &full.slice_columns(100, 260).expect("chunk"))
+        .expect("append");
+    assert_eq!(ack.windows_closed, 10, "windows complete at 260 columns");
+    for _ in 0..ack.windows_closed {
+        let d = sub.next_delta().expect("delta");
+        assert_eq!(d.sub_id, sub_id);
+        collected.insert(d.window, matrix_of(d.edges));
+    }
+
+    // Phase 2: the subscriber vanishes mid-stream, the appender keeps
+    // going. The daemon sheds the dead sink; the append must still ack.
+    sub.disconnect();
+    let ack = appender
+        .append("sub", &full.slice_columns(260, 380).expect("chunk"))
+        .expect("append survives a dead subscriber");
+    assert_eq!(ack.windows_closed, 6);
+
+    // Phase 3: reconnect. The ack names the resume window; a query
+    // back-fills the disconnect gap from the shared sketches.
+    let mut sub = ServeClient::connect(&addr, Duration::from_secs(10)).expect("reconnect");
+    let (_, next) = sub.subscribe("sub").expect("re-subscribe");
+    assert_eq!(next, 16, "deltas resume after the missed drain");
+    let backfill = sub.query("sub", WINDOW, STEP, BETA).expect("backfill");
+    assert_eq!(backfill.covered_cols, 380);
+    for (w, m) in backfill
+        .matrices(N, BETA, cfg().edge_rule)
+        .into_iter()
+        .enumerate()
+        .take(next)
+        .skip(10)
+    {
+        collected.insert(w, m);
+    }
+
+    // Phase 4: the rest of the stream arrives as deltas again.
+    let ack = appender
+        .append("sub", &full.slice_columns(380, TOTAL).expect("chunk"))
+        .expect("append");
+    assert_eq!(ack.windows_closed, 6);
+    for _ in 0..ack.windows_closed {
+        let d = sub.next_delta().expect("delta");
+        collected.insert(d.window, matrix_of(d.edges));
+    }
+
+    // The reassembled sequence covers every window exactly once and is
+    // bit-identical to a fresh one-shot run over the whole stream.
+    let fresh = fresh_matrices(&full, TOTAL);
+    assert_eq!(fresh.len(), 22);
+    assert_eq!(collected.len(), fresh.len(), "no window lost or duplicated");
+    for (w, fresh_m) in fresh.iter().enumerate() {
+        let got = collected.get(&w).expect("window present");
+        assert_bitwise(got, fresh_m, w);
+    }
+
+    // And the resident session itself is still healthy and exact.
+    let final_q = appender.query("sub", WINDOW, STEP, BETA).expect("query");
+    let final_m = final_q.matrices(N, BETA, cfg().edge_rule);
+    for (w, (a, b)) in final_m.iter().zip(&fresh).enumerate() {
+        assert_bitwise(a, b, w);
+    }
+}
+
+#[test]
+fn deltas_carry_only_new_windows_never_reemitted_matrices() {
+    let full = dataset();
+    let addr = serve::spawn_local(Arc::new(Registry::new(None)), None)
+        .expect("daemon")
+        .to_string();
+    let mut client = ServeClient::connect(&addr, Duration::from_secs(10)).expect("connect");
+    client
+        .open(
+            "delta-only",
+            &full.slice_columns(0, 100).expect("initial"),
+            WINDOW,
+            STEP,
+            BETA,
+            &cfg(),
+        )
+        .expect("open");
+    client.subscribe("delta-only").expect("subscribe");
+    let mut seen: Vec<usize> = Vec::new();
+    for (from, to) in [(100, 200), (200, 300), (300, 400)] {
+        let ack = client
+            .append("delta-only", &full.slice_columns(from, to).expect("chunk"))
+            .expect("append");
+        for _ in 0..ack.windows_closed {
+            seen.push(client.next_delta().expect("delta").window);
+        }
+    }
+    let expected: Vec<usize> = (0..seen.len()).collect();
+    assert_eq!(
+        seen, expected,
+        "each window index arrives exactly once, in order"
+    );
+}

@@ -61,6 +61,12 @@ impl PairSketch {
         self.cross_prefix.len() - 1
     }
 
+    /// Resident bytes of the sketch (the prefix chain's backing store) —
+    /// the unit a serving tier's per-session memory accounting sums over.
+    pub fn memory_bytes(&self) -> usize {
+        self.cross_prefix.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Extends the sketch to cover `layout` (the *grown* layout after a
     /// [`SketchStore::append`]) by reading only the new columns. Returns
     /// the number of basic windows added.

@@ -154,6 +154,96 @@ fn extreme_magnitudes_do_not_panic() {
 }
 
 #[test]
+fn dropped_subscriber_never_poisons_the_session_or_stalls_other_tenants() {
+    // The serving tier's failure case: a subscriber that vanishes without
+    // unsubscribing. The daemon must shed it on the next delta push; the
+    // session it watched keeps absorbing appends, and *other* tenants'
+    // sessions never even notice.
+    use serve::{Registry, ServeClient};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let cfg = DangoronConfig {
+        basic_window: 20,
+        ..Default::default()
+    };
+    let full = generators::clustered_matrix(6, 300, 2, 0.5, 17).unwrap();
+    let addr = serve::spawn_local(Arc::new(Registry::new(None)), None)
+        .unwrap()
+        .to_string();
+
+    let mut owner = ServeClient::connect(&addr, Duration::from_secs(10)).unwrap();
+    owner
+        .open(
+            "watched",
+            &full.slice_columns(0, 100).unwrap(),
+            60,
+            20,
+            0.8,
+            &cfg,
+        )
+        .unwrap();
+    let mut tenant = ServeClient::connect(&addr, Duration::from_secs(10)).unwrap();
+    tenant
+        .open(
+            "tenant",
+            &full.slice_columns(0, 100).unwrap(),
+            40,
+            20,
+            0.8,
+            &cfg,
+        )
+        .unwrap();
+
+    // Three subscribers on the watched session; all vanish unread.
+    for _ in 0..3 {
+        let mut sub = ServeClient::connect(&addr, Duration::from_secs(10)).unwrap();
+        sub.subscribe("watched").unwrap();
+        sub.disconnect();
+    }
+
+    // Appends to the watched session must keep acking (the dead sinks are
+    // shed, not waited on), and the other tenant stays fully serviceable
+    // throughout.
+    for (from, to) in [(100, 180), (180, 240), (240, 300)] {
+        let ack = owner
+            .append("watched", &full.slice_columns(from, to).unwrap())
+            .unwrap();
+        assert_eq!(ack.covered_cols, to);
+        let reply = tenant.query("tenant", 40, 20, 0.8).unwrap();
+        assert!(reply.n_windows > 0, "other tenant starved");
+    }
+
+    // The watched session's answers are still exact after shedding.
+    let reply = owner.query("watched", 60, 20, 0.8).unwrap();
+    let fresh = Dangoron::new(cfg.clone())
+        .unwrap()
+        .execute(
+            &full,
+            SlidingQuery {
+                start: 0,
+                end: 300,
+                window: 60,
+                step: 20,
+                threshold: 0.8,
+            },
+        )
+        .unwrap();
+    let n_fresh: usize = fresh.matrices.iter().map(|m| m.n_edges()).sum();
+    assert_eq!(reply.edges.len(), n_fresh);
+    for ((w, e), (fw, fe)) in reply.edges.iter().zip(
+        fresh
+            .matrices
+            .iter()
+            .enumerate()
+            .flat_map(|(w, m)| m.edges().iter().map(move |e| (w as u32, e))),
+    ) {
+        assert_eq!((*w, e.i, e.j), (fw, fe.i, fe.j));
+        assert_eq!(e.value.to_bits(), fe.value.to_bits());
+    }
+}
+
+#[test]
 fn constant_and_near_constant_series_are_handled() {
     let constant = vec![42.0; 200];
     // Near-constant: variance ~1e-30, numerically at the edge.
