@@ -7,7 +7,9 @@
 //!               [--dist-transport pipes|tcp|tcp-elastic] [--serve]
 //! harness merge --out MERGED.json SHARD.json...   # fold per-shard records
 //! harness validate [--require-streaming] [--require-kernels]
-//!                  [--require-shards] [--require-serve] FILE...
+//!                  [--require-shards] [--require-serve] [--require-obs]
+//!                  FILE...
+//! harness scrape ADDR [--path /metrics]        # GET + strict-parse
 //! ```
 //!
 //! Quick scale (default) runs in seconds per experiment; `--full` uses the
@@ -27,7 +29,11 @@
 //! runs the serving-tier panel — one resident session answering a panel
 //! of differently-shaped queries from shared sketches, each answer
 //! verified bitwise against a fresh one-shot run — and records the
-//! shared-prepare amortisation in the `serve` section.
+//! shared-prepare amortisation in the `serve` section. Every bench run
+//! ends by scraping the process-wide stage registry into the `obs`
+//! section (`harness validate --require-obs` demands it); `scrape`
+//! fetches `/metrics` from a live `--metrics-addr` endpoint and checks
+//! the exposition under the same strict parser CI uses.
 
 use bench::experiments::{run_experiment, ALL};
 use bench::schema::Requires;
@@ -177,6 +183,7 @@ fn run_validate(args: &[String]) {
         kernels: args.iter().any(|a| a == "--require-kernels"),
         shards: args.iter().any(|a| a == "--require-shards"),
         serve: args.iter().any(|a| a == "--require-serve"),
+        obs: args.iter().any(|a| a == "--require-obs"),
     };
     let files: Vec<&String> = args
         .iter()
@@ -209,12 +216,88 @@ fn run_validate(args: &[String]) {
     }
 }
 
+/// `harness scrape ADDR [--path P]`: one HTTP GET against a live
+/// `--metrics-addr` endpoint, strict-parsed when the path is `/metrics`.
+fn run_scrape(args: &[String]) {
+    use std::io::{Read, Write};
+    let addr = match args
+        .iter()
+        .position(|a| a == "scrape")
+        .and_then(|k| args.get(k + 1))
+    {
+        Some(a) if !a.starts_with("--") => a.clone(),
+        _ => {
+            eprintln!("usage: harness scrape ADDR [--path /metrics]");
+            std::process::exit(2);
+        }
+    };
+    let path = match flag_value(args, "--path") {
+        Some(Ok(v)) => v,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        None => "/metrics".to_string(),
+    };
+    let body = (|| -> Result<String, String> {
+        let mut s =
+            std::net::TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: harness\r\n\r\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).map_err(|e| format!("read: {e}"))?;
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let status: u16 = text
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| format!("malformed response: {:?}", text.lines().next()))?;
+        if status != 200 {
+            return Err(format!("GET {path}: HTTP {status}"));
+        }
+        text.split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .ok_or_else(|| "response has no body".to_string())
+    })();
+    match body {
+        Ok(body) => {
+            if path == "/metrics" {
+                match obs::expo::parse_prometheus(&body) {
+                    Ok(families) => eprintln!(
+                        "{addr}{path}: valid exposition, {} families, {} bytes",
+                        families.len(),
+                        body.len()
+                    ),
+                    Err(e) => {
+                        eprintln!("{addr}{path}: INVALID exposition: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                eprintln!("{addr}{path}: {} bytes", body.len());
+            }
+            println!("{body}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = Scale::from_flag(full);
     if args.iter().any(|a| a == "validate") {
         run_validate(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "scrape") {
+        run_scrape(&args);
         return;
     }
     if args.iter().any(|a| a == "merge") {

@@ -180,6 +180,71 @@ pub struct ServePerf {
     pub bit_identical: bool,
 }
 
+/// The telemetry self-check: after the timed runs, scrape the process-
+/// wide stage registry the engine recorded into, render the Prometheus
+/// exposition, and strict-parse it back. Proves the obs layer saw the
+/// run (the walk and exec counters are non-zero) and that what a real
+/// scraper would read is well-formed — without standing up a socket.
+#[derive(Debug, Clone)]
+pub struct ObsPerf {
+    /// Distinct metric families in the parsed exposition.
+    pub families: usize,
+    /// Registered series (snapshot entries).
+    pub series: usize,
+    /// Wall milliseconds to snapshot + render the exposition once.
+    pub scrape_ms: f64,
+    /// Rendered exposition size in bytes.
+    pub exposition_bytes: usize,
+    /// Whether the strict validating parser accepted the exposition.
+    pub exposition_valid: bool,
+    /// `dangoron_stage_walk_us` observation count.
+    pub walk_observations: u64,
+    /// `dangoron_exec_chunk_us` observation count.
+    pub exec_chunks: u64,
+    /// `dangoron_exec_steal_attempts_total` value.
+    pub steal_attempts: u64,
+}
+
+/// Scrapes the process-wide stage registry into an [`ObsPerf`].
+pub fn obs_sample() -> ObsPerf {
+    let registry = obs::stages::global();
+    let t = Instant::now();
+    let snaps = registry.snapshot();
+    let text = obs::expo::to_prometheus(&snaps);
+    let scrape_ms = t.elapsed().as_secs_f64() * 1e3;
+    let parsed = obs::expo::parse_prometheus(&text);
+    let hist_count = |name: &str| -> u64 {
+        snaps
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| match &s.value {
+                obs::metrics::Value::Histogram { count, .. } => Some(*count),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    let counter = |name: &str| -> u64 {
+        snaps
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| match &s.value {
+                obs::metrics::Value::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    ObsPerf {
+        families: parsed.as_ref().map(|f| f.len()).unwrap_or(0),
+        series: snaps.len(),
+        scrape_ms,
+        exposition_bytes: text.len(),
+        exposition_valid: parsed.is_ok(),
+        walk_observations: hist_count("dangoron_stage_walk_us"),
+        exec_chunks: hist_count(obs::stages::EXEC_CHUNK_US),
+        steal_attempts: counter(obs::stages::EXEC_STEAL_ATTEMPTS),
+    }
+}
+
 /// A full perf record.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
@@ -207,6 +272,8 @@ pub struct PerfRecord {
     /// The serving tier's shared-prepare amortisation (absent in
     /// pre-PR-8 records; written by `harness bench --serve`).
     pub serve: Option<ServePerf>,
+    /// The telemetry scrape self-check (absent in pre-telemetry records).
+    pub obs: Option<ObsPerf>,
 }
 
 impl PerfRecord {
@@ -322,6 +389,23 @@ impl PerfRecord {
                 sv.memory_bytes,
                 sv.total_edges,
                 sv.bit_identical,
+            );
+        }
+        if let Some(o) = &self.obs {
+            let _ = writeln!(
+                s,
+                "  \"obs\": {{\"families\": {}, \"series\": {}, \"scrape_ms\": {}, \
+                 \"exposition_bytes\": {}, \"exposition_valid\": {}, \
+                 \"walk_observations\": {}, \"exec_chunks\": {}, \
+                 \"steal_attempts\": {}}},",
+                o.families,
+                o.series,
+                json_num(o.scrape_ms),
+                o.exposition_bytes,
+                o.exposition_valid,
+                o.walk_observations,
+                o.exec_chunks,
+                o.steal_attempts,
             );
         }
         let _ = writeln!(s, "  \"samples\": [");
@@ -652,6 +736,9 @@ pub fn run_full_with(
         // The serving-tier panel is opt-in (`harness bench --serve`): the
         // caller attaches it so plain bench runs stay comparable.
         serve: None,
+        // Scraped last: the timed runs above are what fill the stage
+        // registry this section self-checks.
+        obs: Some(obs_sample()),
     };
     (record, dist_result, w)
 }
@@ -949,6 +1036,7 @@ mod tests {
             }),
             shards: Some(shards_sample(&w).0),
             serve: Some(serve_sample(&w)),
+            obs: Some(obs_sample()),
         }
     }
 

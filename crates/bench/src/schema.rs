@@ -106,6 +106,21 @@ const STREAMING_KEYS: [(&str, ValueKind); 8] = [
     ("total_edges", ValueKind::Number),
 ];
 
+/// Keys the `obs` section must carry when present (written by every
+/// `harness bench` run since the telemetry PR: a scrape of the process-
+/// wide stage registry after the timed runs, proving the exposition
+/// renders, parses strictly, and saw the engine's stage observations).
+const OBS_KEYS: [(&str, ValueKind); 8] = [
+    ("families", ValueKind::Number),
+    ("series", ValueKind::Number),
+    ("scrape_ms", ValueKind::Number),
+    ("exposition_bytes", ValueKind::Number),
+    ("exposition_valid", ValueKind::Bool),
+    ("walk_observations", ValueKind::Number),
+    ("exec_chunks", ValueKind::Number),
+    ("steal_attempts", ValueKind::Number),
+];
+
 /// Keys the `serve` section must carry when present (written by `harness
 /// bench --serve`: the serving tier's shared-prepare amortisation panel).
 const SERVE_KEYS: [(&str, ValueKind); 8] = [
@@ -165,6 +180,8 @@ pub struct Requires {
     pub shards: bool,
     /// Demand the `serve` section (resident-session amortisation panel).
     pub serve: bool,
+    /// Demand the `obs` section (telemetry scrape self-check).
+    pub obs: bool,
 }
 
 /// Validates a perf record against the `dangoron-bench-v1` schema.
@@ -207,6 +224,7 @@ pub fn validate(json: &str, requires: Requires) -> Result<(), String> {
         }
     }
     check_section(json, "serve", &SERVE_KEYS, requires.serve)?;
+    check_section(json, "obs", &OBS_KEYS, requires.obs)?;
     check_section(json, "shard", &SHARD_KEYS, false)?;
     Ok(())
 }
@@ -362,6 +380,7 @@ mod tests {
         kernels: false,
         shards: false,
         serve: false,
+        obs: false,
     };
     const REQ_STREAMING: Requires = Requires {
         streaming: true,
@@ -377,6 +396,10 @@ mod tests {
     };
     const REQ_SERVE: Requires = Requires {
         serve: true,
+        ..REQ_NONE
+    };
+    const REQ_OBS: Requires = Requires {
+        obs: true,
         ..REQ_NONE
     };
 
@@ -483,6 +506,30 @@ mod tests {
              \"memory_bytes\": 262144, \"total_edges\": 420, \
              \"bit_identical\": true}, \"samples\":",
         )
+    }
+
+    fn add_obs(record: &str) -> String {
+        record.replace(
+            "\"samples\":",
+            "\"obs\": {\"families\": 7, \"series\": 7, \"scrape_ms\": 0.3, \
+             \"exposition_bytes\": 4096, \"exposition_valid\": true, \
+             \"walk_observations\": 12, \"exec_chunks\": 96, \
+             \"steal_attempts\": 104}, \"samples\":",
+        )
+    }
+
+    #[test]
+    fn obs_section_is_required_and_checked_when_demanded() {
+        let err = validate(&minimal(false, false), REQ_OBS).unwrap_err();
+        assert!(err.contains("obs"), "{err}");
+        let ok = add_obs(&minimal(false, false));
+        validate(&ok, REQ_OBS).unwrap();
+        validate(&ok, REQ_NONE).unwrap();
+        // A damaged obs section is caught even when not required.
+        let bad = ok.replace("\"exposition_valid\": true, ", "");
+        assert!(validate(&bad, REQ_NONE).is_err());
+        let bad = ok.replace("\"exposition_valid\": true", "\"exposition_valid\": 1");
+        assert!(validate(&bad, REQ_NONE).is_err());
     }
 
     #[test]
@@ -626,12 +673,14 @@ mod tests {
             kernels: None,
             shards: None,
             serve: None,
+            obs: None,
         };
         validate(&r.to_json(), REQ_NONE).unwrap();
         assert!(validate(&r.to_json(), REQ_STREAMING).is_err());
         assert!(validate(&r.to_json(), REQ_KERNELS).is_err());
         assert!(validate(&r.to_json(), REQ_SHARDS).is_err());
         assert!(validate(&r.to_json(), REQ_SERVE).is_err());
+        assert!(validate(&r.to_json(), REQ_OBS).is_err());
         r.streaming = Some(StreamingPerf {
             threads: 2,
             open: t,
@@ -681,6 +730,16 @@ mod tests {
             total_edges: 420,
             bit_identical: true,
         });
+        r.obs = Some(crate::perf::ObsPerf {
+            families: 7,
+            series: 7,
+            scrape_ms: 0.25,
+            exposition_bytes: 4096,
+            exposition_valid: true,
+            walk_observations: 12,
+            exec_chunks: 96,
+            steal_attempts: 104,
+        });
         validate(
             &r.to_json(),
             Requires {
@@ -688,6 +747,7 @@ mod tests {
                 kernels: true,
                 shards: true,
                 serve: true,
+                obs: true,
             },
         )
         .unwrap();

@@ -120,6 +120,7 @@ impl Dangoron {
         query: SlidingQuery,
         pair_range: Range<usize>,
     ) -> Result<Prepared<'a>, TsError> {
+        let _timer = obs::stages::span(obs::stages::Stage::Prepare);
         let n_pairs = triangular::count(x.n_series());
         if pair_range.start > pair_range.end || pair_range.end > n_pairs {
             return Err(TsError::InvalidParameter(format!(
@@ -260,6 +261,7 @@ impl Dangoron {
             prep.pair_range.start,
             prep.pair_range.end,
         );
+        let _timer = obs::stages::span(obs::stages::Stage::Walk);
         let n = prep.x.n_series();
 
         let worker_out = exec::run_partitioned(

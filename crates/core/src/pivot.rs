@@ -107,6 +107,7 @@ impl PivotSet {
         pairs: Option<&[PairSketch]>,
         threads: usize,
     ) -> Result<Self, TsError> {
+        let _timer = obs::stages::span(obs::stages::Stage::PivotBuild);
         let n = x.n_series();
         let n_windows = query.n_windows();
         // Precompute the basic-window range of every window once.

@@ -426,6 +426,7 @@ impl StreamingDangoron {
         if total <= self.emitted_windows {
             return Ok(Vec::new());
         }
+        let _timer = obs::stages::span(obs::stages::Stage::Drain);
         let first_new = self.emitted_windows;
         let n = self.n_series;
         let b = self.config.basic_window;

@@ -12,7 +12,7 @@
 //!                [--handshake-timeout-s S] [--max-attempts A]
 //!                [--steal-after-ms MS] [--worker-bin PATH]
 //!                [--listen ADDR] [--accept-timeout-s S]
-//!                [--chaos-seed SEED]
+//!                [--chaos-seed SEED] [--metrics-addr ADDR]
 //!                [--expect-replans R] [--expect-steals S]
 //!                [--expect-late-joins J]
 //!                [--export-json PATH] [--export-csv PATH] [--export-dot PATH]
@@ -36,6 +36,12 @@
 //! steal / late-join events happened — the fault-injection legs assert
 //! their storm actually exercised those paths. The `--export-*` flags
 //! dump the merged temporal network via `network::export`.
+//!
+//! `--metrics-addr ADDR` (e.g. `127.0.0.1:9090`) starts the embedded
+//! `obs` HTTP server for the duration of the run: live coordinator
+//! counters and stage timings at `/metrics` (Prometheus text) and
+//! `/stats.json`. The end-of-run summary below is a snapshot of the same
+//! registry, so a scrape and the stderr report can never disagree.
 
 use dangoron::{BoundMode, DangoronConfig};
 use dist::coord::{self, CoordinatorConfig, TransportMode};
@@ -43,6 +49,7 @@ use dist::merge::windows_bit_identical;
 use dist::proto::WorkerMode;
 use dist::FaultPlan;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -69,6 +76,7 @@ struct Args {
     export_json: Option<PathBuf>,
     export_csv: Option<PathBuf>,
     export_dot: Option<PathBuf>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -98,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         export_json: None,
         export_csv: None,
         export_dot: None,
+        metrics_addr: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
@@ -155,6 +164,7 @@ fn parse_args() -> Result<Args, String> {
             "--export-json" => args.export_json = Some(value(&argv, k, "--export-json")?.into()),
             "--export-csv" => args.export_csv = Some(value(&argv, k, "--export-csv")?.into()),
             "--export-dot" => args.export_dot = Some(value(&argv, k, "--export-dot")?.into()),
+            "--metrics-addr" => args.metrics_addr = Some(value(&argv, k, "--metrics-addr")?),
             "--streaming" => {
                 args.streaming = true;
                 k += 1;
@@ -236,6 +246,7 @@ fn main() {
     } else {
         WorkerMode::Batch
     };
+    let registry = Arc::new(obs::Registry::new());
     let cfg = CoordinatorConfig {
         transport,
         n_shards: args.shards,
@@ -248,10 +259,28 @@ fn main() {
         max_attempts: args.max_attempts,
         steal_after: Duration::from_millis(args.steal_after_ms),
         chaos: args.chaos_seed.map(FaultPlan::from_seed),
+        registry: Some(Arc::clone(&registry)),
     };
     if let Some(seed) = args.chaos_seed {
         eprintln!("dangoron-coord: chaos armed with seed {seed}");
     }
+    // Keep the server alive for the whole run; scrapers see the run's
+    // registry plus the process-wide stage timers.
+    let _metrics_server = match &args.metrics_addr {
+        Some(addr) => {
+            match obs::MetricsServer::bind(addr, vec![obs::stages::global(), registry], None) {
+                Ok(srv) => {
+                    eprintln!("dangoron-coord: metrics on http://{}/metrics", srv.addr());
+                    Some(srv)
+                }
+                Err(e) => {
+                    eprintln!("dangoron-coord: cannot bind --metrics-addr {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
 
     let result = match coord::run(&cfg, &engine_cfg, &w.data, w.query) {
         Ok(r) => r,

@@ -87,6 +87,7 @@
 
 use crate::chaos::{ChaosTransport, FaultPlan};
 use crate::merge::{merge_shard_edges, ShardEdges};
+use crate::metrics::CoordMetrics;
 use crate::plan::{split_range, ShardPlan};
 use crate::proto::{self, Assignment, Message, WorkerMode};
 use crate::transport::{ChildTransport, TcpTransport, Transport};
@@ -238,6 +239,10 @@ pub struct CoordinatorConfig {
     /// Fault-injection schedule applied to the coordinator's outgoing
     /// side of every link, in admission order (see [`crate::chaos`]).
     pub chaos: Option<FaultPlan>,
+    /// Metric registry the run records into (`None` ⇒ a private one).
+    /// Pass the registry mounted in a [`obs::MetricsServer`] to watch the
+    /// run live; use a fresh registry per run — counters are cumulative.
+    pub registry: Option<Arc<obs::Registry>>,
 }
 
 impl CoordinatorConfig {
@@ -256,6 +261,7 @@ impl CoordinatorConfig {
             max_attempts: 4,
             steal_after: Duration::from_millis(500),
             chaos: None,
+            registry: None,
         }
     }
 
@@ -540,7 +546,7 @@ fn register_worker(
     chaos: Option<&FaultPlan>,
     link_seq: &mut usize,
     workers: &mut Vec<WorkerHandle>,
-    coord: &mut CoordStats,
+    metrics: &CoordMetrics,
     tx: &mpsc::Sender<Event>,
 ) -> bool {
     transport.handshake_complete();
@@ -555,7 +561,7 @@ fn register_worker(
         transport.kill();
         return false;
     }
-    coord.load_bytes += load_payload.len() as u64;
+    metrics.load_bytes.add(load_payload.len() as u64);
     let idx = workers.len();
     let tx = tx.clone();
     let handle = std::thread::spawn(move || reader_loop(idx, &mut *reader, &tx));
@@ -685,12 +691,15 @@ fn run_inner(
         .unwrap_or("none")
         .to_string();
 
-    let mut coord = CoordStats {
-        n_shards_planned: plan.shards().len(),
-        n_workers: links.len(),
-        transport: transport_kind,
-        ..Default::default()
-    };
+    // Every counter the run keeps lives in the obs registry; the
+    // end-of-run CoordStats is a snapshot of it, so a live scrape and
+    // the final report can never disagree.
+    let registry = cfg
+        .registry
+        .clone()
+        .unwrap_or_else(|| Arc::new(obs::Registry::new()));
+    let metrics = CoordMetrics::new(&registry);
+    metrics.shards_planned.set(plan.shards().len() as i64);
 
     // Registration: ship the matrix once per worker, then hand the read
     // half to a dedicated reader thread.
@@ -705,7 +714,7 @@ fn run_inner(
             cfg.chaos.as_ref(),
             &mut link_seq,
             &mut workers,
-            &mut coord,
+            &metrics,
             &tx,
         );
     }
@@ -714,7 +723,7 @@ fn run_inner(
             reason: "every worker failed during registration".into(),
         });
     }
-    coord.n_workers = workers.len();
+    metrics.workers.set(workers.len() as i64);
     // The encoded Load frame is matrix-sized. A fixed membership never
     // needs it again — free it before the assignment/merge phase. An
     // elastic one keeps it for late joiners.
@@ -751,7 +760,7 @@ fn run_inner(
     let replan = |shard: PendingShard,
                   survivors: usize,
                   pending: &mut VecDeque<PendingShard>,
-                  coord: &mut CoordStats|
+                  metrics: &CoordMetrics|
      -> Result<(), CoordError> {
         if shard.attempt + 1 > cfg.max_attempts {
             return Err(CoordError::AttemptsExhausted {
@@ -759,7 +768,7 @@ fn run_inner(
                 attempts: cfg.max_attempts,
             });
         }
-        coord.replans += 1;
+        metrics.replans.inc();
         for sub in split_range(shard.ranks.clone(), survivors.max(1)) {
             pending.push_back(PendingShard {
                 ranks: sub,
@@ -770,6 +779,10 @@ fn run_inner(
     };
 
     loop {
+        // Refresh the live-membership gauge once per supervision round —
+        // a relaxed store, purely for scrapers.
+        metrics.workers_live.set(live(&workers) as i64);
+
         // Dispatch to every idle live worker.
         for w in 0..workers.len() {
             if pending.is_empty() {
@@ -796,8 +809,8 @@ fn run_inner(
             let payload = proto::encode(&Message::Assign(assignment));
             match workers[w].send(&payload) {
                 Ok(()) => {
-                    coord.assignments += 1;
-                    coord.assign_bytes += payload.len() as u64;
+                    metrics.assignments.inc();
+                    metrics.assign_bytes.add(payload.len() as u64);
                     let stealable = matches!(cfg.mode, WorkerMode::Batch) && workers[w].heartbeat();
                     busy.insert(
                         w,
@@ -815,8 +828,8 @@ fn run_inner(
                 Err(_) => {
                     // Write failure ⇒ the worker is gone.
                     workers[w].abandon();
-                    coord.worker_failures += 1;
-                    replan(shard, live(&workers), &mut pending, &mut coord)?;
+                    metrics.worker_failures.inc();
+                    replan(shard, live(&workers), &mut pending, &metrics)?;
                 }
             }
         }
@@ -850,14 +863,14 @@ fn run_inner(
                         Ok(()) => {
                             if let Some(o) = busy.get_mut(&w) {
                                 o.steal_sent = true;
-                                coord.steal_requests += 1;
+                                metrics.steal_requests.inc();
                             }
                         }
                         Err(_) => {
                             workers[w].abandon();
-                            coord.worker_failures += 1;
+                            metrics.worker_failures.inc();
                             if let Some(o) = busy.remove(&w) {
-                                replan(o.shard, live(&workers), &mut pending, &mut coord)?;
+                                replan(o.shard, live(&workers), &mut pending, &metrics)?;
                             }
                         }
                     }
@@ -898,7 +911,7 @@ fn run_inner(
             for (w, h) in workers.iter_mut().enumerate() {
                 if h.alive && h.heartbeat() {
                     if h.send(&payload).is_ok() {
-                        coord.pings_sent += 1;
+                        metrics.pings_sent.inc();
                     } else {
                         dead.push(w);
                     }
@@ -906,13 +919,13 @@ fn run_inner(
             }
             for w in dead {
                 workers[w].abandon();
-                coord.worker_failures += 1;
+                metrics.worker_failures.inc();
                 if let Some(o) = busy.remove(&w) {
                     eprintln!(
                         "dist: worker {w} lost (ping write failed); re-planning {:?}",
                         o.shard.ranks
                     );
-                    replan(o.shard, live(&workers), &mut pending, &mut coord)?;
+                    replan(o.shard, live(&workers), &mut pending, &metrics)?;
                 }
             }
         }
@@ -930,12 +943,12 @@ fn run_inner(
                 continue;
             };
             workers[w].abandon();
-            coord.worker_failures += 1;
+            metrics.worker_failures.inc();
             eprintln!(
                 "dist: worker {w} hung (no progress in {:?}); re-planning {:?}",
                 cfg.timeout, o.shard.ranks
             );
-            replan(o.shard, live(&workers), &mut pending, &mut coord)?;
+            replan(o.shard, live(&workers), &mut pending, &metrics)?;
         }
         // Idle heartbeat-capable workers that stopped answering pings
         // are silently reaped — they hold no work, so nothing re-plans.
@@ -948,7 +961,7 @@ fn run_inner(
             {
                 eprintln!("dist: reaping unresponsive idle worker {w}");
                 h.abandon();
-                coord.worker_failures += 1;
+                metrics.worker_failures.inc();
             }
         }
 
@@ -980,10 +993,10 @@ fn run_inner(
                     cfg.chaos.as_ref(),
                     &mut link_seq,
                     &mut workers,
-                    &mut coord,
+                    &metrics,
                     &tx,
                 ) {
-                    coord.late_joins += 1;
+                    metrics.late_joins.inc();
                     eprintln!(
                         "dist: admitted late-joining worker {} ({} alive)",
                         workers.len() - 1,
@@ -1018,7 +1031,7 @@ fn run_inner(
                                 segments.push((res.ranks, res.edges));
                             }
                             Some(id) if res.shard_id < id => {
-                                coord.stale_frames += 1;
+                                metrics.stale_frames.inc();
                             }
                             Some(id) => {
                                 return Err(CoordError::Internal(format!(
@@ -1027,7 +1040,7 @@ fn run_inner(
                                 )));
                             }
                             None => {
-                                coord.stale_frames += 1;
+                                metrics.stale_frames.inc();
                             }
                         }
                     }
@@ -1042,21 +1055,21 @@ fn run_inner(
                                     continue;
                                 };
                                 eprintln!("dist: worker {w} reported: {text}");
-                                replan(o.shard, live(&workers), &mut pending, &mut coord)?;
+                                replan(o.shard, live(&workers), &mut pending, &metrics)?;
                             }
                             _ => {
-                                coord.stale_frames += 1;
+                                metrics.stale_frames.inc();
                             }
                         }
                     }
                     Message::Pong(_) => {
-                        coord.pongs += 1;
+                        metrics.pongs.inc();
                     }
                     Message::Progress {
                         assignment_id,
                         frontier,
                     } => {
-                        coord.progress_frames += 1;
+                        metrics.progress_frames.inc();
                         if let Some(o) = busy.get_mut(&w) {
                             if o.id == assignment_id {
                                 o.progress_at = Instant::now();
@@ -1085,7 +1098,7 @@ fn run_inner(
                                 let tail = new_end..o.shard.ranks.end;
                                 o.shard.ranks.end = new_end;
                                 o.frontier = o.frontier.min(new_end);
-                                coord.steals += 1;
+                                metrics.steals.inc();
                                 eprintln!(
                                     "dist: stole {tail:?} from worker {w} (keeps {:?})",
                                     o.shard.ranks
@@ -1100,7 +1113,7 @@ fn run_inner(
                             // session): nothing moves.
                         }
                         _ => {
-                            coord.stale_frames += 1;
+                            metrics.stale_frames.inc();
                         }
                     },
                     msg @ (Message::Assign(_)
@@ -1117,13 +1130,13 @@ fn run_inner(
             Ok(Event::Closed(w, why)) => {
                 if workers[w].alive {
                     workers[w].abandon();
-                    coord.worker_failures += 1;
+                    metrics.worker_failures.inc();
                     if let Some(o) = busy.remove(&w) {
                         eprintln!(
                             "dist: worker {w} died ({why}); re-planning {:?}",
                             o.shard.ranks
                         );
-                        replan(o.shard, live(&workers), &mut pending, &mut coord)?;
+                        replan(o.shard, live(&workers), &mut pending, &metrics)?;
                     }
                 }
             }
@@ -1154,12 +1167,11 @@ fn run_inner(
         n_windows,
         segments,
     );
-    coord.wall_s = t_start.elapsed().as_secs_f64();
     Ok(DistResult {
         matrices,
         stats,
         shards: summaries,
-        coord,
+        coord: metrics.snapshot(transport_kind, t_start.elapsed().as_secs_f64()),
     })
 }
 

@@ -42,6 +42,7 @@
 pub mod chaos;
 pub mod coord;
 pub mod merge;
+pub mod metrics;
 pub mod plan;
 pub mod proto;
 pub mod transport;

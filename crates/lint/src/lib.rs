@@ -50,7 +50,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         R3,
-        "unwrap/expect/panic!/unreachable! in crates/dist or crates/serve supervised code (use structured errors)",
+        "unwrap/expect/panic!/unreachable! in crates/dist, crates/serve, or crates/obs supervised code (use structured errors)",
     ),
     (
         R4,
@@ -62,7 +62,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         R6,
-        "Mutex/RwLock in crates/exec or crates/kernel (hot path must stay lock-free)",
+        "Mutex/RwLock in crates/exec, crates/kernel, or crates/obs (hot/update paths must stay lock-free)",
     ),
 ];
 
@@ -480,12 +480,14 @@ fn rule_r2(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding
 }
 
 /// R3 — panic paths in the supervised tiers: `unwrap`/`expect` calls and
-/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in `crates/dist` or
-/// `crates/serve` non-test code. Both crates host long-lived processes
-/// whose peers (workers, clients) must only ever see structured errors —
-/// a panic on a daemon thread with a lock held poisons every tenant.
+/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in `crates/dist`,
+/// `crates/serve`, or `crates/obs` non-test code. These crates host
+/// long-lived processes whose peers (workers, clients, scrapers) must
+/// only ever see structured errors — a panic on a daemon thread with a
+/// lock held poisons every tenant, and a panic on the scrape thread
+/// kills telemetry exactly when it is needed most.
 fn rule_r3(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    if !matches!(crate_of(rel), "dist" | "serve") {
+    if !matches!(crate_of(rel), "dist" | "serve" | "obs") {
         return;
     }
     for i in 0..toks.len() {
@@ -659,10 +661,13 @@ fn rule_r5(files: &[(String, Lexed)], out: &mut Vec<Finding>) {
     }
 }
 
-/// R6 — no blocking locks in the hot-path crates (`exec`, `kernel`):
-/// the executor's determinism design is lock-free by construction.
+/// R6 — no blocking locks in the hot-path crates (`exec`, `kernel`) or
+/// the telemetry crate (`obs`): the executor's determinism design is
+/// lock-free by construction, and metric updates sit on the engine's
+/// hot path — a scrape that could block a worker would let observation
+/// perturb the timed run.
 fn rule_r6(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    if !matches!(crate_of(rel), "exec" | "kernel") {
+    if !matches!(crate_of(rel), "exec" | "kernel" | "obs") {
         return;
     }
     for t in toks {

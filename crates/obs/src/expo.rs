@@ -1,0 +1,546 @@
+//! Exposition: rendering registry snapshots as Prometheus text format and
+//! JSON, plus a validating parser for the text format.
+//!
+//! The parser exists so tests, the bench harness, and CI can assert "this
+//! scrape is well-formed and contains family X" *structurally* instead of
+//! grepping; it accepts exactly the dialect the renderer emits (the
+//! text-based exposition format v0.0.4 subset: `# HELP`, `# TYPE`,
+//! samples with optional labels, cumulative `_bucket{le=}` / `_sum` /
+//! `_count` histogram series).
+
+use crate::metrics::{bucket_le, Value, N_BUCKETS};
+use crate::registry::Snapshot;
+
+/// Escapes a label value per the exposition format: backslash, quote and
+/// newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline only (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{}=\"{}\"", k, v));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders snapshots (already sorted by the registry) as Prometheus text
+/// exposition. Entries sharing a family name emit `# HELP`/`# TYPE` once,
+/// from the first entry of the family.
+pub fn to_prometheus(snaps: &[Snapshot]) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for s in snaps {
+        if last_family != Some(s.name.as_str()) {
+            out.push_str(&format!("# HELP {} {}\n", s.name, escape_help(&s.help)));
+            out.push_str(&format!("# TYPE {} {}\n", s.name, s.kind));
+            last_family = Some(s.name.as_str());
+        }
+        match &s.value {
+            Value::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    v
+                ));
+            }
+            Value::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    v
+                ));
+            }
+            Value::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                let mut cum = 0u64;
+                for (k, b) in buckets.iter().enumerate() {
+                    cum += b;
+                    let le = if k == N_BUCKETS - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        format!("{}", bucket_le(k))
+                    };
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        s.name,
+                        render_labels(&s.labels, Some(("le", le))),
+                        cum
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    count
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders snapshots as a JSON array (the `/stats.json` body): one object
+/// per metric with `name`, `type`, `labels`, and a type-shaped `value`.
+pub fn to_json(snaps: &[Snapshot]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"type\":\"{}\",\"labels\":{{",
+            json_escape(&s.name),
+            s.kind
+        ));
+        for (j, (k, v)) in s.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("},");
+        match &s.value {
+            Value::Counter(v) => out.push_str(&format!("\"value\":{}", v)),
+            Value::Gauge(v) => out.push_str(&format!("\"value\":{}", v)),
+            Value::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                out.push_str("\"buckets\":[");
+                for (j, b) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}", b));
+                }
+                out.push_str(&format!("],\"sum\":{},\"count\":{}", sum, count));
+            }
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// One parsed sample line from a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (may carry a `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs, in source order (including `le` for buckets).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed metric family: declared type plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Family name as declared by `# TYPE`.
+    pub name: String,
+    /// Declared type (`counter`, `gauge`, `histogram`).
+    pub kind: String,
+    /// Samples belonging to the family.
+    pub samples: Vec<Sample>,
+}
+
+/// Which family does a sample name belong to, given the declared
+/// histogram suffix conventions?
+fn family_of<'a>(sample: &'a str, declared: &str, kind: &str) -> Option<&'a str> {
+    if sample == declared {
+        return Some(sample);
+    }
+    if kind == "histogram" {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stem) = sample.strip_suffix(suffix) {
+                if stem == declared {
+                    return Some(stem);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_label_block(s: &str) -> Result<Vec<(String, String)>, String> {
+    // s is the text between `{` and `}`.
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim();
+        if key.is_empty() {
+            return Err("empty label name".into());
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".into());
+        }
+        rest = &rest[1..];
+        let mut val = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => val.push('\\'),
+                    Some((_, '"')) => val.push('"'),
+                    Some((_, 'n')) => val.push('\n'),
+                    _ => return Err("bad escape in label value".into()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key.to_string(), val));
+        rest = rest[end + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            if rest.is_empty() {
+                return Err("trailing comma in label block".into());
+            }
+        } else if !rest.is_empty() {
+            return Err("garbage after label value".into());
+        }
+    }
+    Ok(labels)
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses (and thereby validates) a Prometheus text exposition. Returns
+/// families in declaration order. Errors carry a line number and reason.
+///
+/// Strict by design — this is the check CI leans on: every sample must
+/// belong to a `# TYPE`-declared family, histogram families must end with
+/// an `+Inf` bucket whose cumulative count equals `_count`, and counter
+/// values must be non-negative.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let n = ln + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {}: bad HELP name", n));
+            }
+            helped.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {}: bad TYPE name", n));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {}: unknown TYPE '{}'", n, kind));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("line {}: duplicate TYPE for '{}'", n, name));
+            }
+            families.push(Family {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            // Other comments are legal and ignored.
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match line.find('{') {
+            Some(b) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or(format!("line {}: unclosed label block", n))?;
+                if close < b {
+                    return Err(format!("line {}: malformed label block", n));
+                }
+                (&line[..b], {
+                    let labels = parse_label_block(&line[b + 1..close])
+                        .map_err(|e| format!("line {}: {}", n, e))?;
+                    (labels, line[close + 1..].trim())
+                })
+            }
+            None => {
+                let sp = line
+                    .find(char::is_whitespace)
+                    .ok_or(format!("line {}: sample without value", n))?;
+                (&line[..sp], (Vec::new(), line[sp..].trim()))
+            }
+        };
+        let (labels, value_str) = rest;
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {}: bad sample name '{}'", n, name_part));
+        }
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {}: bad value '{}'", n, v))?,
+        };
+        let fam = families
+            .iter_mut()
+            .find(|f| family_of(name_part, &f.name, &f.kind).is_some())
+            .ok_or(format!(
+                "line {}: sample '{}' has no TYPE declaration",
+                n, name_part
+            ))?;
+        if fam.kind == "counter" && value < 0.0 {
+            return Err(format!("line {}: negative counter value", n));
+        }
+        fam.samples.push(Sample {
+            name: name_part.to_string(),
+            labels,
+            value,
+        });
+    }
+    // Structural histogram checks per (family, non-le label set).
+    for f in &families {
+        if f.kind != "histogram" {
+            continue;
+        }
+        let mut series: Vec<Vec<(String, String)>> = Vec::new();
+        for s in &f.samples {
+            let base: Vec<(String, String)> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            if !series.contains(&base) {
+                series.push(base);
+            }
+        }
+        for base in series {
+            let buckets: Vec<&Sample> = f
+                .samples
+                .iter()
+                .filter(|s| {
+                    s.name == format!("{}_bucket", f.name)
+                        && s.labels
+                            .iter()
+                            .filter(|(k, _)| k != "le")
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            == base
+                })
+                .collect();
+            let inf = buckets
+                .iter()
+                .find(|s| s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+                .ok_or(format!("histogram '{}' missing +Inf bucket", f.name))?;
+            let mut prev = -1.0f64;
+            for b in &buckets {
+                if b.value < prev {
+                    return Err(format!("histogram '{}' buckets not cumulative", f.name));
+                }
+                prev = b.value;
+            }
+            let count = f
+                .samples
+                .iter()
+                .find(|s| {
+                    s.name == format!("{}_count", f.name)
+                        && s.labels == base
+                })
+                .ok_or(format!("histogram '{}' missing _count", f.name))?;
+            if (inf.value - count.value).abs() > 0.0 {
+                return Err(format!(
+                    "histogram '{}': +Inf bucket {} != count {}",
+                    f.name, inf.value, count.value
+                ));
+            }
+            if !f.samples.iter().any(|s| {
+                s.name == format!("{}_sum", f.name)
+                    && s.labels == base
+            }) {
+                return Err(format!("histogram '{}' missing _sum", f.name));
+            }
+        }
+    }
+    // Every HELP must match a TYPE'd family (our renderer always pairs them).
+    for h in &helped {
+        if !families.iter().any(|f| &f.name == h) {
+            return Err(format!("HELP for undeclared family '{}'", h));
+        }
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn demo_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("demo_ops_total", "Operations completed").add(7);
+        r.gauge_with(
+            "demo_resident_bytes",
+            "Resident bytes",
+            &[("session", "a\"b")],
+        )
+        .set(4096);
+        let h = r.histogram("demo_latency_us", "Latency in microseconds");
+        for v in [1u64, 3, 3, 900, 70_000] {
+            h.observe(v);
+        }
+        r
+    }
+
+    #[test]
+    fn rendered_exposition_roundtrips_through_parser() {
+        let r = demo_registry();
+        let text = to_prometheus(&r.snapshot());
+        let fams = parse_prometheus(&text).expect("own output must parse");
+        assert_eq!(fams.len(), 3);
+        let hist = fams.iter().find(|f| f.name == "demo_latency_us").unwrap();
+        assert_eq!(hist.kind, "histogram");
+        let count = hist
+            .samples
+            .iter()
+            .find(|s| s.name == "demo_latency_us_count")
+            .unwrap();
+        assert_eq!(count.value, 5.0);
+        let sum = hist
+            .samples
+            .iter()
+            .find(|s| s.name == "demo_latency_us_sum")
+            .unwrap();
+        assert_eq!(sum.value, (1 + 3 + 3 + 900 + 70_000) as f64);
+        // Label escaping survives the round trip.
+        let g = fams
+            .iter()
+            .find(|f| f.name == "demo_resident_bytes")
+            .unwrap();
+        assert_eq!(
+            g.samples[0].labels[0],
+            ("session".to_string(), "a\"b".to_string())
+        );
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_end_at_inf() {
+        let r = Registry::new();
+        let h = r.histogram("t_us", "t");
+        h.observe(1);
+        h.observe(1000);
+        let text = to_prometheus(&r.snapshot());
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains("_bucket")).collect();
+        assert_eq!(lines.len(), N_BUCKETS);
+        assert!(lines.last().unwrap().contains("le=\"+Inf\"} 2"));
+        assert!(lines[0].ends_with(" 1")); // le="1" holds the observation of 1
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "no_type_decl 3\n",
+            "# TYPE x counter\nx -1\n",
+            "# TYPE x counter\nx{l=unquoted} 1\n",
+            "# TYPE x counter\nx{l=\"v\" 1\n",
+            "# TYPE x histogram\nx_bucket{le=\"+Inf\"} 2\nx_sum 3\n", // missing _count
+            "# TYPE x counter\nx notanumber\n",
+            "# TYPE x bogus\n",
+            "# TYPE x counter\n# TYPE x counter\n",
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "should reject: {:?}", bad);
+        }
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let r = demo_registry();
+        let j = to_json(&r.snapshot());
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"name\":\"demo_ops_total\""));
+        assert!(j.contains("\"value\":7"));
+        assert!(j.contains("\"session\":\"a\\\"b\""));
+        assert!(j.contains("\"buckets\":["));
+    }
+}

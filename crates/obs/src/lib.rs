@@ -1,0 +1,43 @@
+//! # obs — the live telemetry layer
+//!
+//! Everything the engine counts — assignments, steals, late joins,
+//! heartbeats, resident bytes, evictions, stage wall times — becomes
+//! visible *while the run is in flight* instead of only at end-of-run
+//! stderr or a BENCH record. Three pieces:
+//!
+//! 1. **Registry** ([`Registry`]): a lock-free, insert-only metric table.
+//!    [`Counter`], [`Gauge`] and [`Histogram`] handles are registered
+//!    once and updated wait-free (single relaxed atomic ops — no
+//!    `Mutex`/`RwLock` anywhere in this crate; lint rule R6 enforces it).
+//!    Snapshot reads are a relaxed sweep, so a scrape can never perturb
+//!    the computation it observes — edge bit-determinism holds with or
+//!    without a scraper attached.
+//! 2. **Stage timers** ([`stages`]): drop-guard spans recording wall-time
+//!    histograms for prepare / pivot-build / walk / drain / merge plus
+//!    the exec scheduler's chunk times and steal attempts.
+//! 3. **HTTP surface** ([`MetricsServer`]): a hand-rolled, hardened
+//!    HTTP/1.1 server exposing Prometheus text at `/metrics` and a JSON
+//!    snapshot at `/stats.json`, with an embedder route hook (the serve
+//!    daemon mounts `/sessions/<name>/edges` through it). Hardening
+//!    mirrors `dist::proto`: bounded request line and head, trailing
+//!    garbage rejected, read deadline against slow-loris, no panics
+//!    (lint rule R3 covers this crate).
+//!
+//! The metric name catalog is a stable contract documented in
+//! `docs/metrics.md`; [`expo::parse_prometheus`] validates scrapes
+//! structurally for tests, the bench harness, and CI.
+//!
+//! Dependency-free by design: `obs` sits below `exec` in the crate graph
+//! so every tier — kernel schedulers to the serve daemon — can record
+//! into it without a dependency cycle.
+
+pub mod expo;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod stages;
+
+pub use http::{MetricsServer, Response, RouteHandler};
+pub use metrics::{bucket_le, bucket_of, Counter, Gauge, Handle, Histogram, Value, N_BUCKETS};
+pub use registry::{Registry, Snapshot};
+pub use stages::{span, Stage, StageSpan};

@@ -1,0 +1,246 @@
+//! The metric handles: atomically-updated counters, gauges and
+//! fixed-bucket log2 histograms.
+//!
+//! Every handle is a cheap [`Arc`] clone around a block of atomics;
+//! updates are single relaxed atomic operations — **wait-free**, no
+//! `Mutex`/`RwLock` anywhere (lint rule R6 covers this crate), so a hot
+//! path can count work without a scrape ever being able to block it, and
+//! a scrape reads a relaxed sweep without ever perturbing the computation
+//! it observes. Counts may be *torn across metrics* during a concurrent
+//! snapshot (counter A read before B while both advance) — that is the
+//! documented trade; each individual metric is always a value it actually
+//! held, and monotone metrics never read backwards.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Log2 histogram bucket count: upper bounds `1, 2, 4, …, 2^26` plus a
+/// final `+Inf` bucket. Values are unit-agnostic `u64`s; the workspace
+/// convention records wall times in microseconds (`*_us` metric names),
+/// so the top finite bucket is ~67 s — far beyond any stage span.
+pub const N_BUCKETS: usize = 28;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero (registered ones come from
+    /// [`crate::Registry::counter`]).
+    pub fn unregistered() -> Self {
+        Self(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn unregistered() -> Self {
+        Self(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (negative to subtract).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    /// `buckets[k]` counts observations `v` with `v <= 2^k`
+    /// (non-cumulative in storage; exposition cumulates); the last bucket
+    /// is `+Inf`.
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket log2 histogram over `u64` observations.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// Bucket index for an observation: the smallest `k` with `v <= 2^k`,
+/// clamped into the final `+Inf` bucket.
+pub fn bucket_of(v: u64) -> usize {
+    let k = (64 - v.saturating_sub(1).leading_zeros()) as usize;
+    k.min(N_BUCKETS - 1)
+}
+
+/// Upper bound of finite bucket `k` (callers never pass the `+Inf`
+/// index); saturates rather than overflowing for out-of-range `k`.
+pub fn bucket_le(k: usize) -> u64 {
+    1u64.checked_shl(k as u32).unwrap_or(u64::MAX)
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn unregistered() -> Self {
+        Self(Arc::new(HistogramCore {
+            buckets: [0u64; N_BUCKETS].map(AtomicU64::new),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation. Three relaxed atomic adds; wait-free.
+    pub fn observe(&self, v: u64) {
+        if let Some(b) = self.0.buckets.get(bucket_of(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn buckets(&self) -> [u64; N_BUCKETS] {
+        let mut out = [0u64; N_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.0.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// A point-in-time read of one metric's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Instantaneous gauge value.
+    Gauge(i64),
+    /// Histogram state: non-cumulative bucket counts, sum, count.
+    Histogram {
+        /// Per-bucket counts, `buckets[k]` = observations in `(2^(k-1), 2^k]`.
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// The registered handle behind a metric entry.
+#[derive(Clone)]
+pub enum Handle {
+    /// A counter handle.
+    Counter(Counter),
+    /// A gauge handle.
+    Gauge(Gauge),
+    /// A histogram handle.
+    Histogram(Histogram),
+}
+
+impl Handle {
+    /// Reads the current value (a relaxed sweep; never blocks).
+    pub fn read(&self) -> Value {
+        match self {
+            Handle::Counter(c) => Value::Counter(c.get()),
+            Handle::Gauge(g) => Value::Gauge(g.get()),
+            Handle::Histogram(h) => Value::Histogram {
+                buckets: h.buckets().to_vec(),
+                sum: h.sum(),
+                count: h.count(),
+            },
+        }
+    }
+
+    /// The Prometheus TYPE keyword for this handle.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::unregistered();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::unregistered();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_le(0), 1);
+        assert_eq!(bucket_le(4), 16);
+
+        let h = Histogram::unregistered();
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(
+            h.sum(),
+            0u64.wrapping_add(1 + 2 + 3 + 1000).wrapping_add(u64::MAX)
+        );
+        let b = h.buckets();
+        assert_eq!(b[0], 2); // 0 and 1
+        assert_eq!(b[1], 1); // 2
+        assert_eq!(b[2], 1); // 3
+        assert_eq!(b[10], 1); // 1000 <= 1024
+        assert_eq!(b[N_BUCKETS - 1], 1); // u64::MAX
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counter::unregistered();
+        let c2 = c.clone();
+        c2.add(3);
+        assert_eq!(c.get(), 3);
+    }
+}

@@ -1,0 +1,335 @@
+//! The lock-free metric registry.
+//!
+//! A registry is a push-only linked list of metric entries behind one
+//! `AtomicPtr` head — registration is a CAS loop with
+//! insert-if-absent semantics, snapshots are a pointer walk, and there is
+//! no `Mutex`/`RwLock` anywhere (lint rule R6 covers this crate): neither
+//! registering a late metric (a serve session opening mid-flight) nor a
+//! concurrent scrape can ever block a hot path holding a handle.
+//!
+//! Entries are identified by `(name, labels)`. Registering the same
+//! identity twice returns the **existing** handle (so an evicted-then-
+//! reopened serve session reuses its gauge slot rather than duplicating
+//! the family), and a kind mismatch returns a fresh *unregistered* handle
+//! — the caller still gets something safe to update, the exposition never
+//! sees two types under one name, and no path panics (rule R3).
+
+use crate::metrics::{Counter, Gauge, Handle, Histogram, Value};
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// One registered metric: identity, help text, and the live handle.
+pub struct Entry {
+    /// Metric family name (`dangoron_coord_assignments_total`, …).
+    pub name: String,
+    /// One-line help text for the `# HELP` exposition line.
+    pub help: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The live handle.
+    pub handle: Handle,
+}
+
+/// A point-in-time copy of one entry, produced by [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The metric's Prometheus type (`counter`, `gauge`, `histogram`).
+    pub kind: &'static str,
+    /// The value at read time.
+    pub value: Value,
+}
+
+struct Node {
+    entry: Entry,
+    /// Fixed at (successful) insertion; never mutated afterwards, so a
+    /// reader that loaded the head can walk the whole list unsynchronised.
+    next: *mut Node,
+}
+
+/// A lock-free, insert-only metric registry. Cheap to share via `Arc`;
+/// dropping it frees every entry, so handles must not outlive it (they
+/// are `Arc`-backed internally and stay safe to update regardless — the
+/// update just stops being observable).
+pub struct Registry {
+    head: AtomicPtr<Node>,
+}
+
+// SAFETY: the raw `head` pointer is only ever written by a successful
+// Release CAS publishing a fully-initialised Node, and only read with
+// Acquire loads; nodes are immutable after publication and freed
+// exclusively in `Drop`, which takes `&mut self` (no other reference can
+// exist). That is exactly the Send + Sync contract.
+unsafe impl Send for Registry {}
+// SAFETY: see the Send impl above — publication is Release/Acquire and
+// published nodes are immutable.
+unsafe impl Sync for Registry {}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} metrics)", self.snapshot().len())
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Walks the published list looking for `(name, labels)`.
+    fn find(&self, name: &str, labels: &[(String, String)]) -> Option<Handle> {
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: `p` was published by a Release CAS (matched by the
+            // Acquire load above) and nodes are immutable and live until
+            // `Drop`, which cannot run concurrently with `&self` methods.
+            let node = unsafe { &*p };
+            if node.entry.name == name && node.entry.labels == labels {
+                return Some(node.entry.handle.clone());
+            }
+            p = node.next;
+        }
+        None
+    }
+
+    /// Insert-if-absent: returns the existing handle for `(name, labels)`
+    /// if one is registered, otherwise links a new entry and returns its
+    /// handle. `make` is only invoked when an insert is attempted.
+    fn get_or_register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl Fn() -> Handle,
+    ) -> Handle {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(h) = self.find(name, &labels) {
+            return h;
+        }
+        let node = Box::into_raw(Box::new(Node {
+            entry: Entry {
+                name: name.to_string(),
+                help: help.to_string(),
+                labels,
+                handle: make(),
+            },
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // Re-scan for a racing registration of the same identity: the
+            // full walk from `head` sees every entry published before our
+            // CAS attempt, so a successful CAS on that same `head` proves
+            // no duplicate was inserted concurrently.
+            let mut p = head;
+            let mut existing = None;
+            while !p.is_null() {
+                // SAFETY: published node, immutable, live until Drop (see
+                // `find`).
+                let n = unsafe { &*p };
+                if n.entry.name
+                    == *{
+                        // SAFETY: `node` is our own not-yet-published Box
+                        // allocation; we hold the only pointer to it.
+                        unsafe { &(*node).entry.name }
+                    }
+                    && n.entry.labels
+                        == *{
+                            // SAFETY: as above — our own unpublished allocation.
+                            unsafe { &(*node).entry.labels }
+                        }
+                {
+                    existing = Some(n.entry.handle.clone());
+                    break;
+                }
+                p = n.next;
+            }
+            if let Some(h) = existing {
+                // SAFETY: `node` never got published; reclaim our own
+                // allocation.
+                drop(unsafe { Box::from_raw(node) });
+                return h;
+            }
+            // SAFETY: unpublished `node` is exclusively ours to mutate.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::Release, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: just published; entry is immutable from here on.
+                return unsafe { (*node).entry.handle.clone() };
+            }
+        }
+    }
+
+    /// Registers (or retrieves) a labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_register(name, help, labels, || {
+            Handle::Counter(Counter::unregistered())
+        }) {
+            Handle::Counter(c) => c,
+            // Kind clash with an existing entry: hand back a detached
+            // handle instead of corrupting the family (or panicking).
+            _ => Counter::unregistered(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_register(name, help, labels, || Handle::Gauge(Gauge::unregistered())) {
+            Handle::Gauge(g) => g,
+            _ => Gauge::unregistered(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled histogram.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_register(name, help, labels, || {
+            Handle::Histogram(Histogram::unregistered())
+        }) {
+            Handle::Histogram(h) => h,
+            _ => Histogram::unregistered(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// A point-in-time sweep of every registered metric, sorted by
+    /// `(name, labels)` so exposition output is stable regardless of
+    /// registration order. Relaxed per-metric reads: a scrape never
+    /// blocks an update and vice versa.
+    pub fn snapshot(&self) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: published node, immutable, live until Drop (see
+            // `find`).
+            let node = unsafe { &*p };
+            out.push(Snapshot {
+                name: node.entry.name.clone(),
+                help: node.entry.help.clone(),
+                labels: node.entry.labels.clone(),
+                kind: node.entry.handle.type_name(),
+                value: node.entry.handle.read(),
+            });
+            p = node.next;
+        }
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: `Drop` has exclusive access; every non-null pointer
+            // in the chain came from `Box::into_raw` and is freed exactly
+            // once here.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn same_identity_shares_one_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_entries() {
+        let r = Registry::new();
+        let a = r.gauge_with("g", "h", &[("session", "a")]);
+        let b = r.gauge_with("g", "h", &[("session", "b")]);
+        a.set(1);
+        b.set(2);
+        let snaps = r.snapshot();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].labels[0].1, "a");
+        assert_eq!(snaps[0].value, Value::Gauge(1));
+        assert_eq!(snaps[1].value, Value::Gauge(2));
+    }
+
+    #[test]
+    fn kind_clash_yields_detached_handle_not_corruption() {
+        let r = Registry::new();
+        let c = r.counter("m", "h");
+        c.add(5);
+        let g = r.gauge("m", "h");
+        g.set(99);
+        // The registry still exposes the original counter, untouched.
+        let snaps = r.snapshot();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].value, Value::Counter(5));
+    }
+
+    #[test]
+    fn concurrent_registration_of_one_identity_never_duplicates() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..50 {
+                    let c = r.counter_with("racy_total", "h", &[("k", &format!("{}", k % 10))]);
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snaps = r.snapshot();
+        assert_eq!(snaps.len(), 10, "one entry per distinct identity");
+        let total: u64 = snaps
+            .iter()
+            .map(|s| match s.value {
+                Value::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 8 * 50, "every increment landed");
+    }
+}

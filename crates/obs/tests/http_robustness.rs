@@ -1,0 +1,240 @@
+//! Hostile-input suite for the embedded HTTP server, mirroring the
+//! shard tier's `proto_robustness`: every malformed, truncated,
+//! oversized, or slow request must get a 4xx/5xx or a clean close —
+//! never a panic, and never a scrape slot wedged forever. The server
+//! under test carries a live registry the whole time; the final scrape
+//! proves the hostile traffic left it serviceable.
+
+use obs::{MetricsServer, Registry};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn server() -> (MetricsServer, Arc<Registry>) {
+    let registry = Arc::new(Registry::new());
+    registry
+        .counter("dangoron_test_requests_total", "Test counter")
+        .inc();
+    let srv = MetricsServer::bind("127.0.0.1:0", vec![Arc::clone(&registry)], None)
+        .expect("bind ephemeral");
+    (srv, registry)
+}
+
+/// Sends raw bytes, reads until EOF (bounded), returns the response.
+fn raw(addr: &str, bytes: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    // The server may already have responded and closed; a send into a
+    // closed socket is part of the hostile surface, not a test failure.
+    let _ = s.write_all(bytes);
+    let _ = s.flush();
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    out
+}
+
+fn status_of(resp: &[u8]) -> Option<u16> {
+    let line = resp.split(|&b| b == b'\n').next()?;
+    let text = std::str::from_utf8(line).ok()?;
+    text.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// A well-formed scrape must still work — run after every abuse batch.
+fn assert_still_serving(addr: &str) {
+    let resp = raw(addr, b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(
+        status_of(&resp),
+        Some(200),
+        "server wedged: {:?}",
+        String::from_utf8_lossy(&resp)
+    );
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.contains("dangoron_test_requests_total"), "{text}");
+}
+
+#[test]
+fn oversized_request_line_is_rejected() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    // 8 KiB of target with no newline: overflows MAX_REQUEST_LINE.
+    let mut req = b"GET /".to_vec();
+    req.extend(std::iter::repeat_n(b'a', 8192));
+    req.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let resp = raw(&addr, &req);
+    let status = status_of(&resp).expect("got a status line");
+    assert!((400..600).contains(&status), "status {status}");
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn oversized_head_is_rejected() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    let mut req = b"GET /metrics HTTP/1.1\r\n".to_vec();
+    for k in 0..400 {
+        req.extend_from_slice(format!("X-Pad-{k}: {}\r\n", "y".repeat(64)).as_bytes());
+    }
+    req.extend_from_slice(b"\r\n");
+    let resp = raw(&addr, &req);
+    let status = status_of(&resp).expect("got a status line");
+    assert!((400..600).contains(&status), "status {status}");
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn truncated_request_gets_400_not_hang() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    for partial in [
+        &b"GET"[..],
+        b"GET /metrics HTTP/1.1\r\n",
+        b"GET /metrics HTTP/1.1\r\nHost: x\r\n",
+    ] {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        s.write_all(partial).expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let status = status_of(&out).expect("got a status line");
+        assert_eq!(
+            status,
+            400,
+            "partial {:?}",
+            String::from_utf8_lossy(partial)
+        );
+    }
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn pipelined_garbage_after_request_is_rejected() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    // Trailing bytes after the head — the server is one-request-per-
+    // connection and must reject instead of silently discarding.
+    let resp = raw(
+        &addr,
+        b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n",
+    );
+    assert_eq!(
+        status_of(&resp),
+        Some(400),
+        "{:?}",
+        String::from_utf8_lossy(&resp)
+    );
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn bodies_are_refused() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    let resp = raw(
+        &addr,
+        b"GET /metrics HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+    );
+    assert_eq!(status_of(&resp), Some(400));
+    let resp = raw(
+        &addr,
+        b"GET /metrics HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), Some(400));
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn non_get_methods_are_rejected() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    for req in [
+        &b"POST /metrics HTTP/1.1\r\n\r\n"[..],
+        b"DELETE /metrics HTTP/1.1\r\n\r\n",
+        b"FLY /metrics HTTP/1.1\r\n\r\n",
+        b"GET /metrics SMTP/1.0\r\n\r\n",
+        b"\x00\x01\x02\x03\r\n\r\n",
+    ] {
+        let resp = raw(&addr, req);
+        let status = status_of(&resp).expect("got a status line");
+        assert!(
+            (400..600).contains(&status),
+            "req {:?} -> {status}",
+            String::from_utf8_lossy(req)
+        );
+    }
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn slow_loris_hits_the_deadline_and_frees_the_slot() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    // Drip one byte per 200 ms: the 3 s head deadline must cut it off.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(15)))
+        .expect("timeout");
+    let t0 = std::time::Instant::now();
+    for b in b"GET /metrics" {
+        if s.write_all(&[*b]).is_err() {
+            break; // server already gave up on us — that is the point
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        if t0.elapsed() > Duration::from_secs(10) {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    assert!(
+        t0.elapsed() < Duration::from_secs(12),
+        "slow-loris held the connection {:?}",
+        t0.elapsed()
+    );
+    if let Some(status) = status_of(&out) {
+        assert!((400..600).contains(&status), "status {status}");
+    }
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn connection_flood_never_wedges_the_server() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    // Open more idle connections than the slot cap, never sending a
+    // byte. Over-cap connections get an immediate 503; the in-cap ones
+    // time out on the read deadline. Either way the server stays up.
+    let idle: Vec<TcpStream> = (0..24)
+        .filter_map(|_| TcpStream::connect(&addr).ok())
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    // A scrape might get 503 while slots are saturated, but once the
+    // deadline (3 s) reaps the idle connections it must answer 200.
+    let t0 = std::time::Instant::now();
+    loop {
+        let resp = raw(&addr, b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        match status_of(&resp) {
+            Some(200) => break,
+            Some(503) | None if t0.elapsed() < Duration::from_secs(10) => {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            other => panic!(
+                "unexpected scrape outcome {other:?} after {:?}",
+                t0.elapsed()
+            ),
+        }
+    }
+    drop(idle);
+    assert_still_serving(&addr);
+}
+
+#[test]
+fn unknown_paths_get_404() {
+    let (srv, _reg) = server();
+    let addr = srv.addr().to_string();
+    let resp = raw(&addr, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&resp), Some(404));
+    assert_still_serving(&addr);
+}

@@ -6,12 +6,16 @@
 //!                                     # idle-LRU eviction + append
 //!                                     # backpressure keep under it
 //!          [--max-links N]            # exit after N links close (CI)
+//!          [--metrics-addr ADDR]      # embedded HTTP: /metrics,
+//!                                     # /stats.json, /sessions/*/edges
 //! ```
 //!
 //! Each accepted link is served on its own thread; sessions are shared
 //! across links by name, so one client can append while others query or
 //! subscribe. See `crates/serve` for the protocol and the concurrency
-//! model.
+//! model. With `--metrics-addr`, the daemon also serves read-only
+//! telemetry over HTTP (`serve::http`, `docs/metrics.md`) — scrapes are
+//! wait-free and never perturb session state.
 
 use serve::Registry;
 use std::net::TcpListener;
@@ -22,6 +26,7 @@ fn main() {
     let mut listen: Option<String> = None;
     let mut mem_budget_mb: Option<u64> = None;
     let mut max_links: Option<u64> = None;
+    let mut metrics_addr: Option<String> = None;
     let value = |args: &[String], k: usize, flag: &str| -> String {
         match args.get(k + 1) {
             Some(v) => v.clone(),
@@ -48,6 +53,7 @@ fn main() {
                 mem_budget_mb = Some(parse(value(&args, k, "--mem-budget-mb"), "--mem-budget-mb"))
             }
             "--max-links" => max_links = Some(parse(value(&args, k, "--max-links"), "--max-links")),
+            "--metrics-addr" => metrics_addr = Some(value(&args, k, "--metrics-addr")),
             other => {
                 eprintln!("dangoron-serve: unknown flag {other}");
                 std::process::exit(2);
@@ -56,7 +62,9 @@ fn main() {
         k += 2;
     }
     let Some(addr) = listen else {
-        eprintln!("usage: dangoron-serve --listen ADDR [--mem-budget-mb N] [--max-links N]");
+        eprintln!(
+            "usage: dangoron-serve --listen ADDR [--mem-budget-mb N] [--max-links N] [--metrics-addr ADDR]"
+        );
         std::process::exit(2);
     };
     let listener = match TcpListener::bind(&addr) {
@@ -75,6 +83,23 @@ fn main() {
         }
     );
     let registry = Arc::new(Registry::new(budget));
+    let _metrics_server = match &metrics_addr {
+        Some(maddr) => {
+            let mounts = vec![obs::stages::global(), registry.obs_registry()];
+            let routes = serve::http::routes(Arc::clone(&registry));
+            match obs::MetricsServer::bind(maddr, mounts, Some(routes)) {
+                Ok(srv) => {
+                    eprintln!("dangoron-serve: metrics on http://{}/metrics", srv.addr());
+                    Some(srv)
+                }
+                Err(e) => {
+                    eprintln!("dangoron-serve: cannot bind --metrics-addr {maddr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
     if let Err(e) = serve::serve(listener, registry, max_links) {
         eprintln!("dangoron-serve: {e}");
         std::process::exit(1);

@@ -1,0 +1,134 @@
+//! Read-only HTTP surface of the serve daemon.
+//!
+//! `dangoron-serve --metrics-addr` mounts this route handler into its
+//! [`obs::MetricsServer`] next to `/metrics` and `/stats.json`:
+//!
+//! * `GET /sessions/<name>/edges?window=W[&step=S&threshold=T]` — answers
+//!   an ad-hoc shared query against the named resident session and
+//!   returns the per-window edge lists as JSON
+//!   ([`network::export::to_temporal_json`]). Omitted parameters default
+//!   to the session engine's native window/step/threshold. The JSON
+//!   round-trips `f64` exactly, so the body is **bit-identical** to what
+//!   a [`crate::client::ServeClient`] query reassembles — the HTTP
+//!   surface is an observer, never a second answer path.
+//!
+//! Session names are used verbatim (no percent-decoding); names that
+//! need URL escaping are not reachable over this surface. Unknown
+//! sessions get 404, malformed parameters 400 — the handler never
+//! panics and holds only a read lock for the duration of the walk.
+
+use crate::server::Registry;
+use obs::{Response, RouteHandler};
+use std::sync::Arc;
+
+/// Builds the serve daemon's extra-route handler over `registry`.
+pub fn routes(registry: Arc<Registry>) -> RouteHandler {
+    Arc::new(move |path, query| handle(&registry, path, query))
+}
+
+fn handle(registry: &Registry, path: &str, query: &str) -> Option<Response> {
+    let rest = path.strip_prefix("/sessions/")?;
+    let name = rest.strip_suffix("/edges")?;
+    if name.is_empty() || name.contains('/') {
+        return None;
+    }
+    let Some(slot) = registry.get(name) else {
+        return Some(Response::text(404, &format!("no session '{name}'\n")));
+    };
+
+    let mut window = None;
+    let mut step = None;
+    let mut threshold = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, val) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => return Some(bad_param(pair, "expected key=value")),
+        };
+        match key {
+            "window" => match val.parse::<usize>() {
+                Ok(v) if v > 0 => window = Some(v),
+                _ => return Some(bad_param(key, "expected a positive integer")),
+            },
+            "step" => match val.parse::<usize>() {
+                Ok(v) if v > 0 => step = Some(v),
+                _ => return Some(bad_param(key, "expected a positive integer")),
+            },
+            "threshold" => match val.parse::<f64>() {
+                Ok(v) if v.is_finite() => threshold = Some(v),
+                _ => return Some(bad_param(key, "expected a finite number")),
+            },
+            other => return Some(bad_param(other, "unknown parameter")),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let answer = slot.read_session(|session| {
+        let engine = session.engine();
+        let window = window.unwrap_or_else(|| engine.window());
+        let step = step.unwrap_or_else(|| engine.step());
+        let threshold = threshold.unwrap_or_else(|| engine.threshold());
+        session.query(window, step, threshold)
+    });
+    registry
+        .metrics()
+        .query_us
+        .observe(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+
+    match answer {
+        Ok((_covered, result)) => {
+            registry.metrics().queries.inc();
+            Some(Response::json(network::export::to_temporal_json(
+                &result.matrices,
+            )))
+        }
+        Err(e) => Some(Response::text(400, &format!("bad query: {e}\n"))),
+    }
+}
+
+fn bad_param(what: &str, why: &str) -> Response {
+    Response::text(400, &format!("bad parameter '{what}': {why}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::generators;
+
+    fn registry_with_session(name: &str) -> Arc<Registry> {
+        let registry = Arc::new(Registry::new(None));
+        let data = generators::clustered_matrix(6, 120, 2, 0.5, 11).unwrap();
+        let cfg = dangoron::DangoronConfig {
+            basic_window: 20,
+            ..Default::default()
+        };
+        let session = crate::session::Session::open(data, 60, 20, 0.5, cfg).unwrap();
+        registry.open(name, session).unwrap();
+        registry
+    }
+
+    #[test]
+    fn edges_route_answers_and_misses() {
+        let registry = registry_with_session("s1");
+        let handler = routes(Arc::clone(&registry));
+        let ok = handler("/sessions/s1/edges", "").expect("route matches");
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.starts_with(b"["));
+        let missing = handler("/sessions/nope/edges", "").expect("route matches");
+        assert_eq!(missing.status, 404);
+        assert!(handler("/other", "").is_none());
+        assert!(handler("/sessions//edges", "").is_none());
+    }
+
+    #[test]
+    fn edges_route_rejects_bad_params() {
+        let registry = registry_with_session("s1");
+        let handler = routes(registry);
+        for q in ["window=0", "window=x", "threshold=nan", "bogus=1", "free"] {
+            let resp = handler("/sessions/s1/edges", q).expect("route matches");
+            assert_eq!(resp.status, 400, "query {q:?}");
+        }
+        // Explicit params matching the session's natives still answer.
+        let resp = handler("/sessions/s1/edges", "window=60&step=20&threshold=0.5");
+        assert_eq!(resp.expect("route matches").status, 200);
+    }
+}

@@ -28,11 +28,14 @@
 //! link chaos.
 
 pub mod client;
+pub mod http;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod session;
 
 pub use client::{AppendAck, OpenAck, QueryReply, ServeClient, WindowDelta};
+pub use metrics::{ServeMetrics, SessionMetrics};
 pub use proto::ServeMessage;
 pub use server::{serve, spawn_local, Registry, Slot};
 pub use session::{AppendOutcome, Session};

@@ -1,0 +1,170 @@
+//! Daemon telemetry: per-session gauges and daemon-wide counters.
+//!
+//! Every [`crate::server::Registry`] owns an [`obs::Registry`] and
+//! records into it as frames are dispatched — opens, appends, queries,
+//! evictions, budget refusals, drain and query wall times, and one gauge
+//! triple per named session (resident bytes, covered columns, live
+//! subscribers). `dangoron-serve --metrics-addr` mounts the same obs
+//! registry into its HTTP server, so a scrape reads exactly what the
+//! dispatch path wrote — wait-free on both sides.
+//!
+//! The obs registry is insert-only, so the gauges of an evicted session
+//! stay exposed (zeroed) until the process exits; re-opening the name
+//! reuses them. Metric names are documented in `docs/metrics.md`.
+
+use obs::{Counter, Gauge, Histogram};
+use std::sync::Arc;
+
+/// Daemon-wide metric handles (per-session gauges are registered lazily
+/// by name through [`ServeMetrics::session`]).
+pub struct ServeMetrics {
+    registry: Arc<obs::Registry>,
+    /// `dangoron_serve_sessions` — resident session count.
+    pub sessions: Gauge,
+    /// `dangoron_serve_resident_bytes` — summed resident bytes.
+    pub resident_bytes: Gauge,
+    /// `dangoron_serve_opens_total` — sessions opened.
+    pub opens: Counter,
+    /// `dangoron_serve_appends_total` — appends applied.
+    pub appends: Counter,
+    /// `dangoron_serve_queries_total` — ad-hoc queries answered.
+    pub queries: Counter,
+    /// `dangoron_serve_subscribes_total` — subscriptions registered.
+    pub subscribes: Counter,
+    /// `dangoron_serve_evictions_total{reason}` — explicit evictions.
+    pub evictions_explicit: Counter,
+    /// `dangoron_serve_evictions_total{reason}` — LRU budget evictions.
+    pub evictions_lru: Counter,
+    /// `dangoron_serve_refusals_total` — budget backpressure refusals.
+    pub refusals: Counter,
+    /// `dangoron_serve_drain_us` — append wall time (drain + delta push).
+    pub drain_us: Histogram,
+    /// `dangoron_serve_query_us` — shared-query wall time.
+    pub query_us: Histogram,
+}
+
+/// The gauge triple of one named session.
+pub struct SessionMetrics {
+    /// `dangoron_serve_session_resident_bytes{session}`.
+    pub resident_bytes: Gauge,
+    /// `dangoron_serve_session_covered_cols{session}`.
+    pub covered_cols: Gauge,
+    /// `dangoron_serve_session_subscribers{session}`.
+    pub subscribers: Gauge,
+}
+
+impl SessionMetrics {
+    /// Zeroes the triple (the session was evicted).
+    pub fn clear(&self) {
+        self.resident_bytes.set(0);
+        self.covered_cols.set(0);
+        self.subscribers.set(0);
+    }
+}
+
+impl ServeMetrics {
+    /// Registers the daemon-wide families in a fresh obs registry.
+    pub fn new() -> Self {
+        let registry = Arc::new(obs::Registry::new());
+        Self {
+            sessions: registry.gauge("dangoron_serve_sessions", "Resident session count"),
+            resident_bytes: registry.gauge(
+                "dangoron_serve_resident_bytes",
+                "Summed resident bytes across all sessions",
+            ),
+            opens: registry.counter("dangoron_serve_opens_total", "Sessions opened"),
+            appends: registry.counter("dangoron_serve_appends_total", "Appends applied"),
+            queries: registry.counter("dangoron_serve_queries_total", "Ad-hoc queries answered"),
+            subscribes: registry.counter(
+                "dangoron_serve_subscribes_total",
+                "Delta subscriptions registered",
+            ),
+            evictions_explicit: registry.counter_with(
+                "dangoron_serve_evictions_total",
+                "Sessions evicted, by reason",
+                &[("reason", "explicit")],
+            ),
+            evictions_lru: registry.counter_with(
+                "dangoron_serve_evictions_total",
+                "Sessions evicted, by reason",
+                &[("reason", "lru")],
+            ),
+            refusals: registry.counter(
+                "dangoron_serve_refusals_total",
+                "Opens/appends refused by the memory budget",
+            ),
+            drain_us: registry.histogram(
+                "dangoron_serve_drain_us",
+                "Append wall time (engine drain + delta push), microseconds",
+            ),
+            query_us: registry.histogram(
+                "dangoron_serve_query_us",
+                "Shared-query wall time, microseconds",
+            ),
+            registry,
+        }
+    }
+
+    /// The backing obs registry — mount this into a
+    /// [`obs::MetricsServer`] to expose the daemon.
+    pub fn registry(&self) -> Arc<obs::Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The gauge triple for session `name` (registered on first use,
+    /// shared afterwards).
+    pub fn session(&self, name: &str) -> SessionMetrics {
+        let labels = [("session", name)];
+        SessionMetrics {
+            resident_bytes: self.registry.gauge_with(
+                "dangoron_serve_session_resident_bytes",
+                "Resident bytes of one session",
+                &labels,
+            ),
+            covered_cols: self.registry.gauge_with(
+                "dangoron_serve_session_covered_cols",
+                "Columns the session's sketches cover",
+                &labels,
+            ),
+            subscribers: self.registry.gauge_with(
+                "dangoron_serve_session_subscribers",
+                "Live delta subscriptions of one session",
+                &labels,
+            ),
+        }
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_gauges_share_state_by_name() {
+        let m = ServeMetrics::new();
+        m.session("a").resident_bytes.set(100);
+        assert_eq!(m.session("a").resident_bytes.get(), 100);
+        assert_eq!(m.session("b").resident_bytes.get(), 0);
+        m.session("a").clear();
+        assert_eq!(m.session("a").resident_bytes.get(), 0);
+    }
+
+    #[test]
+    fn eviction_reasons_are_distinct_series_of_one_family() {
+        let m = ServeMetrics::new();
+        m.evictions_explicit.inc();
+        m.evictions_lru.add(2);
+        let snaps = m.registry().snapshot();
+        let evs: Vec<_> = snaps
+            .iter()
+            .filter(|s| s.name == "dangoron_serve_evictions_total")
+            .collect();
+        assert_eq!(evs.len(), 2);
+    }
+}

@@ -17,6 +17,7 @@
 //! (and the `Appended` ack on success) is the backpressure: a client that
 //! waits for its ack can never run the daemon past its budget.
 
+use crate::metrics::ServeMetrics;
 use crate::proto::{self, ServeMessage};
 use crate::session::Session;
 use bytes::frame;
@@ -62,6 +63,12 @@ impl Slot {
     pub fn memory_bytes(&self) -> usize {
         self.mem.load(Ordering::Relaxed)
     }
+
+    /// Runs `f` under the session's read lock — the shared-query path
+    /// used by the read-only HTTP surface ([`crate::http`]).
+    pub fn read_session<R>(&self, f: impl FnOnce(&Session) -> R) -> R {
+        f(&read_guard(&self.session))
+    }
 }
 
 /// The daemon's session table: named slots, an LRU clock, and an optional
@@ -70,6 +77,7 @@ pub struct Registry {
     slots: Mutex<HashMap<String, Arc<Slot>>>,
     clock: AtomicU64,
     mem_budget: Option<usize>,
+    metrics: ServeMetrics,
 }
 
 impl Registry {
@@ -80,7 +88,27 @@ impl Registry {
             slots: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(0),
             mem_budget,
+            metrics: ServeMetrics::new(),
         }
+    }
+
+    /// The daemon's metric handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The obs registry behind [`Registry::metrics`] — mount it into a
+    /// [`obs::MetricsServer`] to expose the daemon.
+    pub fn obs_registry(&self) -> Arc<obs::Registry> {
+        self.metrics.registry()
+    }
+
+    /// Refreshes the daemon-wide totals gauges (cheap relaxed stores).
+    fn refresh_totals(&self) {
+        let slots = lock(&self.slots);
+        self.metrics.sessions.set(slots.len() as i64);
+        let total: usize = slots.values().map(|s| s.memory_bytes()).sum();
+        self.metrics.resident_bytes.set(total as i64);
     }
 
     fn touch(&self, slot: &Slot) {
@@ -112,7 +140,13 @@ impl Registry {
 
     /// Removes a session by name.
     pub fn evict(&self, name: &str) -> bool {
-        lock(&self.slots).remove(name).is_some()
+        let existed = lock(&self.slots).remove(name).is_some();
+        if existed {
+            self.metrics.evictions_explicit.inc();
+            self.metrics.session(name).clear();
+            self.refresh_totals();
+        }
+        existed
     }
 
     /// Evicts idle least-recently-used sessions (never `keep`) until the
@@ -146,6 +180,8 @@ impl Registry {
             match victim {
                 Some(name) => {
                     if let Some(slot) = slots.remove(&name) {
+                        self.metrics.evictions_lru.inc();
+                        self.metrics.session(&name).clear();
                         eprintln!(
                             "dangoron-serve: evicted idle session '{name}' ({} bytes) for the memory budget",
                             slot.memory_bytes()
@@ -166,10 +202,12 @@ impl Registry {
         }
         let mem = session.memory_bytes();
         if !self.make_room(name, mem) {
+            self.metrics.refusals.inc();
             return Err(format!(
                 "memory budget exhausted: session '{name}' needs {mem} bytes; evict a session or retry later"
             ));
         }
+        let covered = session.covered_cols();
         let slot = Arc::new(Slot {
             session: RwLock::new(session),
             last_used: AtomicU64::new(0),
@@ -181,6 +219,13 @@ impl Registry {
             return Err(format!("session '{name}' already exists; Evict it first"));
         }
         slots.insert(name.to_string(), Arc::clone(&slot));
+        drop(slots);
+        self.metrics.opens.inc();
+        let sm = self.metrics.session(name);
+        sm.resident_bytes.set(mem as i64);
+        sm.covered_cols.set(covered as i64);
+        sm.subscribers.set(0);
+        self.refresh_totals();
         Ok(slot)
     }
 
@@ -191,6 +236,7 @@ impl Registry {
         if self.make_room(name, incoming_bytes) {
             Ok(())
         } else {
+            self.metrics.refusals.inc();
             Err(format!(
                 "memory budget exhausted: append of {incoming_bytes} bytes to '{name}' refused; evict a session or retry later"
             ))
@@ -266,10 +312,20 @@ fn dispatch(
             }
             match registry.get(&name) {
                 Some(slot) => {
+                    let t0 = std::time::Instant::now();
                     let outcome = write_guard(&slot.session).append(&data);
+                    registry
+                        .metrics
+                        .drain_us
+                        .observe(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
                     match outcome {
                         Ok(out) => {
                             slot.mem.store(out.memory_bytes, Ordering::Relaxed);
+                            registry.metrics.appends.inc();
+                            let sm = registry.metrics.session(&name);
+                            sm.resident_bytes.set(out.memory_bytes as i64);
+                            sm.covered_cols.set(out.covered_cols as i64);
+                            registry.refresh_totals();
                             ServeMessage::Appended {
                                 name,
                                 covered_cols: out.covered_cols as u64,
@@ -291,9 +347,15 @@ fn dispatch(
             threshold,
         } => match registry.get(&name) {
             Some(slot) => {
+                let t0 = std::time::Instant::now();
                 let answer = read_guard(&slot.session).query(window, step, threshold);
+                registry
+                    .metrics
+                    .query_us
+                    .observe(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
                 match answer {
                     Ok((covered, result)) => {
+                        registry.metrics.queries.inc();
                         let n_windows = result.matrices.len();
                         let mut edges = Vec::new();
                         for (w, m) in result.matrices.iter().enumerate() {
@@ -326,6 +388,12 @@ fn dispatch(
                         write_frame(&sink_writer, &delta).is_ok()
                     }),
                 );
+                registry.metrics.subscribes.inc();
+                registry
+                    .metrics
+                    .session(&name)
+                    .subscribers
+                    .set(read_guard(&slot.session).n_subscribers() as i64);
                 ServeMessage::Subscribed {
                     id,
                     next_window: next_window as u64,

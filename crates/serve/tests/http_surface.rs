@@ -1,0 +1,238 @@
+//! The read-only HTTP surface answers with the daemon's own bits.
+//!
+//! * `/sessions/<name>/edges` must be byte-identical to what a
+//!   [`ServeClient`] query reassembles — `to_temporal_json` round-trips
+//!   `f64` exactly, so string equality is bitwise edge equality;
+//! * hammering `/metrics`, `/stats.json`, and the edges route from four
+//!   threads during an append/query interleaving must not change a
+//!   single answered bit versus the same interleaving unscraped, and
+//!   counters observed across scrapes never decrease.
+
+use dangoron::DangoronConfig;
+use serve::{Registry, ServeClient};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tsdata::{generators, TimeSeriesMatrix};
+
+const N: usize = 8;
+const TOTAL: usize = 400;
+const WINDOW: usize = 80;
+const STEP: usize = 20;
+const BETA: f64 = 0.7;
+const PATIENCE: Duration = Duration::from_secs(10);
+
+fn cfg() -> DangoronConfig {
+    DangoronConfig {
+        basic_window: 20,
+        ..Default::default()
+    }
+}
+
+fn dataset() -> TimeSeriesMatrix {
+    generators::clustered_matrix(N, TOTAL, 2, 0.5, 13).expect("dataset")
+}
+
+/// A daemon plus its metrics server with the edges route mounted.
+fn daemon() -> (Arc<Registry>, String, obs::MetricsServer) {
+    let registry = Arc::new(Registry::new(None));
+    let addr = serve::spawn_local(Arc::clone(&registry), None).expect("spawn daemon");
+    let srv = obs::MetricsServer::bind(
+        "127.0.0.1:0",
+        vec![obs::stages::global(), registry.obs_registry()],
+        Some(serve::http::routes(Arc::clone(&registry))),
+    )
+    .expect("bind metrics server");
+    (registry, addr.to_string(), srv)
+}
+
+fn http_get(addr: &str, path_query: &str) -> Option<(u16, String)> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    s.write_all(format!("GET {path_query} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .ok()?;
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text
+        .lines()
+        .next()?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string())?;
+    Some((status, body))
+}
+
+/// Retries over the scrape-slot cap: a 503 under load is back-pressure,
+/// not an answer.
+fn http_get_ok(addr: &str, path_query: &str) -> (u16, String) {
+    let t0 = std::time::Instant::now();
+    loop {
+        match http_get(addr, path_query) {
+            Some((503, _)) | None if t0.elapsed() < Duration::from_secs(10) => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Some(got) => return got,
+            None => panic!("metrics server unreachable for 10 s"),
+        }
+    }
+}
+
+#[test]
+fn edges_route_matches_serve_client_bitwise() {
+    let (_registry, addr, srv) = daemon();
+    let scrape = srv.addr().to_string();
+    let data = dataset();
+
+    let mut client = ServeClient::connect(&addr, PATIENCE).expect("connect");
+    client
+        .open("s", &data, WINDOW, STEP, BETA, &cfg())
+        .expect("open");
+
+    // Native parameters, defaulted by the route vs explicit in the client.
+    let reply = client.query("s", WINDOW, STEP, BETA).expect("query");
+    let expect = network::export::to_temporal_json(&reply.matrices(N, BETA, cfg().edge_rule));
+    let (status, body) = http_get_ok(&scrape, "/sessions/s/edges");
+    assert_eq!(status, 200);
+    assert_eq!(body, expect, "HTTP edges differ from the client's bits");
+
+    // Explicit non-native parameters on both sides.
+    let reply = client.query("s", 60, 20, 0.5).expect("query");
+    let expect = network::export::to_temporal_json(&reply.matrices(N, 0.5, cfg().edge_rule));
+    let (status, body) = http_get_ok(&scrape, "/sessions/s/edges?window=60&step=20&threshold=0.5");
+    assert_eq!(status, 200);
+    assert_eq!(body, expect, "parameterised HTTP edges differ");
+
+    // Error surface: unknown session and malformed parameters.
+    assert_eq!(http_get_ok(&scrape, "/sessions/nope/edges").0, 404);
+    assert_eq!(
+        http_get_ok(&scrape, "/sessions/s/edges?window=banana").0,
+        400
+    );
+    assert_eq!(http_get_ok(&scrape, "/sessions/s/edges?window=7").0, 400);
+    client.disconnect();
+}
+
+#[test]
+fn concurrent_scrapes_never_change_answered_bits() {
+    let data = dataset();
+    let chunk = TOTAL / 4;
+
+    // Baseline: the same open/append/query interleaving, never scraped.
+    let (_reg_base, addr_base, _srv_base) = daemon();
+    let mut base = ServeClient::connect(&addr_base, PATIENCE).expect("connect");
+    base.open(
+        "s",
+        &data.slice_columns(0, chunk).expect("prefix"),
+        WINDOW,
+        STEP,
+        BETA,
+        &cfg(),
+    )
+    .expect("open");
+    let mut baseline = Vec::new();
+    for k in 1..4 {
+        base.append(
+            "s",
+            &data
+                .slice_columns(k * chunk, (k + 1) * chunk)
+                .expect("chunk"),
+        )
+        .expect("append");
+        let reply = base.query("s", WINDOW, STEP, BETA).expect("query");
+        baseline.push(network::export::to_temporal_json(&reply.matrices(
+            N,
+            BETA,
+            cfg().edge_rule,
+        )));
+    }
+    base.disconnect();
+
+    // Scraped run: identical interleaving with 4 hammer threads.
+    let (_registry, addr, srv) = daemon();
+    let scrape = srv.addr().to_string();
+    let mut client = ServeClient::connect(&addr, PATIENCE).expect("connect");
+    client
+        .open(
+            "s",
+            &data.slice_columns(0, chunk).expect("prefix"),
+            WINDOW,
+            STEP,
+            BETA,
+            &cfg(),
+        )
+        .expect("open");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..4)
+        .map(|k| {
+            let stop = Arc::clone(&stop);
+            let scrape = scrape.clone();
+            std::thread::spawn(move || {
+                let path = match k {
+                    0 => "/metrics",
+                    1 => "/stats.json",
+                    _ => "/sessions/s/edges",
+                };
+                let mut landed = 0u64;
+                let mut last_appends = 0.0f64;
+                while !stop.load(Ordering::Relaxed) {
+                    let Some((status, body)) = http_get(&scrape, path) else {
+                        continue;
+                    };
+                    if status != 200 {
+                        continue; // 503 back-pressure under the hammer
+                    }
+                    landed += 1;
+                    if path == "/metrics" {
+                        let fams = obs::expo::parse_prometheus(&body)
+                            .unwrap_or_else(|e| panic!("bad exposition: {e}"));
+                        let appends = fams
+                            .iter()
+                            .flat_map(|f| &f.samples)
+                            .find(|s| s.name == "dangoron_serve_appends_total")
+                            .map(|s| s.value)
+                            .unwrap_or(0.0);
+                        assert!(
+                            appends >= last_appends,
+                            "appends counter went backwards: {last_appends} -> {appends}"
+                        );
+                        last_appends = appends;
+                    }
+                }
+                landed
+            })
+        })
+        .collect();
+
+    let mut scraped = Vec::new();
+    for k in 1..4 {
+        client
+            .append(
+                "s",
+                &data
+                    .slice_columns(k * chunk, (k + 1) * chunk)
+                    .expect("chunk"),
+            )
+            .expect("append");
+        let reply = client.query("s", WINDOW, STEP, BETA).expect("query");
+        scraped.push(network::export::to_temporal_json(&reply.matrices(
+            N,
+            BETA,
+            cfg().edge_rule,
+        )));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let landed: u64 = hammers.into_iter().map(|h| h.join().expect("hammer")).sum();
+    client.disconnect();
+
+    assert!(landed > 0, "the hammer never landed a scrape");
+    assert_eq!(
+        scraped, baseline,
+        "concurrent scraping changed an answered query"
+    );
+}

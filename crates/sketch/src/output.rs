@@ -80,6 +80,7 @@ impl ThresholdedMatrix {
     /// Every entry must satisfy `i < j < n`, pass `rule` at `beta`, and
     /// the list must be sorted by `(i, j)` (all checked in debug builds).
     pub fn from_sorted_edges(n: usize, beta: f64, rule: EdgeRule, entries: Vec<Edge>) -> Self {
+        let _timer = obs::stages::span(obs::stages::Stage::Merge);
         #[cfg(debug_assertions)]
         {
             for pair in entries.windows(2) {
