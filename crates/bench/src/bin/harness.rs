@@ -9,6 +9,8 @@
 //! harness validate [--require-streaming] [--require-kernels]
 //!                  [--require-shards] [--require-serve] [--require-obs]
 //!                  FILE...
+//! harness validate --require-lint-clean LINT_REPORT.json
+//!                  # dangoron-lint --json report: schema + zero findings
 //! harness scrape ADDR [--path /metrics]        # GET + strict-parse
 //! ```
 //!
@@ -178,6 +180,7 @@ fn run_merge(args: &[String]) {
 }
 
 fn run_validate(args: &[String]) {
+    let lint_clean = args.iter().any(|a| a == "--require-lint-clean");
     let requires = Requires {
         streaming: args.iter().any(|a| a == "--require-streaming"),
         kernels: args.iter().any(|a| a == "--require-kernels"),
@@ -203,8 +206,14 @@ fn run_validate(args: &[String]) {
                 continue;
             }
         };
-        match bench::schema::validate(&json, requires) {
-            Ok(()) => println!("{path}: valid dangoron-bench-v1 record"),
+        let verdict = if lint_clean {
+            bench::schema::validate_lint_report(&json, true)
+                .map(|()| "valid dangoron-lint-v2 report, tree lint-clean")
+        } else {
+            bench::schema::validate(&json, requires).map(|()| "valid dangoron-bench-v1 record")
+        };
+        match verdict {
+            Ok(what) => println!("{path}: {what}"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 failed = true;

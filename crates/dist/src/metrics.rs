@@ -3,7 +3,7 @@
 //! Every counter the coordinator keeps — assignments, replans, steals,
 //! heartbeats, stale frames, payload bytes — lives in an [`obs::Registry`]
 //! and is updated wait-free as the event happens. The end-of-run
-//! [`CoordStats`](crate::coord::CoordStats) report is a *snapshot* of
+//! [`CoordStats`] report is a *snapshot* of
 //! these metrics ([`CoordMetrics::snapshot`]), so the stderr summary, the
 //! BENCH `shards` section, and a live `/metrics` scrape can never
 //! disagree: they all read the same atomics.

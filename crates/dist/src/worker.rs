@@ -161,6 +161,10 @@ fn serve_v2<R: Read, W: Write>(mut input: R, mut output: W) -> io::Result<()> {
             std::thread::sleep(Duration::from_millis(delay_ms));
         }
         let reply = match &loaded {
+            // lint:allow(wire-taint-allocation) -- assignment fields are
+            // range-validated inside execute (slice_columns/prepare_shard
+            // reject out-of-range ranks) and its allocation sizes are
+            // measured sums of produced edges, not wire-claimed counts
             Some(data) => match execute(&assignment, data) {
                 Ok(result) => Message::Result(result),
                 Err(e) => Message::Error(assignment.shard_id, e),

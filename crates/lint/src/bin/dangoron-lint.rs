@@ -81,6 +81,9 @@ fn main() -> ExitCode {
         for f in &findings {
             let tag = if f.warning { "warning: " } else { "" };
             println!("{}:{}: {}{}: {}", f.file, f.line, tag, f.rule, f.message);
+            for s in &f.trace {
+                println!("    {}:{}: {}", f.file, s.line, s.note);
+            }
         }
     }
     eprintln!(

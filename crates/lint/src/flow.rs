@@ -1,0 +1,1041 @@
+//! `lint::flow` — a per-function taint lattice over the item graph.
+//!
+//! The abstract domain is a bitmask per local variable: two *label* bits
+//! (`WIRE` — an integer read from a decode buffer; `HASH_ITER` — a value
+//! derived from `HashMap`/`HashSet` iteration) plus one symbolic bit per
+//! function parameter. Each function body is scanned linearly in source
+//! order (an approximation of execution order that is exact for the
+//! straight-line decode/build code these rules target): `let` bindings
+//! and assignments transfer the right-hand side's taint, method calls
+//! apply sources and sanitizers, and sinks are checked in place.
+//!
+//! Interprocedural reasoning is *one level of summary propagation* along
+//! the call graph: a base pass computes every function's summary
+//! (`returns` taint including parameter pass-through, parameter→sink
+//! reachability, parameter sanitization) with no callee knowledge, a
+//! second pass recomputes summaries using the base summaries, and the
+//! report pass checks sinks using the second-pass summaries. That is
+//! exactly enough to catch a `need()` check stripped two call levels
+//! above the allocation — and deliberately no more (documented in
+//! `docs/lint-rules.md`).
+
+use crate::lexer::{TokKind, Token};
+use crate::syntax::{FnItem, FnRef, ItemGraph};
+use crate::util::{is_id, is_p};
+use std::collections::BTreeMap;
+
+/// Label bit: integer read from a wire/decode buffer, unvalidated.
+pub const WIRE: u32 = 1;
+/// Label bit: value derived from hash-ordered iteration.
+pub const HASH_ITER: u32 = 2;
+const LABELS: u32 = WIRE | HASH_ITER;
+/// Parameter bits start here; up to 20 parameters are tracked.
+const PARAM_SHIFT: u32 = 8;
+const MAX_PARAMS: usize = 20;
+
+fn param_bit(i: usize) -> u32 {
+    if i < MAX_PARAMS {
+        1 << (PARAM_SHIFT + i as u32)
+    } else {
+        0
+    }
+}
+
+/// Primitive wire-read methods (byte-buffer getters + parsed lengths).
+const WIRE_READS: &[&str] = &[
+    "get_u8",
+    "get_u16",
+    "get_u16_le",
+    "get_u32",
+    "get_u32_le",
+    "get_u64",
+    "get_u64_le",
+    "get_i32_le",
+    "get_i64_le",
+];
+
+/// Hash-iteration methods that imprint `HASH_ITER` on derived values.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Projections whose result is order/magnitude-safe: a measured length
+/// of a materialized collection carries neither wire nor iteration
+/// taint (taint targets *claimed* counts and *ordered* contents).
+const CLEAN_PROJ: &[&str] = &["len", "count", "is_empty", "min", "clamp"];
+
+/// What kind of sink a tainted value reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// `Vec::with_capacity` / `.reserve` / `vec![_; n]` sized by taint.
+    Alloc,
+    /// Slice/array indexing by a tainted value.
+    SliceIndex,
+    /// Tainted value escapes: returned, or written to serialized output.
+    Escape,
+}
+
+/// One step of a taint trace: a line in the current file plus a note.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable role of this step.
+    pub note: String,
+}
+
+/// One sink reached by a tainted value during the report pass.
+#[derive(Debug, Clone)]
+pub struct SinkHit {
+    /// Line of the sink expression.
+    pub line: u32,
+    /// Sink classification.
+    pub kind: SinkKind,
+    /// Which label(s) reached it (`WIRE` and/or `HASH_ITER`).
+    pub label: u32,
+    /// Source-to-sink chain, ending at the sink line.
+    pub trace: Vec<TraceStep>,
+}
+
+/// The interprocedural summary of one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// Labels + parameter bits that can reach the return value.
+    pub returns: u32,
+    /// Bitset over parameters that reach an `Alloc`/`SliceIndex` sink
+    /// without an intervening bounds check.
+    pub param_alloc_sink: u32,
+    /// Bitset over parameters that the function bounds-checks (callers
+    /// may treat the corresponding argument as validated afterwards).
+    pub sanitizes: u32,
+}
+
+/// Per-variable abstract state.
+#[derive(Debug, Clone, Default)]
+struct VarState {
+    mask: u32,
+    /// Where each label was first acquired (line, note); capped.
+    origins: Vec<TraceStep>,
+    /// Declared (or inferred) as a HashMap/HashSet.
+    hashy: bool,
+}
+
+impl VarState {
+    fn add(&mut self, mask: u32, origins: &[TraceStep]) {
+        let new = mask & !self.mask;
+        self.mask |= mask;
+        if new != 0 && self.origins.len() < 4 {
+            for o in origins.iter().take(4 - self.origins.len()) {
+                if !self.origins.iter().any(|e| e.line == o.line) {
+                    self.origins.push(o.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Result of evaluating one expression's token slice.
+#[derive(Debug, Clone, Default)]
+struct Eval {
+    mask: u32,
+    origins: Vec<TraceStep>,
+    /// Expression mentions a hash-collection constructor/annotation.
+    hashy: bool,
+}
+
+impl Eval {
+    fn absorb(&mut self, mask: u32, origin: Option<TraceStep>) {
+        self.mask |= mask;
+        if let Some(o) = origin {
+            if self.origins.len() < 4 && !self.origins.iter().any(|e| e.line == o.line) {
+                self.origins.push(o);
+            }
+        }
+    }
+}
+
+/// Whether this pass records findings or only builds summaries.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Summarize,
+    Report,
+}
+
+/// Flow analysis context for one file's function bodies.
+pub struct FlowCtx<'a> {
+    toks: &'a [Token],
+    file_idx: usize,
+    graph: &'a ItemGraph,
+    summaries: &'a BTreeMap<(usize, usize), FnSummary>,
+}
+
+/// Analysis output for one function.
+pub struct FnFlow {
+    /// The function's computed summary (valid in every mode).
+    pub summary: FnSummary,
+    /// Sink hits (empty unless the report pass).
+    pub hits: Vec<SinkHit>,
+}
+
+impl<'a> FlowCtx<'a> {
+    /// Creates a context over one file's tokens.
+    pub fn new(
+        toks: &'a [Token],
+        file_idx: usize,
+        graph: &'a ItemGraph,
+        summaries: &'a BTreeMap<(usize, usize), FnSummary>,
+    ) -> Self {
+        FlowCtx {
+            toks,
+            file_idx,
+            graph,
+            summaries,
+        }
+    }
+
+    /// Union of the scoped-resolution candidates' summaries for a callee
+    /// name (empty summary when unknown).
+    fn callee_summary(&self, name: &str) -> FnSummary {
+        let refs: Vec<FnRef> = self.graph.resolve_scoped(name, self.file_idx);
+        let mut sum = FnSummary::default();
+        let mut any = false;
+        for r in refs {
+            if let Some(s) = self.summaries.get(&r) {
+                sum.returns |= s.returns;
+                sum.param_alloc_sink |= s.param_alloc_sink;
+                // Sanitization must hold for *every* candidate to be
+                // trusted (intersection, seeded by the first).
+                sum.sanitizes = if any {
+                    sum.sanitizes & s.sanitizes
+                } else {
+                    s.sanitizes
+                };
+                any = true;
+            }
+        }
+        sum
+    }
+
+    /// Computes the summary (and, in `Report` mode, the sink hits) of one
+    /// function body.
+    pub fn analyze(&self, f: &FnItem, report: bool) -> FnFlow {
+        let mode = if report {
+            Mode::Report
+        } else {
+            Mode::Summarize
+        };
+        let mut st = Scan {
+            ctx: self,
+            env: BTreeMap::new(),
+            summary: FnSummary::default(),
+            hits: Vec::new(),
+            mode,
+        };
+        for (i, p) in f.params.iter().enumerate() {
+            st.env.insert(
+                p.name.clone(),
+                VarState {
+                    mask: param_bit(i),
+                    origins: vec![TraceStep {
+                        line: f.line,
+                        note: format!("parameter `{}`", p.name),
+                    }],
+                    hashy: p.hashy,
+                },
+            );
+        }
+        if let Some((open, close)) = f.body {
+            st.run(open, close);
+        }
+        FnFlow {
+            summary: st.summary,
+            hits: st.hits,
+        }
+    }
+}
+
+/// One linear scan over a function body.
+struct Scan<'a, 'b> {
+    ctx: &'b FlowCtx<'a>,
+    env: BTreeMap<String, VarState>,
+    summary: FnSummary,
+    hits: Vec<SinkHit>,
+    mode: Mode,
+}
+
+impl Scan<'_, '_> {
+    fn toks(&self) -> &[Token] {
+        self.ctx.toks
+    }
+
+    /// Records a sink hit (report mode) and parameter reachability
+    /// (both modes).
+    fn sink(&mut self, kind: SinkKind, line: u32, ev: &Eval, what: &str) {
+        let params = (ev.mask >> PARAM_SHIFT) << PARAM_SHIFT;
+        if params != 0 && matches!(kind, SinkKind::Alloc | SinkKind::SliceIndex) {
+            self.summary.param_alloc_sink |= params >> PARAM_SHIFT;
+        }
+        let labels = ev.mask & LABELS;
+        if labels != 0 && self.mode == Mode::Report {
+            let mut trace = ev.origins.clone();
+            trace.push(TraceStep {
+                line,
+                note: what.to_string(),
+            });
+            self.hits.push(SinkHit {
+                line,
+                kind,
+                label: labels,
+                trace,
+            });
+        }
+    }
+
+    /// Clears `WIRE` from every env var mentioned in `toks[a..b]`, and
+    /// converts cleared parameter bits into `sanitizes` entries.
+    fn sanitize_range(&mut self, a: usize, b: usize) {
+        let end = b.min(self.toks().len());
+        for i in a..end {
+            let t = &self.ctx.toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if let Some(v) = self.env.get_mut(&t.text) {
+                if v.mask & WIRE != 0 {
+                    v.mask &= !WIRE;
+                }
+                let params = v.mask >> PARAM_SHIFT;
+                if params != 0 {
+                    self.summary.sanitizes |= params;
+                    v.mask &= (1 << PARAM_SHIFT) - 1;
+                }
+            }
+        }
+    }
+
+    /// Evaluates the taint of an expression spanning `toks[a..b)`.
+    /// Applies call-argument checks (callee sinks), `vec![_; n]` sinks
+    /// and slice-index sinks as side effects.
+    fn eval(&mut self, a: usize, b: usize) -> Eval {
+        let mut ev = Eval::default();
+        let toks = self.ctx.toks;
+        let end = b.min(toks.len());
+        let mut i = a;
+        while i < end {
+            let t = &toks[i];
+            // `vec![elem; n]`: the repeat count feeds an allocation.
+            if is_id(t, "vec")
+                && toks.get(i + 1).map(|n| is_p(n, "!")).unwrap_or(false)
+                && toks.get(i + 2).map(|o| is_p(o, "[")).unwrap_or(false)
+            {
+                let cl = crate::util::match_delim(toks, i + 2);
+                if let Some(semi) = (i + 3..cl).find(|&k| is_p(&toks[k], ";")) {
+                    let arg_ev = self.eval(semi + 1, cl);
+                    self.sink(
+                        SinkKind::Alloc,
+                        t.line,
+                        &arg_ev,
+                        "sized allocation `vec![_; n]`",
+                    );
+                    ev.absorb(arg_ev.mask, None);
+                } else {
+                    let inner = self.eval(i + 3, cl);
+                    ev.absorb(inner.mask, None);
+                }
+                i = cl.min(end).max(i + 1);
+                continue;
+            }
+            // Slice/array indexing: `x[expr]`, `buf.chunk()[..len]`.
+            if is_p(t, "[") {
+                let indexing = i
+                    .checked_sub(1)
+                    .and_then(|k| toks.get(k))
+                    .map(|p| p.kind == TokKind::Ident || is_p(p, ")") || is_p(p, "]"))
+                    .unwrap_or(false);
+                if indexing {
+                    let cl = crate::util::match_delim(toks, i);
+                    let inner = self.eval(i + 1, cl);
+                    if inner.mask & WIRE != 0 || (inner.mask >> PARAM_SHIFT) != 0 {
+                        self.sink(
+                            SinkKind::SliceIndex,
+                            t.line,
+                            &inner,
+                            "slice index by unvalidated value",
+                        );
+                    }
+                    ev.absorb(inner.mask, None);
+                    for o in &inner.origins {
+                        ev.absorb(0, Some(o.clone()));
+                    }
+                    i = cl.min(end).max(i + 1);
+                    continue;
+                }
+            }
+            if t.kind == TokKind::Ident {
+                let next = toks.get(i + 1);
+                let prev = i.checked_sub(1).map(|k| &toks[k]);
+                // A call name is followed by `(` directly or via a
+                // turbofish (`name::<T>(`).
+                let turbofish = next.map(|n| is_p(n, "::")).unwrap_or(false)
+                    && toks.get(i + 2).map(|n| is_p(n, "<")).unwrap_or(false);
+                let called = next.map(|n| is_p(n, "(")).unwrap_or(false) || turbofish;
+                let is_method_name = prev.map(|p| is_p(p, ".")).unwrap_or(false) && called;
+                let is_call = called && !is_method_name;
+                let is_macro = next.map(|n| is_p(n, "!")).unwrap_or(false);
+
+                if t.text == "HashMap" || t.text == "HashSet" {
+                    ev.hashy = true;
+                }
+                if t.text == "BTreeMap" || t.text == "BTreeSet" {
+                    // Collecting into an ordered collection launders
+                    // iteration-order taint.
+                    ev.mask &= !HASH_ITER;
+                }
+
+                if is_method_name {
+                    // Receiver is the ident two tokens back (`x . m (`).
+                    let recv = i
+                        .checked_sub(2)
+                        .and_then(|k| toks.get(k))
+                        .filter(|r| r.kind == TokKind::Ident || r.kind == TokKind::Int)
+                        .map(|r| r.text.clone());
+                    let m = t.text.as_str();
+                    if WIRE_READS.contains(&m) {
+                        ev.absorb(
+                            WIRE,
+                            Some(TraceStep {
+                                line: t.line,
+                                note: format!("wire read `{m}`"),
+                            }),
+                        );
+                    }
+                    if m == "parse" && self.turbofish_is_int(i + 1) {
+                        ev.absorb(
+                            WIRE,
+                            Some(TraceStep {
+                                line: t.line,
+                                note: "parsed integer from untrusted text".into(),
+                            }),
+                        );
+                    }
+                    if ITER_METHODS.contains(&m) {
+                        let recv_hashy = recv
+                            .as_deref()
+                            .and_then(|r| self.env.get(r))
+                            .map(|v| v.hashy)
+                            .unwrap_or(false);
+                        if recv_hashy {
+                            ev.absorb(
+                                HASH_ITER,
+                                Some(TraceStep {
+                                    line: t.line,
+                                    note: format!(
+                                        "iteration over hash-ordered `{}`",
+                                        recv.as_deref().unwrap_or("?")
+                                    ),
+                                }),
+                            );
+                        }
+                    }
+                    // Callee summary for method calls resolved by bare
+                    // name (same-file/impl methods).
+                    self.apply_call(i, &mut ev);
+                    i += 1;
+                    continue;
+                }
+
+                if is_call && !is_macro {
+                    self.apply_call(i, &mut ev);
+                    i += 1;
+                    continue;
+                }
+
+                // Plain variable mention: contributes its taint unless a
+                // clean projection follows (`x.len()`, `n.min(cap)`).
+                if let Some(v) = self.env.get(&t.text) {
+                    let clean_proj = next.map(|n| is_p(n, ".")).unwrap_or(false)
+                        && toks
+                            .get(i + 2)
+                            .map(|m| {
+                                m.kind == TokKind::Ident && CLEAN_PROJ.contains(&m.text.as_str())
+                            })
+                            .unwrap_or(false);
+                    if !clean_proj {
+                        let (mask, origins) = (v.mask, v.origins.clone());
+                        ev.absorb(mask, None);
+                        for o in origins {
+                            ev.absorb(0, Some(o));
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        ev
+    }
+
+    /// True when the call at name-index `i` has an integer turbofish
+    /// (`parse::<u64>()` and friends).
+    fn turbofish_is_int(&self, paren: usize) -> bool {
+        // Called with the index just past the method name; the tokens
+        // before a turbofish paren are `parse :: < u64 > (`, so look
+        // back from wherever the `(` actually is.
+        let toks = self.toks();
+        let open = (paren..toks.len().min(paren + 5))
+            .find(|&k| is_p(&toks[k], "("))
+            .unwrap_or(paren);
+        let Some(p) = open.checked_sub(1) else {
+            return false;
+        };
+        if !toks.get(p).map(|t| is_p(t, ">")).unwrap_or(false) {
+            return false;
+        }
+        let Some(ty) = p.checked_sub(1).and_then(|k| toks.get(k)) else {
+            return false;
+        };
+        matches!(
+            ty.text.as_str(),
+            "u8" | "u16" | "u32" | "u64" | "usize" | "i32" | "i64" | "isize"
+        )
+    }
+
+    /// Applies a callee's summary at a call site whose name token is at
+    /// `i`: evaluates arguments, maps parameter pass-through into the
+    /// expression taint, fires parameter-sink findings, and applies
+    /// argument sanitization.
+    fn apply_call(&mut self, i: usize, ev: &mut Eval) {
+        let toks = self.ctx.toks;
+        let Some(name_tok) = toks.get(i) else { return };
+        let name = name_tok.text.clone();
+        let mut open = i + 1;
+        // Skip a turbofish between the name and its paren.
+        if toks.get(open).map(|t| is_p(t, "::")).unwrap_or(false)
+            && toks.get(open + 1).map(|t| is_p(t, "<")).unwrap_or(false)
+        {
+            while open < toks.len() && !is_p(&toks[open], "(") && open < i + 12 {
+                open += 1;
+            }
+        }
+        if !toks.get(open).map(|t| is_p(t, "(")).unwrap_or(false) {
+            return;
+        }
+        let close = crate::util::match_delim(toks, open);
+        let args = self.split_args(open + 1, close);
+        let sum = self.ctx.callee_summary(&name);
+
+        // Allocation-constructor sinks by name.
+        if name == "with_capacity" {
+            for (a, b) in &args {
+                let arg_ev = self.eval(*a, *b);
+                self.sink(
+                    SinkKind::Alloc,
+                    name_tok.line,
+                    &arg_ev,
+                    "sized allocation `with_capacity`",
+                );
+            }
+            return;
+        }
+
+        // `need(buf, n, what)`-style validators: every mentioned var is
+        // bounds-checked from here on.
+        if name == "need" {
+            for (a, b) in &args {
+                self.sanitize_range(*a, *b);
+            }
+            return;
+        }
+
+        let mut arg_evs = Vec::with_capacity(args.len());
+        for (a, b) in &args {
+            arg_evs.push(self.eval(*a, *b));
+        }
+
+        // Callee returns: label bits pass straight through; parameter
+        // bits map to the matching argument's taint.
+        let ret_labels = sum.returns & LABELS;
+        if ret_labels != 0 {
+            ev.absorb(
+                ret_labels,
+                Some(TraceStep {
+                    line: name_tok.line,
+                    note: format!("returned tainted from `{name}`"),
+                }),
+            );
+        }
+        for (j, arg_ev) in arg_evs.iter().enumerate() {
+            if sum.returns & param_bit(j) != 0 {
+                ev.absorb(arg_ev.mask, None);
+                for o in &arg_ev.origins {
+                    ev.absorb(0, Some(o.clone()));
+                }
+            }
+            if sum.param_alloc_sink & (1 << j) != 0 {
+                self.sink(
+                    SinkKind::Alloc,
+                    name_tok.line,
+                    arg_ev,
+                    &format!("passed to `{name}`, which sizes an allocation from this parameter"),
+                );
+            }
+        }
+        // Post-call sanitization of argument variables.
+        for (j, (a, b)) in args.iter().enumerate() {
+            if sum.sanitizes & (1 << j) != 0 {
+                self.sanitize_range(*a, *b);
+            }
+        }
+    }
+
+    /// Splits `toks[a..b)` at top-level commas into argument spans.
+    fn split_args(&self, a: usize, b: usize) -> Vec<(usize, usize)> {
+        let toks = self.toks();
+        let end = b.min(toks.len());
+        let mut out = Vec::new();
+        let mut depth = 0i64;
+        let mut start = a;
+        for (i, t) in toks.iter().enumerate().take(end).skip(a) {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    out.push((start, i));
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if start < end || !out.is_empty() {
+            out.push((start, end));
+        }
+        out
+    }
+
+    /// End of the statement starting at `i`: index of the `;` at the
+    /// statement's own delimiter depth, or `limit`.
+    fn stmt_end(&self, i: usize, limit: usize) -> usize {
+        let toks = self.toks();
+        let end = limit.min(toks.len());
+        let mut depth = 0i64;
+        for (k, t) in toks.iter().enumerate().take(end).skip(i) {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return k;
+                    }
+                }
+                ";" if depth == 0 => return k,
+                _ => {}
+            }
+        }
+        end
+    }
+
+    /// The main linear walk over `[open, close]` (body braces inclusive).
+    fn run(&mut self, open: usize, close: usize) {
+        let toks = self.ctx.toks;
+        let end = close.min(toks.len().saturating_sub(1));
+        if open >= toks.len() {
+            return;
+        }
+        let mut i = open + 1;
+        let mut depth: i64 = 0; // relative to body interior
+        let mut last_stmt_break = i; // token after the last top-level `;`/`{`/`}`
+        while i < end {
+            let t = &toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" | "[" | "(" => {
+                        if is_p(t, "{") && depth == 0 {
+                            last_stmt_break = i + 1;
+                        }
+                        depth += 1;
+                        i += 1;
+                        continue;
+                    }
+                    "}" | "]" | ")" => {
+                        depth -= 1;
+                        if is_p(t, "}") && depth == 0 {
+                            last_stmt_break = i + 1;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    ";" => {
+                        if depth == 0 {
+                            last_stmt_break = i + 1;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "let" => {
+                        i = self.handle_let(i, end);
+                        continue;
+                    }
+                    "for" => {
+                        i = self.handle_for(i, end);
+                        continue;
+                    }
+                    "if" | "while" | "match" => {
+                        i = self.handle_cond(i, end);
+                        continue;
+                    }
+                    "return" => {
+                        let se = self.stmt_end(i + 1, end);
+                        let ev = self.eval(i + 1, se);
+                        self.summary.returns |= ev.mask;
+                        self.sink(SinkKind::Escape, t.line, &ev, "returned from function");
+                        i = se;
+                        continue;
+                    }
+                    "vec" if toks.get(i + 1).map(|n| is_p(n, "!")).unwrap_or(false) => {
+                        // `vec![expr; n]` as a statement: eval handles
+                        // the repeat-count sink.
+                        let se = self.stmt_end(i, end);
+                        let _ = self.eval(i, se);
+                        i = se;
+                        continue;
+                    }
+                    _ => {}
+                }
+
+                // Serialization escapes: write!/writeln! with tainted args.
+                if (t.text == "write" || t.text == "writeln")
+                    && toks.get(i + 1).map(|n| is_p(n, "!")).unwrap_or(false)
+                    && toks.get(i + 2).map(|o| is_p(o, "(")).unwrap_or(false)
+                {
+                    let cl = crate::util::match_delim(toks, i + 2);
+                    let ev = self.eval(i + 3, cl);
+                    self.sink(
+                        SinkKind::Escape,
+                        t.line,
+                        &ev,
+                        "written to serialized output",
+                    );
+                    i = (cl + 1).min(end);
+                    continue;
+                }
+
+                // Assignment / compound assignment to a known variable.
+                if let Some(next) = toks.get(i + 1) {
+                    let is_assign = is_p(next, "=");
+                    let is_compound = matches!(
+                        next.text.as_str(),
+                        "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>="
+                    ) && next.kind == TokKind::Punct;
+                    if (is_assign || is_compound) && self.env.contains_key(&t.text) {
+                        let se = self.stmt_end(i + 2, end);
+                        let ev = self.eval(i + 2, se);
+                        if let Some(v) = self.env.get_mut(&t.text) {
+                            if is_assign {
+                                v.mask = ev.mask;
+                                v.origins = ev.origins.clone();
+                            } else {
+                                v.add(ev.mask, &ev.origins);
+                            }
+                            if ev.hashy {
+                                v.hashy = true;
+                            }
+                        }
+                        i = se;
+                        continue;
+                    }
+                }
+
+                // Bare call statements (`helper(buf, n);`, `T::f(x);`):
+                // route through eval so callee effects apply. Known
+                // variables fall through to the method/index arms below.
+                if !self.env.contains_key(&t.text)
+                    && toks
+                        .get(i + 1)
+                        .map(|n| is_p(n, "(") || is_p(n, "::"))
+                        .unwrap_or(false)
+                {
+                    let se = self.stmt_end(i, end);
+                    let _ = self.eval(i, se);
+                    i = se;
+                    continue;
+                }
+
+                // Method statements on a known variable: container
+                // absorption, sort-sanitization, reserve sink, index sink.
+                if self.env.contains_key(&t.text) {
+                    if toks.get(i + 1).map(|n| is_p(n, ".")).unwrap_or(false) {
+                        if let Some(m) = toks.get(i + 2).filter(|m| m.kind == TokKind::Ident) {
+                            let mname = m.text.clone();
+                            let has_args = toks.get(i + 3).map(|o| is_p(o, "(")).unwrap_or(false);
+                            if mname.starts_with("sort") {
+                                if let Some(v) = self.env.get_mut(&t.text) {
+                                    v.mask &= !HASH_ITER;
+                                }
+                            } else if has_args {
+                                let cl = crate::util::match_delim(toks, i + 3);
+                                match mname.as_str() {
+                                    "push" | "extend" | "insert" | "push_str" | "append" => {
+                                        let ev = self.eval(i + 4, cl);
+                                        if let Some(v) = self.env.get_mut(&t.text) {
+                                            v.add(ev.mask, &ev.origins);
+                                        }
+                                        i = (cl + 1).min(end);
+                                        continue;
+                                    }
+                                    "reserve" | "reserve_exact" => {
+                                        let ev = self.eval(i + 4, cl);
+                                        self.sink(
+                                            SinkKind::Alloc,
+                                            m.line,
+                                            &ev,
+                                            "sized allocation `reserve`",
+                                        );
+                                        i = (cl + 1).min(end);
+                                        continue;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    // Slice indexing `x[expr]` with a tainted index.
+                    if toks.get(i + 1).map(|n| is_p(n, "[")).unwrap_or(false) {
+                        let cl = crate::util::match_delim(toks, i + 1);
+                        let ev = self.eval(i + 2, cl);
+                        if ev.mask & WIRE != 0 || (ev.mask >> PARAM_SHIFT) != 0 {
+                            self.sink(
+                                SinkKind::SliceIndex,
+                                t.line,
+                                &ev,
+                                "slice index by unvalidated value",
+                            );
+                        }
+                        i = (cl + 1).min(end);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // Tail expression: tokens after the last top-level statement
+        // break form the function's implicit return.
+        if last_stmt_break < end {
+            let ev = self.eval(last_stmt_break, end);
+            self.summary.returns |= ev.mask;
+            if let Some(line) = toks.get(last_stmt_break).map(|t| t.line) {
+                self.sink(SinkKind::Escape, line, &ev, "returned from function");
+            }
+        }
+    }
+
+    /// `let [mut] PAT [: TYPE] = RHS ;` — binds pattern idents to the
+    /// right-hand side's taint. `let … else { … }` bodies are walked by
+    /// the main loop naturally (we stop at the `=`-RHS end).
+    fn handle_let(&mut self, i: usize, limit: usize) -> usize {
+        let toks = self.ctx.toks;
+        let se = self.stmt_end(i + 1, limit);
+        // Find the top-level `=` (not `==`, which lexes separately).
+        let mut depth = 0i64;
+        let mut eq = None;
+        for (k, t) in toks.iter().enumerate().take(se).skip(i + 1) {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                "<<" => depth += 2,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "=" if depth <= 0 => {
+                    eq = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(eq) = eq else { return se };
+        // Pattern identifiers (skip keywords, type names after `:`).
+        let colon = (i + 1..eq).find(|&k| is_p(&toks[k], ":"));
+        let pat_end = colon.unwrap_or(eq);
+        let ty_hashy = colon
+            .map(|c| (c..eq).any(|k| is_id(&toks[k], "HashMap") || is_id(&toks[k], "HashSet")))
+            .unwrap_or(false);
+        let ty_ordered = colon
+            .map(|c| (c..eq).any(|k| is_id(&toks[k], "BTreeMap") || is_id(&toks[k], "BTreeSet")))
+            .unwrap_or(false);
+        let names: Vec<String> = (i + 1..pat_end)
+            .filter(|&k| toks[k].kind == TokKind::Ident)
+            .map(|k| toks[k].text.clone())
+            .filter(|n| !matches!(n.as_str(), "mut" | "ref" | "Some" | "Ok" | "Err" | "box"))
+            .collect();
+        let mut ev = self.eval(eq + 1, se);
+        if ty_ordered {
+            ev.mask &= !HASH_ITER;
+        }
+        let hashy = ty_hashy || ev.hashy;
+        if hashy {
+            // A value *stored back into* a hash collection carries no
+            // iteration-order taint of its own; order is re-decided at
+            // the next iteration.
+            ev.mask &= !HASH_ITER;
+        }
+        for n in names {
+            self.env.insert(
+                n,
+                VarState {
+                    mask: ev.mask,
+                    origins: ev.origins.clone(),
+                    hashy,
+                },
+            );
+        }
+        se
+    }
+
+    /// `for PAT in EXPR { … }` — binds the loop pattern to the iterated
+    /// expression's taint (hash-iteration sources fire inside `eval`).
+    fn handle_for(&mut self, i: usize, limit: usize) -> usize {
+        let toks = self.ctx.toks;
+        // Find `in` then the loop `{`.
+        let mut in_at = None;
+        for (k, t) in toks
+            .iter()
+            .enumerate()
+            .take(limit.min(toks.len()))
+            .skip(i + 1)
+        {
+            if is_id(t, "in") {
+                in_at = Some(k);
+                break;
+            }
+            if is_p(t, "{") {
+                break;
+            }
+        }
+        let Some(in_at) = in_at else { return i + 1 };
+        let mut body_open = None;
+        let mut depth = 0i64;
+        for (k, t) in toks
+            .iter()
+            .enumerate()
+            .take(limit.min(toks.len()))
+            .skip(in_at + 1)
+        {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    body_open = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(body_open) = body_open else {
+            return in_at + 1;
+        };
+        // Direct iteration over a hash variable (`for k in &map`).
+        let mut ev = self.eval(in_at + 1, body_open);
+        for k in in_at + 1..body_open {
+            let t = &toks[k];
+            if t.kind == TokKind::Ident {
+                if let Some(v) = self.env.get(&t.text) {
+                    if v.hashy {
+                        let next_is_proj = toks.get(k + 1).map(|n| is_p(n, ".")).unwrap_or(false);
+                        if !next_is_proj {
+                            ev.absorb(
+                                HASH_ITER,
+                                Some(TraceStep {
+                                    line: t.line,
+                                    note: format!("iteration over hash-ordered `{}`", t.text),
+                                }),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let names: Vec<String> = (i + 1..in_at)
+            .filter(|&k| toks[k].kind == TokKind::Ident)
+            .map(|k| toks[k].text.clone())
+            .filter(|n| !matches!(n.as_str(), "mut" | "ref"))
+            .collect();
+        for n in names {
+            self.env.insert(
+                n,
+                VarState {
+                    mask: ev.mask & LABELS,
+                    origins: ev.origins.clone(),
+                    hashy: false,
+                },
+            );
+        }
+        body_open
+    }
+
+    /// `if`/`while`/`match` headers: evaluating the condition or
+    /// scrutinee applies call effects; a comparison operator in an
+    /// `if`/`while` condition bounds-checks the wire-tainted variables
+    /// it mentions. Pattern bindings (`if let`, match arms) are not
+    /// tracked — a documented under-approximation.
+    fn handle_cond(&mut self, i: usize, limit: usize) -> usize {
+        let toks = self.ctx.toks;
+        let mut depth = 0i64;
+        let mut body_open = None;
+        for (k, t) in toks
+            .iter()
+            .enumerate()
+            .take(limit.min(toks.len()))
+            .skip(i + 1)
+        {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    body_open = Some(k);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(body_open) = body_open else {
+            return i + 1;
+        };
+        let _ = self.eval(i + 1, body_open);
+        let has_cmp = (i + 1..body_open).any(|k| {
+            toks[k].kind == TokKind::Punct
+                && matches!(toks[k].text.as_str(), "<" | ">" | "<=" | ">=")
+        });
+        if has_cmp && !is_id(&toks[i], "match") {
+            self.sanitize_range(i + 1, body_open);
+        }
+        body_open
+    }
+}

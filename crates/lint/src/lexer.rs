@@ -184,6 +184,29 @@ pub fn lex(src: &str) -> Lexed {
                 i = (end + 1 + hashes).min(n);
                 continue;
             }
+            // Raw identifier (`r#type`, `r#match`): exactly one hash,
+            // ident-start next, `r` prefix (there is no `br#ident`).
+            // Emitted as a single Ident WITHOUT the `r#` marker so name
+            // matching treats `r#type` and a later bare `type` the same.
+            if c == 'r'
+                && hashes == 1
+                && j < n
+                && (b[j] == '_' || b[j].is_alphabetic())
+                && i + 1 < n
+                && b[i + 1] == '#'
+            {
+                let start = j;
+                while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
             // Not a raw string: fall through to ident handling below.
         }
         // Plain or byte strings.
@@ -435,6 +458,26 @@ mod tests {
         assert_eq!(l.comments[3].line, 4);
         assert!(l.comments[4].text.contains("lint:allow(r1)"));
         assert_eq!(l.comments[4].line, 6);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        // `r#type` must NOT be mistaken for a raw-string start or split
+        // into `r` / `#` / `type`.
+        let k = kinds("let r#type = r#match; struct S { r#fn: u32 }");
+        assert_eq!(k[1], (TokKind::Ident, "type".into()));
+        assert_eq!(k[3], (TokKind::Ident, "match".into()));
+        assert!(k.contains(&(TokKind::Ident, "fn".into())));
+        // A raw ident right before a real string must not swallow it.
+        let k = kinds(r##"r#type = "x";"##);
+        assert_eq!(k[0], (TokKind::Ident, "type".into()));
+        assert_eq!(k[2], (TokKind::Str, "x".into()));
+        // Raw strings keep working, including `br#"…"#`.
+        let k = kinds(r##"r#"raw"# br#"bytes"#"##);
+        assert_eq!(k[0], (TokKind::Str, "raw".into()));
+        assert_eq!(k[1], (TokKind::Str, "bytes".into()));
+        // `r#` at EOF stays total.
+        let _ = lex("r#");
     }
 
     #[test]

@@ -1,29 +1,50 @@
 //! # lint — `dangoron-lint`, the workspace invariant checker
 //!
-//! Six PRs of convention hold this system together: bit-identical edges
-//! require every float reduction to run through `crates/kernel`'s fixed
-//! 4-lane order, the hardened v3 wire protocol requires every decode-path
-//! allocation to be validated against bytes present first, and the
-//! elastic coordinator requires structured errors instead of panics.
-//! This crate encodes those contracts as a blocking static-analysis pass
-//! so they survive refactors mechanically instead of by reviewer memory.
+//! Seven PRs of convention hold this system together: bit-identical
+//! edges require every float reduction to run through `crates/kernel`'s
+//! fixed 4-lane order, the hardened v3 wire protocol requires every
+//! decode-path allocation to be validated against bytes present first,
+//! and the elastic coordinator requires structured errors instead of
+//! panics. This crate encodes those contracts as a blocking
+//! static-analysis pass so they survive refactors mechanically instead
+//! of by reviewer memory.
 //!
 //! Architecture mirrors `crates/kernel`: hand-rolled and dependency-free
 //! (the container has no registry access). A small total lexer
-//! ([`lexer`]) feeds a token-level rule engine; rules report findings as
-//! `file:line: rule-id: message`, a JSON mode serves CI trend tooling,
-//! and inline waivers (`// lint:allow(rule-id) -- reason`, reason
-//! mandatory) record every accepted exception next to the code it
-//! excuses. The rule catalog lives in `docs/lint-rules.md`.
+//! ([`lexer`]) feeds two engines: the original token-level rules
+//! (R1, R3–R6) and an *item-graph dataflow engine* — a panic-free
+//! lightweight parser ([`syntax`]) recovers every function's signature,
+//! body span and call sites, and a per-function taint lattice ([`flow`])
+//! tracks wire-read integers and hash-iteration-derived values through
+//! assignments, projections and one level of interprocedural summary
+//! propagation. The cross-crate rules R7 (`nondeterministic-iteration-
+//! escapes`) and R8 (`wire-taint-allocation`, which retires the old
+//! single-file R2) run on that engine and attach a source-to-sink trace
+//! to each finding; R9 and R10 are token/contract checks for atomic
+//! orderings and the Prometheus stable-name catalog.
+//!
+//! Rules report findings as `file:line: rule-id: message` (plus trace
+//! steps), a versioned JSON mode (`dangoron-lint-v2`) serves CI
+//! artifacts and `harness validate --require-lint-clean`, and inline
+//! waivers (`// lint:allow(rule-id) -- reason`, reason mandatory)
+//! record every accepted exception next to the code it excuses. The
+//! rule catalog lives in `docs/lint-rules.md`.
 
+pub mod flow;
 pub mod lexer;
+mod rules;
+pub mod syntax;
+mod util;
 
-use lexer::{lex, Comment, Lexed, TokKind, Token};
+pub use flow::TraceStep;
+use lexer::{lex, Comment, Lexed};
 use std::path::{Path, PathBuf};
+use util::test_ranges;
 
 /// Rule R1: float reductions outside `crates/kernel`.
 pub const R1: &str = "float-reduction-outside-kernel";
-/// Rule R2: decode-path allocations sized by unvalidated wire counts.
+/// Retired rule R2 (superseded by [`R8`]); waivers naming it are
+/// reported as unused, not as syntax errors.
 pub const R2: &str = "decode-unchecked-allocation";
 /// Rule R3: panic paths in supervised `crates/dist`/`crates/serve` code.
 pub const R3: &str = "panic-in-supervised-path";
@@ -33,6 +54,15 @@ pub const R4: &str = "unsafe-without-safety-comment";
 pub const R5: &str = "backend-parity";
 /// Rule R6: blocking locks in the hot-path crates.
 pub const R6: &str = "lock-in-hot-path";
+/// Rule R7: hash-iteration-derived values escaping a function.
+pub const R7: &str = "nondeterministic-iteration-escapes";
+/// Rule R8: allocations/indexing sized by unvalidated wire integers.
+pub const R8: &str = "wire-taint-allocation";
+/// Rule R9: atomic-ordering discipline (SeqCst comments, mixed
+/// orderings, Relaxed loads in control decisions).
+pub const R9: &str = "atomic-ordering-discipline";
+/// Rule R10: metric families drifting between code and docs/metrics.md.
+pub const R10: &str = "metrics-name-drift";
 /// Meta rule: malformed or unknown waivers.
 pub const RW: &str = "waiver-syntax";
 /// Meta rule (warning): a waiver that excuses nothing.
@@ -43,10 +73,6 @@ pub const RULES: &[(&str, &str)] = &[
     (
         R1,
         "f64 sum/fold/`+=` accumulation outside crates/kernel breaks the canonical reduction order",
-    ),
-    (
-        R2,
-        "decode-path Vec::with_capacity/vec! sized by a wire-read count with no need()/take_*s validation",
     ),
     (
         R3,
@@ -64,7 +90,30 @@ pub const RULES: &[(&str, &str)] = &[
         R6,
         "Mutex/RwLock in crates/exec, crates/kernel, or crates/obs (hot/update paths must stay lock-free)",
     ),
+    (
+        R7,
+        "HashMap/HashSet-iteration-derived value escapes a function unsorted (hash order is nondeterministic)",
+    ),
+    (
+        R8,
+        "allocation or slice index sized by a wire-read integer with no need()/compare validation, cross-function",
+    ),
+    (
+        R9,
+        "atomic-ordering discipline: uncommented SeqCst, mixed orderings on one field, Relaxed loads gating control flow",
+    ),
+    (
+        R10,
+        "metric family names in code and docs/metrics.md out of sync (the docs table is the stable-name contract)",
+    ),
 ];
+
+/// Retired rule ids: still legal in waivers (reported as unused so the
+/// cleanup is mechanical), never produced as findings.
+pub const RETIRED: &[(&str, &str)] = &[(
+    R2,
+    "retired — superseded by wire-taint-allocation (R8), which tracks wire counts cross-function",
+)];
 
 /// One reported finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +128,9 @@ pub struct Finding {
     pub message: String,
     /// Warnings only fail the run under `--deny-warnings`.
     pub warning: bool,
+    /// Source-to-sink chain for dataflow findings (R7/R8); empty for
+    /// token-level rules. Lines refer to `file`.
+    pub trace: Vec<TraceStep>,
 }
 
 impl Finding {
@@ -89,602 +141,7 @@ impl Finding {
             rule: rule.to_string(),
             message,
             warning: false,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Token helpers
-// ---------------------------------------------------------------------
-
-fn is_p(t: &Token, s: &str) -> bool {
-    t.kind == TokKind::Punct && t.text == s
-}
-
-fn is_id(t: &Token, s: &str) -> bool {
-    t.kind == TokKind::Ident && t.text == s
-}
-
-/// Index of the punct matching the opener at `open` (`{}`, `[]` or `()`),
-/// or `toks.len()` when unbalanced. Strings/comments are single tokens or
-/// absent, so token-level matching is exact.
-fn match_delim(toks: &[Token], open: usize) -> usize {
-    let (o, c) = match toks[open].text.as_str() {
-        "{" => ("{", "}"),
-        "[" => ("[", "]"),
-        "(" => ("(", ")"),
-        _ => return toks.len(),
-    };
-    let mut depth = 0usize;
-    for (i, t) in toks.iter().enumerate().skip(open) {
-        if is_p(t, o) {
-            depth += 1;
-        } else if is_p(t, c) {
-            depth -= 1;
-            if depth == 0 {
-                return i;
-            }
-        }
-    }
-    toks.len()
-}
-
-/// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
-fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i + 1 < toks.len() {
-        if !(is_p(&toks[i], "#") && is_p(&toks[i + 1], "[")) {
-            i += 1;
-            continue;
-        }
-        let close = match_delim(toks, i + 1);
-        if close >= toks.len() {
-            break;
-        }
-        let inner: Vec<&str> = toks[i + 2..close].iter().map(|t| t.text.as_str()).collect();
-        let is_test =
-            inner == ["test"] || (inner.len() >= 3 && inner[0] == "cfg" && inner.contains(&"test"));
-        if !is_test {
-            i = close + 1;
-            continue;
-        }
-        // Skip any further attributes, then find the item's body brace
-        // (a `;` first means a bodyless item — nothing to range).
-        let mut j = close + 1;
-        while j + 1 < toks.len() && is_p(&toks[j], "#") && is_p(&toks[j + 1], "[") {
-            let c = match_delim(toks, j + 1);
-            if c >= toks.len() {
-                return ranges;
-            }
-            j = c + 1;
-        }
-        let mut k = j;
-        let mut open = None;
-        while k < toks.len() {
-            if is_p(&toks[k], "{") {
-                open = Some(k);
-                break;
-            }
-            if is_p(&toks[k], ";") {
-                break;
-            }
-            k += 1;
-        }
-        if let Some(o) = open {
-            let c = match_delim(toks, o);
-            let end_line = if c < toks.len() {
-                toks[c].line
-            } else {
-                u32::MAX
-            };
-            ranges.push((toks[i].line, end_line));
-            i = if c < toks.len() { c + 1 } else { toks.len() };
-        } else {
-            i = k + 1;
-        }
-    }
-    ranges
-}
-
-fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
-    ranges.iter().any(|&(a, b)| a <= line && line <= b)
-}
-
-/// The crate a workspace-relative path belongs to (`crates/<name>/…`).
-fn crate_of(rel: &str) -> &str {
-    let mut parts = rel.split('/');
-    match (parts.next(), parts.next()) {
-        (Some("crates"), Some(name)) => name,
-        _ => "",
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------
-
-/// R1 — float reductions outside the kernel: `.sum::<f64>()`, `.sum()`
-/// with float evidence in the statement, `.fold(float, |…| … + …)`, and
-/// `acc += …` loops over `let mut acc = <float>` accumulators. Integer
-/// reductions and order-insensitive folds (`fold(0.0, f64::max)`) pass.
-fn rule_r1(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    if crate_of(rel) == "kernel" {
-        return;
-    }
-    let stmt_start = |i: usize| {
-        let mut j = i;
-        while j > 0 {
-            let t = &toks[j - 1];
-            if is_p(t, ";") || is_p(t, "{") || is_p(t, "}") {
-                break;
-            }
-            j -= 1;
-        }
-        j
-    };
-    let window_has_float = |a: usize, b: usize| {
-        toks[a..b.min(toks.len())]
-            .iter()
-            .any(|t| t.kind == TokKind::Float || is_id(t, "f64") || is_id(t, "f32"))
-    };
-
-    // Float accumulators (`let mut s = 0.0;` and friends).
-    let mut accs: Vec<(&str, usize)> = Vec::new();
-    let mut i = 0;
-    while i + 2 < toks.len() {
-        if is_id(&toks[i], "let")
-            && is_id(&toks[i + 1], "mut")
-            && toks[i + 2].kind == TokKind::Ident
-        {
-            let mut j = i + 3;
-            let mut has_float = false;
-            let mut int_cast = false;
-            while j < toks.len() && !is_p(&toks[j], ";") {
-                if toks[j].kind == TokKind::Float
-                    || is_id(&toks[j], "f64")
-                    || is_id(&toks[j], "f32")
-                {
-                    has_float = true;
-                }
-                // `let mut i = (…2.0…) as usize;` is an integer binding —
-                // integer accumulation is whitelisted.
-                if is_id(&toks[j], "as")
-                    && j + 1 < toks.len()
-                    && matches!(
-                        toks[j + 1].text.as_str(),
-                        "usize"
-                            | "isize"
-                            | "u8"
-                            | "u16"
-                            | "u32"
-                            | "u64"
-                            | "u128"
-                            | "i8"
-                            | "i16"
-                            | "i32"
-                            | "i64"
-                            | "i128"
-                    )
-                {
-                    int_cast = true;
-                }
-                j += 1;
-            }
-            if has_float && !int_cast {
-                accs.push((toks[i + 2].text.as_str(), i + 2));
-            }
-            i = j;
-            continue;
-        }
-        i += 1;
-    }
-    // Loop body token ranges (for `+=` detection).
-    let mut loops: Vec<(usize, usize)> = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if is_id(t, "for") || is_id(t, "while") || is_id(t, "loop") {
-            let mut depth = 0i32;
-            let mut j = i + 1;
-            while j < toks.len() {
-                if is_p(&toks[j], "(") {
-                    depth += 1;
-                } else if is_p(&toks[j], ")") {
-                    depth -= 1;
-                } else if is_p(&toks[j], "{") && depth == 0 {
-                    loops.push((j, match_delim(toks, j)));
-                    break;
-                } else if is_p(&toks[j], ";") && depth == 0 {
-                    break;
-                }
-                j += 1;
-            }
-        }
-    }
-
-    for i in 0..toks.len() {
-        let line = toks[i].line;
-        if in_ranges(skip, line) {
-            continue;
-        }
-        // `.sum::<f64>()` / `.sum()` with float evidence.
-        if is_p(&toks[i], ".") && i + 1 < toks.len() && is_id(&toks[i + 1], "sum") {
-            let turbo_float = i + 4 < toks.len()
-                && is_p(&toks[i + 2], "::")
-                && is_p(&toks[i + 3], "<")
-                && is_id(&toks[i + 4], "f64");
-            let bare = i + 2 < toks.len() && is_p(&toks[i + 2], "(");
-            if turbo_float || (bare && window_has_float(stmt_start(i), i)) {
-                out.push(Finding::deny(
-                    rel,
-                    toks[i + 1].line,
-                    R1,
-                    "f64 `.sum()` outside crates/kernel — route through kernel::sum / \
-                     kernel::sum_squares / kernel::dot to keep the canonical reduction order"
-                        .into(),
-                ));
-            }
-        }
-        // `.fold(<float init>, |…| … + …)`.
-        if is_p(&toks[i], ".")
-            && i + 2 < toks.len()
-            && is_id(&toks[i + 1], "fold")
-            && is_p(&toks[i + 2], "(")
-        {
-            let close = match_delim(toks, i + 2);
-            if close < toks.len() {
-                let mut depth = 0i32;
-                let mut comma = None;
-                for (j, t) in toks.iter().enumerate().take(close).skip(i + 3) {
-                    match t.text.as_str() {
-                        "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
-                        ")" | "]" | "}" if t.kind == TokKind::Punct => depth -= 1,
-                        "," if depth == 0 && t.kind == TokKind::Punct => {
-                            comma = Some(j);
-                            break;
-                        }
-                        _ => {}
-                    }
-                }
-                if let Some(comma) = comma {
-                    let init_float = toks[i + 3..comma]
-                        .iter()
-                        .any(|t| t.kind == TokKind::Float || is_id(t, "f64") || is_id(t, "f32"));
-                    let body_accumulates = toks[comma + 1..close]
-                        .iter()
-                        .any(|t| is_p(t, "+") || is_p(t, "+=") || is_id(t, "mul_add"));
-                    if init_float && body_accumulates {
-                        out.push(Finding::deny(
-                            rel,
-                            toks[i + 1].line,
-                            R1,
-                            "float `.fold(…, +)` accumulation outside crates/kernel — use a \
-                             kernel reduction (order-insensitive folds like f64::max are fine)"
-                                .into(),
-                        ));
-                    }
-                }
-            }
-        }
-        // `acc += …` inside a loop, where acc is a float accumulator.
-        if toks[i].kind == TokKind::Ident && i + 1 < toks.len() && is_p(&toks[i + 1], "+=") {
-            let in_loop = loops.iter().any(|&(a, b)| a < i && i < b);
-            let is_acc = accs
-                .iter()
-                .any(|&(name, decl)| name == toks[i].text && decl < i);
-            if in_loop && is_acc {
-                out.push(Finding::deny(
-                    rel,
-                    line,
-                    R1,
-                    format!(
-                        "manual f64 `{} += …` accumulation loop outside crates/kernel — use a \
-                         kernel reduction to keep results bit-identical across backends",
-                        toks[i].text
-                    ),
-                ));
-            }
-        }
-    }
-}
-
-/// R2 — wire decode allocations: inside `dist/src/proto.rs`, any
-/// `Vec::with_capacity`/`vec![…; n]` sized by a `take_u64`/`take_u32`
-/// binding must have passed a `need()`/`take_u64s`/`take_f64s` validation
-/// between the read and the allocation.
-fn rule_r2(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    if !rel.ends_with("dist/src/proto.rs") {
-        return;
-    }
-    // Wire-count bindings: `let [mut] NAME = take_u64(…)…;`
-    let mut wire: Vec<(&str, usize)> = Vec::new();
-    let mut validators: Vec<usize> = Vec::new();
-    for i in 0..toks.len() {
-        if is_id(&toks[i], "let") {
-            let name_at = if i + 1 < toks.len() && is_id(&toks[i + 1], "mut") {
-                i + 2
-            } else {
-                i + 1
-            };
-            if name_at + 1 < toks.len()
-                && toks[name_at].kind == TokKind::Ident
-                && is_p(&toks[name_at + 1], "=")
-            {
-                let mut j = name_at + 2;
-                while j < toks.len() && !is_p(&toks[j], ";") {
-                    if is_id(&toks[j], "take_u64")
-                        || is_id(&toks[j], "take_u32")
-                        || is_id(&toks[j], "take_u8")
-                    {
-                        wire.push((toks[name_at].text.as_str(), name_at));
-                        break;
-                    }
-                    j += 1;
-                }
-            }
-        }
-        if (is_id(&toks[i], "need") || is_id(&toks[i], "take_u64s") || is_id(&toks[i], "take_f64s"))
-            && i + 1 < toks.len()
-            && is_p(&toks[i + 1], "(")
-        {
-            validators.push(i);
-        }
-    }
-    let unvalidated =
-        |var_decl: usize, alloc: usize| !validators.iter().any(|&v| var_decl < v && v < alloc);
-    for i in 0..toks.len() {
-        if in_ranges(skip, toks[i].line) {
-            continue;
-        }
-        // Vec::with_capacity(ARGS) — or any `.with_capacity(ARGS)`.
-        let (arg_open, site) =
-            if is_id(&toks[i], "with_capacity") && i + 1 < toks.len() && is_p(&toks[i + 1], "(") {
-                (i + 1, i)
-            } else if is_id(&toks[i], "vec") && i + 2 < toks.len() && is_p(&toks[i + 1], "!") {
-                if is_p(&toks[i + 2], "[") {
-                    (i + 2, i)
-                } else {
-                    continue;
-                }
-            } else {
-                continue;
-            };
-        let close = match_delim(toks, arg_open);
-        if close >= toks.len() {
-            continue;
-        }
-        for j in arg_open + 1..close {
-            if toks[j].kind != TokKind::Ident {
-                continue;
-            }
-            if let Some(&(name, decl)) = wire
-                .iter()
-                .rev()
-                .find(|&&(name, decl)| name == toks[j].text && decl < site)
-            {
-                if unvalidated(decl, site) {
-                    out.push(Finding::deny(
-                        rel,
-                        toks[site].line,
-                        R2,
-                        format!(
-                            "allocation sized by wire-read count `{name}` with no need()/\
-                             take_*s validation between the read and the allocation — a \
-                             hostile frame can claim a huge count"
-                        ),
-                    ));
-                }
-                break;
-            }
-        }
-    }
-}
-
-/// R3 — panic paths in the supervised tiers: `unwrap`/`expect` calls and
-/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in `crates/dist`,
-/// `crates/serve`, or `crates/obs` non-test code. These crates host
-/// long-lived processes whose peers (workers, clients, scrapers) must
-/// only ever see structured errors — a panic on a daemon thread with a
-/// lock held poisons every tenant, and a panic on the scrape thread
-/// kills telemetry exactly when it is needed most.
-fn rule_r3(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    if !matches!(crate_of(rel), "dist" | "serve" | "obs") {
-        return;
-    }
-    for i in 0..toks.len() {
-        let line = toks[i].line;
-        if in_ranges(skip, line) || toks[i].kind != TokKind::Ident {
-            continue;
-        }
-        let name = toks[i].text.as_str();
-        let is_method =
-            i > 0 && is_p(&toks[i - 1], ".") && i + 1 < toks.len() && is_p(&toks[i + 1], "(");
-        if is_method && (name == "unwrap" || name == "expect") {
-            out.push(Finding::deny(
-                rel,
-                line,
-                R3,
-                format!(
-                    "`.{name}()` in supervised code — return a structured error (or \
-                     restructure with let-else) so peer faults stay recoverable"
-                ),
-            ));
-        }
-        let is_macro = i + 1 < toks.len() && is_p(&toks[i + 1], "!");
-        if is_macro && matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
-            out.push(Finding::deny(
-                rel,
-                line,
-                R3,
-                format!("`{name}!` in supervised code — return a structured error instead"),
-            ));
-        }
-    }
-}
-
-/// R4 — every `unsafe` token needs a `SAFETY` comment in the contiguous
-/// comment/attribute run directly above it (or trailing on its line).
-/// Doc comments with a `# Safety` section count.
-fn rule_r4(rel: &str, lexed: &Lexed, skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    let toks = &lexed.tokens;
-    // Lines covered by comments (with their SAFETY flag) and attributes.
-    let mut covered: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
-    for c in &lexed.comments {
-        // A waiver naming this rule contains the substring "safety" —
-        // it records an exception, it is not a safety argument.
-        let has = !c.text.contains("lint:allow(") && c.text.to_uppercase().contains("SAFETY");
-        let span = c.text.matches('\n').count() as u32;
-        for l in c.line..=c.line + span {
-            let e = covered.entry(l).or_insert(false);
-            *e = *e || has;
-        }
-    }
-    let mut i = 0;
-    while i + 1 < toks.len() {
-        if is_p(&toks[i], "#") && is_p(&toks[i + 1], "[") {
-            let close = match_delim(toks, i + 1);
-            let end_line = if close < toks.len() {
-                toks[close].line
-            } else {
-                toks[i].line
-            };
-            for l in toks[i].line..=end_line {
-                covered.entry(l).or_insert(false);
-            }
-            i = close.min(toks.len() - 1) + 1;
-            continue;
-        }
-        i += 1;
-    }
-    for t in toks {
-        if !is_id(t, "unsafe") || in_ranges(skip, t.line) {
-            continue;
-        }
-        // Trailing comment on the same line?
-        let mut ok = covered.get(&t.line).copied() == Some(true);
-        // Walk the contiguous covered run upward.
-        let mut l = t.line;
-        while !ok && l > 1 {
-            l -= 1;
-            match covered.get(&l) {
-                Some(true) => ok = true,
-                Some(false) => {}
-                None => break,
-            }
-        }
-        if !ok {
-            out.push(Finding::deny(
-                rel,
-                t.line,
-                R4,
-                "`unsafe` without a `// SAFETY:` comment — state the alignment/length/\
-                 feature-detection invariant the block relies on"
-                    .into(),
-            ));
-        }
-    }
-}
-
-/// Named function sites: each entry is `(name, line)` for a
-/// `pub [(crate)] [unsafe] fn NAME`.
-type FnSites = Vec<(String, u32)>;
-
-/// Function names matching `pub [(crate)] [unsafe] fn NAME`, split into
-/// (safe, unsafe) sets.
-fn pub_fns(toks: &[Token]) -> (FnSites, FnSites) {
-    let mut safe = Vec::new();
-    let mut unsafe_ = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if !is_id(&toks[i], "pub") {
-            i += 1;
-            continue;
-        }
-        let mut j = i + 1;
-        if j < toks.len() && is_p(&toks[j], "(") {
-            let c = match_delim(toks, j);
-            if c >= toks.len() {
-                break;
-            }
-            j = c + 1;
-        }
-        let is_unsafe = j < toks.len() && is_id(&toks[j], "unsafe");
-        if is_unsafe {
-            j += 1;
-        }
-        if j + 1 < toks.len() && is_id(&toks[j], "fn") && toks[j + 1].kind == TokKind::Ident {
-            let entry = (toks[j + 1].text.clone(), toks[j + 1].line);
-            if is_unsafe {
-                unsafe_.push(entry);
-            } else {
-                safe.push(entry);
-            }
-        }
-        i = j + 1;
-    }
-    (safe, unsafe_)
-}
-
-/// R5 — backend parity: every public unsafe op in a SIMD backend module
-/// (`kernel/src/avx2.rs`, `kernel/src/neon.rs`) must have a same-named
-/// public fn in the canonical scalar backend (`kernel/src/scalar.rs`).
-/// Private helpers (`lanes_of`, `select`, …) are exempt by visibility.
-fn rule_r5(files: &[(String, Lexed)], out: &mut Vec<Finding>) {
-    let scalar: Vec<String> = files
-        .iter()
-        .filter(|(rel, _)| rel.ends_with("kernel/src/scalar.rs"))
-        .flat_map(|(_, lexed)| {
-            let (safe, unsafe_) = pub_fns(&lexed.tokens);
-            safe.into_iter().chain(unsafe_).map(|(n, _)| n)
-        })
-        .collect();
-    if scalar.is_empty() {
-        return; // no scalar backend in scope — nothing to compare against
-    }
-    for (rel, lexed) in files {
-        if !(rel.ends_with("kernel/src/avx2.rs") || rel.ends_with("kernel/src/neon.rs")) {
-            continue;
-        }
-        let (safe, unsafe_) = pub_fns(&lexed.tokens);
-        for (name, line) in safe.into_iter().chain(unsafe_) {
-            if !scalar.contains(&name) {
-                out.push(Finding::deny(
-                    rel,
-                    line,
-                    R5,
-                    format!(
-                        "backend op `{name}` has no same-named fn in the scalar backend — \
-                         every SIMD kernel needs its canonical scalar reference"
-                    ),
-                ));
-            }
-        }
-    }
-}
-
-/// R6 — no blocking locks in the hot-path crates (`exec`, `kernel`) or
-/// the telemetry crate (`obs`): the executor's determinism design is
-/// lock-free by construction, and metric updates sit on the engine's
-/// hot path — a scrape that could block a worker would let observation
-/// perturb the timed run.
-fn rule_r6(rel: &str, toks: &[Token], skip: &[(u32, u32)], out: &mut Vec<Finding>) {
-    if !matches!(crate_of(rel), "exec" | "kernel" | "obs") {
-        return;
-    }
-    for t in toks {
-        if t.kind == TokKind::Ident
-            && (t.text == "Mutex" || t.text == "RwLock")
-            && !in_ranges(skip, t.line)
-        {
-            out.push(Finding::deny(
-                rel,
-                t.line,
-                R6,
-                format!(
-                    "`{}` in a hot-path crate — exec/kernel stay lock-free (atomics and \
-                     channel hand-off only)",
-                    t.text
-                ),
-            ));
+            trace: Vec::new(),
         }
     }
 }
@@ -701,15 +158,20 @@ struct Waiver {
 }
 
 /// Parses `// lint:allow(rule-id[, rule-id]) -- reason` comments; the
-/// reason is mandatory and rule ids must exist. Returns the valid
-/// waivers plus findings for malformed ones.
+/// reason is mandatory and rule ids must exist (retired ids stay legal
+/// so their cleanup surfaces as unused-waiver warnings, not errors).
+/// Returns the valid waivers plus findings for malformed ones.
 fn parse_waivers(
     rel: &str,
     comments: &[Comment],
     token_lines: &[u32],
     out: &mut Vec<Finding>,
 ) -> Vec<Waiver> {
-    let known: Vec<&str> = RULES.iter().map(|&(id, _)| id).collect();
+    let known: Vec<&str> = RULES
+        .iter()
+        .chain(RETIRED.iter())
+        .map(|&(id, _)| id)
+        .collect();
     let mut waivers = Vec::new();
     for c in comments {
         // Doc comments never carry waivers — they may legitimately quote
@@ -789,21 +251,33 @@ fn parse_waivers(
 
 /// Lints a set of `(workspace-relative path, source)` pairs and returns
 /// every finding (deny and warning), sorted by file, line, rule.
+/// Non-`.rs` entries (`docs/metrics.md`) are never lexed; they only feed
+/// the contract rules that read them.
 pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
     let lexed: Vec<(String, Lexed)> = files
         .iter()
+        .filter(|(rel, _)| rel.ends_with(".rs"))
         .map(|(rel, src)| (rel.replace('\\', "/"), lex(src)))
         .collect();
     let mut findings = Vec::new();
     for (rel, l) in &lexed {
         let skip = test_ranges(&l.tokens);
-        rule_r1(rel, &l.tokens, &skip, &mut findings);
-        rule_r2(rel, &l.tokens, &skip, &mut findings);
-        rule_r3(rel, &l.tokens, &skip, &mut findings);
-        rule_r4(rel, l, &skip, &mut findings);
-        rule_r6(rel, &l.tokens, &skip, &mut findings);
+        rules::token::rule_r1(rel, &l.tokens, &skip, &mut findings);
+        rules::token::rule_r3(rel, &l.tokens, &skip, &mut findings);
+        rules::token::rule_r4(rel, l, &skip, &mut findings);
+        rules::token::rule_r6(rel, &l.tokens, &skip, &mut findings);
+        rules::r9::rule_r9(rel, l, &skip, &mut findings);
     }
-    rule_r5(&lexed, &mut findings);
+    rules::token::rule_r5(&lexed, &mut findings);
+    rules::run_flow_rules(&lexed, &mut findings);
+    rules::r10::rule_r10(&lexed, files, &mut findings);
+
+    // The flow engine can reach one sink through several paths (e.g. a
+    // statement and the tail expression); a site reports once per rule.
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
 
     // Waivers, per file.
     for (rel, l) in &lexed {
@@ -834,6 +308,7 @@ pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
                         w.ids.join(", ")
                     ),
                     warning: true,
+                    trace: Vec::new(),
                 });
             }
         }
@@ -845,7 +320,8 @@ pub fn check_sources(files: &[(String, String)]) -> Vec<Finding> {
 }
 
 /// Walks a workspace root collecting lintable sources: every `.rs` file
-/// outside shim crates, test/bench/fixture trees, and build output.
+/// outside shim crates, test/bench/fixture trees, and build output —
+/// plus `docs/metrics.md`, the stable-name contract R10 diffs against.
 pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -879,12 +355,18 @@ pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
             }
         }
     }
+    let md = root.join("docs/metrics.md");
+    if md.is_file() {
+        files.push(("docs/metrics.md".to_string(), std::fs::read_to_string(md)?));
+    }
     files.sort();
     Ok(files)
 }
 
-/// Serializes findings as a JSON array (hand-rolled — no serde needed
-/// for this flat shape).
+/// Serializes findings as the versioned `dangoron-lint-v2` report: a
+/// stable machine-readable schema CI uploads as an artifact and
+/// `harness validate --require-lint-clean` consumes. Hand-rolled — no
+/// serde in this tree.
 pub fn to_json(findings: &[Finding]) -> String {
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);
@@ -900,25 +382,42 @@ pub fn to_json(findings: &[Finding]) -> String {
         }
         out
     }
-    let mut out = String::from("[\n");
+    let denies = findings.iter().filter(|f| !f.warning).count();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dangoron-lint-v2\",\n");
+    out.push_str(&format!("  \"deny\": {denies},\n"));
+    out.push_str(&format!("  \"warnings\": {},\n", findings.len() - denies));
+    out.push_str("  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
+        let mut trace = String::from("[");
+        for (k, s) in f.trace.iter().enumerate() {
+            trace.push_str(&format!(
+                "{}{{\"line\":{},\"note\":\"{}\"}}",
+                if k > 0 { "," } else { "" },
+                s.line,
+                esc(&s.note)
+            ));
+        }
+        trace.push(']');
         out.push_str(&format!(
-            "  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}{}\n",
+            "    {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"trace\":{}}}{}\n",
             esc(&f.file),
             f.line,
             esc(&f.rule),
             if f.warning { "warning" } else { "deny" },
             esc(&f.message),
+            trace,
             if i + 1 < findings.len() { "," } else { "" }
         ));
     }
-    out.push(']');
+    out.push_str("  ]\n}");
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::test_ranges;
 
     fn check_one(rel: &str, src: &str) -> Vec<Finding> {
         check_sources(&[(rel.to_string(), src.to_string())])
@@ -968,6 +467,17 @@ mod tests {
     }
 
     #[test]
+    fn retired_rule_waiver_is_unused_not_a_syntax_error() {
+        // R2 waivers from before the R8 migration must degrade to the
+        // unused-waiver warning, never to waiver-syntax denies.
+        let src = "// lint:allow(decode-unchecked-allocation) -- pre-R8 waiver\nfn f() {}\n";
+        let f = check_one("crates/dist/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, UNUSED);
+        assert!(f[0].warning);
+    }
+
+    #[test]
     fn json_escapes() {
         let f = vec![Finding::deny(
             "a\"b.rs",
@@ -978,5 +488,29 @@ mod tests {
         let j = to_json(&f);
         assert!(j.contains("a\\\"b.rs"));
         assert!(j.contains("msg \\\\ with \\\"quotes\\\""));
+        assert!(j.contains("\"schema\": \"dangoron-lint-v2\""));
+        assert!(j.contains("\"deny\": 1"));
+        assert!(j.contains("\"trace\":[]"));
+    }
+
+    #[test]
+    fn traces_serialize_into_the_report() {
+        let mut f = Finding::deny("crates/dist/src/x.rs", 9, R8, "boom".into());
+        f.trace = vec![
+            TraceStep {
+                line: 3,
+                note: "wire read `get_u32_le`".into(),
+            },
+            TraceStep {
+                line: 9,
+                note: "sized allocation `with_capacity`".into(),
+            },
+        ];
+        let j = to_json(&[f]);
+        assert!(
+            j.contains("{\"line\":3,\"note\":\"wire read `get_u32_le`\"}"),
+            "{j}"
+        );
+        assert!(j.contains("{\"line\":9,"), "{j}");
     }
 }

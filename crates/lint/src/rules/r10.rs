@@ -1,0 +1,102 @@
+//! R10 `metrics-name-drift` — docs/metrics.md is the stable-name
+//! contract for every Prometheus family this tree exports. This rule
+//! diffs the family-name string literals at the three registration
+//! sites (`CoordMetrics`, `ServeMetrics`, the stage registry) against
+//! the documented tables, in both directions: a family registered in
+//! code but absent from the docs fails at the registration line; a
+//! documented family no code registers fails at the docs line. Renaming
+//! a family in code without updating the catalog therefore fails CI.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::util::{in_ranges, test_ranges};
+use crate::{Finding, R10};
+use std::collections::BTreeMap;
+
+/// The registration sites whose `dangoron_*` string literals define the
+/// exported families.
+const REG_FILES: &[&str] = &[
+    "crates/dist/src/metrics.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/obs/src/stages.rs",
+];
+
+/// True for a well-formed family name (`dangoron_<tier>_<what>`).
+fn is_family(s: &str) -> bool {
+    s.len() > "dangoron_".len()
+        && s.starts_with("dangoron_")
+        && s.bytes()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+}
+
+/// Runs the diff. `rs` is the lexed Rust file set; `raw` the raw file
+/// set (which is where `docs/metrics.md` lives — markdown is never
+/// lexed). The rule only engages when both sides of the contract are in
+/// scope, so single-file runs and fixtures stay quiet.
+pub(crate) fn rule_r10(rs: &[(String, Lexed)], raw: &[(String, String)], out: &mut Vec<Finding>) {
+    let md = raw.iter().find(|(rel, _)| rel.ends_with("docs/metrics.md"));
+    let regs: Vec<&(String, Lexed)> = rs
+        .iter()
+        .filter(|(rel, _)| REG_FILES.iter().any(|r| rel.ends_with(r)))
+        .collect();
+    let Some((md_rel, md_src)) = md else { return };
+    if regs.is_empty() {
+        return;
+    }
+
+    // Code side: family literals outside test ranges, first site wins.
+    let mut code: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for (rel, lexed) in regs {
+        let skip = test_ranges(&lexed.tokens);
+        for t in &lexed.tokens {
+            if t.kind == TokKind::Str && is_family(&t.text) && !in_ranges(&skip, t.line) {
+                code.entry(t.text.clone())
+                    .or_insert_with(|| (rel.clone(), t.line));
+            }
+        }
+    }
+
+    // Docs side: the first backtick cell of each table row, with any
+    // `{label="…"}` suffix stripped.
+    let mut docs: BTreeMap<String, u32> = BTreeMap::new();
+    for (idx, line) in md_src.lines().enumerate() {
+        let l = line.trim_start();
+        if !l.starts_with('|') {
+            continue;
+        }
+        let Some(a) = l.find('`') else { continue };
+        let rest = &l[a + 1..];
+        let Some(b) = rest.find('`') else { continue };
+        let name = rest[..b].split('{').next().unwrap_or("");
+        if is_family(name) {
+            docs.entry(name.to_string()).or_insert(idx as u32 + 1);
+        }
+    }
+
+    for (name, (rel, line)) in &code {
+        if !docs.contains_key(name) {
+            out.push(Finding::deny(
+                rel,
+                *line,
+                R10,
+                format!(
+                    "metric family `{name}` is registered here but missing from \
+                     docs/metrics.md — the docs table is the stable-name contract; \
+                     add a row (or revert the rename)"
+                ),
+            ));
+        }
+    }
+    for (name, line) in &docs {
+        if !code.contains_key(name) {
+            out.push(Finding::deny(
+                md_rel,
+                *line,
+                R10,
+                format!(
+                    "docs/metrics.md documents family `{name}` but no registration \
+                     site defines it — remove the row or restore the family in code"
+                ),
+            ));
+        }
+    }
+}

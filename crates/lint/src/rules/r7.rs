@@ -1,0 +1,30 @@
+//! R7 `nondeterministic-iteration-escapes` — values derived from
+//! `HashMap`/`HashSet` iteration may not escape a function (returned,
+//! or written to serialized output) while still carrying iteration-order
+//! taint. Sorting the collection (`sort*`) or laundering through
+//! `BTreeMap`/`BTreeSet` clears the taint; storing back into a hash
+//! collection does too (order is re-decided at the next iteration).
+//!
+//! This guards the repo's bit-determinism contract: edge buffers, stats
+//! reports and wire frames must not depend on `RandomState` hash order.
+
+use crate::flow::{SinkHit, SinkKind, HASH_ITER};
+use crate::{Finding, R7};
+
+/// Translates a flow sink hit into an R7 finding, when it is one.
+pub(crate) fn from_hit(rel: &str, hit: &SinkHit) -> Option<Finding> {
+    if hit.kind != SinkKind::Escape || hit.label & HASH_ITER == 0 {
+        return None;
+    }
+    let mut f = Finding::deny(
+        rel,
+        hit.line,
+        R7,
+        "value derived from HashMap/HashSet iteration escapes this function — hash \
+         iteration order is nondeterministic; sort before it escapes, or collect \
+         through a BTreeMap/BTreeSet"
+            .into(),
+    );
+    f.trace = hit.trace.clone();
+    Some(f)
+}

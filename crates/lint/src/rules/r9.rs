@@ -1,0 +1,169 @@
+//! R9 `atomic-ordering-discipline` — three token-level checks on atomic
+//! memory orderings:
+//!
+//! 1. In the hot-path crates (`obs`, `exec`), `Ordering::SeqCst` needs a
+//!    reasoned comment (mentioning "ordering" or "SeqCst") in the
+//!    contiguous comment run above it — the repo's atomics are Relaxed
+//!    counters and Acquire/Release hand-offs by design, so a SeqCst is
+//!    either a deliberate fence (say why) or an accident (fix it).
+//! 2. In `obs`/`exec`, mixing `Relaxed` with stronger orderings on the
+//!    same atomic field is flagged: one discipline per field.
+//! 3. In the supervised tiers (`dist`, `serve`, `obs`), a `Relaxed` load
+//!    directly inside an `if`/`while` condition is flagged — control
+//!    decisions (shutdown flags, generation checks) need the Acquire
+//!    edge, or a waiver explaining why staleness is tolerable.
+//!
+//! All three operate on the raw token stream; only calls whose arguments
+//! mention an `Ordering::` path are treated as atomic ops, which keeps
+//! same-named non-atomic methods (`Config::load(path)`) out of scope.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::util::{crate_of, in_ranges, is_id, is_p, match_delim};
+use crate::{Finding, R9};
+use std::collections::BTreeMap;
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub(crate) fn rule_r9(rel: &str, lexed: &Lexed, skip: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let krate = crate_of(rel);
+    let hot = matches!(krate, "obs" | "exec");
+    let supervised = matches!(krate, "dist" | "serve" | "obs");
+    if !hot && !supervised {
+        return;
+    }
+    let toks = &lexed.tokens;
+
+    // Lines covered by comments, with a "mentions ordering" flag — the
+    // same contiguous-run discipline R4 uses for SAFETY comments.
+    let mut covered: BTreeMap<u32, bool> = BTreeMap::new();
+    for c in &lexed.comments {
+        let lower = c.text.to_lowercase();
+        let reasoned = !lower.contains("lint:allow(")
+            && (lower.contains("ordering") || lower.contains("seqcst"));
+        let span = c.text.matches('\n').count() as u32;
+        for l in c.line..=c.line + span {
+            let e = covered.entry(l).or_insert(false);
+            *e = *e || reasoned;
+        }
+    }
+
+    // Per-field ordering census: receiver ident → ordering → first line.
+    let mut fields: BTreeMap<String, BTreeMap<&str, u32>> = BTreeMap::new();
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_ranges(skip, t.line) {
+            continue;
+        }
+
+        // Check 1: SeqCst comment discipline (hot crates).
+        if hot && t.text == "SeqCst" && i >= 2 && is_p(&toks[i - 1], "::") {
+            let mut ok = covered.get(&t.line).copied() == Some(true);
+            let mut l = t.line;
+            while !ok && l > 1 {
+                l -= 1;
+                match covered.get(&l) {
+                    Some(true) => ok = true,
+                    Some(false) => {}
+                    None => break,
+                }
+            }
+            if !ok {
+                out.push(Finding::deny(
+                    rel,
+                    t.line,
+                    R9,
+                    "`Ordering::SeqCst` without a reasoned comment — this tree's atomics \
+                     are Relaxed counters and Acquire/Release hand-offs; state why a \
+                     sequentially-consistent fence is needed here"
+                        .into(),
+                ));
+            }
+        }
+
+        // Atomic method call: `recv.op(… Ordering::X …)`.
+        let is_method = i >= 2
+            && is_p(&toks[i - 1], ".")
+            && toks.get(i + 1).map(|n| is_p(n, "(")) == Some(true);
+        if !is_method {
+            continue;
+        }
+        let close = match_delim(toks, i + 1);
+        let args = &toks[i + 2..close.min(toks.len())];
+        let mut used: Vec<(&str, u32)> = Vec::new();
+        for (k, a) in args.iter().enumerate() {
+            if a.kind == TokKind::Ident
+                && k >= 2
+                && is_id(&args[k - 2], "Ordering")
+                && is_p(&args[k - 1], "::")
+            {
+                if let Some(o) = ORDERINGS.iter().find(|o| **o == a.text) {
+                    used.push((*o, a.line));
+                }
+            }
+        }
+        if used.is_empty() {
+            continue; // not an atomic op
+        }
+        let recv = toks[i - 2].text.clone();
+
+        // Check 2: per-field census (hot crates).
+        if hot && toks[i - 2].kind == TokKind::Ident {
+            let entry = fields.entry(recv.clone()).or_default();
+            for (o, line) in &used {
+                entry.entry(o).or_insert(*line);
+            }
+        }
+
+        // Check 3: Relaxed load feeding a control decision (supervised).
+        if supervised && t.text == "load" && used.iter().any(|(o, _)| *o == "Relaxed") {
+            // Walk back to the start of the enclosing condition: an
+            // `if`/`while` keyword with no statement break in between.
+            let mut j = i;
+            let mut in_cond = false;
+            while j > 0 {
+                j -= 1;
+                let p = &toks[j];
+                if p.kind == TokKind::Punct && matches!(p.text.as_str(), ";" | "{" | "}") {
+                    break;
+                }
+                if is_id(p, "if") || is_id(p, "while") {
+                    in_cond = true;
+                    break;
+                }
+            }
+            if in_cond {
+                out.push(Finding::deny(
+                    rel,
+                    t.line,
+                    R9,
+                    format!(
+                        "`{recv}.load(Ordering::Relaxed)` feeds a control decision in a \
+                         supervised path — use Acquire for the edge, or waive with the \
+                         reason staleness is tolerable here"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Check 2 verdicts: Relaxed mixed with anything stronger.
+    for (recv, orders) in &fields {
+        if let Some(&line) = orders.get("Relaxed") {
+            let stronger: Vec<&str> = orders.keys().copied().filter(|o| *o != "Relaxed").collect();
+            if !stronger.is_empty() {
+                out.push(Finding::deny(
+                    rel,
+                    line,
+                    R9,
+                    format!(
+                        "atomic `{recv}` mixes Relaxed with {} in this file — pick one \
+                         ordering discipline per field (mixed orderings are where fences \
+                         silently go missing)",
+                        stronger.join("/")
+                    ),
+                ));
+            }
+        }
+    }
+}

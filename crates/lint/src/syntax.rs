@@ -1,0 +1,511 @@
+//! `lint::syntax` — a panic-free, lightweight item parser on top of the
+//! total lexer.
+//!
+//! Recovers an *item graph* per file — modules, functions (with signature
+//! and body token spans), impl blocks, `use` edges and call sites — and a
+//! workspace-level name index that resolves bare call names to candidate
+//! functions (same file preferred, then same crate, else every match in
+//! the workspace). The graph feeds `lint::flow`, which runs the taint
+//! rules over function bodies and propagates one level of interprocedural
+//! summaries along the call edges.
+//!
+//! Like the lexer, this parser is total: every token stream — truncated,
+//! mutated, or outright garbage — produces *some* `FileSyntax` with all
+//! spans in-bounds, and never panics (`tests/syntax_robustness.rs`).
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::util::{is_id, is_p, match_delim};
+use std::collections::BTreeMap;
+
+/// One function parameter as recovered from the signature.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (pattern parameters keep their first identifier).
+    pub name: String,
+    /// Type annotation mentions `HashMap`/`HashSet`.
+    pub hashy: bool,
+}
+
+/// One `fn` item (free function, method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token span `[fn_kw, body_open)` — the signature.
+    pub sig: (usize, usize),
+    /// Token span `[body_open, body_close]` inclusive, or `None` for
+    /// bodyless declarations (trait methods, `extern`).
+    pub body: Option<(usize, usize)>,
+    /// Non-`self` parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Whether the signature starts with a `self` receiver.
+    pub has_self: bool,
+    /// Name of the enclosing `impl` type, when any.
+    pub impl_of: Option<String>,
+}
+
+/// One call site inside some function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment for `a::b::f(..)`, method name for
+    /// `x.f(..)`).
+    pub name: String,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// True for method-call syntax (`recv.f(..)`).
+    pub method: bool,
+}
+
+/// The recovered item graph of one file.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    /// All `fn` items in source order (methods and nested fns included).
+    pub fns: Vec<FnItem>,
+    /// Last path segments imported by `use` declarations, with lines.
+    pub uses: Vec<(String, u32)>,
+    /// `mod` declarations (inline or file-level), with lines.
+    pub mods: Vec<(String, u32)>,
+    /// `impl` block target type names, with lines.
+    pub impls: Vec<(String, u32)>,
+}
+
+/// A reference to one function in the workspace: (file index, fn index).
+pub type FnRef = (usize, usize);
+
+/// The workspace item graph: per-file syntax plus a bare-name function
+/// index used for call resolution.
+#[derive(Debug, Default)]
+pub struct ItemGraph {
+    /// Parallel to the engine's file list.
+    pub files: Vec<FileSyntax>,
+    /// Crate name per file (`crates/<name>/…`, "" otherwise).
+    pub crates: Vec<String>,
+    by_name: BTreeMap<String, Vec<FnRef>>,
+}
+
+impl ItemGraph {
+    /// Builds the graph from per-file parses.
+    pub fn build(files: Vec<FileSyntax>, crates: Vec<String>) -> Self {
+        let mut by_name: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (fi, fs) in files.iter().enumerate() {
+            for (ii, f) in fs.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push((fi, ii));
+            }
+        }
+        ItemGraph {
+            files,
+            crates,
+            by_name,
+        }
+    }
+
+    /// Every function in the workspace with this bare name, unscoped.
+    pub fn resolve(&self, name: &str, _from_file: usize) -> &[FnRef] {
+        static EMPTY: [FnRef; 0] = [];
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&EMPTY)
+    }
+
+    /// Resolves a bare call name from `from_file`: candidates in the
+    /// same file win; else same crate; else every workspace match. This
+    /// is a documented approximation — without full path resolution,
+    /// distinct same-named functions in other crates are merged, so
+    /// their summaries are unioned (over-approximate for callers).
+    pub fn resolve_scoped(&self, name: &str, from_file: usize) -> Vec<FnRef> {
+        let all = self.resolve(name, from_file);
+        let same_file: Vec<FnRef> = all
+            .iter()
+            .copied()
+            .filter(|&(fi, _)| fi == from_file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let krate = self.crates.get(from_file).map(String::as_str).unwrap_or("");
+        if !krate.is_empty() {
+            let same_crate: Vec<FnRef> = all
+                .iter()
+                .copied()
+                .filter(|&(fi, _)| self.crates.get(fi).map(String::as_str) == Some(krate))
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+        }
+        all.to_vec()
+    }
+
+    /// The function item behind a reference, if still in bounds.
+    pub fn item(&self, r: FnRef) -> Option<&FnItem> {
+        self.files.get(r.0).and_then(|f| f.fns.get(r.1))
+    }
+}
+
+/// True when the token text names a hash-ordered std collection.
+fn is_hash_ty(t: &Token) -> bool {
+    t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet")
+}
+
+/// Extracts non-`self` parameters from the token slice between the
+/// signature parens (exclusive).
+fn parse_params(toks: &[Token]) -> (Vec<Param>, bool) {
+    let mut params = Vec::new();
+    let mut has_self = false;
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut parts: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            "<<" => depth += 2,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "," if depth <= 0 => {
+                parts.push((start, i));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        parts.push((start, toks.len()));
+    }
+    for (a, b) in parts {
+        let part = &toks[a..b.min(toks.len())];
+        if part.iter().any(|t| is_id(t, "self")) && !part.iter().any(|t| is_p(t, ":")) {
+            has_self = true;
+            continue;
+        }
+        // Binding name: first plain identifier that isn't `mut`/`ref`.
+        let name = part
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref")
+            .map(|t| t.text.clone());
+        let Some(name) = name else { continue };
+        let colon = part.iter().position(|t| is_p(t, ":"));
+        let hashy = match colon {
+            Some(c) => part[c..].iter().any(is_hash_ty),
+            None => false,
+        };
+        params.push(Param { name, hashy });
+    }
+    (params, has_self)
+}
+
+/// Skips a balanced generic-argument list starting at `<`; returns the
+/// index just past the matching `>`. The lexer emits `->`, `=>`, `>=`,
+/// `<=`, `<<`, `>>` as single tokens, so plain `<`/`>` counting is safe
+/// (`>>` closes two levels, `<<` opens two).
+fn skip_generics(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            // A stray `;` or `{` means the signature was mangled; bail
+            // so the parser re-synchronises instead of running away.
+            ";" | "{" => return i,
+            _ => {}
+        }
+        i += 1;
+        if depth <= 0 {
+            return i;
+        }
+    }
+    toks.len()
+}
+
+/// Parses one file's token stream into its item graph. Total: any input
+/// yields a `FileSyntax` with all token spans `< toks.len()`.
+pub fn parse(lexed: &Lexed) -> FileSyntax {
+    let toks = &lexed.tokens;
+    let mut out = FileSyntax::default();
+    let mut i = 0usize;
+    let mut impl_stack: Vec<(String, usize)> = Vec::new(); // (type, body close)
+    while i < toks.len() {
+        // Retire impl scopes we've walked past.
+        impl_stack.retain(|&(_, close)| i <= close);
+        let t = &toks[i];
+        if is_id(t, "use") {
+            let line = t.line;
+            let mut j = i + 1;
+            let mut last: Option<String> = None;
+            while j < toks.len() && !is_p(&toks[j], ";") {
+                if toks[j].kind == TokKind::Ident {
+                    let seg = toks[j].text.clone();
+                    // Group imports `use a::{b, c}` record each leaf.
+                    if j + 1 < toks.len()
+                        && (is_p(&toks[j + 1], ",") || is_p(&toks[j + 1], "}"))
+                        && seg != "self"
+                    {
+                        out.uses.push((seg.clone(), toks[j].line));
+                        last = None;
+                    } else {
+                        last = Some(seg);
+                    }
+                }
+                j += 1;
+            }
+            if let Some(seg) = last {
+                if seg != "self" {
+                    out.uses.push((seg, line));
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        if is_id(t, "mod") {
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                out.mods.push((name.text.clone(), t.line));
+            }
+            i += 1;
+            continue;
+        }
+        if is_id(t, "impl") {
+            // Skip generics after `impl`, then take the first type ident
+            // (for `impl Trait for Type`, scan past `for`).
+            let mut j = i + 1;
+            if j < toks.len() && is_p(&toks[j], "<") {
+                j = skip_generics(toks, j);
+            }
+            let mut ty: Option<(String, u32)> = None;
+            let mut k = j;
+            while k < toks.len() && !is_p(&toks[k], "{") && !is_p(&toks[k], ";") {
+                if is_id(&toks[k], "for") {
+                    ty = None; // the trait name came first; the type follows
+                } else if toks[k].kind == TokKind::Ident && ty.is_none() {
+                    ty = Some((toks[k].text.clone(), toks[k].line));
+                }
+                k += 1;
+            }
+            if let Some((name, line)) = ty.clone() {
+                out.impls.push((name, line));
+            }
+            if k < toks.len() && is_p(&toks[k], "{") {
+                let close = match_delim(toks, k);
+                if let Some((name, _)) = ty {
+                    impl_stack.push((name, close));
+                }
+                i = k + 1;
+            } else {
+                i = k + 1;
+            }
+            continue;
+        }
+        if is_id(t, "fn") {
+            let fn_kw = i;
+            let line = t.line;
+            let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            let name = name_tok.text.clone();
+            let mut j = i + 2;
+            if j < toks.len() && is_p(&toks[j], "<") {
+                j = skip_generics(toks, j);
+            }
+            if j >= toks.len() || !is_p(&toks[j], "(") {
+                i += 1;
+                continue;
+            }
+            let params_close = match_delim(toks, j);
+            if params_close >= toks.len() {
+                // Unterminated signature: record a bodyless fn and stop.
+                let (params, has_self) = parse_params(&toks[j + 1..]);
+                out.fns.push(FnItem {
+                    name,
+                    line,
+                    sig: (fn_kw, toks.len()),
+                    body: None,
+                    params,
+                    has_self,
+                    impl_of: impl_stack.last().map(|(n, _)| n.clone()),
+                });
+                break;
+            }
+            let (params, has_self) = parse_params(&toks[j + 1..params_close]);
+            // Find the body `{` or a `;` (bodyless decl). The return
+            // type / where clause may contain generics but no braces.
+            let mut k = params_close + 1;
+            let mut body = None;
+            while k < toks.len() {
+                if is_p(&toks[k], "{") {
+                    let close = match_delim(toks, k);
+                    body = Some((k, close.min(toks.len().saturating_sub(1))));
+                    break;
+                }
+                if is_p(&toks[k], ";") {
+                    break;
+                }
+                if is_p(&toks[k], "<") {
+                    k = skip_generics(toks, k);
+                    continue;
+                }
+                k += 1;
+            }
+            let sig_end = body.map(|(o, _)| o).unwrap_or_else(|| k.min(toks.len()));
+            out.fns.push(FnItem {
+                name,
+                line,
+                sig: (fn_kw, sig_end),
+                body,
+                params,
+                has_self,
+                impl_of: impl_stack.last().map(|(n, _)| n.clone()),
+            });
+            // Continue scanning *inside* the body too (nested fns), so
+            // only step past the signature.
+            i = sig_end.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Call sites within `body` (token span, inclusive): every `name(`
+/// occurrence that isn't a definition, macro, or struct literal.
+pub fn calls_in(toks: &[Token], body: (usize, usize)) -> Vec<Call> {
+    let mut out = Vec::new();
+    let (open, close) = body;
+    let end = close.min(toks.len().saturating_sub(1));
+    let mut i = open;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).map(|n| is_p(n, "(")).unwrap_or(false)
+            && !is_id(t, "fn")
+        {
+            // Skip definitions: `fn name(`; skip macro bodies are fine
+            // (macro idents are followed by `!`, not `(`).
+            let is_def = i > 0 && is_id(&toks[i - 1], "fn");
+            // Keywords that look like calls.
+            let kw = matches!(
+                t.text.as_str(),
+                "if" | "while" | "for" | "match" | "return" | "in" | "loop" | "move" | "else"
+            );
+            if !is_def && !kw {
+                let method = i > 0 && is_p(&toks[i - 1], ".");
+                out.push(Call {
+                    name: t.text.clone(),
+                    tok: i,
+                    line: t.line,
+                    method,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileSyntax {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn recovers_fns_params_and_impls() {
+        let fs = parse_src(
+            "use std::collections::HashMap;\n\
+             mod inner;\n\
+             pub fn free(a: usize, m: &HashMap<u32, u32>) -> usize { a }\n\
+             struct S;\n\
+             impl S {\n\
+                 fn method(&self, n: usize) -> usize { helper(n) }\n\
+             }\n\
+             fn helper(n: usize) -> usize { n }\n",
+        );
+        assert_eq!(fs.uses.len(), 1);
+        assert_eq!(fs.uses[0].0, "HashMap");
+        assert_eq!(fs.mods[0].0, "inner");
+        assert_eq!(fs.impls[0].0, "S");
+        let names: Vec<&str> = fs.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["free", "method", "helper"]);
+        assert_eq!(fs.fns[0].params.len(), 2);
+        assert!(fs.fns[0].params[1].hashy);
+        assert!(fs.fns[1].has_self);
+        assert_eq!(fs.fns[1].params.len(), 1);
+        assert_eq!(fs.fns[1].impl_of.as_deref(), Some("S"));
+        assert!(fs.fns[2].impl_of.is_none());
+    }
+
+    #[test]
+    fn generic_signatures_and_fn_bounds_parse() {
+        let fs = parse_src(
+            "fn apply<F: Fn(usize) -> usize, T: Into<Vec<u8>>>(f: F, t: T) -> usize { f(1) }",
+        );
+        assert_eq!(fs.fns.len(), 1);
+        assert_eq!(fs.fns[0].params.len(), 2);
+        assert!(fs.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn call_sites_are_recovered() {
+        let lexed =
+            lex("fn f(x: usize) -> usize { g(x) + h.method(x) - if x > 0 { 1 } else { 0 } }");
+        let fs = parse(&lexed);
+        let body = fs.fns[0].body.unwrap();
+        let calls = calls_in(&lexed.tokens, body);
+        let names: Vec<(&str, bool)> = calls.iter().map(|c| (c.name.as_str(), c.method)).collect();
+        assert_eq!(names, [("g", false), ("method", true)]);
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_same_crate() {
+        let a = parse_src("fn f() {}\nfn g() { f(); }");
+        let b = parse_src("fn f() {}");
+        let c = parse_src("fn f() {}");
+        let g = ItemGraph::build(
+            vec![a, b, c],
+            vec!["dist".into(), "dist".into(), "serve".into()],
+        );
+        assert_eq!(g.resolve_scoped("f", 0), vec![(0, 0)]);
+        assert_eq!(g.resolve_scoped("f", 1), vec![(1, 0)]);
+        // From a file with no local or same-crate match: all candidates.
+        let d = parse_src("fn caller() { f(); }");
+        let g2 = ItemGraph::build(
+            vec![parse_src("fn f() {}"), parse_src("fn f() {}"), d],
+            vec!["dist".into(), "serve".into(), "eval".into()],
+        );
+        assert_eq!(g2.resolve_scoped("f", 2).len(), 2);
+    }
+
+    #[test]
+    fn truncated_and_garbage_sources_stay_in_bounds() {
+        for src in [
+            "fn f(",
+            "fn f(a: usize",
+            "fn f<T: Into<",
+            "impl {",
+            "use ;",
+            "fn",
+            "fn f(a: usize) -> Vec<",
+            "impl S { fn m(&self",
+            "}}}}((((",
+        ] {
+            let lexed = lex(src);
+            let fs = parse(&lexed);
+            for f in &fs.fns {
+                assert!(f.sig.0 <= lexed.tokens.len());
+                if let Some((o, c)) = f.body {
+                    assert!(o < lexed.tokens.len());
+                    assert!(c < lexed.tokens.len());
+                }
+            }
+        }
+    }
+}

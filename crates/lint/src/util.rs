@@ -1,0 +1,114 @@
+//! Token-stream helpers shared by the rule modules and the parser:
+//! predicate shorthands, delimiter matching, `#[cfg(test)]` region
+//! discovery, and path→crate mapping.
+
+use crate::lexer::{TokKind, Token};
+
+/// True when `t` is the punct `s`.
+pub(crate) fn is_p(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// True when `t` is the identifier `s`.
+pub(crate) fn is_id(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Index of the punct matching the opener at `open` (`{}`, `[]` or `()`),
+/// or `toks.len()` when unbalanced. Strings/comments are single tokens or
+/// absent, so token-level matching is exact.
+pub(crate) fn match_delim(toks: &[Token], open: usize) -> usize {
+    let Some(t) = toks.get(open) else {
+        return toks.len();
+    };
+    let (o, c) = match t.text.as_str() {
+        "{" => ("{", "}"),
+        "[" => ("[", "]"),
+        "(" => ("(", ")"),
+        _ => return toks.len(),
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if is_p(t, o) {
+            depth += 1;
+        } else if is_p(t, c) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+pub(crate) fn test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(is_p(&toks[i], "#") && is_p(&toks[i + 1], "[")) {
+            i += 1;
+            continue;
+        }
+        let close = match_delim(toks, i + 1);
+        if close >= toks.len() {
+            break;
+        }
+        let inner: Vec<&str> = toks[i + 2..close].iter().map(|t| t.text.as_str()).collect();
+        let is_test =
+            inner == ["test"] || (inner.len() >= 3 && inner[0] == "cfg" && inner.contains(&"test"));
+        if !is_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's body brace
+        // (a `;` first means a bodyless item — nothing to range).
+        let mut j = close + 1;
+        while j + 1 < toks.len() && is_p(&toks[j], "#") && is_p(&toks[j + 1], "[") {
+            let c = match_delim(toks, j + 1);
+            if c >= toks.len() {
+                return ranges;
+            }
+            j = c + 1;
+        }
+        let mut k = j;
+        let mut open = None;
+        while k < toks.len() {
+            if is_p(&toks[k], "{") {
+                open = Some(k);
+                break;
+            }
+            if is_p(&toks[k], ";") {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(o) = open {
+            let c = match_delim(toks, o);
+            let end_line = if c < toks.len() {
+                toks[c].line
+            } else {
+                u32::MAX
+            };
+            ranges.push((toks[i].line, end_line));
+            i = if c < toks.len() { c + 1 } else { toks.len() };
+        } else {
+            i = k + 1;
+        }
+    }
+    ranges
+}
+
+/// True when `line` lies inside any of `ranges`.
+pub(crate) fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`).
+pub(crate) fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "",
+    }
+}

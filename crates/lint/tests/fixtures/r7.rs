@@ -1,0 +1,45 @@
+// Fixture for R7 (nondeterministic-iteration-escapes). Fed to
+// check_sources as `crates/core/src/fixture.rs`; never compiled.
+// `FIRE`-marked lines must fire; the rest must not.
+
+fn edge_order_leak(m: &HashMap<u32, Vec<Edge>>) -> Vec<Edge> {
+    let mut out = Vec::new();
+    for (_, es) in m.iter() {
+        out.extend(es.iter().cloned());
+    }
+    out // FIRE
+}
+
+fn edge_order_sorted(m: &HashMap<u32, Vec<Edge>>) -> Vec<Edge> {
+    let mut out = Vec::new();
+    for (_, es) in m.iter() {
+        out.extend(es.iter().cloned());
+    }
+    out.sort_by_key(|e| (e.i, e.j));
+    out
+}
+
+fn edge_order_btree(m: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let ordered: BTreeMap<u32, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    ordered.into_iter().collect()
+}
+
+fn stored_back_into_hash(m: &HashMap<u32, u64>) -> HashMap<u32, u64> {
+    let copied: HashMap<u32, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    copied
+}
+
+fn keys_leak_serialized(m: &HashMap<String, u64>, w: &mut String) {
+    for k in m.keys() {
+        writeln!(w, "{}", k).ok(); // FIRE
+    }
+}
+
+fn edge_order_waived(m: &HashMap<u32, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for v in m.values() {
+        out.push(*v);
+    }
+    // lint:allow(nondeterministic-iteration-escapes) -- fixture: the consumer re-sorts
+    out
+}

@@ -1,0 +1,35 @@
+// Fixture for R8's interprocedural reach: the seeded regression from
+// the acceptance checklist — a `need()` bounds check stripped TWO call
+// levels above the allocation. Fed to check_sources as
+// `crates/dist/src/proto.rs`; never compiled.
+//
+// Chain: `decode_table` reads `n` from the wire (unvalidated) and
+// passes it to `build_table`, which passes it to `alloc_rows`, which
+// allocates. Catching this needs exactly one level of summary
+// propagation: `build_table`'s second-pass summary absorbs
+// `alloc_rows`' base summary, and the report pass sees `decode_table`
+// hand a wire integer to a parameter that reaches an allocation.
+
+fn read_count(buf: &mut &[u8]) -> Result<u32, ProtoError> {
+    need(buf, 4, "count")?;
+    Ok(buf.get_u32_le())
+}
+
+fn alloc_rows(n: usize) -> Vec<Row> {
+    Vec::with_capacity(n)
+}
+
+fn build_table(buf: &mut &[u8], n: usize) -> Vec<Row> {
+    alloc_rows(n)
+}
+
+fn decode_table(buf: &mut &[u8]) -> Result<Vec<Row>, ProtoError> {
+    let n = read_count(buf)? as usize;
+    Ok(build_table(buf, n)) // FIRE
+}
+
+fn decode_table_checked(buf: &mut &[u8]) -> Result<Vec<Row>, ProtoError> {
+    let n = read_count(buf)? as usize;
+    need(buf, n.checked_mul(20).ok_or(ProtoError::Overflow)?, "rows")?;
+    Ok(build_table(buf, n))
+}

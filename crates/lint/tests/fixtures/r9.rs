@@ -1,0 +1,47 @@
+// Fixture for R9 (atomic-ordering-discipline). Fed to check_sources as
+// `crates/obs/src/fixture.rs`; never compiled. `FIRE`-marked lines must
+// fire; the rest must not.
+
+fn seqcst_uncommented(stop: &AtomicBool) {
+    stop.store(true, Ordering::SeqCst); // FIRE
+}
+
+fn seqcst_commented(gate: &AtomicBool) {
+    // This fence pairs with the scrape thread's load: both sides need a
+    // single total order, hence the SeqCst ordering on this store.
+    gate.store(true, Ordering::SeqCst);
+}
+
+fn mixed_orderings(flag: &AtomicUsize) -> usize {
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Relaxed) // FIRE
+}
+
+fn consistent_release_acquire(ready: &AtomicBool) -> bool {
+    ready.store(true, Ordering::Release);
+    ready.load(Ordering::Acquire)
+}
+
+fn consistent_relaxed_counter(hits: &AtomicU64) -> u64 {
+    hits.fetch_add(1, Ordering::Relaxed);
+    hits.load(Ordering::Relaxed)
+}
+
+fn relaxed_gate(run: &AtomicBool) {
+    while run.load(Ordering::Relaxed) { // FIRE
+        std::hint::spin_loop();
+    }
+}
+
+fn acquire_gate(live: &AtomicBool) {
+    while live.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+}
+
+fn relaxed_gate_waived(poll: &AtomicBool) {
+    // lint:allow(atomic-ordering-discipline) -- fixture: staleness is tolerable, pure backoff hint
+    while poll.load(Ordering::Relaxed) {
+        std::hint::spin_loop();
+    }
+}

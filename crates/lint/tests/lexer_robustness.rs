@@ -14,6 +14,58 @@ const SPECIMENS: &[&str] = &[
     include_str!("fixtures/r4.rs"),
 ];
 
+/// Raw identifiers must lex as single `Ident` tokens (keyword text,
+/// `r#` stripped) and must not be confused with raw strings, whose
+/// guard is the same two characters.
+#[test]
+fn raw_identifiers_survive_realistic_source() {
+    let src = r##"
+fn r#match(r#type: u32) -> u32 {
+    let r#loop = r#type + 1;
+    let s = r#"not an ident: r#type"#;
+    let _ = s;
+    r#loop
+}
+"##;
+    let l = lex(src);
+    let idents: Vec<&str> = l
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.kind, lint::lexer::TokKind::Ident))
+        .map(|t| t.text.as_str())
+        .collect();
+    // Each raw identifier is one token with the `r#` stripped…
+    for kw in ["match", "type", "loop"] {
+        assert!(idents.contains(&kw), "missing raw ident {kw}: {idents:?}");
+    }
+    // …and none of them leaks a stray `r` or `#` into the stream.
+    assert!(!idents.contains(&"r"), "{idents:?}");
+    assert!(
+        !l.tokens.iter().any(|t| t.text == "#"),
+        "raw-ident guard leaked"
+    );
+    // The raw *string* on line 4 stays a string token, contents intact.
+    assert!(l
+        .tokens
+        .iter()
+        .any(|t| matches!(t.kind, lint::lexer::TokKind::Str) && t.text.contains("not an ident")));
+}
+
+/// The full pipeline stays quiet on raw-identifier-heavy code: `r#type`
+/// is not a `type` keyword, so item recovery must not derail and no
+/// rule may misfire on the keyword text.
+#[test]
+fn raw_identifiers_do_not_confuse_the_rules() {
+    let src = "\
+fn r#become(r#async: usize) -> usize {\n\
+    let r#dyn = r#async * 2;\n\
+    r#dyn\n\
+}\n";
+    let findings =
+        lint::check_sources(&[("crates/dist/src/proto.rs".to_string(), src.to_string())]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 

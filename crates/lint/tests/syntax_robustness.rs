@@ -1,0 +1,90 @@
+//! Parser totality: item-graph recovery (`lint::syntax`) must never
+//! panic on any input, and every span it reports must stay inside the
+//! token stream. Same contract as `lexer_robustness`, one layer up —
+//! plus a pass through the full taint pipeline, since `flow` walks the
+//! spans `syntax` recovers.
+
+use lint::lexer::lex;
+use lint::syntax::{calls_in, parse};
+use proptest::prelude::*;
+
+const SPECIMENS: &[&str] = &[
+    include_str!("../src/syntax.rs"),
+    include_str!("../src/flow.rs"),
+    include_str!("fixtures/r7.rs"),
+    include_str!("fixtures/r8_cross.rs"),
+];
+
+/// Parse one source and check every recovered span against the stream.
+fn parse_and_check_spans(src: &str) -> Result<(), TestCaseError> {
+    let lexed = lex(src);
+    let n = lexed.tokens.len();
+    let fs = parse(&lexed);
+    for f in &fs.fns {
+        prop_assert!(
+            f.sig.0 <= f.sig.1 && f.sig.1 <= n,
+            "sig span {:?} out of {n}",
+            f.sig
+        );
+        if let Some((open, close)) = f.body {
+            prop_assert!(f.sig.1 == open, "body {open} detached from sig {:?}", f.sig);
+            prop_assert!(
+                open <= close && close < n,
+                "body span ({open},{close}) out of {n}"
+            );
+            for c in calls_in(&lexed.tokens, (open, close)) {
+                prop_assert!(c.tok < n, "call tok {} out of {n}", c.tok);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutated_source_parses_with_spans_in_bounds(
+        which in 0usize..4,
+        at_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = SPECIMENS[which].as_bytes().to_vec();
+        let at = ((bytes.len() - 1) as f64 * at_frac) as usize;
+        bytes[at] ^= xor;
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        parse_and_check_spans(&src)?;
+    }
+
+    #[test]
+    fn truncated_source_parses_with_spans_in_bounds(which in 0usize..4, frac in 0.0f64..1.0) {
+        let s = SPECIMENS[which];
+        let mut cut = ((s.len() as f64) * frac) as usize;
+        cut = cut.min(s.len());
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        parse_and_check_spans(&s[..cut])?;
+    }
+
+    #[test]
+    fn garbage_parses_with_spans_in_bounds(bytes in prop::collection::vec(0u8..=255u8, 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        parse_and_check_spans(&src)?;
+    }
+
+    #[test]
+    fn mutated_source_survives_the_taint_pipeline(
+        which in 0usize..4,
+        at_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = SPECIMENS[which].as_bytes().to_vec();
+        let at = ((bytes.len() - 1) as f64 * at_frac) as usize;
+        bytes[at] ^= xor;
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        // The wire-tier path engages every flow rule (R7/R8) plus the
+        // summary passes; it must be total on damaged input.
+        let _ = lint::check_sources(&[("crates/dist/src/proto.rs".to_string(), src)]);
+    }
+}

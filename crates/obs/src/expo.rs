@@ -424,10 +424,7 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Family>, String> {
             let count = f
                 .samples
                 .iter()
-                .find(|s| {
-                    s.name == format!("{}_count", f.name)
-                        && s.labels == base
-                })
+                .find(|s| s.name == format!("{}_count", f.name) && s.labels == base)
                 .ok_or(format!("histogram '{}' missing _count", f.name))?;
             if (inf.value - count.value).abs() > 0.0 {
                 return Err(format!(
@@ -435,10 +432,11 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Family>, String> {
                     f.name, inf.value, count.value
                 ));
             }
-            if !f.samples.iter().any(|s| {
-                s.name == format!("{}_sum", f.name)
-                    && s.labels == base
-            }) {
+            if !f
+                .samples
+                .iter()
+                .any(|s| s.name == format!("{}_sum", f.name) && s.labels == base)
+            {
                 return Err(format!("histogram '{}' missing _sum", f.name));
             }
         }
